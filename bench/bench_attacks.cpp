@@ -1,0 +1,155 @@
+// Attack-scenario bench (the paper's security motivation, Sec. I): what an
+// adversary achieves against an EchoImage-protected speaker.
+//
+//   replay      a loudspeaker on a stand plays the victim's recorded voice;
+//               acoustically the "user" is a small flat box, not a body
+//   remote      nobody is in front of the device (dolphin-style injected
+//               command): distance estimation must find no user
+//   mannequin   a crude human-shaped dummy without the victim's
+//               reflectivity pattern
+//   impostor    another person stands exactly where the victim enrolls
+#include <iostream>
+
+#include "core/liveness.hpp"
+#include "core/pipeline.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+
+using namespace echoimage;
+
+namespace {
+
+// A loudspeaker box on a stand: a flat rigid panel (strong, spectrally
+// flat reflector) at chest height plus a thin pole.
+std::vector<sim::WorldReflector> loudspeaker_body(double distance_m,
+                                                  double array_height_m) {
+  std::vector<sim::WorldReflector> out;
+  for (double x = -0.12; x <= 0.12; x += 0.03)
+    for (double z = 1.0; z <= 1.35; z += 0.03)
+      out.push_back(sim::WorldReflector{
+          sim::Vec3{x, distance_m, z - array_height_m}, 0.2, 0.0});
+  for (double z = 0.0; z < 1.0; z += 0.05)  // the stand
+    out.push_back(sim::WorldReflector{
+        sim::Vec3{0.0, distance_m, z - array_height_m}, 0.01, 0.0});
+  return out;
+}
+
+// A mannequin: the geometric silhouette of a person with uniform
+// reflectivity (no per-person field, no spectral identity, no breathing).
+std::vector<sim::WorldReflector> mannequin_body(double distance_m,
+                                                double array_height_m,
+                                                std::uint64_t shape_seed) {
+  sim::BodyModelParams params;
+  params.reflectivity_spread = 0.0;  // uniform plastic surface
+  params.depth_scale_m = 0.0;
+  const sim::BodyProfile shape = sim::generate_body_profile(
+      shape_seed, sim::Demographic{}, params);
+  sim::Pose pose;  // rigid: no habitual posture of the victim
+  auto body = sim::pose_body(shape, pose, distance_m, array_height_m,
+                             params.specular_exponent);
+  for (auto& r : body) r.spectral_slope = 0.0;
+  return body;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Attack scenarios against an EchoImage-protected speaker "
+               "==\n\n";
+
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(eval::default_system_config(),
+                                         geometry);
+  const auto users = eval::make_users(eval::make_roster(), 17);
+  sim::CaptureConfig capture;
+  const eval::DataCollector collector(capture, geometry, 17);
+
+  // Enroll the victim (4 visits, augmented, final visit calibrates).
+  core::EnrolledUser victim;
+  victim.user_id = users[0].subject.user_id;
+  for (int visit = 0; visit < 5; ++visit) {
+    eval::CollectionConditions cond;
+    cond.repetition = 60 + visit;
+    const bool calib = visit == 4;
+    const auto batch = collector.collect(users[0], cond, 12);
+    const auto p = pipeline.process(batch.beeps, batch.noise_only);
+    if (!p.distance.valid) continue;
+    auto feats = pipeline.features_batch(
+        p.images, p.distance.user_distance_centroid_m, !calib);
+    auto& dst = calib ? victim.calibration_features : victim.features;
+    for (auto& f : feats) dst.push_back(std::move(f));
+  }
+  const core::Authenticator auth = pipeline.enroll({victim});
+
+  // Helper: run an attack body through the pipeline, report accept rate.
+  const sim::Scene scene = collector.make_scene(eval::CollectionConditions{});
+  const sim::SceneRenderer renderer(scene, capture);
+  const auto describe = [&](const core::ProcessedBeeps& p) -> std::string {
+    if (!p.distance.valid) return "no target detected -> rejected";
+    std::size_t accepted = 0;
+    for (const auto& img : p.images)
+      if (auth.authenticate(pipeline.features(img)).accepted) ++accepted;
+    std::string out = std::to_string(accepted) + "/" +
+                      std::to_string(p.images.size()) + " beeps accepted";
+    const core::LivenessResult live = core::assess_liveness(p.images);
+    out += live.decided && !live.alive ? " | liveness: STATIC -> rejected"
+                                       : " | liveness: alive";
+    return out;
+  };
+  const auto attack_with_body =
+      [&](const std::vector<sim::WorldReflector>& body) -> std::string {
+    sim::Rng rng(5);
+    std::vector<dsp::MultiChannelSignal> beeps;
+    for (int i = 0; i < 8; ++i) beeps.push_back(renderer.render_beep(body, rng));
+    const auto noise = renderer.render_noise_only(2048, rng);
+    return describe(pipeline.process(beeps, noise));
+  };
+
+  std::vector<std::vector<std::string>> rows;
+
+  // 1. Replay via loudspeaker on a stand at the victim's distance.
+  rows.push_back({"replay (loudspeaker at 0.7 m)",
+                  attack_with_body(loudspeaker_body(0.7, 1.2))});
+
+  // 2. Remote command injection: nobody in front of the device.
+  rows.push_back({"remote (nobody present)", attack_with_body({})});
+
+  // 3. Mannequins at the victim's spot (three different dummy shapes).
+  rows.push_back({"mannequin A at 0.7 m",
+                  attack_with_body(mannequin_body(0.7, 1.2, 0xD011))});
+  rows.push_back({"mannequin B at 0.7 m",
+                  attack_with_body(mannequin_body(0.7, 1.2, 0xD012))});
+  rows.push_back({"mannequin C at 0.7 m",
+                  attack_with_body(mannequin_body(0.7, 1.2, 0xD013))});
+
+  // 4. Informed impostor: a different person standing exactly right.
+  {
+    eval::CollectionConditions cond;
+    cond.repetition = 3;
+    const auto batch = collector.collect(users[7], cond, 8);
+    rows.push_back({"informed impostor (human)",
+                    describe(pipeline.process(batch.beeps,
+                                              batch.noise_only))});
+  }
+
+  // Sanity: the victim still gets in.
+  {
+    eval::CollectionConditions cond;
+    cond.repetition = 4;
+    const auto batch = collector.collect(users[0], cond, 8);
+    rows.push_back({"victim (genuine attempt)",
+                    describe(pipeline.process(batch.beeps,
+                                              batch.noise_only))});
+  }
+
+  eval::print_table(std::cout, {"scenario", "outcome"}, rows);
+  std::cout << "\nEchoImage defeats replay/injection attacks because the "
+               "acoustic image authenticates the *body* in front of the "
+               "device, not the voice signal (paper Sec. I).\n"
+               "Note the mannequin rows: a dummy whose size happens to "
+               "match the victim's can pass the one-class gate (A) — but "
+               "the breathing-liveness check (core/liveness.hpp) flags "
+               "every static prop, closing that hole.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 14 (paper Sec. VI-E): impact of data augmentation.
+//
+// Paper setup: training images collected at 0.7 m only; testing at various
+// distances from 0.6 m to 1.5 m; training-set size swept. Paper result:
+// augmentation lifts recall/precision/accuracy, especially below ~100
+// training images, and performance saturates beyond ~100 samples.
+#include <iostream>
+
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace echoimage;
+  std::cout << "== Fig. 14: data augmentation vs number of training beeps ==\n"
+            << "(train at 0.7 m only; test at 0.6-1.5 m; 4 registered users "
+               "+ 2 spoofers)\n\n";
+
+  const std::size_t train_sizes[] = {10, 20, 40, 60};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> aug_acc, plain_acc;
+  for (const std::size_t n : train_sizes) {
+    double acc[2], rec[2];
+    for (const bool augment : {false, true}) {
+      eval::ExperimentConfig cfg;
+      cfg.system = eval::default_system_config();
+      cfg.num_registered = 4;
+      cfg.num_spoofers = 2;
+      cfg.train_beeps = n;
+      cfg.train_visits = std::max<std::size_t>(2, n / 12);
+      cfg.test_beeps = 6;
+      cfg.augment = augment;
+      cfg.train_conditions.distance_m = 0.7;
+      cfg.test_conditions.clear();
+      for (const double d : {0.6, 0.9, 1.2}) {
+        eval::CollectionConditions c;
+        c.distance_m = d;
+        c.repetition = 1;
+        cfg.test_conditions.push_back(c);
+      }
+      cfg.verbose = true;
+      const eval::ExperimentResult r =
+          eval::run_authentication_experiment(cfg);
+      acc[augment ? 1 : 0] = r.confusion.accuracy();
+      rec[augment ? 1 : 0] =
+          r.confusion.macro_recall(r.registered_labels());
+    }
+    plain_acc.push_back(acc[0]);
+    aug_acc.push_back(acc[1]);
+    rows.push_back({std::to_string(n), eval::fmt(rec[0]), eval::fmt(acc[0]),
+                    eval::fmt(rec[1]), eval::fmt(acc[1])});
+  }
+
+  std::cout << '\n';
+  eval::print_table(std::cout,
+                    {"train beeps", "recall (no aug)", "accuracy (no aug)",
+                     "recall (aug)", "accuracy (aug)"},
+                    rows);
+
+  double aug_wins = 0.0;
+  for (std::size_t i = 0; i < aug_acc.size(); ++i)
+    aug_wins += aug_acc[i] - plain_acc[i];
+  std::cout << "\npaper expectation: augmentation lifts all metrics, most "
+               "at small training sizes; saturation beyond ~100 samples.\n"
+            << "mean accuracy lift from augmentation: "
+            << eval::fmt(aug_wins / static_cast<double>(aug_acc.size()))
+            << " | shape check (augmentation helps on average): "
+            << (aug_wins > 0.0 ? "PASS" : "FAIL") << "\n";
+  return 0;
+}

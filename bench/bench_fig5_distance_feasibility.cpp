@@ -1,0 +1,69 @@
+// Fig. 5 (paper Sec. V-B feasibility study): body-echo detection from the
+// matched-filter correlation envelope.
+//
+// Paper setup: one volunteer 0.6 m in front of the array in an empty-ish
+// room, 20 beeps, array steered to the upper body. The paper detects the
+// chirp period after the first peak tau_1, finds the largest echo-period
+// peak at tau_4 = 0.004 s, and derives D_f = 0.68 m, D_p = 0.58 m against
+// a 0.6 m ground truth.
+#include <iostream>
+
+#include "core/distance.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace echoimage;
+  std::cout << "== Fig. 5: user-array distance estimation feasibility ==\n\n";
+
+  const auto geometry = array::make_respeaker_array();
+  const auto users = eval::make_users(eval::make_roster(), 5);
+  sim::CaptureConfig capture;
+  const eval::DataCollector collector(capture, geometry, 5);
+
+  eval::CollectionConditions cond;  // quiet laboratory
+  cond.distance_m = 0.6;            // paper's ground truth
+  const auto batch = collector.collect(users[0], cond, 20);  // 20 beeps
+
+  const core::DistanceEstimator estimator(core::DistanceEstimatorConfig{},
+                                          geometry);
+  const core::DistanceEstimate est =
+      estimator.estimate(batch.beeps, batch.noise_only);
+
+  // The averaged correlation envelope E(t) of Eq. 10 over the first 15 ms.
+  const auto& env = est.averaged_envelope;
+  const std::size_t show = std::min<std::size_t>(env.size(), 720);
+  std::cout << "E(t), 0-15 ms (direct chirp on the left, body echo after "
+               "the chirp period):\n"
+            << eval::sparkline(std::span<const double>(env.data(), show), 90)
+            << "\n\n";
+
+  std::cout << "detected peaks (MaxSet):\n";
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < est.peaks.size(); ++i) {
+    const double t_ms = est.peaks[i].index / 48.0;
+    rows.push_back({"tau_" + std::to_string(i + 1), eval::fmt(t_ms, 2) + " ms",
+                    i == 0 ? "direct speaker->mic chirp" : "echo candidate"});
+  }
+  eval::print_table(std::cout, {"peak", "time", "interpretation"}, rows);
+
+  std::cout << "\nresults (paper's feasibility numbers in parentheses):\n";
+  eval::print_table(
+      std::cout, {"quantity", "measured", "paper"},
+      {{"ground-truth D_p", eval::fmt(batch.true_distance_m, 2) + " m",
+        "0.60 m"},
+       {"echo delay tau_w' - tau_1",
+        eval::fmt((est.tau_echo_s - est.tau_direct_s) * 1000.0, 2) + " ms",
+        "4.00 ms"},
+       {"slant distance D_f", eval::fmt(est.slant_distance_m, 2) + " m",
+        "0.68 m"},
+       {"user distance D_p", eval::fmt(est.user_distance_m, 2) + " m",
+        "0.58 m"}});
+  std::cout << "\nvalid estimate: " << (est.valid ? "yes" : "NO") << "\n"
+            << "absolute error vs ground truth: "
+            << eval::fmt(std::abs(est.user_distance_m - batch.true_distance_m),
+                         3)
+            << " m (paper: 0.02 m)\n";
+  return est.valid ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: FFT, band-pass
+// filtering, Hilbert transform, matched filter, MVDR weights, per-beep
+// image construction, and CNN feature extraction.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "array/beamformer.hpp"
+#include "core/imaging.hpp"
+#include "dsp/butterworth.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/hilbert.hpp"
+#include "dsp/matched_filter.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "ml/cnn.hpp"
+
+using namespace echoimage;
+
+namespace {
+
+dsp::Signal random_signal(std::size_t n, unsigned seed = 1) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> d(0.0, 1.0);
+  dsp::Signal x(n);
+  for (double& v : x) v = d(gen);
+  return x;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  dsp::ComplexSignal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = dsp::Complex(std::sin(0.1 * i), 0.0);
+  for (auto _ : state) {
+    dsp::ComplexSignal y = x;
+    dsp::fft_pow2_in_place(y, false);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  dsp::ComplexSignal x(n, dsp::Complex(1.0, 0.5));
+  for (auto _ : state) {
+    auto y = dsp::fft(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(2880);
+
+void BM_ButterworthFiltFilt(benchmark::State& state) {
+  const auto f = dsp::butterworth_bandpass(4, 2000.0, 3000.0, 48000.0);
+  const dsp::Signal x = random_signal(2880);
+  for (auto _ : state) {
+    auto y = f.filtfilt(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_ButterworthFiltFilt);
+
+void BM_AnalyticSignal(benchmark::State& state) {
+  const dsp::Signal x = random_signal(2880);
+  for (auto _ : state) {
+    auto y = dsp::analytic_signal(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_AnalyticSignal);
+
+void BM_MatchedFilterEnvelope(benchmark::State& state) {
+  const dsp::Signal x = random_signal(2880);
+  const auto a = dsp::analytic_signal(x);
+  const auto tmpl = dsp::Chirp(dsp::ChirpParams{}).sample(48000.0);
+  for (auto _ : state) {
+    auto y = dsp::matched_filter_envelope(a, tmpl);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_MatchedFilterEnvelope);
+
+void BM_MvdrWeights(benchmark::State& state) {
+  const auto g = array::make_respeaker_array();
+  const auto a = array::steering_vector_hz(g, array::Direction{1.0, 1.2},
+                                           2500.0);
+  const auto r = array::white_noise_covariance(6);
+  for (auto _ : state) {
+    auto w = array::mvdr_weights(r, a);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_MvdrWeights);
+
+void BM_RenderBeep(benchmark::State& state) {
+  const auto users = eval::make_users(eval::make_roster(), 1);
+  sim::Scene scene;
+  scene.environment = sim::make_environment(sim::EnvironmentKind::kLab, 1);
+  const sim::SceneRenderer renderer(scene, sim::CaptureConfig{});
+  const auto body =
+      sim::pose_body(users[0].body, sim::Pose{}, 0.7, scene.array_height_m);
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    auto capture = renderer.render_beep(body, rng);
+    benchmark::DoNotOptimize(capture);
+  }
+}
+BENCHMARK(BM_RenderBeep);
+
+void BM_ConstructImage(benchmark::State& state) {
+  const auto geometry = array::make_respeaker_array();
+  const auto users = eval::make_users(eval::make_roster(), 1);
+  const eval::DataCollector collector(sim::CaptureConfig{}, geometry, 1);
+  eval::CollectionConditions cond;
+  const auto batch = collector.collect(users[0], cond, 1);
+  core::ImagingConfig cfg = eval::default_system_config().imaging;
+  cfg.num_subbands = static_cast<std::size_t>(state.range(0));
+  const core::AcousticImager imager(cfg, geometry);
+  for (auto _ : state) {
+    auto bands = imager.construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                        batch.noise_only);
+    benchmark::DoNotOptimize(bands);
+  }
+}
+BENCHMARK(BM_ConstructImage)->Arg(1)->Arg(5);
+
+void BM_CnnExtract(benchmark::State& state) {
+  const ml::VggishFeatureExtractor extractor;
+  ml::Matrix2D img(48, 48);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = std::sin(0.01 * static_cast<double>(i));
+  for (auto _ : state) {
+    auto f = extractor.extract(img);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_CnnExtract);
+
+}  // namespace
+
+BENCHMARK_MAIN();

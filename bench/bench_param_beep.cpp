@@ -1,0 +1,155 @@
+// Probing-beep parameter study (paper Sec. V-A).
+//
+// The paper argues three design constraints for the beep:
+//   1. frequency band: below ~3 kHz, or the 5 cm microphone spacing
+//      produces grating lobes (spatial aliasing);
+//   2. length: ~2 ms — long enough for energy, short enough to bound
+//      multipath smear;
+//   3. the 2-3 kHz band sits above most environmental noise (< 2 kHz).
+// This bench quantifies each claim on the simulator.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "array/beamformer.hpp"
+#include "core/distance.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+
+using namespace echoimage;
+
+namespace {
+
+// Peak sidelobe/grating-lobe level (dB relative to the main lobe) of a
+// delay-and-sum beam steered broadside, scanned over azimuth.
+double worst_lobe_db(double freq_hz) {
+  const auto g = array::make_respeaker_array();
+  const array::Direction look{std::numbers::pi / 2.0,
+                              std::numbers::pi / 2.0};
+  const auto w = array::das_weights(
+      array::steering_vector_hz(g, look, freq_hz));
+  double worst = 0.0;
+  for (double th = 0.0; th < 2.0 * std::numbers::pi; th += 0.01) {
+    // Skip the main lobe (+/- 0.5 rad around the look azimuth).
+    double d = std::abs(th - look.theta);
+    d = std::min(d, 2.0 * std::numbers::pi - d);
+    if (d < 0.5) continue;
+    const auto bp = array::beampattern(
+        g, w, freq_hz, {array::Direction{th, std::numbers::pi / 2.0}});
+    worst = std::max(worst, bp[0]);
+  }
+  return 10.0 * std::log10(std::max(worst, 1e-12));  // main lobe = 0 dB
+}
+
+// Distance-estimation error for a chirp variant.
+std::pair<double, int> distance_quality(const dsp::ChirpParams& chirp) {
+  const auto geometry = array::make_respeaker_array();
+  const auto users = eval::make_users(eval::make_roster(), 9);
+  sim::CaptureConfig capture;
+  capture.chirp = chirp;
+  const eval::DataCollector collector(capture, geometry, 9);
+  core::DistanceEstimatorConfig cfg;
+  cfg.chirp = chirp;
+  cfg.chirp_period_s = chirp.duration_s;
+  const core::DistanceEstimator est(cfg, geometry);
+  double err = 0.0;
+  int valid = 0;
+  for (int u = 0; u < 4; ++u) {
+    for (const double d : {0.6, 0.9, 1.2}) {
+      eval::CollectionConditions cond;
+      cond.distance_m = d;
+      const auto batch = collector.collect(users[u], cond, 6);
+      const auto e = est.estimate(batch.beeps, batch.noise_only);
+      if (!e.valid) continue;
+      ++valid;
+      err += std::abs(e.user_distance_m - batch.true_distance_m);
+    }
+  }
+  return {valid > 0 ? err / valid : -1.0, valid};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Probing-beep parameter study (paper Sec. V-A) ==\n\n";
+
+  // --- 1. Grating lobes vs frequency ------------------------------------
+  std::cout << "-- grating lobes of the 6-mic, 5 cm array (worst off-beam "
+               "lobe, dB re main lobe) --\n";
+  std::vector<std::vector<std::string>> lobe_rows;
+  for (const double f : {1500.0, 2500.0, 3000.0, 3430.0, 5000.0, 7000.0}) {
+    const double db = worst_lobe_db(f);
+    lobe_rows.push_back(
+        {eval::fmt(f / 1000.0, 2) + " kHz", eval::fmt(db, 1) + " dB",
+         db > -1.0 ? (f > 3430.0 ? "aliased (grating lobe)"
+                                   : "poor directivity")
+                   : "usable"});
+  }
+  eval::print_table(std::cout, {"frequency", "worst lobe", "verdict"},
+                    lobe_rows);
+  std::cout << "paper: spacing < lambda/2 requires f < c/(2*0.05 m) = 3.43 "
+               "kHz -> the beep stays at 2-3 kHz. (A circular geometry "
+               "smears grating lobes, so aliasing grows gradually above "
+               "the limit and is severe by 7 kHz; below ~1.5 kHz the "
+               "aperture is too small for useful directivity.)\n\n";
+
+  // --- 2. Beep length ----------------------------------------------------
+  std::cout << "-- beep length vs distance-estimation quality --\n";
+  std::vector<std::vector<std::string>> len_rows;
+  for (const double len_ms : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    dsp::ChirpParams chirp;  // 2-3 kHz
+    chirp.duration_s = len_ms / 1000.0;
+    const auto [err, valid] = distance_quality(chirp);
+    len_rows.push_back({eval::fmt(len_ms, 1) + " ms",
+                        err >= 0.0 ? eval::fmt(err, 3) + " m" : "-",
+                        std::to_string(valid) + "/12"});
+  }
+  eval::print_table(std::cout, {"beep length", "mean |error|", "valid"},
+                    len_rows);
+  std::cout << "paper: ~2 ms balances energy per beep against multipath "
+               "smear; very short beeps lose SNR, very long ones blur the "
+               "echo window.\n\n";
+
+  // --- 3. Band placement vs environmental noise ---------------------------
+  std::cout << "-- band placement under 50 dB music noise --\n";
+  std::vector<std::vector<std::string>> band_rows;
+  struct Band {
+    double lo, hi;
+  };
+  for (const Band b : {Band{500.0, 1500.0}, Band{2000.0, 3000.0}}) {
+    const auto geometry = array::make_respeaker_array();
+    const auto users = eval::make_users(eval::make_roster(), 9);
+    dsp::ChirpParams chirp;
+    chirp.f_start_hz = b.lo;
+    chirp.f_end_hz = b.hi;
+    sim::CaptureConfig capture;
+    capture.chirp = chirp;
+    const eval::DataCollector collector(capture, geometry, 9);
+    core::DistanceEstimatorConfig cfg;
+    cfg.chirp = chirp;
+    cfg.bandpass_low_hz = b.lo;
+    cfg.bandpass_high_hz = b.hi;
+    const core::DistanceEstimator est(cfg, geometry);
+    double err = 0.0;
+    int valid = 0;
+    for (int u = 0; u < 4; ++u) {
+      eval::CollectionConditions cond;
+      cond.playback = sim::NoiseKind::kMusic;  // mostly below 2 kHz
+      const auto batch = collector.collect(users[u], cond, 6);
+      const auto e = est.estimate(batch.beeps, batch.noise_only);
+      if (!e.valid) continue;
+      ++valid;
+      err += std::abs(e.user_distance_m - batch.true_distance_m);
+    }
+    band_rows.push_back(
+        {eval::fmt(b.lo / 1000.0, 1) + "-" + eval::fmt(b.hi / 1000.0, 1) +
+             " kHz",
+         valid > 0 ? eval::fmt(err / valid, 3) + " m" : "-",
+         std::to_string(valid) + "/4"});
+  }
+  eval::print_table(std::cout, {"band", "mean |error|", "valid"}, band_rows);
+  std::cout << "paper: environmental noise concentrates below 2 kHz, so the "
+               "2-3 kHz band keeps the probe clear of it.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Distance-adaptive authentication: the paper's Sec. V-F scenario.
+//
+// A user enrolls while standing at one comfortable distance (0.7 m). The
+// inverse-square data augmentation (Eq. 13-15) synthesizes training images
+// at other distances, so later the same user authenticates from wherever
+// they happen to stand — until the echoes fall below the sensing range
+// (paper Fig. 13: degradation past ~1 m).
+//
+// Build & run:  ./build/examples/distance_adaptive_auth
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+
+using namespace echoimage;
+
+namespace {
+
+core::Authenticator enroll_at(const core::EchoImagePipeline& pipeline,
+                              const eval::DataCollector& collector,
+                              const eval::SimulatedUser& user, bool augment) {
+  core::EnrolledUser e;
+  e.user_id = user.subject.user_id;
+  for (int visit = 0; visit < 5; ++visit) {
+    eval::CollectionConditions cond;  // 0.7 m, quiet lab
+    cond.repetition = 50 + visit;
+    const bool calibration_visit = visit == 4;
+    const auto batch = collector.collect(user, cond, 12);
+    const auto p = pipeline.process(batch.beeps, batch.noise_only);
+    if (!p.distance.valid) continue;
+    auto feats = pipeline.features_batch(
+        p.images, p.distance.user_distance_centroid_m,
+        augment && !calibration_visit);
+    // The final visit is held out (never augmented) to calibrate the
+    // accept threshold on genuinely fresh captures.
+    auto& dst = calibration_visit ? e.calibration_features : e.features;
+    for (auto& f : feats) dst.push_back(std::move(f));
+  }
+  return pipeline.enroll({e});
+}
+
+double acceptance_rate(const core::EchoImagePipeline& pipeline,
+                       const eval::DataCollector& collector,
+                       const core::Authenticator& auth,
+                       const eval::SimulatedUser& user, double distance) {
+  eval::CollectionConditions cond;
+  cond.distance_m = distance;
+  cond.repetition = 9;
+  const auto batch = collector.collect(user, cond, 8);
+  const auto p = pipeline.process(batch.beeps, batch.noise_only);
+  if (!p.distance.valid) return 0.0;
+  std::size_t accepted = 0;
+  for (const auto& img : p.images)
+    if (auth.authenticate(pipeline.features(img)).accepted) ++accepted;
+  return static_cast<double>(accepted) /
+         static_cast<double>(p.images.size());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Distance-adaptive authentication (enroll once at "
+               "0.7 m) ==\n\n";
+
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(eval::default_system_config(),
+                                         geometry);
+  const auto users = eval::make_users(eval::make_roster(), /*seed=*/33);
+  sim::CaptureConfig capture;
+  const eval::DataCollector collector(capture, geometry, 33);
+  const eval::SimulatedUser& user = users[0];
+  const eval::SimulatedUser& stranger = users[9];
+
+  std::cout << "enrolling user " << user.subject.user_id
+            << " at 0.7 m, with and without augmentation...\n\n";
+  const core::Authenticator plain =
+      enroll_at(pipeline, collector, user, /*augment=*/false);
+  const core::Authenticator augmented =
+      enroll_at(pipeline, collector, user, /*augment=*/true);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const double d : {0.6, 0.7, 0.9, 1.1, 1.3, 1.5}) {
+    rows.push_back(
+        {eval::fmt(d, 1) + " m",
+         eval::fmt(acceptance_rate(pipeline, collector, plain, user, d), 2),
+         eval::fmt(acceptance_rate(pipeline, collector, augmented, user, d),
+                   2),
+         eval::fmt(
+             acceptance_rate(pipeline, collector, augmented, stranger, d),
+             2)});
+  }
+  eval::print_table(std::cout,
+                    {"stand-off", "user (no aug)", "user (aug)",
+                     "stranger (aug)"},
+                    rows);
+
+  std::cout << "\nAugmentation widens the usable stand-off range around the "
+               "enrollment distance (the paper's Fig. 14 result). Past ~1 m "
+               "echoes weaken toward the sensor floor: acceptance collapses "
+               "(Fig. 13) and the remaining dim images lose discriminative "
+               "power, so long-range attempts should be rejected outright "
+               "by a deployment.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "array/covariance.hpp"
+
+#include <stdexcept>
+
+namespace echoimage::array {
+
+CMatrix spatial_covariance(const std::vector<ComplexSignal>& channels,
+                           std::size_t first, std::size_t count) {
+  if (channels.empty())
+    throw std::invalid_argument("spatial_covariance: no channels");
+  if (count == 0)
+    throw std::invalid_argument("spatial_covariance: empty snapshot range");
+  const std::size_t m = channels.size();
+  CMatrix r(m, m);
+  std::vector<Complex> x(m);
+  for (std::size_t t = first; t < first + count; ++t) {
+    for (std::size_t c = 0; c < m; ++c)
+      x[c] = t < channels[c].size() ? channels[c][t] : Complex(0.0, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        r(i, j) += x[i] * std::conj(x[j]);
+  }
+  const double inv_n = 1.0 / static_cast<double>(count);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) r(i, j) *= inv_n;
+  return r;
+}
+
+CMatrix normalized_covariance(const std::vector<ComplexSignal>& channels,
+                              std::size_t first, std::size_t count) {
+  CMatrix r = spatial_covariance(channels, first, count);
+  const double d = r.mean_diagonal_real();
+  if (d <= 1e-30) return CMatrix::identity(channels.size());
+  const double inv = 1.0 / d;
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < r.cols(); ++j) r(i, j) *= inv;
+  return r;
+}
+
+CMatrix white_noise_covariance(std::size_t num_mics) {
+  return CMatrix::identity(num_mics);
+}
+
+}  // namespace echoimage::array

@@ -1,0 +1,85 @@
+#include "array/doa.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace echoimage::array {
+
+using echoimage::dsp::Complex;
+using echoimage::linalg::CMatrix;
+
+DoaEstimator::DoaEstimator(DoaConfig config, ArrayGeometry geometry)
+    : config_(config), geometry_(std::move(geometry)) {
+  if (config_.azimuth_steps == 0 || config_.elevation_steps == 0)
+    throw std::invalid_argument("DoaEstimator: zero scan resolution");
+}
+
+Direction DoaEstimator::direction_at(std::size_t index) const {
+  const std::size_t az = index % config_.azimuth_steps;
+  const std::size_t el = index / config_.azimuth_steps;
+  Direction d;
+  d.theta = 2.0 * std::numbers::pi * static_cast<double>(az) /
+            static_cast<double>(config_.azimuth_steps);
+  // Elevations strictly inside (0, pi): endpoints are degenerate for a
+  // planar array.
+  d.phi = std::numbers::pi * (static_cast<double>(el) + 0.5) /
+          static_cast<double>(config_.elevation_steps);
+  return d;
+}
+
+std::vector<double> DoaEstimator::spectrum(
+    const std::vector<echoimage::dsp::ComplexSignal>& channels,
+    std::size_t first, std::size_t count) const {
+  if (channels.size() != geometry_.num_mics())
+    throw std::invalid_argument("DoaEstimator: channel/mic mismatch");
+  const CMatrix r = spatial_covariance(channels, first, count);
+  CMatrix r_inv;
+  if (config_.use_mvdr) {
+    CMatrix loaded = r;
+    loaded.add_diagonal(1e-3 * std::max(r.mean_diagonal_real(), 1e-12));
+    r_inv = echoimage::linalg::inverse(loaded);
+  }
+
+  const std::size_t n = config_.azimuth_steps * config_.elevation_steps;
+  std::vector<double> spec(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Direction d = direction_at(i);
+    const auto a = steering_vector_hz(geometry_, d, config_.freq_hz,
+                                      config_.speed_of_sound);
+    if (config_.use_mvdr) {
+      // MVDR pseudo-spectrum: 1 / (a^H R^-1 a).
+      const auto ra = echoimage::linalg::multiply(r_inv, a);
+      const Complex denom = echoimage::linalg::hdot(a, ra);
+      spec[i] = 1.0 / std::max(std::abs(denom), 1e-30);
+    } else {
+      // Steered response power: a^H R a / M^2.
+      const auto ra = echoimage::linalg::multiply(r, a);
+      const Complex num = echoimage::linalg::hdot(a, ra);
+      const double m = static_cast<double>(geometry_.num_mics());
+      spec[i] = std::abs(num) / (m * m);
+    }
+  }
+  return spec;
+}
+
+DoaEstimate DoaEstimator::estimate(
+    const std::vector<echoimage::dsp::ComplexSignal>& channels,
+    std::size_t first, std::size_t count) const {
+  const std::vector<double> spec = spectrum(channels, first, count);
+  std::size_t best = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i] > spec[best]) best = i;
+    sum += spec[i];
+  }
+  DoaEstimate out;
+  out.direction = direction_at(best);
+  out.power = spec[best];
+  out.mean_power = sum / static_cast<double>(spec.size());
+  return out;
+}
+
+}  // namespace echoimage::array

@@ -1,0 +1,56 @@
+// Direction-of-arrival estimation from the spatial power spectrum.
+//
+// Related systems (e.g. 2MA, which the paper discusses) use the DoA of
+// voice commands to detect remote attacks; this module offers the same
+// capability over our beamforming substrate: scan a grid of directions,
+// compute the steered response power (delay-and-sum SRP) or the MVDR
+// spatial spectrum, and return the maxima.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "array/beamformer.hpp"
+
+namespace echoimage::array {
+
+struct DoaConfig {
+  double freq_hz = 2500.0;        ///< narrowband analysis frequency
+  std::size_t azimuth_steps = 72; ///< theta resolution (5 degrees default)
+  std::size_t elevation_steps = 18;  ///< phi resolution over (0, pi)
+  bool use_mvdr = false;  ///< MVDR pseudo-spectrum instead of SRP
+  double speed_of_sound = kSpeedOfSound;
+};
+
+struct DoaEstimate {
+  Direction direction;     ///< spatial-spectrum argmax
+  double power = 0.0;      ///< spectrum value at the peak
+  double mean_power = 0.0; ///< average spectrum value (peak contrast ref)
+};
+
+/// Spatial spectrum scanner over analytic (or pulse-compressed) snapshots.
+class DoaEstimator {
+ public:
+  DoaEstimator(DoaConfig config, ArrayGeometry geometry);
+
+  /// Estimate from the sample covariance of snapshots [first, first+count)
+  /// of per-channel complex signals. Throws std::invalid_argument on
+  /// channel/geometry mismatch or an empty range.
+  [[nodiscard]] DoaEstimate estimate(
+      const std::vector<echoimage::dsp::ComplexSignal>& channels,
+      std::size_t first, std::size_t count) const;
+
+  /// Full spatial spectrum (row-major elevation x azimuth), for plotting.
+  [[nodiscard]] std::vector<double> spectrum(
+      const std::vector<echoimage::dsp::ComplexSignal>& channels,
+      std::size_t first, std::size_t count) const;
+
+  /// Direction corresponding to a spectrum index.
+  [[nodiscard]] Direction direction_at(std::size_t index) const;
+
+ private:
+  DoaConfig config_;
+  ArrayGeometry geometry_;
+};
+
+}  // namespace echoimage::array

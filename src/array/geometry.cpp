@@ -1,0 +1,112 @@
+#include "array/geometry.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace echoimage::array {
+
+double Vec3::norm() const { return std::sqrt(x * x + y * y + z * z); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  if (n <= 0.0) throw std::domain_error("Vec3: cannot normalize zero vector");
+  return {x / n, y / n, z / n};
+}
+
+ArrayGeometry::ArrayGeometry(std::vector<Vec3> mics) : mics_(std::move(mics)) {
+  if (mics_.empty())
+    throw std::invalid_argument("ArrayGeometry: need at least one microphone");
+}
+
+Vec3 ArrayGeometry::center() const {
+  Vec3 c;
+  for (const Vec3& m : mics_) c = c + m;
+  return c * (1.0 / static_cast<double>(mics_.size()));
+}
+
+double ArrayGeometry::aperture() const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < mics_.size(); ++i)
+    for (std::size_t j = i + 1; j < mics_.size(); ++j)
+      a = std::max(a, mics_[i].distance_to(mics_[j]));
+  return a;
+}
+
+double ArrayGeometry::min_adjacent_spacing() const {
+  if (mics_.size() < 2) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < mics_.size(); ++i) {
+    double nearest = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < mics_.size(); ++j) {
+      if (i == j) continue;
+      nearest = std::min(nearest, mics_[i].distance_to(mics_[j]));
+    }
+    best = std::min(best, nearest);
+  }
+  return best;
+}
+
+ArrayGeometry make_uniform_circular_array(std::size_t num_mics,
+                                          double adjacent_spacing_m) {
+  if (num_mics < 2)
+    throw std::invalid_argument("uniform circular array: need >= 2 mics");
+  if (adjacent_spacing_m <= 0.0)
+    throw std::invalid_argument("uniform circular array: spacing must be > 0");
+  // Chord length c between adjacent mics on a circle of radius r spanning
+  // angle 2*pi/M: c = 2 r sin(pi / M).
+  const double r = adjacent_spacing_m /
+                   (2.0 * std::sin(std::numbers::pi /
+                                   static_cast<double>(num_mics)));
+  std::vector<Vec3> mics;
+  mics.reserve(num_mics);
+  for (std::size_t m = 0; m < num_mics; ++m) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(m) /
+                       static_cast<double>(num_mics);
+    mics.push_back(Vec3{r * std::cos(ang), r * std::sin(ang), 0.0});
+  }
+  return ArrayGeometry(std::move(mics));
+}
+
+ArrayGeometry make_respeaker_array() {
+  return make_uniform_circular_array(6, 0.05);
+}
+
+ArrayGeometry make_uniform_linear_array(std::size_t num_mics,
+                                        double spacing_m) {
+  if (num_mics < 2)
+    throw std::invalid_argument("uniform linear array: need >= 2 mics");
+  if (spacing_m <= 0.0)
+    throw std::invalid_argument("uniform linear array: spacing must be > 0");
+  std::vector<Vec3> mics;
+  mics.reserve(num_mics);
+  const double half =
+      0.5 * static_cast<double>(num_mics - 1) * spacing_m;
+  for (std::size_t m = 0; m < num_mics; ++m)
+    mics.push_back(
+        Vec3{static_cast<double>(m) * spacing_m - half, 0.0, 0.0});
+  return ArrayGeometry(std::move(mics));
+}
+
+double speed_of_sound_at(double temperature_celsius) {
+  return 331.3 * std::sqrt(1.0 + temperature_celsius / 273.15);
+}
+
+double far_field_min_distance(double aperture_m, double freq_hz,
+                              double speed_of_sound) {
+  if (freq_hz <= 0.0)
+    throw std::invalid_argument("far_field_min_distance: freq must be > 0");
+  const double lambda = speed_of_sound / freq_hz;
+  return 2.0 * aperture_m * aperture_m / lambda;
+}
+
+double max_unambiguous_frequency(double spacing_m, double speed_of_sound) {
+  if (spacing_m <= 0.0)
+    throw std::invalid_argument(
+        "max_unambiguous_frequency: spacing must be > 0");
+  // spacing < lambda / 2  <=>  f < c / (2 * spacing)
+  return speed_of_sound / (2.0 * spacing_m);
+}
+
+}  // namespace echoimage::array

@@ -1,0 +1,93 @@
+// Microphone array geometry (paper Sec. III-C and V-A).
+//
+// The reference device is a ReSpeaker-class uniform circular array: six
+// microphones on a circle with ~5 cm adjacent spacing, speaker at the array
+// center. Arbitrary geometries are supported for tests and ablations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace echoimage::array {
+
+/// Speed of sound used throughout the paper's formulas (m/s, ~20 C air).
+inline constexpr double kSpeedOfSound = 343.0;
+
+/// Speed of sound in air at a given temperature (m/s): c = 331.3 *
+/// sqrt(1 + T/273.15). A 10 C room-to-room difference shifts ranges by
+/// ~1.7%, i.e. ~1 cm at the paper's 0.7 m operating distance — worth
+/// calibrating on devices deployed across climates.
+[[nodiscard]] double speed_of_sound_at(double temperature_celsius);
+
+/// 3-D point / vector with the handful of operations array processing needs.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  [[nodiscard]] Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  [[nodiscard]] Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  [[nodiscard]] Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  [[nodiscard]] double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] double norm() const;
+  [[nodiscard]] double distance_to(const Vec3& o) const {
+    return (*this - o).norm();
+  }
+  /// Unit vector in the same direction; throws std::domain_error for the
+  /// zero vector.
+  [[nodiscard]] Vec3 normalized() const;
+};
+
+/// Positions of the M microphones (paper Eq. 3-4), origin at array center.
+class ArrayGeometry {
+ public:
+  ArrayGeometry() = default;
+  explicit ArrayGeometry(std::vector<Vec3> mics);
+
+  [[nodiscard]] std::size_t num_mics() const { return mics_.size(); }
+  [[nodiscard]] const Vec3& mic(std::size_t m) const { return mics_[m]; }
+  [[nodiscard]] const std::vector<Vec3>& mics() const { return mics_; }
+
+  /// Centroid of the microphone positions.
+  [[nodiscard]] Vec3 center() const;
+
+  /// Largest pairwise microphone distance (the array aperture).
+  [[nodiscard]] double aperture() const;
+
+  /// Smallest adjacent-pair distance (for the grating-lobe criterion).
+  [[nodiscard]] double min_adjacent_spacing() const;
+
+ private:
+  std::vector<Vec3> mics_;
+};
+
+/// Uniform circular array of `num_mics` microphones in the x-y plane
+/// (z = 0), centered at the origin, with the given *adjacent* microphone
+/// spacing (paper: 6 mics, ~5 cm spacing -> radius 5 cm).
+[[nodiscard]] ArrayGeometry make_uniform_circular_array(
+    std::size_t num_mics, double adjacent_spacing_m);
+
+/// ReSpeaker-like default: 6 mics, 5 cm adjacent spacing.
+[[nodiscard]] ArrayGeometry make_respeaker_array();
+
+/// Uniform linear array along the x axis, centered on the origin — the
+/// textbook geometry, useful for tests and for devices with bar-style
+/// microphone layouts.
+[[nodiscard]] ArrayGeometry make_uniform_linear_array(std::size_t num_mics,
+                                                      double spacing_m);
+
+/// Far-field minimum distance (paper Eq. 1): L >= 2 d^2 / lambda, where d is
+/// the array aperture and lambda the wavelength of `freq_hz`.
+[[nodiscard]] double far_field_min_distance(double aperture_m, double freq_hz,
+                                            double speed_of_sound = kSpeedOfSound);
+
+/// Highest frequency free of grating lobes for the given microphone spacing
+/// (spacing < lambda/2, paper Sec. V-A).
+[[nodiscard]] double max_unambiguous_frequency(
+    double spacing_m, double speed_of_sound = kSpeedOfSound);
+
+}  // namespace echoimage::array

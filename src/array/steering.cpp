@@ -1,0 +1,66 @@
+#include "array/steering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace echoimage::array {
+
+Direction direction_to_point(const Vec3& p) {
+  const double r = p.norm();
+  if (r <= 0.0)
+    throw std::domain_error("direction_to_point: point at the origin");
+  Direction d;
+  d.phi = std::acos(std::clamp(p.z / r, -1.0, 1.0));
+  d.theta = std::atan2(p.y, p.x);
+  return d;
+}
+
+Vec3 line_of_sight(const Direction& dir) {
+  const double sp = std::sin(dir.phi);
+  return Vec3{sp * std::cos(dir.theta), sp * std::sin(dir.theta),
+              std::cos(dir.phi)};
+}
+
+Vec3 propagation_vector(const Direction& dir) {
+  return line_of_sight(dir) * -1.0;
+}
+
+double tdoa(const ArrayGeometry& geom, const Direction& dir, std::size_t mic,
+            double speed_of_sound) {
+  const Vec3 v = propagation_vector(dir);
+  return v.dot(geom.mic(mic)) / speed_of_sound;
+}
+
+std::vector<double> tdoas(const ArrayGeometry& geom, const Direction& dir,
+                          double speed_of_sound) {
+  std::vector<double> out(geom.num_mics());
+  const Vec3 v = propagation_vector(dir);
+  for (std::size_t m = 0; m < geom.num_mics(); ++m)
+    out[m] = v.dot(geom.mic(m)) / speed_of_sound;
+  return out;
+}
+
+std::vector<Complex> steering_vector(const ArrayGeometry& geom,
+                                     const Direction& dir, double omega,
+                                     double speed_of_sound) {
+  std::vector<Complex> a(geom.num_mics());
+  const Vec3 v = propagation_vector(dir);
+  for (std::size_t m = 0; m < geom.num_mics(); ++m) {
+    // a_m = exp(-j k^T p_m) with k = (omega / c) v(Omega): conjugate of
+    // the arriving wave's phase so that w ~ a aligns the channels.
+    const double phase = -(omega / speed_of_sound) * v.dot(geom.mic(m));
+    a[m] = std::polar(1.0, phase);
+  }
+  return a;
+}
+
+std::vector<Complex> steering_vector_hz(const ArrayGeometry& geom,
+                                        const Direction& dir, double freq_hz,
+                                        double speed_of_sound) {
+  return steering_vector(geom, dir, 2.0 * std::numbers::pi * freq_hz,
+                         speed_of_sound);
+}
+
+}  // namespace echoimage::array

@@ -1,0 +1,47 @@
+#include "core/augment.hpp"
+
+#include <stdexcept>
+
+namespace echoimage::core {
+
+DataAugmenter::DataAugmenter(ImagingConfig config)
+    : config_(std::move(config)) {}
+
+Matrix2D DataAugmenter::transform(const Matrix2D& image, double from_m,
+                                  double to_m) const {
+  if (image.rows() != config_.grid_size || image.cols() != config_.grid_size)
+    throw std::invalid_argument("DataAugmenter: image/grid size mismatch");
+  if (from_m <= 0.0 || to_m <= 0.0)
+    throw std::invalid_argument("DataAugmenter: distances must be positive");
+  Matrix2D out(image.rows(), image.cols());
+  for (std::size_t r = 0; r < image.rows(); ++r) {
+    for (std::size_t c = 0; c < image.cols(); ++c) {
+      const double dk = grid_distance(config_, r, c, from_m);
+      const double dk2 = grid_distance(config_, r, c, to_m);
+      const double scale = (dk / dk2) * (dk / dk2);  // Eq. 15
+      out(r, c) = scale * image(r, c);
+    }
+  }
+  return out;
+}
+
+AcousticImage DataAugmenter::transform(const AcousticImage& image,
+                                       double from_m, double to_m) const {
+  AcousticImage out;
+  out.bands.reserve(image.bands.size());
+  for (const Matrix2D& b : image.bands)
+    out.bands.push_back(transform(b, from_m, to_m));
+  return out;
+}
+
+std::vector<Matrix2D> DataAugmenter::synthesize(
+    const Matrix2D& image, double from_m,
+    const std::vector<double>& target_distances_m) const {
+  std::vector<Matrix2D> out;
+  out.reserve(target_distances_m.size());
+  for (const double d : target_distances_m)
+    out.push_back(transform(image, from_m, d));
+  return out;
+}
+
+}  // namespace echoimage::core

@@ -1,0 +1,38 @@
+// Data augmentation by distance re-projection (paper Sec. V-F).
+//
+// From the inverse-square law, an echo gathered from grid k at plane
+// distance D_p would have arrived with amplitude scaled by (D_k / D'_k)^2
+// had the user stood at D'_p instead (Eq. 13-15). Transforming real images
+// this way synthesizes training samples at distances the user never
+// actually stood at, shrinking the enrollment burden.
+#pragma once
+
+#include <vector>
+
+#include "core/imaging.hpp"
+
+namespace echoimage::core {
+
+class DataAugmenter {
+ public:
+  /// The imaging config fixes the grid geometry (x_k, z_k per pixel).
+  explicit DataAugmenter(ImagingConfig config);
+
+  /// Re-project one image from plane distance `from_m` to `to_m` (Eq. 15).
+  [[nodiscard]] Matrix2D transform(const Matrix2D& image, double from_m,
+                                   double to_m) const;
+
+  /// Per-band re-projection (Eq. 15 applies to every spectral band alike).
+  [[nodiscard]] AcousticImage transform(const AcousticImage& image,
+                                        double from_m, double to_m) const;
+
+  /// Synthesize one image per target distance.
+  [[nodiscard]] std::vector<Matrix2D> synthesize(
+      const Matrix2D& image, double from_m,
+      const std::vector<double>& target_distances_m) const;
+
+ private:
+  ImagingConfig config_;
+};
+
+}  // namespace echoimage::core

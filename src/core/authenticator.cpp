@@ -1,0 +1,163 @@
+#include "core/authenticator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/serialize.hpp"
+
+namespace echoimage::core {
+
+Authenticator Authenticator::train(const std::vector<EnrolledUser>& users,
+                                   const AuthenticatorConfig& config) {
+  if (users.empty())
+    throw std::invalid_argument("Authenticator: no enrolled users");
+  std::vector<std::vector<double>> all;
+  std::vector<int> labels;
+  for (const EnrolledUser& u : users) {
+    if (u.features.empty())
+      throw std::invalid_argument("Authenticator: user with no features");
+    for (const auto& f : u.features) {
+      all.push_back(f);
+      labels.push_back(u.user_id);
+    }
+  }
+
+  Authenticator model;
+  model.num_users_ = users.size();
+  model.single_user_id_ = users.front().user_id;
+  model.require_consistency_ = config.require_consistency;
+  model.scaler_.fit(all);
+  const std::vector<std::vector<double>> scaled =
+      model.scaler_.transform_batch(all);
+
+  echoimage::ml::KernelParams kernel = config.kernel;
+  if (kernel.type == echoimage::ml::KernelType::kRbf && kernel.gamma <= 0.0)
+    kernel.gamma =
+        config.gamma_scale * echoimage::ml::rbf_gamma_median(scaled);
+
+  // One SVDD per user. Enrollment is split into SVDD-fit and threshold-
+  // calibration parts (every k-th sample held out, spreading the hold-out
+  // across stances); the raw kernel-sphere radius is badly scaled in high
+  // dimensions, so each accept threshold is set from that user's held-out
+  // distances instead.
+  const double calib_frac =
+      std::clamp(config.calibration_fraction, 0.0, 0.5);
+  for (const EnrolledUser& u : users) {
+    const std::vector<std::vector<double>> user_scaled =
+        model.scaler_.transform_batch(u.features);
+    std::vector<std::vector<double>> fit_set;
+    std::vector<std::vector<double>> calib_set;
+    if (!u.calibration_features.empty()) {
+      fit_set = user_scaled;
+      calib_set = model.scaler_.transform_batch(u.calibration_features);
+    } else if (calib_frac > 0.0 && user_scaled.size() >= 8) {
+      const std::size_t stride =
+          std::max<std::size_t>(2, static_cast<std::size_t>(
+                                       std::lround(1.0 / calib_frac)));
+      for (std::size_t i = 0; i < user_scaled.size(); ++i)
+        ((i % stride == stride - 1) ? calib_set : fit_set)
+            .push_back(user_scaled[i]);
+    } else {
+      fit_set = user_scaled;
+    }
+    model.gates_.push_back(
+        echoimage::ml::Svdd::train(fit_set, kernel, config.svdd));
+
+    std::vector<double> calib_d2;
+    for (const auto& x : (calib_set.empty() ? fit_set : calib_set))
+      calib_d2.push_back(model.gates_.back().distance_sq(x));
+    std::sort(calib_d2.begin(), calib_d2.end());
+    const double q95 = calib_d2[std::min(
+        calib_d2.size() - 1,
+        static_cast<std::size_t>(0.95 *
+                                 static_cast<double>(calib_d2.size())))];
+    model.accept_thresholds_.push_back(config.accept_slack * q95);
+    model.gate_user_ids_.push_back(u.user_id);
+  }
+
+  if (model.num_users_ > 1)
+    model.identifier_ = echoimage::ml::MultiClassSvm::train(scaled, labels,
+                                                            kernel, config.svm);
+  return model;
+}
+
+AuthDecision Authenticator::authenticate(
+    const std::vector<double>& feature) const {
+  if (num_users_ == 0 || gates_.empty())
+    throw std::logic_error("Authenticator: not trained");
+  const std::vector<double> x = scaler_.transform(feature);
+  AuthDecision d;
+  // Score: best calibrated-threshold margin over users' balls, normalized
+  // per ball (positive accepts).
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_gate = 0;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const double thr = std::max(accept_thresholds_[i], 1e-12);
+    const double margin = 1.0 - gates_[i].distance_sq(x) / thr;
+    if (margin > best) {
+      best = margin;
+      best_gate = i;
+    }
+  }
+  d.svdd_score = best;
+  d.accepted = d.svdd_score >= 0.0;
+  if (!d.accepted) return d;
+  d.user_id = num_users_ > 1 ? identifier_.predict(x) : single_user_id_;
+  // Cascade consistency: the winning one-class ball and the SVM must name
+  // the same user, otherwise the sample is between identities — a spoofer
+  // signature.
+  if (require_consistency_ && num_users_ > 1 &&
+      gate_user_ids_[best_gate] != d.user_id) {
+    d.accepted = false;
+    d.user_id = -1;
+  }
+  return d;
+}
+
+void Authenticator::save(std::ostream& os) const {
+  using namespace echoimage::ml;
+  write_tag(os, "echoimage_authenticator_v1");
+  write_size(os, num_users_);
+  os << single_user_id_ << '\n';
+  write_size(os, require_consistency_ ? 1 : 0);
+  echoimage::ml::save(os, scaler_);
+  write_size(os, gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    os << gate_user_ids_[i] << '\n';
+    write_double(os, accept_thresholds_[i]);
+    echoimage::ml::save(os, gates_[i]);
+  }
+  write_size(os, num_users_ > 1 ? 1 : 0);
+  if (num_users_ > 1) echoimage::ml::save(os, identifier_);
+}
+
+Authenticator Authenticator::load(std::istream& is) {
+  using namespace echoimage::ml;
+  expect_tag(is, "echoimage_authenticator_v1");
+  Authenticator a;
+  a.num_users_ = read_size(is);
+  if (!(is >> a.single_user_id_))
+    throw std::runtime_error("authenticator: missing single user id");
+  a.require_consistency_ = read_size(is) != 0;
+  a.scaler_ = load_scaler(is);
+  const std::size_t n_gates = read_size(is);
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    int id = 0;
+    if (!(is >> id))
+      throw std::runtime_error("authenticator: missing gate user id");
+    a.gate_user_ids_.push_back(id);
+    a.accept_thresholds_.push_back(read_double(is));
+    a.gates_.push_back(load_svdd(is));
+  }
+  if (read_size(is) != 0) a.identifier_ = load_multiclass_svm(is);
+  if (a.num_users_ > 0 && a.gates_.empty())
+    throw std::runtime_error("authenticator: trained model without gates");
+  return a;
+}
+
+}  // namespace echoimage::core

@@ -1,0 +1,100 @@
+// User authentication from extracted features (paper Sec. V-E, Fig. 10).
+//
+// Single-user mode: one SVDD trained on the lone legitimate user's features
+// decides accept/reject. Multi-user mode: one SVDD trained on *all*
+// legitimate users gates spoofers; samples that pass are identified by an
+// n-class (one-vs-one) SVM.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/scaler.hpp"
+#include "ml/svdd.hpp"
+#include "ml/svm.hpp"
+
+namespace echoimage::core {
+
+/// Enrollment data: one entry per registered user.
+struct EnrolledUser {
+  int user_id = 0;
+  std::vector<std::vector<double>> features;
+  /// Optional held-out captures (e.g. a final enrollment visit, without
+  /// augmentation) used to calibrate the SVDD accept threshold. When empty,
+  /// a stride hold-out of `features` is used instead — fine for plain
+  /// enrollment, but biased when `features` contains augmented copies
+  /// (synthesized samples sit arbitrarily close to their source, deflating
+  /// hold-out distances and hence the threshold).
+  std::vector<std::vector<double>> calibration_features;
+};
+
+struct AuthenticatorConfig {
+  echoimage::ml::SvmTrainParams svm{};
+  echoimage::ml::SvddTrainParams svdd{};
+  /// Kernel for both classifiers; gamma <= 0 selects the median-pairwise-
+  /// distance heuristic computed on the standardized training features.
+  echoimage::ml::KernelParams kernel{echoimage::ml::KernelType::kRbf, 0.0};
+  /// Multiplier on the heuristic gamma. Values < 1 widen the kernel so the
+  /// SVDD decision surface stays informative at the typical distance of a
+  /// *fresh* capture from the enrollment manifold (which is several times
+  /// the within-enrollment spread).
+  double gamma_scale = 1.0;
+  /// Fraction of each user's enrollment held out to calibrate the SVDD
+  /// accept threshold (the raw kernel-sphere radius is badly scaled in
+  /// high-dimensional feature spaces).
+  double calibration_fraction = 0.25;
+  /// Accept threshold = `accept_slack` x the 95th percentile of held-out
+  /// legitimate distances. >1 favors recall, <1 favors spoofer rejection.
+  double accept_slack = 1.1;
+  /// Require the nearest SVDD ball and the SVM identification to agree
+  /// (multi-user mode): a sample that passes user i's gate but is
+  /// identified as user j is suspicious and rejected.
+  bool require_consistency = false;
+};
+
+/// Outcome of one authentication attempt.
+struct AuthDecision {
+  bool accepted = false;  ///< passed the SVDD spoofer gate
+  int user_id = -1;       ///< identified registered user (when accepted)
+  double svdd_score = 0.0;  ///< SVDD decision value (>= 0 accepts)
+};
+
+class Authenticator {
+ public:
+  Authenticator() = default;
+
+  /// Train from enrolled users' features. Throws std::invalid_argument when
+  /// no user or no features are given.
+  static Authenticator train(const std::vector<EnrolledUser>& users,
+                             const AuthenticatorConfig& config = {});
+
+  /// Authenticate one feature vector.
+  [[nodiscard]] AuthDecision authenticate(
+      const std::vector<double>& feature) const;
+
+  [[nodiscard]] std::size_t num_users() const { return num_users_; }
+  [[nodiscard]] bool is_multi_user() const { return num_users_ > 1; }
+
+  /// Persist the trained model (scaler + per-user SVDD gates + SVM) so an
+  /// enrollment database survives restarts. `load` throws
+  /// std::runtime_error on malformed input.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static Authenticator load(std::istream& is);
+
+ private:
+  std::size_t num_users_ = 0;
+  int single_user_id_ = -1;
+  echoimage::ml::StandardScaler scaler_;
+  /// One SVDD per registered user (multi-modal domain description): a
+  /// sample passes the spoofer gate when it falls inside *some* user's
+  /// calibrated ball. A single ball over all users would also enclose the
+  /// inter-user gaps where spoofers live.
+  std::vector<echoimage::ml::Svdd> gates_;
+  std::vector<double> accept_thresholds_;  ///< calibrated dist^2 bounds
+  std::vector<int> gate_user_ids_;         ///< user per gate (train order)
+  bool require_consistency_ = true;
+  echoimage::ml::MultiClassSvm identifier_;  ///< trained only when n > 1
+};
+
+}  // namespace echoimage::core

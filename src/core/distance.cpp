@@ -1,0 +1,192 @@
+#include "core/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/butterworth.hpp"
+#include "dsp/hilbert.hpp"
+#include "dsp/matched_filter.hpp"
+
+namespace echoimage::core {
+
+using echoimage::array::NarrowbandBeamformer;
+using echoimage::dsp::ComplexSignal;
+
+DistanceEstimator::DistanceEstimator(DistanceEstimatorConfig config,
+                                     ArrayGeometry geometry)
+    : config_(std::move(config)),
+      geometry_(std::move(geometry)),
+      bandpass_filter_(echoimage::dsp::butterworth_bandpass(
+          config_.bandpass_order, config_.bandpass_low_hz,
+          config_.bandpass_high_hz, config_.sample_rate)),
+      chirp_template_(
+          echoimage::dsp::Chirp(config_.chirp).sample(config_.sample_rate)) {
+  if (config_.mode == SteeringMode::kSingleMic &&
+      config_.single_mic_index >= geometry_.num_mics())
+    throw std::invalid_argument("DistanceEstimator: bad single_mic_index");
+}
+
+MultiChannelSignal DistanceEstimator::bandpass(
+    const MultiChannelSignal& capture) const {
+  MultiChannelSignal out;
+  out.channels.reserve(capture.num_channels());
+  for (const Signal& ch : capture.channels)
+    out.channels.push_back(bandpass_filter_.filtfilt(ch));
+  return out;
+}
+
+Signal DistanceEstimator::beep_envelope(
+    const MultiChannelSignal& beep,
+    const MultiChannelSignal& noise_only) const {
+  const MultiChannelSignal filtered = bandpass(beep);
+
+  ComplexSignal steered;
+  if (config_.mode == SteeringMode::kSingleMic) {
+    steered = echoimage::dsp::analytic_signal(
+        filtered.channels[config_.single_mic_index]);
+  } else {
+    // Noise covariance from the separate noise-only capture when provided
+    // (the paper's rho_n); spatially white otherwise.
+    const bool have_noise =
+        noise_only.num_channels() == filtered.num_channels() &&
+        noise_only.length() > 0;
+    const echoimage::array::CMatrix cov =
+        have_noise
+            ? echoimage::array::noise_covariance_of(bandpass(noise_only))
+            : echoimage::array::white_noise_covariance(geometry_.num_mics());
+    const NarrowbandBeamformer bf(filtered, config_.sample_rate,
+                                  config_.chirp.center_frequency_hz(),
+                                  geometry_, cov, config_.speed_of_sound);
+    steered = config_.mode == SteeringMode::kMvdr
+                  ? bf.steer(config_.steer)
+                  : bf.steer_das(config_.steer);
+  }
+
+  Signal env = echoimage::dsp::matched_filter_envelope(steered,
+                                                       chirp_template_);
+  return echoimage::dsp::moving_average(env, config_.envelope_smooth_samples);
+}
+
+DistanceEstimate DistanceEstimator::estimate(
+    const std::vector<MultiChannelSignal>& beeps,
+    const MultiChannelSignal& noise_only) const {
+  if (beeps.empty())
+    throw std::invalid_argument("DistanceEstimator: no beeps");
+
+  DistanceEstimate out;
+  // E(t) = (1/L) sum_l |E_l(t)|^2 (Eq. 10).
+  Signal e;
+  for (const MultiChannelSignal& beep : beeps) {
+    const Signal el = beep_envelope(beep, noise_only);
+    if (e.empty()) e.assign(el.size(), 0.0);
+    for (std::size_t i = 0; i < std::min(e.size(), el.size()); ++i)
+      e[i] += el[i] * el[i];
+  }
+  const double inv_l = 1.0 / static_cast<double>(beeps.size());
+  for (double& v : e) v *= inv_l;
+  out.averaged_envelope = e;
+
+  const std::size_t min_sep = std::max<std::size_t>(
+      1, echoimage::dsp::seconds_to_samples(config_.peak_min_separation_s,
+                                            config_.sample_rate));
+
+  // tau_1: the maximum of E(t) within the first millisecond — the direct
+  // speaker->mic sound arrives within centimeters of flight, so searching
+  // only there keeps a strong body echo from being mistaken for it (paper:
+  // "the first local maximum point tau_1 ... corresponds to the chirp
+  // signal traveled directly from the speaker").
+  const std::size_t direct_end_search = std::min(
+      e.size(), std::max<std::size_t>(1, echoimage::dsp::seconds_to_samples(
+                                             config_.direct_search_window_s,
+                                             config_.sample_rate)));
+  std::size_t tau1 = 0;
+  for (std::size_t i = 1; i < direct_end_search; ++i)
+    if (e[i] > e[tau1]) tau1 = i;
+  out.tau_direct_s =
+      echoimage::dsp::samples_to_seconds(tau1, config_.sample_rate);
+
+  // Chirp period: config_.chirp_period_s after tau_1; echo period: the next
+  // echo_period_s. Peaks are thresholded relative to the echo window's own
+  // maximum (the direct path would otherwise mask every echo).
+  const std::size_t chirp_end =
+      tau1 + echoimage::dsp::seconds_to_samples(
+                 config_.chirp_period_s + config_.echo_guard_s,
+                 config_.sample_rate);
+  const std::size_t echo_end = std::min(
+      e.size(),
+      chirp_end + echoimage::dsp::seconds_to_samples(config_.echo_period_s,
+                                                     config_.sample_rate));
+  if (chirp_end >= e.size()) return out;
+  const Signal window = echoimage::dsp::moving_average(
+      std::span<const double>(e.data() + chirp_end, echo_end - chirp_end),
+      config_.echo_window_smooth_samples);
+  std::vector<echoimage::dsp::Peak> window_peaks =
+      echoimage::dsp::find_peaks_relative(window, min_sep,
+                                          config_.peak_relative_threshold);
+  out.peaks.push_back(echoimage::dsp::Peak{tau1, e[tau1]});
+  const std::size_t edge_guard = echoimage::dsp::seconds_to_samples(
+      0.0004, config_.sample_rate);
+  for (echoimage::dsp::Peak& p : window_peaks) {
+    // A "peak" hugging the window edge is the decaying direct-path skirt
+    // (E is even higher just before the window), not a local maximum.
+    if (p.index < edge_guard) continue;
+    p.index += chirp_end;
+    out.peaks.push_back(p);
+  }
+  const echoimage::dsp::Peak echo =
+      echoimage::dsp::largest_peak_in_range(out.peaks, chirp_end, echo_end);
+  if (echo.index == static_cast<std::size_t>(-1)) return out;
+
+  // Reject spurious detections: the echo must stand clear of the noise
+  // floor, estimated as the median of the *tail half* of the window (the
+  // head may contain the body echo itself).
+  Signal sorted(window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2),
+                window.end());
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double floor = sorted[sorted.size() / 2];
+  if (floor > 0.0 && echo.value < config_.min_peak_prominence * floor)
+    return out;
+
+  out.tau_echo_s =
+      echoimage::dsp::samples_to_seconds(echo.index, config_.sample_rate);
+  const double rel = out.tau_echo_s - out.tau_direct_s;
+  out.slant_distance_m = rel * config_.speed_of_sound / 2.0;
+  const double projection =
+      std::sin(config_.steer.phi) * std::sin(config_.steer.theta);
+  out.user_distance_m = out.slant_distance_m * projection;
+
+  // Local energy centroid around the detected body peak (floor-subtracted):
+  // smoother than the raw peak yet not pulled toward other echoes in the
+  // window; used as the imaging anchor.
+  const std::size_t local_halfwidth = echoimage::dsp::seconds_to_samples(
+      0.0012, config_.sample_rate);
+  const std::size_t local_lo =
+      echo.index > chirp_end + local_halfwidth
+          ? echo.index - local_halfwidth - chirp_end
+          : 0;
+  const std::size_t local_hi = std::min(
+      window.size(), echo.index + local_halfwidth + 1 - chirp_end);
+  double wsum = 0.0, tsum = 0.0;
+  for (std::size_t i = local_lo; i < local_hi; ++i) {
+    const double w = std::max(0.0, window[i] - floor);
+    wsum += w;
+    tsum += w * static_cast<double>(chirp_end + i);
+  }
+  if (wsum > 0.0) {
+    out.tau_echo_centroid_s = echoimage::dsp::samples_to_seconds(
+        static_cast<std::size_t>(tsum / wsum), config_.sample_rate);
+    out.user_distance_centroid_m =
+        (out.tau_echo_centroid_s - out.tau_direct_s) *
+        config_.speed_of_sound / 2.0 * projection;
+  } else {
+    out.tau_echo_centroid_s = out.tau_echo_s;
+    out.user_distance_centroid_m = out.user_distance_m;
+  }
+
+  out.valid = out.slant_distance_m > 0.0;
+  return out;
+}
+
+}  // namespace echoimage::core

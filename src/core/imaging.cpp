@@ -1,0 +1,230 @@
+#include "core/imaging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "array/steering.hpp"
+#include "dsp/butterworth.hpp"
+#include "dsp/hilbert.hpp"
+#include "dsp/matched_filter.hpp"
+
+namespace echoimage::core {
+
+using echoimage::array::Direction;
+using echoimage::array::NarrowbandBeamformer;
+
+namespace {
+
+// Grid center in array coordinates: columns span x (lateral), rows span z
+// (vertical, row 0 on top), the plane sits at y = D_p.
+echoimage::array::Vec3 grid_center(const ImagingConfig& config,
+                                   std::size_t row, std::size_t col,
+                                   double plane_distance_m) {
+  const double half =
+      0.5 * static_cast<double>(config.grid_size - 1) * config.grid_spacing_m;
+  const double x = static_cast<double>(col) * config.grid_spacing_m - half;
+  const double z = config.plane_center_z_m + half -
+                   static_cast<double>(row) * config.grid_spacing_m;
+  return {x, plane_distance_m, z};
+}
+
+}  // namespace
+
+double grid_distance(const ImagingConfig& config, std::size_t row,
+                     std::size_t col, double plane_distance_m) {
+  return grid_center(config, row, col, plane_distance_m).norm();
+}
+
+AcousticImager::AcousticImager(ImagingConfig config, ArrayGeometry geometry)
+    : config_(std::move(config)),
+      geometry_(std::move(geometry)),
+      bandpass_filter_(echoimage::dsp::butterworth_bandpass(
+          config_.bandpass_order, config_.bandpass_low_hz,
+          config_.bandpass_high_hz, config_.sample_rate)) {
+  if (config_.grid_size == 0)
+    throw std::invalid_argument("AcousticImager: grid_size must be positive");
+  if (config_.grid_spacing_m <= 0.0)
+    throw std::invalid_argument("AcousticImager: grid spacing must be > 0");
+  if (config_.num_subbands == 0)
+    throw std::invalid_argument("AcousticImager: need at least one subband");
+  // Subband filters for frequency compounding, plus the matched-filter
+  // template each band compresses against.
+  const echoimage::dsp::Signal full_template =
+      echoimage::dsp::Chirp(config_.chirp).sample(config_.sample_rate);
+  const double lo = config_.bandpass_low_hz;
+  const double width = (config_.bandpass_high_hz - config_.bandpass_low_hz) /
+                       static_cast<double>(config_.num_subbands);
+  for (std::size_t b = 0; b < config_.num_subbands; ++b) {
+    const double b_lo = lo + static_cast<double>(b) * width;
+    const double b_hi = b_lo + width;
+    subband_centers_.push_back(0.5 * (b_lo + b_hi));
+    if (config_.num_subbands > 1) {
+      subband_filters_.push_back(echoimage::dsp::butterworth_bandpass(
+          2, b_lo, b_hi, config_.sample_rate));
+      subband_templates_.push_back(
+          subband_filters_.back().filtfilt(full_template));
+    } else {
+      subband_templates_.push_back(full_template);
+    }
+  }
+}
+
+void AcousticImager::prepare(const MultiChannelSignal& beep,
+                             const MultiChannelSignal& noise_only,
+                             double tau_direct_s,
+                             MultiChannelSignal& filtered,
+                             MultiChannelSignal& noise_f,
+                             bool& have_noise) const {
+  // Band-pass all channels to the probing band.
+  filtered.channels.clear();
+  filtered.channels.reserve(beep.num_channels());
+  for (const auto& ch : beep.channels)
+    filtered.channels.push_back(bandpass_filter_.filtfilt(ch));
+
+  // Self-interference removal: zero the direct speaker->mic chirp region
+  // (it is ~50 dB above body echoes and its analytic-signal tails would
+  // otherwise smear across the echo window).
+  if (config_.suppress_direct) {
+    const std::size_t direct_end = echoimage::dsp::seconds_to_samples(
+        tau_direct_s + config_.chirp.duration_s + config_.direct_guard_s,
+        config_.sample_rate);
+    for (auto& ch : filtered.channels) {
+      const std::size_t n = std::min(direct_end, ch.size());
+      std::fill(ch.begin(), ch.begin() + static_cast<std::ptrdiff_t>(n), 0.0);
+    }
+  }
+
+  have_noise = noise_only.num_channels() == filtered.num_channels() &&
+               noise_only.length() > 0;
+  noise_f.channels.clear();
+  if (have_noise) {
+    noise_f.channels.reserve(noise_only.num_channels());
+    for (const auto& ch : noise_only.channels)
+      noise_f.channels.push_back(bandpass_filter_.filtfilt(ch));
+  }
+}
+
+void AcousticImager::accumulate_band(std::size_t band,
+                                     const MultiChannelSignal& filtered,
+                                     const MultiChannelSignal& noise_f,
+                                     bool have_noise, double plane_distance_m,
+                                     double tau_direct_s, double tau_echo_s,
+                                     Matrix2D& image) const {
+  const double gate_extra = config_.chirp.duration_s;  // echo smear length
+
+  // Subband isolation (skipped when only one band is configured).
+  const MultiChannelSignal* band_signal = &filtered;
+  MultiChannelSignal band_filtered;
+  echoimage::array::CMatrix cov =
+      echoimage::array::white_noise_covariance(filtered.num_channels());
+  if (config_.num_subbands > 1) {
+    const auto& f = subband_filters_[band];
+    band_filtered.channels.reserve(filtered.num_channels());
+    for (const auto& ch : filtered.channels)
+      band_filtered.channels.push_back(f.filtfilt(ch));
+    band_signal = &band_filtered;
+    if (have_noise) {
+      MultiChannelSignal band_noise;
+      band_noise.channels.reserve(noise_f.num_channels());
+      for (const auto& ch : noise_f.channels)
+        band_noise.channels.push_back(f.filtfilt(ch));
+      cov = echoimage::array::noise_covariance_of(band_noise);
+    }
+  } else if (have_noise) {
+    cov = echoimage::array::noise_covariance_of(noise_f);
+  }
+
+  // Per-channel complex signals: analytic, then (optionally) pulse-
+  // compressed against this band's chirp template. Matched filtering
+  // commutes with the linear beamformer, so compressing per channel once
+  // is equivalent to compressing every steered output.
+  std::vector<echoimage::dsp::ComplexSignal> channels;
+  channels.reserve(band_signal->num_channels());
+  for (const auto& ch : band_signal->channels) {
+    echoimage::dsp::ComplexSignal a = echoimage::dsp::analytic_signal(ch);
+    if (config_.pulse_compression)
+      a = echoimage::dsp::matched_filter_complex(a, subband_templates_[band]);
+    channels.push_back(std::move(a));
+  }
+  const NarrowbandBeamformer bf(std::move(channels), config_.sample_rate,
+                                subband_centers_[band], geometry_, cov,
+                                config_.speed_of_sound);
+
+  for (std::size_t row = 0; row < config_.grid_size; ++row) {
+    for (std::size_t col = 0; col < config_.grid_size; ++col) {
+      const echoimage::array::Vec3 p =
+          grid_center(config_, row, col, plane_distance_m);
+      const Direction dir = echoimage::array::direction_to_point(p);
+      const double dk = p.norm();
+      // Echoes from grid k: the compressed pulse peaks at the onset
+      // 2 Dk/c; without compression the raw chirp occupies a further
+      // chirp-length of samples. With echo anchoring the gate tracks the
+      // measured echo time, cancelling constant detection bias.
+      const bool anchored = config_.anchor_to_echo && tau_echo_s >= 0.0;
+      const double onset =
+          anchored ? tau_echo_s + 2.0 * (dk - plane_distance_m) /
+                                      config_.speed_of_sound
+                   : tau_direct_s + 2.0 * dk / config_.speed_of_sound;
+      const double t0 = onset - config_.gate_halfwidth_s;
+      const double t1 = onset + config_.gate_halfwidth_s +
+                        (config_.pulse_compression ? 0.0 : gate_extra);
+      const std::size_t first = echoimage::dsp::seconds_to_samples(
+          std::max(0.0, t0), config_.sample_rate);
+      const std::size_t last = echoimage::dsp::seconds_to_samples(
+          std::max(0.0, t1), config_.sample_rate);
+      const std::size_t count = last > first ? last - first : 0;
+      const double mix = std::clamp(config_.incoherent_mix, 0.0, 1.0);
+      double e = 0.0;
+      if (mix < 1.0)
+        e += (1.0 - mix) *
+             bf.steered_energy(dir, first, count, config_.use_mvdr);
+      if (mix > 0.0) e += mix * bf.incoherent_energy(first, count);
+      image(row, col) += e;
+    }
+  }
+}
+
+Matrix2D AcousticImager::construct(const MultiChannelSignal& beep,
+                                   double plane_distance_m,
+                                   double tau_direct_s,
+                                   const MultiChannelSignal& noise_only,
+                                   double tau_echo_s) const {
+  if (plane_distance_m <= 0.0)
+    throw std::invalid_argument("AcousticImager: plane distance must be > 0");
+  MultiChannelSignal filtered, noise_f;
+  bool have_noise = false;
+  prepare(beep, noise_only, tau_direct_s, filtered, noise_f, have_noise);
+
+  Matrix2D image(config_.grid_size, config_.grid_size);
+  for (std::size_t band = 0; band < config_.num_subbands; ++band)
+    accumulate_band(band, filtered, noise_f, have_noise, plane_distance_m,
+                    tau_direct_s, tau_echo_s, image);
+  // L2 norm of the gated segment(s): sqrt of the (compounded) energy.
+  for (double& v : image.data()) v = std::sqrt(v);
+  return image;
+}
+
+std::vector<Matrix2D> AcousticImager::construct_bands(
+    const MultiChannelSignal& beep, double plane_distance_m,
+    double tau_direct_s, const MultiChannelSignal& noise_only,
+    double tau_echo_s) const {
+  if (plane_distance_m <= 0.0)
+    throw std::invalid_argument("AcousticImager: plane distance must be > 0");
+  MultiChannelSignal filtered, noise_f;
+  bool have_noise = false;
+  prepare(beep, noise_only, tau_direct_s, filtered, noise_f, have_noise);
+
+  std::vector<Matrix2D> bands;
+  bands.reserve(config_.num_subbands);
+  for (std::size_t band = 0; band < config_.num_subbands; ++band) {
+    Matrix2D image(config_.grid_size, config_.grid_size);
+    accumulate_band(band, filtered, noise_f, have_noise, plane_distance_m,
+                    tau_direct_s, tau_echo_s, image);
+    for (double& v : image.data()) v = std::sqrt(v);
+    bands.push_back(std::move(image));
+  }
+  return bands;
+}
+
+}  // namespace echoimage::core

@@ -1,0 +1,54 @@
+#include "core/liveness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace echoimage::core {
+
+namespace {
+
+// Flatten all bands of an image into one vector.
+std::vector<double> flatten(const AcousticImage& img) {
+  std::vector<double> out;
+  for (const auto& band : img.bands)
+    out.insert(out.end(), band.data().begin(), band.data().end());
+  return out;
+}
+
+double l2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+LivenessResult assess_liveness(const std::vector<AcousticImage>& images,
+                               const LivenessConfig& config) {
+  LivenessResult r;
+  if (images.size() < config.min_beeps || images.size() < 2) return r;
+  r.decided = true;
+
+  // Relative distance between consecutive beeps' images.
+  std::vector<double> diffs;
+  std::vector<double> prev = flatten(images.front());
+  for (std::size_t i = 1; i < images.size(); ++i) {
+    std::vector<double> cur = flatten(images[i]);
+    const std::size_t n = std::min(prev.size(), cur.size());
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double d = cur[k] - prev[k];
+      d2 += d * d;
+    }
+    const double scale = 0.5 * (l2(prev) + l2(cur));
+    diffs.push_back(scale > 1e-30 ? std::sqrt(d2) / scale : 0.0);
+    prev = std::move(cur);
+  }
+  std::nth_element(diffs.begin(), diffs.begin() + diffs.size() / 2,
+                   diffs.end());
+  r.fluctuation = diffs[diffs.size() / 2];
+  r.alive = r.fluctuation >= config.min_relative_fluctuation;
+  return r;
+}
+
+}  // namespace echoimage::core

@@ -1,0 +1,40 @@
+// Liveness detection from breathing micro-motion.
+//
+// The attack bench shows that a victim-sized static prop can sometimes
+// pass the one-class gate: the acoustic image checks *shape*, not *life*.
+// A living chest moves a few millimeters with breathing, so across a burst
+// of beeps (0.5 s apart, paper Sec. V-A) the echoes of a person fluctuate
+// coherently while a mannequin's stay frozen at the noise floor. This
+// detector scores that fluctuation and rejects static targets — related in
+// spirit to the sonar liveness systems the paper cites ([29], Lee et al.).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/imaging.hpp"
+
+namespace echoimage::core {
+
+struct LivenessConfig {
+  /// Minimum beeps needed for a decision (breathing period ~4 s, beeps
+  /// 0.5 s apart: 6 beeps span most of a breath).
+  std::size_t min_beeps = 4;
+  /// A live target's beep-to-beep image fluctuation, normalized by image
+  /// magnitude, exceeds this; static props sit near the noise floor.
+  double min_relative_fluctuation = 2e-3;
+};
+
+struct LivenessResult {
+  bool decided = false;  ///< false when fewer than min_beeps images given
+  bool alive = false;
+  /// Median relative beep-to-beep fluctuation (the decision statistic).
+  double fluctuation = 0.0;
+};
+
+/// Assess liveness from the per-beep acoustic images of one burst.
+[[nodiscard]] LivenessResult assess_liveness(
+    const std::vector<AcousticImage>& images,
+    const LivenessConfig& config = {});
+
+}  // namespace echoimage::core

@@ -1,0 +1,116 @@
+#include "core/pipeline.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace echoimage::core {
+
+void SystemConfig::harmonize() {
+  distance.sample_rate = sample_rate;
+  distance.chirp = chirp;
+  imaging.sample_rate = sample_rate;
+  imaging.chirp = chirp;
+  imaging.bandpass_low_hz = distance.bandpass_low_hz;
+  imaging.bandpass_high_hz = distance.bandpass_high_hz;
+  imaging.bandpass_order = distance.bandpass_order;
+}
+
+std::string SystemConfig::describe() const {
+  std::ostringstream os;
+  os << "sample_rate: " << sample_rate << " Hz\n"
+     << "chirp: " << chirp.f_start_hz << "-" << chirp.f_end_hz << " Hz, "
+     << chirp.duration_s * 1000.0 << " ms\n"
+     << "band-pass: " << distance.bandpass_low_hz << "-"
+     << distance.bandpass_high_hz << " Hz (order "
+     << distance.bandpass_order << ")\n"
+     << "imaging: " << imaging.grid_size << "x" << imaging.grid_size
+     << " grids of " << imaging.grid_spacing_m * 100.0 << " cm, "
+     << imaging.num_subbands << " spectral band(s), gate +/-"
+     << imaging.gate_halfwidth_s * 1000.0 << " ms, "
+     << (imaging.pulse_compression ? "pulse-compressed" : "raw gate")
+     << ", incoherent mix " << imaging.incoherent_mix << ", "
+     << (imaging.use_mvdr ? "MVDR" : "delay-and-sum") << "\n"
+     << "extractor: " << extractor.input_size << "x" << extractor.input_size
+     << " input, " << extractor.block_channels.size() << " conv blocks"
+     << (extractor.bypass_network ? " (bypassed: raw pixels)" : "") << "\n"
+     << "authenticator: accept_slack " << authenticator.accept_slack
+     << ", svdd nu " << authenticator.svdd.nu << ", svm C "
+     << authenticator.svm.c << "\n"
+     << "augmentation distances: " << augmentation_distances_m.size()
+     << " between "
+     << (augmentation_distances_m.empty()
+             ? 0.0
+             : augmentation_distances_m.front())
+     << " and "
+     << (augmentation_distances_m.empty() ? 0.0
+                                          : augmentation_distances_m.back())
+     << " m\n";
+  return os.str();
+}
+
+EchoImagePipeline::EchoImagePipeline(SystemConfig config,
+                                     echoimage::array::ArrayGeometry geometry)
+    : config_([&] {
+        config.harmonize();
+        return config;
+      }()),
+      distance_(config_.distance, geometry),
+      imager_(config_.imaging, geometry),
+      augmenter_(config_.imaging),
+      extractor_(config_.extractor) {}
+
+ProcessedBeeps EchoImagePipeline::process(
+    const std::vector<MultiChannelSignal>& beeps,
+    const MultiChannelSignal& noise_only) const {
+  if (beeps.empty())
+    throw std::invalid_argument("EchoImagePipeline: no beeps");
+  ProcessedBeeps out;
+  out.distance = distance_.estimate(beeps, noise_only);
+  if (!out.distance.valid) return out;
+  out.images.reserve(beeps.size());
+  // The plane sits at the centroid-derived distance (smoother than the
+  // peak) and the gates anchor to the measured echo centroid.
+  const double plane = out.distance.user_distance_centroid_m > 0.0
+                           ? out.distance.user_distance_centroid_m
+                           : out.distance.user_distance_m;
+  for (const MultiChannelSignal& beep : beeps)
+    out.images.push_back(AcousticImage{imager_.construct_bands(
+        beep, plane, out.distance.tau_direct_s, noise_only,
+        out.distance.tau_echo_centroid_s)});
+  return out;
+}
+
+std::vector<double> EchoImagePipeline::features(
+    const AcousticImage& image) const {
+  std::vector<double> out;
+  for (const Matrix2D& band : image.bands) {
+    const std::vector<double> f = extractor_.extract(band);
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> EchoImagePipeline::features_batch(
+    const std::vector<AcousticImage>& images, double capture_distance_m,
+    bool augment) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(images.size() *
+              (augment ? 1 + config_.augmentation_distances_m.size() : 1));
+  for (const AcousticImage& img : images) {
+    out.push_back(features(img));
+    if (!augment) continue;
+    for (const double d : config_.augmentation_distances_m) {
+      const AcousticImage synth =
+          augmenter_.transform(img, capture_distance_m, d);
+      out.push_back(features(synth));
+    }
+  }
+  return out;
+}
+
+Authenticator EchoImagePipeline::enroll(
+    const std::vector<EnrolledUser>& users) const {
+  return Authenticator::train(users, config_.authenticator);
+}
+
+}  // namespace echoimage::core

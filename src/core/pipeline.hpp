@@ -1,0 +1,87 @@
+// End-to-end EchoImage pipeline (paper Fig. 3): captures -> distance
+// estimation -> acoustic images -> CNN features -> SVDD + SVM
+// authentication, with optional distance-re-projection data augmentation
+// at enrollment.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "core/authenticator.hpp"
+#include "core/distance.hpp"
+#include "core/imaging.hpp"
+#include "ml/cnn.hpp"
+
+namespace echoimage::core {
+
+/// Everything that defines a deployed EchoImage instance.
+struct SystemConfig {
+  double sample_rate = 48000.0;
+  echoimage::dsp::ChirpParams chirp{};
+  DistanceEstimatorConfig distance{};
+  ImagingConfig imaging{};
+  echoimage::ml::VggishFeatureExtractor::Config extractor{};
+  AuthenticatorConfig authenticator{};
+  /// Distances synthesized per training image when augmentation is on.
+  std::vector<double> augmentation_distances_m = {0.6, 0.8, 0.9, 1.0,
+                                                  1.1, 1.2, 1.35, 1.5};
+
+  /// Propagate the shared fields (sample rate, chirp, band) into the
+  /// sub-configs so callers only set them once.
+  void harmonize();
+
+  /// One-line-per-field human-readable summary (for logs and benches).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Images + metadata produced from one batch of beeps.
+struct ProcessedBeeps {
+  DistanceEstimate distance;
+  std::vector<AcousticImage> images;  ///< one multi-band image per beep
+};
+
+class EchoImagePipeline {
+ public:
+  explicit EchoImagePipeline(SystemConfig config,
+                             echoimage::array::ArrayGeometry geometry);
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const DistanceEstimator& distance_estimator() const {
+    return distance_;
+  }
+  [[nodiscard]] const AcousticImager& imager() const { return imager_; }
+  [[nodiscard]] const DataAugmenter& augmenter() const { return augmenter_; }
+  [[nodiscard]] const echoimage::ml::VggishFeatureExtractor& extractor()
+      const {
+    return extractor_;
+  }
+
+  /// Distance estimation + per-beep image construction.
+  [[nodiscard]] ProcessedBeeps process(
+      const std::vector<MultiChannelSignal>& beeps,
+      const MultiChannelSignal& noise_only = {}) const;
+
+  /// CNN features of one acoustic image (per-band features concatenated).
+  [[nodiscard]] std::vector<double> features(const AcousticImage& image) const;
+
+  /// Features of a batch of images, optionally augmented with synthesized
+  /// copies at the configured distances (used at enrollment).
+  [[nodiscard]] std::vector<std::vector<double>> features_batch(
+      const std::vector<AcousticImage>& images, double capture_distance_m,
+      bool augment) const;
+
+  /// Train the SVDD + SVM authenticator from per-user features.
+  [[nodiscard]] Authenticator enroll(
+      const std::vector<EnrolledUser>& users) const;
+
+ private:
+  SystemConfig config_;
+  DistanceEstimator distance_;
+  AcousticImager imager_;
+  DataAugmenter augmenter_;
+  echoimage::ml::VggishFeatureExtractor extractor_;
+};
+
+}  // namespace echoimage::core

@@ -1,0 +1,71 @@
+#include "core/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace echoimage::core {
+
+EnrollmentQuality assess_enrollment(const EnrolledUser& user,
+                                    const EnrollmentQualityConfig& config) {
+  EnrollmentQuality q;
+  q.sample_count = user.features.size();
+  if (q.sample_count < 2) {
+    q.warnings.push_back("fewer than two enrollment samples");
+    return q;
+  }
+
+  // Pairwise distances over a bounded sample of pairs.
+  std::vector<double> dists;
+  const std::size_t n = user.features.size();
+  const std::size_t max_pairs = 4000;
+  const std::size_t total = n * (n - 1) / 2;
+  const std::size_t stride = std::max<std::size_t>(1, total / max_pairs);
+  std::size_t counter = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (counter++ % stride != 0) continue;
+      double d2 = 0.0;
+      const auto& a = user.features[i];
+      const auto& b = user.features[j];
+      const std::size_t dim = std::min(a.size(), b.size());
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double d = a[k] - b[k];
+        d2 += d * d;
+      }
+      dists.push_back(std::sqrt(d2));
+    }
+  }
+  std::sort(dists.begin(), dists.end());
+  q.median_pairwise_distance = dists[dists.size() / 2];
+  const double q90 = dists[std::min(dists.size() - 1,
+                                    static_cast<std::size_t>(
+                                        0.9 * static_cast<double>(
+                                                  dists.size())))];
+  q.dispersion_ratio =
+      q.median_pairwise_distance > 1e-30
+          ? q90 / q.median_pairwise_distance
+          : (q90 > 0.0 ? std::numeric_limits<double>::infinity() : 0.0);
+
+  if (q.sample_count < config.min_samples)
+    q.warnings.push_back("too few samples: collect more beeps");
+  if (q.median_pairwise_distance <= 1e-12)
+    q.warnings.push_back("samples are identical: sensor or replay problem");
+  else if (q.dispersion_ratio < config.min_dispersion_ratio)
+    q.warnings.push_back(
+        "samples are near-clones: enroll across several stances/visits");
+  // Outliers are judged on the most extreme pair, not the q90: a couple of
+  // corrupted captures among hundreds barely move the quantiles.
+  const double max_ratio = q.median_pairwise_distance > 1e-30
+                               ? dists.back() / q.median_pairwise_distance
+                               : 0.0;
+  if (max_ratio > config.max_dispersion_ratio)
+    q.warnings.push_back(
+        "gross outliers present: a capture may be corrupted (interference "
+        "or someone passing through)");
+
+  q.sufficient = q.warnings.empty();
+  return q;
+}
+
+}  // namespace echoimage::core

@@ -1,0 +1,39 @@
+// Enrollment quality assessment.
+//
+// The paper notes it is "hard to tell when sufficient data has been
+// collected" (Sec. V-F); this module gives the registration flow concrete
+// feedback: are there enough samples, do they span more than one stance,
+// and are there gross outliers (someone walked through the scene during a
+// visit)?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/authenticator.hpp"
+
+namespace echoimage::core {
+
+struct EnrollmentQualityConfig {
+  std::size_t min_samples = 24;
+  /// Below this ratio of q90/median pairwise distance the samples are
+  /// near-clones of each other: a single stance, which generalizes badly.
+  double min_dispersion_ratio = 1.5;
+  /// Above this ratio the set contains gross outliers.
+  double max_dispersion_ratio = 50.0;
+};
+
+struct EnrollmentQuality {
+  std::size_t sample_count = 0;
+  double median_pairwise_distance = 0.0;
+  double dispersion_ratio = 0.0;  ///< q90 / median of pairwise distances
+  bool sufficient = false;
+  std::vector<std::string> warnings;
+};
+
+/// Assess one user's enrollment feature set. Never throws on poor data —
+/// poor data is exactly what it reports.
+[[nodiscard]] EnrollmentQuality assess_enrollment(
+    const EnrolledUser& user, const EnrollmentQualityConfig& config = {});
+
+}  // namespace echoimage::core

@@ -1,0 +1,67 @@
+#include "core/session.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace echoimage::core {
+
+void SessionMonitorConfig::validate() const {
+  if (window == 0)
+    throw std::invalid_argument("SessionMonitor: window must be positive");
+  if (unlock_accepts == 0 || unlock_accepts > window)
+    throw std::invalid_argument(
+        "SessionMonitor: unlock_accepts must be in [1, window]");
+  if (lock_streak == 0)
+    throw std::invalid_argument(
+        "SessionMonitor: lock_streak must be positive");
+}
+
+SessionMonitor::SessionMonitor(SessionMonitorConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void SessionMonitor::reset() {
+  state_ = State::kLocked;
+  active_user_ = -1;
+  recent_.clear();
+  mismatch_streak_ = 0;
+}
+
+SessionMonitor::State SessionMonitor::update(const AuthDecision& decision) {
+  const int observed = decision.accepted ? decision.user_id : -1;
+  recent_.push_back(observed);
+  if (recent_.size() > config_.window) recent_.pop_front();
+
+  if (state_ == State::kAuthenticated) {
+    // A beep that is rejected, or names a different user, counts against
+    // the session; matching beeps clear the streak.
+    if (observed == active_user_) {
+      mismatch_streak_ = 0;
+    } else if (++mismatch_streak_ >= config_.lock_streak) {
+      state_ = State::kLocked;
+      active_user_ = -1;
+      mismatch_streak_ = 0;
+      recent_.clear();
+      ++locks_;
+    }
+    return state_;
+  }
+
+  // Locked: unlock when enough recent beeps agree on one user.
+  std::map<int, std::size_t> votes;
+  for (const int id : recent_)
+    if (id >= 0) ++votes[id];
+  for (const auto& [id, count] : votes) {
+    if (count >= config_.unlock_accepts) {
+      state_ = State::kAuthenticated;
+      active_user_ = id;
+      mismatch_streak_ = 0;
+      ++unlocks_;
+      break;
+    }
+  }
+  return state_;
+}
+
+}  // namespace echoimage::core

@@ -1,0 +1,65 @@
+// Continuous authentication session monitor.
+//
+// The paper authenticates once per safety-critical command; a natural
+// deployment extension keeps a *session* alive while the authenticated
+// user remains in front of the device, re-probing with beeps every few
+// seconds. This monitor turns the per-beep AuthDecision stream into a
+// debounced session state with hysteresis: brief mis-reads neither unlock
+// the device for a stranger nor lock out a fidgeting owner.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "core/authenticator.hpp"
+
+namespace echoimage::core {
+
+struct SessionMonitorConfig {
+  /// Sliding window of recent beep decisions considered.
+  std::size_t window = 6;
+  /// Accepted beeps (agreeing on one user) within the window required to
+  /// unlock.
+  std::size_t unlock_accepts = 4;
+  /// Consecutive non-matching beeps (rejections or another user) that end
+  /// an authenticated session.
+  std::size_t lock_streak = 3;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+class SessionMonitor {
+ public:
+  enum class State { kLocked, kAuthenticated };
+
+  explicit SessionMonitor(SessionMonitorConfig config = {});
+
+  [[nodiscard]] State state() const { return state_; }
+  /// The session owner's user id, or -1 while locked.
+  [[nodiscard]] int active_user() const {
+    return state_ == State::kAuthenticated ? active_user_ : -1;
+  }
+  [[nodiscard]] const SessionMonitorConfig& config() const { return config_; }
+
+  /// Feed one per-beep decision; returns the state after the update.
+  State update(const AuthDecision& decision);
+
+  /// Drop all history and lock.
+  void reset();
+
+  /// Total state transitions (for telemetry/tests).
+  [[nodiscard]] std::size_t unlock_count() const { return unlocks_; }
+  [[nodiscard]] std::size_t lock_count() const { return locks_; }
+
+ private:
+  SessionMonitorConfig config_;
+  State state_ = State::kLocked;
+  int active_user_ = -1;
+  std::deque<int> recent_;  ///< user ids; -1 = rejected beep
+  std::size_t mismatch_streak_ = 0;
+  std::size_t unlocks_ = 0;
+  std::size_t locks_ = 0;
+};
+
+}  // namespace echoimage::core

@@ -1,0 +1,78 @@
+#include "dsp/biquad.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace echoimage::dsp {
+
+Complex BiquadSection::response(double w) const {
+  const Complex z1 = std::polar(1.0, -w);
+  const Complex z2 = z1 * z1;
+  return (b0 + b1 * z1 + b2 * z2) / (1.0 + a1 * z1 + a2 * z2);
+}
+
+bool BiquadSection::is_stable() const {
+  // Jury stability criterion for a monic quadratic.
+  return std::abs(a2) < 1.0 && std::abs(a1) < 1.0 + a2;
+}
+
+SosCascade::SosCascade(std::vector<BiquadSection> sections, double gain)
+    : sections_(std::move(sections)), gain_(gain) {}
+
+bool SosCascade::is_stable() const {
+  return std::all_of(sections_.begin(), sections_.end(),
+                     [](const BiquadSection& s) { return s.is_stable(); });
+}
+
+Complex SosCascade::response(double w) const {
+  Complex h(gain_, 0.0);
+  for (const BiquadSection& s : sections_) h *= s.response(w);
+  return h;
+}
+
+double SosCascade::magnitude_at(double freq_hz, double sample_rate) const {
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate;
+  return std::abs(response(w));
+}
+
+Signal SosCascade::filter(std::span<const Sample> x) const {
+  Signal y(x.begin(), x.end());
+  for (const BiquadSection& s : sections_) {
+    double z1 = 0.0, z2 = 0.0;  // direct form II transposed state
+    for (double& v : y) {
+      const double in = v;
+      const double out = s.b0 * in + z1;
+      z1 = s.b1 * in - s.a1 * out + z2;
+      z2 = s.b2 * in - s.a2 * out;
+      v = out;
+    }
+  }
+  for (double& v : y) v *= gain_;
+  return y;
+}
+
+Signal SosCascade::filtfilt(std::span<const Sample> x) const {
+  if (x.empty()) return {};
+  // Odd reflection about the end points suppresses edge transients
+  // (same scheme as scipy.signal.filtfilt).
+  const std::size_t pad = std::min<std::size_t>(
+      x.size() > 1 ? x.size() - 1 : 0, 6 * sections_.size() + 12);
+  Signal ext;
+  ext.reserve(x.size() + 2 * pad);
+  for (std::size_t i = 0; i < pad; ++i)
+    ext.push_back(2.0 * x.front() - x[pad - i]);
+  ext.insert(ext.end(), x.begin(), x.end());
+  for (std::size_t i = 0; i < pad; ++i)
+    ext.push_back(2.0 * x.back() - x[x.size() - 2 - i]);
+
+  Signal fwd = filter(ext);
+  std::reverse(fwd.begin(), fwd.end());
+  Signal bwd = filter(fwd);
+  std::reverse(bwd.begin(), bwd.end());
+
+  return Signal(bwd.begin() + static_cast<std::ptrdiff_t>(pad),
+                bwd.begin() + static_cast<std::ptrdiff_t>(pad + x.size()));
+}
+
+}  // namespace echoimage::dsp

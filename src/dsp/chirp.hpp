@@ -1,0 +1,69 @@
+// Linear frequency modulated (LFM) chirp — the probing "beep" of EchoImage
+// (paper Sec. III-B and V-A).
+//
+// The chirp has a closed form, so the simulator can evaluate a delayed copy
+// s(t - tau) at arbitrary (fractional-sample) delays exactly, with no
+// interpolation error. The same parameters drive the matched filter.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+#include "dsp/window.hpp"
+
+namespace echoimage::dsp {
+
+/// Parameters of the probing beep (paper Eq. 2 with start/stop frequency
+/// parameterization: f(t) sweeps f_start -> f_end over `duration` seconds).
+struct ChirpParams {
+  double f_start_hz = 2000.0;   ///< Sweep start frequency (paper: 2 kHz).
+  double f_end_hz = 3000.0;     ///< Sweep end frequency (paper: 3 kHz).
+  double duration_s = 0.002;    ///< Beep length (paper: ~2 ms).
+  double amplitude = 1.0;       ///< Peak amplitude A.
+  double tukey_alpha = 0.25;    ///< Edge taper to avoid spectral splatter.
+
+  [[nodiscard]] double center_frequency_hz() const {
+    return 0.5 * (f_start_hz + f_end_hz);
+  }
+  [[nodiscard]] double bandwidth_hz() const { return f_end_hz - f_start_hz; }
+  /// Validate ranges; throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+/// Closed-form LFM chirp evaluator. Amplitude-windowed with a Tukey taper;
+/// zero outside [0, duration].
+class Chirp {
+ public:
+  explicit Chirp(ChirpParams params);
+
+  [[nodiscard]] const ChirpParams& params() const { return params_; }
+
+  /// s(t): instantaneous value at time t seconds (t measured from chirp
+  /// onset). Exact for any real t, including fractional-sample delays.
+  [[nodiscard]] double value_at(double t) const;
+
+  /// Instantaneous frequency f(t) in Hz (clamped sweep).
+  [[nodiscard]] double frequency_at(double t) const;
+
+  /// Sampled chirp: n = round(duration * sample_rate) samples.
+  [[nodiscard]] Signal sample(double sample_rate) const;
+
+  /// Sampled delayed-and-scaled chirp g * s(t - delay) rendered into a
+  /// buffer of `length` samples at `sample_rate`. Delay may be fractional.
+  [[nodiscard]] Signal render_delayed(double sample_rate, std::size_t length,
+                                      double delay_s, double gain) const;
+
+  /// Accumulate g * s(t - delay) into an existing buffer (the simulator's
+  /// inner loop). Only touches samples where the chirp is non-zero.
+  /// `spectral_slope` models a frequency-dependent reflector: the
+  /// instantaneous gain is scaled by (f(t)/f_center)^slope — exact for an
+  /// LFM chirp, whose time axis sweeps frequency linearly.
+  void add_delayed(Signal& buffer, double sample_rate, double delay_s,
+                   double gain, double spectral_slope = 0.0) const;
+
+ private:
+  ChirpParams params_;
+  double sweep_rate_;  ///< (f_end - f_start) / duration, Hz per second.
+};
+
+}  // namespace echoimage::dsp

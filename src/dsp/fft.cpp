@@ -1,0 +1,174 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace echoimage::dsp {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Bit-reversal permutation for the iterative radix-2 transform.
+void bit_reverse_permute(ComplexSignal& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_pow2_in_place(ComplexSignal& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n))
+    throw std::invalid_argument("fft_pow2_in_place: size must be 2^k");
+  if (n == 1) return;
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : x) c *= inv_n;
+  }
+}
+
+namespace {
+
+// Bluestein chirp-z transform: expresses an arbitrary-N DFT as a
+// convolution, evaluated with a power-of-two FFT.
+ComplexSignal bluestein(const ComplexSignal& x, bool inverse) {
+  const std::size_t n = x.size();
+  const std::size_t m = next_pow2(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors w[k] = exp(sign * i * pi * k^2 / n). k^2 mod 2n keeps the
+  // angle argument bounded for large k.
+  ComplexSignal w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double ang =
+        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    w[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+
+  ComplexSignal a(m, Complex(0.0, 0.0));
+  ComplexSignal b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(w[k]);
+
+  fft_pow2_in_place(a, false);
+  fft_pow2_in_place(b, false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  fft_pow2_in_place(a, true);
+
+  ComplexSignal out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * w[k];
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : out) c *= inv_n;
+  }
+  return out;
+}
+
+}  // namespace
+
+ComplexSignal fft(const ComplexSignal& x) {
+  if (x.empty()) return {};
+  if (is_pow2(x.size())) {
+    ComplexSignal y = x;
+    fft_pow2_in_place(y, false);
+    return y;
+  }
+  return bluestein(x, false);
+}
+
+ComplexSignal ifft(const ComplexSignal& x) {
+  if (x.empty()) return {};
+  if (is_pow2(x.size())) {
+    ComplexSignal y = x;
+    fft_pow2_in_place(y, true);
+    return y;
+  }
+  return bluestein(x, true);
+}
+
+ComplexSignal fft_real(std::span<const Sample> x) {
+  ComplexSignal c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = Complex(x[i], 0.0);
+  return fft(c);
+}
+
+Signal ifft_real(const ComplexSignal& x) {
+  const ComplexSignal y = ifft(x);
+  Signal out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i].real();
+  return out;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate) {
+  if (n == 0) throw std::invalid_argument("bin_frequency: n == 0");
+  const double kk = (k <= n / 2) ? static_cast<double>(k)
+                                 : static_cast<double>(k) - static_cast<double>(n);
+  return kk * sample_rate / static_cast<double>(n);
+}
+
+std::size_t frequency_bin(double freq_hz, std::size_t n, double sample_rate) {
+  if (n == 0) throw std::invalid_argument("frequency_bin: n == 0");
+  const double k = freq_hz * static_cast<double>(n) / sample_rate;
+  const auto kk = static_cast<long>(std::lround(k));
+  if (kk < 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(kk), n / 2);
+}
+
+Signal fft_convolve(std::span<const Sample> a, std::span<const Sample> b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t m = next_pow2(out_len);
+  ComplexSignal fa(m, Complex(0.0, 0.0));
+  ComplexSignal fb(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0.0);
+  fft_pow2_in_place(fa, false);
+  fft_pow2_in_place(fb, false);
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  fft_pow2_in_place(fa, true);
+  Signal out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+Signal fft_correlate(std::span<const Sample> a, std::span<const Sample> b) {
+  if (a.empty() || b.empty()) return {};
+  // Correlation is convolution with the reversed second signal.
+  Signal br(b.rbegin(), b.rend());
+  return fft_convolve(a, br);
+}
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,33 @@
+// Matched filtering against the probing chirp (paper Eq. 9).
+//
+// C_l(t) = (r_l * h)(t) with h(t) = s*(-t): correlating the received signal
+// with the known beep compresses each echo into a sharp peak whose position
+// encodes its round-trip delay.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::dsp {
+
+/// Matched-filter output aligned so that index i corresponds to an echo
+/// whose *onset* is at sample i of `received` (i.e. the correlation lag where
+/// the template starts). Output length equals `received.size()`.
+[[nodiscard]] Signal matched_filter(std::span<const Sample> received,
+                                    std::span<const Sample> tmpl);
+
+/// Matched filter of a complex (analytic) signal against a real template;
+/// returns |output| which is already an envelope, avoiding a second Hilbert
+/// pass. Output length equals `received.size()`.
+[[nodiscard]] Signal matched_filter_envelope(const ComplexSignal& received,
+                                             std::span<const Sample> tmpl);
+
+/// Complex matched-filter output of an analytic signal (the compressed
+/// pulse train). Beamforming weights can be applied to the compressed
+/// channels directly — correlation and beamforming are both linear and
+/// time-invariant, so the order is interchangeable.
+[[nodiscard]] ComplexSignal matched_filter_complex(
+    const ComplexSignal& received, std::span<const Sample> tmpl);
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,49 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+
+namespace echoimage::dsp {
+
+std::vector<Peak> find_peaks(std::span<const Sample> x,
+                             std::size_t min_distance, double threshold) {
+  std::vector<Peak> peaks;
+  const std::size_t n = x.size();
+  if (n == 0) return peaks;
+  const std::size_t d = std::max<std::size_t>(min_distance, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] <= threshold) continue;
+    const std::size_t lo = i >= d ? i - d : 0;
+    const std::size_t hi = std::min(n, i + d + 1);
+    bool dominant = true;
+    for (std::size_t j = lo; j < hi && dominant; ++j) {
+      if (j == i) continue;
+      // Strict dominance, with ties broken toward the earlier sample so a
+      // flat-topped peak reports once.
+      if (x[j] > x[i] || (x[j] == x[i] && j < i)) dominant = false;
+    }
+    if (dominant) peaks.push_back(Peak{i, x[i]});
+  }
+  return peaks;
+}
+
+std::vector<Peak> find_peaks_relative(std::span<const Sample> x,
+                                      std::size_t min_distance,
+                                      double relative_threshold) {
+  if (x.empty()) return {};
+  const double mx = *std::max_element(x.begin(), x.end());
+  if (mx <= 0.0) return {};
+  return find_peaks(x, min_distance, relative_threshold * mx);
+}
+
+Peak largest_peak_in_range(const std::vector<Peak>& peaks, std::size_t first,
+                           std::size_t last) {
+  Peak best{static_cast<std::size_t>(-1), 0.0};
+  for (const Peak& p : peaks) {
+    if (p.index < first || p.index >= last) continue;
+    if (best.index == static_cast<std::size_t>(-1) || p.value > best.value)
+      best = p;
+  }
+  return best;
+}
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,38 @@
+// Local-maximum (peak) detection for echo-onset identification.
+//
+// Implements the MaxSet search of paper Sec. V-B: a sample tau_w is a peak
+// when E(tau_w) > E(t) for all t within +/- `min_distance` samples and
+// E(tau_w) > `threshold`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::dsp {
+
+/// One detected local maximum.
+struct Peak {
+  std::size_t index = 0;  ///< Sample position tau_w.
+  double value = 0.0;     ///< E(tau_w).
+};
+
+/// All local maxima of `x` that dominate their +/- `min_distance`
+/// neighbourhood and exceed `threshold`, in increasing index order.
+[[nodiscard]] std::vector<Peak> find_peaks(std::span<const Sample> x,
+                                           std::size_t min_distance,
+                                           double threshold);
+
+/// Convenience: threshold expressed as a fraction of max(x). Returns no
+/// peaks for an all-non-positive signal.
+[[nodiscard]] std::vector<Peak> find_peaks_relative(std::span<const Sample> x,
+                                                    std::size_t min_distance,
+                                                    double relative_threshold);
+
+/// Largest peak within [first, last) of an already-computed peak list;
+/// returns std::size_t(-1) index when none falls in the range.
+[[nodiscard]] Peak largest_peak_in_range(const std::vector<Peak>& peaks,
+                                         std::size_t first, std::size_t last);
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,78 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace echoimage::dsp {
+
+double bessel_i0(double x) {
+  // Power series; converges quickly for the |x| <= ~20 the Kaiser window
+  // uses.
+  double sum = 1.0, term = 1.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (x / (2.0 * k)) * (x / (2.0 * k));
+    sum += term;
+    if (term < 1e-16 * sum) break;
+  }
+  return sum;
+}
+
+namespace {
+
+double kaiser(double u, double beta) {
+  // u in [-1, 1].
+  if (u < -1.0 || u > 1.0) return 0.0;
+  return bessel_i0(beta * std::sqrt(1.0 - u * u)) / bessel_i0(beta);
+}
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+
+}  // namespace
+
+Signal resample(std::span<const Sample> x, double in_rate, double out_rate,
+                const ResampleParams& params) {
+  if (in_rate <= 0.0 || out_rate <= 0.0)
+    throw std::invalid_argument("resample: rates must be positive");
+  if (x.empty()) return {};
+  if (in_rate == out_rate) return Signal(x.begin(), x.end());
+
+  const double ratio = out_rate / in_rate;
+  // When downsampling, the anti-alias cutoff shrinks to the output Nyquist.
+  const double cutoff = std::min(1.0, ratio);
+  const auto n_out = static_cast<std::size_t>(
+      std::lround(static_cast<double>(x.size()) * ratio));
+  const double hw =
+      static_cast<double>(params.kernel_half_width) / cutoff;
+
+  Signal out(n_out, 0.0);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double center = static_cast<double>(i) / ratio;  // input position
+    const auto lo = static_cast<std::ptrdiff_t>(std::ceil(center - hw));
+    const auto hi = static_cast<std::ptrdiff_t>(std::floor(center + hw));
+    double acc = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(x.size())) continue;
+      const double t = static_cast<double>(j) - center;
+      acc += x[static_cast<std::size_t>(j)] * cutoff * sinc(cutoff * t) *
+             kaiser(t / hw, params.kaiser_beta);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+MultiChannelSignal resample(const MultiChannelSignal& x, double in_rate,
+                            double out_rate, const ResampleParams& params) {
+  MultiChannelSignal out;
+  out.channels.reserve(x.num_channels());
+  for (const Signal& ch : x.channels)
+    out.channels.push_back(resample(ch, in_rate, out_rate, params));
+  return out;
+}
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,38 @@
+// Rational sample-rate conversion (windowed-sinc polyphase).
+//
+// Recordings arrive at whatever rate the capture device used (44.1 kHz is
+// common); the EchoImage pipeline is calibrated for 48 kHz. This module
+// converts between rates with a Kaiser-windowed sinc interpolator.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::dsp {
+
+struct ResampleParams {
+  /// Half-width of the sinc kernel in *input* samples at the lower of the
+  /// two rates; larger = sharper transition, more CPU.
+  std::size_t kernel_half_width = 16;
+  /// Kaiser window beta (8.6 ~ 80 dB stop-band).
+  double kaiser_beta = 8.6;
+};
+
+/// Resample `x` from `in_rate` to `out_rate`. Output length is
+/// round(n * out_rate / in_rate). Throws std::invalid_argument for
+/// non-positive rates. Identity rates return a copy.
+[[nodiscard]] Signal resample(std::span<const Sample> x, double in_rate,
+                              double out_rate,
+                              const ResampleParams& params = {});
+
+/// Convenience for multichannel captures.
+[[nodiscard]] MultiChannelSignal resample(const MultiChannelSignal& x,
+                                          double in_rate, double out_rate,
+                                          const ResampleParams& params = {});
+
+/// Zeroth-order modified Bessel function of the first kind (for the Kaiser
+/// window; exposed for testing).
+[[nodiscard]] double bessel_i0(double x);
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,93 @@
+// Basic signal containers and element-wise helpers shared by the whole
+// EchoImage DSP stack.
+//
+// A Signal is a plain std::vector<double> sampled at a caller-tracked rate;
+// MultiChannelSignal bundles one Signal per microphone. Free functions keep
+// the containers std-compatible instead of wrapping them in a class.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace echoimage::dsp {
+
+using Sample = double;
+using Signal = std::vector<Sample>;
+using Complex = std::complex<double>;
+using ComplexSignal = std::vector<Complex>;
+
+/// One Signal per channel; all channels must share length and sample rate.
+struct MultiChannelSignal {
+  std::vector<Signal> channels;
+
+  [[nodiscard]] std::size_t num_channels() const { return channels.size(); }
+  /// Length of channel 0 (0 when empty). All channels are expected equal.
+  [[nodiscard]] std::size_t length() const {
+    return channels.empty() ? 0 : channels.front().size();
+  }
+  /// True when every channel has the same number of samples.
+  [[nodiscard]] bool is_rectangular() const;
+};
+
+/// Sum of squared samples.
+[[nodiscard]] double energy(std::span<const Sample> x);
+
+/// Euclidean (L2) norm: sqrt(energy).
+[[nodiscard]] double l2_norm(std::span<const Sample> x);
+
+/// Root-mean-square amplitude; 0 for an empty signal.
+[[nodiscard]] double rms(std::span<const Sample> x);
+
+/// Largest absolute sample value; 0 for an empty signal.
+[[nodiscard]] double peak_abs(std::span<const Sample> x);
+
+/// Arithmetic mean; 0 for an empty signal.
+[[nodiscard]] double mean(std::span<const Sample> x);
+
+/// Inner product of two equal-length signals. Throws std::invalid_argument
+/// on length mismatch.
+[[nodiscard]] double dot(std::span<const Sample> a, std::span<const Sample> b);
+
+/// Pearson correlation coefficient in [-1, 1]; 0 when either side is
+/// constant. Throws std::invalid_argument on length mismatch.
+[[nodiscard]] double pearson(std::span<const Sample> a,
+                             std::span<const Sample> b);
+
+/// x *= g, in place.
+void scale_in_place(Signal& x, double g);
+
+/// a += b element-wise; b may be shorter than a (the tail is untouched).
+void add_in_place(Signal& a, std::span<const Sample> b);
+
+/// a += g * b element-wise starting at `offset` samples into a. Samples of b
+/// that would land past the end of a are dropped (useful for mixing echoes
+/// into a fixed-length capture buffer).
+void mix_at(Signal& a, std::span<const Sample> b, std::size_t offset,
+            double g = 1.0);
+
+/// Copy of x[first, first+count); out-of-range samples are zero-filled so the
+/// result always has exactly `count` samples.
+[[nodiscard]] Signal segment(std::span<const Sample> x, std::size_t first,
+                             std::size_t count);
+
+/// Convert a linear amplitude ratio to decibels (20 log10). Returns a large
+/// negative floor (-300 dB) for non-positive ratios.
+[[nodiscard]] double amplitude_to_db(double ratio);
+
+/// Convert decibels to a linear amplitude ratio (10^(db/20)).
+[[nodiscard]] double db_to_amplitude(double db);
+
+/// Convert a power ratio to decibels (10 log10), with the same -300 dB floor.
+[[nodiscard]] double power_to_db(double ratio);
+
+/// Seconds to a whole number of samples (rounded to nearest).
+[[nodiscard]] std::size_t seconds_to_samples(double seconds,
+                                             double sample_rate);
+
+/// Sample index to seconds.
+[[nodiscard]] double samples_to_seconds(std::size_t samples,
+                                        double sample_rate);
+
+}  // namespace echoimage::dsp

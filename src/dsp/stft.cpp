@@ -1,0 +1,76 @@
+#include "dsp/stft.hpp"
+
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace echoimage::dsp {
+
+void StftParams::validate() const {
+  if (!is_pow2(fft_size))
+    throw std::invalid_argument("StftParams: fft_size must be a power of two");
+  if (hop == 0 || hop > fft_size)
+    throw std::invalid_argument("StftParams: hop must be in [1, fft_size]");
+}
+
+Stft::Stft(StftParams params, std::size_t signal_length,
+           std::vector<ComplexSignal> frames)
+    : params_(params),
+      signal_length_(signal_length),
+      frames_(std::move(frames)) {}
+
+double Stft::bin_frequency(std::size_t k, double sample_rate) const {
+  return static_cast<double>(k) * sample_rate /
+         static_cast<double>(params_.fft_size);
+}
+
+Stft stft(std::span<const Sample> x, const StftParams& params) {
+  params.validate();
+  const std::size_t n = params.fft_size;
+  const Signal win = make_window(params.window, n);
+  const std::size_t num_frames =
+      x.empty() ? 0 : (x.size() + params.hop - 1) / params.hop;
+  std::vector<ComplexSignal> frames;
+  frames.reserve(num_frames);
+  ComplexSignal buf(n);
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    const std::size_t start = f * params.hop;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = start + i;
+      const double v = idx < x.size() ? x[idx] : 0.0;
+      buf[i] = Complex(v * win[i], 0.0);
+    }
+    fft_pow2_in_place(buf, false);
+    frames.emplace_back(buf.begin(),
+                        buf.begin() + static_cast<std::ptrdiff_t>(n / 2 + 1));
+  }
+  return Stft(params, x.size(), std::move(frames));
+}
+
+Signal istft(const Stft& s) {
+  const StftParams& p = s.params();
+  const std::size_t n = p.fft_size;
+  const Signal win = make_window(p.window, n);
+  Signal out(s.signal_length() + n, 0.0);
+  Signal norm(out.size(), 0.0);
+  ComplexSignal buf(n);
+  for (std::size_t f = 0; f < s.num_frames(); ++f) {
+    const ComplexSignal& half = s.frames()[f];
+    // Rebuild the two-sided spectrum from the one-sided bins (real signal).
+    for (std::size_t k = 0; k <= n / 2; ++k) buf[k] = half[k];
+    for (std::size_t k = n / 2 + 1; k < n; ++k)
+      buf[k] = std::conj(half[n - k]);
+    fft_pow2_in_place(buf, true);
+    const std::size_t start = f * p.hop;
+    for (std::size_t i = 0; i < n && start + i < out.size(); ++i) {
+      out[start + i] += buf[i].real() * win[i];
+      norm[start + i] += win[i] * win[i];
+    }
+  }
+  out.resize(s.signal_length());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (norm[i] > 1e-12) out[i] /= norm[i];
+  return out;
+}
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,58 @@
+// Short-time Fourier transform for the subband (frequency-domain)
+// beamformer engine.
+//
+// Beamforming weights are narrowband quantities; applying them per STFT bin
+// handles the 2–3 kHz chirp's 40% fractional bandwidth exactly, at the cost
+// of the transform. The narrowband engine (analytic-signal phase shifts) is
+// the cheap alternative; both are provided so the ablation bench can compare
+// them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/signal.hpp"
+#include "dsp/window.hpp"
+
+namespace echoimage::dsp {
+
+struct StftParams {
+  std::size_t fft_size = 256;   ///< Must be a power of two.
+  std::size_t hop = 64;         ///< Analysis hop in samples.
+  WindowType window = WindowType::kHann;
+
+  void validate() const;  ///< Throws std::invalid_argument when inconsistent.
+  [[nodiscard]] std::size_t num_bins() const { return fft_size / 2 + 1; }
+};
+
+/// STFT frames: frames()[f][k] is bin k of frame f (one-sided spectrum,
+/// fft_size/2 + 1 bins).
+class Stft {
+ public:
+  Stft(StftParams params, std::size_t signal_length,
+       std::vector<ComplexSignal> frames);
+
+  [[nodiscard]] const StftParams& params() const { return params_; }
+  [[nodiscard]] std::size_t signal_length() const { return signal_length_; }
+  [[nodiscard]] std::size_t num_frames() const { return frames_.size(); }
+  [[nodiscard]] const std::vector<ComplexSignal>& frames() const {
+    return frames_;
+  }
+  [[nodiscard]] std::vector<ComplexSignal>& frames() { return frames_; }
+
+  /// Center frequency of bin k in Hz.
+  [[nodiscard]] double bin_frequency(std::size_t k, double sample_rate) const;
+
+ private:
+  StftParams params_;
+  std::size_t signal_length_;
+  std::vector<ComplexSignal> frames_;
+};
+
+/// Forward STFT (zero-padded at the tail to cover the final frame).
+[[nodiscard]] Stft stft(std::span<const Sample> x, const StftParams& params);
+
+/// Weighted overlap-add inverse; returns a signal of the original length.
+[[nodiscard]] Signal istft(const Stft& s);
+
+}  // namespace echoimage::dsp

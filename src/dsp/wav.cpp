@@ -1,0 +1,177 @@
+#include "dsp/wav.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace echoimage::dsp {
+
+namespace {
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+               static_cast<char>((v >> 16) & 0xFF),
+               static_cast<char>((v >> 24) & 0xFF)};
+  os.write(b, 4);
+}
+
+void put_u16(std::ostream& os, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF)};
+  os.write(b, 2);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (!is) throw std::runtime_error("wav: truncated stream");
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint16_t get_u16(std::istream& is) {
+  unsigned char b[2];
+  is.read(reinterpret_cast<char*>(b), 2);
+  if (!is) throw std::runtime_error("wav: truncated stream");
+  return static_cast<std::uint16_t>(b[0] |
+                                    (static_cast<std::uint16_t>(b[1]) << 8));
+}
+
+void expect_fourcc(std::istream& is, const char* cc) {
+  char got[4];
+  is.read(got, 4);
+  if (!is || std::memcmp(got, cc, 4) != 0)
+    throw std::runtime_error(std::string("wav: expected chunk '") + cc + "'");
+}
+
+}  // namespace
+
+void write_wav(std::ostream& os, const WavData& data, WavEncoding encoding) {
+  const auto& m = data.samples;
+  if (m.num_channels() == 0 || m.length() == 0)
+    throw std::invalid_argument("wav: nothing to write");
+  if (!m.is_rectangular())
+    throw std::invalid_argument("wav: ragged channels");
+
+  const std::uint16_t channels = static_cast<std::uint16_t>(m.num_channels());
+  const std::uint32_t frames = static_cast<std::uint32_t>(m.length());
+  const std::uint16_t bytes_per_sample =
+      encoding == WavEncoding::kPcm16 ? 2 : 4;
+  const std::uint32_t data_bytes =
+      frames * channels * bytes_per_sample;
+  const auto rate = static_cast<std::uint32_t>(std::lround(data.sample_rate));
+
+  os.write("RIFF", 4);
+  put_u32(os, 36 + data_bytes);
+  os.write("WAVE", 4);
+  os.write("fmt ", 4);
+  put_u32(os, 16);
+  put_u16(os, static_cast<std::uint16_t>(encoding));
+  put_u16(os, channels);
+  put_u32(os, rate);
+  put_u32(os, rate * channels * bytes_per_sample);
+  put_u16(os, static_cast<std::uint16_t>(channels * bytes_per_sample));
+  put_u16(os, static_cast<std::uint16_t>(bytes_per_sample * 8));
+  os.write("data", 4);
+  put_u32(os, data_bytes);
+
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    for (std::uint16_t c = 0; c < channels; ++c) {
+      const double v = m.channels[c][f];
+      if (encoding == WavEncoding::kPcm16) {
+        const double clipped = std::clamp(v, -1.0, 1.0);
+        const auto s = static_cast<std::int16_t>(
+            std::lround(clipped * 32767.0));
+        put_u16(os, static_cast<std::uint16_t>(s));
+      } else {
+        const float fv = static_cast<float>(v);
+        std::uint32_t bits;
+        std::memcpy(&bits, &fv, 4);
+        put_u32(os, bits);
+      }
+    }
+  }
+}
+
+WavData read_wav(std::istream& is) {
+  expect_fourcc(is, "RIFF");
+  (void)get_u32(is);  // RIFF size (ignored; we trust chunk sizes)
+  expect_fourcc(is, "WAVE");
+
+  std::uint16_t format = 0, channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  bool have_fmt = false;
+  WavData out;
+
+  // Walk chunks until we find 'data' (skipping unknown chunks).
+  while (true) {
+    char cc[4];
+    is.read(cc, 4);
+    if (!is) throw std::runtime_error("wav: no data chunk");
+    const std::uint32_t size = get_u32(is);
+    if (std::memcmp(cc, "fmt ", 4) == 0) {
+      format = get_u16(is);
+      channels = get_u16(is);
+      rate = get_u32(is);
+      (void)get_u32(is);  // byte rate
+      (void)get_u16(is);  // block align
+      bits = get_u16(is);
+      if (size > 16) is.ignore(size - 16);
+      have_fmt = true;
+    } else if (std::memcmp(cc, "data", 4) == 0) {
+      if (!have_fmt) throw std::runtime_error("wav: data before fmt");
+      if (channels == 0) throw std::runtime_error("wav: zero channels");
+      const bool pcm16 = format == 1 && bits == 16;
+      const bool f32 = format == 3 && bits == 32;
+      if (!pcm16 && !f32)
+        throw std::runtime_error("wav: unsupported encoding");
+      const std::uint32_t bytes_per_sample = pcm16 ? 2 : 4;
+      const std::uint32_t frames = size / (channels * bytes_per_sample);
+      out.sample_rate = static_cast<double>(rate);
+      // Grow incrementally and fail fast on truncation: the declared chunk
+      // size is attacker-controlled and must not drive a huge upfront
+      // allocation.
+      out.samples.channels.assign(channels, Signal{});
+      for (std::uint32_t f = 0; f < frames; ++f) {
+        for (std::uint16_t c = 0; c < channels; ++c) {
+          double v;
+          if (pcm16) {
+            const auto raw = static_cast<std::int16_t>(get_u16(is));
+            v = static_cast<double>(raw) / 32767.0;
+          } else {
+            const std::uint32_t raw = get_u32(is);
+            float fv;
+            std::memcpy(&fv, &raw, 4);
+            v = static_cast<double>(fv);
+          }
+          out.samples.channels[c].push_back(v);
+        }
+      }
+      return out;
+    } else {
+      is.ignore(size + (size & 1));  // chunks are word-aligned
+      if (!is) throw std::runtime_error("wav: truncated chunk");
+    }
+  }
+}
+
+void write_wav_file(const std::string& path, const WavData& data,
+                    WavEncoding encoding) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("wav: cannot open for write: " + path);
+  write_wav(os, data, encoding);
+}
+
+WavData read_wav_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("wav: cannot open for read: " + path);
+  return read_wav(is);
+}
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,43 @@
+// Minimal multichannel WAV I/O (PCM16 and IEEE float32).
+//
+// Lets captures cross the boundary between the simulator and real
+// recordings: simulated beeps can be written out for inspection, and
+// recordings from an actual microphone array can be read back into the
+// pipeline unchanged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::dsp {
+
+enum class WavEncoding : std::uint16_t {
+  kPcm16 = 1,    ///< 16-bit signed PCM
+  kFloat32 = 3,  ///< 32-bit IEEE float
+};
+
+struct WavData {
+  MultiChannelSignal samples;  ///< one Signal per channel, [-1, 1] nominal
+  double sample_rate = 48000.0;
+};
+
+/// Write interleaved WAV to a stream. Samples outside [-1, 1] are clipped
+/// for PCM16 and passed through for float32. Throws std::invalid_argument
+/// for empty or ragged input.
+void write_wav(std::ostream& os, const WavData& data,
+               WavEncoding encoding = WavEncoding::kFloat32);
+
+/// Read a WAV stream (PCM16 or float32, any channel count). Throws
+/// std::runtime_error on malformed input or unsupported encodings.
+[[nodiscard]] WavData read_wav(std::istream& is);
+
+/// File-path conveniences. Throw std::runtime_error when the file cannot
+/// be opened.
+void write_wav_file(const std::string& path, const WavData& data,
+                    WavEncoding encoding = WavEncoding::kFloat32);
+[[nodiscard]] WavData read_wav_file(const std::string& path);
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,34 @@
+// Window functions used for chirp shaping, STFT analysis, and envelope
+// smoothing.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kTukey,  ///< Tapered cosine; taper fraction supplied separately.
+};
+
+/// Window value at normalized position u in [0, 1]. `tukey_alpha` is the
+/// taper fraction for the Tukey window (ignored by other types); outside
+/// [0, 1] the window is zero.
+[[nodiscard]] double window_value(WindowType type, double u,
+                                  double tukey_alpha = 0.5);
+
+/// Sampled window of `n` points spanning u = 0..1 inclusive of endpoints
+/// (periodicity is not needed for our uses).
+[[nodiscard]] Signal make_window(WindowType type, std::size_t n,
+                                 double tukey_alpha = 0.5);
+
+/// Multiply x by the window in place. Throws std::invalid_argument on
+/// length mismatch.
+void apply_window(Signal& x, std::span<const Sample> w);
+
+}  // namespace echoimage::dsp

@@ -1,0 +1,85 @@
+#include "eval/dataset.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace echoimage::eval {
+
+using echoimage::sim::mix_seed;
+using echoimage::sim::Rng;
+
+DataCollector::DataCollector(echoimage::sim::CaptureConfig capture,
+                             echoimage::array::ArrayGeometry geometry,
+                             std::uint64_t seed)
+    : capture_(capture), geometry_(std::move(geometry)), seed_(seed) {}
+
+echoimage::sim::Scene DataCollector::make_scene(
+    const CollectionConditions& cond) const {
+  echoimage::sim::Scene scene;
+  scene.geometry = geometry_;
+  // The room layout is a property of the place, not of the session: seed it
+  // by environment kind only.
+  scene.environment = echoimage::sim::make_environment(
+      cond.environment,
+      mix_seed(seed_, static_cast<std::uint64_t>(cond.environment)),
+      cond.ambient_db);
+  if (cond.playback.has_value()) {
+    echoimage::sim::NoiseSource src;
+    src.params = echoimage::sim::NoiseParams{*cond.playback, cond.playback_db};
+    // "about 1 to 2 meters away from the microphone array" — off to the side.
+    Rng rng(mix_seed(seed_, 0x4E01 + static_cast<std::uint64_t>(
+                                         cond.environment)));
+    const double r = rng.uniform(1.0, 2.0);
+    const double ang = rng.uniform(0.5, 1.2);
+    src.position =
+        echoimage::sim::Vec3{r * std::sin(ang), r * std::cos(ang), -0.2};
+    scene.noise_source = src;
+  }
+  return scene;
+}
+
+CaptureBatch DataCollector::collect(const SimulatedUser& user,
+                                    const CollectionConditions& cond,
+                                    std::size_t num_beeps) const {
+  const echoimage::sim::Scene scene = make_scene(cond);
+  const echoimage::sim::SceneRenderer renderer(scene, capture_);
+
+  // Session-stable pose: same user + same session -> same stance/clothing.
+  Rng pose_rng(mix_seed(
+      seed_, 0x9051 + 1000ULL * static_cast<std::uint64_t>(user.subject.user_id) +
+                 static_cast<std::uint64_t>(cond.session) +
+                 100000ULL * static_cast<std::uint64_t>(cond.repetition)));
+  echoimage::sim::Pose pose = echoimage::sim::draw_session_pose(pose_rng);
+  const double breath_phase = pose_rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  CaptureBatch batch;
+  batch.true_distance_m = cond.distance_m + pose.depth_shift_m;
+  batch.beeps.reserve(num_beeps);
+
+  Rng noise_rng(pose_rng.fork(0xBEEF));
+  const std::size_t per_stance = std::max<std::size_t>(1, cond.beeps_per_stance);
+  for (std::size_t l = 0; l < num_beeps; ++l) {
+    // The user re-takes their stance every few beeps (sessions span hours);
+    // the clothing field stays fixed within a session.
+    if (l > 0 && l % per_stance == 0) {
+      const auto clothing = pose.clothing_seed;
+      pose = echoimage::sim::draw_session_pose(pose_rng);
+      pose.clothing_seed = clothing;
+    }
+    // Breathing: ~4 s period chest displacement, beeps 0.5 s apart.
+    const double t = 0.5 * static_cast<double>(l);
+    pose.breathing_m =
+        0.002 * std::sin(2.0 * std::numbers::pi * t / 4.0 + breath_phase);
+    const auto body = echoimage::sim::pose_body(
+        user.body, pose, cond.distance_m, scene.array_height_m);
+    Rng beep_rng = noise_rng.fork(0x1000 + l);
+    batch.beeps.push_back(renderer.render_beep(body, beep_rng));
+  }
+
+  // Inter-beep gap: ~43 ms of noise-only signal for covariance estimation.
+  Rng gap_rng = noise_rng.fork(0x6A9);
+  batch.noise_only = renderer.render_noise_only(2048, gap_rng);
+  return batch;
+}
+
+}  // namespace echoimage::eval

@@ -1,0 +1,68 @@
+// Data collection harness: renders beep batches for simulated users under
+// the paper's experimental conditions (environment, playback noise,
+// distance, session).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "eval/roster.hpp"
+#include "sim/scene.hpp"
+
+namespace echoimage::eval {
+
+using echoimage::dsp::MultiChannelSignal;
+
+/// One experimental condition (paper Sec. VI-A1).
+struct CollectionConditions {
+  echoimage::sim::EnvironmentKind environment =
+      echoimage::sim::EnvironmentKind::kLab;
+  /// Playback noise from a computer 1-2 m away (absent = quiet room).
+  std::optional<echoimage::sim::NoiseKind> playback;
+  double playback_db = 50.0;
+  double ambient_db = 30.0;
+  double distance_m = 0.7;
+  int session = 1;  ///< 1..3, drives pose/clothing jitter
+  /// Distinguishes multiple visits within the same session (train vs test
+  /// batches must not replay identical captures).
+  int repetition = 0;
+  /// A session spans hours-to-days of collection (paper: session 1 covers
+  /// days 0-2), so the user re-takes their stance every few beeps.
+  std::size_t beeps_per_stance = 3;
+};
+
+/// A batch of captures for one user under one condition.
+struct CaptureBatch {
+  std::vector<MultiChannelSignal> beeps;
+  MultiChannelSignal noise_only;  ///< inter-beep gap for covariance
+  double true_distance_m = 0.0;   ///< ground truth for distance benches
+};
+
+class DataCollector {
+ public:
+  DataCollector(echoimage::sim::CaptureConfig capture,
+                echoimage::array::ArrayGeometry geometry, std::uint64_t seed);
+
+  [[nodiscard]] const echoimage::sim::CaptureConfig& capture_config() const {
+    return capture_;
+  }
+
+  /// Render `num_beeps` captures. The environment layout depends only on
+  /// the environment kind (the room doesn't move between sessions); the
+  /// user's pose depends on (user, session); breathing varies per beep.
+  [[nodiscard]] CaptureBatch collect(const SimulatedUser& user,
+                                     const CollectionConditions& cond,
+                                     std::size_t num_beeps) const;
+
+  /// The scene for a condition (exposed for tests and custom benches).
+  [[nodiscard]] echoimage::sim::Scene make_scene(
+      const CollectionConditions& cond) const;
+
+ private:
+  echoimage::sim::CaptureConfig capture_;
+  echoimage::array::ArrayGeometry geometry_;
+  std::uint64_t seed_;
+};
+
+}  // namespace echoimage::eval

@@ -1,0 +1,189 @@
+#include "eval/experiment.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+
+namespace echoimage::eval {
+
+using echoimage::core::EchoImagePipeline;
+using echoimage::core::EnrolledUser;
+using echoimage::core::ProcessedBeeps;
+
+echoimage::core::SystemConfig default_system_config() {
+  echoimage::core::SystemConfig cfg;
+  cfg.sample_rate = 48000.0;
+  cfg.chirp = echoimage::dsp::ChirpParams{};  // 2-3 kHz, 2 ms
+  cfg.imaging.grid_size = 48;
+  cfg.imaging.grid_spacing_m = 0.015;
+  cfg.extractor.input_size = 48;
+  cfg.harmonize();
+  return cfg;
+}
+
+std::vector<int> ExperimentResult::registered_labels() const {
+  std::vector<int> out;
+  for (const int l : confusion.labels())
+    if (l != kSpooferLabel) out.push_back(l);
+  return out;
+}
+
+double ExperimentResult::spoofer_detection_rate() const {
+  return confusion.per_class_accuracy(kSpooferLabel);
+}
+
+ExperimentResult run_authentication_experiment(
+    const ExperimentConfig& config) {
+  const std::vector<Subject> roster = make_roster();
+  if (config.num_registered + config.num_spoofers > roster.size())
+    throw std::invalid_argument(
+        "experiment: registered + spoofers exceeds the roster size");
+  const std::vector<SimulatedUser> users = make_users(roster, config.seed);
+
+  const echoimage::array::ArrayGeometry geometry =
+      echoimage::array::make_respeaker_array();
+  EchoImagePipeline pipeline(config.system, geometry);
+
+  echoimage::sim::CaptureConfig capture;
+  capture.sample_rate = config.system.sample_rate;
+  capture.chirp = config.system.chirp;
+  const DataCollector collector(capture, geometry, config.seed);
+
+  ExperimentResult result;
+  double distance_error_sum = 0.0;
+
+  // Process one batch end-to-end: distance estimation + images + features.
+  // `detected` reports whether the distance estimator found the user at
+  // all; a deployed system rejects the attempt outright when it did not.
+  struct BatchFeatures {
+    std::vector<std::vector<double>> features;
+    bool detected = false;
+  };
+  const auto process_batch = [&](const SimulatedUser& user,
+                                 const CollectionConditions& cond,
+                                 std::size_t beeps,
+                                 bool augment) -> BatchFeatures {
+    const CaptureBatch batch = collector.collect(user, cond, beeps);
+    ProcessedBeeps processed =
+        pipeline.process(batch.beeps, batch.noise_only);
+    if (!processed.distance.valid) {
+      ++result.invalid_estimates;
+      return {};
+    }
+    ++result.valid_estimates;
+    double plane_distance = processed.distance.user_distance_m;
+    distance_error_sum += std::abs(plane_distance - batch.true_distance_m);
+    if (config.oracle_plane) {
+      plane_distance = batch.true_distance_m;
+      processed.images.clear();
+      for (const auto& beep : batch.beeps)
+        processed.images.push_back(
+            echoimage::core::AcousticImage{pipeline.imager().construct_bands(
+                beep, plane_distance, processed.distance.tau_direct_s,
+                batch.noise_only)});
+    }
+    return {pipeline.features_batch(processed.images, plane_distance, augment),
+            true};
+  };
+
+  // --- Enrollment (paper: session 1 = days 0-2, several visits) ---
+  const std::size_t visits = std::max<std::size_t>(1, config.train_visits);
+  std::vector<EnrolledUser> enrolled;
+  for (std::size_t i = 0; i < config.num_registered; ++i) {
+    const SimulatedUser& user = users[i];
+    EnrolledUser e;
+    e.user_id = user.subject.user_id;
+    // With augmentation, synthesized samples sit arbitrarily close to
+    // their source images, so a stride hold-out underestimates fresh-visit
+    // distances; a dedicated (never augmented) calibration visit replaces
+    // it. Plain enrollment keeps the stride hold-out, which spans all
+    // interleaved visits.
+    const bool use_calibration_visit = config.augment;
+    for (std::size_t v = 0; v <= (use_calibration_visit ? visits : visits - 1);
+         ++v) {
+      CollectionConditions cond = config.train_conditions;
+      cond.repetition = cond.repetition * 100 + 10 + static_cast<int>(v);
+      const bool is_calibration_visit = use_calibration_visit && v == visits;
+      auto [f, detected] = process_batch(
+          user, cond,
+          is_calibration_visit
+              ? std::max<std::size_t>(4, config.train_beeps / visits / 2)
+              : std::max<std::size_t>(1, config.train_beeps / visits),
+          config.augment && !is_calibration_visit);
+      if (!detected) continue;  // enrollment retries until detected
+      if (is_calibration_visit) {
+        // A short final visit, never augmented, calibrates each user's
+        // accept threshold on genuinely fresh captures.
+        e.calibration_features = std::move(f);
+        continue;
+      }
+      // Interleave visits so any stride-based hold-out samples every visit.
+      if (e.features.empty()) {
+        e.features = std::move(f);
+      } else {
+        std::vector<std::vector<double>> merged;
+        merged.reserve(e.features.size() + f.size());
+        const std::size_t n = std::max(e.features.size(), f.size());
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k < e.features.size()) merged.push_back(std::move(e.features[k]));
+          if (k < f.size()) merged.push_back(std::move(f[k]));
+        }
+        e.features = std::move(merged);
+      }
+    }
+    if (e.features.empty()) {
+      // The user could not be detected during any enrollment visit (e.g.
+      // out of sensing range): they stay unregistered, and their test
+      // attempts will be rejected below.
+      if (config.verbose) std::cerr << 'x' << std::flush;
+      continue;
+    }
+    enrolled.push_back(std::move(e));
+    if (config.verbose) std::cerr << 'E' << std::flush;
+  }
+  std::optional<echoimage::core::Authenticator> auth;
+  if (!enrolled.empty()) auth = pipeline.enroll(enrolled);
+
+  // --- Testing ---
+  result.per_condition.resize(config.test_conditions.size());
+  for (std::size_t ci = 0; ci < config.test_conditions.size(); ++ci) {
+    const CollectionConditions& cond = config.test_conditions[ci];
+    ConfusionMatrix& cm = result.per_condition[ci];
+    for (std::size_t i = 0; i < config.num_registered + config.num_spoofers;
+         ++i) {
+      const SimulatedUser& user = users[i];
+      const bool registered = i < config.num_registered;
+      const int actual =
+          registered ? user.subject.user_id : kSpooferLabel;
+      const auto [features, detected] =
+          process_batch(user, cond, config.test_beeps, /*augment=*/false);
+      if (!detected || !auth.has_value()) {
+        // No user found in front of the device (or nobody could enroll):
+        // every beep of the attempt is rejected.
+        for (std::size_t b = 0; b < config.test_beeps; ++b) {
+          result.confusion.add(actual, kSpooferLabel);
+          cm.add(actual, kSpooferLabel);
+        }
+      } else {
+        for (const auto& f : features) {
+          const echoimage::core::AuthDecision d = auth->authenticate(f);
+          const int predicted = d.accepted ? d.user_id : kSpooferLabel;
+          result.confusion.add(actual, predicted);
+          cm.add(actual, predicted);
+          (registered ? result.genuine_scores : result.impostor_scores)
+              .push_back(d.svdd_score);
+        }
+      }
+      if (config.verbose) std::cerr << '.' << std::flush;
+    }
+  }
+  if (config.verbose) std::cerr << '\n';
+
+  if (result.valid_estimates > 0)
+    result.mean_abs_distance_error_m =
+        distance_error_sum / static_cast<double>(result.valid_estimates);
+  return result;
+}
+
+}  // namespace echoimage::eval

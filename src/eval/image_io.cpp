@@ -1,0 +1,37 @@
+#include "eval/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace echoimage::eval {
+
+void write_pgm(std::ostream& os, const echoimage::ml::Matrix2D& image) {
+  if (image.size() == 0)
+    throw std::invalid_argument("write_pgm: empty image");
+  const auto [mn_it, mx_it] =
+      std::minmax_element(image.data().begin(), image.data().end());
+  const double mn = *mn_it;
+  const double range = *mx_it - mn;
+  os << "P5\n" << image.cols() << ' ' << image.rows() << "\n255\n";
+  for (std::size_t r = 0; r < image.rows(); ++r) {
+    for (std::size_t c = 0; c < image.cols(); ++c) {
+      const double v =
+          range > 0.0 ? (image(r, c) - mn) / range : 0.0;
+      const auto byte = static_cast<unsigned char>(
+          std::clamp(std::lround(v * 255.0), 0L, 255L));
+      os.put(static_cast<char>(byte));
+    }
+  }
+}
+
+void write_pgm_file(const std::string& path,
+                    const echoimage::ml::Matrix2D& image) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_pgm: cannot open " + path);
+  write_pgm(os, image);
+}
+
+}  // namespace echoimage::eval

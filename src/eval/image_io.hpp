@@ -1,0 +1,20 @@
+// Image export for inspection: acoustic images as PGM (portable graymap),
+// readable by any image viewer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/tensor.hpp"
+
+namespace echoimage::eval {
+
+/// Write a matrix as an 8-bit binary PGM, min-max scaled to [0, 255].
+/// Throws std::invalid_argument for empty images.
+void write_pgm(std::ostream& os, const echoimage::ml::Matrix2D& image);
+
+/// File convenience; throws std::runtime_error when the file cannot open.
+void write_pgm_file(const std::string& path,
+                    const echoimage::ml::Matrix2D& image);
+
+}  // namespace echoimage::eval

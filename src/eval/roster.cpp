@@ -1,0 +1,43 @@
+#include "eval/roster.hpp"
+
+namespace echoimage::eval {
+
+echoimage::sim::Demographic Subject::demographic() const {
+  echoimage::sim::Demographic d;
+  d.gender = gender;
+  d.age = (age_low + age_high) / 2;
+  return d;
+}
+
+std::vector<Subject> make_roster() {
+  using echoimage::sim::Gender;
+  std::vector<Subject> roster;
+  const auto add = [&roster](int id, Gender g, int lo, int hi,
+                             const char* occ) {
+    roster.push_back(Subject{id, g, lo, hi, occ});
+  };
+  for (int id = 1; id <= 5; ++id)
+    add(id, Gender::kMale, 10, 20, "Undergraduate Student");
+  add(6, Gender::kFemale, 10, 20, "Undergraduate Student");
+  for (int id = 7; id <= 15; ++id)
+    add(id, Gender::kMale, 20, 30, "Graduate Student");
+  for (int id = 16; id <= 19; ++id)
+    add(id, Gender::kFemale, 20, 30, "Graduate Student");
+  add(20, Gender::kMale, 30, 40, "Faculty, Staff and Engineer");
+  return roster;
+}
+
+std::vector<SimulatedUser> make_users(const std::vector<Subject>& roster,
+                                      std::uint64_t seed) {
+  std::vector<SimulatedUser> users;
+  users.reserve(roster.size());
+  for (const Subject& s : roster) {
+    const std::uint64_t user_seed =
+        echoimage::sim::mix_seed(seed, static_cast<std::uint64_t>(s.user_id));
+    users.push_back(SimulatedUser{
+        s, echoimage::sim::generate_body_profile(user_seed, s.demographic())});
+  }
+  return users;
+}
+
+}  // namespace echoimage::eval

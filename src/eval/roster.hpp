@@ -1,0 +1,40 @@
+// The 20-subject experimental roster of paper Table I, plus the mapping to
+// simulated body profiles. The first 12 subjects register with the system;
+// the remaining 8 act as spoofers (paper Sec. VI-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/body.hpp"
+
+namespace echoimage::eval {
+
+struct Subject {
+  int user_id = 0;
+  echoimage::sim::Gender gender = echoimage::sim::Gender::kMale;
+  int age_low = 20, age_high = 30;
+  std::string occupation;
+
+  [[nodiscard]] echoimage::sim::Demographic demographic() const;
+};
+
+/// Paper Table I: ids 1-5 male 10-20 undergrad; 6 female 10-20 undergrad;
+/// 7-15 male 20-30 grad; 16-19 female 20-30 grad; 20 male 30-40 staff.
+[[nodiscard]] std::vector<Subject> make_roster();
+
+/// A subject with a generated body.
+struct SimulatedUser {
+  Subject subject;
+  echoimage::sim::BodyProfile body;
+};
+
+/// Generate bodies for every subject, seeded by `seed` + user id.
+[[nodiscard]] std::vector<SimulatedUser> make_users(
+    const std::vector<Subject>& roster, std::uint64_t seed);
+
+/// Default split: first `num_registered` users register; the rest spoof.
+inline constexpr std::size_t kDefaultRegisteredCount = 12;
+
+}  // namespace echoimage::eval

@@ -1,0 +1,95 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace echoimage::eval {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void print_table(std::ostream& os, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < std::min(row.size(), widths.size()); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " | ";
+    }
+    os << '\n';
+  };
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths)
+      os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  print_row(headers);
+  rule();
+  for (const auto& row : rows) print_row(row);
+  rule();
+}
+
+std::string sparkline(std::span<const echoimage::dsp::Sample> x,
+                      std::size_t width) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  if (x.empty() || width == 0) return {};
+  std::vector<double> buckets(width, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t b =
+        std::min(width - 1, i * width / x.size());
+    buckets[b] = std::max(buckets[b], std::abs(x[i]));
+  }
+  const double mx = *std::max_element(buckets.begin(), buckets.end());
+  std::string out;
+  for (const double v : buckets) {
+    const int level =
+        mx > 0.0 ? static_cast<int>(std::round(v / mx * 8.0)) : 0;
+    out += kLevels[std::clamp(level, 0, 8)];
+  }
+  return out;
+}
+
+std::string ascii_image(const echoimage::ml::Matrix2D& img,
+                        std::size_t max_side) {
+  static const std::string ramp = " .:-=+*#%@";
+  if (img.rows() == 0 || img.cols() == 0) return {};
+  const std::size_t rows = std::min(img.rows(), max_side);
+  const std::size_t cols = std::min(img.cols(), max_side);
+  const double mx = *std::max_element(img.data().begin(), img.data().end());
+  const double mn = *std::min_element(img.data().begin(), img.data().end());
+  const double range = mx - mn;
+  std::string out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t sr = r * img.rows() / rows;
+      const std::size_t sc = c * img.cols() / cols;
+      const double v = range > 0.0 ? (img(sr, sc) - mn) / range : 0.0;
+      const std::size_t idx = std::min(
+          ramp.size() - 1,
+          static_cast<std::size_t>(v * static_cast<double>(ramp.size() - 1) +
+                                   0.5));
+      out += ramp[idx];
+      out += ramp[idx];  // double width for aspect ratio
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace echoimage::eval

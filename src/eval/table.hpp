@@ -1,0 +1,30 @@
+// ASCII table / figure rendering for the bench binaries.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dsp/signal.hpp"
+#include "ml/tensor.hpp"
+
+namespace echoimage::eval {
+
+/// Format a double with fixed precision.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// Print an aligned ASCII table.
+void print_table(std::ostream& os, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Render a signal as a one-line unicode sparkline of `width` buckets
+/// (bucket value = max |x| within the bucket).
+[[nodiscard]] std::string sparkline(std::span<const echoimage::dsp::Sample> x,
+                                    std::size_t width = 72);
+
+/// Render a matrix as an ASCII intensity map (` .:-=+*#%@` ramp), row per
+/// line, downsampled to at most `max_side` characters per side.
+[[nodiscard]] std::string ascii_image(const echoimage::ml::Matrix2D& img,
+                                      std::size_t max_side = 48);
+
+}  // namespace echoimage::eval

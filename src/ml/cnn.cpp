@@ -1,0 +1,148 @@
+#include "ml/cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace echoimage::ml {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::uint64_t seed)
+    : in_(in_channels), out_(out_channels) {
+  if (in_ == 0 || out_ == 0)
+    throw std::invalid_argument("Conv2D: channel counts must be positive");
+  std::mt19937_64 gen(seed);
+  // He-normal: std = sqrt(2 / fan_in) suits ReLU activations.
+  const double stddev = std::sqrt(2.0 / (9.0 * static_cast<double>(in_)));
+  std::normal_distribution<double> dist(0.0, stddev);
+  weights_.resize(9 * in_ * out_);
+  for (double& w : weights_) w = dist(gen);
+  bias_.assign(out_, 0.0);
+}
+
+Tensor3 Conv2D::forward(const Tensor3& x) const {
+  if (x.channels() != in_)
+    throw std::invalid_argument("Conv2D: channel mismatch");
+  const std::size_t h = x.height(), w = x.width();
+  Tensor3 y(h, w, out_);
+  for (std::size_t oy = 0; oy < h; ++oy) {
+    for (std::size_t ox = 0; ox < w; ++ox) {
+      for (std::size_t ky = 0; ky < 3; ++ky) {
+        const std::ptrdiff_t iy =
+            static_cast<std::ptrdiff_t>(oy + ky) - 1;
+        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+        for (std::size_t kx = 0; kx < 3; ++kx) {
+          const std::ptrdiff_t ix =
+              static_cast<std::ptrdiff_t>(ox + kx) - 1;
+          if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+          for (std::size_t ci = 0; ci < in_; ++ci) {
+            const double v = x.at(static_cast<std::size_t>(iy),
+                                  static_cast<std::size_t>(ix), ci);
+            if (v == 0.0) continue;
+            const double* wrow =
+                &weights_[((ky * 3 + kx) * in_ + ci) * out_];
+            double* yrow = &y.at(oy, ox, 0);
+            for (std::size_t co = 0; co < out_; ++co) yrow[co] += v * wrow[co];
+          }
+        }
+      }
+      double* yrow = &y.at(oy, ox, 0);
+      for (std::size_t co = 0; co < out_; ++co) yrow[co] += bias_[co];
+    }
+  }
+  return y;
+}
+
+Tensor3 relu(const Tensor3& x) {
+  Tensor3 y = x;
+  for (double& v : y.data()) v = std::max(0.0, v);
+  return y;
+}
+
+Tensor3 leaky_relu(const Tensor3& x, double alpha) {
+  Tensor3 y = x;
+  for (double& v : y.data())
+    if (v < 0.0) v *= alpha;
+  return y;
+}
+
+Tensor3 max_pool2(const Tensor3& x) {
+  const std::size_t h = x.height() / 2, w = x.width() / 2;
+  Tensor3 y(h, w, x.channels());
+  for (std::size_t oy = 0; oy < h; ++oy)
+    for (std::size_t ox = 0; ox < w; ++ox)
+      for (std::size_t c = 0; c < x.channels(); ++c) {
+        const double a = x.at(2 * oy, 2 * ox, c);
+        const double b = x.at(2 * oy, 2 * ox + 1, c);
+        const double d = x.at(2 * oy + 1, 2 * ox, c);
+        const double e = x.at(2 * oy + 1, 2 * ox + 1, c);
+        y.at(oy, ox, c) = std::max(std::max(a, b), std::max(d, e));
+      }
+  return y;
+}
+
+VggishFeatureExtractor::VggishFeatureExtractor()
+    : VggishFeatureExtractor(Config{}) {}
+
+VggishFeatureExtractor::VggishFeatureExtractor(Config config)
+    : config_(std::move(config)) {
+  if (config_.block_channels.empty())
+    throw std::invalid_argument("VggishFeatureExtractor: no blocks");
+  if (config_.input_size >> config_.block_channels.size() == 0)
+    throw std::invalid_argument(
+        "VggishFeatureExtractor: input too small for the pooling depth");
+  std::size_t in = 1;
+  std::uint64_t seed = config_.seed;
+  for (const std::size_t out : config_.block_channels) {
+    convs_.emplace_back(in, out, seed);
+    in = out;
+    seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  }
+}
+
+std::size_t VggishFeatureExtractor::feature_dim() const {
+  std::size_t side = config_.input_size;
+  for (std::size_t i = 0; i < convs_.size(); ++i) side /= 2;
+  return side * side * config_.block_channels.back();
+}
+
+Tensor3 avg_pool2(const Tensor3& x) {
+  const std::size_t h = x.height() / 2, w = x.width() / 2;
+  Tensor3 y(h, w, x.channels());
+  for (std::size_t oy = 0; oy < h; ++oy)
+    for (std::size_t ox = 0; ox < w; ++ox)
+      for (std::size_t c = 0; c < x.channels(); ++c) {
+        y.at(oy, ox, c) = 0.25 * (x.at(2 * oy, 2 * ox, c) +
+                                  x.at(2 * oy, 2 * ox + 1, c) +
+                                  x.at(2 * oy + 1, 2 * ox, c) +
+                                  x.at(2 * oy + 1, 2 * ox + 1, c));
+      }
+  return y;
+}
+
+Tensor3 VggishFeatureExtractor::forward(const Tensor3& input) const {
+  Tensor3 t = input;
+  for (const Conv2D& conv : convs_) {
+    t = conv.forward(t);
+    t = config_.leaky_slope > 0.0 ? leaky_relu(t, config_.leaky_slope)
+                                  : relu(t);
+    t = config_.average_pool ? avg_pool2(t) : max_pool2(t);
+  }
+  return t;
+}
+
+std::vector<double> VggishFeatureExtractor::extract(
+    const Matrix2D& image) const {
+  Matrix2D resized =
+      bilinear_resize(image, config_.input_size, config_.input_size);
+  if (config_.log_scale) {
+    for (double& v : resized.data())
+      v = std::log(std::max(v, 0.0) + config_.log_epsilon);
+  }
+  if (config_.bypass_network) return resized.data();
+  const Tensor3 out = forward(to_tensor(resized));
+  return out.data();
+}
+
+}  // namespace echoimage::ml

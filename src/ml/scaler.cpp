@@ -1,0 +1,58 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace echoimage::ml {
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& x) {
+  if (x.empty())
+    throw std::invalid_argument("StandardScaler: empty training set");
+  const std::size_t d = x.front().size();
+  if (d == 0) throw std::invalid_argument("StandardScaler: zero-dim data");
+  for (const auto& row : x)
+    if (row.size() != d)
+      throw std::invalid_argument("StandardScaler: ragged dataset");
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  const double n = static_cast<double>(x.size());
+  for (const auto& row : x)
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  for (std::size_t j = 0; j < d; ++j) mean_[j] /= n;
+  for (const auto& row : x)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dv = row[j] - mean_[j];
+      std_[j] += dv * dv;
+    }
+  double sigma_sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    std_[j] = std::sqrt(std_[j] / n);
+    sigma_sum += std_[j];
+  }
+  // Relative floor: features that happen to be (nearly) constant on the
+  // training set must not produce unbounded z-scores on unseen data.
+  const double floor =
+      std::max(1e-12, 0.05 * sigma_sum / static_cast<double>(d));
+  for (std::size_t j = 0; j < d; ++j) std_[j] = std::max(std_[j], floor);
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& x) const {
+  if (!is_fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (x.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler: dimension mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j)
+    out[j] = (x[j] - mean_[j]) / std_[j];
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform_batch(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace echoimage::ml

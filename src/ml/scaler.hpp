@@ -1,0 +1,42 @@
+// Per-feature standardization (zero mean, unit variance) fit on training
+// data and applied to both training and test features. Distance-dependent
+// amplitude differences survive standardization as feature-space shifts,
+// which is exactly what the data-augmentation experiment measures.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace echoimage::ml {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Fit means and standard deviations. Throws std::invalid_argument on an
+  /// empty or ragged dataset.
+  void fit(const std::vector<std::vector<double>>& x);
+
+  [[nodiscard]] bool is_fitted() const { return !mean_.empty(); }
+  [[nodiscard]] std::size_t dim() const { return mean_.size(); }
+  [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& stddev() const { return std_; }
+
+  /// Transform one sample; throws std::logic_error before fit() and
+  /// std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::vector<double> transform(
+      const std::vector<double>& x) const;
+
+  /// Transform a batch.
+  [[nodiscard]] std::vector<std::vector<double>> transform_batch(
+      const std::vector<std::vector<double>>& x) const;
+
+ private:
+  friend void save(std::ostream&, const StandardScaler&);
+  friend StandardScaler load_scaler(std::istream&);
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace echoimage::ml

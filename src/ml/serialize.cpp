@@ -1,0 +1,175 @@
+#include "ml/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace echoimage::ml {
+
+void write_tag(std::ostream& os, const char* tag) { os << tag << '\n'; }
+
+void expect_tag(std::istream& is, const char* tag) {
+  std::string got;
+  if (!(is >> got) || got != tag)
+    throw std::runtime_error(std::string("serialize: expected tag '") + tag +
+                             "', got '" + got + "'");
+}
+
+void write_double(std::ostream& os, double v) {
+  os << std::hexfloat << v << std::defaultfloat << '\n';
+}
+
+double read_double(std::istream& is) {
+  // std::hexfloat extraction is unreliable across standard libraries; parse
+  // the token with strtod, which accepts the hexfloat format.
+  std::string token;
+  if (!(is >> token)) throw std::runtime_error("serialize: missing double");
+  try {
+    return std::strtod(token.c_str(), nullptr);
+  } catch (...) {
+    throw std::runtime_error("serialize: bad double '" + token + "'");
+  }
+}
+
+void write_size(std::ostream& os, std::size_t v) { os << v << '\n'; }
+
+std::size_t read_size(std::istream& is) {
+  std::size_t v = 0;
+  if (!(is >> v)) throw std::runtime_error("serialize: missing size");
+  return v;
+}
+
+void write_vector(std::ostream& os, const std::vector<double>& v) {
+  write_size(os, v.size());
+  for (const double x : v) write_double(os, x);
+}
+
+std::vector<double> read_vector(std::istream& is) {
+  const std::size_t n = read_size(is);
+  if (n > (1u << 26))
+    throw std::runtime_error("serialize: implausible vector size");
+  std::vector<double> v(n);
+  for (double& x : v) x = read_double(is);
+  return v;
+}
+
+void write_matrix(std::ostream& os,
+                  const std::vector<std::vector<double>>& m) {
+  write_size(os, m.size());
+  for (const auto& row : m) write_vector(os, row);
+}
+
+std::vector<std::vector<double>> read_matrix(std::istream& is) {
+  const std::size_t n = read_size(is);
+  if (n > (1u << 22))
+    throw std::runtime_error("serialize: implausible matrix size");
+  std::vector<std::vector<double>> m(n);
+  for (auto& row : m) row = read_vector(is);
+  return m;
+}
+
+void save(std::ostream& os, const KernelParams& k) {
+  write_tag(os, "kernel");
+  write_size(os, k.type == KernelType::kLinear ? 0 : 1);
+  write_double(os, k.gamma);
+}
+
+KernelParams load_kernel(std::istream& is) {
+  expect_tag(is, "kernel");
+  KernelParams k;
+  k.type = read_size(is) == 0 ? KernelType::kLinear : KernelType::kRbf;
+  k.gamma = read_double(is);
+  return k;
+}
+
+void save(std::ostream& os, const StandardScaler& s) {
+  write_tag(os, "scaler");
+  write_vector(os, s.mean_);
+  write_vector(os, s.std_);
+}
+
+StandardScaler load_scaler(std::istream& is) {
+  expect_tag(is, "scaler");
+  StandardScaler s;
+  s.mean_ = read_vector(is);
+  s.std_ = read_vector(is);
+  if (s.mean_.size() != s.std_.size())
+    throw std::runtime_error("serialize: scaler mean/std size mismatch");
+  return s;
+}
+
+void save(std::ostream& os, const BinarySvm& svm) {
+  write_tag(os, "binary_svm");
+  save(os, svm.kernel_);
+  write_matrix(os, svm.support_vectors_);
+  write_vector(os, svm.coeffs_);
+  write_double(os, svm.bias_);
+}
+
+BinarySvm load_binary_svm(std::istream& is) {
+  expect_tag(is, "binary_svm");
+  BinarySvm svm;
+  svm.kernel_ = load_kernel(is);
+  svm.support_vectors_ = read_matrix(is);
+  svm.coeffs_ = read_vector(is);
+  svm.bias_ = read_double(is);
+  if (svm.support_vectors_.size() != svm.coeffs_.size())
+    throw std::runtime_error("serialize: SVM sv/coeff count mismatch");
+  return svm;
+}
+
+void save(std::ostream& os, const MultiClassSvm& svm) {
+  write_tag(os, "multiclass_svm");
+  write_size(os, svm.classes_.size());
+  for (const int c : svm.classes_) os << c << '\n';
+  write_size(os, svm.pairs_.size());
+  for (const auto& p : svm.pairs_) {
+    os << p.class_a << ' ' << p.class_b << '\n';
+    save(os, p.svm);
+  }
+}
+
+MultiClassSvm load_multiclass_svm(std::istream& is) {
+  expect_tag(is, "multiclass_svm");
+  MultiClassSvm svm;
+  const std::size_t nc = read_size(is);
+  svm.classes_.resize(nc);
+  for (int& c : svm.classes_)
+    if (!(is >> c)) throw std::runtime_error("serialize: missing class");
+  const std::size_t np = read_size(is);
+  svm.pairs_.resize(np);
+  for (auto& p : svm.pairs_) {
+    if (!(is >> p.class_a >> p.class_b))
+      throw std::runtime_error("serialize: missing pair labels");
+    p.svm = load_binary_svm(is);
+  }
+  return svm;
+}
+
+void save(std::ostream& os, const Svdd& svdd) {
+  write_tag(os, "svdd");
+  save(os, svdd.kernel_);
+  write_matrix(os, svdd.support_vectors_);
+  write_vector(os, svdd.alphas_);
+  write_double(os, svdd.center_norm_sq_);
+  write_double(os, svdd.radius_sq_);
+  write_double(os, svdd.margin_);
+}
+
+Svdd load_svdd(std::istream& is) {
+  expect_tag(is, "svdd");
+  Svdd svdd;
+  svdd.kernel_ = load_kernel(is);
+  svdd.support_vectors_ = read_matrix(is);
+  svdd.alphas_ = read_vector(is);
+  svdd.center_norm_sq_ = read_double(is);
+  svdd.radius_sq_ = read_double(is);
+  svdd.margin_ = read_double(is);
+  if (svdd.support_vectors_.size() != svdd.alphas_.size())
+    throw std::runtime_error("serialize: SVDD sv/alpha count mismatch");
+  return svdd;
+}
+
+}  // namespace echoimage::ml

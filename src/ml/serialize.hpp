@@ -1,0 +1,46 @@
+// Model serialization: save/load trained classifiers and scalers through
+// std::ostream / std::istream so an enrollment database survives restarts.
+//
+// The format is a line-oriented tagged text format; doubles are written in
+// hexfloat so round-trips are bit-exact. Every `save` is paired with a
+// `load` that throws std::runtime_error on malformed input.
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/kernels.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svdd.hpp"
+#include "ml/svm.hpp"
+
+namespace echoimage::ml {
+
+/// Primitive writers/readers (exposed for reuse by higher layers).
+void write_tag(std::ostream& os, const char* tag);
+void expect_tag(std::istream& is, const char* tag);
+void write_double(std::ostream& os, double v);
+[[nodiscard]] double read_double(std::istream& is);
+void write_size(std::ostream& os, std::size_t v);
+[[nodiscard]] std::size_t read_size(std::istream& is);
+void write_vector(std::ostream& os, const std::vector<double>& v);
+[[nodiscard]] std::vector<double> read_vector(std::istream& is);
+void write_matrix(std::ostream& os,
+                  const std::vector<std::vector<double>>& m);
+[[nodiscard]] std::vector<std::vector<double>> read_matrix(std::istream& is);
+
+void save(std::ostream& os, const KernelParams& k);
+[[nodiscard]] KernelParams load_kernel(std::istream& is);
+
+void save(std::ostream& os, const StandardScaler& s);
+[[nodiscard]] StandardScaler load_scaler(std::istream& is);
+
+void save(std::ostream& os, const BinarySvm& svm);
+[[nodiscard]] BinarySvm load_binary_svm(std::istream& is);
+
+void save(std::ostream& os, const MultiClassSvm& svm);
+[[nodiscard]] MultiClassSvm load_multiclass_svm(std::istream& is);
+
+void save(std::ostream& os, const Svdd& svdd);
+[[nodiscard]] Svdd load_svdd(std::istream& is);
+
+}  // namespace echoimage::ml

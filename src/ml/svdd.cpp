@@ -1,0 +1,125 @@
+#include "ml/svdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace echoimage::ml {
+
+Svdd Svdd::train(const std::vector<std::vector<double>>& x,
+                 const KernelParams& kernel, const SvddTrainParams& params) {
+  if (x.empty()) throw std::invalid_argument("Svdd: empty training set");
+  const std::size_t d = x.front().size();
+  for (const auto& row : x)
+    if (row.size() != d) throw std::invalid_argument("Svdd: ragged dataset");
+  if (params.nu <= 0.0 || params.nu > 1.0)
+    throw std::invalid_argument("Svdd: nu must be in (0, 1]");
+
+  const std::size_t n = x.size();
+  // C = 1/(nu*n); C >= 1/n is required for sum a = 1 to be feasible.
+  const double c =
+      std::max(1.0 / static_cast<double>(n),
+               1.0 / (params.nu * static_cast<double>(n)));
+  const std::vector<double> k = gram_matrix(kernel, x);
+
+  // Start feasible: uniform weights.
+  std::vector<double> alpha(n, 1.0 / static_cast<double>(n));
+  // g_i = sum_j a_j K_ij, maintained incrementally.
+  std::vector<double> g(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) g[i] += alpha[j] * k[i * n + j];
+
+  // Objective J = sum_ij a_i a_j K_ij - sum_i a_i K_ii.
+  // Gradient: dJ/da_i = 2 g_i - K_ii. A pairwise move a_i += t, a_j -= t
+  // keeps the equality constraint; the optimal unconstrained step is
+  //   t* = -(dJ/da_i - dJ/da_j) / (2 (K_ii + K_jj - 2 K_ij)),
+  // clipped so both variables stay in [0, C].
+  for (std::size_t sweep = 0; sweep < params.max_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Partner: the index with the most opposing gradient.
+      const double grad_i = 2.0 * g[i] - k[i * n + i];
+      std::size_t j = n;
+      double best_score = 0.0;
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (cand == i) continue;
+        const double grad_c = 2.0 * g[cand] - k[cand * n + cand];
+        const double diff = grad_i - grad_c;
+        // Moving mass from the higher-gradient variable to the lower one
+        // decreases J; the move must be feasible.
+        const bool feasible = (diff > 0.0 && alpha[i] > 0.0 && alpha[cand] < c) ||
+                              (diff < 0.0 && alpha[i] < c && alpha[cand] > 0.0);
+        if (feasible && std::abs(diff) > best_score) {
+          best_score = std::abs(diff);
+          j = cand;
+        }
+      }
+      if (j == n || best_score < params.tolerance) continue;
+      const double grad_j = 2.0 * g[j] - k[j * n + j];
+      const double curv =
+          2.0 * (k[i * n + i] + k[j * n + j] - 2.0 * k[i * n + j]);
+      double t;
+      if (curv > 1e-12) {
+        t = -(grad_i - grad_j) / curv;
+      } else {
+        t = grad_i > grad_j ? -alpha[i] : c - alpha[i];
+      }
+      // Clip: a_i + t in [0, C], a_j - t in [0, C].
+      t = std::clamp(t, -alpha[i], c - alpha[i]);
+      t = std::clamp(t, alpha[j] - c, alpha[j]);
+      if (std::abs(t) < 1e-14) continue;
+      alpha[i] += t;
+      alpha[j] -= t;
+      for (std::size_t m = 0; m < n; ++m)
+        g[m] += t * (k[i * n + m] - k[j * n + m]);
+      max_change = std::max(max_change, std::abs(t));
+    }
+    if (max_change < params.tolerance) break;
+  }
+
+  Svdd model;
+  model.kernel_ = kernel;
+  model.margin_ = params.radius_margin;
+  // a^T K a = sum_i a_i g_i.
+  double ata = 0.0;
+  for (std::size_t i = 0; i < n; ++i) ata += alpha[i] * g[i];
+  model.center_norm_sq_ = ata;
+
+  // Keep support vectors; R^2 from boundary vectors (0 < a < C), falling
+  // back to the largest distance when none are strictly inside the box.
+  std::vector<double> boundary_d2;
+  double max_d2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d2 = k[i * n + i] - 2.0 * g[i] + ata;
+    if (alpha[i] > 1e-10) {
+      model.support_vectors_.push_back(x[i]);
+      model.alphas_.push_back(alpha[i]);
+      if (alpha[i] < c - 1e-10) boundary_d2.push_back(d2);
+    }
+    max_d2 = std::max(max_d2, d2);
+  }
+  if (!boundary_d2.empty()) {
+    std::nth_element(boundary_d2.begin(),
+                     boundary_d2.begin() + boundary_d2.size() / 2,
+                     boundary_d2.end());
+    model.radius_sq_ = boundary_d2[boundary_d2.size() / 2];
+  } else {
+    model.radius_sq_ = max_d2;
+  }
+  return model;
+}
+
+double Svdd::distance_sq(const std::vector<double>& x) const {
+  if (support_vectors_.empty()) throw std::logic_error("Svdd: not trained");
+  double cross = 0.0;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i)
+    cross += alphas_[i] * kernel_value(kernel_, support_vectors_[i], x);
+  const double kxx = kernel_value(kernel_, x, x);
+  return kxx - 2.0 * cross + center_norm_sq_;
+}
+
+double Svdd::decision(const std::vector<double>& x) const {
+  return (1.0 + margin_) * radius_sq_ - distance_sq(x);
+}
+
+}  // namespace echoimage::ml

@@ -1,0 +1,69 @@
+// Support Vector Domain Description (Tax & Duin 1999) — the one-class
+// spoofer gate of paper Sec. V-E.
+//
+// SVDD fits the smallest hypersphere (in kernel feature space) enclosing
+// the legitimate users' training features; a test sample is accepted when
+// it falls inside the (slightly relaxed) sphere. Dual problem:
+//   min_a  sum_ij a_i a_j K_ij - sum_i a_i K_ii
+//   s.t.   0 <= a_i <= C,  sum_i a_i = 1
+// solved by pairwise coordinate descent that preserves the equality
+// constraint (SMO-style).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/kernels.hpp"
+
+namespace echoimage::ml {
+
+struct SvddTrainParams {
+  /// Upper bound on the outlier fraction of the training set; C = 1/(nu*n).
+  double nu = 0.01;
+  double tolerance = 1e-6;
+  std::size_t max_sweeps = 200;
+  /// Acceptance slack: a sample passes when dist^2 <= (1+margin) * R^2.
+  double radius_margin = 0.10;
+};
+
+class Svdd {
+ public:
+  Svdd() = default;
+
+  /// Train on one-class data. Throws std::invalid_argument on empty/ragged
+  /// input or nu outside (0, 1].
+  static Svdd train(const std::vector<std::vector<double>>& x,
+                    const KernelParams& kernel,
+                    const SvddTrainParams& params = {});
+
+  /// Squared kernel-space distance from x to the sphere center.
+  [[nodiscard]] double distance_sq(const std::vector<double>& x) const;
+
+  /// R^2 of the fitted sphere.
+  [[nodiscard]] double radius_sq() const { return radius_sq_; }
+
+  /// Decision value: (1+margin)*R^2 - dist^2(x); >= 0 means accept.
+  [[nodiscard]] double decision(const std::vector<double>& x) const;
+
+  /// True when x is inside the (relaxed) sphere — a legitimate user.
+  [[nodiscard]] bool accepts(const std::vector<double>& x) const {
+    return decision(x) >= 0.0;
+  }
+
+  [[nodiscard]] std::size_t num_support_vectors() const {
+    return support_vectors_.size();
+  }
+
+ private:
+  friend void save(std::ostream&, const Svdd&);
+  friend Svdd load_svdd(std::istream&);
+  KernelParams kernel_;
+  std::vector<std::vector<double>> support_vectors_;
+  std::vector<double> alphas_;
+  double center_norm_sq_ = 0.0;  ///< sum_ij a_i a_j K_ij (the a^T K a term)
+  double radius_sq_ = 0.0;
+  double margin_ = 0.0;
+};
+
+}  // namespace echoimage::ml

@@ -1,0 +1,189 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <stdexcept>
+
+namespace echoimage::ml {
+
+namespace {
+
+void validate_training_set(const std::vector<std::vector<double>>& x,
+                           const std::vector<int>& y) {
+  if (x.empty()) throw std::invalid_argument("svm: empty training set");
+  if (x.size() != y.size())
+    throw std::invalid_argument("svm: feature/label count mismatch");
+  const std::size_t d = x.front().size();
+  if (d == 0) throw std::invalid_argument("svm: zero-dimensional features");
+  for (const auto& row : x)
+    if (row.size() != d) throw std::invalid_argument("svm: ragged dataset");
+}
+
+}  // namespace
+
+BinarySvm BinarySvm::train(const std::vector<std::vector<double>>& x,
+                           const std::vector<int>& y,
+                           const KernelParams& kernel,
+                           const SvmTrainParams& params) {
+  validate_training_set(x, y);
+  for (const int label : y)
+    if (label != 1 && label != -1)
+      throw std::invalid_argument("BinarySvm: labels must be +1 / -1");
+  const std::size_t n = x.size();
+  bool has_pos = false, has_neg = false;
+  for (const int label : y) (label == 1 ? has_pos : has_neg) = true;
+  if (!has_pos || !has_neg)
+    throw std::invalid_argument("BinarySvm: need both classes present");
+
+  const std::vector<double> k = gram_matrix(kernel, x);
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+
+  // f(i) - y_i, using the current alphas.
+  const auto error = [&](std::size_t i) {
+    double f = b;
+    for (std::size_t j = 0; j < n; ++j)
+      if (alpha[j] > 0.0) f += alpha[j] * y[j] * k[j * n + i];
+    return f - static_cast<double>(y[i]);
+  };
+
+  // Simplified SMO (Platt; CS229 variant): sweep examples, pair each KKT
+  // violator with a random partner, solve the two-variable subproblem
+  // analytically.
+  std::mt19937_64 rng(0xC0FFEE);
+  std::size_t passes = 0, iters = 0;
+  const double c = params.c;
+  const double tol = params.tolerance;
+  while (passes < params.max_passes && iters < params.max_iterations) {
+    ++iters;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ei = error(i);
+      const bool violates = (y[i] * ei < -tol && alpha[i] < c) ||
+                            (y[i] * ei > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+      std::size_t j = std::uniform_int_distribution<std::size_t>(0, n - 2)(rng);
+      if (j >= i) ++j;
+      const double ej = error(j);
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      if (eta >= 0.0) continue;
+      double aj = aj_old - static_cast<double>(y[j]) * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-7) continue;
+      const double ai =
+          ai_old + static_cast<double>(y[i] * y[j]) * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+      const double b1 = b - ei - y[i] * (ai - ai_old) * k[i * n + i] -
+                        y[j] * (aj - aj_old) * k[i * n + j];
+      const double b2 = b - ej - y[i] * (ai - ai_old) * k[i * n + j] -
+                        y[j] * (aj - aj_old) * k[j * n + j];
+      if (ai > 0.0 && ai < c)
+        b = b1;
+      else if (aj > 0.0 && aj < c)
+        b = b2;
+      else
+        b = 0.5 * (b1 + b2);
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  BinarySvm model;
+  model.kernel_ = kernel;
+  model.bias_ = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      model.support_vectors_.push_back(x[i]);
+      model.coeffs_.push_back(alpha[i] * static_cast<double>(y[i]));
+    }
+  }
+  return model;
+}
+
+double BinarySvm::decision(const std::vector<double>& x) const {
+  double f = bias_;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i)
+    f += coeffs_[i] * kernel_value(kernel_, support_vectors_[i], x);
+  return f;
+}
+
+int BinarySvm::predict(const std::vector<double>& x) const {
+  return decision(x) >= 0.0 ? 1 : -1;
+}
+
+MultiClassSvm MultiClassSvm::train(const std::vector<std::vector<double>>& x,
+                                   const std::vector<int>& y,
+                                   const KernelParams& kernel,
+                                   const SvmTrainParams& params) {
+  validate_training_set(x, y);
+  MultiClassSvm model;
+  for (const int label : y)
+    if (std::find(model.classes_.begin(), model.classes_.end(), label) ==
+        model.classes_.end())
+      model.classes_.push_back(label);
+  std::sort(model.classes_.begin(), model.classes_.end());
+  if (model.classes_.size() < 2)
+    throw std::invalid_argument("MultiClassSvm: need at least two classes");
+
+  for (std::size_t a = 0; a < model.classes_.size(); ++a) {
+    for (std::size_t bi = a + 1; bi < model.classes_.size(); ++bi) {
+      const int ca = model.classes_[a], cb = model.classes_[bi];
+      std::vector<std::vector<double>> xs;
+      std::vector<int> ys;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (y[i] == ca) {
+          xs.push_back(x[i]);
+          ys.push_back(1);
+        } else if (y[i] == cb) {
+          xs.push_back(x[i]);
+          ys.push_back(-1);
+        }
+      }
+      PairModel pm;
+      pm.class_a = ca;
+      pm.class_b = cb;
+      pm.svm = BinarySvm::train(xs, ys, kernel, params);
+      model.pairs_.push_back(std::move(pm));
+    }
+  }
+  return model;
+}
+
+int MultiClassSvm::predict(const std::vector<double>& x) const {
+  if (pairs_.empty()) throw std::logic_error("MultiClassSvm: not trained");
+  std::map<int, double> votes;       // label -> vote count
+  std::map<int, double> confidence;  // label -> sum |decision|
+  for (const PairModel& pm : pairs_) {
+    const double d = pm.svm.decision(x);
+    const int winner = d >= 0.0 ? pm.class_a : pm.class_b;
+    votes[winner] += 1.0;
+    confidence[winner] += std::abs(d);
+  }
+  int best = classes_.front();
+  double best_votes = -1.0, best_conf = -1.0;
+  for (const int c : classes_) {
+    const double v = votes.count(c) ? votes.at(c) : 0.0;
+    const double conf = confidence.count(c) ? confidence.at(c) : 0.0;
+    if (v > best_votes || (v == best_votes && conf > best_conf)) {
+      best = c;
+      best_votes = v;
+      best_conf = conf;
+    }
+  }
+  return best;
+}
+
+}  // namespace echoimage::ml

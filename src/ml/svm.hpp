@@ -1,0 +1,82 @@
+// Support vector machine classifiers (paper Sec. V-E).
+//
+// A from-scratch SMO solver for the binary soft-margin C-SVC dual, plus a
+// one-vs-one multi-class wrapper — the "n-class SVM classifier" that
+// verifies which registered user is speaking after the SVDD spoofer gate.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/kernels.hpp"
+
+namespace echoimage::ml {
+
+struct SvmTrainParams {
+  double c = 10.0;          ///< soft-margin penalty
+  double tolerance = 1e-3;  ///< KKT violation tolerance
+  std::size_t max_passes = 8;    ///< passes without change before stopping
+  std::size_t max_iterations = 20000;  ///< hard cap on SMO sweeps
+};
+
+/// Trained binary classifier: f(x) = sum_i alpha_i y_i k(x_i, x) + b.
+class BinarySvm {
+ public:
+  BinarySvm() = default;
+
+  /// Train on labels in {-1, +1}. Throws std::invalid_argument on empty,
+  /// ragged, single-class, or mislabeled input.
+  static BinarySvm train(const std::vector<std::vector<double>>& x,
+                         const std::vector<int>& y,
+                         const KernelParams& kernel,
+                         const SvmTrainParams& params = {});
+
+  /// Signed decision value; positive means class +1.
+  [[nodiscard]] double decision(const std::vector<double>& x) const;
+
+  /// Predicted label in {-1, +1}.
+  [[nodiscard]] int predict(const std::vector<double>& x) const;
+
+  [[nodiscard]] std::size_t num_support_vectors() const {
+    return support_vectors_.size();
+  }
+  [[nodiscard]] double bias() const { return bias_; }
+  [[nodiscard]] const KernelParams& kernel() const { return kernel_; }
+
+ private:
+  friend void save(std::ostream&, const BinarySvm&);
+  friend BinarySvm load_binary_svm(std::istream&);
+  KernelParams kernel_;
+  std::vector<std::vector<double>> support_vectors_;
+  std::vector<double> coeffs_;  ///< alpha_i * y_i per support vector
+  double bias_ = 0.0;
+};
+
+/// One-vs-one multi-class SVM with majority voting (decision-value sum
+/// breaks ties).
+class MultiClassSvm {
+ public:
+  MultiClassSvm() = default;
+
+  /// Train on integer labels (any values; at least two distinct).
+  static MultiClassSvm train(const std::vector<std::vector<double>>& x,
+                             const std::vector<int>& y,
+                             const KernelParams& kernel,
+                             const SvmTrainParams& params = {});
+
+  [[nodiscard]] int predict(const std::vector<double>& x) const;
+  [[nodiscard]] const std::vector<int>& classes() const { return classes_; }
+
+ private:
+  friend void save(std::ostream&, const MultiClassSvm&);
+  friend MultiClassSvm load_multiclass_svm(std::istream&);
+  struct PairModel {
+    int class_a = 0, class_b = 0;  ///< +1 label, -1 label
+    BinarySvm svm;
+  };
+  std::vector<int> classes_;
+  std::vector<PairModel> pairs_;
+};
+
+}  // namespace echoimage::ml

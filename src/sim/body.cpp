@@ -1,0 +1,225 @@
+#include "sim/body.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace echoimage::sim {
+
+BodyProfile::BodyProfile(std::vector<BodyReflector> reflectors,
+                         double height_m, double shoulder_m,
+                         double habitual_lean_rad, double habitual_depth_m)
+    : reflectors_(std::move(reflectors)),
+      height_m_(height_m),
+      shoulder_m_(shoulder_m),
+      habitual_lean_rad_(habitual_lean_rad),
+      habitual_depth_m_(habitual_depth_m) {
+  if (reflectors_.empty())
+    throw std::invalid_argument("BodyProfile: empty reflector cloud");
+}
+
+namespace {
+
+// Half-width of the body silhouette at normalized height u = z/height,
+// in units of the shoulder half-width. Piecewise profile: legs/hips ->
+// waist -> chest -> shoulders -> neck -> head handled separately.
+double torso_half_width(double u) {
+  if (u < 0.45) return 0.0;           // below hips: ignored (legs)
+  if (u < 0.55) return 0.72;          // hips
+  if (u < 0.62) return 0.62;          // waist
+  if (u < 0.78) return 0.80;          // chest
+  if (u < 0.84) return 1.00;          // shoulders
+  if (u < 0.87) return 0.28;          // neck
+  return 0.0;                         // head handled as a disc
+}
+
+}  // namespace
+
+BodyProfile generate_body_profile(std::uint64_t user_seed,
+                                  const Demographic& demo,
+                                  const BodyModelParams& params) {
+  Rng rng(mix_seed(user_seed, 0xB0D7));
+  // Gross dimensions from demographics with individual variation.
+  double height = demo.gender == Gender::kMale ? 1.74 : 1.62;
+  if (demo.age < 20) height -= 0.02;
+  if (demo.age > 35) height -= 0.01;
+  height += rng.gaussian(0.0, 0.05);
+  height = std::clamp(height, 1.50, 1.95);
+  double shoulder = demo.gender == Gender::kMale ? 0.46 : 0.41;
+  shoulder += rng.gaussian(0.0, 0.02);
+  shoulder = std::clamp(shoulder, 0.34, 0.54);
+
+  // Identity-bearing smooth fields over the (lateral, height) silhouette.
+  const SmoothField2D depth_field(mix_seed(user_seed, 0xDE71), 14, 4.0);
+  const SmoothField2D refl_field(mix_seed(user_seed, 0x5EF1), 14, 5.0);
+  // Global acoustic "build": clothing material and body size scale overall
+  // reflectivity by several dB between people (leather vs wool differ by an
+  // order of magnitude) — stable for a given person.
+  const double build_scale =
+      std::clamp(std::exp(rng.gaussian(0.0, 0.6)), 0.55, 2.5);
+  // Per-user spectral tilt field (clothing material map) plus a whole-body
+  // baseline tilt (outfit-dominant material).
+  const SmoothField2D slope_field(mix_seed(user_seed, 0x51DE), 10, 3.0);
+  const double slope_base = rng.gaussian(0.0, 0.8);
+
+  std::vector<BodyReflector> pts;
+  const double pitch = params.point_spacing_m;
+  const double half_shoulder = shoulder / 2.0;
+
+  // Torso + shoulders + neck: scan the silhouette on a jittered grid.
+  for (double z = 0.45 * height; z < 0.87 * height; z += pitch) {
+    const double u = z / height;
+    const double hw = torso_half_width(u) * half_shoulder;
+    if (hw <= 0.0) continue;
+    for (double x = -hw; x <= hw; x += pitch) {
+      const double jx = x + rng.uniform(-0.2, 0.2) * pitch;
+      const double jz = z + rng.uniform(-0.2, 0.2) * pitch;
+      const double uu = (jx / shoulder) + 0.5;  // normalized lateral
+      const double vv = jz / height;            // normalized height
+      BodyReflector r;
+      // Depth relief: body curvature (rounded torso) + identity field.
+      const double curvature = -0.5 * (jx * jx) / std::max(hw, 1e-3);
+      r.local = Vec3{jx,
+                     curvature + params.depth_scale_m *
+                                     depth_field.value(uu, vv),
+                     jz};
+      r.reflectivity =
+          params.reflectivity_base * build_scale *
+          std::exp(std::clamp(params.reflectivity_spread *
+                                  refl_field.value(uu, vv),
+                              -1.8, 1.8));
+      r.spectral_slope = std::clamp(
+          slope_base + params.spectral_slope_scale * slope_field.value(uu, vv),
+          -4.0, 4.0);
+      pts.push_back(r);
+    }
+  }
+
+  // Head: disc of radius ~9 cm centered near the top.
+  const double head_r = 0.09 + rng.gaussian(0.0, 0.006);
+  const double head_cz = 0.93 * height;
+  for (double z = head_cz - head_r; z <= head_cz + head_r; z += pitch) {
+    const double dz = z - head_cz;
+    const double hw = std::sqrt(std::max(0.0, head_r * head_r - dz * dz));
+    for (double x = -hw; x <= hw; x += pitch) {
+      const double uu = (x / shoulder) + 0.5;
+      const double vv = z / height;
+      BodyReflector r;
+      const double bulge =
+          std::sqrt(std::max(0.0, head_r * head_r - x * x - dz * dz));
+      r.local = Vec3{x, 0.4 * bulge + 0.5 * params.depth_scale_m *
+                                          depth_field.value(uu, vv),
+                     z};
+      r.reflectivity =
+          0.8 * params.reflectivity_base * build_scale *
+          std::exp(std::clamp(params.reflectivity_spread *
+                                  refl_field.value(uu, vv),
+                              -1.8, 1.8));
+      // Skin/hair: milder tilt than clothing.
+      r.spectral_slope = std::clamp(
+          0.4 * (slope_base +
+                 params.spectral_slope_scale * slope_field.value(uu, vv)),
+          -4.0, 4.0);
+      pts.push_back(r);
+    }
+  }
+
+  // Arms: thin columns just outside the torso.
+  for (int side = -1; side <= 1; side += 2) {
+    const double ax = side * (half_shoulder + 0.035);
+    for (double z = 0.48 * height; z < 0.80 * height; z += pitch) {
+      const double uu = (ax / shoulder) + 0.5;
+      const double vv = z / height;
+      BodyReflector r;
+      r.local = Vec3{ax + rng.uniform(-0.01, 0.01),
+                     params.depth_scale_m * depth_field.value(uu, vv) - 0.02,
+                     z};
+      r.reflectivity =
+          0.5 * params.reflectivity_base * build_scale *
+          std::exp(std::clamp(params.reflectivity_spread *
+                                  refl_field.value(uu, vv),
+                              -1.8, 1.8));
+      r.spectral_slope = std::clamp(
+          slope_base + params.spectral_slope_scale * slope_field.value(uu, vv),
+          -4.0, 4.0);
+      pts.push_back(r);
+    }
+  }
+
+  // Habitual stance offsets: stable personal posture (how far from the
+  // device the person naturally stands, how much they slouch/lean).
+  const double habit_lean = rng.gaussian(0.0, 0.025);
+  const double habit_depth = rng.gaussian(0.0, 0.02);
+  return BodyProfile(std::move(pts), height, shoulder, habit_lean,
+                     habit_depth);
+}
+
+Pose draw_session_pose(Rng& rng, double jitter_scale) {
+  Pose p;
+  // The user deliberately stands in front of the device for a
+  // safety-critical action (paper Sec. V-B), so stance jitter is cm-scale.
+  // Clamped: users take a deliberate, repeatable stance for authentication.
+  p.lateral_shift_m =
+      std::clamp(jitter_scale * rng.gaussian(0.0, 0.008), -0.015, 0.015);
+  p.depth_shift_m =
+      std::clamp(jitter_scale * rng.gaussian(0.0, 0.008), -0.015, 0.015);
+  p.lean_rad =
+      std::clamp(jitter_scale * rng.gaussian(0.0, 0.012), -0.02, 0.02);
+  p.reflectivity_gain = std::clamp(
+      1.0 + jitter_scale * rng.gaussian(0.0, 0.03), 0.8, 1.2);
+  p.clothing_seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  return p;
+}
+
+std::vector<WorldReflector> pose_body(const BodyProfile& profile,
+                                      const Pose& pose, double distance_m,
+                                      double array_height_m,
+                                      double specular_exponent) {
+  const SmoothField2D clothing(mix_seed(pose.clothing_seed, 0xC107), 8, 3.0);
+  const double lean = pose.lean_rad + profile.habitual_lean_rad();
+  const double cos_lean = std::cos(lean);
+  const double sin_lean = std::sin(lean);
+  std::vector<WorldReflector> out;
+  out.reserve(profile.reflectors().size());
+  for (const BodyReflector& r : profile.reflectors()) {
+    // Lean rotates the body about the x axis at hip height.
+    const double hip = 0.5 * profile.height_m();
+    const double zl = r.local.z - hip;
+    const double yl = r.local.y + pose.breathing_m;
+    const double z_rot = zl * cos_lean - yl * sin_lean + hip;
+    const double y_rot = zl * sin_lean + yl * cos_lean;
+    WorldReflector w;
+    // World: user at +y distance, facing the array; body surface depth
+    // offsets point back toward the array (-y in world).
+    w.position = Vec3{r.local.x + pose.lateral_shift_m,
+                      distance_m + pose.depth_shift_m +
+                          profile.habitual_depth_m() - y_rot,
+                      z_rot - array_height_m};
+    const double u = r.local.x / std::max(profile.shoulder_m(), 1e-3) + 0.5;
+    const double v = r.local.z / std::max(profile.height_m(), 1e-3);
+    const double cloth = std::clamp(
+        1.0 + 0.06 * clothing.value(u, v), 0.75, 1.25);
+    // Specular incidence weighting: the body surface faces -y (toward the
+    // array, tilted by the lean); a point's echo falls off as cos^q of the
+    // angle between its line of sight to the array and the local surface
+    // normal. This makes the chest patch at array height the dominant,
+    // pose-stable reflector, as for a real (smooth, convex) torso.
+    double spec = 1.0;
+    if (specular_exponent > 0.0) {
+      const double range = w.position.norm();
+      if (range > 1e-6) {
+        // Surface normal ~ (0, -cos(lean), sin(lean)) for a standing body.
+        const double cos_inc = std::clamp(
+            (w.position.y * cos_lean + w.position.z * (-sin_lean)) / range,
+            0.0, 1.0);
+        spec = std::pow(cos_inc, specular_exponent);
+      }
+    }
+    w.reflectivity = r.reflectivity * pose.reflectivity_gain * cloth * spec;
+    w.spectral_slope = r.spectral_slope;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,117 @@
+// Per-user body model for the acoustic simulator.
+//
+// The paper's authentication signal is the spatial pattern of echo energy
+// reflected off a user's upper body. We model each user as a cloud of point
+// scatterers sampled over a parametric silhouette (torso + shoulders +
+// head + arms) whose depth and reflectivity are smooth random fields seeded
+// by the user identity — stable across sessions (it's the same body) but
+// distinct between users. Session-level jitter models posture, standing
+// position, and clothing changes; per-beep micro-jitter models breathing
+// and sway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/geometry.hpp"
+#include "sim/random.hpp"
+
+namespace echoimage::sim {
+
+using echoimage::array::Vec3;
+
+enum class Gender { kMale, kFemale };
+
+/// Demographic attributes (paper Table I drives these).
+struct Demographic {
+  Gender gender = Gender::kMale;
+  int age = 25;
+};
+
+/// One scatterer in body-local coordinates: x lateral (m, 0 = body center),
+/// y depth offset (m, positive = toward the array), z height above the
+/// floor (m).
+struct BodyReflector {
+  Vec3 local;
+  double reflectivity = 0.0;  ///< amplitude reflection strength (m-ish units)
+  /// Power-law exponent of the reflectivity across the probing band
+  /// (clothing fabric and skin absorb differently at 2 vs 3 kHz); sampled
+  /// from a per-user smooth field, it adds a spectral identity channel.
+  double spectral_slope = 0.0;
+};
+
+/// A user's body: reflector cloud + gross dimensions.
+class BodyProfile {
+ public:
+  BodyProfile(std::vector<BodyReflector> reflectors, double height_m,
+              double shoulder_m, double habitual_lean_rad = 0.0,
+              double habitual_depth_m = 0.0);
+
+  [[nodiscard]] const std::vector<BodyReflector>& reflectors() const {
+    return reflectors_;
+  }
+  [[nodiscard]] double height_m() const { return height_m_; }
+  [[nodiscard]] double shoulder_m() const { return shoulder_m_; }
+  /// Habitual stance: a person leans and stands at characteristic offsets
+  /// (posture habit); session jitter varies *around* these.
+  [[nodiscard]] double habitual_lean_rad() const { return habitual_lean_rad_; }
+  [[nodiscard]] double habitual_depth_m() const { return habitual_depth_m_; }
+
+ private:
+  std::vector<BodyReflector> reflectors_;
+  double height_m_;
+  double shoulder_m_;
+  double habitual_lean_rad_;
+  double habitual_depth_m_;
+};
+
+/// Sampling density and field scales for profile generation.
+struct BodyModelParams {
+  double point_spacing_m = 0.03;    ///< silhouette sampling pitch
+  double depth_scale_m = 0.04;      ///< RMS depth relief of the body surface
+  double reflectivity_base = 0.08;  ///< mean per-point amplitude reflectivity
+  double reflectivity_spread = 0.9; ///< relative spread of the field
+  /// Specularity exponent: a smooth torso reflects like a directional
+  /// (near-specular) surface, so each point's contribution is weighted by
+  /// cos^q of its incidence angle toward the array. Large q concentrates
+  /// the echo in the stable near-normal patch (chest at array height);
+  /// q = 0 reverts to the isotropic point-scatterer model.
+  double specular_exponent = 10.0;
+  /// Scale of the per-user spectral-slope field (power-law exponents up to
+  /// roughly +/- 2 x this value across the body).
+  double spectral_slope_scale = 2.0;
+};
+
+/// Deterministically generate a user's body from their seed + demographics.
+[[nodiscard]] BodyProfile generate_body_profile(
+    std::uint64_t user_seed, const Demographic& demo,
+    const BodyModelParams& params = {});
+
+/// Session- and beep-level perturbations applied when posing the body.
+struct Pose {
+  double lateral_shift_m = 0.0;   ///< standing slightly off-center
+  double depth_shift_m = 0.0;     ///< standing slightly nearer / farther
+  double lean_rad = 0.0;          ///< forward/back lean (rotation about x)
+  double reflectivity_gain = 1.0; ///< clothing-dependent overall gain
+  std::uint64_t clothing_seed = 0; ///< seeds a smooth reflectivity modulation
+  double breathing_m = 0.0;       ///< per-beep chest displacement
+};
+
+/// Draw a session-level pose: shifts ~ cm-scale, lean ~ 2 degrees,
+/// clothing gain ~ +/-15%. `jitter_scale` scales all magnitudes (0 = none).
+[[nodiscard]] Pose draw_session_pose(Rng& rng, double jitter_scale = 1.0);
+
+/// Place the posed body in world (array-centered) coordinates: the user
+/// faces the array at horizontal distance `distance_m` along +y, the floor
+/// is at z = -array_height_m. Returns world-space reflectors with
+/// clothing-modulated reflectivities and specular incidence weighting.
+struct WorldReflector {
+  Vec3 position;
+  double reflectivity = 0.0;
+  double spectral_slope = 0.0;  ///< see BodyReflector::spectral_slope
+};
+[[nodiscard]] std::vector<WorldReflector> pose_body(
+    const BodyProfile& profile, const Pose& pose, double distance_m,
+    double array_height_m, double specular_exponent = 10.0);
+
+}  // namespace echoimage::sim

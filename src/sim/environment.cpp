@@ -1,0 +1,94 @@
+#include "sim/environment.hpp"
+
+namespace echoimage::sim {
+
+std::string to_string(EnvironmentKind kind) {
+  switch (kind) {
+    case EnvironmentKind::kLab:
+      return "laboratory";
+    case EnvironmentKind::kConferenceHall:
+      return "conference hall";
+    case EnvironmentKind::kOutdoor:
+      return "outdoor";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// A wall is approximated by its specular reflection point for a source and
+// listener near the origin: a single strong reflector at the wall's nearest
+// point.
+void add_wall(std::vector<WorldReflector>& out, Rng& rng, Vec3 at,
+              double reflectivity) {
+  out.push_back(WorldReflector{
+      Vec3{at.x + rng.gaussian(0.0, 0.1), at.y + rng.gaussian(0.0, 0.1),
+           at.z + rng.gaussian(0.0, 0.05)},
+      reflectivity * rng.uniform(0.8, 1.2)});
+}
+
+void add_furniture(std::vector<WorldReflector>& out, Rng& rng, int count,
+                   double min_r, double max_r) {
+  for (int i = 0; i < count; ++i) {
+    // Furniture sits off the user's axis (+y): bias toward the sides.
+    const double r = rng.uniform(min_r, max_r);
+    const double ang = rng.uniform(0.35, 2.8) *
+                       (rng.uniform_int(0, 1) == 0 ? 1.0 : -1.0);
+    // Furniture is a weak diffuse scatterer, not a mirror: low amplitude,
+    // spread over a few nearby points so the matched filter cannot compress
+    // it into one tall glint.
+    const Vec3 center{r * std::sin(ang), r * std::cos(ang),
+                      rng.uniform(-0.9, 0.3)};
+    const double total = rng.uniform(0.0002, 0.001);
+    for (int p = 0; p < 4; ++p) {
+      out.push_back(WorldReflector{
+          Vec3{center.x + rng.gaussian(0.0, 0.08),
+               center.y + rng.gaussian(0.0, 0.08),
+               center.z + rng.gaussian(0.0, 0.08)},
+          total / 4.0});
+    }
+  }
+}
+
+}  // namespace
+
+Environment make_environment(EnvironmentKind kind, std::uint64_t seed,
+                             double ambient_db) {
+  Rng rng(mix_seed(seed, 0xE57));
+  Environment env;
+  env.kind = kind;
+  env.ambient = NoiseParams{NoiseKind::kQuiet, ambient_db};
+  switch (kind) {
+    case EnvironmentKind::kLab: {
+      // Small room: walls ~2-3 m away, a desk and a shelf off-axis.
+      add_wall(env.clutter, rng, Vec3{2.6, 0.5, 0.0}, 0.25);
+      add_wall(env.clutter, rng, Vec3{-2.8, 0.3, 0.0}, 0.25);
+      add_wall(env.clutter, rng, Vec3{0.3, 3.1, 0.0}, 0.30);
+      add_wall(env.clutter, rng, Vec3{0.0, -1.8, 0.0}, 0.22);
+      add_furniture(env.clutter, rng, 3, 1.0, 2.2);
+      env.reverb = ReverbParams{0.004, 0.06};
+      break;
+    }
+    case EnvironmentKind::kConferenceHall: {
+      // Large room: far walls, many chairs/tables, longer reverb.
+      add_wall(env.clutter, rng, Vec3{5.5, 1.0, 0.0}, 0.30);
+      add_wall(env.clutter, rng, Vec3{-6.0, 0.5, 0.0}, 0.30);
+      add_wall(env.clutter, rng, Vec3{0.5, 8.0, 0.0}, 0.35);
+      add_wall(env.clutter, rng, Vec3{0.0, -4.0, 0.0}, 0.28);
+      add_furniture(env.clutter, rng, 8, 1.2, 4.0);
+      env.reverb = ReverbParams{0.006, 0.15};
+      break;
+    }
+    case EnvironmentKind::kOutdoor: {
+      // No walls; ground bounce only; no reverb tail but a noisier floor.
+      env.clutter.push_back(
+          WorldReflector{Vec3{0.0, 1.0, -1.2}, 0.05});
+      env.reverb = ReverbParams{0.0, 0.0};
+      env.ambient.level_db = ambient_db + 6.0;  // wind / distant city hum
+      break;
+    }
+  }
+  return env;
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,92 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/butterworth.hpp"
+#include "dsp/signal.hpp"
+
+namespace echoimage::sim {
+
+using echoimage::dsp::SosCascade;
+
+double level_db_to_rms(double level_db) {
+  return std::pow(10.0, (level_db - kFullScaleDb) / 20.0);
+}
+
+namespace {
+
+Signal white(std::size_t length, Rng& rng) {
+  Signal x(length);
+  for (double& v : x) v = rng.gaussian();
+  return x;
+}
+
+// Slow sinusoidal + stochastic amplitude modulation (beats, syllables,
+// passing vehicles).
+void modulate(Signal& x, double sample_rate, double mod_hz, double depth,
+              Rng& rng) {
+  const double phase0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double drift = rng.uniform(0.8, 1.25);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    const double m =
+        1.0 + depth * std::sin(2.0 * std::numbers::pi * mod_hz * drift * t +
+                               phase0);
+    x[i] *= m;
+  }
+}
+
+void calibrate_rms(Signal& x, double target_rms) {
+  const double r = echoimage::dsp::rms(x);
+  if (r <= 0.0) return;
+  echoimage::dsp::scale_in_place(x, target_rms / r);
+}
+
+}  // namespace
+
+Signal generate_noise(const NoiseParams& params, std::size_t length,
+                      double sample_rate, Rng& rng) {
+  if (length == 0) return {};
+  Signal x = white(length, rng);
+  switch (params.kind) {
+    case NoiseKind::kQuiet: {
+      // Room tone: mostly HVAC-like rumble below ~500 Hz.
+      const SosCascade lp =
+          echoimage::dsp::butterworth_lowpass(2, 500.0, sample_rate);
+      x = lp.filter(x);
+      break;
+    }
+    case NoiseKind::kMusic: {
+      // Energy concentrated below 2 kHz with beat-rate (~2 Hz) swells.
+      const SosCascade lp =
+          echoimage::dsp::butterworth_lowpass(3, 2000.0, sample_rate);
+      x = lp.filter(x);
+      modulate(x, sample_rate, 2.0, 0.5, rng);
+      break;
+    }
+    case NoiseKind::kChatter: {
+      // Speech band 300 Hz - 3 kHz with syllabic (~4 Hz) modulation; note it
+      // overlaps the 2-3 kHz probing band, making it the hardest condition.
+      const SosCascade bp =
+          echoimage::dsp::butterworth_bandpass(2, 300.0, 3000.0, sample_rate);
+      x = bp.filter(x);
+      modulate(x, sample_rate, 4.0, 0.7, rng);
+      break;
+    }
+    case NoiseKind::kTraffic: {
+      // Heavy rumble below ~800 Hz with slow passing-vehicle swells.
+      const SosCascade lp =
+          echoimage::dsp::butterworth_lowpass(3, 800.0, sample_rate);
+      x = lp.filter(x);
+      modulate(x, sample_rate, 0.3, 0.6, rng);
+      break;
+    }
+    case NoiseKind::kWhite:
+      break;
+  }
+  calibrate_rms(x, level_db_to_rms(params.level_db));
+  return x;
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,47 @@
+// Environmental noise synthesis (paper Sec. VI-A1).
+//
+// The paper evaluates under quiet rooms (~30 dB) and under music / people-
+// chatting / traffic noise played at ~50 dB from 1-2 m away. We synthesize
+// each condition as spectrally shaped Gaussian noise with the appropriate
+// amplitude modulation, calibrated on a common dB scale, and render it both
+// as a localized point source (correlated across microphones with proper
+// delays) and a diffuse component (independent per microphone).
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/signal.hpp"
+#include "sim/random.hpp"
+
+namespace echoimage::sim {
+
+using echoimage::dsp::Signal;
+
+enum class NoiseKind {
+  kQuiet,    ///< residual room noise: low-level low-frequency rumble
+  kMusic,    ///< broadband with beats, mostly below 2 kHz
+  kChatter,  ///< speech-band noise with syllabic (4 Hz) modulation
+  kTraffic,  ///< heavy low-frequency rumble with passing-vehicle swells
+  kWhite,    ///< flat-spectrum reference for tests
+};
+
+/// Calibration: digital amplitude 1.0 RMS corresponds to this sound level.
+/// (The absolute anchor is arbitrary; only ratios matter.)
+inline constexpr double kFullScaleDb = 70.0;
+
+/// RMS amplitude corresponding to a sound level in dB on the simulator's
+/// scale (level_db == kFullScaleDb -> 1.0).
+[[nodiscard]] double level_db_to_rms(double level_db);
+
+struct NoiseParams {
+  NoiseKind kind = NoiseKind::kQuiet;
+  double level_db = 30.0;  ///< target RMS level on the simulator dB scale
+};
+
+/// Mono noise of `length` samples at `sample_rate`, spectrally shaped for
+/// `kind` and RMS-calibrated to `level_db`.
+[[nodiscard]] Signal generate_noise(const NoiseParams& params,
+                                    std::size_t length, double sample_rate,
+                                    Rng& rng);
+
+}  // namespace echoimage::sim

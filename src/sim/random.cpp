@@ -1,0 +1,72 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace echoimage::sim {
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+  // splitmix64 finalizer over the combined value.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(gen_);
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  Rng copy = *this;
+  std::uint64_t s = copy.gen_();
+  return Rng(mix_seed(s, stream));
+}
+
+SmoothField2D::SmoothField2D(std::uint64_t seed, std::size_t order,
+                             double max_freq) {
+  Rng rng(seed);
+  harmonics_.reserve(order);
+  for (std::size_t i = 0; i < order; ++i) {
+    Harmonic h;
+    h.pu = rng.uniform(-max_freq, max_freq);
+    h.pv = rng.uniform(-max_freq, max_freq);
+    const double f = std::hypot(h.pu, h.pv);
+    // 1/(1+f) amplitude roll-off keeps the field smooth.
+    h.amplitude = rng.gaussian(0.0, 1.0) / (1.0 + f);
+    h.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    harmonics_.push_back(h);
+  }
+  // Normalize to roughly unit RMS.
+  double var = 0.0;
+  for (const Harmonic& h : harmonics_) var += 0.5 * h.amplitude * h.amplitude;
+  const double norm = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (Harmonic& h : harmonics_) h.amplitude *= norm;
+}
+
+double SmoothField2D::value(double u, double v) const {
+  double s = 0.0;
+  for (const Harmonic& h : harmonics_)
+    s += h.amplitude *
+         std::cos(2.0 * std::numbers::pi * (h.pu * u + h.pv * v) + h.phase);
+  return s;
+}
+
+double SmoothField2D::mapped(double u, double v, double center, double scale,
+                             double lo, double hi) const {
+  return std::clamp(center + scale * value(u, v), lo, hi);
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,63 @@
+// Deterministic randomness for the acoustic simulator.
+//
+// Every stochastic element (body reflectivity fields, session jitter,
+// noise) is driven by explicit seeds so experiments are exactly
+// reproducible. Smooth random fields (low-order random Fourier series) give
+// per-user body characteristics that are stable, structured, and distinct.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace echoimage::sim {
+
+/// Mix a base seed with stream labels so sub-streams are decorrelated
+/// (splitmix64 finalizer).
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
+/// Thin wrapper over std::mt19937_64 with the distributions the simulator
+/// uses. Copyable, cheap, deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] double gaussian(double mean = 0.0, double stddev = 1.0);
+  [[nodiscard]] int uniform_int(int lo, int hi);  ///< inclusive bounds
+  /// Derive an independent sub-generator for the given stream label.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// Smooth 2-D random field on [0,1]^2 built from a small random Fourier
+/// series: f(u,v) = sum_i a_i cos(2 pi (p_i u + q_i v) + c_i). Evaluations
+/// are deterministic functions of the seed — the same user always gets the
+/// same field.
+class SmoothField2D {
+ public:
+  /// `order` harmonics with spatial frequencies up to `max_freq` cycles per
+  /// unit; amplitudes decay with frequency (pink-ish spectrum).
+  SmoothField2D(std::uint64_t seed, std::size_t order = 12,
+                double max_freq = 4.0);
+
+  /// Field value at (u, v); roughly zero-mean with unit-ish variance.
+  [[nodiscard]] double value(double u, double v) const;
+
+  /// Affine-mapped value clamped to [lo, hi] with the field scaled by
+  /// `scale` around `center`.
+  [[nodiscard]] double mapped(double u, double v, double center, double scale,
+                              double lo, double hi) const;
+
+ private:
+  struct Harmonic {
+    double amplitude;
+    double pu, pv;  ///< spatial frequencies (cycles per unit)
+    double phase;
+  };
+  std::vector<Harmonic> harmonics_;
+};
+
+}  // namespace echoimage::sim

@@ -1,0 +1,135 @@
+#include "sim/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace echoimage::sim {
+
+SceneRenderer::SceneRenderer(Scene scene, CaptureConfig config)
+    : scene_(std::move(scene)), config_(config), chirp_(config.chirp) {}
+
+double SceneRenderer::direct_delay(std::size_t mic) const {
+  return scene_.speaker_position.distance_to(scene_.geometry.mic(mic)) /
+         scene_.speed_of_sound;
+}
+
+double SceneRenderer::echo_delay(const Vec3& point, std::size_t mic) const {
+  const double d_tx = scene_.speaker_position.distance_to(point);
+  const double d_rx = point.distance_to(scene_.geometry.mic(mic));
+  return (d_tx + d_rx) / scene_.speed_of_sound;
+}
+
+void SceneRenderer::add_path(echoimage::dsp::Signal& channel, double delay_s,
+                             double gain, double spectral_slope) const {
+  chirp_.add_delayed(channel, config_.sample_rate, delay_s, gain,
+                     spectral_slope);
+}
+
+void SceneRenderer::add_noise(MultiChannelSignal& out, Rng& rng) const {
+  const std::size_t n = out.length();
+  const std::size_t num_mics = out.num_channels();
+  const double clamp_d = config_.min_path_m;
+
+  // Ambient (diffuse) noise: independent per microphone.
+  for (std::size_t m = 0; m < num_mics; ++m) {
+    Rng mic_rng = rng.fork(0xA0B1 + m);
+    const echoimage::dsp::Signal amb = generate_noise(
+        scene_.environment.ambient, n, config_.sample_rate, mic_rng);
+    echoimage::dsp::add_in_place(out.channels[m], amb);
+  }
+
+  // Microphone self-noise / ADC floor: white, independent per channel.
+  for (std::size_t m = 0; m < num_mics; ++m) {
+    Rng mic_rng = rng.fork(0x5E25 + m);
+    const echoimage::dsp::Signal self = generate_noise(
+        NoiseParams{NoiseKind::kWhite, config_.sensor_noise_db}, n,
+        config_.sample_rate, mic_rng);
+    echoimage::dsp::add_in_place(out.channels[m], self);
+  }
+
+  // Localized playback noise: one waveform, delayed per mic (integer-sample
+  // delay is fine for noise) and attenuated by distance.
+  if (scene_.noise_source.has_value()) {
+    const NoiseSource& src = *scene_.noise_source;
+    Rng src_rng = rng.fork(0x5047);
+    // Generate extra lead-in so per-mic delays can be applied by offset.
+    const std::size_t lead =
+        echoimage::dsp::seconds_to_samples(0.05, config_.sample_rate);
+    const echoimage::dsp::Signal wave =
+        generate_noise(src.params, n + lead, config_.sample_rate, src_rng);
+    for (std::size_t m = 0; m < num_mics; ++m) {
+      const Vec3 mic = scene_.geometry.mic(m);
+      const double d = std::max(src.position.distance_to(mic), clamp_d);
+      const std::size_t delay = std::min(
+          lead, echoimage::dsp::seconds_to_samples(
+                    d / scene_.speed_of_sound, config_.sample_rate));
+      const double gain = 1.0 / d;
+      echoimage::dsp::Signal& ch = out.channels[m];
+      for (std::size_t i = 0; i < n; ++i) ch[i] += gain * wave[lead + i - delay];
+    }
+  }
+}
+
+MultiChannelSignal SceneRenderer::render_beep(
+    const std::vector<WorldReflector>& body, Rng& rng) const {
+  const std::size_t n = config_.frame_samples();
+  const std::size_t num_mics = scene_.geometry.num_mics();
+  const double clamp_d = config_.min_path_m;
+  MultiChannelSignal out;
+  out.channels.assign(num_mics, echoimage::dsp::Signal(n, 0.0));
+
+  for (std::size_t m = 0; m < num_mics; ++m) {
+    echoimage::dsp::Signal& ch = out.channels[m];
+    const Vec3 mic = scene_.geometry.mic(m);
+
+    // Direct speaker -> microphone path.
+    {
+      const double d =
+          std::max(scene_.speaker_position.distance_to(mic), clamp_d);
+      add_path(ch, d / scene_.speed_of_sound, 1.0 / d);
+    }
+
+    // Echoes: body + environment clutter, spherical spreading on each leg.
+    const auto add_reflector = [&](const WorldReflector& r) {
+      const double d_tx =
+          std::max(scene_.speaker_position.distance_to(r.position), clamp_d);
+      const double d_rx = std::max(r.position.distance_to(mic), clamp_d);
+      add_path(ch, (d_tx + d_rx) / scene_.speed_of_sound,
+               r.reflectivity / (d_tx * d_rx), r.spectral_slope);
+    };
+    for (const WorldReflector& r : body) add_reflector(r);
+    for (const WorldReflector& r : scene_.environment.clutter)
+      add_reflector(r);
+  }
+
+  // Diffuse reverberation tail: per-mic independent noise with exponential
+  // decay, starting once the direct sound has had time to reach a surface.
+  const ReverbParams& rv = scene_.environment.reverb;
+  if (rv.level > 0.0 && rv.decay_time_s > 0.0) {
+    const std::size_t onset =
+        echoimage::dsp::seconds_to_samples(0.004, config_.sample_rate);
+    for (std::size_t m = 0; m < num_mics; ++m) {
+      Rng mic_rng = rng.fork(0x7E7E + m);
+      echoimage::dsp::Signal& ch = out.channels[m];
+      for (std::size_t i = onset; i < n; ++i) {
+        const double t = static_cast<double>(i - onset) / config_.sample_rate;
+        ch[i] +=
+            rv.level * std::exp(-t / rv.decay_time_s) * mic_rng.gaussian();
+      }
+    }
+  }
+
+  add_noise(out, rng);
+  return out;
+}
+
+MultiChannelSignal SceneRenderer::render_noise_only(std::size_t length,
+                                                    Rng& rng) const {
+  MultiChannelSignal out;
+  out.channels.assign(scene_.geometry.num_mics(),
+                      echoimage::dsp::Signal(length, 0.0));
+  add_noise(out, rng);
+  return out;
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,102 @@
+// Scene assembly and multi-path rendering.
+//
+// A Scene bundles everything static about a capture setup: the microphone
+// array (origin-centered, mounted array_height_m above the floor), the
+// speaker, the environment, and an optional localized noise playback source
+// (the paper plays music / chatter / traffic from a computer 1-2 m away).
+// SceneRenderer turns a posed body + Scene into per-microphone waveforms.
+//
+// Rendering is analytic: the LFM chirp has a closed form, so each
+// propagation path adds gain * s(t - delay) with the exact fractional
+// delay — no resampling or interpolation artifacts. Echo amplitudes follow
+// spherical spreading, 1/(d_tx * d_rx) for the reflected round trip, which
+// is the inverse-square-law behaviour the paper's data augmentation
+// (Eq. 13-15) relies on.
+#pragma once
+
+#include <optional>
+
+#include "array/geometry.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/signal.hpp"
+#include "sim/body.hpp"
+#include "sim/environment.hpp"
+
+namespace echoimage::sim {
+
+using echoimage::array::ArrayGeometry;
+using echoimage::dsp::Chirp;
+using echoimage::dsp::MultiChannelSignal;
+
+/// A localized interference source playing shaped noise (paper: a computer
+/// at ~50 dB placed 1-2 m from the array).
+struct NoiseSource {
+  NoiseParams params{NoiseKind::kMusic, 50.0};
+  Vec3 position{1.5, 1.0, 0.0};
+};
+
+struct Scene {
+  ArrayGeometry geometry = echoimage::array::make_respeaker_array();
+  Vec3 speaker_position{0.0, 0.0, -0.02};  ///< just below the array center
+  double array_height_m = 1.2;             ///< array center above the floor
+  Environment environment;
+  std::optional<NoiseSource> noise_source;
+  double speed_of_sound = echoimage::array::kSpeedOfSound;
+};
+
+/// Per-beep capture parameters.
+struct CaptureConfig {
+  double sample_rate = 48000.0;
+  double frame_s = 0.060;  ///< per-beep capture window (covers a 2 m user)
+  echoimage::dsp::ChirpParams chirp{};  ///< paper defaults: 2-3 kHz, 2 ms
+  double min_path_m = 0.05;  ///< spreading-loss clamp near the transducers
+  /// Microphone self-noise + ADC floor: white, independent per channel,
+  /// always present regardless of the acoustic environment. This is what
+  /// bounds the sensing range (paper Fig. 13: echoes from past ~1 m become
+  /// "weak and hard to be picked up").
+  double sensor_noise_db = 54.0;
+
+  [[nodiscard]] std::size_t frame_samples() const {
+    return echoimage::dsp::seconds_to_samples(frame_s, sample_rate);
+  }
+};
+
+/// Renders beeps for a fixed scene. The body reflectors are passed per call
+/// because they change beep-to-beep (breathing) and session-to-session
+/// (pose, clothing).
+class SceneRenderer {
+ public:
+  SceneRenderer(Scene scene, CaptureConfig config);
+
+  [[nodiscard]] const Scene& scene() const { return scene_; }
+  [[nodiscard]] const CaptureConfig& config() const { return config_; }
+  [[nodiscard]] const Chirp& chirp() const { return chirp_; }
+
+  /// One beep: direct path + body echoes + clutter echoes + reverb tail +
+  /// ambient noise + optional playback noise.
+  [[nodiscard]] MultiChannelSignal render_beep(
+      const std::vector<WorldReflector>& body, Rng& rng) const;
+
+  /// Noise-only capture of `length` samples (the quiet gap between beeps):
+  /// ambient + playback noise, no chirp. Used to estimate the MVDR noise
+  /// covariance rho_n exactly as a real deployment would.
+  [[nodiscard]] MultiChannelSignal render_noise_only(std::size_t length,
+                                                     Rng& rng) const;
+
+  /// Round-trip delay (s) of the direct speaker->mic path for mic m.
+  [[nodiscard]] double direct_delay(std::size_t mic) const;
+
+  /// Round-trip delay (s) of an echo off `point` into mic m.
+  [[nodiscard]] double echo_delay(const Vec3& point, std::size_t mic) const;
+
+ private:
+  void add_path(echoimage::dsp::Signal& channel, double delay_s,
+                double gain, double spectral_slope = 0.0) const;
+  void add_noise(MultiChannelSignal& out, Rng& rng) const;
+
+  Scene scene_;
+  CaptureConfig config_;
+  Chirp chirp_;
+};
+
+}  // namespace echoimage::sim

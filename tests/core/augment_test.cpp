@@ -1,0 +1,127 @@
+#include "core/augment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace echoimage::core {
+namespace {
+
+ImagingConfig cfg16() {
+  ImagingConfig cfg;
+  cfg.grid_size = 16;
+  cfg.grid_spacing_m = 0.045;
+  return cfg;
+}
+
+Matrix2D ramp_image(std::size_t n) {
+  Matrix2D img(n, n);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = 1.0 + static_cast<double>(i) * 0.01;
+  return img;
+}
+
+TEST(DataAugmenter, RejectsWrongShapesAndDistances) {
+  const DataAugmenter aug(cfg16());
+  EXPECT_THROW((void)aug.transform(Matrix2D(8, 8), 0.7, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)aug.transform(ramp_image(16), 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)aug.transform(ramp_image(16), 0.7, -2.0),
+               std::invalid_argument);
+}
+
+TEST(DataAugmenter, IdentityWhenDistancesEqual) {
+  const DataAugmenter aug(cfg16());
+  const Matrix2D img = ramp_image(16);
+  const Matrix2D out = aug.transform(img, 0.7, 0.7);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_DOUBLE_EQ(out.data()[i], img.data()[i]);
+}
+
+TEST(DataAugmenter, FartherTargetAttenuatesEveryPixel) {
+  const DataAugmenter aug(cfg16());
+  const Matrix2D img = ramp_image(16);
+  const Matrix2D out = aug.transform(img, 0.7, 1.4);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_LT(out.data()[i], img.data()[i]);
+    EXPECT_GT(out.data()[i], 0.0);
+  }
+}
+
+TEST(DataAugmenter, PixelScaleFollowsEq15) {
+  const ImagingConfig cfg = cfg16();
+  const DataAugmenter aug(cfg);
+  const Matrix2D img = ramp_image(16);
+  const double from = 0.7, to = 1.1;
+  const Matrix2D out = aug.transform(img, from, to);
+  for (std::size_t r = 0; r < 16; r += 3) {
+    for (std::size_t c = 0; c < 16; c += 3) {
+      const double dk = grid_distance(cfg, r, c, from);
+      const double dk2 = grid_distance(cfg, r, c, to);
+      const double expected = (dk / dk2) * (dk / dk2) * img(r, c);
+      EXPECT_NEAR(out(r, c), expected, 1e-12);
+    }
+  }
+}
+
+TEST(DataAugmenter, RoundTripIsIdentity) {
+  const DataAugmenter aug(cfg16());
+  const Matrix2D img = ramp_image(16);
+  const Matrix2D there = aug.transform(img, 0.7, 1.3);
+  const Matrix2D back = aug.transform(there, 1.3, 0.7);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_NEAR(back.data()[i], img.data()[i], 1e-9);
+}
+
+TEST(DataAugmenter, CompositionMatchesDirectTransform) {
+  // 0.7 -> 0.9 -> 1.2 must equal 0.7 -> 1.2 (the scale is multiplicative).
+  const DataAugmenter aug(cfg16());
+  const Matrix2D img = ramp_image(16);
+  const Matrix2D via = aug.transform(aug.transform(img, 0.7, 0.9), 0.9, 1.2);
+  const Matrix2D direct = aug.transform(img, 0.7, 1.2);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_NEAR(via.data()[i], direct.data()[i], 1e-9);
+}
+
+TEST(DataAugmenter, NearerTargetAmplifies) {
+  const DataAugmenter aug(cfg16());
+  const Matrix2D img = ramp_image(16);
+  const Matrix2D out = aug.transform(img, 1.0, 0.6);
+  // Center pixel: roughly (D_k/D'_k)^2 > (1.0/0.65)^2 - ish.
+  EXPECT_GT(out(8, 8), 2.0 * img(8, 8));
+}
+
+TEST(DataAugmenter, ScaleIsSpatiallyNonUniform) {
+  // Eq. 15 scales corner grids less than center grids because D_k varies.
+  const DataAugmenter aug(cfg16());
+  const Matrix2D ones(16, 16, 1.0);
+  const Matrix2D out = aug.transform(ones, 0.7, 1.4);
+  EXPECT_GT(out(0, 0), out(8, 8));  // corner D_k larger -> milder ratio
+}
+
+TEST(DataAugmenter, SynthesizeProducesOneImagePerDistance) {
+  const DataAugmenter aug(cfg16());
+  const Matrix2D img = ramp_image(16);
+  const auto out = aug.synthesize(img, 0.7, {0.6, 0.9, 1.2, 1.5});
+  ASSERT_EQ(out.size(), 4u);
+  // Farther targets are progressively dimmer at the center.
+  EXPECT_GT(out[0](8, 8), out[1](8, 8));
+  EXPECT_GT(out[1](8, 8), out[2](8, 8));
+  EXPECT_GT(out[2](8, 8), out[3](8, 8));
+}
+
+TEST(DataAugmenter, MultiBandImagesTransformPerBand) {
+  const DataAugmenter aug(cfg16());
+  AcousticImage img;
+  img.bands = {ramp_image(16), ramp_image(16)};
+  for (double& v : img.bands[1].data()) v *= 2.0;
+  const AcousticImage out = aug.transform(img, 0.7, 1.2);
+  ASSERT_EQ(out.bands.size(), 2u);
+  // Band 1 = 2x band 0 before and after (same spatial scale applies).
+  for (std::size_t i = 0; i < out.bands[0].size(); ++i)
+    EXPECT_NEAR(out.bands[1].data()[i], 2.0 * out.bands[0].data()[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace echoimage::core

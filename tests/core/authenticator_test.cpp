@@ -1,0 +1,154 @@
+#include "core/authenticator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace echoimage::core {
+namespace {
+
+std::vector<std::vector<double>> blob(double cx, double cy, std::size_t n,
+                                      unsigned seed, double spread = 0.4) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> d(0.0, spread);
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({cx + d(gen), cy + d(gen)});
+  return out;
+}
+
+EnrolledUser user(int id, double cx, double cy, unsigned seed,
+                  std::size_t n = 40) {
+  EnrolledUser u;
+  u.user_id = id;
+  u.features = blob(cx, cy, n, seed);
+  return u;
+}
+
+TEST(Authenticator, RejectsEmptyEnrollment) {
+  EXPECT_THROW((void)Authenticator::train({}), std::invalid_argument);
+  EnrolledUser empty;
+  empty.user_id = 1;
+  EXPECT_THROW((void)Authenticator::train({empty}), std::invalid_argument);
+}
+
+TEST(Authenticator, UntrainedThrows) {
+  const Authenticator a;
+  EXPECT_THROW((void)a.authenticate({1.0, 2.0}), std::logic_error);
+}
+
+TEST(Authenticator, SingleUserAcceptsSelfRejectsFar) {
+  const Authenticator auth = Authenticator::train({user(42, 0.0, 0.0, 1)});
+  EXPECT_EQ(auth.num_users(), 1u);
+  EXPECT_FALSE(auth.is_multi_user());
+  std::size_t ok = 0;
+  for (const auto& f : blob(0.0, 0.0, 30, 2)) {
+    const AuthDecision d = auth.authenticate(f);
+    if (d.accepted) {
+      EXPECT_EQ(d.user_id, 42);
+      ++ok;
+    }
+  }
+  EXPECT_GT(ok, 20u);
+  std::size_t rejected = 0;
+  for (const auto& f : blob(30.0, 30.0, 30, 3))
+    rejected += auth.authenticate(f).accepted ? 0 : 1;
+  EXPECT_EQ(rejected, 30u);
+}
+
+TEST(Authenticator, MultiUserIdentifiesCorrectUser) {
+  const Authenticator auth = Authenticator::train(
+      {user(1, 5.0, 0.0, 10), user(2, -5.0, 0.0, 11), user(3, 0.0, 5.0, 12)});
+  EXPECT_TRUE(auth.is_multi_user());
+  std::size_t correct = 0, total = 0;
+  const int ids[3] = {1, 2, 3};
+  const double centers[3][2] = {{5.0, 0.0}, {-5.0, 0.0}, {0.0, 5.0}};
+  for (int u = 0; u < 3; ++u) {
+    for (const auto& f :
+         blob(centers[u][0], centers[u][1], 25, 20 + u)) {
+      const AuthDecision d = auth.authenticate(f);
+      if (d.accepted && d.user_id == ids[u]) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(correct, total * 7 / 10);
+}
+
+TEST(Authenticator, SpooferBetweenUsersIsRejected) {
+  const Authenticator auth = Authenticator::train(
+      {user(1, 6.0, 0.0, 30), user(2, -6.0, 0.0, 31)});
+  // A spoofer at the midpoint is far from both per-user balls.
+  std::size_t rejected = 0;
+  for (const auto& f : blob(0.0, 0.0, 40, 32))
+    rejected += auth.authenticate(f).accepted ? 0 : 1;
+  EXPECT_GT(rejected, 35u);
+}
+
+TEST(Authenticator, SvddScoreSignMatchesAcceptance) {
+  const Authenticator auth = Authenticator::train({user(7, 0.0, 0.0, 40)});
+  for (const auto& f : blob(0.0, 0.0, 10, 41)) {
+    const AuthDecision d = auth.authenticate(f);
+    EXPECT_EQ(d.accepted, d.svdd_score >= 0.0);
+  }
+}
+
+TEST(Authenticator, AcceptSlackTradesRecallForRejection) {
+  AuthenticatorConfig tight;
+  tight.accept_slack = 0.4;
+  AuthenticatorConfig loose;
+  loose.accept_slack = 3.0;
+  const std::vector<EnrolledUser> users{user(1, 0.0, 0.0, 50)};
+  const Authenticator a_tight = Authenticator::train(users, tight);
+  const Authenticator a_loose = Authenticator::train(users, loose);
+  std::size_t acc_tight = 0, acc_loose = 0;
+  for (const auto& f : blob(0.0, 0.0, 50, 51, 0.7)) {
+    acc_tight += a_tight.authenticate(f).accepted ? 1 : 0;
+    acc_loose += a_loose.authenticate(f).accepted ? 1 : 0;
+  }
+  EXPECT_GE(acc_loose, acc_tight);
+}
+
+TEST(Authenticator, RejectedSampleCarriesNoUserId) {
+  const Authenticator auth = Authenticator::train({user(5, 0.0, 0.0, 60)});
+  const AuthDecision d = auth.authenticate({100.0, 100.0});
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.user_id, -1);
+}
+
+TEST(Authenticator, ConsistencyModeStillAcceptsCleanUsers) {
+  AuthenticatorConfig cfg;
+  cfg.require_consistency = true;
+  const Authenticator auth = Authenticator::train(
+      {user(1, 6.0, 0.0, 70), user(2, -6.0, 0.0, 71)}, cfg);
+  std::size_t ok = 0;
+  for (const auto& f : blob(6.0, 0.0, 30, 72)) {
+    const AuthDecision d = auth.authenticate(f);
+    if (d.accepted && d.user_id == 1) ++ok;
+  }
+  EXPECT_GT(ok, 20u);
+}
+
+TEST(Authenticator, ManySimilarUsersStillSeparable) {
+  // Five users on a circle of radius 4 with sigma 0.4 blobs.
+  std::vector<EnrolledUser> users;
+  for (int u = 0; u < 5; ++u) {
+    const double ang = 2.0 * 3.14159265 * u / 5.0;
+    users.push_back(user(u + 1, 4.0 * std::cos(ang), 4.0 * std::sin(ang),
+                         static_cast<unsigned>(80 + u)));
+  }
+  const Authenticator auth = Authenticator::train(users);
+  std::size_t correct = 0, total = 0;
+  for (int u = 0; u < 5; ++u) {
+    const double ang = 2.0 * 3.14159265 * u / 5.0;
+    for (const auto& f : blob(4.0 * std::cos(ang), 4.0 * std::sin(ang), 20,
+                              static_cast<unsigned>(90 + u))) {
+      const AuthDecision d = auth.authenticate(f);
+      if (d.accepted && d.user_id == u + 1) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(correct, total * 6 / 10);
+}
+
+}  // namespace
+}  // namespace echoimage::core

@@ -1,0 +1,93 @@
+#include "core/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+
+namespace echoimage::core {
+namespace {
+
+AcousticImage constant_image(double value, std::size_t bands = 2) {
+  AcousticImage img;
+  for (std::size_t b = 0; b < bands; ++b)
+    img.bands.emplace_back(8, 8, value);
+  return img;
+}
+
+TEST(Liveness, UndecidedWithTooFewBeeps) {
+  const LivenessResult r =
+      assess_liveness({constant_image(1.0), constant_image(1.0)});
+  EXPECT_FALSE(r.decided);
+  EXPECT_FALSE(r.alive);
+}
+
+TEST(Liveness, FrozenImagesAreNotAlive) {
+  std::vector<AcousticImage> imgs(6, constant_image(1.0));
+  const LivenessResult r = assess_liveness(imgs);
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.alive);
+  EXPECT_NEAR(r.fluctuation, 0.0, 1e-12);
+}
+
+TEST(Liveness, FluctuatingImagesAreAlive) {
+  std::vector<AcousticImage> imgs;
+  for (int i = 0; i < 6; ++i)
+    imgs.push_back(constant_image(1.0 + 0.01 * (i % 2)));
+  const LivenessResult r = assess_liveness(imgs);
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.alive);
+  EXPECT_GT(r.fluctuation, 1e-3);
+}
+
+TEST(Liveness, SimulatedHumanIsAlive) {
+  // End-to-end: a breathing simulated user's beep burst must register as
+  // alive.
+  const auto geometry = echoimage::array::make_respeaker_array();
+  const EchoImagePipeline pipeline(echoimage::eval::default_system_config(),
+                                   geometry);
+  const auto users =
+      echoimage::eval::make_users(echoimage::eval::make_roster(), 7);
+  const echoimage::eval::DataCollector collector(
+      echoimage::sim::CaptureConfig{}, geometry, 7);
+  echoimage::eval::CollectionConditions cond;
+  cond.beeps_per_stance = 100;  // one stance: only breathing + noise vary
+  const auto batch = collector.collect(users[0], cond, 6);
+  const auto p = pipeline.process(batch.beeps, batch.noise_only);
+  ASSERT_TRUE(p.distance.valid);
+  const LivenessResult r = assess_liveness(p.images);
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.alive) << "fluctuation " << r.fluctuation;
+}
+
+TEST(Liveness, StaticPropIsNotAlive) {
+  // A rigid reflector cluster rendered repeatedly (same pose every beep,
+  // no breathing) must be flagged static despite sensor noise.
+  const auto geometry = echoimage::array::make_respeaker_array();
+  const EchoImagePipeline pipeline(echoimage::eval::default_system_config(),
+                                   geometry);
+  echoimage::sim::Scene scene;
+  scene.geometry = geometry;
+  scene.environment = echoimage::sim::make_environment(
+      echoimage::sim::EnvironmentKind::kLab, 3);
+  const echoimage::sim::SceneRenderer renderer(
+      scene, echoimage::sim::CaptureConfig{});
+  std::vector<echoimage::sim::WorldReflector> prop;
+  for (double x = -0.15; x <= 0.15; x += 0.03)
+    for (double z = -0.2; z <= 0.4; z += 0.03)
+      prop.push_back(
+          echoimage::sim::WorldReflector{{x, 0.7, z}, 0.08, 0.0});
+  echoimage::sim::Rng rng(4);
+  std::vector<echoimage::dsp::MultiChannelSignal> beeps;
+  for (int i = 0; i < 6; ++i) beeps.push_back(renderer.render_beep(prop, rng));
+  const auto noise = renderer.render_noise_only(2048, rng);
+  const auto p = pipeline.process(beeps, noise);
+  ASSERT_TRUE(p.distance.valid);
+  const LivenessResult r = assess_liveness(p.images);
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.alive) << "fluctuation " << r.fluctuation;
+}
+
+}  // namespace
+}  // namespace echoimage::core

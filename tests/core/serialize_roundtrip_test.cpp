@@ -1,0 +1,83 @@
+// End-to-end persistence: a trained Authenticator saved to a stream must
+// make identical decisions after loading — the property the CLI's
+// enroll/verify split depends on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/authenticator.hpp"
+
+namespace echoimage::core {
+namespace {
+
+std::vector<std::vector<double>> blob(double cx, double cy, std::size_t n,
+                                      unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> d(0.0, 0.4);
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({cx + d(gen), cy + d(gen)});
+  return out;
+}
+
+Authenticator train_two_users() {
+  EnrolledUser a, b;
+  a.user_id = 4;
+  a.features = blob(4.0, 0.0, 40, 1);
+  a.calibration_features = blob(4.0, 0.0, 10, 2);
+  b.user_id = 9;
+  b.features = blob(-4.0, 0.0, 40, 3);
+  b.calibration_features = blob(-4.0, 0.0, 10, 4);
+  return Authenticator::train({a, b});
+}
+
+TEST(AuthenticatorSerialize, RoundTripPreservesDecisions) {
+  const Authenticator original = train_two_users();
+  std::stringstream ss;
+  original.save(ss);
+  const Authenticator loaded = Authenticator::load(ss);
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  for (const auto& probe :
+       {blob(4.0, 0.0, 20, 5), blob(-4.0, 0.0, 20, 6), blob(0.0, 4.0, 20, 7)})
+    for (const auto& x : probe) {
+      const AuthDecision da = original.authenticate(x);
+      const AuthDecision db = loaded.authenticate(x);
+      EXPECT_EQ(da.accepted, db.accepted);
+      EXPECT_EQ(da.user_id, db.user_id);
+      EXPECT_DOUBLE_EQ(da.svdd_score, db.svdd_score);
+    }
+}
+
+TEST(AuthenticatorSerialize, SingleUserModelRoundTrips) {
+  EnrolledUser u;
+  u.user_id = 7;
+  u.features = blob(1.0, 1.0, 30, 8);
+  const Authenticator original = Authenticator::train({u});
+  std::stringstream ss;
+  original.save(ss);
+  const Authenticator loaded = Authenticator::load(ss);
+  EXPECT_EQ(loaded.num_users(), 1u);
+  EXPECT_FALSE(loaded.is_multi_user());
+  const auto probe = blob(1.0, 1.0, 10, 9);
+  for (const auto& x : probe)
+    EXPECT_EQ(original.authenticate(x).accepted,
+              loaded.authenticate(x).accepted);
+}
+
+TEST(AuthenticatorSerialize, GarbageInputThrows) {
+  std::stringstream ss("definitely not a model");
+  EXPECT_THROW((void)Authenticator::load(ss), std::runtime_error);
+}
+
+TEST(AuthenticatorSerialize, TruncatedModelThrows) {
+  const Authenticator original = train_two_users();
+  std::stringstream ss;
+  original.save(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 3));
+  EXPECT_THROW((void)Authenticator::load(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace echoimage::core

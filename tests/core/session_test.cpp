@@ -1,0 +1,131 @@
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace echoimage::core {
+namespace {
+
+AuthDecision accept(int user) {
+  AuthDecision d;
+  d.accepted = true;
+  d.user_id = user;
+  d.svdd_score = 0.5;
+  return d;
+}
+
+AuthDecision reject() {
+  AuthDecision d;
+  d.accepted = false;
+  d.user_id = -1;
+  d.svdd_score = -0.5;
+  return d;
+}
+
+TEST(SessionMonitor, ConfigValidation) {
+  SessionMonitorConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(SessionMonitor{bad}, std::invalid_argument);
+  bad = SessionMonitorConfig{};
+  bad.unlock_accepts = 10;  // > window
+  EXPECT_THROW(SessionMonitor{bad}, std::invalid_argument);
+  bad = SessionMonitorConfig{};
+  bad.lock_streak = 0;
+  EXPECT_THROW(SessionMonitor{bad}, std::invalid_argument);
+}
+
+TEST(SessionMonitor, StartsLocked) {
+  SessionMonitor m;
+  EXPECT_EQ(m.state(), SessionMonitor::State::kLocked);
+  EXPECT_EQ(m.active_user(), -1);
+}
+
+TEST(SessionMonitor, UnlocksAfterEnoughAgreeingAccepts) {
+  SessionMonitor m;  // default: 4 accepts within a 6-beep window
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.update(accept(7)), SessionMonitor::State::kLocked);
+  }
+  EXPECT_EQ(m.update(accept(7)), SessionMonitor::State::kAuthenticated);
+  EXPECT_EQ(m.active_user(), 7);
+  EXPECT_EQ(m.unlock_count(), 1u);
+}
+
+TEST(SessionMonitor, ScatteredAcceptsOfDifferentUsersDontUnlock) {
+  SessionMonitor m;
+  for (int i = 0; i < 12; ++i) {
+    m.update(accept(i % 4));  // four users alternating: no one reaches 4
+    EXPECT_EQ(m.state(), SessionMonitor::State::kLocked);
+  }
+}
+
+TEST(SessionMonitor, RejectionsDontUnlock) {
+  SessionMonitor m;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(m.update(reject()), SessionMonitor::State::kLocked);
+}
+
+TEST(SessionMonitor, BriefRejectionToleratedDuringSession) {
+  SessionMonitor m;
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  // Two mismatches (< lock_streak of 3), then a matching beep: stay live.
+  m.update(reject());
+  m.update(reject());
+  EXPECT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  m.update(accept(3));
+  m.update(reject());
+  m.update(reject());
+  EXPECT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+}
+
+TEST(SessionMonitor, SustainedRejectionLocks) {
+  SessionMonitor m;
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  m.update(reject());
+  m.update(reject());
+  EXPECT_EQ(m.update(reject()), SessionMonitor::State::kLocked);
+  EXPECT_EQ(m.active_user(), -1);
+  EXPECT_EQ(m.lock_count(), 1u);
+}
+
+TEST(SessionMonitor, UserSwapEndsSession) {
+  SessionMonitor m;
+  for (int i = 0; i < 4; ++i) m.update(accept(1));
+  ASSERT_EQ(m.active_user(), 1);
+  // Another registered user steps in front: their accepts are mismatches
+  // for the active session.
+  m.update(accept(2));
+  m.update(accept(2));
+  EXPECT_EQ(m.update(accept(2)), SessionMonitor::State::kLocked);
+  // ... and then unlock as the new user once enough fresh beeps agree.
+  m.update(accept(2));
+  m.update(accept(2));
+  m.update(accept(2));
+  EXPECT_EQ(m.update(accept(2)), SessionMonitor::State::kAuthenticated);
+  EXPECT_EQ(m.active_user(), 2);
+}
+
+TEST(SessionMonitor, ResetLocksAndClearsHistory) {
+  SessionMonitor m;
+  for (int i = 0; i < 4; ++i) m.update(accept(5));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  m.reset();
+  EXPECT_EQ(m.state(), SessionMonitor::State::kLocked);
+  // History gone: needs full fresh evidence again.
+  m.update(accept(5));
+  EXPECT_EQ(m.state(), SessionMonitor::State::kLocked);
+}
+
+TEST(SessionMonitor, CustomThresholds) {
+  SessionMonitorConfig cfg;
+  cfg.window = 3;
+  cfg.unlock_accepts = 2;
+  cfg.lock_streak = 1;
+  SessionMonitor m(cfg);
+  m.update(accept(9));
+  EXPECT_EQ(m.update(accept(9)), SessionMonitor::State::kAuthenticated);
+  EXPECT_EQ(m.update(reject()), SessionMonitor::State::kLocked);
+}
+
+}  // namespace
+}  // namespace echoimage::core

@@ -1,0 +1,154 @@
+#include "dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace echoimage::dsp {
+namespace {
+
+TEST(BiquadSection, IdentitySectionPassesSignalThrough) {
+  const SosCascade identity({BiquadSection{}});
+  const Signal x{1.0, -2.0, 3.0, 0.5};
+  const Signal y = identity.filter(x);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(BiquadSection, StabilityCriterion) {
+  BiquadSection stable;
+  stable.a1 = -1.0;
+  stable.a2 = 0.5;
+  EXPECT_TRUE(stable.is_stable());
+  BiquadSection unstable;
+  unstable.a1 = 0.0;
+  unstable.a2 = 1.5;  // poles outside unit circle
+  EXPECT_FALSE(unstable.is_stable());
+  BiquadSection marginal;
+  marginal.a1 = -2.0;
+  marginal.a2 = 1.0;  // double pole at z = 1
+  EXPECT_FALSE(marginal.is_stable());
+}
+
+TEST(BiquadSection, ResponseOfFirMatchesAnalytic) {
+  // y[n] = x[n] - x[n-1]: H(w) = 1 - e^{-jw}; |H(0)| = 0, |H(pi)| = 2.
+  BiquadSection s;
+  s.b0 = 1.0;
+  s.b1 = -1.0;
+  EXPECT_NEAR(std::abs(s.response(0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.response(std::numbers::pi)), 2.0, 1e-12);
+}
+
+TEST(SosCascade, GainScalesOutput) {
+  SosCascade c({BiquadSection{}}, 3.0);
+  const Signal y = c.filter(Signal{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(SosCascade, CascadeResponseIsProductOfSections) {
+  BiquadSection s;
+  s.b0 = 1.0;
+  s.b1 = -1.0;
+  const SosCascade one({s});
+  const SosCascade two({s, s});
+  const double w = 1.0;
+  EXPECT_NEAR(std::abs(two.response(w)),
+              std::abs(one.response(w)) * std::abs(one.response(w)), 1e-12);
+}
+
+TEST(SosCascade, MovingAverageFilterImpulseResponse) {
+  // y[n] = (x[n] + x[n-1]) / 2.
+  BiquadSection s;
+  s.b0 = 0.5;
+  s.b1 = 0.5;
+  const SosCascade c({s});
+  Signal impulse(4, 0.0);
+  impulse[0] = 1.0;
+  const Signal y = c.filter(impulse);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(SosCascade, RecursiveFilterMatchesManualRecursion) {
+  // y[n] = x[n] + 0.5 y[n-1].
+  BiquadSection s;
+  s.a1 = -0.5;
+  const SosCascade c({s});
+  Signal impulse(6, 0.0);
+  impulse[0] = 1.0;
+  const Signal y = c.filter(impulse);
+  double expected = 1.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected, 1e-12);
+    expected *= 0.5;
+  }
+}
+
+TEST(SosCascade, FiltFiltHasZeroPhase) {
+  // Zero-phase filtering must not delay a slow sine.
+  BiquadSection s;  // one-pole smoother
+  s.b0 = 0.3;
+  s.a1 = -0.7;
+  const SosCascade c({s});
+  const std::size_t n = 1024;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  const Signal y = c.filtfilt(x);
+  // Peak positions must coincide (no group delay).
+  std::size_t px = 0, py = 0;
+  for (std::size_t i = n / 4; i < n / 2; ++i) {
+    if (x[i] > x[px]) px = i;
+    if (y[i] > y[py]) py = i;
+  }
+  EXPECT_NEAR(static_cast<double>(px), static_cast<double>(py), 2.0);
+}
+
+TEST(SosCascade, FiltFiltSquaresMagnitudeResponse) {
+  BiquadSection s;
+  s.b0 = 0.5;
+  s.b1 = 0.5;
+  const SosCascade c({s});
+  const std::size_t n = 4096;
+  const double w = 2.0 * std::numbers::pi * 0.05;
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::cos(w * static_cast<double>(i));
+  const Signal y = c.filtfilt(x);
+  const double expected = std::pow(std::abs(c.response(w)), 2.0);
+  // Compare RMS in the steady-state middle region.
+  double rx = 0.0, ry = 0.0;
+  for (std::size_t i = n / 4; i < 3 * n / 4; ++i) {
+    rx += x[i] * x[i];
+    ry += y[i] * y[i];
+  }
+  EXPECT_NEAR(std::sqrt(ry / rx), expected, 0.01);
+}
+
+TEST(SosCascade, FiltFiltOfEmptyIsEmpty) {
+  const SosCascade c({BiquadSection{}});
+  EXPECT_TRUE(c.filtfilt(Signal{}).empty());
+}
+
+TEST(SosCascade, FiltFiltHandlesShortSignals) {
+  const SosCascade c({BiquadSection{}});
+  const Signal y = c.filtfilt(Signal{1.0, 2.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_NEAR(y[0], 1.0, 1e-9);
+  EXPECT_NEAR(y[1], 2.0, 1e-9);
+}
+
+TEST(SosCascade, IsStableChecksAllSections) {
+  BiquadSection good;
+  BiquadSection bad;
+  bad.a2 = 2.0;
+  EXPECT_TRUE(SosCascade({good}).is_stable());
+  EXPECT_FALSE(SosCascade({good, bad}).is_stable());
+}
+
+}  // namespace
+}  // namespace echoimage::dsp

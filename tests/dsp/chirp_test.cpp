@@ -1,0 +1,158 @@
+#include "dsp/chirp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+
+namespace echoimage::dsp {
+namespace {
+
+ChirpParams paper_params() { return ChirpParams{}; }  // 2-3 kHz, 2 ms
+
+TEST(ChirpParams, PaperDefaults) {
+  const ChirpParams p = paper_params();
+  EXPECT_DOUBLE_EQ(p.f_start_hz, 2000.0);
+  EXPECT_DOUBLE_EQ(p.f_end_hz, 3000.0);
+  EXPECT_DOUBLE_EQ(p.duration_s, 0.002);
+  EXPECT_DOUBLE_EQ(p.center_frequency_hz(), 2500.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth_hz(), 1000.0);
+}
+
+TEST(ChirpParams, ValidateRejectsBadValues) {
+  ChirpParams p = paper_params();
+  p.duration_s = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.amplitude = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.tukey_alpha = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.f_start_hz = -10.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Chirp, ZeroOutsideSupport) {
+  const Chirp c(paper_params());
+  EXPECT_DOUBLE_EQ(c.value_at(-1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(c.value_at(0.002 + 1e-6), 0.0);
+}
+
+TEST(Chirp, AmplitudeBounded) {
+  const Chirp c(paper_params());
+  for (double t = 0.0; t <= 0.002; t += 1e-6)
+    EXPECT_LE(std::abs(c.value_at(t)), 1.0 + 1e-12);
+}
+
+TEST(Chirp, InstantaneousFrequencySweepsLinearly) {
+  const Chirp c(paper_params());
+  EXPECT_DOUBLE_EQ(c.frequency_at(0.0), 2000.0);
+  EXPECT_DOUBLE_EQ(c.frequency_at(0.001), 2500.0);
+  EXPECT_DOUBLE_EQ(c.frequency_at(0.002), 3000.0);
+  // Clamped outside support.
+  EXPECT_DOUBLE_EQ(c.frequency_at(-1.0), 2000.0);
+  EXPECT_DOUBLE_EQ(c.frequency_at(1.0), 3000.0);
+}
+
+TEST(Chirp, SampleCountMatchesDuration) {
+  const Chirp c(paper_params());
+  EXPECT_EQ(c.sample(48000.0).size(), 96u);
+}
+
+TEST(Chirp, SpectrumConcentratedInBand) {
+  const Chirp c(paper_params());
+  const Signal s = c.sample(48000.0);
+  ComplexSignal padded(next_pow2(s.size() * 8), Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < s.size(); ++i) padded[i] = Complex(s[i], 0.0);
+  fft_pow2_in_place(padded, false);
+  double in_band = 0.0, total = 0.0;
+  for (std::size_t k = 0; k < padded.size() / 2; ++k) {
+    const double f = bin_frequency(k, padded.size(), 48000.0);
+    const double p = std::norm(padded[k]);
+    total += p;
+    if (f >= 1800.0 && f <= 3200.0) in_band += p;
+  }
+  EXPECT_GT(in_band / total, 0.85);
+}
+
+TEST(Chirp, RenderDelayedPlacesEnergyAtDelay) {
+  const Chirp c(paper_params());
+  const double fs = 48000.0;
+  const Signal out = c.render_delayed(fs, 480, 0.004, 1.0);
+  // Energy must be zero before the delay and non-zero after.
+  for (std::size_t i = 0; i < 190; ++i) EXPECT_DOUBLE_EQ(out[i], 0.0);
+  EXPECT_GT(energy(std::span<const double>(out.data() + 192, 96)), 0.1);
+}
+
+TEST(Chirp, FractionalDelayIsExact) {
+  // A delayed render must equal analytic evaluation at shifted times.
+  const Chirp c(paper_params());
+  const double fs = 48000.0;
+  const double delay = 13.37 / fs;  // fractional-sample delay
+  const Signal out = c.render_delayed(fs, 256, delay, 2.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double t = static_cast<double>(i) / fs - delay;
+    EXPECT_NEAR(out[i], 2.0 * c.value_at(t), 1e-12);
+  }
+}
+
+TEST(Chirp, AddDelayedAccumulates) {
+  const Chirp c(paper_params());
+  Signal buf(256, 0.0);
+  c.add_delayed(buf, 48000.0, 0.0, 1.0);
+  c.add_delayed(buf, 48000.0, 0.0, 1.0);
+  const Signal single = c.render_delayed(48000.0, 256, 0.0, 1.0);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_NEAR(buf[i], 2.0 * single[i], 1e-12);
+}
+
+TEST(Chirp, NegativeDelayClipsCleanly) {
+  const Chirp c(paper_params());
+  Signal buf(64, 0.0);
+  c.add_delayed(buf, 48000.0, -0.0015, 1.0);  // mostly before frame start
+  // Only the tail of the chirp lands in the buffer; must not crash and the
+  // visible part must match analytic evaluation.
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double t = static_cast<double>(i) / 48000.0 + 0.0015;
+    EXPECT_NEAR(buf[i], c.value_at(t), 1e-12);
+  }
+}
+
+TEST(Chirp, FullyPastBufferIsNoop) {
+  const Chirp c(paper_params());
+  Signal buf(32, 0.0);
+  c.add_delayed(buf, 48000.0, 1.0, 1.0);
+  for (const double v : buf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Chirp, SpectralSlopeTiltsAmplitude) {
+  ChirpParams p = paper_params();
+  p.tukey_alpha = 0.0;  // no taper so edges are comparable
+  const Chirp c(p);
+  Signal flat(128, 0.0), tilted(128, 0.0);
+  c.add_delayed(flat, 48000.0, 0.0, 1.0, 0.0);
+  c.add_delayed(tilted, 48000.0, 0.0, 1.0, 2.0);
+  // Positive slope: end of sweep (3 kHz) louder than start (2 kHz).
+  const double early_ratio = std::abs(tilted[4] / flat[4]);
+  const double late_ratio = std::abs(tilted[90] / flat[90]);
+  EXPECT_LT(early_ratio, 1.0);
+  EXPECT_GT(late_ratio, 1.0);
+  // Exact power law at the center frequency: f(t)/fc = 1 at t = T/2.
+  EXPECT_NEAR(std::abs(tilted[48] / flat[48]), 1.0, 1e-9);
+}
+
+TEST(Chirp, ZeroSlopeMatchesPlainRender) {
+  const Chirp c(paper_params());
+  Signal a(96, 0.0), b(96, 0.0);
+  c.add_delayed(a, 48000.0, 0.0, 0.7, 0.0);
+  c.add_delayed(b, 48000.0, 0.0, 0.7);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace echoimage::dsp

@@ -1,0 +1,103 @@
+#include "dsp/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace echoimage::dsp {
+namespace {
+
+TEST(Peaks, FindsSingleMaximum) {
+  const Signal x{0.0, 1.0, 3.0, 1.0, 0.0};
+  const auto peaks = find_peaks(x, 1, 0.5);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 3.0);
+}
+
+TEST(Peaks, ThresholdExcludesSmallPeaks) {
+  const Signal x{0.0, 1.0, 0.0, 5.0, 0.0, 0.8, 0.0};
+  const auto peaks = find_peaks(x, 1, 0.9);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 3u);
+}
+
+TEST(Peaks, MinDistanceSuppressesNeighbours) {
+  // Two local maxima 2 apart; with min_distance 3 only the taller counts.
+  const Signal x{0.0, 2.0, 1.5, 3.0, 0.0};
+  const auto close = find_peaks(x, 3, 0.1);
+  ASSERT_EQ(close.size(), 1u);
+  EXPECT_EQ(close[0].index, 3u);
+  const auto loose = find_peaks(x, 1, 0.1);
+  EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(Peaks, FlatTopReportsOnce) {
+  const Signal x{0.0, 1.0, 1.0, 1.0, 0.0};
+  const auto peaks = find_peaks(x, 1, 0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 1u);  // earliest sample of the plateau
+}
+
+TEST(Peaks, EdgesCanBePeaks) {
+  const Signal x{5.0, 1.0, 0.0, 1.0, 6.0};
+  const auto peaks = find_peaks(x, 2, 0.5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 0u);
+  EXPECT_EQ(peaks[1].index, 4u);
+}
+
+TEST(Peaks, EmptyAndMonotonicSignals) {
+  EXPECT_TRUE(find_peaks(Signal{}, 1, 0.0).empty());
+  const Signal ramp{0.0, 1.0, 2.0, 3.0};
+  const auto peaks = find_peaks(ramp, 1, 0.5);
+  ASSERT_EQ(peaks.size(), 1u);  // only the final sample dominates
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(Peaks, ReturnsPeaksInIncreasingIndexOrder) {
+  Signal x(100, 0.0);
+  x[10] = 1.0;
+  x[40] = 2.0;
+  x[80] = 1.5;
+  const auto peaks = find_peaks(x, 5, 0.5);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_LT(peaks[0].index, peaks[1].index);
+  EXPECT_LT(peaks[1].index, peaks[2].index);
+}
+
+TEST(PeaksRelative, ThresholdScalesWithMaximum) {
+  const Signal x{0.0, 10.0, 0.0, 0.4, 0.0, 0.6, 0.0};
+  // 5% of max (= 0.5): the 0.4 peak is excluded, the 0.6 peak included.
+  const auto peaks = find_peaks_relative(x, 1, 0.05);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_EQ(peaks[1].index, 5u);
+}
+
+TEST(PeaksRelative, AllNonPositiveYieldsNothing) {
+  const Signal x{-1.0, -0.5, -2.0};
+  EXPECT_TRUE(find_peaks_relative(x, 1, 0.1).empty());
+  EXPECT_TRUE(find_peaks_relative(Signal{}, 1, 0.1).empty());
+}
+
+TEST(LargestPeakInRange, SelectsWithinWindow) {
+  const std::vector<Peak> peaks{{5, 1.0}, {20, 5.0}, {40, 3.0}, {60, 9.0}};
+  const Peak p = largest_peak_in_range(peaks, 10, 50);
+  EXPECT_EQ(p.index, 20u);
+  EXPECT_DOUBLE_EQ(p.value, 5.0);
+}
+
+TEST(LargestPeakInRange, EmptyWindowReturnsSentinel) {
+  const std::vector<Peak> peaks{{5, 1.0}};
+  const Peak p = largest_peak_in_range(peaks, 10, 50);
+  EXPECT_EQ(p.index, static_cast<std::size_t>(-1));
+}
+
+TEST(LargestPeakInRange, BoundariesAreHalfOpen) {
+  const std::vector<Peak> peaks{{10, 1.0}, {50, 2.0}};
+  const Peak p = largest_peak_in_range(peaks, 10, 50);
+  EXPECT_EQ(p.index, 10u);  // 50 excluded
+}
+
+}  // namespace
+}  // namespace echoimage::dsp

@@ -1,0 +1,102 @@
+#include "dsp/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace echoimage::dsp {
+namespace {
+
+Signal tone(double freq, double rate, std::size_t n) {
+  Signal x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) /
+                    rate);
+  return x;
+}
+
+TEST(BesselI0, KnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520084, 1e-10);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-7);
+}
+
+TEST(Resample, RejectsBadRates) {
+  EXPECT_THROW((void)resample(Signal{1.0}, 0.0, 48000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)resample(Signal{1.0}, 48000.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Resample, IdentityRateIsCopy) {
+  const Signal x{1.0, -2.0, 3.0};
+  const Signal y = resample(x, 48000.0, 48000.0);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Resample, OutputLengthMatchesRatio) {
+  const Signal x(441, 0.0);
+  EXPECT_EQ(resample(x, 44100.0, 48000.0).size(), 480u);
+  EXPECT_EQ(resample(x, 44100.0, 22050.0).size(), 221u);
+  EXPECT_TRUE(resample(Signal{}, 44100.0, 48000.0).empty());
+}
+
+TEST(Resample, UpsamplePreservesToneShape) {
+  // A 2.5 kHz tone at 44.1 kHz resampled to 48 kHz must match the directly
+  // synthesized 48 kHz tone away from the edges.
+  const Signal in = tone(2500.0, 44100.0, 2205);  // 50 ms
+  const Signal out = resample(in, 44100.0, 48000.0);
+  const Signal ref = tone(2500.0, 48000.0, out.size());
+  for (std::size_t i = 200; i < out.size() - 200; ++i)
+    EXPECT_NEAR(out[i], ref[i], 0.01);
+}
+
+TEST(Resample, DownsamplePreservesInBandTone) {
+  const Signal in = tone(2500.0, 48000.0, 4800);
+  const Signal out = resample(in, 48000.0, 16000.0);
+  const Signal ref = tone(2500.0, 16000.0, out.size());
+  for (std::size_t i = 100; i < out.size() - 100; ++i)
+    EXPECT_NEAR(out[i], ref[i], 0.02);
+}
+
+TEST(Resample, DownsampleSuppressesAliases) {
+  // A 7 kHz tone is above the 4 kHz Nyquist of an 8 kHz output and must be
+  // attenuated, not folded in at full strength.
+  const Signal in = tone(7000.0, 48000.0, 4800);
+  const Signal out = resample(in, 48000.0, 8000.0);
+  EXPECT_LT(rms(std::span<const double>(out.data() + 50, out.size() - 100)),
+            0.05);
+}
+
+TEST(Resample, RoundTripApproximatesIdentity) {
+  const Signal in = tone(1000.0, 48000.0, 4800);
+  const Signal mid = resample(in, 48000.0, 44100.0);
+  const Signal back = resample(mid, 44100.0, 48000.0);
+  for (std::size_t i = 300; i + 300 < std::min(in.size(), back.size()); ++i)
+    EXPECT_NEAR(back[i], in[i], 0.02);
+}
+
+TEST(Resample, MultichannelKeepsChannelCount) {
+  MultiChannelSignal m;
+  m.channels = {tone(500.0, 44100.0, 441), tone(900.0, 44100.0, 441)};
+  const MultiChannelSignal out = resample(m, 44100.0, 48000.0);
+  EXPECT_EQ(out.num_channels(), 2u);
+  EXPECT_EQ(out.length(), 480u);
+}
+
+TEST(Resample, LinearityHolds) {
+  const Signal a = tone(800.0, 44100.0, 882);
+  const Signal b = tone(1700.0, 44100.0, 882);
+  Signal sum(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) sum[i] = a[i] + 0.5 * b[i];
+  const Signal ra = resample(a, 44100.0, 48000.0);
+  const Signal rb = resample(b, 44100.0, 48000.0);
+  const Signal rs = resample(sum, 44100.0, 48000.0);
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    EXPECT_NEAR(rs[i], ra[i] + 0.5 * rb[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace echoimage::dsp

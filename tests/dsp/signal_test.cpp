@@ -1,0 +1,160 @@
+#include "dsp/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace echoimage::dsp {
+namespace {
+
+TEST(Signal, EnergyOfKnownSignal) {
+  const Signal x{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(energy(x), 14.0);
+}
+
+TEST(Signal, EnergyOfEmptySignalIsZero) {
+  EXPECT_DOUBLE_EQ(energy(Signal{}), 0.0);
+}
+
+TEST(Signal, L2NormIsSqrtOfEnergy) {
+  const Signal x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(l2_norm(x), 5.0);
+}
+
+TEST(Signal, RmsOfConstantSignal) {
+  const Signal x(100, 2.5);
+  EXPECT_NEAR(rms(x), 2.5, 1e-12);
+}
+
+TEST(Signal, RmsOfEmptyIsZero) { EXPECT_DOUBLE_EQ(rms(Signal{}), 0.0); }
+
+TEST(Signal, PeakAbsFindsNegativePeak) {
+  const Signal x{0.5, -3.0, 2.0};
+  EXPECT_DOUBLE_EQ(peak_abs(x), 3.0);
+}
+
+TEST(Signal, MeanOfArithmeticSequence) {
+  const Signal x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(x), 2.5);
+}
+
+TEST(Signal, DotProduct) {
+  const Signal a{1.0, 2.0, 3.0};
+  const Signal b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Signal, DotThrowsOnLengthMismatch) {
+  const Signal a{1.0};
+  const Signal b{1.0, 2.0};
+  EXPECT_THROW((void)dot(a, b), std::invalid_argument);
+}
+
+TEST(Signal, PearsonPerfectCorrelation) {
+  const Signal a{1.0, 2.0, 3.0, 4.0};
+  const Signal b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Signal, PearsonPerfectAnticorrelation) {
+  const Signal a{1.0, 2.0, 3.0};
+  const Signal b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Signal, PearsonOfConstantIsZero) {
+  const Signal a{1.0, 1.0, 1.0};
+  const Signal b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Signal, ScaleInPlace) {
+  Signal x{1.0, -2.0};
+  scale_in_place(x, 3.0);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -6.0);
+}
+
+TEST(Signal, AddInPlaceWithShorterAddend) {
+  Signal a{1.0, 1.0, 1.0};
+  const Signal b{2.0, 3.0};
+  add_in_place(a, b);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+  EXPECT_DOUBLE_EQ(a[2], 1.0);
+}
+
+TEST(Signal, MixAtOffsetAndGain) {
+  Signal a(5, 0.0);
+  const Signal b{1.0, 1.0, 1.0};
+  mix_at(a, b, 3, 2.0);  // only two samples fit
+  EXPECT_DOUBLE_EQ(a[2], 0.0);
+  EXPECT_DOUBLE_EQ(a[3], 2.0);
+  EXPECT_DOUBLE_EQ(a[4], 2.0);
+}
+
+TEST(Signal, MixAtBeyondEndIsNoop) {
+  Signal a(3, 1.0);
+  mix_at(a, Signal{9.0}, 10);
+  EXPECT_DOUBLE_EQ(a[2], 1.0);
+}
+
+TEST(Signal, SegmentZeroPadsOutOfRange) {
+  const Signal x{1.0, 2.0, 3.0};
+  const Signal s = segment(x, 2, 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+}
+
+TEST(Signal, SegmentPastEndIsAllZero) {
+  const Signal x{1.0};
+  const Signal s = segment(x, 5, 3);
+  for (const double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Signal, DbConversionsRoundTrip) {
+  for (const double db : {-40.0, -6.02, 0.0, 12.0}) {
+    EXPECT_NEAR(amplitude_to_db(db_to_amplitude(db)), db, 1e-9);
+  }
+}
+
+TEST(Signal, AmplitudeToDbOfNonPositiveIsFloor) {
+  EXPECT_LE(amplitude_to_db(0.0), -299.0);
+  EXPECT_LE(amplitude_to_db(-1.0), -299.0);
+}
+
+TEST(Signal, PowerToDbOfTenIsTen) {
+  EXPECT_NEAR(power_to_db(10.0), 10.0, 1e-12);
+}
+
+TEST(Signal, SecondsSamplesRoundTrip) {
+  const double fs = 48000.0;
+  EXPECT_EQ(seconds_to_samples(0.002, fs), 96u);
+  EXPECT_NEAR(samples_to_seconds(96, fs), 0.002, 1e-12);
+}
+
+TEST(Signal, SecondsToSamplesClampsNegative) {
+  EXPECT_EQ(seconds_to_samples(-0.5, 48000.0), 0u);
+}
+
+TEST(MultiChannelSignal, RectangularDetection) {
+  MultiChannelSignal m;
+  m.channels = {Signal(10), Signal(10)};
+  EXPECT_TRUE(m.is_rectangular());
+  EXPECT_EQ(m.num_channels(), 2u);
+  EXPECT_EQ(m.length(), 10u);
+  m.channels.push_back(Signal(5));
+  EXPECT_FALSE(m.is_rectangular());
+}
+
+TEST(MultiChannelSignal, EmptyIsRectangular) {
+  MultiChannelSignal m;
+  EXPECT_TRUE(m.is_rectangular());
+  EXPECT_EQ(m.length(), 0u);
+}
+
+}  // namespace
+}  // namespace echoimage::dsp

@@ -1,0 +1,101 @@
+#include "dsp/stft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace echoimage::dsp {
+namespace {
+
+TEST(StftParams, ValidationRejectsBadConfigs) {
+  StftParams p;
+  p.fft_size = 100;  // not a power of two
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.fft_size = 256;
+  p.hop = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.hop = 300;  // larger than the frame
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.hop = 64;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.num_bins(), 129u);
+}
+
+TEST(Stft, FrameCountCoversSignal) {
+  StftParams p;
+  p.fft_size = 128;
+  p.hop = 32;
+  Signal x(1000, 0.0);
+  const Stft s = stft(x, p);
+  EXPECT_EQ(s.num_frames(), (1000 + 31) / 32);
+  EXPECT_EQ(s.signal_length(), 1000u);
+}
+
+TEST(Stft, ToneConcentratesInExpectedBin) {
+  StftParams p;
+  p.fft_size = 256;
+  p.hop = 64;
+  const double fs = 48000.0;
+  const double f0 = 3000.0;  // bin 16 of 256 at 48 kHz
+  Signal x(4096);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / fs);
+  const Stft s = stft(x, p);
+  // Check a middle frame: the strongest bin must be bin 16.
+  const ComplexSignal& frame = s.frames()[s.num_frames() / 2];
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < frame.size(); ++k)
+    if (std::abs(frame[k]) > std::abs(frame[best])) best = k;
+  EXPECT_EQ(best, 16u);
+  EXPECT_NEAR(s.bin_frequency(best, fs), f0, 1.0);
+}
+
+TEST(Stft, RoundTripReconstruction) {
+  StftParams p;
+  p.fft_size = 256;
+  p.hop = 64;
+  Signal x(2048);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(0.05 * static_cast<double>(i)) +
+           0.3 * std::cos(0.21 * static_cast<double>(i));
+  const Signal y = istft(stft(x, p));
+  ASSERT_EQ(y.size(), x.size());
+  // Interior samples must reconstruct near-perfectly (edges are window-
+  // starved).
+  for (std::size_t i = p.fft_size; i < x.size() - p.fft_size; ++i)
+    EXPECT_NEAR(y[i], x[i], 1e-6);
+}
+
+TEST(Stft, RoundTripWithHannAndQuarterHop) {
+  StftParams p;
+  p.fft_size = 128;
+  p.hop = 32;
+  p.window = WindowType::kHann;
+  Signal x(1024);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::cos(0.3 * static_cast<double>(i));
+  const Signal y = istft(stft(x, p));
+  for (std::size_t i = 128; i < x.size() - 128; ++i)
+    EXPECT_NEAR(y[i], x[i], 1e-6);
+}
+
+TEST(Stft, EmptySignalGivesNoFrames) {
+  StftParams p;
+  const Stft s = stft(Signal{}, p);
+  EXPECT_EQ(s.num_frames(), 0u);
+  EXPECT_TRUE(istft(s).empty());
+}
+
+TEST(Stft, OneSidedSpectrumSize) {
+  StftParams p;
+  p.fft_size = 64;
+  p.hop = 64;
+  const Stft s = stft(Signal(64, 1.0), p);
+  ASSERT_GE(s.num_frames(), 1u);
+  EXPECT_EQ(s.frames()[0].size(), 33u);
+}
+
+}  // namespace
+}  // namespace echoimage::dsp

@@ -1,0 +1,132 @@
+#include "eval/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::eval {
+namespace {
+
+struct Fixture {
+  echoimage::array::ArrayGeometry geometry =
+      echoimage::array::make_respeaker_array();
+  std::vector<SimulatedUser> users = make_users(make_roster(), 7);
+  DataCollector collector{echoimage::sim::CaptureConfig{}, geometry, 7};
+};
+
+TEST(DataCollector, BatchShapeMatchesRequest) {
+  const Fixture f;
+  CollectionConditions cond;
+  const CaptureBatch batch = f.collector.collect(f.users[0], cond, 5);
+  EXPECT_EQ(batch.beeps.size(), 5u);
+  for (const auto& beep : batch.beeps) {
+    EXPECT_EQ(beep.num_channels(), 6u);
+    EXPECT_EQ(beep.length(), echoimage::sim::CaptureConfig{}.frame_samples());
+  }
+  EXPECT_GT(batch.noise_only.length(), 0u);
+  EXPECT_NEAR(batch.true_distance_m, cond.distance_m, 0.1);
+}
+
+TEST(DataCollector, DeterministicForSameInputs) {
+  const Fixture f;
+  CollectionConditions cond;
+  const CaptureBatch a = f.collector.collect(f.users[0], cond, 2);
+  const CaptureBatch b = f.collector.collect(f.users[0], cond, 2);
+  for (std::size_t i = 0; i < a.beeps[0].length(); ++i)
+    EXPECT_DOUBLE_EQ(a.beeps[0].channels[0][i], b.beeps[0].channels[0][i]);
+}
+
+TEST(DataCollector, RepetitionChangesCaptures) {
+  const Fixture f;
+  CollectionConditions c0, c1;
+  c1.repetition = 1;
+  const CaptureBatch a = f.collector.collect(f.users[0], c0, 1);
+  const CaptureBatch b = f.collector.collect(f.users[0], c1, 1);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.beeps[0].length(); ++i)
+    diff += std::abs(a.beeps[0].channels[0][i] - b.beeps[0].channels[0][i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(DataCollector, SessionChangesCaptures) {
+  const Fixture f;
+  CollectionConditions s1, s2;
+  s2.session = 2;
+  const CaptureBatch a = f.collector.collect(f.users[0], s1, 1);
+  const CaptureBatch b = f.collector.collect(f.users[0], s2, 1);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.beeps[0].length(); ++i)
+    diff += std::abs(a.beeps[0].channels[0][i] - b.beeps[0].channels[0][i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(DataCollector, BreathingVariesBeepsWithinStance) {
+  const Fixture f;
+  CollectionConditions cond;
+  cond.beeps_per_stance = 10;  // same stance throughout
+  const CaptureBatch batch = f.collector.collect(f.users[0], cond, 3);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < batch.beeps[0].length(); ++i)
+    diff += std::abs(batch.beeps[0].channels[0][i] -
+                     batch.beeps[2].channels[0][i]);
+  EXPECT_GT(diff, 1e-9);  // breathing + noise differ per beep
+}
+
+TEST(DataCollector, PlaybackNoiseRaisesCaptureEnergy) {
+  const Fixture f;
+  CollectionConditions quiet;
+  CollectionConditions noisy;
+  noisy.playback = echoimage::sim::NoiseKind::kMusic;
+  noisy.playback_db = 65.0;
+  const CaptureBatch a = f.collector.collect(f.users[0], quiet, 1);
+  const CaptureBatch b = f.collector.collect(f.users[0], noisy, 1);
+  EXPECT_GT(echoimage::dsp::rms(b.noise_only.channels[0]),
+            1.2 * echoimage::dsp::rms(a.noise_only.channels[0]));
+}
+
+TEST(DataCollector, EnvironmentKindChangesScene) {
+  const Fixture f;
+  CollectionConditions lab;
+  CollectionConditions out;
+  out.environment = echoimage::sim::EnvironmentKind::kOutdoor;
+  const auto scene_lab = f.collector.make_scene(lab);
+  const auto scene_out = f.collector.make_scene(out);
+  EXPECT_GT(scene_lab.environment.clutter.size(),
+            scene_out.environment.clutter.size());
+}
+
+TEST(DataCollector, SceneHasNoiseSourceOnlyWhenRequested) {
+  const Fixture f;
+  CollectionConditions quiet;
+  CollectionConditions noisy;
+  noisy.playback = echoimage::sim::NoiseKind::kChatter;
+  EXPECT_FALSE(f.collector.make_scene(quiet).noise_source.has_value());
+  const auto scene = f.collector.make_scene(noisy);
+  ASSERT_TRUE(scene.noise_source.has_value());
+  // Paper: the computer sits 1-2 m from the array.
+  const double d = scene.noise_source->position.norm();
+  EXPECT_GE(d, 0.9);
+  EXPECT_LE(d, 2.2);
+}
+
+TEST(DataCollector, DistanceConditionMovesUser)
+{
+  const Fixture f;
+  CollectionConditions near_cond, far_cond;
+  near_cond.distance_m = 0.6;
+  far_cond.distance_m = 1.4;
+  const CaptureBatch a = f.collector.collect(f.users[0], near_cond, 1);
+  const CaptureBatch b = f.collector.collect(f.users[0], far_cond, 1);
+  EXPECT_LT(a.true_distance_m, b.true_distance_m);
+  // Far echoes are weaker: post-direct energy drops.
+  const auto tail_energy = [](const CaptureBatch& batch) {
+    double e = 0.0;
+    const auto& ch = batch.beeps[0].channels[0];
+    for (std::size_t i = 120; i < ch.size(); ++i) e += ch[i] * ch[i];
+    return e;
+  };
+  EXPECT_GT(tail_energy(a), tail_energy(b));
+}
+
+}  // namespace
+}  // namespace echoimage::eval

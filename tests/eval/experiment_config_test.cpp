@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+
+namespace echoimage::eval {
+namespace {
+
+TEST(DefaultSystemConfig, MatchesPaperParameters) {
+  const auto cfg = default_system_config();
+  EXPECT_DOUBLE_EQ(cfg.sample_rate, 48000.0);           // Sec. V-B
+  EXPECT_DOUBLE_EQ(cfg.chirp.f_start_hz, 2000.0);       // Sec. V-A
+  EXPECT_DOUBLE_EQ(cfg.chirp.f_end_hz, 3000.0);
+  EXPECT_DOUBLE_EQ(cfg.chirp.duration_s, 0.002);
+  EXPECT_DOUBLE_EQ(cfg.distance.bandpass_low_hz, 2000.0);
+  EXPECT_DOUBLE_EQ(cfg.distance.bandpass_high_hz, 3000.0);
+  EXPECT_EQ(cfg.imaging.grid_size, 48u);  // documented scaling of 180x180
+  // Harmonized sub-configs share the chirp.
+  EXPECT_DOUBLE_EQ(cfg.imaging.chirp.f_end_hz, 3000.0);
+  EXPECT_DOUBLE_EQ(cfg.distance.chirp.duration_s, 0.002);
+}
+
+TEST(DefaultSystemConfig, AugmentationDistancesCoverPaperRange) {
+  const auto cfg = default_system_config();
+  ASSERT_FALSE(cfg.augmentation_distances_m.empty());
+  double lo = 10.0, hi = 0.0;
+  for (const double d : cfg.augmentation_distances_m) {
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LE(lo, 0.6);  // paper sweeps 0.6 - 1.5 m
+  EXPECT_GE(hi, 1.5);
+}
+
+TEST(ExperimentResult, RegisteredLabelsExcludeSpoofer) {
+  ExperimentResult r;
+  r.confusion.add(1, 1);
+  r.confusion.add(2, kSpooferLabel);
+  r.confusion.add(kSpooferLabel, kSpooferLabel);
+  const auto reg = r.registered_labels();
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg[0], 1);
+  EXPECT_EQ(reg[1], 2);
+}
+
+TEST(ExperimentResult, SpooferDetectionRateIsRowAccuracy) {
+  ExperimentResult r;
+  r.confusion.add(kSpooferLabel, kSpooferLabel);
+  r.confusion.add(kSpooferLabel, kSpooferLabel);
+  r.confusion.add(kSpooferLabel, 3);  // a spoofer slipped through as user 3
+  r.confusion.add(3, 3);
+  EXPECT_NEAR(r.spoofer_detection_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExperimentConfig, DefaultsArePaperShaped) {
+  const ExperimentConfig cfg;
+  EXPECT_EQ(cfg.num_registered, 12u);  // Fig. 11 population
+  EXPECT_EQ(cfg.num_spoofers, 8u);
+  EXPECT_GE(cfg.train_visits, 2u);  // session 1 spans days 0-2
+  EXPECT_FALSE(cfg.test_conditions.empty());
+}
+
+}  // namespace
+}  // namespace echoimage::eval

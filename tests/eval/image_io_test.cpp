@@ -1,0 +1,59 @@
+#include "eval/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace echoimage::eval {
+namespace {
+
+TEST(Pgm, HeaderAndSize) {
+  echoimage::ml::Matrix2D img(3, 5, 0.5);
+  img(1, 2) = 1.0;
+  std::stringstream ss;
+  write_pgm(ss, img);
+  const std::string s = ss.str();
+  EXPECT_EQ(s.rfind("P5\n5 3\n255\n", 0), 0u);
+  // Header + 15 pixel bytes.
+  EXPECT_EQ(s.size(), std::string("P5\n5 3\n255\n").size() + 15u);
+}
+
+TEST(Pgm, MinMaxScaling) {
+  echoimage::ml::Matrix2D img(1, 3);
+  img(0, 0) = -1.0;
+  img(0, 1) = 0.0;
+  img(0, 2) = 1.0;
+  std::stringstream ss;
+  write_pgm(ss, img);
+  const std::string s = ss.str();
+  const std::size_t off = std::string("P5\n3 1\n255\n").size();
+  EXPECT_EQ(static_cast<unsigned char>(s[off]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(s[off + 1]), 128u);
+  EXPECT_EQ(static_cast<unsigned char>(s[off + 2]), 255u);
+}
+
+TEST(Pgm, ConstantImageIsBlack) {
+  const echoimage::ml::Matrix2D img(2, 2, 7.0);
+  std::stringstream ss;
+  write_pgm(ss, img);
+  const std::string s = ss.str();
+  const std::size_t off = std::string("P5\n2 2\n255\n").size();
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(static_cast<unsigned char>(s[off + i]), 0u);
+}
+
+TEST(Pgm, EmptyImageThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(write_pgm(ss, echoimage::ml::Matrix2D{}),
+               std::invalid_argument);
+}
+
+TEST(Pgm, FileWriteWorksAndBadPathThrows) {
+  const echoimage::ml::Matrix2D img(4, 4, 0.3);
+  write_pgm_file("/tmp/echoimage_pgm_test.pgm", img);
+  EXPECT_THROW(write_pgm_file("/nonexistent/x.pgm", img),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace echoimage::eval

@@ -1,0 +1,124 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace echoimage::eval {
+namespace {
+
+TEST(BinaryCounts, MetricsOnKnownCounts) {
+  BinaryCounts b;
+  b.tp = 8;
+  b.fn = 2;
+  b.fp = 1;
+  b.tn = 9;
+  EXPECT_DOUBLE_EQ(b.recall(), 0.8);
+  EXPECT_NEAR(b.precision(), 8.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b.accuracy(), 17.0 / 20.0);
+  const double p = 8.0 / 9.0, r = 0.8;
+  EXPECT_NEAR(b.f_measure(), 2.0 * p * r / (p + r), 1e-12);
+}
+
+TEST(BinaryCounts, EmptyCountsGiveZeroes) {
+  const BinaryCounts b;
+  EXPECT_DOUBLE_EQ(b.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(b.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(b.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(b.f_measure(), 0.0);
+}
+
+TEST(ConfusionMatrix, AccumulatesCounts) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 2);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(1, 2), 1u);
+  EXPECT_EQ(cm.count(2, 1), 0u);
+}
+
+TEST(ConfusionMatrix, LabelsAreSortedAndComplete) {
+  ConfusionMatrix cm;
+  cm.add(3, kSpooferLabel);
+  cm.add(1, 3);
+  const auto labels = cm.labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], kSpooferLabel);
+  EXPECT_EQ(labels[1], 1);
+  EXPECT_EQ(labels[2], 3);
+}
+
+TEST(ConfusionMatrix, AccuracyIsDiagonalFraction) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);
+  cm.add(2, 2);
+  cm.add(2, 1);
+  cm.add(1, 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+}
+
+TEST(ConfusionMatrix, BinaryForOneVsRest) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);   // tp for 1
+  cm.add(1, 2);   // fn for 1
+  cm.add(2, 1);   // fp for 1
+  cm.add(2, 2);   // tn for 1
+  cm.add(3, 3);   // tn for 1
+  const BinaryCounts b = cm.binary_for(1);
+  EXPECT_EQ(b.tp, 1u);
+  EXPECT_EQ(b.fn, 1u);
+  EXPECT_EQ(b.fp, 1u);
+  EXPECT_EQ(b.tn, 2u);
+}
+
+TEST(ConfusionMatrix, PerClassAccuracyIsRowNormalized) {
+  ConfusionMatrix cm;
+  cm.add(5, 5);
+  cm.add(5, 5);
+  cm.add(5, 6);
+  cm.add(5, kSpooferLabel);
+  EXPECT_DOUBLE_EQ(cm.per_class_accuracy(5), 0.5);
+  EXPECT_DOUBLE_EQ(cm.per_class_accuracy(42), 0.0);  // unseen label
+}
+
+TEST(ConfusionMatrix, MacroAveragesOverSelectedLabels) {
+  ConfusionMatrix cm;
+  // Class 1: perfect. Class 2: half recall. Spoofer: ignored when selecting
+  // registered labels only.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(2, 2);
+  cm.add(2, 1);
+  cm.add(kSpooferLabel, kSpooferLabel);
+  const std::vector<int> reg{1, 2};
+  EXPECT_NEAR(cm.macro_recall(reg), (1.0 + 0.5) / 2.0, 1e-12);
+  EXPECT_GT(cm.macro_precision(reg), 0.0);
+  EXPECT_GT(cm.macro_f_measure(reg), 0.0);
+}
+
+TEST(ConfusionMatrix, MacroOverAllLabelsWhenUnspecified) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);
+  cm.add(2, 2);
+  EXPECT_NEAR(cm.macro_recall(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, ToStringMentionsLabelsAndSpoof) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);
+  cm.add(kSpooferLabel, 1);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("u1"), std::string::npos);
+  EXPECT_NE(s.find("spoof"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixBehavesSanely) {
+  const ConfusionMatrix cm;
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_TRUE(cm.labels().empty());
+}
+
+}  // namespace
+}  // namespace echoimage::eval

@@ -1,0 +1,76 @@
+#include "eval/roster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace echoimage::eval {
+namespace {
+
+TEST(Roster, MatchesPaperTableOne) {
+  const auto roster = make_roster();
+  ASSERT_EQ(roster.size(), 20u);
+  // Ids 1-5: male undergrads aged 10-20.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(roster[i].user_id, i + 1);
+    EXPECT_EQ(roster[i].gender, echoimage::sim::Gender::kMale);
+    EXPECT_EQ(roster[i].age_low, 10);
+    EXPECT_EQ(roster[i].occupation, "Undergraduate Student");
+  }
+  // Id 6: female undergrad.
+  EXPECT_EQ(roster[5].gender, echoimage::sim::Gender::kFemale);
+  // Ids 7-15: male grads aged 20-30.
+  for (int i = 6; i < 15; ++i) {
+    EXPECT_EQ(roster[i].gender, echoimage::sim::Gender::kMale);
+    EXPECT_EQ(roster[i].occupation, "Graduate Student");
+  }
+  // Ids 16-19: female grads.
+  for (int i = 15; i < 19; ++i)
+    EXPECT_EQ(roster[i].gender, echoimage::sim::Gender::kFemale);
+  // Id 20: male staff aged 30-40.
+  EXPECT_EQ(roster[19].age_low, 30);
+  EXPECT_EQ(roster[19].occupation, "Faculty, Staff and Engineer");
+}
+
+TEST(Roster, IdsAreSequential) {
+  const auto roster = make_roster();
+  for (std::size_t i = 0; i < roster.size(); ++i)
+    EXPECT_EQ(roster[i].user_id, static_cast<int>(i) + 1);
+}
+
+TEST(Roster, DemographicUsesMidpointAge) {
+  Subject s;
+  s.age_low = 20;
+  s.age_high = 30;
+  EXPECT_EQ(s.demographic().age, 25);
+}
+
+TEST(MakeUsers, OneBodyPerSubjectDeterministic) {
+  const auto roster = make_roster();
+  const auto a = make_users(roster, 42);
+  const auto b = make_users(roster, 42);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subject.user_id, roster[i].user_id);
+    EXPECT_DOUBLE_EQ(a[i].body.height_m(), b[i].body.height_m());
+  }
+}
+
+TEST(MakeUsers, DifferentSeedsDifferentBodies) {
+  const auto roster = make_roster();
+  const auto a = make_users(roster, 1);
+  const auto b = make_users(roster, 2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].body.height_m() != b[i].body.height_m()) ++differing;
+  EXPECT_GT(differing, 15);
+}
+
+TEST(MakeUsers, UsersWithinSeedAreDistinct) {
+  const auto users = make_users(make_roster(), 3);
+  int distinct = 0;
+  for (std::size_t i = 1; i < users.size(); ++i)
+    if (users[i].body.height_m() != users[0].body.height_m()) ++distinct;
+  EXPECT_GT(distinct, 15);
+}
+
+}  // namespace
+}  // namespace echoimage::eval

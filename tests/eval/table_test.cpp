@@ -1,0 +1,72 @@
+#include "eval/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace echoimage::eval {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 3), "1.000");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(PrintTable, AlignsColumnsAndRules) {
+  std::ostringstream os;
+  print_table(os, {"name", "value"}, {{"alpha", "1"}, {"b", "22"}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+  // Four rules + header + two rows = 7 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 6);
+}
+
+TEST(PrintTable, HandlesShortRows) {
+  std::ostringstream os;
+  print_table(os, {"a", "b", "c"}, {{"1"}});
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(Sparkline, EmptyInputsGiveEmptyString) {
+  EXPECT_TRUE(sparkline(echoimage::dsp::Signal{}).empty());
+  EXPECT_TRUE(sparkline(echoimage::dsp::Signal{1.0}, 0).empty());
+}
+
+TEST(Sparkline, PeakGetsFullBlock) {
+  echoimage::dsp::Signal x(100, 0.0);
+  x[50] = 1.0;
+  const std::string s = sparkline(x, 10);
+  EXPECT_NE(s.find("█"), std::string::npos);
+}
+
+TEST(Sparkline, FlatZeroSignalHasNoBlocks) {
+  const echoimage::dsp::Signal x(64, 0.0);
+  const std::string s = sparkline(x, 8);
+  EXPECT_EQ(s.find("█"), std::string::npos);
+}
+
+TEST(AsciiImage, DimensionsAndRamp) {
+  echoimage::ml::Matrix2D img(4, 4, 0.0);
+  img(0, 0) = 1.0;
+  const std::string s = ascii_image(img, 4);
+  // 4 rows, each 8 chars wide (doubled) + newline.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find('@'), std::string::npos);  // the bright pixel
+  EXPECT_NE(s.find(' '), std::string::npos);  // the dark background
+}
+
+TEST(AsciiImage, EmptyImageGivesEmptyString) {
+  EXPECT_TRUE(ascii_image(echoimage::ml::Matrix2D{}).empty());
+}
+
+TEST(AsciiImage, DownsamplesLargeImages) {
+  const echoimage::ml::Matrix2D img(100, 100, 0.5);
+  const std::string s = ascii_image(img, 10);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 10);
+}
+
+}  // namespace
+}  // namespace echoimage::eval

@@ -1,0 +1,119 @@
+// Integration tests: the full EchoImage loop on a small simulated
+// population, exercising enrollment, authentication, augmentation, and the
+// experiment runner exactly as the benches do (with scaled-down sizes).
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+
+namespace echoimage::eval {
+namespace {
+
+ExperimentConfig small_experiment() {
+  ExperimentConfig cfg;
+  cfg.system = default_system_config();
+  // Shrink for CI: 3 users, 2 spoofers, small image grid.
+  cfg.system.imaging.grid_size = 24;
+  cfg.system.imaging.grid_spacing_m = 0.03;
+  cfg.system.extractor.input_size = 24;
+  cfg.system.harmonize();
+  cfg.num_registered = 3;
+  cfg.num_spoofers = 2;
+  cfg.train_beeps = 30;
+  cfg.train_visits = 3;
+  cfg.test_beeps = 8;
+  CollectionConditions test;
+  test.repetition = 1;
+  cfg.test_conditions = {test};
+  return cfg;
+}
+
+TEST(EndToEnd, AuthenticationBeatsChanceByWideMargin) {
+  const ExperimentResult r =
+      run_authentication_experiment(small_experiment());
+  // 3 users + spoofer class: chance recall = 1/4.
+  const auto reg = r.registered_labels();
+  ASSERT_EQ(reg.size(), 3u);
+  EXPECT_GT(r.confusion.macro_recall(reg), 0.5);
+  EXPECT_GT(r.confusion.accuracy(), 0.4);
+}
+
+TEST(EndToEnd, DistanceEstimatesMostlyValidAndAccurate) {
+  const ExperimentResult r =
+      run_authentication_experiment(small_experiment());
+  EXPECT_GT(r.valid_estimates, 0u);
+  // Most batches at 0.7 m should yield a valid estimate.
+  EXPECT_GT(static_cast<double>(r.valid_estimates),
+            4.0 * static_cast<double>(r.invalid_estimates));
+  EXPECT_LT(r.mean_abs_distance_error_m, 0.3);
+}
+
+TEST(EndToEnd, SpooferDetectionAboveChance) {
+  ExperimentConfig cfg = small_experiment();
+  cfg.num_spoofers = 3;
+  const ExperimentResult r = run_authentication_experiment(cfg);
+  EXPECT_GT(r.spoofer_detection_rate(), 0.3);
+}
+
+TEST(EndToEnd, AugmentationDoesNotBreakPipeline) {
+  ExperimentConfig cfg = small_experiment();
+  cfg.augment = true;
+  cfg.train_beeps = 12;
+  const ExperimentResult r = run_authentication_experiment(cfg);
+  EXPECT_GT(r.confusion.total(), 0u);
+  EXPECT_GT(r.confusion.accuracy(), 0.25);
+}
+
+TEST(EndToEnd, ExperimentIsDeterministicForSeed) {
+  ExperimentConfig cfg = small_experiment();
+  cfg.num_registered = 2;
+  cfg.num_spoofers = 1;
+  cfg.train_beeps = 12;
+  cfg.test_beeps = 4;
+  const ExperimentResult a = run_authentication_experiment(cfg);
+  const ExperimentResult b = run_authentication_experiment(cfg);
+  EXPECT_EQ(a.confusion.accuracy(), b.confusion.accuracy());
+  EXPECT_EQ(a.valid_estimates, b.valid_estimates);
+  EXPECT_DOUBLE_EQ(a.mean_abs_distance_error_m, b.mean_abs_distance_error_m);
+}
+
+TEST(EndToEnd, PerConditionConfusionsPartitionTheMerge) {
+  ExperimentConfig cfg = small_experiment();
+  cfg.num_registered = 2;
+  cfg.num_spoofers = 1;
+  cfg.train_beeps = 12;
+  cfg.test_beeps = 4;
+  CollectionConditions quiet;
+  quiet.repetition = 1;
+  CollectionConditions noisy = quiet;
+  noisy.playback = echoimage::sim::NoiseKind::kMusic;
+  cfg.test_conditions = {quiet, noisy};
+  const ExperimentResult r = run_authentication_experiment(cfg);
+  ASSERT_EQ(r.per_condition.size(), 2u);
+  EXPECT_EQ(r.per_condition[0].total() + r.per_condition[1].total(),
+            r.confusion.total());
+  EXPECT_GT(r.per_condition[0].total(), 0u);
+}
+
+TEST(EndToEnd, RosterBoundsEnforced) {
+  ExperimentConfig cfg = small_experiment();
+  cfg.num_registered = 15;
+  cfg.num_spoofers = 10;  // 25 > 20 subjects
+  EXPECT_THROW((void)run_authentication_experiment(cfg),
+               std::invalid_argument);
+}
+
+TEST(EndToEnd, NoisyConditionStillWorks) {
+  ExperimentConfig cfg = small_experiment();
+  cfg.num_registered = 2;
+  cfg.num_spoofers = 1;
+  CollectionConditions noisy;
+  noisy.repetition = 1;
+  noisy.playback = echoimage::sim::NoiseKind::kMusic;
+  cfg.test_conditions = {noisy};
+  const ExperimentResult r = run_authentication_experiment(cfg);
+  const auto reg = r.registered_labels();
+  EXPECT_GT(r.confusion.macro_recall(reg), 0.3);
+}
+
+}  // namespace
+}  // namespace echoimage::eval

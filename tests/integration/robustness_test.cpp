@@ -1,0 +1,139 @@
+// Failure injection and robustness properties across module boundaries:
+// dead microphones, clipped converters, DC offsets, and gain mismatches are
+// everyday hardware faults a deployed pipeline must survive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+
+namespace echoimage {
+namespace {
+
+struct Fixture {
+  array::ArrayGeometry geometry = array::make_respeaker_array();
+  core::SystemConfig config = eval::default_system_config();
+  core::EchoImagePipeline pipeline{config, geometry};
+  std::vector<eval::SimulatedUser> users =
+      eval::make_users(eval::make_roster(), 7);
+  eval::DataCollector collector{sim::CaptureConfig{}, geometry, 7};
+};
+
+eval::CaptureBatch capture(const Fixture& f, int user = 0, int rep = 0) {
+  eval::CollectionConditions cond;
+  cond.repetition = rep;
+  return f.collector.collect(f.users[user], cond, 4);
+}
+
+TEST(Robustness, DeadMicrophoneStillYieldsDistance) {
+  const Fixture f;
+  eval::CaptureBatch batch = capture(f);
+  for (auto& beep : batch.beeps)
+    std::fill(beep.channels[3].begin(), beep.channels[3].end(), 0.0);
+  std::fill(batch.noise_only.channels[3].begin(),
+            batch.noise_only.channels[3].end(), 0.0);
+  const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+  ASSERT_TRUE(p.distance.valid);
+  EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
+}
+
+TEST(Robustness, HardClippingSurvivable) {
+  // A cheap ADC clips the strong direct path; echoes are far below the
+  // clip point, so the pipeline should still see the user.
+  const Fixture f;
+  eval::CaptureBatch batch = capture(f);
+  for (auto& beep : batch.beeps)
+    for (auto& ch : beep.channels)
+      for (double& v : ch) v = std::clamp(v, -4.0, 4.0);
+  const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+  ASSERT_TRUE(p.distance.valid);
+  EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
+}
+
+TEST(Robustness, DcOffsetRejectedByBandpass) {
+  const Fixture f;
+  eval::CaptureBatch clean = capture(f);
+  eval::CaptureBatch offset = capture(f);
+  for (auto& beep : offset.beeps)
+    for (auto& ch : beep.channels)
+      for (double& v : ch) v += 0.5;  // large converter DC offset
+  const auto pc = f.pipeline.process(clean.beeps, clean.noise_only);
+  const auto po = f.pipeline.process(offset.beeps, offset.noise_only);
+  ASSERT_TRUE(pc.distance.valid);
+  ASSERT_TRUE(po.distance.valid);
+  // The 2-3 kHz band-pass removes DC entirely: identical estimates.
+  EXPECT_NEAR(po.distance.user_distance_m, pc.distance.user_distance_m,
+              0.02);
+}
+
+TEST(Robustness, PerChannelGainMismatchTolerated) {
+  // Microphone sensitivities differ by a few dB in practice.
+  const Fixture f;
+  eval::CaptureBatch batch = capture(f);
+  const double gains[6] = {1.0, 1.3, 0.8, 1.1, 0.9, 1.2};
+  for (auto& beep : batch.beeps)
+    for (std::size_t m = 0; m < 6; ++m)
+      for (double& v : beep.channels[m]) v *= gains[m];
+  for (std::size_t m = 0; m < 6; ++m)
+    for (double& v : batch.noise_only.channels[m]) v *= gains[m];
+  const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+  ASSERT_TRUE(p.distance.valid);
+  EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
+}
+
+TEST(Robustness, MissingNoiseCaptureFallsBackToWhiteCovariance) {
+  const Fixture f;
+  const eval::CaptureBatch batch = capture(f);
+  const auto p = f.pipeline.process(batch.beeps, {});  // no noise-only data
+  ASSERT_TRUE(p.distance.valid);
+  EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
+}
+
+TEST(Robustness, FeatureScaleInvarianceOfDecisions) {
+  // Global capture gain (volume knob) must not flip enrollment decisions
+  // when both enrollment and verification share it.
+  const Fixture f;
+  const auto enroll_and_score = [&](double gain) {
+    eval::CaptureBatch batch = capture(f, 0, 0);
+    eval::CaptureBatch probe = capture(f, 0, 1);
+    for (auto* b : {&batch, &probe}) {
+      for (auto& beep : b->beeps)
+        for (auto& ch : beep.channels)
+          for (double& v : ch) v *= gain;
+      for (auto& ch : b->noise_only.channels)
+        for (double& v : ch) v *= gain;
+    }
+    const auto pe = f.pipeline.process(batch.beeps, batch.noise_only);
+    const auto pp = f.pipeline.process(probe.beeps, probe.noise_only);
+    if (!pe.distance.valid || !pp.distance.valid) return -1;
+    core::EnrolledUser u;
+    u.user_id = 1;
+    u.features = f.pipeline.features_batch(
+        pe.images, pe.distance.user_distance_centroid_m, false);
+    const auto auth = f.pipeline.enroll({u});
+    int accepted = 0;
+    for (const auto& img : pp.images)
+      if (auth.authenticate(f.pipeline.features(img)).accepted) ++accepted;
+    return accepted;
+  };
+  EXPECT_EQ(enroll_and_score(1.0), enroll_and_score(2.0));
+}
+
+TEST(Robustness, TruncatedBeepFrameHandled) {
+  // A capture cut short (host dropped samples) must not crash the
+  // pipeline; the echo window simply shrinks.
+  const Fixture f;
+  eval::CaptureBatch batch = capture(f);
+  for (auto& beep : batch.beeps)
+    for (auto& ch : beep.channels) ch.resize(ch.size() / 2);
+  EXPECT_NO_THROW({
+    const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+    (void)p;
+  });
+}
+
+}  // namespace
+}  // namespace echoimage

@@ -1,0 +1,213 @@
+#include "ml/cnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace echoimage::ml {
+namespace {
+
+TEST(Conv2D, RejectsZeroChannels) {
+  EXPECT_THROW(Conv2D(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2D(4, 0, 1), std::invalid_argument);
+}
+
+TEST(Conv2D, OutputShapeIsSamePadded) {
+  const Conv2D conv(1, 4, 99);
+  const Tensor3 y = conv.forward(Tensor3(8, 6, 1, 1.0));
+  EXPECT_EQ(y.height(), 8u);
+  EXPECT_EQ(y.width(), 6u);
+  EXPECT_EQ(y.channels(), 4u);
+}
+
+TEST(Conv2D, ChannelMismatchThrows) {
+  const Conv2D conv(2, 4, 1);
+  EXPECT_THROW((void)conv.forward(Tensor3(4, 4, 3)), std::invalid_argument);
+}
+
+TEST(Conv2D, DeterministicForSeed) {
+  const Conv2D a(1, 3, 42), b(1, 3, 42);
+  Tensor3 x(5, 5, 1);
+  x.at(2, 2, 0) = 1.0;
+  const Tensor3 ya = a.forward(x), yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    EXPECT_DOUBLE_EQ(ya.data()[i], yb.data()[i]);
+}
+
+TEST(Conv2D, DifferentSeedsGiveDifferentFilters) {
+  const Conv2D a(1, 3, 1), b(1, 3, 2);
+  Tensor3 x(5, 5, 1);
+  x.at(2, 2, 0) = 1.0;
+  const Tensor3 ya = a.forward(x), yb = b.forward(x);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    diff += std::abs(ya.data()[i] - yb.data()[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Conv2D, LinearInInput) {
+  const Conv2D conv(1, 2, 7);
+  Tensor3 x(4, 4, 1);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x.data()[i] = static_cast<double>(i) * 0.1;
+  Tensor3 x2 = x;
+  for (double& v : x2.data()) v *= 3.0;
+  const Tensor3 y = conv.forward(x);
+  const Tensor3 y2 = conv.forward(x2);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y2.data()[i], 3.0 * y.data()[i], 1e-10);
+}
+
+TEST(Conv2D, ImpulseResponseConfinedToKernelSupport) {
+  const Conv2D conv(1, 1, 5);
+  Tensor3 x(7, 7, 1);
+  x.at(3, 3, 0) = 1.0;
+  const Tensor3 y = conv.forward(x);
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t c = 0; c < 7; ++c)
+      if (r < 2 || r > 4 || c < 2 || c > 4)
+        EXPECT_DOUBLE_EQ(y.at(r, c, 0), 0.0);
+}
+
+TEST(Activations, ReluClampsNegatives) {
+  Tensor3 x(1, 1, 3);
+  x.data() = {-1.0, 0.0, 2.0};
+  const Tensor3 y = relu(x);
+  EXPECT_DOUBLE_EQ(y.data()[0], 0.0);
+  EXPECT_DOUBLE_EQ(y.data()[1], 0.0);
+  EXPECT_DOUBLE_EQ(y.data()[2], 2.0);
+}
+
+TEST(Activations, LeakyReluScalesNegatives) {
+  Tensor3 x(1, 1, 2);
+  x.data() = {-2.0, 3.0};
+  const Tensor3 y = leaky_relu(x, 0.25);
+  EXPECT_DOUBLE_EQ(y.data()[0], -0.5);
+  EXPECT_DOUBLE_EQ(y.data()[1], 3.0);
+}
+
+TEST(Pooling, MaxPoolPicksLargest) {
+  Tensor3 x(2, 2, 1);
+  x.at(0, 0, 0) = 1.0;
+  x.at(0, 1, 0) = -5.0;
+  x.at(1, 0, 0) = 3.0;
+  x.at(1, 1, 0) = 2.0;
+  const Tensor3 y = max_pool2(x);
+  EXPECT_EQ(y.height(), 1u);
+  EXPECT_DOUBLE_EQ(y.at(0, 0, 0), 3.0);
+}
+
+TEST(Pooling, AvgPoolAverages) {
+  Tensor3 x(2, 2, 1);
+  x.at(0, 0, 0) = 1.0;
+  x.at(0, 1, 0) = 2.0;
+  x.at(1, 0, 0) = 3.0;
+  x.at(1, 1, 0) = 6.0;
+  const Tensor3 y = avg_pool2(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0, 0), 3.0);
+}
+
+TEST(Pooling, OddTrailingRowsDropped) {
+  const Tensor3 y = max_pool2(Tensor3(5, 7, 2, 1.0));
+  EXPECT_EQ(y.height(), 2u);
+  EXPECT_EQ(y.width(), 3u);
+  EXPECT_EQ(y.channels(), 2u);
+}
+
+TEST(VggishExtractor, FeatureDimMatchesArchitecture) {
+  VggishFeatureExtractor::Config cfg;
+  cfg.input_size = 48;
+  cfg.block_channels = {8, 16, 32, 32};
+  const VggishFeatureExtractor ex(cfg);
+  // 48 -> 24 -> 12 -> 6 -> 3 after four pools; 3*3*32 = 288 per band.
+  EXPECT_EQ(ex.feature_dim(), 288u);
+  const Matrix2D img(48, 48, 0.5);
+  EXPECT_EQ(ex.extract(img).size(), ex.feature_dim());
+}
+
+TEST(VggishExtractor, RejectsInvalidConfigs) {
+  VggishFeatureExtractor::Config cfg;
+  cfg.block_channels = {};
+  EXPECT_THROW(VggishFeatureExtractor{cfg}, std::invalid_argument);
+  cfg.block_channels = {8, 16, 32, 32, 64, 64};
+  cfg.input_size = 16;  // too shallow for six pools
+  EXPECT_THROW(VggishFeatureExtractor{cfg}, std::invalid_argument);
+}
+
+TEST(VggishExtractor, DeterministicFeatures) {
+  const VggishFeatureExtractor a, b;
+  Matrix2D img(32, 32);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = std::sin(static_cast<double>(i) * 0.1);
+  const auto fa = a.extract(img);
+  const auto fb = b.extract(img);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    EXPECT_DOUBLE_EQ(fa[i], fb[i]);
+}
+
+TEST(VggishExtractor, ResizesArbitraryInputs) {
+  const VggishFeatureExtractor ex;
+  const Matrix2D small(17, 23, 1.0);
+  const Matrix2D large(180, 180, 1.0);
+  EXPECT_EQ(ex.extract(small).size(), ex.feature_dim());
+  EXPECT_EQ(ex.extract(large).size(), ex.feature_dim());
+}
+
+TEST(VggishExtractor, DistinguishesDistinctImages) {
+  const VggishFeatureExtractor ex;
+  Matrix2D a(48, 48, 0.0), b(48, 48, 0.0);
+  for (std::size_t r = 0; r < 48; ++r)
+    for (std::size_t c = 0; c < 48; ++c) {
+      a(r, c) = r < 24 ? 1.0 : 0.0;  // top-bright
+      b(r, c) = c < 24 ? 1.0 : 0.0;  // left-bright
+    }
+  const auto fa = ex.extract(a);
+  const auto fb = ex.extract(b);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    d2 += (fa[i] - fb[i]) * (fa[i] - fb[i]);
+  EXPECT_GT(d2, 1e-3);
+}
+
+TEST(VggishExtractor, AmplitudeScalePropagatesToFeatures) {
+  // Positive-homogeneous network (no log): scaling the image scales the
+  // features, which is what lets augmentation model distance amplitudes.
+  VggishFeatureExtractor::Config cfg;
+  cfg.log_scale = false;
+  cfg.leaky_slope = 0.3;
+  const VggishFeatureExtractor ex(cfg);
+  Matrix2D img(48, 48);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img.data()[i] = 0.01 * static_cast<double>(i % 13);
+  Matrix2D scaled = img;
+  for (double& v : scaled.data()) v *= 2.0;
+  const auto f1 = ex.extract(img);
+  const auto f2 = ex.extract(scaled);
+  for (std::size_t i = 0; i < f1.size(); ++i)
+    EXPECT_NEAR(f2[i], 2.0 * f1[i], 1e-9 + 1e-6 * std::abs(f1[i]));
+}
+
+TEST(VggishExtractor, BypassReturnsResizedPixels) {
+  VggishFeatureExtractor::Config cfg;
+  cfg.input_size = 16;
+  cfg.bypass_network = true;
+  const VggishFeatureExtractor ex(cfg);
+  const Matrix2D img(16, 16, 0.7);
+  const auto f = ex.extract(img);
+  ASSERT_EQ(f.size(), 256u);
+  for (const double v : f) EXPECT_DOUBLE_EQ(v, 0.7);
+}
+
+TEST(VggishExtractor, MaxPoolHardReluVariantRuns) {
+  VggishFeatureExtractor::Config cfg;
+  cfg.average_pool = false;
+  cfg.leaky_slope = 0.0;
+  const VggishFeatureExtractor ex(cfg);
+  const auto f = ex.extract(Matrix2D(48, 48, 1.0));
+  EXPECT_EQ(f.size(), ex.feature_dim());
+}
+
+}  // namespace
+}  // namespace echoimage::ml

@@ -1,0 +1,84 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace echoimage::ml {
+namespace {
+
+TEST(StandardScaler, RejectsBadInputs) {
+  StandardScaler s;
+  EXPECT_THROW(s.fit({}), std::invalid_argument);
+  EXPECT_THROW(s.fit({{}}), std::invalid_argument);
+  EXPECT_THROW(s.fit({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  EXPECT_FALSE(s.is_fitted());
+  EXPECT_THROW((void)s.transform({1.0}), std::logic_error);
+}
+
+TEST(StandardScaler, TransformedTrainingSetHasZeroMeanUnitVar) {
+  std::vector<std::vector<double>> x;
+  for (int i = 0; i < 50; ++i)
+    x.push_back({static_cast<double>(i), 3.0 * static_cast<double>(i) + 7.0});
+  StandardScaler s;
+  s.fit(x);
+  const auto y = s.transform_batch(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double sum = 0.0, sum2 = 0.0;
+    for (const auto& row : y) {
+      sum += row[j];
+      sum2 += row[j] * row[j];
+    }
+    EXPECT_NEAR(sum / 50.0, 0.0, 1e-9);
+    EXPECT_NEAR(sum2 / 50.0, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScaler, DimensionMismatchAtTransformThrows) {
+  StandardScaler s;
+  s.fit({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_THROW((void)s.transform({1.0}), std::invalid_argument);
+}
+
+TEST(StandardScaler, ConstantFeatureIsCenteredNotExploded) {
+  StandardScaler s;
+  s.fit({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+  const auto y = s.transform({5.0, 2.0});
+  EXPECT_NEAR(y[0], 0.0, 1e-9);
+}
+
+TEST(StandardScaler, SigmaFloorCapsLowVarianceBlowup) {
+  // Feature 0 has tiny variance, feature 1 large: the relative floor must
+  // keep z-scores of feature 0 bounded for off-distribution samples.
+  std::vector<std::vector<double>> x;
+  for (int i = 0; i < 20; ++i)
+    x.push_back({1.0 + 1e-9 * i, static_cast<double>(i)});
+  StandardScaler s;
+  s.fit(x);
+  const auto y = s.transform({2.0, 10.0});  // feature 0 off by ~1.0
+  // Without the floor, z would be ~1e9; with the 5%-of-mean-sigma floor it
+  // stays within a few thousand.
+  EXPECT_LT(std::abs(y[0]), 1e4);
+}
+
+TEST(StandardScaler, AccessorsExposeFittedStats) {
+  StandardScaler s;
+  s.fit({{0.0}, {2.0}});
+  ASSERT_TRUE(s.is_fitted());
+  EXPECT_EQ(s.dim(), 1u);
+  EXPECT_NEAR(s.mean()[0], 1.0, 1e-12);
+  EXPECT_NEAR(s.stddev()[0], 1.0, 1e-12);
+}
+
+TEST(StandardScaler, TransformIsAffine) {
+  StandardScaler s;
+  s.fit({{0.0}, {10.0}});
+  const double y0 = s.transform({0.0})[0];
+  const double y5 = s.transform({5.0})[0];
+  const double y10 = s.transform({10.0})[0];
+  EXPECT_NEAR(y5, 0.5 * (y0 + y10), 1e-12);
+}
+
+}  // namespace
+}  // namespace echoimage::ml

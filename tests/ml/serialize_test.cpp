@@ -1,0 +1,124 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace echoimage::ml {
+namespace {
+
+std::vector<std::vector<double>> blob(double cx, double cy, std::size_t n,
+                                      unsigned seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> d(0.0, 0.4);
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({cx + d(gen), cy + d(gen)});
+  return out;
+}
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  std::stringstream ss;
+  write_double(ss, 3.141592653589793);
+  write_double(ss, -1e-300);
+  write_size(ss, 123456);
+  write_vector(ss, {1.0, -2.5, 0.0});
+  EXPECT_DOUBLE_EQ(read_double(ss), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(read_double(ss), -1e-300);
+  EXPECT_EQ(read_size(ss), 123456u);
+  const auto v = read_vector(ss);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], -2.5);
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  std::stringstream ss;
+  write_tag(ss, "alpha");
+  EXPECT_THROW(expect_tag(ss, "beta"), std::runtime_error);
+}
+
+TEST(Serialize, KernelRoundTrip) {
+  std::stringstream ss;
+  save(ss, KernelParams{KernelType::kRbf, 0.123456789});
+  const KernelParams k = load_kernel(ss);
+  EXPECT_EQ(k.type, KernelType::kRbf);
+  EXPECT_DOUBLE_EQ(k.gamma, 0.123456789);
+}
+
+TEST(Serialize, ScalerRoundTripPreservesTransforms) {
+  StandardScaler s;
+  s.fit(blob(3.0, -1.0, 50, 1));
+  std::stringstream ss;
+  save(ss, s);
+  const StandardScaler r = load_scaler(ss);
+  const std::vector<double> x{2.7, -0.4};
+  const auto a = s.transform(x);
+  const auto b = r.transform(x);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+}
+
+TEST(Serialize, BinarySvmRoundTripPreservesDecisions) {
+  auto x = blob(1.5, 0.0, 30, 2);
+  std::vector<int> y(30, 1);
+  const auto neg = blob(-1.5, 0.0, 30, 3);
+  x.insert(x.end(), neg.begin(), neg.end());
+  y.insert(y.end(), 30, -1);
+  const BinarySvm svm =
+      BinarySvm::train(x, y, KernelParams{KernelType::kRbf, 0.7});
+  std::stringstream ss;
+  save(ss, svm);
+  const BinarySvm r = load_binary_svm(ss);
+  EXPECT_EQ(r.num_support_vectors(), svm.num_support_vectors());
+  for (const auto& p : blob(0.3, 0.2, 20, 4))
+    EXPECT_DOUBLE_EQ(svm.decision(p), r.decision(p));
+}
+
+TEST(Serialize, MultiClassSvmRoundTrip) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  const double centers[3][2] = {{3.0, 0.0}, {-3.0, 0.0}, {0.0, 3.0}};
+  for (int c = 0; c < 3; ++c)
+    for (auto& p : blob(centers[c][0], centers[c][1], 20,
+                        static_cast<unsigned>(5 + c))) {
+      x.push_back(p);
+      y.push_back(10 * (c + 1));
+    }
+  const MultiClassSvm svm =
+      MultiClassSvm::train(x, y, KernelParams{KernelType::kRbf, 0.4});
+  std::stringstream ss;
+  save(ss, svm);
+  const MultiClassSvm r = load_multiclass_svm(ss);
+  EXPECT_EQ(r.classes(), svm.classes());
+  for (const auto& p : x) EXPECT_EQ(svm.predict(p), r.predict(p));
+}
+
+TEST(Serialize, SvddRoundTripPreservesScores) {
+  const Svdd svdd =
+      Svdd::train(blob(0.0, 0.0, 40, 7), KernelParams{KernelType::kRbf, 0.5});
+  std::stringstream ss;
+  save(ss, svdd);
+  const Svdd r = load_svdd(ss);
+  EXPECT_DOUBLE_EQ(r.radius_sq(), svdd.radius_sq());
+  for (const auto& p : blob(0.5, -0.5, 15, 8)) {
+    EXPECT_DOUBLE_EQ(svdd.distance_sq(p), r.distance_sq(p));
+    EXPECT_EQ(svdd.accepts(p), r.accepts(p));
+  }
+}
+
+TEST(Serialize, CorruptedStreamThrows) {
+  std::stringstream ss("svdd kernel 1 nonsense");
+  EXPECT_THROW((void)load_svdd(ss), std::runtime_error);
+  std::stringstream empty;
+  EXPECT_THROW((void)load_scaler(empty), std::runtime_error);
+}
+
+TEST(Serialize, ImplausibleSizesRejected) {
+  std::stringstream ss;
+  write_size(ss, 1u << 30);  // a vector that large is clearly bogus
+  EXPECT_THROW((void)read_vector(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace echoimage::ml

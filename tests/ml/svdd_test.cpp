@@ -1,0 +1,147 @@
+#include "ml/svdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace echoimage::ml {
+namespace {
+
+std::vector<std::vector<double>> ring_free_blob(double cx, double cy,
+                                                std::size_t n, unsigned seed,
+                                                double spread = 0.5) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> d(0.0, spread);
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({cx + d(gen), cy + d(gen)});
+  return out;
+}
+
+TEST(Svdd, RejectsBadInputs) {
+  const KernelParams k{KernelType::kRbf, 0.5};
+  EXPECT_THROW((void)Svdd::train({}, k), std::invalid_argument);
+  EXPECT_THROW((void)Svdd::train({{1.0}, {2.0, 3.0}}, k),
+               std::invalid_argument);
+  SvddTrainParams p;
+  p.nu = 0.0;
+  EXPECT_THROW((void)Svdd::train({{1.0}}, k, p), std::invalid_argument);
+  p.nu = 1.5;
+  EXPECT_THROW((void)Svdd::train({{1.0}}, k, p), std::invalid_argument);
+}
+
+TEST(Svdd, UntrainedThrowsOnUse) {
+  const Svdd s;
+  EXPECT_THROW((void)s.distance_sq({1.0}), std::logic_error);
+}
+
+TEST(Svdd, AcceptsInliersRejectsFarOutliers) {
+  const auto train = ring_free_blob(0.0, 0.0, 60, 1);
+  const auto model = Svdd::train(train, KernelParams{KernelType::kRbf, 0.5});
+  // Fresh samples from the same blob mostly accepted.
+  std::size_t accepted = 0;
+  for (const auto& p : ring_free_blob(0.0, 0.0, 40, 2))
+    accepted += model.accepts(p) ? 1 : 0;
+  EXPECT_GT(accepted, 28u);
+  // Far outliers rejected.
+  std::size_t rejected = 0;
+  for (const auto& p : ring_free_blob(8.0, 8.0, 40, 3))
+    rejected += model.accepts(p) ? 0 : 1;
+  EXPECT_EQ(rejected, 40u);
+}
+
+TEST(Svdd, DistanceIncreasesAwayFromCenter) {
+  const auto train = ring_free_blob(0.0, 0.0, 80, 4);
+  const auto model = Svdd::train(train, KernelParams{KernelType::kRbf, 0.2});
+  double prev = model.distance_sq({0.0, 0.0});
+  for (const double r : {1.0, 2.0, 3.0, 5.0}) {
+    const double d = model.distance_sq({r, 0.0});
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Svdd, DecisionIsThresholdedDistance) {
+  const auto train = ring_free_blob(0.0, 0.0, 50, 5);
+  SvddTrainParams p;
+  p.radius_margin = 0.0;
+  const auto model =
+      Svdd::train(train, KernelParams{KernelType::kRbf, 0.5}, p);
+  for (const auto& x : ring_free_blob(0.0, 0.0, 10, 6)) {
+    const double expected = model.radius_sq() - model.distance_sq(x);
+    EXPECT_NEAR(model.decision(x), expected, 1e-12);
+    EXPECT_EQ(model.accepts(x), model.decision(x) >= 0.0);
+  }
+}
+
+TEST(Svdd, RadiusMarginLoosensAcceptance) {
+  const auto train = ring_free_blob(0.0, 0.0, 50, 7);
+  SvddTrainParams tight;
+  tight.radius_margin = 0.0;
+  SvddTrainParams loose;
+  loose.radius_margin = 0.5;
+  const KernelParams k{KernelType::kRbf, 0.5};
+  const auto m_tight = Svdd::train(train, k, tight);
+  const auto m_loose = Svdd::train(train, k, loose);
+  std::size_t tight_acc = 0, loose_acc = 0;
+  for (const auto& p : ring_free_blob(0.0, 0.0, 100, 8, 0.9)) {
+    tight_acc += m_tight.accepts(p) ? 1 : 0;
+    loose_acc += m_loose.accepts(p) ? 1 : 0;
+  }
+  EXPECT_GE(loose_acc, tight_acc);
+}
+
+TEST(Svdd, NuBoundsOutlierFractionLoosely) {
+  // With larger nu (smaller C), more training points may sit outside R^2.
+  const auto train = ring_free_blob(0.0, 0.0, 100, 9);
+  const KernelParams k{KernelType::kRbf, 0.3};
+  SvddTrainParams lo;
+  lo.nu = 0.01;
+  SvddTrainParams hi;
+  hi.nu = 0.4;
+  const auto m_lo = Svdd::train(train, k, lo);
+  const auto m_hi = Svdd::train(train, k, hi);
+  std::size_t out_lo = 0, out_hi = 0;
+  for (const auto& p : train) {
+    out_lo += m_lo.distance_sq(p) > m_lo.radius_sq() ? 1 : 0;
+    out_hi += m_hi.distance_sq(p) > m_hi.radius_sq() ? 1 : 0;
+  }
+  EXPECT_LE(out_lo, out_hi + 5);
+}
+
+TEST(Svdd, SingleTrainingPointWorks) {
+  const auto model =
+      Svdd::train({{1.0, 1.0}}, KernelParams{KernelType::kRbf, 1.0});
+  EXPECT_EQ(model.num_support_vectors(), 1u);
+  // The training point itself is at distance ~0.
+  EXPECT_NEAR(model.distance_sq({1.0, 1.0}), 0.0, 1e-9);
+}
+
+TEST(Svdd, MultiModalDataCoversBothModes) {
+  // One SVDD over two blobs must accept both (this is also why the
+  // authenticator uses one SVDD per user: the in-between region is inside
+  // the single-ball description).
+  auto train = ring_free_blob(-3.0, 0.0, 40, 10);
+  const auto more = ring_free_blob(3.0, 0.0, 40, 11);
+  train.insert(train.end(), more.begin(), more.end());
+  const auto model =
+      Svdd::train(train, KernelParams{KernelType::kRbf, 0.5});
+  std::size_t acc = 0;
+  for (const auto& p : ring_free_blob(-3.0, 0.0, 20, 12))
+    acc += model.accepts(p) ? 1 : 0;
+  for (const auto& p : ring_free_blob(3.0, 0.0, 20, 13))
+    acc += model.accepts(p) ? 1 : 0;
+  EXPECT_GT(acc, 32u);
+}
+
+TEST(Svdd, LinearKernelSphereInInputSpace) {
+  const auto train = ring_free_blob(5.0, 5.0, 60, 14, 0.3);
+  const auto model =
+      Svdd::train(train, KernelParams{KernelType::kLinear, 0.0});
+  EXPECT_LT(model.distance_sq({5.0, 5.0}), model.distance_sq({7.0, 7.0}));
+}
+
+}  // namespace
+}  // namespace echoimage::ml

@@ -1,0 +1,192 @@
+#include "ml/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace echoimage::ml {
+namespace {
+
+// Gaussian blob around a center.
+std::vector<std::vector<double>> blob(double cx, double cy, std::size_t n,
+                                      unsigned seed, double spread = 0.3) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<double> d(0.0, spread);
+  std::vector<std::vector<double>> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({cx + d(gen), cy + d(gen)});
+  return out;
+}
+
+TEST(BinarySvm, RejectsInvalidInputs) {
+  const KernelParams k{KernelType::kLinear, 0.0};
+  EXPECT_THROW((void)BinarySvm::train({}, {}, k), std::invalid_argument);
+  EXPECT_THROW((void)BinarySvm::train({{1.0}}, {2}, k),
+               std::invalid_argument);  // bad label
+  EXPECT_THROW((void)BinarySvm::train({{1.0}, {2.0}}, {1, 1}, k),
+               std::invalid_argument);  // one class only
+  EXPECT_THROW((void)BinarySvm::train({{1.0}, {2.0, 3.0}}, {1, -1}, k),
+               std::invalid_argument);  // ragged
+}
+
+TEST(BinarySvm, SeparatesLinearlySeparableData) {
+  auto pos = blob(2.0, 2.0, 30, 1);
+  auto neg = blob(-2.0, -2.0, 30, 2);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (auto& p : pos) {
+    x.push_back(p);
+    y.push_back(1);
+  }
+  for (auto& p : neg) {
+    x.push_back(p);
+    y.push_back(-1);
+  }
+  const auto svm =
+      BinarySvm::train(x, y, KernelParams{KernelType::kLinear, 0.0});
+  EXPECT_GT(svm.num_support_vectors(), 0u);
+  EXPECT_EQ(svm.predict({2.5, 2.5}), 1);
+  EXPECT_EQ(svm.predict({-2.5, -2.5}), -1);
+  // Training accuracy should be perfect on well-separated blobs.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    correct += svm.predict(x[i]) == y[i] ? 1 : 0;
+  EXPECT_EQ(correct, x.size());
+}
+
+TEST(BinarySvm, DecisionValueSignMatchesPrediction) {
+  auto pos = blob(1.5, 0.0, 20, 3);
+  auto neg = blob(-1.5, 0.0, 20, 4);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (auto& p : pos) {
+    x.push_back(p);
+    y.push_back(1);
+  }
+  for (auto& p : neg) {
+    x.push_back(p);
+    y.push_back(-1);
+  }
+  const auto svm =
+      BinarySvm::train(x, y, KernelParams{KernelType::kRbf, 0.5});
+  for (const auto& p : x) {
+    EXPECT_EQ(svm.predict(p), svm.decision(p) >= 0.0 ? 1 : -1);
+  }
+}
+
+TEST(BinarySvm, RbfSolvesXorProblem) {
+  // XOR is the classic non-linearly-separable case.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::mt19937 gen(9);
+  std::normal_distribution<double> d(0.0, 0.15);
+  for (int i = 0; i < 25; ++i) {
+    x.push_back({1.0 + d(gen), 1.0 + d(gen)});
+    y.push_back(1);
+    x.push_back({-1.0 + d(gen), -1.0 + d(gen)});
+    y.push_back(1);
+    x.push_back({1.0 + d(gen), -1.0 + d(gen)});
+    y.push_back(-1);
+    x.push_back({-1.0 + d(gen), 1.0 + d(gen)});
+    y.push_back(-1);
+  }
+  const auto svm =
+      BinarySvm::train(x, y, KernelParams{KernelType::kRbf, 1.0});
+  EXPECT_EQ(svm.predict({1.0, 1.0}), 1);
+  EXPECT_EQ(svm.predict({-1.0, -1.0}), 1);
+  EXPECT_EQ(svm.predict({1.0, -1.0}), -1);
+  EXPECT_EQ(svm.predict({-1.0, 1.0}), -1);
+}
+
+TEST(BinarySvm, SoftMarginToleratesLabelNoise) {
+  auto pos = blob(1.0, 0.0, 40, 5, 0.4);
+  auto neg = blob(-1.0, 0.0, 40, 6, 0.4);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (auto& p : pos) {
+    x.push_back(p);
+    y.push_back(1);
+  }
+  for (auto& p : neg) {
+    x.push_back(p);
+    y.push_back(-1);
+  }
+  // Flip a few labels.
+  y[0] = -1;
+  y[40] = 1;
+  SvmTrainParams params;
+  params.c = 1.0;
+  const auto svm = BinarySvm::train(
+      x, y, KernelParams{KernelType::kRbf, 0.5}, params);
+  // Most points still classified by region despite the noise.
+  std::size_t region_correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int region = x[i][0] > 0.0 ? 1 : -1;
+    region_correct += svm.predict(x[i]) == region ? 1 : 0;
+  }
+  EXPECT_GT(region_correct, x.size() * 85 / 100);
+}
+
+TEST(MultiClassSvm, RequiresTwoClasses) {
+  EXPECT_THROW((void)MultiClassSvm::train({{1.0}, {2.0}}, {3, 3},
+                                          KernelParams{}),
+               std::invalid_argument);
+}
+
+TEST(MultiClassSvm, SeparatesFourBlobs) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  const double centers[4][2] = {{3.0, 0.0}, {-3.0, 0.0}, {0.0, 3.0},
+                                {0.0, -3.0}};
+  for (int c = 0; c < 4; ++c) {
+    for (auto& p : blob(centers[c][0], centers[c][1], 25,
+                        static_cast<unsigned>(10 + c))) {
+      x.push_back(p);
+      y.push_back(100 + c);  // arbitrary label values
+    }
+  }
+  const auto svm =
+      MultiClassSvm::train(x, y, KernelParams{KernelType::kRbf, 0.5});
+  EXPECT_EQ(svm.classes().size(), 4u);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_EQ(svm.predict({centers[c][0], centers[c][1]}), 100 + c);
+  // Held-out accuracy.
+  std::size_t correct = 0, total = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (auto& p : blob(centers[c][0], centers[c][1], 20,
+                        static_cast<unsigned>(50 + c))) {
+      correct += svm.predict(p) == 100 + c ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(correct, total * 95 / 100);
+}
+
+TEST(MultiClassSvm, TwoClassesReduceToBinary) {
+  auto pos = blob(2.0, 0.0, 15, 20);
+  auto neg = blob(-2.0, 0.0, 15, 21);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (auto& p : pos) {
+    x.push_back(p);
+    y.push_back(7);
+  }
+  for (auto& p : neg) {
+    x.push_back(p);
+    y.push_back(9);
+  }
+  const auto svm =
+      MultiClassSvm::train(x, y, KernelParams{KernelType::kLinear, 0.0});
+  EXPECT_EQ(svm.predict({3.0, 0.0}), 7);
+  EXPECT_EQ(svm.predict({-3.0, 0.0}), 9);
+}
+
+TEST(MultiClassSvm, PredictBeforeTrainThrows) {
+  const MultiClassSvm svm;
+  EXPECT_THROW((void)svm.predict({1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace echoimage::ml

@@ -1,0 +1,206 @@
+#include "sim/body.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace echoimage::sim {
+namespace {
+
+BodyProfile make_profile(std::uint64_t seed = 1,
+                         Gender gender = Gender::kMale, int age = 25) {
+  Demographic d;
+  d.gender = gender;
+  d.age = age;
+  return generate_body_profile(seed, d);
+}
+
+TEST(BodyProfile, DeterministicForSeed) {
+  const BodyProfile a = make_profile(42);
+  const BodyProfile b = make_profile(42);
+  ASSERT_EQ(a.reflectors().size(), b.reflectors().size());
+  EXPECT_DOUBLE_EQ(a.height_m(), b.height_m());
+  for (std::size_t i = 0; i < a.reflectors().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.reflectors()[i].reflectivity,
+                     b.reflectors()[i].reflectivity);
+    EXPECT_DOUBLE_EQ(a.reflectors()[i].local.x, b.reflectors()[i].local.x);
+  }
+}
+
+TEST(BodyProfile, DifferentSeedsGiveDifferentBodies) {
+  const BodyProfile a = make_profile(1);
+  const BodyProfile b = make_profile(2);
+  // Same demographic, different person: fields must differ.
+  double diff = 0.0;
+  const std::size_t n = std::min(a.reflectors().size(), b.reflectors().size());
+  for (std::size_t i = 0; i < n; ++i)
+    diff += std::abs(a.reflectors()[i].reflectivity -
+                     b.reflectors()[i].reflectivity);
+  EXPECT_GT(diff / static_cast<double>(n), 1e-4);
+}
+
+TEST(BodyProfile, PlausibleDimensions) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const BodyProfile p = make_profile(seed);
+    EXPECT_GE(p.height_m(), 1.50);
+    EXPECT_LE(p.height_m(), 1.95);
+    EXPECT_GE(p.shoulder_m(), 0.34);
+    EXPECT_LE(p.shoulder_m(), 0.54);
+    EXPECT_GT(p.reflectors().size(), 100u);  // dense enough cloud
+  }
+}
+
+TEST(BodyProfile, GenderAffectsAverageHeight) {
+  double male = 0.0, female = 0.0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    male += make_profile(1000 + i, Gender::kMale).height_m();
+    female += make_profile(2000 + i, Gender::kFemale).height_m();
+  }
+  EXPECT_GT(male / n, female / n);
+}
+
+TEST(BodyProfile, ReflectorsSpanTorsoAndHead) {
+  const BodyProfile p = make_profile(5);
+  double min_z = 1e9, max_z = -1e9;
+  for (const BodyReflector& r : p.reflectors()) {
+    min_z = std::min(min_z, r.local.z);
+    max_z = std::max(max_z, r.local.z);
+  }
+  EXPECT_LT(min_z, 0.55 * p.height_m());  // hips
+  EXPECT_GT(max_z, 0.90 * p.height_m());  // head
+}
+
+TEST(BodyProfile, ReflectivitiesArePositive) {
+  const BodyProfile p = make_profile(6);
+  for (const BodyReflector& r : p.reflectors())
+    EXPECT_GT(r.reflectivity, 0.0);
+}
+
+TEST(BodyProfile, SpectralSlopesAreBounded) {
+  const BodyProfile p = make_profile(7);
+  for (const BodyReflector& r : p.reflectors()) {
+    EXPECT_GE(r.spectral_slope, -4.0);
+    EXPECT_LE(r.spectral_slope, 4.0);
+  }
+}
+
+TEST(SessionPose, JitterScaleZeroIsNeutralStance) {
+  Rng rng(3);
+  const Pose p = draw_session_pose(rng, 0.0);
+  EXPECT_DOUBLE_EQ(p.lateral_shift_m, 0.0);
+  EXPECT_DOUBLE_EQ(p.depth_shift_m, 0.0);
+  EXPECT_DOUBLE_EQ(p.lean_rad, 0.0);
+  EXPECT_DOUBLE_EQ(p.reflectivity_gain, 1.0);
+}
+
+TEST(SessionPose, JitterIsCentimeterScale) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Pose p = draw_session_pose(rng);
+    EXPECT_LE(std::abs(p.lateral_shift_m), 0.015 + 1e-12);
+    EXPECT_LE(std::abs(p.depth_shift_m), 0.015 + 1e-12);
+    EXPECT_LE(std::abs(p.lean_rad), 0.02 + 1e-12);
+    EXPECT_GE(p.reflectivity_gain, 0.8);
+    EXPECT_LE(p.reflectivity_gain, 1.2);
+  }
+}
+
+TEST(PoseBody, PlacesUserAtRequestedDistance) {
+  const BodyProfile p = make_profile(8);
+  Pose pose;  // neutral
+  const auto world = pose_body(p, pose, 0.7, 1.2);
+  ASSERT_EQ(world.size(), p.reflectors().size());
+  // All chest-height points sit near y = 0.7 (+/- habitual offsets and
+  // body relief, both < 15 cm).
+  for (const WorldReflector& w : world) {
+    EXPECT_GT(w.position.y, 0.45);
+    EXPECT_LT(w.position.y, 0.95);
+  }
+}
+
+TEST(PoseBody, ArrayHeightShiftsVerticalCoordinates) {
+  const BodyProfile p = make_profile(9);
+  Pose pose;
+  const auto low = pose_body(p, pose, 0.7, 1.0);
+  const auto high = pose_body(p, pose, 0.7, 1.4);
+  for (std::size_t i = 0; i < low.size(); ++i)
+    EXPECT_NEAR(low[i].position.z - high[i].position.z, 0.4, 1e-9);
+}
+
+TEST(PoseBody, LateralShiftMovesBodySideways) {
+  const BodyProfile p = make_profile(10);
+  Pose a, b;
+  b.lateral_shift_m = 0.05;
+  const auto wa = pose_body(p, a, 0.7, 1.2);
+  const auto wb = pose_body(p, b, 0.7, 1.2);
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_NEAR(wb[i].position.x - wa[i].position.x, 0.05, 1e-9);
+}
+
+TEST(PoseBody, BreathingMovesChestTowardArray) {
+  const BodyProfile p = make_profile(11);
+  Pose inhale, neutral;
+  inhale.breathing_m = 0.002;
+  const auto wn = pose_body(p, neutral, 0.7, 1.2);
+  const auto wi = pose_body(p, inhale, 0.7, 1.2);
+  // Positive breathing displaces the surface toward the array (-y).
+  double mean_shift = 0.0;
+  for (std::size_t i = 0; i < wn.size(); ++i)
+    mean_shift += wn[i].position.y - wi[i].position.y;
+  mean_shift /= static_cast<double>(wn.size());
+  EXPECT_NEAR(mean_shift, 0.002, 5e-4);
+}
+
+TEST(PoseBody, SpecularWeightingConcentratesEnergyNearAxis) {
+  const BodyProfile p = make_profile(12);
+  Pose pose;
+  const auto spec = pose_body(p, pose, 0.7, 1.2, 10.0);
+  const auto iso = pose_body(p, pose, 0.7, 1.2, 0.0);
+  // Specularity must reduce off-axis reflectivity more than on-axis.
+  double on_ratio = 0.0, off_ratio = 0.0;
+  int on_n = 0, off_n = 0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const double off_axis = std::hypot(spec[i].position.x,
+                                       spec[i].position.z);
+    const double ratio = spec[i].reflectivity / iso[i].reflectivity;
+    if (off_axis < 0.15) {
+      on_ratio += ratio;
+      ++on_n;
+    } else if (off_axis > 0.4) {
+      off_ratio += ratio;
+      ++off_n;
+    }
+  }
+  ASSERT_GT(on_n, 0);
+  ASSERT_GT(off_n, 0);
+  EXPECT_GT(on_ratio / on_n, 3.0 * off_ratio / off_n);
+}
+
+TEST(PoseBody, ClothingSeedModulatesReflectivity) {
+  const BodyProfile p = make_profile(13);
+  Pose a, b;
+  a.clothing_seed = 1;
+  b.clothing_seed = 2;
+  const auto wa = pose_body(p, a, 0.7, 1.2);
+  const auto wb = pose_body(p, b, 0.7, 1.2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    diff += std::abs(wa[i].reflectivity - wb[i].reflectivity) /
+            (wa[i].reflectivity + 1e-12);
+  EXPECT_GT(diff / static_cast<double>(wa.size()), 0.005);
+  EXPECT_LT(diff / static_cast<double>(wa.size()), 0.25);
+}
+
+TEST(PoseBody, HabitualPostureIsStablePerUser) {
+  const BodyProfile p = make_profile(14);
+  // Same profile posed twice with neutral session jitter: identical.
+  Pose pose;
+  const auto w1 = pose_body(p, pose, 0.7, 1.2);
+  const auto w2 = pose_body(p, pose, 0.7, 1.2);
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    EXPECT_DOUBLE_EQ(w1[i].position.y, w2[i].position.y);
+}
+
+}  // namespace
+}  // namespace echoimage::sim

@@ -1,0 +1,92 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace echoimage::sim {
+namespace {
+
+TEST(Environment, NamesAreHumanReadable) {
+  EXPECT_EQ(to_string(EnvironmentKind::kLab), "laboratory");
+  EXPECT_EQ(to_string(EnvironmentKind::kConferenceHall), "conference hall");
+  EXPECT_EQ(to_string(EnvironmentKind::kOutdoor), "outdoor");
+}
+
+TEST(Environment, DeterministicForSeed) {
+  const Environment a = make_environment(EnvironmentKind::kLab, 7);
+  const Environment b = make_environment(EnvironmentKind::kLab, 7);
+  ASSERT_EQ(a.clutter.size(), b.clutter.size());
+  for (std::size_t i = 0; i < a.clutter.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.clutter[i].position.x, b.clutter[i].position.x);
+    EXPECT_DOUBLE_EQ(a.clutter[i].reflectivity, b.clutter[i].reflectivity);
+  }
+}
+
+TEST(Environment, DifferentSeedsMoveFurniture) {
+  const Environment a = make_environment(EnvironmentKind::kLab, 1);
+  const Environment b = make_environment(EnvironmentKind::kLab, 2);
+  double diff = 0.0;
+  const std::size_t n = std::min(a.clutter.size(), b.clutter.size());
+  for (std::size_t i = 0; i < n; ++i)
+    diff += a.clutter[i].position.distance_to(b.clutter[i].position);
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST(Environment, LabHasWallsAndFurniture) {
+  const Environment env = make_environment(EnvironmentKind::kLab, 3);
+  EXPECT_GE(env.clutter.size(), 8u);  // 4 walls + 3 furniture x 4 points
+  EXPECT_GT(env.reverb.level, 0.0);
+  EXPECT_GT(env.reverb.decay_time_s, 0.0);
+}
+
+TEST(Environment, ConferenceHallIsBiggerAndMoreReverberant) {
+  const Environment lab = make_environment(EnvironmentKind::kLab, 4);
+  const Environment hall =
+      make_environment(EnvironmentKind::kConferenceHall, 4);
+  EXPECT_GT(hall.clutter.size(), lab.clutter.size());
+  EXPECT_GT(hall.reverb.decay_time_s, lab.reverb.decay_time_s);
+  // Hall walls are farther from the array than lab walls.
+  double lab_max = 0.0, hall_max = 0.0;
+  for (const auto& c : lab.clutter)
+    lab_max = std::max(lab_max, c.position.norm());
+  for (const auto& c : hall.clutter)
+    hall_max = std::max(hall_max, c.position.norm());
+  EXPECT_GT(hall_max, lab_max);
+}
+
+TEST(Environment, OutdoorHasNoReverbAndHigherAmbient) {
+  const Environment out = make_environment(EnvironmentKind::kOutdoor, 5, 30.0);
+  EXPECT_DOUBLE_EQ(out.reverb.level, 0.0);
+  EXPECT_GT(out.ambient.level_db, 30.0);
+  EXPECT_LE(out.clutter.size(), 2u);  // essentially just the ground bounce
+}
+
+TEST(Environment, AmbientLevelPassedThrough) {
+  const Environment env = make_environment(EnvironmentKind::kLab, 6, 44.0);
+  EXPECT_DOUBLE_EQ(env.ambient.level_db, 44.0);
+  EXPECT_EQ(env.ambient.kind, NoiseKind::kQuiet);
+}
+
+TEST(Environment, FurnitureIsWeakerThanWalls) {
+  const Environment env = make_environment(EnvironmentKind::kLab, 8);
+  // Walls are the first four entries (reflectivity ~0.2-0.4); furniture
+  // points are far weaker (diffuse scatterers).
+  double wall_min = 1e9, furn_max = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    wall_min = std::min(wall_min, env.clutter[i].reflectivity);
+  for (std::size_t i = 4; i < env.clutter.size(); ++i)
+    furn_max = std::max(furn_max, env.clutter[i].reflectivity);
+  EXPECT_GT(wall_min, furn_max);
+}
+
+TEST(Environment, LabWallsOutsideEchoWindow) {
+  // Paper Sec. V-B echo window spans ~2 m of slant range; room walls must
+  // produce round trips beyond it so the distance estimator sees the body.
+  const Environment env = make_environment(EnvironmentKind::kLab, 9);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_GT(env.clutter[i].position.norm(), 1.7);
+}
+
+}  // namespace
+}  // namespace echoimage::sim

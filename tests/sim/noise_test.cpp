@@ -1,0 +1,110 @@
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/signal.hpp"
+
+namespace echoimage::sim {
+namespace {
+
+constexpr double kFs = 48000.0;
+
+double band_energy_fraction(const Signal& x, double lo, double hi) {
+  using namespace echoimage::dsp;
+  ComplexSignal spec(next_pow2(x.size()), Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) spec[i] = Complex(x[i], 0.0);
+  fft_pow2_in_place(spec, false);
+  double total = 0.0, band = 0.0;
+  for (std::size_t k = 1; k < spec.size() / 2; ++k) {
+    const double f = bin_frequency(k, spec.size(), kFs);
+    const double p = std::norm(spec[k]);
+    total += p;
+    if (f >= lo && f <= hi) band += p;
+  }
+  return total > 0.0 ? band / total : 0.0;
+}
+
+TEST(LevelDb, CalibrationAnchors) {
+  EXPECT_NEAR(level_db_to_rms(kFullScaleDb), 1.0, 1e-12);
+  EXPECT_NEAR(level_db_to_rms(kFullScaleDb - 20.0), 0.1, 1e-12);
+  EXPECT_NEAR(level_db_to_rms(30.0), std::pow(10.0, -2.0), 1e-9);
+}
+
+class NoiseKindTest : public ::testing::TestWithParam<NoiseKind> {};
+
+TEST_P(NoiseKindTest, RmsMatchesRequestedLevel) {
+  Rng rng(5);
+  const Signal x =
+      generate_noise({GetParam(), 50.0}, 48000, kFs, rng);
+  EXPECT_NEAR(echoimage::dsp::rms(x), level_db_to_rms(50.0), 1e-9);
+}
+
+TEST_P(NoiseKindTest, DeterministicForSameRngSeed) {
+  Rng a(9), b(9);
+  const Signal x = generate_noise({GetParam(), 40.0}, 1024, kFs, a);
+  const Signal y = generate_noise({GetParam(), 40.0}, 1024, kFs, b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
+}
+
+TEST_P(NoiseKindTest, EmptyRequestYieldsEmpty) {
+  Rng rng(1);
+  EXPECT_TRUE(generate_noise({GetParam(), 40.0}, 0, kFs, rng).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, NoiseKindTest,
+                         ::testing::Values(NoiseKind::kQuiet,
+                                           NoiseKind::kMusic,
+                                           NoiseKind::kChatter,
+                                           NoiseKind::kTraffic,
+                                           NoiseKind::kWhite));
+
+TEST(Noise, QuietIsLowFrequency) {
+  Rng rng(2);
+  const Signal x = generate_noise({NoiseKind::kQuiet, 30.0}, 48000, kFs, rng);
+  // HVAC-like rumble: nearly everything below 1 kHz.
+  EXPECT_GT(band_energy_fraction(x, 0.0, 1000.0), 0.95);
+}
+
+TEST(Noise, MusicConcentratedBelowTwoKilohertz) {
+  Rng rng(3);
+  const Signal x = generate_noise({NoiseKind::kMusic, 50.0}, 48000, kFs, rng);
+  EXPECT_GT(band_energy_fraction(x, 0.0, 2500.0), 0.9);
+}
+
+TEST(Noise, ChatterOverlapsProbingBand) {
+  // The paper's hardest condition: speech-band noise reaches into 2-3 kHz.
+  Rng rng(4);
+  const Signal x =
+      generate_noise({NoiseKind::kChatter, 50.0}, 48000, kFs, rng);
+  EXPECT_GT(band_energy_fraction(x, 2000.0, 3000.0), 0.05);
+  EXPECT_GT(band_energy_fraction(x, 300.0, 3000.0), 0.7);
+}
+
+TEST(Noise, TrafficIsHeavyRumble) {
+  Rng rng(6);
+  const Signal x =
+      generate_noise({NoiseKind::kTraffic, 50.0}, 48000, kFs, rng);
+  EXPECT_GT(band_energy_fraction(x, 0.0, 1200.0), 0.9);
+}
+
+TEST(Noise, WhiteIsBroadband) {
+  Rng rng(8);
+  const Signal x = generate_noise({NoiseKind::kWhite, 50.0}, 48000, kFs, rng);
+  // Roughly proportional share in each quarter of the spectrum.
+  const double low = band_energy_fraction(x, 0.0, 6000.0);
+  EXPECT_NEAR(low, 0.25, 0.05);
+}
+
+TEST(Noise, LevelDifferenceIsTwentyDbPerFactorTen) {
+  Rng a(10), b(10);
+  const Signal x30 = generate_noise({NoiseKind::kMusic, 30.0}, 4096, kFs, a);
+  const Signal x50 = generate_noise({NoiseKind::kMusic, 50.0}, 4096, kFs, b);
+  EXPECT_NEAR(echoimage::dsp::rms(x50) / echoimage::dsp::rms(x30), 10.0,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace echoimage::sim

@@ -1,0 +1,142 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace echoimage::sim {
+namespace {
+
+TEST(MixSeed, DeterministicAndStreamSensitive) {
+  EXPECT_EQ(mix_seed(42, 1), mix_seed(42, 1));
+  EXPECT_NE(mix_seed(42, 1), mix_seed(42, 2));
+  EXPECT_NE(mix_seed(42, 1), mix_seed(43, 1));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LE(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 1);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(1.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng base(23);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  // Crude independence check: correlation of long streams near zero.
+  const int n = 5000;
+  double sab = 0.0, sa = 0.0, sb = 0.0, saa = 0.0, sbb = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.gaussian();
+    const double y = b.gaussian();
+    sab += x * y;
+    sa += x;
+    sb += y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double corr = cov / std::sqrt((saa / n) * (sbb / n) + 1e-12);
+  EXPECT_LT(std::abs(corr), 0.05);
+}
+
+TEST(Rng, ForkIsStableAcrossCalls) {
+  // fork() must not mutate the parent: two forks with the same label agree.
+  Rng base(29);
+  Rng a = base.fork(5);
+  Rng b = base.fork(5);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(SmoothField2D, DeterministicForSeed) {
+  const SmoothField2D f1(42), f2(42);
+  for (double u = 0.0; u <= 1.0; u += 0.25)
+    for (double v = 0.0; v <= 1.0; v += 0.25)
+      EXPECT_DOUBLE_EQ(f1.value(u, v), f2.value(u, v));
+}
+
+TEST(SmoothField2D, DifferentSeedsDiffer) {
+  const SmoothField2D f1(1), f2(2);
+  double diff = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1)
+    diff += std::abs(f1.value(u, 0.5) - f2.value(u, 0.5));
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SmoothField2D, IsSmoothAtSamplingScale) {
+  const SmoothField2D f(77);
+  // Finite-difference gradient must be bounded (max_freq = 4 cycles/unit
+  // with unit RMS implies |df/du| <~ 2*pi*4*amplitude).
+  for (double u = 0.0; u < 1.0; u += 0.05) {
+    const double d = std::abs(f.value(u + 0.001, 0.3) - f.value(u, 0.3));
+    EXPECT_LT(d, 0.2);
+  }
+}
+
+TEST(SmoothField2D, RoughlyUnitVariance) {
+  const SmoothField2D f(31);
+  double sum = 0.0, sum2 = 0.0;
+  int n = 0;
+  for (double u = 0.0; u < 1.0; u += 0.02)
+    for (double v = 0.0; v < 1.0; v += 0.02) {
+      const double x = f.value(u, v);
+      sum += x;
+      sum2 += x * x;
+      ++n;
+    }
+  const double var = sum2 / n - (sum / n) * (sum / n);
+  EXPECT_GT(var, 0.2);
+  EXPECT_LT(var, 3.0);
+}
+
+TEST(SmoothField2D, MappedClampsToRange) {
+  const SmoothField2D f(55);
+  for (double u = 0.0; u <= 1.0; u += 0.05) {
+    const double v = f.mapped(u, u, 1.0, 10.0, 0.5, 1.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace echoimage::sim

@@ -1,0 +1,322 @@
+// echoimage_cli — drive the EchoImage pipeline from the command line with
+// WAV files on disk, the way a deployment (or a dataset collected on real
+// hardware) would.
+//
+// Subcommands:
+//   simulate  render beep captures for a simulated user into a directory
+//   enroll    train an authenticator from capture directories, save model
+//   verify    authenticate a capture directory against a saved model
+//   image     construct acoustic images from a capture and write PGMs
+//
+// Capture directory layout: beep_000.wav, beep_001.wav, ... (one
+// multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
+// capture used for the MVDR noise covariance).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/wav.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/image_io.hpp"
+#include "eval/table.hpp"
+
+namespace fs = std::filesystem;
+using namespace echoimage;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::vector<std::string>> named;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = named.find(key);
+    return it == named.end() || it->second.empty() ? fallback
+                                                   : it->second.back();
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return named.count(key) > 0;
+  }
+  [[nodiscard]] const std::vector<std::string>& all(
+      const std::string& key) const {
+    static const std::vector<std::string> empty;
+    const auto it = named.find(key);
+    return it == named.end() ? empty : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  std::string current;
+  for (int i = first; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok.rfind("--", 0) == 0) {
+      current = tok.substr(2);
+      args.named[current];  // flags without values
+    } else if (!current.empty()) {
+      args.named[current].push_back(tok);
+    }
+  }
+  return args;
+}
+
+core::SystemConfig system_config() { return eval::default_system_config(); }
+
+// --- capture directory I/O -------------------------------------------------
+
+void write_capture(const fs::path& dir,
+                   const std::vector<dsp::MultiChannelSignal>& beeps,
+                   const dsp::MultiChannelSignal& noise, double sample_rate) {
+  fs::create_directories(dir);
+  for (std::size_t i = 0; i < beeps.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "beep_%03zu.wav", i);
+    dsp::write_wav_file((dir / name).string(),
+                        dsp::WavData{beeps[i], sample_rate});
+  }
+  dsp::write_wav_file((dir / "noise.wav").string(),
+                      dsp::WavData{noise, sample_rate});
+}
+
+struct Capture {
+  std::vector<dsp::MultiChannelSignal> beeps;
+  dsp::MultiChannelSignal noise;
+};
+
+Capture read_capture(const fs::path& dir) {
+  Capture c;
+  std::vector<fs::path> beep_files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("beep_", 0) == 0 && entry.path().extension() == ".wav")
+      beep_files.push_back(entry.path());
+  }
+  std::sort(beep_files.begin(), beep_files.end());
+  if (beep_files.empty())
+    throw std::runtime_error("no beep_*.wav files in " + dir.string());
+  // The pipeline is calibrated for 48 kHz; resample other rates on read.
+  const auto to_pipeline_rate = [](dsp::WavData d) {
+    if (d.sample_rate == 48000.0) return d.samples;
+    return dsp::resample(d.samples, d.sample_rate, 48000.0);
+  };
+  for (const auto& p : beep_files)
+    c.beeps.push_back(to_pipeline_rate(dsp::read_wav_file(p.string())));
+  const fs::path noise = dir / "noise.wav";
+  if (fs::exists(noise))
+    c.noise = to_pipeline_rate(dsp::read_wav_file(noise.string()));
+  return c;
+}
+
+// --- subcommands -------------------------------------------------------------
+
+int cmd_simulate(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::cerr << "simulate: --out DIR is required\n";
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(std::stoull(args.get("seed",
+                                                                    "42")));
+  const int user_index = std::stoi(args.get("user", "0"));
+  const double distance = std::stod(args.get("distance", "0.7"));
+  const auto beeps = static_cast<std::size_t>(std::stoul(args.get("beeps",
+                                                                  "12")));
+  eval::CollectionConditions cond;
+  cond.distance_m = distance;
+  cond.session = std::stoi(args.get("session", "1"));
+  cond.repetition = std::stoi(args.get("repetition", "0"));
+  const std::string env = args.get("env", "lab");
+  cond.environment = env == "hall" ? sim::EnvironmentKind::kConferenceHall
+                     : env == "outdoor" ? sim::EnvironmentKind::kOutdoor
+                                        : sim::EnvironmentKind::kLab;
+  if (args.has("noise")) {
+    const std::string n = args.get("noise", "music");
+    cond.playback = n == "chatter" ? sim::NoiseKind::kChatter
+                    : n == "traffic" ? sim::NoiseKind::kTraffic
+                                     : sim::NoiseKind::kMusic;
+    cond.playback_db = std::stod(args.get("noise-db", "50"));
+  }
+
+  const auto geometry = array::make_respeaker_array();
+  const auto users = eval::make_users(eval::make_roster(), seed);
+  if (user_index < 0 || user_index >= static_cast<int>(users.size())) {
+    std::cerr << "simulate: --user must be 0.." << users.size() - 1 << "\n";
+    return 2;
+  }
+  sim::CaptureConfig capture;
+  const eval::DataCollector collector(capture, geometry, seed);
+  const eval::CaptureBatch batch =
+      collector.collect(users[static_cast<std::size_t>(user_index)], cond,
+                        beeps);
+  write_capture(out, batch.beeps, batch.noise_only, capture.sample_rate);
+  std::cout << "wrote " << batch.beeps.size() << " beeps + noise.wav to "
+            << out << " (user " << users[user_index].subject.user_id
+            << ", true distance " << eval::fmt(batch.true_distance_m, 2)
+            << " m)\n";
+  return 0;
+}
+
+int cmd_enroll(const Args& args) {
+  const std::string model_path = args.get("model");
+  const auto& ids = args.all("user");
+  const auto& dirs = args.all("dir");
+  if (model_path.empty() || ids.empty() || ids.size() != dirs.size()) {
+    std::cerr << "enroll: need --model FILE and matching --user ID --dir DIR "
+                 "pairs\n";
+    return 2;
+  }
+  const bool augment = args.has("augment");
+
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(system_config(), geometry);
+
+  std::map<int, core::EnrolledUser> users;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const int id = std::stoi(ids[i]);
+    const Capture capture = read_capture(dirs[i]);
+    const auto processed =
+        pipeline.process(capture.beeps, capture.noise);
+    if (!processed.distance.valid) {
+      std::cerr << "enroll: no user detected in " << dirs[i] << "\n";
+      return 1;
+    }
+    auto& user = users[id];
+    user.user_id = id;
+    auto feats = pipeline.features_batch(
+        processed.images, processed.distance.user_distance_centroid_m,
+        augment);
+    for (auto& f : feats) user.features.push_back(std::move(f));
+    std::cout << "user " << id << ": " << dirs[i] << " -> "
+              << processed.images.size() << " beeps at "
+              << eval::fmt(processed.distance.user_distance_m, 2) << " m\n";
+  }
+  std::vector<core::EnrolledUser> enrolled;
+  for (auto& [id, u] : users) enrolled.push_back(std::move(u));
+  const core::Authenticator auth = pipeline.enroll(enrolled);
+
+  std::ofstream os(model_path);
+  if (!os) {
+    std::cerr << "enroll: cannot write " << model_path << "\n";
+    return 1;
+  }
+  auth.save(os);
+  std::cout << "saved model for " << enrolled.size() << " user(s) to "
+            << model_path << "\n";
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  const std::string model_path = args.get("model");
+  const std::string dir = args.get("dir");
+  if (model_path.empty() || dir.empty()) {
+    std::cerr << "verify: need --model FILE and --dir DIR\n";
+    return 2;
+  }
+  std::ifstream is(model_path);
+  if (!is) {
+    std::cerr << "verify: cannot read " << model_path << "\n";
+    return 1;
+  }
+  const core::Authenticator auth = core::Authenticator::load(is);
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(system_config(), geometry);
+
+  const Capture capture = read_capture(dir);
+  const auto processed = pipeline.process(capture.beeps, capture.noise);
+  if (!processed.distance.valid) {
+    std::cout << "REJECTED: no user detected in front of the array\n";
+    return 1;
+  }
+  std::cout << "user detected at "
+            << eval::fmt(processed.distance.user_distance_m, 2) << " m\n";
+  std::map<int, int> votes;
+  int rejections = 0;
+  for (std::size_t i = 0; i < processed.images.size(); ++i) {
+    const auto d =
+        auth.authenticate(pipeline.features(processed.images[i]));
+    std::cout << "  beep " << i << ": "
+              << (d.accepted ? "user " + std::to_string(d.user_id)
+                             : std::string("rejected"))
+              << " (score " << eval::fmt(d.svdd_score) << ")\n";
+    if (d.accepted)
+      ++votes[d.user_id];
+    else
+      ++rejections;
+  }
+  int best = -1, best_votes = 0;
+  for (const auto& [id, n] : votes)
+    if (n > best_votes) {
+      best = id;
+      best_votes = n;
+    }
+  if (best_votes * 2 > static_cast<int>(processed.images.size())) {
+    std::cout << "DECISION: authenticated as user " << best << "\n";
+    return 0;
+  }
+  std::cout << "DECISION: rejected (" << rejections << "/"
+            << processed.images.size() << " beeps unrecognized)\n";
+  return 1;
+}
+
+int cmd_image(const Args& args) {
+  const std::string dir = args.get("dir");
+  const std::string prefix = args.get("out", "acoustic_image");
+  if (dir.empty()) {
+    std::cerr << "image: need --dir DIR\n";
+    return 2;
+  }
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(system_config(), geometry);
+  const Capture capture = read_capture(dir);
+  const auto processed = pipeline.process(capture.beeps, capture.noise);
+  if (!processed.distance.valid) {
+    std::cerr << "image: no user detected\n";
+    return 1;
+  }
+  const auto& image = processed.images.front();
+  for (std::size_t b = 0; b < image.bands.size(); ++b) {
+    const std::string path = prefix + "_band" + std::to_string(b) + ".pgm";
+    eval::write_pgm_file(path, image.bands[b]);
+    std::cout << "wrote " << path << "\n";
+  }
+  std::cout << eval::ascii_image(image.bands.front(), 32);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cout << "usage: echoimage_cli <simulate|enroll|verify|image> "
+                 "[--key value ...]\n"
+                 "  simulate --out DIR [--seed N --user N --distance D "
+                 "--beeps L --session S --repetition R --env "
+                 "lab|hall|outdoor --noise music|chatter|traffic "
+                 "--noise-db D]\n"
+                 "  enroll   --model FILE --user ID --dir DIR [--user ID "
+                 "--dir DIR ...] [--augment]\n"
+                 "  verify   --model FILE --dir DIR\n"
+                 "  image    --dir DIR [--out PREFIX]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "enroll") return cmd_enroll(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "image") return cmd_image(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown subcommand '" << cmd << "'\n";
+  return 2;
+}
