@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_augmentation.dir/bench_fig14_augmentation.cpp.o"
+  "CMakeFiles/bench_fig14_augmentation.dir/bench_fig14_augmentation.cpp.o.d"
+  "bench_fig14_augmentation"
+  "bench_fig14_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_param_beep.cpp" "bench/CMakeFiles/bench_param_beep.dir/bench_param_beep.cpp.o" "gcc" "bench/CMakeFiles/bench_param_beep.dir/bench_param_beep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/echoimage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/echoimage_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/echoimage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/echoimage_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/echoimage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/echoimage_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/echoimage_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_beep.dir/bench_param_beep.cpp.o"
+  "CMakeFiles/bench_param_beep.dir/bench_param_beep.cpp.o.d"
+  "bench_param_beep"
+  "bench_param_beep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_beep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_roster.dir/bench_table1_roster.cpp.o"
+  "CMakeFiles/bench_table1_roster.dir/bench_table1_roster.cpp.o.d"
+  "bench_table1_roster"
+  "bench_table1_roster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_roster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_session.dir/continuous_session.cpp.o"
+  "CMakeFiles/continuous_session.dir/continuous_session.cpp.o.d"
+  "continuous_session"
+  "continuous_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

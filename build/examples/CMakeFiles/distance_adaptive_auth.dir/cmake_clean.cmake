@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_adaptive_auth.dir/distance_adaptive_auth.cpp.o"
+  "CMakeFiles/distance_adaptive_auth.dir/distance_adaptive_auth.cpp.o.d"
+  "distance_adaptive_auth"
+  "distance_adaptive_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_adaptive_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for distance_adaptive_auth.
+# This may be replaced when dependencies are built.

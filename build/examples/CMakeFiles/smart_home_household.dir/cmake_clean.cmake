@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_household.dir/smart_home_household.cpp.o"
+  "CMakeFiles/smart_home_household.dir/smart_home_household.cpp.o.d"
+  "smart_home_household"
+  "smart_home_household.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_household.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

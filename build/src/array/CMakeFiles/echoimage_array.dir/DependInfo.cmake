@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/beamformer.cpp" "src/array/CMakeFiles/echoimage_array.dir/beamformer.cpp.o" "gcc" "src/array/CMakeFiles/echoimage_array.dir/beamformer.cpp.o.d"
+  "/root/repo/src/array/covariance.cpp" "src/array/CMakeFiles/echoimage_array.dir/covariance.cpp.o" "gcc" "src/array/CMakeFiles/echoimage_array.dir/covariance.cpp.o.d"
+  "/root/repo/src/array/doa.cpp" "src/array/CMakeFiles/echoimage_array.dir/doa.cpp.o" "gcc" "src/array/CMakeFiles/echoimage_array.dir/doa.cpp.o.d"
+  "/root/repo/src/array/geometry.cpp" "src/array/CMakeFiles/echoimage_array.dir/geometry.cpp.o" "gcc" "src/array/CMakeFiles/echoimage_array.dir/geometry.cpp.o.d"
+  "/root/repo/src/array/steering.cpp" "src/array/CMakeFiles/echoimage_array.dir/steering.cpp.o" "gcc" "src/array/CMakeFiles/echoimage_array.dir/steering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/echoimage_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/echoimage_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

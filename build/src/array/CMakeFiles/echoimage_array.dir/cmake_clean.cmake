@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_array.dir/beamformer.cpp.o"
+  "CMakeFiles/echoimage_array.dir/beamformer.cpp.o.d"
+  "CMakeFiles/echoimage_array.dir/covariance.cpp.o"
+  "CMakeFiles/echoimage_array.dir/covariance.cpp.o.d"
+  "CMakeFiles/echoimage_array.dir/doa.cpp.o"
+  "CMakeFiles/echoimage_array.dir/doa.cpp.o.d"
+  "CMakeFiles/echoimage_array.dir/geometry.cpp.o"
+  "CMakeFiles/echoimage_array.dir/geometry.cpp.o.d"
+  "CMakeFiles/echoimage_array.dir/steering.cpp.o"
+  "CMakeFiles/echoimage_array.dir/steering.cpp.o.d"
+  "libechoimage_array.a"
+  "libechoimage_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augment.cpp" "src/core/CMakeFiles/echoimage_core.dir/augment.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/augment.cpp.o.d"
+  "/root/repo/src/core/authenticator.cpp" "src/core/CMakeFiles/echoimage_core.dir/authenticator.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/authenticator.cpp.o.d"
+  "/root/repo/src/core/distance.cpp" "src/core/CMakeFiles/echoimage_core.dir/distance.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/distance.cpp.o.d"
+  "/root/repo/src/core/imaging.cpp" "src/core/CMakeFiles/echoimage_core.dir/imaging.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/imaging.cpp.o.d"
+  "/root/repo/src/core/liveness.cpp" "src/core/CMakeFiles/echoimage_core.dir/liveness.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/liveness.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/echoimage_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/echoimage_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/echoimage_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/echoimage_core.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/echoimage_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/echoimage_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/echoimage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/echoimage_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

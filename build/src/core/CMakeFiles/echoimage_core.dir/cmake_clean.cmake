@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_core.dir/augment.cpp.o"
+  "CMakeFiles/echoimage_core.dir/augment.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/authenticator.cpp.o"
+  "CMakeFiles/echoimage_core.dir/authenticator.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/distance.cpp.o"
+  "CMakeFiles/echoimage_core.dir/distance.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/imaging.cpp.o"
+  "CMakeFiles/echoimage_core.dir/imaging.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/liveness.cpp.o"
+  "CMakeFiles/echoimage_core.dir/liveness.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/pipeline.cpp.o"
+  "CMakeFiles/echoimage_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/quality.cpp.o"
+  "CMakeFiles/echoimage_core.dir/quality.cpp.o.d"
+  "CMakeFiles/echoimage_core.dir/session.cpp.o"
+  "CMakeFiles/echoimage_core.dir/session.cpp.o.d"
+  "libechoimage_core.a"
+  "libechoimage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

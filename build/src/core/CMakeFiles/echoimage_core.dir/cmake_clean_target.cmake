@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libechoimage_core.a"
+)

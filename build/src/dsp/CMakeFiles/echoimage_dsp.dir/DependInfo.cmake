@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/butterworth.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/butterworth.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/butterworth.cpp.o.d"
+  "/root/repo/src/dsp/chirp.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/chirp.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/chirp.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/hilbert.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/hilbert.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/hilbert.cpp.o.d"
+  "/root/repo/src/dsp/matched_filter.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/matched_filter.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/matched_filter.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/signal.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/signal.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/signal.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/stft.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/stft.cpp.o.d"
+  "/root/repo/src/dsp/wav.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/wav.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/wav.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/echoimage_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/echoimage_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/butterworth.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/butterworth.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/chirp.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/chirp.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/fft.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/hilbert.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/hilbert.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/matched_filter.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/matched_filter.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/resample.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/signal.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/signal.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/stft.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/wav.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/wav.cpp.o.d"
+  "CMakeFiles/echoimage_dsp.dir/window.cpp.o"
+  "CMakeFiles/echoimage_dsp.dir/window.cpp.o.d"
+  "libechoimage_dsp.a"
+  "libechoimage_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/dataset.cpp" "src/eval/CMakeFiles/echoimage_eval.dir/dataset.cpp.o" "gcc" "src/eval/CMakeFiles/echoimage_eval.dir/dataset.cpp.o.d"
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/echoimage_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/echoimage_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/image_io.cpp" "src/eval/CMakeFiles/echoimage_eval.dir/image_io.cpp.o" "gcc" "src/eval/CMakeFiles/echoimage_eval.dir/image_io.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/echoimage_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/echoimage_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/roster.cpp" "src/eval/CMakeFiles/echoimage_eval.dir/roster.cpp.o" "gcc" "src/eval/CMakeFiles/echoimage_eval.dir/roster.cpp.o.d"
+  "/root/repo/src/eval/table.cpp" "src/eval/CMakeFiles/echoimage_eval.dir/table.cpp.o" "gcc" "src/eval/CMakeFiles/echoimage_eval.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/echoimage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/echoimage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/echoimage_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/echoimage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/echoimage_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/echoimage_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

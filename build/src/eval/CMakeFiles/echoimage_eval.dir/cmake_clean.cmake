@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_eval.dir/dataset.cpp.o"
+  "CMakeFiles/echoimage_eval.dir/dataset.cpp.o.d"
+  "CMakeFiles/echoimage_eval.dir/experiment.cpp.o"
+  "CMakeFiles/echoimage_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/echoimage_eval.dir/image_io.cpp.o"
+  "CMakeFiles/echoimage_eval.dir/image_io.cpp.o.d"
+  "CMakeFiles/echoimage_eval.dir/metrics.cpp.o"
+  "CMakeFiles/echoimage_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/echoimage_eval.dir/roster.cpp.o"
+  "CMakeFiles/echoimage_eval.dir/roster.cpp.o.d"
+  "CMakeFiles/echoimage_eval.dir/table.cpp.o"
+  "CMakeFiles/echoimage_eval.dir/table.cpp.o.d"
+  "libechoimage_eval.a"
+  "libechoimage_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

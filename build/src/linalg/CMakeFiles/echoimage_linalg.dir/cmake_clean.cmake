@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/echoimage_linalg.dir/matrix.cpp.o.d"
+  "libechoimage_linalg.a"
+  "libechoimage_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

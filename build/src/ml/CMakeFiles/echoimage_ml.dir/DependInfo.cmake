@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cnn.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/cnn.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/cnn.cpp.o.d"
+  "/root/repo/src/ml/kernels.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/kernels.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/kernels.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/svdd.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/svdd.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/svdd.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/ml/CMakeFiles/echoimage_ml.dir/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/echoimage_ml.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_ml.dir/cnn.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/cnn.cpp.o.d"
+  "CMakeFiles/echoimage_ml.dir/kernels.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/kernels.cpp.o.d"
+  "CMakeFiles/echoimage_ml.dir/scaler.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/echoimage_ml.dir/serialize.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/echoimage_ml.dir/svdd.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/svdd.cpp.o.d"
+  "CMakeFiles/echoimage_ml.dir/svm.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/svm.cpp.o.d"
+  "CMakeFiles/echoimage_ml.dir/tensor.cpp.o"
+  "CMakeFiles/echoimage_ml.dir/tensor.cpp.o.d"
+  "libechoimage_ml.a"
+  "libechoimage_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

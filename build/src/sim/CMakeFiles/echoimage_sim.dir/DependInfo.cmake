@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/body.cpp" "src/sim/CMakeFiles/echoimage_sim.dir/body.cpp.o" "gcc" "src/sim/CMakeFiles/echoimage_sim.dir/body.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/echoimage_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/echoimage_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/echoimage_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/echoimage_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/echoimage_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/echoimage_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/sim/CMakeFiles/echoimage_sim.dir/scene.cpp.o" "gcc" "src/sim/CMakeFiles/echoimage_sim.dir/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/echoimage_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/echoimage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/echoimage_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_sim.dir/body.cpp.o"
+  "CMakeFiles/echoimage_sim.dir/body.cpp.o.d"
+  "CMakeFiles/echoimage_sim.dir/environment.cpp.o"
+  "CMakeFiles/echoimage_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/echoimage_sim.dir/noise.cpp.o"
+  "CMakeFiles/echoimage_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/echoimage_sim.dir/random.cpp.o"
+  "CMakeFiles/echoimage_sim.dir/random.cpp.o.d"
+  "CMakeFiles/echoimage_sim.dir/scene.cpp.o"
+  "CMakeFiles/echoimage_sim.dir/scene.cpp.o.d"
+  "libechoimage_sim.a"
+  "libechoimage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/array/beamformer_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/array/beamformer_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/array/beamformer_test.cpp.o.d"
+  "/root/repo/tests/array/covariance_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/array/covariance_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/array/covariance_test.cpp.o.d"
+  "/root/repo/tests/array/doa_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/array/doa_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/array/doa_test.cpp.o.d"
+  "/root/repo/tests/array/geometry_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/array/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/array/geometry_test.cpp.o.d"
+  "/root/repo/tests/array/steering_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/array/steering_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/array/steering_test.cpp.o.d"
+  "/root/repo/tests/core/augment_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/augment_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/augment_test.cpp.o.d"
+  "/root/repo/tests/core/authenticator_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/authenticator_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/authenticator_test.cpp.o.d"
+  "/root/repo/tests/core/distance_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/distance_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/distance_test.cpp.o.d"
+  "/root/repo/tests/core/imaging_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/imaging_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/imaging_test.cpp.o.d"
+  "/root/repo/tests/core/liveness_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/liveness_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/liveness_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/quality_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/quality_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/quality_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_roundtrip_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/serialize_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/serialize_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/core/session_test.cpp.o.d"
+  "/root/repo/tests/dsp/biquad_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/biquad_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/biquad_test.cpp.o.d"
+  "/root/repo/tests/dsp/butterworth_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/butterworth_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/butterworth_test.cpp.o.d"
+  "/root/repo/tests/dsp/chirp_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/chirp_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/chirp_test.cpp.o.d"
+  "/root/repo/tests/dsp/fft_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/fft_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/fft_test.cpp.o.d"
+  "/root/repo/tests/dsp/hilbert_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/hilbert_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/hilbert_test.cpp.o.d"
+  "/root/repo/tests/dsp/matched_filter_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/matched_filter_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/matched_filter_test.cpp.o.d"
+  "/root/repo/tests/dsp/peaks_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/peaks_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/peaks_test.cpp.o.d"
+  "/root/repo/tests/dsp/property_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/property_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/property_test.cpp.o.d"
+  "/root/repo/tests/dsp/resample_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/resample_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/resample_test.cpp.o.d"
+  "/root/repo/tests/dsp/signal_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/signal_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/signal_test.cpp.o.d"
+  "/root/repo/tests/dsp/stft_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/stft_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/stft_test.cpp.o.d"
+  "/root/repo/tests/dsp/wav_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/wav_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/wav_test.cpp.o.d"
+  "/root/repo/tests/dsp/window_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/dsp/window_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/dsp/window_test.cpp.o.d"
+  "/root/repo/tests/eval/dataset_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/dataset_test.cpp.o.d"
+  "/root/repo/tests/eval/experiment_config_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/experiment_config_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/experiment_config_test.cpp.o.d"
+  "/root/repo/tests/eval/image_io_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/image_io_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/image_io_test.cpp.o.d"
+  "/root/repo/tests/eval/metrics_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/metrics_test.cpp.o.d"
+  "/root/repo/tests/eval/roc_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/roc_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/roc_test.cpp.o.d"
+  "/root/repo/tests/eval/roster_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/roster_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/roster_test.cpp.o.d"
+  "/root/repo/tests/eval/table_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/eval/table_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/eval/table_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/robustness_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/integration/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/integration/robustness_test.cpp.o.d"
+  "/root/repo/tests/linalg/matrix_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/linalg/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/linalg/matrix_test.cpp.o.d"
+  "/root/repo/tests/ml/cnn_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/cnn_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/cnn_test.cpp.o.d"
+  "/root/repo/tests/ml/kernels_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/kernels_test.cpp.o.d"
+  "/root/repo/tests/ml/scaler_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/scaler_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/scaler_test.cpp.o.d"
+  "/root/repo/tests/ml/serialize_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/serialize_test.cpp.o.d"
+  "/root/repo/tests/ml/svdd_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/svdd_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/svdd_test.cpp.o.d"
+  "/root/repo/tests/ml/svm_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/svm_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/svm_test.cpp.o.d"
+  "/root/repo/tests/ml/tensor_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/ml/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/ml/tensor_test.cpp.o.d"
+  "/root/repo/tests/sim/body_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/sim/body_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/sim/body_test.cpp.o.d"
+  "/root/repo/tests/sim/environment_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/sim/environment_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/sim/environment_test.cpp.o.d"
+  "/root/repo/tests/sim/noise_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/sim/noise_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/sim/noise_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/scene_test.cpp" "tests/CMakeFiles/echoimage_tests.dir/sim/scene_test.cpp.o" "gcc" "tests/CMakeFiles/echoimage_tests.dir/sim/scene_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/echoimage_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/echoimage_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/echoimage_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/echoimage_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/echoimage_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/echoimage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/echoimage_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoimage_cli.dir/echoimage_cli.cpp.o"
+  "CMakeFiles/echoimage_cli.dir/echoimage_cli.cpp.o.d"
+  "echoimage_cli"
+  "echoimage_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoimage_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
