@@ -1,9 +1,10 @@
 // Diagnostics: looks inside every pipeline stage.
 //
 // Prints distance-estimation accuracy over users and distances, acoustic-
-// image similarity within and between users, and the SVDD score
-// distributions for legitimate users vs spoofers. Useful when tuning the
-// simulator or porting the pipeline to real hardware.
+// image similarity within and between users, the capture gate's
+// per-channel health report on a clean and a faulted array, and the SVDD
+// score distributions for legitimate users vs spoofers. Useful when tuning
+// the simulator or porting the pipeline to real hardware.
 //
 // Build & run:  ./build/examples/diagnostics
 #include <iostream>
@@ -17,6 +18,7 @@
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
 #include "eval/table.hpp"
+#include "sim/faults.hpp"
 
 using namespace echoimage;
 
@@ -95,6 +97,30 @@ int main() {
               << eval::fmt(est.direction.phi, 2)
               << " rad, peak/mean = " << eval::fmt(est.power / est.mean_power, 2)
               << "\n";
+  }
+
+  // --- 2c. Channel-health report -----------------------------------------
+  // The capture gate's view of a clean array, then of one with a dead
+  // microphone and a clipping converter.
+  std::cout << "\n== Channel health (capture gate) ==\n";
+  {
+    eval::CollectionConditions cond;
+    auto batch = collector.collect(users[0], cond, 2);
+    std::cout << "clean capture:\n"
+              << core::assess_capture(batch.beeps).describe();
+    sim::FaultPlan plan;
+    plan.seed = 3;
+    plan.faults = {{sim::FaultKind::kDeadChannel, 4, 1.0, 0.0},
+                   {sim::FaultKind::kHardClip, 0, 0.2, 0.0}};
+    sim::apply_plan(batch.beeps, batch.noise_only, plan);
+    std::cout << "after " << plan.describe() << ":\n"
+              << core::assess_capture(batch.beeps).describe();
+    const auto p = pipeline.process(batch.beeps, batch.noise_only);
+    std::cout << "pipeline masked " << p.dropped_channels
+              << " channel(s); distance "
+              << (p.distance.valid ? eval::fmt(p.distance.user_distance_m, 2)
+                                   : std::string("-"))
+              << " m (true " << eval::fmt(batch.true_distance_m, 2) << " m)\n";
   }
 
   // --- 3. SVDD score distribution ----------------------------------------

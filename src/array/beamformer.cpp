@@ -97,27 +97,49 @@ Signal beamform_das_broadband(const MultiChannelSignal& x,
   return acc;
 }
 
+namespace {
+
+/// Validate an active-channel mask against the full channel count. Returns
+/// true when the mask actually drops something.
+bool check_mask(const ChannelMask& mask, std::size_t num_channels) {
+  if (mask.empty()) return false;
+  if (mask.size() != num_channels)
+    throw std::invalid_argument("NarrowbandBeamformer: mask/channel mismatch");
+  const std::size_t active = count_active(mask);
+  if (active == 0)
+    throw std::invalid_argument(
+        "NarrowbandBeamformer: mask leaves no channel");
+  return active < num_channels;
+}
+
+}  // namespace
+
 NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
                                            double sample_rate,
                                            double center_freq_hz,
                                            ArrayGeometry geom,
                                            std::size_t noise_first,
                                            std::size_t noise_count,
-                                           double speed_of_sound)
-    : geom_(std::move(geom)),
-      sample_rate_(sample_rate),
+                                           double speed_of_sound,
+                                           const ChannelMask& active_mask)
+    : sample_rate_(sample_rate),
       center_freq_hz_(center_freq_hz),
       speed_of_sound_(speed_of_sound) {
-  if (bandpassed.num_channels() != geom_.num_mics())
+  if (bandpassed.num_channels() != geom.num_mics())
     throw std::invalid_argument(
         "NarrowbandBeamformer: channel/mic mismatch");
   if (!bandpassed.is_rectangular())
     throw std::invalid_argument(
         "NarrowbandBeamformer: ragged multichannel capture");
+  const bool reduced = check_mask(active_mask, bandpassed.num_channels());
+  geom_ = reduced ? geom.subarray(active_mask) : std::move(geom);
   length_ = bandpassed.length();
-  analytic_.reserve(bandpassed.num_channels());
-  for (const Signal& c : bandpassed.channels)
-    analytic_.push_back(echoimage::dsp::analytic_signal(c));
+  analytic_.reserve(geom_.num_mics());
+  for (std::size_t c = 0; c < bandpassed.num_channels(); ++c) {
+    if (reduced && !active_mask[c]) continue;  // skip faulty channels
+    analytic_.push_back(
+        echoimage::dsp::analytic_signal(bandpassed.channels[c]));
+  }
   if (noise_count > 0) {
     noise_cov_ = normalized_covariance(analytic_, noise_first, noise_count);
   } else {
@@ -132,25 +154,31 @@ NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
                                            double center_freq_hz,
                                            ArrayGeometry geom,
                                            CMatrix noise_covariance,
-                                           double speed_of_sound)
-    : geom_(std::move(geom)),
-      sample_rate_(sample_rate),
+                                           double speed_of_sound,
+                                           const ChannelMask& active_mask)
+    : sample_rate_(sample_rate),
       center_freq_hz_(center_freq_hz),
-      speed_of_sound_(speed_of_sound),
-      noise_cov_(std::move(noise_covariance)) {
-  if (bandpassed.num_channels() != geom_.num_mics())
+      speed_of_sound_(speed_of_sound) {
+  if (bandpassed.num_channels() != geom.num_mics())
     throw std::invalid_argument("NarrowbandBeamformer: channel/mic mismatch");
   if (!bandpassed.is_rectangular())
     throw std::invalid_argument(
         "NarrowbandBeamformer: ragged multichannel capture");
-  if (noise_cov_.rows() != geom_.num_mics() ||
-      noise_cov_.cols() != geom_.num_mics())
+  if (noise_covariance.rows() != geom.num_mics() ||
+      noise_covariance.cols() != geom.num_mics())
     throw std::invalid_argument(
         "NarrowbandBeamformer: covariance/mic mismatch");
+  const bool reduced = check_mask(active_mask, bandpassed.num_channels());
+  geom_ = reduced ? geom.subarray(active_mask) : std::move(geom);
+  noise_cov_ = reduced ? masked_covariance(noise_covariance, active_mask)
+                       : std::move(noise_covariance);
   length_ = bandpassed.length();
-  analytic_.reserve(bandpassed.num_channels());
-  for (const Signal& c : bandpassed.channels)
-    analytic_.push_back(echoimage::dsp::analytic_signal(c));
+  analytic_.reserve(geom_.num_mics());
+  for (std::size_t c = 0; c < bandpassed.num_channels(); ++c) {
+    if (reduced && !active_mask[c]) continue;
+    analytic_.push_back(
+        echoimage::dsp::analytic_signal(bandpassed.channels[c]));
+  }
   noise_cov_.add_diagonal(1e-3);
   noise_cov_inv_ = echoimage::linalg::inverse(noise_cov_);
 }
@@ -158,19 +186,22 @@ NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
 NarrowbandBeamformer::NarrowbandBeamformer(
     std::vector<ComplexSignal> channels, double sample_rate,
     double center_freq_hz, ArrayGeometry geom, CMatrix noise_covariance,
-    double speed_of_sound)
-    : geom_(std::move(geom)),
-      sample_rate_(sample_rate),
+    double speed_of_sound, const ChannelMask& active_mask)
+    : sample_rate_(sample_rate),
       center_freq_hz_(center_freq_hz),
-      speed_of_sound_(speed_of_sound),
-      analytic_(std::move(channels)),
-      noise_cov_(std::move(noise_covariance)) {
-  if (analytic_.size() != geom_.num_mics())
+      speed_of_sound_(speed_of_sound) {
+  if (channels.size() != geom.num_mics())
     throw std::invalid_argument("NarrowbandBeamformer: channel/mic mismatch");
-  if (noise_cov_.rows() != geom_.num_mics() ||
-      noise_cov_.cols() != geom_.num_mics())
+  if (noise_covariance.rows() != geom.num_mics() ||
+      noise_covariance.cols() != geom.num_mics())
     throw std::invalid_argument(
         "NarrowbandBeamformer: covariance/mic mismatch");
+  const bool reduced = check_mask(active_mask, channels.size());
+  geom_ = reduced ? geom.subarray(active_mask) : std::move(geom);
+  noise_cov_ = reduced ? masked_covariance(noise_covariance, active_mask)
+                       : std::move(noise_covariance);
+  analytic_ = reduced ? select_channels(channels, active_mask)
+                      : std::move(channels);
   length_ = analytic_.front().size();
   for (const ComplexSignal& c : analytic_)
     if (c.size() != length_)
@@ -188,6 +219,20 @@ CMatrix noise_covariance_of(const MultiChannelSignal& noise) {
   for (const Signal& c : noise.channels)
     analytic.push_back(echoimage::dsp::analytic_signal(c));
   return normalized_covariance(analytic, 0, noise.length());
+}
+
+CMatrix noise_covariance_of(const MultiChannelSignal& noise,
+                            const ChannelMask& mask) {
+  if (mask.empty()) return noise_covariance_of(noise);
+  if (mask.size() != noise.num_channels())
+    throw std::invalid_argument("noise_covariance_of: mask/channel mismatch");
+  MultiChannelSignal kept;
+  kept.channels.reserve(noise.num_channels());
+  for (std::size_t c = 0; c < noise.num_channels(); ++c)
+    if (mask[c]) kept.channels.push_back(noise.channels[c]);
+  if (kept.channels.empty())
+    throw std::invalid_argument("noise_covariance_of: mask leaves no channel");
+  return noise_covariance_of(kept);
 }
 
 std::vector<Complex> NarrowbandBeamformer::weights_mvdr(

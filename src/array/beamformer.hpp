@@ -64,28 +64,36 @@ class NarrowbandBeamformer {
   /// `bandpassed` is the band-pass-filtered capture; the noise covariance is
   /// estimated from analytic snapshots [noise_first, noise_first +
   /// noise_count) (pass noise_count = 0 for the white-noise assumption).
+  /// `active_mask` (empty = all) drops faulty channels before anything else:
+  /// the beamformer then operates as the surviving subarray, so one dead
+  /// microphone cannot poison the covariance of Eq. 8.
   NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
                        double sample_rate, double center_freq_hz,
                        ArrayGeometry geom, std::size_t noise_first = 0,
                        std::size_t noise_count = 0,
-                       double speed_of_sound = kSpeedOfSound);
+                       double speed_of_sound = kSpeedOfSound,
+                       const ChannelMask& active_mask = {});
 
   /// Variant with an externally estimated noise covariance (e.g. from a
   /// separate noise-only capture — estimating it from a prefix of the same
   /// buffer is biased: the Hilbert transform is nonlocal, so a strong chirp
-  /// later in the buffer leaks coherent tails into the prefix).
+  /// later in the buffer leaks coherent tails into the prefix). The
+  /// covariance is full-size; the mask reduces it to the subarray.
   NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
                        double sample_rate, double center_freq_hz,
                        ArrayGeometry geom, CMatrix noise_covariance,
-                       double speed_of_sound = kSpeedOfSound);
+                       double speed_of_sound = kSpeedOfSound,
+                       const ChannelMask& active_mask = {});
 
   /// Variant taking per-channel complex (analytic or pulse-compressed)
   /// signals directly.
   NarrowbandBeamformer(std::vector<echoimage::dsp::ComplexSignal> channels,
                        double sample_rate, double center_freq_hz,
                        ArrayGeometry geom, CMatrix noise_covariance,
-                       double speed_of_sound = kSpeedOfSound);
+                       double speed_of_sound = kSpeedOfSound,
+                       const ChannelMask& active_mask = {});
 
+  /// Geometry of the (possibly reduced) subarray this beamformer runs on.
   [[nodiscard]] const ArrayGeometry& geometry() const { return geom_; }
   [[nodiscard]] double sample_rate() const { return sample_rate_; }
   [[nodiscard]] double center_frequency_hz() const { return center_freq_hz_; }
@@ -134,6 +142,11 @@ class NarrowbandBeamformer {
 /// Normalized spatial covariance of a (band-passed) noise-only capture:
 /// analytic signal per channel, sample covariance over the full length.
 [[nodiscard]] CMatrix noise_covariance_of(const MultiChannelSignal& noise);
+
+/// Masked variant: covariance of the surviving subarray only (empty mask =
+/// all channels).
+[[nodiscard]] CMatrix noise_covariance_of(const MultiChannelSignal& noise,
+                                          const ChannelMask& mask);
 
 /// Subband MVDR: per-bin weights from per-bin steering vectors; noise
 /// covariance estimated per bin over frames [noise_first_frame,

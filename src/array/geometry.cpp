@@ -1,5 +1,6 @@
 #include "array/geometry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -18,6 +19,24 @@ Vec3 Vec3::normalized() const {
 ArrayGeometry::ArrayGeometry(std::vector<Vec3> mics) : mics_(std::move(mics)) {
   if (mics_.empty())
     throw std::invalid_argument("ArrayGeometry: need at least one microphone");
+}
+
+std::size_t count_active(const ChannelMask& mask) {
+  return static_cast<std::size_t>(
+      std::count(mask.begin(), mask.end(), true));
+}
+
+ArrayGeometry ArrayGeometry::subarray(const ChannelMask& mask) const {
+  if (mask.empty()) return *this;
+  if (mask.size() != mics_.size())
+    throw std::invalid_argument("subarray: mask/mic count mismatch");
+  std::vector<Vec3> kept;
+  kept.reserve(mics_.size());
+  for (std::size_t m = 0; m < mics_.size(); ++m)
+    if (mask[m]) kept.push_back(mics_[m]);
+  if (kept.empty())
+    throw std::invalid_argument("subarray: mask leaves no microphone");
+  return ArrayGeometry(std::move(kept));
 }
 
 Vec3 ArrayGeometry::center() const {

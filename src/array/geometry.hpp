@@ -42,6 +42,14 @@ struct Vec3 {
   [[nodiscard]] Vec3 normalized() const;
 };
 
+/// Per-microphone boolean mask: true = the channel is healthy and
+/// participates in beamforming. An empty mask means "all active"
+/// throughout the array layer.
+using ChannelMask = std::vector<bool>;
+
+/// Number of true entries of a mask.
+[[nodiscard]] std::size_t count_active(const ChannelMask& mask);
+
 /// Positions of the M microphones (paper Eq. 3-4), origin at array center.
 class ArrayGeometry {
  public:
@@ -51,6 +59,12 @@ class ArrayGeometry {
   [[nodiscard]] std::size_t num_mics() const { return mics_.size(); }
   [[nodiscard]] const Vec3& mic(std::size_t m) const { return mics_[m]; }
   [[nodiscard]] const std::vector<Vec3>& mics() const { return mics_; }
+
+  /// Geometry of the surviving subarray: only microphones whose mask entry
+  /// is true, in the original order. Throws std::invalid_argument when the
+  /// mask length mismatches or no microphone survives. An empty mask
+  /// returns the full array.
+  [[nodiscard]] ArrayGeometry subarray(const ChannelMask& mask) const;
 
   /// Centroid of the microphone positions.
   [[nodiscard]] Vec3 center() const;

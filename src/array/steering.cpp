@@ -63,4 +63,19 @@ std::vector<Complex> steering_vector_hz(const ArrayGeometry& geom,
                          speed_of_sound);
 }
 
+std::vector<Complex> steering_vector(const ArrayGeometry& geom,
+                                     const Direction& dir, double omega,
+                                     const ChannelMask& mask,
+                                     double speed_of_sound) {
+  return steering_vector(geom.subarray(mask), dir, omega, speed_of_sound);
+}
+
+std::vector<Complex> steering_vector_hz(const ArrayGeometry& geom,
+                                        const Direction& dir, double freq_hz,
+                                        const ChannelMask& mask,
+                                        double speed_of_sound) {
+  return steering_vector_hz(geom.subarray(mask), dir, freq_hz,
+                            speed_of_sound);
+}
+
 }  // namespace echoimage::array

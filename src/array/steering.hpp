@@ -62,4 +62,15 @@ struct Direction {
     const ArrayGeometry& geom, const Direction& dir, double freq_hz,
     double speed_of_sound = kSpeedOfSound);
 
+/// Masked steering vectors: the steering vector of the surviving subarray
+/// (entries only for active microphones, order preserved) — pairs with the
+/// masked covariance so MVDR runs on healthy channels alone. An empty mask
+/// is the full array.
+[[nodiscard]] std::vector<Complex> steering_vector(
+    const ArrayGeometry& geom, const Direction& dir, double omega,
+    const ChannelMask& mask, double speed_of_sound = kSpeedOfSound);
+[[nodiscard]] std::vector<Complex> steering_vector_hz(
+    const ArrayGeometry& geom, const Direction& dir, double freq_hz,
+    const ChannelMask& mask, double speed_of_sound = kSpeedOfSound);
+
 }  // namespace echoimage::array

@@ -106,7 +106,8 @@ AuthDecision Authenticator::authenticate(
   }
   d.svdd_score = best;
   d.accepted = d.svdd_score >= 0.0;
-  if (!d.accepted) return d;
+  if (!d.accepted) return d;  // outcome stays kRejected
+  d.outcome = AuthOutcome::kAccepted;
   d.user_id = num_users_ > 1 ? identifier_.predict(x) : single_user_id_;
   // Cascade consistency: the winning one-class ball and the SVM must name
   // the same user, otherwise the sample is between identities — a spoofer
@@ -115,8 +116,18 @@ AuthDecision Authenticator::authenticate(
       gate_user_ids_[best_gate] != d.user_id) {
     d.accepted = false;
     d.user_id = -1;
+    d.outcome = AuthOutcome::kRejected;
   }
   return d;
+}
+
+const char* to_string(AuthOutcome outcome) {
+  switch (outcome) {
+    case AuthOutcome::kAccepted: return "accepted";
+    case AuthOutcome::kRejected: return "rejected";
+    case AuthOutcome::kAbstained: return "abstained";
+  }
+  return "?";
 }
 
 void Authenticator::save(std::ostream& os) const {

@@ -53,11 +53,28 @@ struct AuthenticatorConfig {
   bool require_consistency = false;
 };
 
+/// Three-way authentication outcome. kAbstained means the attempt never
+/// reached the classifier — the capture failed the channel-health gate
+/// (see CaptureSupervisor) — and must count as neither an accept nor a
+/// reject: a broken microphone is not evidence about who is speaking.
+enum class AuthOutcome { kAccepted, kRejected, kAbstained };
+
+[[nodiscard]] const char* to_string(AuthOutcome outcome);
+
 /// Outcome of one authentication attempt.
 struct AuthDecision {
   bool accepted = false;  ///< passed the SVDD spoofer gate
   int user_id = -1;       ///< identified registered user (when accepted)
   double svdd_score = 0.0;  ///< SVDD decision value (>= 0 accepts)
+  AuthOutcome outcome = AuthOutcome::kRejected;
+
+  /// Decision for a capture that failed the health gate: no accept, no
+  /// reject, no user. SessionMonitor leaves its state untouched on these.
+  [[nodiscard]] static AuthDecision abstain() {
+    AuthDecision d;
+    d.outcome = AuthOutcome::kAbstained;
+    return d;
+  }
 };
 
 class Authenticator {

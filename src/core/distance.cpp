@@ -37,17 +37,27 @@ MultiChannelSignal DistanceEstimator::bandpass(
 }
 
 Signal DistanceEstimator::beep_envelope(
-    const MultiChannelSignal& beep,
-    const MultiChannelSignal& noise_only) const {
+    const MultiChannelSignal& beep, const MultiChannelSignal& noise_only,
+    const echoimage::array::ChannelMask& active_mask) const {
   const MultiChannelSignal filtered = bandpass(beep);
 
   ComplexSignal steered;
   if (config_.mode == SteeringMode::kSingleMic) {
-    steered = echoimage::dsp::analytic_signal(
-        filtered.channels[config_.single_mic_index]);
+    // When the configured microphone itself is masked out, fall back to
+    // the first surviving one rather than listening to a dead channel.
+    std::size_t mic = config_.single_mic_index;
+    if (!active_mask.empty() && !active_mask[mic]) {
+      mic = 0;
+      while (mic < active_mask.size() && !active_mask[mic]) ++mic;
+      if (mic >= filtered.num_channels())
+        throw std::invalid_argument(
+            "DistanceEstimator: mask leaves no channel");
+    }
+    steered = echoimage::dsp::analytic_signal(filtered.channels[mic]);
   } else {
     // Noise covariance from the separate noise-only capture when provided
-    // (the paper's rho_n); spatially white otherwise.
+    // (the paper's rho_n); spatially white otherwise. Full-size — the
+    // beamformer reduces it to the masked subarray.
     const bool have_noise =
         noise_only.num_channels() == filtered.num_channels() &&
         noise_only.length() > 0;
@@ -57,7 +67,8 @@ Signal DistanceEstimator::beep_envelope(
             : echoimage::array::white_noise_covariance(geometry_.num_mics());
     const NarrowbandBeamformer bf(filtered, config_.sample_rate,
                                   config_.chirp.center_frequency_hz(),
-                                  geometry_, cov, config_.speed_of_sound);
+                                  geometry_, cov, config_.speed_of_sound,
+                                  active_mask);
     steered = config_.mode == SteeringMode::kMvdr
                   ? bf.steer(config_.steer)
                   : bf.steer_das(config_.steer);
@@ -70,7 +81,8 @@ Signal DistanceEstimator::beep_envelope(
 
 DistanceEstimate DistanceEstimator::estimate(
     const std::vector<MultiChannelSignal>& beeps,
-    const MultiChannelSignal& noise_only) const {
+    const MultiChannelSignal& noise_only,
+    const echoimage::array::ChannelMask& active_mask) const {
   if (beeps.empty())
     throw std::invalid_argument("DistanceEstimator: no beeps");
 
@@ -78,7 +90,7 @@ DistanceEstimate DistanceEstimator::estimate(
   // E(t) = (1/L) sum_l |E_l(t)|^2 (Eq. 10).
   Signal e;
   for (const MultiChannelSignal& beep : beeps) {
-    const Signal el = beep_envelope(beep, noise_only);
+    const Signal el = beep_envelope(beep, noise_only, active_mask);
     if (e.empty()) e.assign(el.size(), 0.0);
     for (std::size_t i = 0; i < std::min(e.size(), el.size()); ++i)
       e[i] += el[i] * el[i];

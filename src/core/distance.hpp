@@ -92,10 +92,13 @@ class DistanceEstimator {
 
   /// Estimate from L beep captures. `noise_only` (optional, may be empty)
   /// provides noise-only samples for the MVDR noise covariance; without it
-  /// the spatially-white assumption is used.
+  /// the spatially-white assumption is used. `active_mask` (empty = all)
+  /// restricts beamforming to the healthy subarray — the graceful-
+  /// degradation path when the health gate has condemned a channel.
   [[nodiscard]] DistanceEstimate estimate(
       const std::vector<MultiChannelSignal>& beeps,
-      const MultiChannelSignal& noise_only = {}) const;
+      const MultiChannelSignal& noise_only = {},
+      const echoimage::array::ChannelMask& active_mask = {}) const;
 
   /// Band-passed copy of a capture (exposed for reuse by the imager).
   [[nodiscard]] MultiChannelSignal bandpass(
@@ -103,8 +106,9 @@ class DistanceEstimator {
 
   /// Per-beep correlation envelope E_l(t) of the steered signal (exposed
   /// for tests and the Fig. 5 bench).
-  [[nodiscard]] Signal beep_envelope(const MultiChannelSignal& beep,
-                                     const MultiChannelSignal& noise_only) const;
+  [[nodiscard]] Signal beep_envelope(
+      const MultiChannelSignal& beep, const MultiChannelSignal& noise_only,
+      const echoimage::array::ChannelMask& active_mask = {}) const;
 
  private:
   DistanceEstimatorConfig config_;

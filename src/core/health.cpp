@@ -1,0 +1,252 @@
+#include "core/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsp/hilbert.hpp"
+
+namespace echoimage::core {
+
+namespace {
+
+using echoimage::dsp::Signal;
+
+struct BeepChannelStats {
+  double ac_rms = 0.0;
+  double dc_fraction = 0.0;
+  double clipping_ratio = 0.0;
+  double coherence = 1.0;
+  std::size_t nonfinite = 0;
+};
+
+/// Mean / AC RMS / non-finite count over the finite samples of a channel.
+BeepChannelStats basic_stats(const Signal& ch) {
+  BeepChannelStats s;
+  double sum = 0.0;
+  std::size_t finite = 0;
+  for (const double v : ch) {
+    if (!std::isfinite(v)) {
+      ++s.nonfinite;
+      continue;
+    }
+    sum += v;
+    ++finite;
+  }
+  if (finite == 0) return s;
+  const double mean = sum / static_cast<double>(finite);
+  double acc = 0.0;
+  for (const double v : ch)
+    if (std::isfinite(v)) acc += (v - mean) * (v - mean);
+  s.ac_rms = std::sqrt(acc / static_cast<double>(finite));
+  s.dc_fraction = s.ac_rms > 0.0 ? std::abs(mean) / s.ac_rms
+                                 : (std::abs(mean) > 0.0 ? 1e9 : 0.0);
+  return s;
+}
+
+/// Fraction of samples sitting on saturation plateaus: runs of (exactly)
+/// equal consecutive values at >= 90% of the channel peak. A clean
+/// continuous waveform essentially never repeats an extreme sample exactly;
+/// a clamped converter produces long flat runs at the rails.
+double clipping_plateau_ratio(const Signal& ch) {
+  if (ch.size() < 2) return 0.0;
+  double peak = 0.0;
+  for (const double v : ch)
+    if (std::isfinite(v)) peak = std::max(peak, std::abs(v));
+  if (peak <= 0.0) return 0.0;
+  const double rail = 0.9 * peak;
+  std::size_t clipped = 0;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < ch.size(); ++i) {
+    const double a = ch[i - 1], b = ch[i];
+    const bool plateau =
+        std::isfinite(a) && std::isfinite(b) && a == b && std::abs(a) >= rail;
+    if (plateau) {
+      ++run;
+    } else {
+      if (run > 1) clipped += run;
+      run = 1;
+    }
+  }
+  if (run > 1) clipped += run;
+  return static_cast<double>(clipped) / static_cast<double>(ch.size());
+}
+
+/// Smoothed energy envelope with non-finite samples zeroed, truncated to
+/// `length` so ragged channels stay comparable.
+Signal energy_envelope(const Signal& ch, std::size_t length,
+                       std::size_t smooth) {
+  Signal sq(length, 0.0);
+  for (std::size_t i = 0; i < std::min(length, ch.size()); ++i) {
+    const double v = ch[i];
+    sq[i] = std::isfinite(v) ? v * v : 0.0;
+  }
+  return echoimage::dsp::moving_average(sq, smooth);
+}
+
+}  // namespace
+
+const char* to_string(ChannelStatus status) {
+  switch (status) {
+    case ChannelStatus::kOk: return "ok";
+    case ChannelStatus::kDegraded: return "degraded";
+    case ChannelStatus::kDead: return "dead";
+  }
+  return "?";
+}
+
+const char* to_string(CaptureVerdict verdict) {
+  switch (verdict) {
+    case CaptureVerdict::kOk: return "ok";
+    case CaptureVerdict::kDegraded: return "degraded";
+    case CaptureVerdict::kFailed: return "failed";
+  }
+  return "?";
+}
+
+CaptureHealth assess_capture(const std::vector<MultiChannelSignal>& beeps,
+                             const ChannelHealthConfig& config) {
+  if (beeps.empty())
+    throw std::invalid_argument("assess_capture: no beeps");
+  const std::size_t m = beeps.front().num_channels();
+  if (m == 0)
+    throw std::invalid_argument("assess_capture: beep has no channels");
+  for (const MultiChannelSignal& beep : beeps)
+    if (beep.num_channels() != m)
+      throw std::invalid_argument(
+          "assess_capture: beeps disagree on channel count");
+
+  CaptureHealth out;
+  out.channels.resize(m);
+
+  // Aggregate per-beep stats: a channel is only as healthy as its worst
+  // beep (min coherence, max clipping), but only as dead as its *best*
+  // beep (max AC RMS) so a single dropped-out beep does not kill it.
+  for (const MultiChannelSignal& beep : beeps) {
+    std::size_t min_len = beep.channels.front().size();
+    for (const Signal& ch : beep.channels)
+      min_len = std::min(min_len, ch.size());
+
+    std::vector<Signal> envs;
+    std::vector<BeepChannelStats> stats(m);
+    if (m > 1 && min_len > 0) {
+      envs.reserve(m);
+      for (const Signal& ch : beep.channels)
+        envs.push_back(energy_envelope(ch, min_len,
+                                       config.coherence_smooth_samples));
+    }
+    Signal env_sum;
+    if (!envs.empty()) {
+      env_sum.assign(min_len, 0.0);
+      for (const Signal& e : envs)
+        for (std::size_t i = 0; i < min_len; ++i) env_sum[i] += e[i];
+    }
+
+    for (std::size_t c = 0; c < m; ++c) {
+      BeepChannelStats s = basic_stats(beep.channels[c]);
+      s.clipping_ratio = clipping_plateau_ratio(beep.channels[c]);
+      if (!envs.empty()) {
+        // Leave-one-out reference envelope of the other channels.
+        Signal ref(min_len);
+        const double inv = 1.0 / static_cast<double>(m - 1);
+        for (std::size_t i = 0; i < min_len; ++i)
+          ref[i] = (env_sum[i] - envs[c][i]) * inv;
+        s.coherence = echoimage::dsp::pearson(envs[c], ref);
+      }
+      ChannelHealth& h = out.channels[c];
+      h.ac_rms = std::max(h.ac_rms, s.ac_rms);
+      h.dc_fraction = std::max(h.dc_fraction, s.dc_fraction);
+      h.clipping_ratio = std::max(h.clipping_ratio, s.clipping_ratio);
+      h.envelope_coherence = std::min(h.envelope_coherence, s.coherence);
+      h.nonfinite += s.nonfinite;
+    }
+  }
+
+  // Median channel AC RMS anchors the flatline / imbalance thresholds.
+  std::vector<double> rms_sorted;
+  rms_sorted.reserve(m);
+  for (const ChannelHealth& h : out.channels) rms_sorted.push_back(h.ac_rms);
+  std::nth_element(rms_sorted.begin(), rms_sorted.begin() + m / 2,
+                   rms_sorted.end());
+  const double median_rms = rms_sorted[m / 2];
+
+  for (ChannelHealth& h : out.channels) {
+    if (h.nonfinite > config.max_nonfinite) {
+      h.status = ChannelStatus::kDead;
+      h.issues.push_back(std::to_string(h.nonfinite) +
+                         " non-finite sample(s)");
+    }
+    h.flatline = h.ac_rms <= config.flatline_rms_ratio * median_rms;
+    if (h.flatline) {
+      h.status = ChannelStatus::kDead;
+      h.issues.push_back("flatline (AC RMS ~ 0)");
+    }
+    if (h.clipping_ratio >= config.clipping_dead_ratio) {
+      h.status = ChannelStatus::kDead;
+      h.issues.push_back("severe clipping");
+    } else if (h.clipping_ratio >= config.clipping_degraded_ratio) {
+      if (h.status == ChannelStatus::kOk) h.status = ChannelStatus::kDegraded;
+      h.issues.push_back("clipping");
+    }
+    if (h.status != ChannelStatus::kDead && median_rms > 0.0 &&
+        (h.ac_rms < config.imbalance_low_ratio * median_rms ||
+         h.ac_rms > config.imbalance_high_ratio * median_rms)) {
+      h.status = ChannelStatus::kDegraded;
+      h.issues.push_back("RMS imbalance vs array median");
+    }
+    if (h.status != ChannelStatus::kDead &&
+        h.dc_fraction > config.dc_offset_degraded_ratio) {
+      if (h.status == ChannelStatus::kOk) h.status = ChannelStatus::kDegraded;
+      h.issues.push_back("DC offset");
+    }
+    if (h.status != ChannelStatus::kDead &&
+        h.envelope_coherence < config.min_envelope_coherence) {
+      if (h.status == ChannelStatus::kOk) h.status = ChannelStatus::kDegraded;
+      h.issues.push_back("low inter-channel coherence");
+    }
+  }
+
+  out.active_mask.assign(m, true);
+  for (std::size_t c = 0; c < m; ++c) {
+    const ChannelStatus s = out.channels[c].status;
+    if (s == ChannelStatus::kDead ||
+        (config.drop_degraded && s == ChannelStatus::kDegraded))
+      out.active_mask[c] = false;
+  }
+  out.num_active = static_cast<std::size_t>(
+      std::count(out.active_mask.begin(), out.active_mask.end(), true));
+
+  const bool any_issue = std::any_of(
+      out.channels.begin(), out.channels.end(),
+      [](const ChannelHealth& h) { return h.status != ChannelStatus::kOk; });
+  if (out.num_active < config.min_active_channels)
+    out.verdict = CaptureVerdict::kFailed;
+  else
+    out.verdict = any_issue ? CaptureVerdict::kDegraded : CaptureVerdict::kOk;
+  return out;
+}
+
+CaptureHealth assess_capture(const MultiChannelSignal& capture,
+                             const ChannelHealthConfig& config) {
+  return assess_capture(std::vector<MultiChannelSignal>{capture}, config);
+}
+
+std::string CaptureHealth::describe() const {
+  std::ostringstream os;
+  os << "capture health: " << to_string(verdict) << " (" << num_active << "/"
+     << channels.size() << " channels active)\n";
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const ChannelHealth& h = channels[c];
+    os << "  ch " << c << ": " << to_string(h.status);
+    os << "  [ac rms " << h.ac_rms << ", clip "
+       << 100.0 * h.clipping_ratio << "%, dc " << h.dc_fraction
+       << ", coherence " << h.envelope_coherence << "]";
+    for (std::size_t i = 0; i < h.issues.size(); ++i)
+      os << (i == 0 ? " — " : "; ") << h.issues[i];
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace echoimage::core

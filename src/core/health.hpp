@@ -1,0 +1,104 @@
+// Capture-chain health diagnostics.
+//
+// The authentication chain silently assumes six healthy, gain-matched
+// microphones; a dead or clipping channel poisons the MVDR covariance
+// (Eq. 8) and with it every image downstream. This module inspects a raw
+// capture batch *before* any DSP and grades each channel ok / degraded /
+// dead: flatline and RMS-imbalance checks, clipping-plateau detection, DC
+// offset, a NaN/Inf scan, and inter-channel envelope coherence. The
+// pipeline masks dead channels (beamforming with the surviving subarray)
+// and the capture supervisor retries or abstains when too few survive.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::core {
+
+using echoimage::dsp::MultiChannelSignal;
+
+enum class ChannelStatus { kOk, kDegraded, kDead };
+enum class CaptureVerdict { kOk, kDegraded, kFailed };
+
+[[nodiscard]] const char* to_string(ChannelStatus status);
+[[nodiscard]] const char* to_string(CaptureVerdict verdict);
+
+/// Per-channel boolean mask: true = channel participates in beamforming.
+using ChannelMask = std::vector<bool>;
+
+struct ChannelHealthConfig {
+  /// AC RMS below this fraction of the median channel AC RMS = flatline
+  /// (a shorted or unplugged microphone) -> dead.
+  double flatline_rms_ratio = 1e-4;
+  /// AC RMS outside [low, high] x median = gain fault -> degraded.
+  double imbalance_low_ratio = 0.2;
+  double imbalance_high_ratio = 5.0;
+  /// Fraction of samples sitting on clipping plateaus (consecutive equal
+  /// extremes near the channel peak); above `degraded` the converter is
+  /// saturating, above `dead` most of the waveform is gone.
+  double clipping_degraded_ratio = 0.005;
+  double clipping_dead_ratio = 0.15;
+  /// |mean| above this multiple of the AC RMS = gross converter DC offset
+  /// -> degraded (the band-pass removes DC, so it is a warning, not fatal).
+  double dc_offset_degraded_ratio = 1.0;
+  /// Minimum Pearson correlation of the channel's energy envelope against
+  /// the leave-one-out mean envelope of the other channels. Envelopes (not
+  /// raw samples) because inter-mic TDOAs at the probing carrier decorrelate
+  /// raw waveforms even on a healthy array.
+  double min_envelope_coherence = 0.2;
+  /// Envelope smoothing window (samples) for the coherence check.
+  std::size_t coherence_smooth_samples = 48;
+  /// Any non-finite sample beyond this count kills the channel.
+  std::size_t max_nonfinite = 0;
+  /// Fewer surviving channels than this fails the whole capture (MVDR with
+  /// < 3 mics has essentially no spatial selectivity left).
+  std::size_t min_active_channels = 3;
+  /// When true, degraded channels are masked out too (conservative mode);
+  /// default keeps them, since most degradations are survivable.
+  bool drop_degraded = false;
+};
+
+/// Health of one channel, aggregated over a batch (worst beep wins).
+struct ChannelHealth {
+  ChannelStatus status = ChannelStatus::kOk;
+  double ac_rms = 0.0;           ///< RMS after mean removal, max over beeps
+  double dc_fraction = 0.0;      ///< |mean| / AC RMS, max over beeps
+  double clipping_ratio = 0.0;   ///< plateau fraction, max over beeps
+  double envelope_coherence = 1.0;  ///< min over beeps
+  std::size_t nonfinite = 0;     ///< total non-finite samples
+  bool flatline = false;
+  std::vector<std::string> issues;  ///< human-readable failure reasons
+};
+
+/// Capture-level verdict plus the per-channel report and the mask the
+/// pipeline should beamform with.
+struct CaptureHealth {
+  CaptureVerdict verdict = CaptureVerdict::kOk;
+  std::vector<ChannelHealth> channels;
+  ChannelMask active_mask;  ///< true = keep; all-true on a clean capture
+  std::size_t num_active = 0;
+
+  [[nodiscard]] bool usable() const {
+    return verdict != CaptureVerdict::kFailed;
+  }
+  /// Multi-line per-channel report for logs and the CLI.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Assess a batch of raw beep captures. Throws std::invalid_argument when
+/// the batch is empty, a beep has no channels, or beeps disagree on the
+/// channel count. Non-finite samples and ragged lengths are *reported*,
+/// never propagated.
+[[nodiscard]] CaptureHealth assess_capture(
+    const std::vector<MultiChannelSignal>& beeps,
+    const ChannelHealthConfig& config = {});
+
+/// Single-capture convenience overload.
+[[nodiscard]] CaptureHealth assess_capture(
+    const MultiChannelSignal& capture,
+    const ChannelHealthConfig& config = {});
+
+}  // namespace echoimage::core

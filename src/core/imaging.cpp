@@ -105,12 +105,11 @@ void AcousticImager::prepare(const MultiChannelSignal& beep,
   }
 }
 
-void AcousticImager::accumulate_band(std::size_t band,
-                                     const MultiChannelSignal& filtered,
-                                     const MultiChannelSignal& noise_f,
-                                     bool have_noise, double plane_distance_m,
-                                     double tau_direct_s, double tau_echo_s,
-                                     Matrix2D& image) const {
+void AcousticImager::accumulate_band(
+    std::size_t band, const MultiChannelSignal& filtered,
+    const MultiChannelSignal& noise_f, bool have_noise,
+    double plane_distance_m, double tau_direct_s, double tau_echo_s,
+    const echoimage::array::ChannelMask& active_mask, Matrix2D& image) const {
   const double gate_extra = config_.chirp.duration_s;  // echo smear length
 
   // Subband isolation (skipped when only one band is configured).
@@ -149,7 +148,7 @@ void AcousticImager::accumulate_band(std::size_t band,
   }
   const NarrowbandBeamformer bf(std::move(channels), config_.sample_rate,
                                 subband_centers_[band], geometry_, cov,
-                                config_.speed_of_sound);
+                                config_.speed_of_sound, active_mask);
 
   for (std::size_t row = 0; row < config_.grid_size; ++row) {
     for (std::size_t col = 0; col < config_.grid_size; ++col) {
@@ -185,11 +184,10 @@ void AcousticImager::accumulate_band(std::size_t band,
   }
 }
 
-Matrix2D AcousticImager::construct(const MultiChannelSignal& beep,
-                                   double plane_distance_m,
-                                   double tau_direct_s,
-                                   const MultiChannelSignal& noise_only,
-                                   double tau_echo_s) const {
+Matrix2D AcousticImager::construct(
+    const MultiChannelSignal& beep, double plane_distance_m,
+    double tau_direct_s, const MultiChannelSignal& noise_only,
+    double tau_echo_s, const echoimage::array::ChannelMask& active_mask) const {
   if (plane_distance_m <= 0.0)
     throw std::invalid_argument("AcousticImager: plane distance must be > 0");
   MultiChannelSignal filtered, noise_f;
@@ -199,7 +197,7 @@ Matrix2D AcousticImager::construct(const MultiChannelSignal& beep,
   Matrix2D image(config_.grid_size, config_.grid_size);
   for (std::size_t band = 0; band < config_.num_subbands; ++band)
     accumulate_band(band, filtered, noise_f, have_noise, plane_distance_m,
-                    tau_direct_s, tau_echo_s, image);
+                    tau_direct_s, tau_echo_s, active_mask, image);
   // L2 norm of the gated segment(s): sqrt of the (compounded) energy.
   for (double& v : image.data()) v = std::sqrt(v);
   return image;
@@ -208,7 +206,7 @@ Matrix2D AcousticImager::construct(const MultiChannelSignal& beep,
 std::vector<Matrix2D> AcousticImager::construct_bands(
     const MultiChannelSignal& beep, double plane_distance_m,
     double tau_direct_s, const MultiChannelSignal& noise_only,
-    double tau_echo_s) const {
+    double tau_echo_s, const echoimage::array::ChannelMask& active_mask) const {
   if (plane_distance_m <= 0.0)
     throw std::invalid_argument("AcousticImager: plane distance must be > 0");
   MultiChannelSignal filtered, noise_f;
@@ -220,7 +218,7 @@ std::vector<Matrix2D> AcousticImager::construct_bands(
   for (std::size_t band = 0; band < config_.num_subbands; ++band) {
     Matrix2D image(config_.grid_size, config_.grid_size);
     accumulate_band(band, filtered, noise_f, have_noise, plane_distance_m,
-                    tau_direct_s, tau_echo_s, image);
+                    tau_direct_s, tau_echo_s, active_mask, image);
     for (double& v : image.data()) v = std::sqrt(v);
     bands.push_back(std::move(image));
   }

@@ -91,12 +91,13 @@ class AcousticImager {
   /// speaker-mic flight, which is negligible at array scale); `noise_only`
   /// optionally feeds the MVDR noise covariance.
   /// `tau_echo_s` (< 0 = unknown) enables echo anchoring when
-  /// `anchor_to_echo` is set.
-  [[nodiscard]] Matrix2D construct(const MultiChannelSignal& beep,
-                                   double plane_distance_m,
-                                   double tau_direct_s = 0.0,
-                                   const MultiChannelSignal& noise_only = {},
-                                   double tau_echo_s = -1.0) const;
+  /// `anchor_to_echo` is set. `active_mask` (empty = all) images with the
+  /// surviving subarray when the health gate has condemned channels.
+  [[nodiscard]] Matrix2D construct(
+      const MultiChannelSignal& beep, double plane_distance_m,
+      double tau_direct_s = 0.0, const MultiChannelSignal& noise_only = {},
+      double tau_echo_s = -1.0,
+      const echoimage::array::ChannelMask& active_mask = {}) const;
 
   /// Per-subband images (the pipeline's default path): same computation as
   /// `construct` but each spectral band is returned separately so the
@@ -105,7 +106,8 @@ class AcousticImager {
       const MultiChannelSignal& beep, double plane_distance_m,
       double tau_direct_s = 0.0,
       const MultiChannelSignal& noise_only = {},
-      double tau_echo_s = -1.0) const;
+      double tau_echo_s = -1.0,
+      const echoimage::array::ChannelMask& active_mask = {}) const;
 
  private:
   /// Energy image of one subband, accumulated into `image`.
@@ -113,7 +115,9 @@ class AcousticImager {
                        const MultiChannelSignal& filtered,
                        const MultiChannelSignal& noise_f, bool have_noise,
                        double plane_distance_m, double tau_direct_s,
-                       double tau_echo_s, Matrix2D& image) const;
+                       double tau_echo_s,
+                       const echoimage::array::ChannelMask& active_mask,
+                       Matrix2D& image) const;
   /// Shared front end: band-pass + direct-path suppression + noise filter.
   void prepare(const MultiChannelSignal& beep,
                const MultiChannelSignal& noise_only, double tau_direct_s,

@@ -1,9 +1,35 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace echoimage::core {
+
+namespace {
+
+const echoimage::array::ChannelMask kNoMask{};  // empty = all channels
+
+bool has_nonfinite(const Signal& ch) {
+  for (const double v : ch)
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+/// Copy of a capture with the masked-out channels zeroed. Dead channels are
+/// excluded from beamforming via the subarray mask, but full-channel paths
+/// (band-pass, covariance normalization) still touch every channel — a NaN
+/// there would poison shared scale factors, so it must not survive.
+MultiChannelSignal silence_masked(const MultiChannelSignal& capture,
+                                  const echoimage::array::ChannelMask& mask) {
+  MultiChannelSignal out = capture;
+  for (std::size_t c = 0; c < out.num_channels() && c < mask.size(); ++c)
+    if (!mask[c]) std::fill(out.channels[c].begin(), out.channels[c].end(), 0.0);
+  return out;
+}
+
+}  // namespace
 
 void SystemConfig::harmonize() {
   distance.sample_rate = sample_rate;
@@ -54,18 +80,119 @@ EchoImagePipeline::EchoImagePipeline(SystemConfig config,
         config.harmonize();
         return config;
       }()),
+      geometry_(geometry),
       distance_(config_.distance, geometry),
       imager_(config_.imaging, geometry),
       augmenter_(config_.imaging),
       extractor_(config_.extractor) {}
 
-ProcessedBeeps EchoImagePipeline::process(
+void EchoImagePipeline::validate_capture(
     const std::vector<MultiChannelSignal>& beeps,
     const MultiChannelSignal& noise_only) const {
   if (beeps.empty())
     throw std::invalid_argument("EchoImagePipeline: no beeps");
+  const std::size_t mics = geometry_.num_mics();
+  for (std::size_t b = 0; b < beeps.size(); ++b) {
+    const MultiChannelSignal& beep = beeps[b];
+    if (beep.num_channels() != mics)
+      throw std::invalid_argument(
+          "EchoImagePipeline: beep " + std::to_string(b) + " has " +
+          std::to_string(beep.num_channels()) + " channels, array has " +
+          std::to_string(mics) + " mics");
+    const std::size_t len = beep.channels.front().size();
+    if (len == 0)
+      throw std::invalid_argument("EchoImagePipeline: beep " +
+                                  std::to_string(b) + " is empty");
+    for (std::size_t c = 1; c < beep.num_channels(); ++c)
+      if (beep.channels[c].size() != len)
+        throw std::invalid_argument(
+            "EchoImagePipeline: beep " + std::to_string(b) + " channel " +
+            std::to_string(c) + " has " +
+            std::to_string(beep.channels[c].size()) + " samples, channel 0 has " +
+            std::to_string(len));
+  }
+  // An empty noise capture means "no noise reference" (spatially-white
+  // covariance); a non-empty one must match the array.
+  if (noise_only.num_channels() != 0) {
+    if (noise_only.num_channels() != mics)
+      throw std::invalid_argument(
+          "EchoImagePipeline: noise capture has " +
+          std::to_string(noise_only.num_channels()) + " channels, array has " +
+          std::to_string(mics) + " mics");
+    const std::size_t len = noise_only.channels.front().size();
+    for (std::size_t c = 1; c < noise_only.num_channels(); ++c)
+      if (noise_only.channels[c].size() != len)
+        throw std::invalid_argument(
+            "EchoImagePipeline: noise capture channel " + std::to_string(c) +
+            " has " + std::to_string(noise_only.channels[c].size()) +
+            " samples, channel 0 has " + std::to_string(len));
+  }
+}
+
+ProcessedBeeps EchoImagePipeline::process(
+    const std::vector<MultiChannelSignal>& beeps,
+    const MultiChannelSignal& noise_only) const {
+  validate_capture(beeps, noise_only);
+  const std::size_t mics = geometry_.num_mics();
   ProcessedBeeps out;
-  out.distance = distance_.estimate(beeps, noise_only);
+  out.active_mask.assign(mics, true);
+
+  if (config_.health_gate) {
+    out.health = assess_capture(beeps, config_.health);
+    // A noise channel carrying NaN/Inf shares the faulty hardware chain
+    // with its beep channel — condemn it even if the beeps looked clean
+    // (a non-finite covariance would poison every beamformer weight).
+    for (std::size_t c = 0; c < noise_only.num_channels(); ++c) {
+      if (out.health.active_mask[c] && has_nonfinite(noise_only.channels[c])) {
+        out.health.active_mask[c] = false;
+        out.health.channels[c].status = ChannelStatus::kDead;
+        out.health.channels[c].issues.push_back("noise capture non-finite");
+      }
+    }
+    out.health.num_active = echoimage::array::count_active(
+        out.health.active_mask);
+    if (out.health.num_active < config_.health.min_active_channels)
+      out.health.verdict = CaptureVerdict::kFailed;
+    out.active_mask = out.health.active_mask;
+    out.dropped_channels = mics - out.health.num_active;
+    if (!out.health.usable()) return out;  // abstain: retry, don't reject
+  } else {
+    // Without the gate the pipeline refuses non-finite input outright —
+    // NaN propagates silently through FFTs and would emerge as a garbage
+    // accept/reject downstream.
+    for (std::size_t b = 0; b < beeps.size(); ++b)
+      for (std::size_t c = 0; c < beeps[b].num_channels(); ++c)
+        if (has_nonfinite(beeps[b].channels[c]))
+          throw std::invalid_argument(
+              "EchoImagePipeline: beep " + std::to_string(b) + " channel " +
+              std::to_string(c) + " contains NaN/Inf samples");
+    for (std::size_t c = 0; c < noise_only.num_channels(); ++c)
+      if (has_nonfinite(noise_only.channels[c]))
+        throw std::invalid_argument("EchoImagePipeline: noise capture channel " +
+                                    std::to_string(c) +
+                                    " contains NaN/Inf samples");
+  }
+
+  // Degraded path: silence the condemned channels (so full-channel DSP
+  // stages never see their garbage) and beamform on the surviving
+  // subarray via the mask.
+  const bool reduced = out.dropped_channels > 0;
+  const echoimage::array::ChannelMask& mask_ref =
+      reduced ? out.active_mask : kNoMask;
+  std::vector<MultiChannelSignal> clean_storage;
+  const std::vector<MultiChannelSignal>* use_beeps = &beeps;
+  MultiChannelSignal clean_noise;
+  const MultiChannelSignal* use_noise = &noise_only;
+  if (reduced) {
+    clean_storage.reserve(beeps.size());
+    for (const MultiChannelSignal& beep : beeps)
+      clean_storage.push_back(silence_masked(beep, out.active_mask));
+    use_beeps = &clean_storage;
+    clean_noise = silence_masked(noise_only, out.active_mask);
+    use_noise = &clean_noise;
+  }
+
+  out.distance = distance_.estimate(*use_beeps, *use_noise, mask_ref);
   if (!out.distance.valid) return out;
   out.images.reserve(beeps.size());
   // The plane sits at the centroid-derived distance (smoother than the
@@ -73,10 +200,10 @@ ProcessedBeeps EchoImagePipeline::process(
   const double plane = out.distance.user_distance_centroid_m > 0.0
                            ? out.distance.user_distance_centroid_m
                            : out.distance.user_distance_m;
-  for (const MultiChannelSignal& beep : beeps)
+  for (const MultiChannelSignal& beep : *use_beeps)
     out.images.push_back(AcousticImage{imager_.construct_bands(
-        beep, plane, out.distance.tau_direct_s, noise_only,
-        out.distance.tau_echo_centroid_s)});
+        beep, plane, out.distance.tau_direct_s, *use_noise,
+        out.distance.tau_echo_centroid_s, mask_ref)});
   return out;
 }
 

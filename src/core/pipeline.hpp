@@ -11,6 +11,7 @@
 #include "core/augment.hpp"
 #include "core/authenticator.hpp"
 #include "core/distance.hpp"
+#include "core/health.hpp"
 #include "core/imaging.hpp"
 #include "ml/cnn.hpp"
 
@@ -27,6 +28,14 @@ struct SystemConfig {
   /// Distances synthesized per training image when augmentation is on.
   std::vector<double> augmentation_distances_m = {0.6, 0.8, 0.9, 1.0,
                                                   1.1, 1.2, 1.35, 1.5};
+  /// Per-channel health thresholds for the capture gate.
+  ChannelHealthConfig health{};
+  /// Run the channel-health gate inside `process`: dead channels are
+  /// masked out of beamforming/imaging and recorded in ProcessedBeeps;
+  /// captures with too few healthy channels come back with
+  /// CaptureVerdict::kFailed instead of garbage images. When off, the
+  /// pipeline instead rejects non-finite input with an exception.
+  bool health_gate = true;
 
   /// Propagate the shared fields (sample rate, chirp, band) into the
   /// sub-configs so callers only set them once.
@@ -40,6 +49,19 @@ struct SystemConfig {
 struct ProcessedBeeps {
   DistanceEstimate distance;
   std::vector<AcousticImage> images;  ///< one multi-band image per beep
+  /// Channel-health report of the capture (verdict kOk with no per-channel
+  /// entries when the gate is disabled).
+  CaptureHealth health;
+  /// Channels that actually fed beamforming/imaging (all-true when the
+  /// gate is disabled or every channel is healthy).
+  echoimage::array::ChannelMask active_mask;
+  std::size_t dropped_channels = 0;  ///< masked-out (dead) channel count
+  /// False when the health gate condemned the capture: distance/images are
+  /// absent and the caller should re-beep (see CaptureSupervisor) rather
+  /// than score the attempt as a rejection.
+  [[nodiscard]] bool gate_passed() const {
+    return health.verdict != CaptureVerdict::kFailed;
+  }
 };
 
 class EchoImagePipeline {
@@ -58,10 +80,21 @@ class EchoImagePipeline {
     return extractor_;
   }
 
-  /// Distance estimation + per-beep image construction.
+  /// Distance estimation + per-beep image construction. Runs the channel-
+  /// health gate first (see SystemConfig::health_gate): dead channels are
+  /// masked out and recorded in the result; a capture with fewer than
+  /// `health.min_active_channels` healthy channels returns with
+  /// `gate_passed() == false` and no images. Structurally invalid input
+  /// (wrong channel count, ragged/empty channels) throws
+  /// std::invalid_argument with a message naming the offending beep.
   [[nodiscard]] ProcessedBeeps process(
       const std::vector<MultiChannelSignal>& beeps,
       const MultiChannelSignal& noise_only = {}) const;
+
+  /// The structural validation half of `process`, exposed for callers that
+  /// want to fail fast before capture post-processing.
+  void validate_capture(const std::vector<MultiChannelSignal>& beeps,
+                        const MultiChannelSignal& noise_only = {}) const;
 
   /// CNN features of one acoustic image (per-band features concatenated).
   [[nodiscard]] std::vector<double> features(const AcousticImage& image) const;
@@ -78,6 +111,7 @@ class EchoImagePipeline {
 
  private:
   SystemConfig config_;
+  echoimage::array::ArrayGeometry geometry_;
   DistanceEstimator distance_;
   AcousticImager imager_;
   DataAugmenter augmenter_;

@@ -29,6 +29,10 @@ void SessionMonitor::reset() {
 }
 
 SessionMonitor::State SessionMonitor::update(const AuthDecision& decision) {
+  // Abstentions (capture failed the health gate) are not evidence about
+  // the speaker: they enter no window slot, clear no streak, count toward
+  // no lock. The session simply waits for the next usable beep.
+  if (decision.outcome == AuthOutcome::kAbstained) return state_;
   const int observed = decision.accepted ? decision.user_id : -1;
   recent_.push_back(observed);
   if (recent_.size() > config_.window) recent_.pop_front();

@@ -43,6 +43,8 @@ class SessionMonitor {
   [[nodiscard]] const SessionMonitorConfig& config() const { return config_; }
 
   /// Feed one per-beep decision; returns the state after the update.
+  /// Abstained decisions (health-gate failures) are neutral: they neither
+  /// advance an unlock nor count toward a lock.
   State update(const AuthDecision& decision);
 
   /// Drop all history and lock.

@@ -1,0 +1,90 @@
+#include "core/supervisor.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace echoimage::core {
+
+void CaptureSupervisorConfig::validate() const {
+  if (max_attempts == 0)
+    throw std::invalid_argument(
+        "CaptureSupervisor: max_attempts must be positive");
+  if (initial_backoff_s < 0.0)
+    throw std::invalid_argument(
+        "CaptureSupervisor: initial backoff must be >= 0");
+  if (backoff_multiplier < 1.0)
+    throw std::invalid_argument(
+        "CaptureSupervisor: backoff multiplier must be >= 1");
+}
+
+std::string SupervisedCapture::describe() const {
+  std::ostringstream os;
+  os << (abstained ? "abstained" : "captured") << " after " << attempts
+     << " attempt(s), backoff " << total_backoff_s << " s, verdicts:";
+  for (const CaptureVerdict v : attempt_verdicts) os << " " << to_string(v);
+  return os.str();
+}
+
+CaptureSupervisor::CaptureSupervisor(const EchoImagePipeline& pipeline,
+                                     CaptureSupervisorConfig config)
+    : pipeline_(&pipeline), config_(config) {
+  config_.validate();
+}
+
+SupervisedCapture CaptureSupervisor::acquire(
+    const CaptureSource& source) const {
+  SupervisedCapture out;
+  double backoff = config_.initial_backoff_s;
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      out.total_backoff_s += backoff;
+      backoff *= config_.backoff_multiplier;
+    }
+    const CaptureAttempt capture = source(attempt);
+    ++out.attempts;
+    out.processed = pipeline_->process(capture.beeps, capture.noise_only);
+    out.attempt_verdicts.push_back(out.processed.health.verdict);
+    if (out.processed.gate_passed()) return out;
+  }
+  out.abstained = true;
+  return out;
+}
+
+AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
+                                             const Authenticator& auth) const {
+  const SupervisedCapture capture = acquire(source);
+  if (capture.abstained) return AuthDecision::abstain();
+  const ProcessedBeeps& p = capture.processed;
+  if (!p.distance.valid || p.images.empty()) {
+    // The hardware is fine but no body echo was found — nobody in range.
+    // That is a legitimate rejection, not an abstention.
+    return AuthDecision{};
+  }
+  // Majority vote across the beeps of the batch; -1 collects rejections.
+  std::map<int, std::size_t> votes;
+  std::map<int, double> score_sums;
+  for (const AcousticImage& image : p.images) {
+    const AuthDecision d = auth.authenticate(pipeline_->features(image));
+    const int id = d.accepted ? d.user_id : -1;
+    ++votes[id];
+    score_sums[id] += d.svdd_score;
+  }
+  int best_id = -1;
+  std::size_t best_count = 0;
+  for (const auto& [id, count] : votes) {
+    // Ties break toward rejection (id -1 sorts first in the map).
+    if (count > best_count) {
+      best_id = id;
+      best_count = count;
+    }
+  }
+  AuthDecision out;
+  out.svdd_score = score_sums[best_id] / static_cast<double>(best_count);
+  out.accepted = best_id >= 0;
+  out.user_id = best_id;
+  out.outcome = out.accepted ? AuthOutcome::kAccepted : AuthOutcome::kRejected;
+  return out;
+}
+
+}  // namespace echoimage::core

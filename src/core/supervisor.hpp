@@ -1,0 +1,86 @@
+// Fault-tolerant capture supervision.
+//
+// A deployed smart speaker cannot assume every capture is usable: mics
+// die, ADCs clip, cables pop. The supervisor wraps the pipeline's health
+// gate in a bounded retry loop — when a capture fails the gate it
+// schedules a re-beep after an exponentially growing backoff instead of
+// scoring the attempt, and only after exhausting its retries does it give
+// up with an *abstained* authentication decision (never a false reject:
+// a broken microphone says nothing about who is speaking).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace echoimage::core {
+
+struct CaptureSupervisorConfig {
+  /// Total capture attempts (first try + re-beeps). Must be >= 1.
+  std::size_t max_attempts = 3;
+  /// Backoff before the first re-beep; grows by `backoff_multiplier` per
+  /// further retry. The supervisor *schedules* rather than sleeps — the
+  /// caller owns the clock (and tests stay instant).
+  double initial_backoff_s = 0.25;
+  double backoff_multiplier = 2.0;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+/// One beep batch as delivered by the capture hardware (or a simulator).
+struct CaptureAttempt {
+  std::vector<MultiChannelSignal> beeps;
+  MultiChannelSignal noise_only;
+};
+
+/// Produces the `attempt`-th capture (0-based); called once per try, so a
+/// simulator can clear a transient fault or keep a hardware fault present.
+using CaptureSource = std::function<CaptureAttempt(std::size_t attempt)>;
+
+/// What the supervisor did for one authentication request.
+struct SupervisedCapture {
+  /// Result of the last attempt's pipeline run. When `abstained` is true
+  /// the gate failed on every attempt and `processed.images` is empty.
+  ProcessedBeeps processed;
+  bool abstained = false;
+  std::size_t attempts = 0;        ///< capture attempts actually made
+  double total_backoff_s = 0.0;    ///< backoff the caller should have waited
+  /// Health verdict of each attempt, in order (telemetry/tests).
+  std::vector<CaptureVerdict> attempt_verdicts;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class CaptureSupervisor {
+ public:
+  explicit CaptureSupervisor(const EchoImagePipeline& pipeline,
+                             CaptureSupervisorConfig config = {});
+
+  [[nodiscard]] const CaptureSupervisorConfig& config() const {
+    return config_;
+  }
+
+  /// Acquire one usable capture: run `source`, push it through the
+  /// pipeline's health gate, and re-beep (with backoff) while the gate
+  /// fails and attempts remain. Degraded-but-usable captures are accepted
+  /// immediately — the pipeline has already masked the bad channels.
+  [[nodiscard]] SupervisedCapture acquire(const CaptureSource& source) const;
+
+  /// Full fault-tolerant authentication of one capture: acquire, then
+  /// score each beep image and majority-aggregate, abstaining when the
+  /// gate never passed or no valid distance was found. The SVDD score of
+  /// the returned decision is the mean over the beeps that voted for the
+  /// winning outcome.
+  [[nodiscard]] AuthDecision authenticate(const CaptureSource& source,
+                                          const Authenticator& auth) const;
+
+ private:
+  const EchoImagePipeline* pipeline_;  ///< non-owning; outlives supervisor
+  CaptureSupervisorConfig config_;
+};
+
+}  // namespace echoimage::core

@@ -1,0 +1,190 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace echoimage::sim {
+
+namespace {
+
+using echoimage::dsp::Signal;
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeadChannel: return "dead-channel";
+    case FaultKind::kIntermittent: return "intermittent";
+    case FaultKind::kHardClip: return "hard-clip";
+    case FaultKind::kSoftClip: return "soft-clip";
+    case FaultKind::kDcOffset: return "dc-offset";
+    case FaultKind::kGainDrift: return "gain-drift";
+    case FaultKind::kImpulsePops: return "impulse-pops";
+    case FaultKind::kNanBurst: return "nan-burst";
+  }
+  return "?";
+}
+
+void dead_channel(Signal& ch, double level) {
+  std::fill(ch.begin(), ch.end(), level);
+}
+
+void intermittent(Signal& ch, double severity, Rng& rng) {
+  const std::size_t n = ch.size();
+  if (n == 0) return;
+  const auto target = static_cast<std::size_t>(
+      std::min(1.0, severity) * static_cast<double>(n));
+  std::size_t covered = 0;
+  // Dropout bursts of a few ms at 48 kHz — the scale of a USB xrun.
+  // Counting burst lengths (overlaps double-count) guarantees termination.
+  while (covered < target) {
+    const auto start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(n - 1)));
+    const auto burst = static_cast<std::size_t>(rng.uniform_int(32, 256));
+    const std::size_t end = std::min(n, start + burst);
+    std::fill(ch.begin() + static_cast<std::ptrdiff_t>(start),
+              ch.begin() + static_cast<std::ptrdiff_t>(end), 0.0);
+    covered += end - start;
+  }
+}
+
+void hard_clip(Signal& ch, double severity) {
+  const double peak = echoimage::dsp::peak_abs(ch);
+  if (peak <= 0.0) return;
+  const double limit = std::max(0.0, 1.0 - severity) * peak;
+  for (double& v : ch) v = std::clamp(v, -limit, limit);
+}
+
+void soft_clip(Signal& ch, double severity) {
+  const double peak = echoimage::dsp::peak_abs(ch);
+  if (peak <= 0.0) return;
+  const double limit = std::max(1e-12, (1.0 - severity) * peak);
+  for (double& v : ch) v = limit * std::tanh(v / limit);
+}
+
+void dc_offset(Signal& ch, double severity) {
+  const double offset = severity * echoimage::dsp::rms(ch);
+  for (double& v : ch) v += offset;
+}
+
+void gain_drift(Signal& ch, double severity, Rng& rng) {
+  const double gain = 1.0 + rng.uniform(-severity, severity);
+  for (double& v : ch) v *= gain;
+}
+
+void impulse_pops(Signal& ch, double severity, Rng& rng) {
+  const std::size_t n = ch.size();
+  if (n == 0) return;
+  const double peak = std::max(echoimage::dsp::peak_abs(ch), 1e-12);
+  const auto pops = static_cast<std::size_t>(
+      std::ceil(severity * static_cast<double>(n) / 1000.0));
+  for (std::size_t p = 0; p < pops; ++p) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(n - 1)));
+    const double sign = rng.uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0;
+    ch[at] += sign * rng.uniform(3.0, 6.0) * peak;
+  }
+}
+
+void nan_burst(Signal& ch, double severity, Rng& rng) {
+  const std::size_t n = ch.size();
+  if (n == 0) return;
+  const auto run = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::min(1.0, severity) *
+                                  static_cast<double>(n)));
+  const auto start = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<int>(n - std::min(n, run))));
+  const std::size_t end = std::min(n, start + run);
+  for (std::size_t i = start; i < end; ++i)
+    ch[i] = std::numeric_limits<double>::quiet_NaN();
+}
+
+void apply_to_channel(Signal& ch, const FaultSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case FaultKind::kDeadChannel: dead_channel(ch, spec.level); break;
+    case FaultKind::kIntermittent: intermittent(ch, spec.severity, rng); break;
+    case FaultKind::kHardClip: hard_clip(ch, spec.severity); break;
+    case FaultKind::kSoftClip: soft_clip(ch, spec.severity); break;
+    case FaultKind::kDcOffset: dc_offset(ch, spec.severity); break;
+    case FaultKind::kGainDrift: gain_drift(ch, spec.severity, rng); break;
+    case FaultKind::kImpulsePops: impulse_pops(ch, spec.severity, rng); break;
+    case FaultKind::kNanBurst: nan_burst(ch, spec.severity, rng); break;
+  }
+}
+
+/// Gain drift is a property of the analog chain, not of one capture: the
+/// same draw must distort every beep of a batch identically. Such kinds are
+/// replayed from a fresh copy of the fault's base generator per beep.
+bool is_hardware_static(FaultKind kind) {
+  return kind == FaultKind::kGainDrift || kind == FaultKind::kDeadChannel ||
+         kind == FaultKind::kHardClip || kind == FaultKind::kSoftClip ||
+         kind == FaultKind::kDcOffset;
+}
+
+}  // namespace
+
+std::string FaultSpec::describe() const {
+  std::ostringstream os;
+  os << kind_name(kind) << "(";
+  if (channel == kAllChannels)
+    os << "all";
+  else
+    os << "ch " << channel;
+  os << ", severity " << severity << ")";
+  return os.str();
+}
+
+std::string FaultPlan::describe() const {
+  if (faults.empty()) return "clean";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i) os << " + ";
+    os << faults[i].describe();
+  }
+  return os.str();
+}
+
+void apply_fault(MultiChannelSignal& capture, const FaultSpec& spec,
+                 Rng& rng) {
+  if (spec.severity < 0.0)
+    throw std::invalid_argument("apply_fault: severity must be >= 0");
+  if (spec.channel != kAllChannels &&
+      (spec.channel < 0 ||
+       static_cast<std::size_t>(spec.channel) >= capture.num_channels()))
+    throw std::invalid_argument("apply_fault: channel index out of range");
+  if (spec.severity == 0.0 && spec.kind != FaultKind::kDeadChannel) return;
+  if (spec.channel == kAllChannels) {
+    for (auto& ch : capture.channels) apply_to_channel(ch, spec, rng);
+  } else {
+    apply_to_channel(capture.channels[static_cast<std::size_t>(spec.channel)],
+                     spec, rng);
+  }
+}
+
+void apply_plan(MultiChannelSignal& capture, const FaultPlan& plan) {
+  for (std::size_t k = 0; k < plan.faults.size(); ++k) {
+    Rng rng(mix_seed(plan.seed, k));
+    apply_fault(capture, plan.faults[k], rng);
+  }
+}
+
+void apply_plan(std::vector<MultiChannelSignal>& beeps,
+                MultiChannelSignal& noise_only, const FaultPlan& plan) {
+  for (std::size_t k = 0; k < plan.faults.size(); ++k) {
+    const FaultSpec& spec = plan.faults[k];
+    const Rng base(mix_seed(plan.seed, k));
+    for (std::size_t b = 0; b < beeps.size(); ++b) {
+      // Static faults replay the base stream (identical draws per beep);
+      // time-stochastic ones fork per beep for independent placement.
+      Rng rng = is_hardware_static(spec.kind) ? base : base.fork(b + 1);
+      apply_fault(beeps[b], spec, rng);
+    }
+    if (noise_only.num_channels() > 0) {
+      Rng rng = is_hardware_static(spec.kind) ? base : base.fork(0);
+      apply_fault(noise_only, spec, rng);
+    }
+  }
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,89 @@
+// Capture-chain fault injection.
+//
+// Deployed smart-speaker arrays routinely suffer hardware faults the clean
+// simulator never produces: dead or intermittent microphones, converter
+// clipping, DC offsets, per-channel gain drift, impulsive pops, and
+// outright non-finite samples from a wedged driver. Each fault here is a
+// composable, seeded transform of a MultiChannelSignal, so tests and
+// benches can dial in a precise failure mode and severity and replay it
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/signal.hpp"
+#include "sim/random.hpp"
+
+namespace echoimage::sim {
+
+using echoimage::dsp::MultiChannelSignal;
+
+/// Channel selector for a fault: a specific channel index, or every channel.
+inline constexpr int kAllChannels = -1;
+
+enum class FaultKind {
+  kDeadChannel,    ///< channel flatlines to a constant (usually 0)
+  kIntermittent,   ///< random dropout bursts zero out stretches of samples
+  kHardClip,       ///< converter saturates at +/- a fixed level
+  kSoftClip,       ///< tanh-style compression toward a saturation level
+  kDcOffset,       ///< constant converter offset added to every sample
+  kGainDrift,      ///< per-channel multiplicative gain error
+  kImpulsePops,    ///< sparse large-amplitude clicks (connector crackle)
+  kNanBurst,       ///< a run of NaN samples (driver/DMA fault)
+};
+
+/// One fault to apply. `severity` is the knob benches sweep; its meaning is
+/// per-kind (see the member docs) but is always monotone: 0 = no fault,
+/// larger = worse.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDeadChannel;
+  /// Target channel, or kAllChannels.
+  int channel = kAllChannels;
+  /// kDeadChannel:   unused (the channel is constant `level`).
+  /// kIntermittent:  fraction of samples lost to dropout bursts [0, 1].
+  /// kHardClip:      clip point as a fraction of the channel peak (severity
+  ///                 s clips at (1 - s) * peak, so 0.05 shaves 5%).
+  /// kSoftClip:      same knee convention as kHardClip, tanh roll-off.
+  /// kDcOffset:      offset as a multiple of the channel RMS.
+  /// kGainDrift:     max relative gain error (gain in [1-s, 1+s]).
+  /// kImpulsePops:   expected pops per 1000 samples.
+  /// kNanBurst:      fraction of samples inside the NaN run [0, 1].
+  double severity = 1.0;
+  /// kDeadChannel only: the stuck output level (0 = shorted to ground).
+  double level = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A reproducible batch of faults: applied in order, each deriving its own
+/// random sub-stream from (seed, index) so adding one fault never reshuffles
+/// the randomness of the others.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Apply a single fault in place. `rng` drives any randomness (dropout
+/// placement, pop times, gain draws); deterministic kinds ignore it. Throws
+/// std::invalid_argument for an out-of-range channel index or a negative
+/// severity.
+void apply_fault(MultiChannelSignal& capture, const FaultSpec& spec, Rng& rng);
+
+/// Apply every fault of the plan in order, deterministically from the
+/// plan's seed.
+void apply_plan(MultiChannelSignal& capture, const FaultPlan& plan);
+
+/// Apply the plan to each beep of a batch and to the noise-only capture.
+/// Per-beep sub-streams are derived from (seed, beep index) so every beep
+/// sees independent dropout/pop placement but the whole batch replays
+/// exactly. Faults model the capture chain, so the same gain/offset/clip
+/// path distorts the noise capture too.
+void apply_plan(std::vector<MultiChannelSignal>& beeps,
+                MultiChannelSignal& noise_only, const FaultPlan& plan);
+
+}  // namespace echoimage::sim

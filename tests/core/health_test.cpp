@@ -1,0 +1,182 @@
+#include "core/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace echoimage::core {
+namespace {
+
+using echoimage::dsp::MultiChannelSignal;
+using echoimage::dsp::Signal;
+
+// A plausible clean capture: a shared sine burst (the beep + its echoes)
+// arriving at each mic with a small delay, plus independent sensor noise.
+// The burst gives every channel a correlated, non-constant energy envelope.
+MultiChannelSignal clean_capture(std::size_t channels = 6,
+                                 std::size_t samples = 4096,
+                                 std::uint64_t seed = 99) {
+  sim::Rng rng(seed);
+  MultiChannelSignal s;
+  for (std::size_t c = 0; c < channels; ++c) {
+    Signal ch(samples, 0.0);
+    const std::size_t delay = 2 * c;  // inter-mic TDOA scale
+    for (std::size_t i = 1000 + delay; i < 2200 + delay && i < samples; ++i)
+      ch[i] = std::sin(2.0 * std::numbers::pi * 0.05 *
+                       static_cast<double>(i - delay));
+    for (double& v : ch) v += rng.gaussian(0.0, 0.01);
+    s.channels.push_back(std::move(ch));
+  }
+  return s;
+}
+
+TEST(Health, CleanCaptureIsOk) {
+  const CaptureHealth h = assess_capture(clean_capture());
+  EXPECT_EQ(h.verdict, CaptureVerdict::kOk);
+  EXPECT_EQ(h.num_active, 6u);
+  EXPECT_TRUE(h.usable());
+  for (const ChannelHealth& ch : h.channels) {
+    EXPECT_EQ(ch.status, ChannelStatus::kOk);
+    EXPECT_TRUE(ch.issues.empty());
+    EXPECT_GT(ch.envelope_coherence, 0.9);
+    EXPECT_LT(ch.clipping_ratio, 0.001);
+  }
+}
+
+TEST(Health, FlatlineChannelIsDead) {
+  MultiChannelSignal s = clean_capture();
+  std::fill(s.channels[2].begin(), s.channels[2].end(), 0.0);
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_EQ(h.channels[2].status, ChannelStatus::kDead);
+  EXPECT_TRUE(h.channels[2].flatline);
+  EXPECT_FALSE(h.active_mask[2]);
+  EXPECT_EQ(h.num_active, 5u);
+  EXPECT_EQ(h.verdict, CaptureVerdict::kDegraded);
+  EXPECT_TRUE(h.usable());
+}
+
+TEST(Health, StuckAtConstantIsDead) {
+  // A channel pinned to a nonzero rail has zero AC RMS — still a flatline.
+  MultiChannelSignal s = clean_capture();
+  std::fill(s.channels[0].begin(), s.channels[0].end(), 0.8);
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_EQ(h.channels[0].status, ChannelStatus::kDead);
+  EXPECT_TRUE(h.channels[0].flatline);
+}
+
+TEST(Health, NonFiniteSamplesKillTheChannel) {
+  MultiChannelSignal s = clean_capture();
+  for (std::size_t i = 100; i < 150; ++i)
+    s.channels[4][i] = std::numeric_limits<double>::quiet_NaN();
+  s.channels[4][200] = std::numeric_limits<double>::infinity();
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_EQ(h.channels[4].status, ChannelStatus::kDead);
+  EXPECT_EQ(h.channels[4].nonfinite, 51u);
+  EXPECT_FALSE(h.active_mask[4]);
+}
+
+TEST(Health, MildClippingDegradesSevereClippingKills) {
+  MultiChannelSignal mild = clean_capture();
+  for (double& v : mild.channels[1]) v = std::clamp(v, -0.8, 0.8);
+  const CaptureHealth hm = assess_capture(mild);
+  EXPECT_EQ(hm.channels[1].status, ChannelStatus::kDegraded);
+  EXPECT_TRUE(hm.active_mask[1]) << "degraded channels stay active";
+  EXPECT_EQ(hm.verdict, CaptureVerdict::kDegraded);
+
+  MultiChannelSignal severe = clean_capture();
+  for (double& v : severe.channels[1]) v = std::clamp(v, -0.05, 0.05);
+  const CaptureHealth hs = assess_capture(severe);
+  EXPECT_EQ(hs.channels[1].status, ChannelStatus::kDead);
+  EXPECT_FALSE(hs.active_mask[1]);
+}
+
+TEST(Health, DcOffsetIsDegradedNotDead) {
+  // The band-pass removes DC downstream, so a gross converter offset is a
+  // warning — the channel keeps contributing.
+  MultiChannelSignal s = clean_capture();
+  for (double& v : s.channels[3]) v += 2.0;
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_EQ(h.channels[3].status, ChannelStatus::kDegraded);
+  EXPECT_TRUE(h.active_mask[3]);
+}
+
+TEST(Health, GainImbalanceIsDegraded) {
+  MultiChannelSignal s = clean_capture();
+  for (double& v : s.channels[5]) v *= 0.05;  // -26 dB vs the array
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_EQ(h.channels[5].status, ChannelStatus::kDegraded);
+  EXPECT_TRUE(h.active_mask[5]);
+}
+
+TEST(Health, IncoherentChannelIsDegraded) {
+  // A mic hearing something else entirely (wind buffeting, its own rattle)
+  // has an envelope uncorrelated with the rest of the array.
+  MultiChannelSignal s = clean_capture();
+  sim::Rng rng(7);
+  for (double& v : s.channels[2]) v = rng.gaussian(0.0, 0.3);
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_LT(h.channels[2].envelope_coherence, 0.2);
+  EXPECT_EQ(h.channels[2].status, ChannelStatus::kDegraded);
+}
+
+TEST(Health, TooFewSurvivorsFailsTheCapture) {
+  MultiChannelSignal s = clean_capture();
+  for (const std::size_t c : {0u, 1u, 2u, 3u})
+    std::fill(s.channels[c].begin(), s.channels[c].end(), 0.0);
+  const CaptureHealth h = assess_capture(s);
+  EXPECT_EQ(h.num_active, 2u);
+  EXPECT_EQ(h.verdict, CaptureVerdict::kFailed);
+  EXPECT_FALSE(h.usable());
+}
+
+TEST(Health, WorstBeepWinsButOneDropoutDoesNotKill) {
+  // Channel 1 drops out entirely in one beep of three: its best beep still
+  // carries signal, so it must not be declared dead (the per-beep fault is
+  // visible in the coherence floor instead).
+  std::vector<MultiChannelSignal> beeps = {clean_capture(6, 4096, 1),
+                                           clean_capture(6, 4096, 2),
+                                           clean_capture(6, 4096, 3)};
+  std::fill(beeps[1].channels[1].begin(), beeps[1].channels[1].end(), 0.0);
+  const CaptureHealth h = assess_capture(beeps);
+  EXPECT_NE(h.channels[1].status, ChannelStatus::kDead);
+  EXPECT_TRUE(h.active_mask[1]);
+  EXPECT_LT(h.channels[1].envelope_coherence, 0.2) << "dropout beep visible";
+}
+
+TEST(Health, ConservativeModeDropsDegradedChannels) {
+  ChannelHealthConfig config;
+  config.drop_degraded = true;
+  MultiChannelSignal s = clean_capture();
+  for (double& v : s.channels[0]) v = std::clamp(v, -0.8, 0.8);
+  const CaptureHealth h = assess_capture(s, config);
+  EXPECT_EQ(h.channels[0].status, ChannelStatus::kDegraded);
+  EXPECT_FALSE(h.active_mask[0]);
+  EXPECT_EQ(h.num_active, 5u);
+}
+
+TEST(Health, ValidatesInput) {
+  EXPECT_THROW(assess_capture(std::vector<MultiChannelSignal>{}),
+               std::invalid_argument);
+  EXPECT_THROW(assess_capture(MultiChannelSignal{}), std::invalid_argument);
+  std::vector<MultiChannelSignal> ragged = {clean_capture(6), clean_capture(4)};
+  EXPECT_THROW(assess_capture(ragged), std::invalid_argument);
+}
+
+TEST(Health, DescribeReportsEveryChannel) {
+  MultiChannelSignal s = clean_capture();
+  std::fill(s.channels[2].begin(), s.channels[2].end(), 0.0);
+  const std::string d = assess_capture(s).describe();
+  EXPECT_NE(d.find("degraded"), std::string::npos);
+  EXPECT_NE(d.find("ch 2: dead"), std::string::npos);
+  EXPECT_NE(d.find("flatline"), std::string::npos);
+  EXPECT_NE(d.find("5/6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace echoimage::core

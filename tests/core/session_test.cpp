@@ -116,6 +116,44 @@ TEST(SessionMonitor, ResetLocksAndClearsHistory) {
   EXPECT_EQ(m.state(), SessionMonitor::State::kLocked);
 }
 
+TEST(SessionMonitor, AbstentionsAreNeutralWhileLocked) {
+  SessionMonitor m;  // default: 4 accepts within a 6-beep window
+  // Abstentions interleaved with accepts must not consume window slots:
+  // 3 accepts + 5 abstentions + 1 accept still unlocks.
+  for (int i = 0; i < 3; ++i) m.update(accept(7));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.update(AuthDecision::abstain()),
+              SessionMonitor::State::kLocked);
+  }
+  EXPECT_EQ(m.update(accept(7)), SessionMonitor::State::kAuthenticated);
+}
+
+TEST(SessionMonitor, AbstentionsDoNotLockAnActiveSession) {
+  SessionMonitor m;
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  // A dead microphone produces abstentions, not rejections: the session
+  // must survive arbitrarily many of them.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.update(AuthDecision::abstain()),
+              SessionMonitor::State::kAuthenticated);
+  }
+  EXPECT_EQ(m.lock_count(), 0u);
+}
+
+TEST(SessionMonitor, AbstentionsDoNotClearAMismatchStreak) {
+  SessionMonitor m;
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  // Two genuine rejections, an abstention in between: the streak neither
+  // grows nor resets, so a third rejection still locks.
+  m.update(reject());
+  m.update(AuthDecision::abstain());
+  m.update(reject());
+  EXPECT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  EXPECT_EQ(m.update(reject()), SessionMonitor::State::kLocked);
+}
+
 TEST(SessionMonitor, CustomThresholds) {
   SessionMonitorConfig cfg;
   cfg.window = 3;

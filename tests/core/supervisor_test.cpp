@@ -1,0 +1,157 @@
+#include "core/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "sim/faults.hpp"
+
+namespace echoimage::core {
+namespace {
+
+struct Fixture {
+  array::ArrayGeometry geometry = array::make_respeaker_array();
+  SystemConfig config = eval::default_system_config();
+  EchoImagePipeline pipeline{config, geometry};
+  std::vector<eval::SimulatedUser> users =
+      eval::make_users(eval::make_roster(), 3);
+  eval::DataCollector collector{sim::CaptureConfig{}, geometry, 3};
+
+  [[nodiscard]] eval::CaptureBatch capture(int user = 0, int rep = 0) const {
+    eval::CollectionConditions cond;
+    cond.repetition = rep;
+    return collector.collect(users[static_cast<std::size_t>(user)], cond, 4);
+  }
+};
+
+// Kills four of six mics: below min_active_channels, so the gate fails.
+void break_array(eval::CaptureBatch& batch) {
+  sim::FaultPlan plan;
+  for (const int c : {0, 1, 2, 3})
+    plan.faults.push_back({sim::FaultKind::kDeadChannel, c, 1.0, 0.0});
+  sim::apply_plan(batch.beeps, batch.noise_only, plan);
+}
+
+TEST(CaptureSupervisor, ConfigValidation) {
+  const Fixture f;
+  CaptureSupervisorConfig bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(CaptureSupervisor(f.pipeline, bad), std::invalid_argument);
+  bad = CaptureSupervisorConfig{};
+  bad.initial_backoff_s = -1.0;
+  EXPECT_THROW(CaptureSupervisor(f.pipeline, bad), std::invalid_argument);
+  bad = CaptureSupervisorConfig{};
+  bad.backoff_multiplier = 0.5;
+  EXPECT_THROW(CaptureSupervisor(f.pipeline, bad), std::invalid_argument);
+}
+
+TEST(CaptureSupervisor, FirstCleanCaptureNeedsNoRetry) {
+  const Fixture f;
+  const CaptureSupervisor sup(f.pipeline);
+  const eval::CaptureBatch batch = f.capture();
+  const SupervisedCapture got = sup.acquire([&](std::size_t) {
+    return CaptureAttempt{batch.beeps, batch.noise_only};
+  });
+  EXPECT_FALSE(got.abstained);
+  EXPECT_EQ(got.attempts, 1u);
+  EXPECT_EQ(got.total_backoff_s, 0.0);
+  EXPECT_TRUE(got.processed.gate_passed());
+  EXPECT_TRUE(got.processed.distance.valid);
+}
+
+TEST(CaptureSupervisor, RetriesWithExponentialBackoffUntilHealthy) {
+  const Fixture f;
+  CaptureSupervisorConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.initial_backoff_s = 0.25;
+  cfg.backoff_multiplier = 2.0;
+  const CaptureSupervisor sup(f.pipeline, cfg);
+  const eval::CaptureBatch clean = f.capture();
+  std::size_t calls = 0;
+  // The array is broken for two attempts (a wedged driver), then recovers.
+  const SupervisedCapture got = sup.acquire([&](std::size_t attempt) {
+    ++calls;
+    eval::CaptureBatch batch = clean;
+    if (attempt < 2) break_array(batch);
+    return CaptureAttempt{batch.beeps, batch.noise_only};
+  });
+  EXPECT_EQ(calls, 3u);
+  EXPECT_FALSE(got.abstained);
+  EXPECT_EQ(got.attempts, 3u);
+  EXPECT_DOUBLE_EQ(got.total_backoff_s, 0.25 + 0.5);
+  ASSERT_EQ(got.attempt_verdicts.size(), 3u);
+  EXPECT_EQ(got.attempt_verdicts[0], CaptureVerdict::kFailed);
+  EXPECT_EQ(got.attempt_verdicts[1], CaptureVerdict::kFailed);
+  EXPECT_NE(got.attempt_verdicts[2], CaptureVerdict::kFailed);
+  EXPECT_TRUE(got.processed.distance.valid);
+}
+
+TEST(CaptureSupervisor, AbstainsAfterExhaustingRetries) {
+  const Fixture f;
+  CaptureSupervisorConfig cfg;
+  cfg.max_attempts = 2;
+  const CaptureSupervisor sup(f.pipeline, cfg);
+  const eval::CaptureBatch clean = f.capture();
+  const auto broken_source = [&](std::size_t) {
+    eval::CaptureBatch batch = clean;
+    break_array(batch);
+    return CaptureAttempt{batch.beeps, batch.noise_only};
+  };
+  const SupervisedCapture got = sup.acquire(broken_source);
+  EXPECT_TRUE(got.abstained);
+  EXPECT_EQ(got.attempts, 2u);
+  EXPECT_NE(got.describe().find("abstained"), std::string::npos);
+
+  // ... and the authentication outcome is an abstention, not a rejection:
+  // a broken microphone must never count as evidence against the user.
+  EnrolledUser u;
+  u.user_id = 1;
+  const auto pe = f.pipeline.process(clean.beeps, clean.noise_only);
+  ASSERT_TRUE(pe.distance.valid);
+  u.features = f.pipeline.features_batch(
+      pe.images, pe.distance.user_distance_centroid_m, false);
+  const Authenticator auth = f.pipeline.enroll({u});
+  const AuthDecision d = sup.authenticate(broken_source, auth);
+  EXPECT_EQ(d.outcome, AuthOutcome::kAbstained);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.user_id, -1);
+}
+
+TEST(CaptureSupervisor, RetryIsTransparentToAuthentication) {
+  // A transient gate failure followed by a clean capture must yield the
+  // same decision as the clean capture alone.
+  const Fixture f;
+  const eval::CaptureBatch enroll_batch = f.capture(0, 0);
+  const eval::CaptureBatch probe = f.capture(0, 1);
+  const auto pe = f.pipeline.process(enroll_batch.beeps,
+                                     enroll_batch.noise_only);
+  ASSERT_TRUE(pe.distance.valid);
+  EnrolledUser u;
+  u.user_id = 7;
+  u.features = f.pipeline.features_batch(
+      pe.images, pe.distance.user_distance_centroid_m, false);
+  const Authenticator auth = f.pipeline.enroll({u});
+
+  const CaptureSupervisor sup(f.pipeline);
+  const AuthDecision direct = sup.authenticate(
+      [&](std::size_t) {
+        return CaptureAttempt{probe.beeps, probe.noise_only};
+      },
+      auth);
+  const AuthDecision retried = sup.authenticate(
+      [&](std::size_t attempt) {
+        eval::CaptureBatch batch = probe;
+        if (attempt == 0) break_array(batch);
+        return CaptureAttempt{batch.beeps, batch.noise_only};
+      },
+      auth);
+  EXPECT_NE(direct.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(retried.outcome, direct.outcome);
+  EXPECT_EQ(retried.user_id, direct.user_id);
+  EXPECT_DOUBLE_EQ(retried.svdd_score, direct.svdd_score);
+}
+
+}  // namespace
+}  // namespace echoimage::core

@@ -1,14 +1,21 @@
 // Failure injection and robustness properties across module boundaries:
 // dead microphones, clipped converters, DC offsets, and gain mismatches are
-// everyday hardware faults a deployed pipeline must survive.
+// everyday hardware faults a deployed pipeline must survive. Faults are
+// injected through sim/faults so every scenario is seeded and replayable;
+// the pipeline's channel-health gate (core/health) is expected to mask what
+// it cannot fix and to fail the capture — not the user — when too little
+// of the array survives.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/pipeline.hpp"
+#include "core/supervisor.hpp"
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
+#include "sim/faults.hpp"
 
 namespace echoimage {
 namespace {
@@ -28,26 +35,48 @@ eval::CaptureBatch capture(const Fixture& f, int user = 0, int rep = 0) {
   return f.collector.collect(f.users[user], cond, 4);
 }
 
-TEST(Robustness, DeadMicrophoneStillYieldsDistance) {
+void inject(eval::CaptureBatch& batch, std::vector<sim::FaultSpec> faults,
+            std::uint64_t seed = 1) {
+  sim::FaultPlan plan;
+  plan.faults = std::move(faults);
+  plan.seed = seed;
+  sim::apply_plan(batch.beeps, batch.noise_only, plan);
+}
+
+TEST(Robustness, DeadMicrophoneIsMaskedAndDistanceSurvives) {
   const Fixture f;
   eval::CaptureBatch batch = capture(f);
-  for (auto& beep : batch.beeps)
-    std::fill(beep.channels[3].begin(), beep.channels[3].end(), 0.0);
-  std::fill(batch.noise_only.channels[3].begin(),
-            batch.noise_only.channels[3].end(), 0.0);
+  inject(batch, {{sim::FaultKind::kDeadChannel, 3, 1.0, 0.0}});
   const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+  // The gate names the fault and beamforms with the surviving subarray.
+  EXPECT_EQ(p.health.channels[3].status, core::ChannelStatus::kDead);
+  EXPECT_EQ(p.dropped_channels, 1u);
+  EXPECT_FALSE(p.active_mask[3]);
   ASSERT_TRUE(p.distance.valid);
   EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
 }
 
+TEST(Robustness, NanBurstChannelIsMaskedAndDistanceSurvives) {
+  const Fixture f;
+  eval::CaptureBatch batch = capture(f);
+  inject(batch, {{sim::FaultKind::kNanBurst, 1, 0.1, 0.0}});
+  const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+  EXPECT_EQ(p.health.channels[1].status, core::ChannelStatus::kDead);
+  EXPECT_FALSE(p.active_mask[1]);
+  ASSERT_TRUE(p.distance.valid);
+  EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
+  // The NaN never reaches an image.
+  for (const auto& img : p.images)
+    for (const auto& band : img.bands)
+      for (const double v : band.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
 TEST(Robustness, HardClippingSurvivable) {
-  // A cheap ADC clips the strong direct path; echoes are far below the
+  // A cheap ADC shaves the strong direct path; echoes are far below the
   // clip point, so the pipeline should still see the user.
   const Fixture f;
   eval::CaptureBatch batch = capture(f);
-  for (auto& beep : batch.beeps)
-    for (auto& ch : beep.channels)
-      for (double& v : ch) v = std::clamp(v, -4.0, 4.0);
+  inject(batch, {{sim::FaultKind::kHardClip, sim::kAllChannels, 0.05, 0.0}});
   const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
   ASSERT_TRUE(p.distance.valid);
   EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
@@ -57,14 +86,14 @@ TEST(Robustness, DcOffsetRejectedByBandpass) {
   const Fixture f;
   eval::CaptureBatch clean = capture(f);
   eval::CaptureBatch offset = capture(f);
-  for (auto& beep : offset.beeps)
-    for (auto& ch : beep.channels)
-      for (double& v : ch) v += 0.5;  // large converter DC offset
+  inject(offset, {{sim::FaultKind::kDcOffset, sim::kAllChannels, 2.0, 0.0}});
   const auto pc = f.pipeline.process(clean.beeps, clean.noise_only);
   const auto po = f.pipeline.process(offset.beeps, offset.noise_only);
   ASSERT_TRUE(pc.distance.valid);
   ASSERT_TRUE(po.distance.valid);
-  // The 2-3 kHz band-pass removes DC entirely: identical estimates.
+  // The health gate flags the offset but keeps the channels; the 2-3 kHz
+  // band-pass then removes DC entirely: identical estimates.
+  EXPECT_EQ(po.dropped_channels, 0u);
   EXPECT_NEAR(po.distance.user_distance_m, pc.distance.user_distance_m,
               0.02);
 }
@@ -73,12 +102,7 @@ TEST(Robustness, PerChannelGainMismatchTolerated) {
   // Microphone sensitivities differ by a few dB in practice.
   const Fixture f;
   eval::CaptureBatch batch = capture(f);
-  const double gains[6] = {1.0, 1.3, 0.8, 1.1, 0.9, 1.2};
-  for (auto& beep : batch.beeps)
-    for (std::size_t m = 0; m < 6; ++m)
-      for (double& v : beep.channels[m]) v *= gains[m];
-  for (std::size_t m = 0; m < 6; ++m)
-    for (double& v : batch.noise_only.channels[m]) v *= gains[m];
+  inject(batch, {{sim::FaultKind::kGainDrift, sim::kAllChannels, 0.3, 0.0}});
   const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
   ASSERT_TRUE(p.distance.valid);
   EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
@@ -90,6 +114,62 @@ TEST(Robustness, MissingNoiseCaptureFallsBackToWhiteCovariance) {
   const auto p = f.pipeline.process(batch.beeps, {});  // no noise-only data
   ASSERT_TRUE(p.distance.valid);
   EXPECT_NEAR(p.distance.user_distance_m, batch.true_distance_m, 0.25);
+}
+
+TEST(Robustness, GateFailureAbstainsInsteadOfFalselyRejecting) {
+  const Fixture f;
+  eval::CaptureBatch batch = capture(f);
+  inject(batch, {{sim::FaultKind::kDeadChannel, 0, 1.0, 0.0},
+                 {sim::FaultKind::kDeadChannel, 1, 1.0, 0.0},
+                 {sim::FaultKind::kDeadChannel, 2, 1.0, 0.0},
+                 {sim::FaultKind::kDeadChannel, 3, 1.0, 0.0}});
+  const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
+  EXPECT_FALSE(p.gate_passed());
+  EXPECT_EQ(p.health.verdict, core::CaptureVerdict::kFailed);
+  EXPECT_TRUE(p.images.empty()) << "no garbage images from a dead array";
+  EXPECT_FALSE(p.distance.valid);
+}
+
+TEST(Robustness, StructurallyInvalidInputThrowsSpecificErrors) {
+  const Fixture f;
+  EXPECT_THROW(
+      { (void)f.pipeline.process({}, {}); }, std::invalid_argument);
+
+  eval::CaptureBatch batch = capture(f);
+  batch.beeps[1].channels.pop_back();  // 5 channels on a 6-mic array
+  try {
+    (void)f.pipeline.process(batch.beeps, batch.noise_only);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("beep 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("5 channels"), std::string::npos);
+  }
+
+  eval::CaptureBatch ragged = capture(f);
+  ragged.beeps[0].channels[2].resize(100);  // ragged within one beep
+  try {
+    (void)f.pipeline.process(ragged.beeps, ragged.noise_only);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("beep 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("channel 2"), std::string::npos);
+  }
+}
+
+TEST(Robustness, GateDisabledRefusesNonFiniteInput) {
+  const Fixture f;
+  core::SystemConfig config = eval::default_system_config();
+  config.health_gate = false;
+  const core::EchoImagePipeline raw(config, f.geometry);
+  eval::CaptureBatch batch = capture(f);
+  inject(batch, {{sim::FaultKind::kNanBurst, 4, 0.05, 0.0}});
+  try {
+    (void)raw.process(batch.beeps, batch.noise_only);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("channel 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
 }
 
 TEST(Robustness, FeatureScaleInvarianceOfDecisions) {
@@ -133,6 +213,35 @@ TEST(Robustness, TruncatedBeepFrameHandled) {
     const auto p = f.pipeline.process(batch.beeps, batch.noise_only);
     (void)p;
   });
+}
+
+TEST(Robustness, DegradedArrayStillAuthenticatesTheRightUser) {
+  // The ISSUE's acceptance scenario in miniature: enroll clean, then probe
+  // with one dead microphone plus 5% converter clipping. The gate masks
+  // the dead channel, the clipping is survivable, and the genuine user is
+  // still recognized via the supervisor's majority vote.
+  const Fixture f;
+  const eval::CaptureBatch enroll_batch = capture(f, 0, 0);
+  const auto pe = f.pipeline.process(enroll_batch.beeps,
+                                     enroll_batch.noise_only);
+  ASSERT_TRUE(pe.distance.valid);
+  core::EnrolledUser u;
+  u.user_id = 1;
+  u.features = f.pipeline.features_batch(
+      pe.images, pe.distance.user_distance_centroid_m, true);
+  const auto auth = f.pipeline.enroll({u});
+
+  eval::CaptureBatch probe = capture(f, 0, 1);
+  inject(probe, {{sim::FaultKind::kDeadChannel, 2, 1.0, 0.0},
+                 {sim::FaultKind::kHardClip, sim::kAllChannels, 0.05, 0.0}});
+  const core::CaptureSupervisor sup(f.pipeline);
+  const core::AuthDecision d = sup.authenticate(
+      [&](std::size_t) {
+        return core::CaptureAttempt{probe.beeps, probe.noise_only};
+      },
+      auth);
+  EXPECT_EQ(d.outcome, core::AuthOutcome::kAccepted);
+  EXPECT_EQ(d.user_id, 1);
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/signal.hpp"
+
+namespace echoimage::sim {
+namespace {
+
+using echoimage::dsp::MultiChannelSignal;
+using echoimage::dsp::Signal;
+
+MultiChannelSignal test_capture(std::size_t channels = 3,
+                                std::size_t samples = 4096) {
+  MultiChannelSignal s;
+  for (std::size_t c = 0; c < channels; ++c) {
+    Signal ch(samples);
+    for (std::size_t i = 0; i < samples; ++i)
+      ch[i] = std::sin(2.0 * std::numbers::pi * 0.01 *
+                       static_cast<double>(i + 7 * c));
+    s.channels.push_back(std::move(ch));
+  }
+  return s;
+}
+
+std::size_t count_zeros(const Signal& ch) {
+  std::size_t n = 0;
+  for (const double v : ch)
+    if (v == 0.0) ++n;
+  return n;
+}
+
+std::size_t count_nan(const Signal& ch) {
+  std::size_t n = 0;
+  for (const double v : ch)
+    if (std::isnan(v)) ++n;
+  return n;
+}
+
+TEST(Faults, PlanIsDeterministicUnderSeed) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.faults = {{FaultKind::kIntermittent, kAllChannels, 0.2, 0.0},
+                 {FaultKind::kImpulsePops, 1, 2.0, 0.0},
+                 {FaultKind::kGainDrift, kAllChannels, 0.3, 0.0}};
+  MultiChannelSignal a = test_capture();
+  MultiChannelSignal b = test_capture();
+  apply_plan(a, plan);
+  apply_plan(b, plan);
+  for (std::size_t c = 0; c < a.num_channels(); ++c)
+    EXPECT_EQ(a.channels[c], b.channels[c]) << "channel " << c;
+}
+
+TEST(Faults, DifferentSeedsMoveStochasticFaults) {
+  FaultPlan plan;
+  plan.faults = {{FaultKind::kIntermittent, 0, 0.1, 0.0}};
+  MultiChannelSignal a = test_capture();
+  MultiChannelSignal b = test_capture();
+  plan.seed = 1;
+  apply_plan(a, plan);
+  plan.seed = 2;
+  apply_plan(b, plan);
+  EXPECT_NE(a.channels[0], b.channels[0]);
+}
+
+TEST(Faults, DeadChannelFlatlinesToLevel) {
+  MultiChannelSignal s = test_capture();
+  Rng rng(0);
+  apply_fault(s, {FaultKind::kDeadChannel, 1, 1.0, 0.25}, rng);
+  for (const double v : s.channels[1]) EXPECT_EQ(v, 0.25);
+  // Other channels untouched.
+  EXPECT_EQ(s.channels[0], test_capture().channels[0]);
+}
+
+TEST(Faults, HardClipSeverityIsMonotone) {
+  const MultiChannelSignal clean = test_capture();
+  double last_peak = echoimage::dsp::peak_abs(clean.channels[0]);
+  for (const double severity : {0.1, 0.3, 0.6, 0.9}) {
+    MultiChannelSignal s = clean;
+    Rng rng(0);
+    apply_fault(s, {FaultKind::kHardClip, 0, severity, 0.0}, rng);
+    const double peak = echoimage::dsp::peak_abs(s.channels[0]);
+    EXPECT_LT(peak, last_peak) << "severity " << severity;
+    EXPECT_NEAR(peak, (1.0 - severity) * 1.0, 0.02);
+    last_peak = peak;
+  }
+}
+
+TEST(Faults, IntermittentSeverityIsMonotone) {
+  const MultiChannelSignal clean = test_capture();
+  std::size_t last = count_zeros(clean.channels[0]);
+  for (const double severity : {0.1, 0.3, 0.6}) {
+    MultiChannelSignal s = clean;
+    Rng rng(7);
+    apply_fault(s, {FaultKind::kIntermittent, 0, severity, 0.0}, rng);
+    const std::size_t zeros = count_zeros(s.channels[0]);
+    EXPECT_GT(zeros, last) << "severity " << severity;
+    // At least the target fraction was zeroed (overlaps may zero less than
+    // `covered` counts, but bursts keep landing until the count is met).
+    last = zeros;
+  }
+}
+
+TEST(Faults, NanBurstCoversRequestedFraction) {
+  MultiChannelSignal s = test_capture();
+  Rng rng(3);
+  apply_fault(s, {FaultKind::kNanBurst, 2, 0.25, 0.0}, rng);
+  const std::size_t n = s.channels[2].size();
+  EXPECT_NEAR(static_cast<double>(count_nan(s.channels[2])),
+              0.25 * static_cast<double>(n), 2.0);
+  EXPECT_EQ(count_nan(s.channels[0]), 0u);
+}
+
+TEST(Faults, DcOffsetShiftsMeanByRmsMultiple) {
+  MultiChannelSignal s = test_capture();
+  const double rms = echoimage::dsp::rms(s.channels[0]);
+  Rng rng(0);
+  apply_fault(s, {FaultKind::kDcOffset, 0, 0.5, 0.0}, rng);
+  double mean = 0.0;
+  for (const double v : s.channels[0]) mean += v;
+  mean /= static_cast<double>(s.channels[0].size());
+  EXPECT_NEAR(mean, 0.5 * rms, 0.01 * rms);
+}
+
+TEST(Faults, ZeroSeverityIsANoOpExceptDeadChannel) {
+  const MultiChannelSignal clean = test_capture();
+  for (const FaultKind kind :
+       {FaultKind::kIntermittent, FaultKind::kHardClip, FaultKind::kSoftClip,
+        FaultKind::kDcOffset, FaultKind::kGainDrift, FaultKind::kImpulsePops,
+        FaultKind::kNanBurst}) {
+    MultiChannelSignal s = clean;
+    Rng rng(0);
+    apply_fault(s, {kind, kAllChannels, 0.0, 0.0}, rng);
+    EXPECT_EQ(s.channels[0], clean.channels[0]);
+  }
+  MultiChannelSignal s = clean;
+  Rng rng(0);
+  apply_fault(s, {FaultKind::kDeadChannel, 0, 0.0, 0.0}, rng);
+  EXPECT_NE(s.channels[0], clean.channels[0]);
+}
+
+TEST(Faults, ValidatesChannelAndSeverity) {
+  MultiChannelSignal s = test_capture();
+  Rng rng(0);
+  EXPECT_THROW(apply_fault(s, {FaultKind::kHardClip, 3, 0.1, 0.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(apply_fault(s, {FaultKind::kHardClip, 0, -0.1, 0.0}, rng),
+               std::invalid_argument);
+}
+
+TEST(Faults, BatchApplyKeepsHardwareFaultsStaticAcrossBeeps) {
+  // A gain-drifted microphone distorts every beep of a batch identically.
+  std::vector<MultiChannelSignal> beeps = {test_capture(), test_capture(),
+                                           test_capture()};
+  MultiChannelSignal noise = test_capture();
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.faults = {{FaultKind::kGainDrift, kAllChannels, 0.4, 0.0}};
+  apply_plan(beeps, noise, plan);
+  const MultiChannelSignal clean = test_capture();
+  for (std::size_t c = 0; c < clean.num_channels(); ++c) {
+    const double gain0 = beeps[0].channels[c][100] / clean.channels[c][100];
+    EXPECT_NE(gain0, 1.0);
+    for (std::size_t b = 1; b < beeps.size(); ++b) {
+      const double gain = beeps[b].channels[c][100] / clean.channels[c][100];
+      EXPECT_NEAR(gain, gain0, 1e-12) << "beep " << b << " channel " << c;
+    }
+    // The same analog chain feeds the noise capture.
+    EXPECT_NEAR(noise.channels[c][100] / clean.channels[c][100], gain0, 1e-12);
+  }
+}
+
+TEST(Faults, BatchApplyForksStochasticFaultsPerBeep) {
+  std::vector<MultiChannelSignal> beeps = {test_capture(), test_capture()};
+  MultiChannelSignal noise;
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.faults = {{FaultKind::kIntermittent, 0, 0.1, 0.0}};
+  apply_plan(beeps, noise, plan);
+  // Independent dropout placement per beep.
+  EXPECT_NE(beeps[0].channels[0], beeps[1].channels[0]);
+}
+
+TEST(Faults, DescribeNamesEveryFault) {
+  FaultPlan plan;
+  plan.faults = {{FaultKind::kDeadChannel, 2, 1.0, 0.0},
+                 {FaultKind::kHardClip, kAllChannels, 0.05, 0.0}};
+  const std::string d = plan.describe();
+  EXPECT_NE(d.find("dead-channel"), std::string::npos);
+  EXPECT_NE(d.find("hard-clip"), std::string::npos);
+  EXPECT_NE(d.find("ch 2"), std::string::npos);
+  EXPECT_EQ(FaultPlan{}.describe(), "clean");
+}
+
+}  // namespace
+}  // namespace echoimage::sim

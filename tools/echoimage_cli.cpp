@@ -7,6 +7,7 @@
 //   enroll    train an authenticator from capture directories, save model
 //   verify    authenticate a capture directory against a saved model
 //   image     construct acoustic images from a capture and write PGMs
+//   health    per-channel capture diagnostics (ok / degraded / dead)
 //
 // Capture directory layout: beep_000.wav, beep_001.wav, ... (one
 // multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
@@ -230,6 +231,16 @@ int cmd_verify(const Args& args) {
 
   const Capture capture = read_capture(dir);
   const auto processed = pipeline.process(capture.beeps, capture.noise);
+  if (!processed.gate_passed()) {
+    std::cout << processed.health.describe()
+              << "ABSTAINED: capture failed the channel-health gate; "
+                 "re-beep instead of scoring this attempt\n";
+    return 3;
+  }
+  if (processed.dropped_channels > 0)
+    std::cout << "health gate: " << processed.dropped_channels
+              << " channel(s) masked out, beamforming with "
+              << processed.health.num_active << " mics\n";
   if (!processed.distance.valid) {
     std::cout << "REJECTED: no user detected in front of the array\n";
     return 1;
@@ -265,6 +276,27 @@ int cmd_verify(const Args& args) {
   return 1;
 }
 
+int cmd_health(const Args& args) {
+  const std::string dir = args.get("dir");
+  if (dir.empty()) {
+    std::cerr << "health: need --dir DIR\n";
+    return 2;
+  }
+  const Capture capture = read_capture(dir);
+  const core::CaptureHealth health =
+      core::assess_capture(capture.beeps, core::ChannelHealthConfig{});
+  std::cout << health.describe();
+  if (capture.noise.num_channels() > 0) {
+    // Diffuse ambient noise is per-mic independent: the inter-channel
+    // coherence check only applies to beep captures with a common source.
+    core::ChannelHealthConfig noise_config;
+    noise_config.min_envelope_coherence = -1.0;
+    std::cout << "noise-only capture:\n"
+              << core::assess_capture(capture.noise, noise_config).describe();
+  }
+  return health.usable() ? 0 : 1;
+}
+
 int cmd_image(const Args& args) {
   const std::string dir = args.get("dir");
   const std::string prefix = args.get("out", "acoustic_image");
@@ -294,7 +326,7 @@ int cmd_image(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cout << "usage: echoimage_cli <simulate|enroll|verify|image> "
+    std::cout << "usage: echoimage_cli <simulate|enroll|verify|image|health> "
                  "[--key value ...]\n"
                  "  simulate --out DIR [--seed N --user N --distance D "
                  "--beeps L --session S --repetition R --env "
@@ -303,7 +335,8 @@ int main(int argc, char** argv) {
                  "  enroll   --model FILE --user ID --dir DIR [--user ID "
                  "--dir DIR ...] [--augment]\n"
                  "  verify   --model FILE --dir DIR\n"
-                 "  image    --dir DIR [--out PREFIX]\n";
+                 "  image    --dir DIR [--out PREFIX]\n"
+                 "  health   --dir DIR\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -313,6 +346,7 @@ int main(int argc, char** argv) {
     if (cmd == "enroll") return cmd_enroll(args);
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "image") return cmd_image(args);
+    if (cmd == "health") return cmd_health(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Build and run the tier-1 test suite under ASan + UBSan.
+#
+# Usage: tools/run_sanitized_tests.sh [ctest args...]
+# Uses a dedicated build tree (build-asan/) so the regular build stays
+# untouched. Any extra arguments are forwarded to ctest (e.g. -R Health).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-asan"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DECHOIMAGE_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)" --target echoimage_tests
+
+cd "$build_dir"
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest --output-on-failure -j "$(nproc)" "$@"
