@@ -112,6 +112,14 @@ double speed_of_sound_at(double temperature_celsius) {
   return 331.3 * std::sqrt(1.0 + temperature_celsius / 273.15);
 }
 
+double temperature_for_speed_of_sound(double speed_of_sound) {
+  if (speed_of_sound <= 0.0)
+    throw std::invalid_argument(
+        "temperature_for_speed_of_sound: speed must be > 0");
+  const double r = speed_of_sound / 331.3;
+  return 273.15 * (r * r - 1.0);
+}
+
 double far_field_min_distance(double aperture_m, double freq_hz,
                               double speed_of_sound) {
   if (freq_hz <= 0.0)

@@ -19,6 +19,12 @@ inline constexpr double kSpeedOfSound = 343.0;
 /// calibrating on devices deployed across climates.
 [[nodiscard]] double speed_of_sound_at(double temperature_celsius);
 
+/// Inverse of `speed_of_sound_at`: the air temperature (C) implied by a
+/// measured speed of sound. Lets a recalibrator report *why* the ranges
+/// shifted ("the room warmed 9 C") instead of a bare correction factor.
+/// Throws std::invalid_argument for a non-positive speed.
+[[nodiscard]] double temperature_for_speed_of_sound(double speed_of_sound);
+
 /// 3-D point / vector with the handful of operations array processing needs.
 struct Vec3 {
   double x = 0.0, y = 0.0, z = 0.0;

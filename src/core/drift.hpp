@@ -1,0 +1,330 @@
+// Environment-drift monitoring and self-recalibration.
+//
+// Rooms are not stationary: furniture gets moved, HVAC ramps the ambient
+// floor, transducer gains age, and temperature changes the speed of sound
+// out from under the pipeline's assumed constant. This module maintains a
+// *background reference profile* captured at enrollment time — the
+// clutter-gate matched-filter energy profile, the noise-floor band
+// spectrum, the per-channel RMS gains, and the self-echo onset delay
+// relative to the direct path — and runs EWMA/CUSUM change detection over
+// live captures to produce a per-capture DriftReport with per-statistic
+// attribution.
+//
+// On confirmed drift the DriftManager quarantines the deployment and
+// attempts self-recalibration: it refreshes the background reference from
+// probe captures the distance estimator confirms are empty-room, re-derives
+// the speed of sound from the self-echo onset shift (temperature moved) and
+// per-channel gain corrections from the noise-floor shift, and rebuilds a
+// corrected pipeline. If recalibration cannot converge, the supervisor
+// abstains rather than false-rejecting on a stale calibration.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/supervisor.hpp"
+#include "dsp/butterworth.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/signal.hpp"
+
+namespace echoimage::core {
+
+struct DriftMonitorConfig {
+  double sample_rate = 48000.0;
+  echoimage::dsp::ChirpParams chirp{};
+  /// Band-pass applied before matched filtering (keep equal to the
+  /// pipeline's probing band; see make_drift_monitor_config).
+  double bandpass_low_hz = 2000.0;
+  double bandpass_high_hz = 3000.0;
+  std::size_t bandpass_order = 4;
+
+  /// Clutter-gate window (absolute capture time). Starts past the farthest
+  /// operating-range body echo (1.5 m -> ~9 ms round trip) and the tail of
+  /// the direct-path sidelobes so the room response is measured, not the
+  /// user; ends before the capture frame runs out. Lab walls at ~3 m land
+  /// near 17 ms — inside the window.
+  double profile_start_s = 0.012;
+  double profile_end_s = 0.030;
+  std::size_t profile_smooth_samples = 33;
+  /// Direct speaker->mic arrival is searched within this many seconds from
+  /// the frame start (centimeters of flight).
+  double direct_search_window_s = 0.001;
+
+  /// Noise-floor spectrum: geometrically spaced bands over this range.
+  std::size_t num_noise_bands = 6;
+  double noise_band_low_hz = 200.0;
+  double noise_band_high_hz = 8000.0;
+
+  /// Deviation scales: raw change that counts as one detection unit.
+  double noise_floor_scale_db = 2.0;  ///< mean band-power shift
+  double gain_scale_db = 1.0;         ///< worst inter-channel imbalance
+  /// 1 - profile correlation. Scaled so render-to-render noise (worst-case
+  /// correlation ~0.6 between clean repeats at 3 beeps) stays below the
+  /// CUSUM slack: the profile is a gross-change check, not a fine one.
+  double profile_distance_scale = 0.9;
+  double onset_scale_s = 0.0002;      ///< self-echo onset shift (~10 samples)
+
+  /// EWMA smoothing factor for the per-statistic deviation stream.
+  double ewma_alpha = 0.35;
+  /// CUSUM: S <- max(0, S + deviation - slack); `slack` absorbs the
+  /// render-to-render jitter so S only grows under sustained drift.
+  double cusum_slack = 0.6;
+  double suspect_threshold = 1.5;  ///< CUSUM level for kSuspected
+  double confirm_threshold = 4.0;  ///< CUSUM level for kConfirmed
+  /// A statistic cannot confirm before it has been evaluated this many
+  /// times (cold-start guard: one noisy capture must not quarantine).
+  std::size_t min_observations = 2;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+enum class DriftVerdict { kNone, kSuspected, kConfirmed };
+[[nodiscard]] const char* to_string(DriftVerdict v);
+
+/// Detection state of one monitored statistic after an observation.
+struct DriftStatistic {
+  const char* name = "";
+  /// False when the statistic could not be measured on this capture (no
+  /// reference yet, no noise-only segment, or the capture was occupied —
+  /// clutter-profile statistics are only trusted on empty-room captures).
+  bool evaluated = false;
+  double deviation = 0.0;  ///< this capture's deviation, in detection units
+  double ewma = 0.0;       ///< smoothed deviation
+  double cusum = 0.0;      ///< CUSUM accumulator
+  DriftVerdict verdict = DriftVerdict::kNone;
+};
+
+/// Per-capture drift assessment with per-statistic attribution.
+struct DriftReport {
+  bool reference_set = false;
+  bool occupied = false;  ///< capture had a user in it (caller-supplied)
+  DriftVerdict verdict = DriftVerdict::kNone;  ///< worst statistic verdict
+  DriftStatistic noise_floor{"noise-floor"};  ///< noise-floor band spectrum
+  DriftStatistic channel_gains{"channel-gains"};  ///< per-channel imbalance
+  DriftStatistic clutter_profile{"clutter-profile"};  ///< profile shape
+  DriftStatistic onset_delay{"onset-delay"};  ///< self-echo onset vs direct
+
+  /// The evaluated statistic with the largest CUSUM ("" when none ran).
+  [[nodiscard]] const char* dominant() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Background statistics of one capture batch: the reference when taken at
+/// enrollment, the live side of the comparison otherwise.
+struct BackgroundReference {
+  bool valid = false;
+  std::vector<double> noise_band_db;  ///< per-band noise power (dB)
+  /// Per-channel in-band RMS of the coherent beep average: the capture
+  /// chain's gain (speaker x microphone), nearly immune to the ambient
+  /// floor — which keeps an ambient ramp from reading as gain drift.
+  std::vector<double> channel_rms;
+  Signal clutter_profile;  ///< smoothed matched-filter energy, gate window
+  double direct_delay_s = 0.0;  ///< direct speaker->mic arrival
+  double echo_onset_s = 0.0;    ///< strongest clutter echo arrival (absolute)
+
+  /// Self-echo flight time: onset relative to the direct arrival. This is
+  /// the quantity temperature scales (tau = L / c for fixed geometry).
+  [[nodiscard]] double relative_onset_s() const {
+    return echo_onset_s - direct_delay_s;
+  }
+};
+
+/// Watches live captures for drift away from a background reference.
+/// Detection only — the monitor never refreshes its own reference; rebasing
+/// is an explicit act of the recalibration policy (DriftManager), gated on
+/// empty-room confirmation.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorConfig config = {});
+
+  [[nodiscard]] const DriftMonitorConfig& config() const { return config_; }
+
+  /// Background statistics of a capture batch (no detector state touched).
+  [[nodiscard]] BackgroundReference make_reference(
+      const std::vector<MultiChannelSignal>& beeps,
+      const MultiChannelSignal& noise_only) const;
+
+  /// Best time-axis scale mapping `live` onto `reference`:
+  /// live(t) ~ reference(time_scale * t). All echo delays obey tau = L / c,
+  /// so a sound-speed change scales the whole profile along the time axis
+  /// and time_scale ~ c_live / c_reference (> 1 when the room warmed).
+  /// Estimated by grid search + parabolic refinement of the warped
+  /// correlation — using every room landmark at once where a single
+  /// tracked peak is hostage to render noise. `correlation` is the
+  /// mean-removed correlation achieved at the best scale.
+  struct ProfileAlignment {
+    double time_scale = 1.0;
+    double correlation = -1.0;
+  };
+  [[nodiscard]] ProfileAlignment align_profiles(const Signal& reference,
+                                                const Signal& live) const;
+
+  /// Install the reference and reset all detectors.
+  void set_reference(BackgroundReference reference);
+  void set_reference(const std::vector<MultiChannelSignal>& beeps,
+                     const MultiChannelSignal& noise_only);
+  [[nodiscard]] bool has_reference() const { return reference_.valid; }
+  [[nodiscard]] const BackgroundReference& reference() const {
+    return reference_;
+  }
+
+  /// Score one live capture against the reference and advance the
+  /// detectors. `occupied` marks captures with a user present: the
+  /// clutter-profile and onset statistics are skipped for them (the body
+  /// is not background), while the noise-gap statistics still run. Without
+  /// a reference this is a no-op report (cold start is not drift).
+  DriftReport observe(const std::vector<MultiChannelSignal>& beeps,
+                      const MultiChannelSignal& noise_only, bool occupied);
+
+  /// Clear detector state but keep the reference.
+  void reset();
+
+ private:
+  struct Detector {
+    double ewma = 0.0;
+    double cusum = 0.0;
+    std::size_t observations = 0;
+  };
+  void score(Detector& det, DriftStatistic& stat, double deviation) const;
+
+  DriftMonitorConfig config_;
+  echoimage::dsp::SosCascade bandpass_;
+  Signal chirp_template_;
+  BackgroundReference reference_;
+  Detector noise_floor_;
+  Detector channel_gains_;
+  Detector clutter_profile_;
+  Detector onset_delay_;
+};
+
+struct RecalibrationConfig {
+  /// Probe captures drawn (and distance-checked) per recalibration attempt.
+  std::size_t max_probe_attempts = 6;
+  /// Empty-room probes required before the reference is trusted.
+  std::size_t min_empty_probes = 2;
+  /// Largest credible speed-of-sound correction (fraction of the base
+  /// value; 0.06 covers a ~33 C swing). Beyond it the onset shift is not
+  /// temperature and recalibration refuses to converge.
+  double max_speed_fraction_change = 0.06;
+  /// Largest credible per-channel gain correction factor; beyond it the
+  /// channel is broken hardware (the health gate's job), not drift.
+  double max_gain_correction = 4.0;
+  /// The fresh clutter profile must still correlate at least this much
+  /// with the enrollment profile, or the room changed too much for the
+  /// onset ratio to mean anything.
+  double min_profile_correlation = 0.35;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+/// Why a recalibration attempt did (or did not) converge.
+enum class RecalibrationOutcome {
+  kRecalibrated,   ///< corrected pipeline installed, quarantine lifted
+  kNoProbeSource,  ///< no way to capture probes
+  kNoEmptyRoom,    ///< probes kept showing an occupant or failing the gate
+  kDiverged,       ///< corrections outside the credible envelope
+};
+[[nodiscard]] const char* to_string(RecalibrationOutcome o);
+
+/// The corrections a successful recalibration derived.
+struct DriftCorrections {
+  bool active = false;
+  double speed_of_sound = 0.0;  ///< corrected value fed to the pipeline
+  double temperature_c = 0.0;   ///< air temperature implied by it
+  std::vector<double> channel_gains;  ///< multiplied into each live channel
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Quarantine-then-recalibrate policy around a DriftMonitor.
+///
+/// Owns the relationship between three references: the *enrollment*
+/// reference (immutable — corrections are always derived against it, so
+/// repeated recalibrations never compound), the monitor's *detection*
+/// reference (rebased to the fresh empty-room statistics after each
+/// successful recalibration), and the corrected pipeline (base physics
+/// with the recalibrated speed of sound).
+class DriftManager {
+ public:
+  DriftManager(const EchoImagePipeline& base_pipeline,
+               DriftMonitorConfig monitor_config,
+               RecalibrationConfig recalibration_config = {});
+  /// Monitor config derived from the base pipeline's SystemConfig.
+  explicit DriftManager(const EchoImagePipeline& base_pipeline);
+
+  [[nodiscard]] DriftMonitor& monitor() { return monitor_; }
+  [[nodiscard]] const DriftMonitor& monitor() const { return monitor_; }
+
+  /// Enrollment-time background capture: installs both the immutable
+  /// enrollment reference and the monitor's detection reference.
+  void set_reference(const std::vector<MultiChannelSignal>& beeps,
+                     const MultiChannelSignal& noise_only);
+  [[nodiscard]] bool has_reference() const { return enrollment_.valid; }
+
+  /// Where recalibration probes come from (typically the same capture
+  /// hardware, triggered when the device believes the room is empty).
+  void set_probe_source(CaptureSource source);
+
+  /// The pipeline downstream processing should use: the corrected one
+  /// after a successful recalibration, the base one before.
+  [[nodiscard]] const EchoImagePipeline& pipeline() const {
+    return corrected_ != nullptr ? *corrected_ : *base_;
+  }
+  [[nodiscard]] const DriftCorrections& corrections() const {
+    return corrections_;
+  }
+  /// Apply the gain corrections in place (identity before recalibration).
+  void correct(std::vector<MultiChannelSignal>& beeps,
+               MultiChannelSignal& noise_only) const;
+
+  /// Confirmed drift was observed and recalibration has not succeeded yet;
+  /// authentication decisions should abstain rather than trust the stale
+  /// calibration.
+  [[nodiscard]] bool quarantined() const { return quarantined_; }
+  [[nodiscard]] std::size_t recalibration_count() const {
+    return recalibrations_;
+  }
+  [[nodiscard]] const DriftReport& last_report() const { return last_report_; }
+
+  /// Feed one live capture to the monitor; a confirmed verdict starts the
+  /// quarantine. `occupied` should be the distance estimator's view of the
+  /// (gain-corrected) capture.
+  DriftReport observe(const std::vector<MultiChannelSignal>& beeps,
+                      const MultiChannelSignal& noise_only, bool occupied);
+
+  /// Idle-time heartbeat: draw one probe capture, decide occupancy with
+  /// the current pipeline, and feed it to the monitor. Lets slow physical
+  /// drift (temperature, clutter) be caught between authentications, when
+  /// the clutter statistics can actually run. No-op report without a probe
+  /// source or reference.
+  DriftReport background_scan();
+
+  /// Attempt to lift the quarantine: draw probes, keep those the distance
+  /// estimator confirms are empty-room, derive corrections against the
+  /// enrollment reference, rebuild the corrected pipeline, and rebase the
+  /// monitor. On failure the quarantine stays (callers abstain).
+  RecalibrationOutcome recalibrate();
+
+ private:
+  const EchoImagePipeline* base_;  ///< non-owning; outlives the manager
+  RecalibrationConfig recalibration_;
+  DriftMonitor monitor_;
+  BackgroundReference enrollment_;
+  CaptureSource probe_source_;
+  DriftCorrections corrections_;
+  std::unique_ptr<EchoImagePipeline> corrected_;
+  DriftReport last_report_;
+  bool quarantined_ = false;
+  std::size_t recalibrations_ = 0;
+  std::size_t probes_drawn_ = 0;
+};
+
+/// Monitor config matching a deployed system's probing parameters.
+[[nodiscard]] DriftMonitorConfig make_drift_monitor_config(
+    const SystemConfig& system);
+
+}  // namespace echoimage::core

@@ -34,8 +34,10 @@ MultiChannelSignal silence_masked(const MultiChannelSignal& capture,
 void SystemConfig::harmonize() {
   distance.sample_rate = sample_rate;
   distance.chirp = chirp;
+  distance.speed_of_sound = speed_of_sound;
   imaging.sample_rate = sample_rate;
   imaging.chirp = chirp;
+  imaging.speed_of_sound = speed_of_sound;
   imaging.bandpass_low_hz = distance.bandpass_low_hz;
   imaging.bandpass_high_hz = distance.bandpass_high_hz;
   imaging.bandpass_order = distance.bandpass_order;
@@ -44,6 +46,7 @@ void SystemConfig::harmonize() {
 std::string SystemConfig::describe() const {
   std::ostringstream os;
   os << "sample_rate: " << sample_rate << " Hz\n"
+     << "speed of sound: " << speed_of_sound << " m/s\n"
      << "chirp: " << chirp.f_start_hz << "-" << chirp.f_end_hz << " Hz, "
      << chirp.duration_s * 1000.0 << " ms\n"
      << "band-pass: " << distance.bandpass_low_hz << "-"

@@ -20,6 +20,10 @@ namespace echoimage::core {
 /// Everything that defines a deployed EchoImage instance.
 struct SystemConfig {
   double sample_rate = 48000.0;
+  /// Assumed speed of sound, propagated into distance estimation and
+  /// imaging by `harmonize` — the single knob a recalibrator turns when
+  /// the room temperature has moved the real value (see core/drift.hpp).
+  double speed_of_sound = echoimage::array::kSpeedOfSound;
   echoimage::dsp::ChirpParams chirp{};
   DistanceEstimatorConfig distance{};
   ImagingConfig imaging{};
@@ -70,6 +74,9 @@ class EchoImagePipeline {
                              echoimage::array::ArrayGeometry geometry);
 
   [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const echoimage::array::ArrayGeometry& geometry() const {
+    return geometry_;
+  }
   [[nodiscard]] const DistanceEstimator& distance_estimator() const {
     return distance_;
   }

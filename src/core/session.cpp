@@ -26,13 +26,29 @@ void SessionMonitor::reset() {
   active_user_ = -1;
   recent_.clear();
   mismatch_streak_ = 0;
+  abstain_streak_ = 0;
 }
 
 SessionMonitor::State SessionMonitor::update(const AuthDecision& decision) {
-  // Abstentions (capture failed the health gate) are not evidence about
-  // the speaker: they enter no window slot, clear no streak, count toward
-  // no lock. The session simply waits for the next usable beep.
-  if (decision.outcome == AuthOutcome::kAbstained) return state_;
+  // Abstentions (capture failed the health gate, or the drift monitor
+  // quarantined the calibration) are not evidence about the speaker: they
+  // enter no window slot, clear no streak, count toward no mismatch lock.
+  // But they do count toward the staleness lockout — an authenticated
+  // session through which the device has been blind `max_abstain_streak`
+  // probes in a row has outlived its evidence and ends.
+  if (decision.outcome == AuthOutcome::kAbstained) {
+    if (state_ == State::kAuthenticated && config_.max_abstain_streak > 0 &&
+        ++abstain_streak_ >= config_.max_abstain_streak) {
+      state_ = State::kLocked;
+      active_user_ = -1;
+      mismatch_streak_ = 0;
+      abstain_streak_ = 0;
+      recent_.clear();
+      ++locks_;
+    }
+    return state_;
+  }
+  abstain_streak_ = 0;
   const int observed = decision.accepted ? decision.user_id : -1;
   recent_.push_back(observed);
   if (recent_.size() > config_.window) recent_.pop_front();

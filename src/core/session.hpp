@@ -24,6 +24,15 @@ struct SessionMonitorConfig {
   /// Consecutive non-matching beeps (rejections or another user) that end
   /// an authenticated session.
   std::size_t lock_streak = 3;
+  /// Consecutive *abstained* beeps that end an authenticated session.
+  /// Individually an abstention is neutral — a broken capture says nothing
+  /// about the speaker — but a device that has been blind for this many
+  /// probes in a row no longer has evidence the owner is still there, and
+  /// the session must not outlive its evidence. 0 disables the lockout
+  /// (the pre-drift behaviour: a session could ride out arbitrarily long
+  /// blindness). The default comfortably exceeds the supervisor's retry
+  /// budget so transient faults never end a session.
+  std::size_t max_abstain_streak = 16;
 
   /// Throws std::invalid_argument when inconsistent.
   void validate() const;
@@ -43,8 +52,11 @@ class SessionMonitor {
   [[nodiscard]] const SessionMonitorConfig& config() const { return config_; }
 
   /// Feed one per-beep decision; returns the state after the update.
-  /// Abstained decisions (health-gate failures) are neutral: they neither
-  /// advance an unlock nor count toward a lock.
+  /// Abstained decisions (health-gate failures, drift quarantine) are
+  /// individually neutral: they neither advance an unlock nor count toward
+  /// a mismatch lock. But `max_abstain_streak` consecutive abstentions end
+  /// an authenticated session — sustained blindness is not evidence the
+  /// owner stayed.
   State update(const AuthDecision& decision);
 
   /// Drop all history and lock.
@@ -60,6 +72,7 @@ class SessionMonitor {
   int active_user_ = -1;
   std::deque<int> recent_;  ///< user ids; -1 = rejected beep
   std::size_t mismatch_streak_ = 0;
+  std::size_t abstain_streak_ = 0;
   std::size_t unlocks_ = 0;
   std::size_t locks_ = 0;
 };

@@ -1,10 +1,29 @@
 #include "core/supervisor.hpp"
 
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/drift.hpp"
+
 namespace echoimage::core {
+
+namespace {
+
+/// Deterministic jitter draw in [-1, 1] for backoff step `attempt`:
+/// splitmix64-style finalizer over (seed, attempt), so the whole schedule
+/// is a pure function of the config — no global RNG, replayable in tests.
+double jitter_unit(std::uint64_t seed, std::uint64_t attempt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (attempt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  return 2.0 * unit - 1.0;
+}
+
+}  // namespace
 
 void CaptureSupervisorConfig::validate() const {
   if (max_attempts == 0)
@@ -16,6 +35,9 @@ void CaptureSupervisorConfig::validate() const {
   if (backoff_multiplier < 1.0)
     throw std::invalid_argument(
         "CaptureSupervisor: backoff multiplier must be >= 1");
+  if (backoff_jitter < 0.0 || backoff_jitter >= 1.0)
+    throw std::invalid_argument(
+        "CaptureSupervisor: backoff jitter must be in [0, 1)");
 }
 
 std::string SupervisedCapture::describe() const {
@@ -32,18 +54,33 @@ CaptureSupervisor::CaptureSupervisor(const EchoImagePipeline& pipeline,
   config_.validate();
 }
 
+const EchoImagePipeline& CaptureSupervisor::active_pipeline() const {
+  return drift_ != nullptr ? drift_->pipeline() : *pipeline_;
+}
+
 SupervisedCapture CaptureSupervisor::acquire(
     const CaptureSource& source) const {
+  return acquire_impl(source, nullptr);
+}
+
+SupervisedCapture CaptureSupervisor::acquire_impl(
+    const CaptureSource& source, CaptureAttempt* last_raw) const {
   SupervisedCapture out;
-  double backoff = config_.initial_backoff_s;
+  double nominal = config_.initial_backoff_s;
   for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      out.total_backoff_s += backoff;
-      backoff *= config_.backoff_multiplier;
+      out.total_backoff_s +=
+          nominal * (1.0 + config_.backoff_jitter *
+                               jitter_unit(config_.jitter_seed, attempt));
+      nominal *= config_.backoff_multiplier;
     }
-    const CaptureAttempt capture = source(attempt);
+    CaptureAttempt capture = source(attempt);
     ++out.attempts;
-    out.processed = pipeline_->process(capture.beeps, capture.noise_only);
+    if (last_raw != nullptr) *last_raw = capture;
+    if (drift_ != nullptr)
+      drift_->correct(capture.beeps, capture.noise_only);
+    out.processed = active_pipeline().process(capture.beeps,
+                                              capture.noise_only);
     out.attempt_verdicts.push_back(out.processed.health.verdict);
     if (out.processed.gate_passed()) return out;
   }
@@ -53,8 +90,27 @@ SupervisedCapture CaptureSupervisor::acquire(
 
 AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
                                              const Authenticator& auth) const {
-  const SupervisedCapture capture = acquire(source);
+  CaptureAttempt raw;
+  SupervisedCapture capture = acquire_impl(source, &raw);
   if (capture.abstained) return AuthDecision::abstain();
+
+  if (drift_ != nullptr && drift_->has_reference()) {
+    // The monitor watches the *raw* capture (its reference is raw too);
+    // occupancy comes from the corrected pipeline's distance estimate.
+    drift_->observe(raw.beeps, raw.noise_only,
+                    capture.processed.distance.valid);
+    if (drift_->quarantined()) {
+      if (drift_->recalibrate() != RecalibrationOutcome::kRecalibrated)
+        return AuthDecision::abstain();  // stale calibration: don't reject
+      // Re-score this capture under the recalibrated physics.
+      std::vector<MultiChannelSignal> beeps = raw.beeps;
+      MultiChannelSignal noise = raw.noise_only;
+      drift_->correct(beeps, noise);
+      capture.processed = drift_->pipeline().process(beeps, noise);
+      if (!capture.processed.gate_passed()) return AuthDecision::abstain();
+    }
+  }
+
   const ProcessedBeeps& p = capture.processed;
   if (!p.distance.valid || p.images.empty()) {
     // The hardware is fine but no body echo was found — nobody in range.
@@ -65,7 +121,8 @@ AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
   std::map<int, std::size_t> votes;
   std::map<int, double> score_sums;
   for (const AcousticImage& image : p.images) {
-    const AuthDecision d = auth.authenticate(pipeline_->features(image));
+    const AuthDecision d =
+        auth.authenticate(active_pipeline().features(image));
     const int id = d.accepted ? d.user_id : -1;
     ++votes[id];
     score_sums[id] += d.svdd_score;

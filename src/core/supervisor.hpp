@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "core/pipeline.hpp"
 
 namespace echoimage::core {
+
+class DriftManager;
 
 struct CaptureSupervisorConfig {
   /// Total capture attempts (first try + re-beeps). Must be >= 1.
@@ -26,6 +29,14 @@ struct CaptureSupervisorConfig {
   /// caller owns the clock (and tests stay instant).
   double initial_backoff_s = 0.25;
   double backoff_multiplier = 2.0;
+  /// Deterministic jitter applied to each backoff step, as a fraction of
+  /// the step in [0, 1): step k becomes nominal_k * (1 + jitter * u_k)
+  /// with u_k in [-1, 1] derived from `jitter_seed` and k. Keeps a fleet
+  /// of devices that faulted together from re-beeping in lockstep, while
+  /// the total backoff stays inside [sum * (1 - jitter), sum * (1 + jitter)]
+  /// and every run with the same seed replays exactly.
+  double backoff_jitter = 0.0;
+  std::uint64_t jitter_seed = 0x5EED;
 
   /// Throws std::invalid_argument when inconsistent.
   void validate() const;
@@ -75,12 +86,31 @@ class CaptureSupervisor {
   /// gate never passed or no valid distance was found. The SVDD score of
   /// the returned decision is the mean over the beeps that voted for the
   /// winning outcome.
+  ///
+  /// With a DriftManager attached the capture is also fed to the drift
+  /// monitor; on confirmed drift the supervisor quarantines the decision,
+  /// attempts self-recalibration, and either re-scores the capture under
+  /// the corrected physics or abstains — a stale calibration must not be
+  /// allowed to false-reject (see core/drift.hpp).
   [[nodiscard]] AuthDecision authenticate(const CaptureSource& source,
                                           const Authenticator& auth) const;
 
+  /// Route captures through `drift`: gain corrections and the recalibrated
+  /// pipeline are applied in acquire/authenticate, and every authenticated
+  /// capture feeds the drift monitor. The manager must outlive the
+  /// supervisor; it is intentionally mutable from the const entry points —
+  /// drift state advances as a side effect of authentication.
+  void attach_drift(DriftManager& drift) { drift_ = &drift; }
+  [[nodiscard]] const DriftManager* drift() const { return drift_; }
+
  private:
+  SupervisedCapture acquire_impl(const CaptureSource& source,
+                                 CaptureAttempt* last_raw) const;
+  [[nodiscard]] const EchoImagePipeline& active_pipeline() const;
+
   const EchoImagePipeline* pipeline_;  ///< non-owning; outlives supervisor
   CaptureSupervisorConfig config_;
+  DriftManager* drift_ = nullptr;  ///< non-owning; optional
 };
 
 }  // namespace echoimage::core

@@ -41,23 +41,63 @@ echoimage::sim::Scene DataCollector::make_scene(
 CaptureBatch DataCollector::collect(const SimulatedUser& user,
                                     const CollectionConditions& cond,
                                     std::size_t num_beeps) const {
-  const echoimage::sim::Scene scene = make_scene(cond);
-  const echoimage::sim::SceneRenderer renderer(scene, capture_);
+  return collect_impl(&user, cond, num_beeps, nullptr);
+}
+
+CaptureBatch DataCollector::collect(
+    const SimulatedUser& user, const CollectionConditions& cond,
+    std::size_t num_beeps,
+    const echoimage::sim::DriftSessionState& drift) const {
+  return collect_impl(&user, cond, num_beeps, &drift);
+}
+
+CaptureBatch DataCollector::collect_background(
+    const CollectionConditions& cond, std::size_t num_beeps) const {
+  return collect_impl(nullptr, cond, num_beeps, nullptr);
+}
+
+CaptureBatch DataCollector::collect_background(
+    const CollectionConditions& cond, std::size_t num_beeps,
+    const echoimage::sim::DriftSessionState& drift) const {
+  return collect_impl(nullptr, cond, num_beeps, &drift);
+}
+
+CaptureBatch DataCollector::collect_impl(
+    const SimulatedUser* user, const CollectionConditions& cond,
+    std::size_t num_beeps,
+    const echoimage::sim::DriftSessionState* drift) const {
+  echoimage::sim::Scene scene = make_scene(cond);
+  echoimage::sim::CaptureConfig capture = capture_;
+  if (drift != nullptr) {
+    // The renderer sees the drifted world; the pipeline keeps assuming the
+    // enrollment-time physics. The environment snapshot already carries
+    // the ambient offset and the relocated clutter.
+    scene.environment = drift->environment;
+    scene.speed_of_sound *= drift->sound_speed_scale;
+    capture.chirp.amplitude *= drift->speaker_gain;
+  }
+  const echoimage::sim::SceneRenderer renderer(scene, capture);
 
   // Session-stable pose: same user + same session -> same stance/clothing.
+  // Background captures (no user) use a fixed label in the seed slot so
+  // their randomness is decorrelated from every user's stream.
+  const std::uint64_t who =
+      user != nullptr ? static_cast<std::uint64_t>(user->subject.user_id)
+                      : 0xE111D;
   Rng pose_rng(mix_seed(
-      seed_, 0x9051 + 1000ULL * static_cast<std::uint64_t>(user.subject.user_id) +
-                 static_cast<std::uint64_t>(cond.session) +
+      seed_, 0x9051 + 1000ULL * who + static_cast<std::uint64_t>(cond.session) +
                  100000ULL * static_cast<std::uint64_t>(cond.repetition)));
   echoimage::sim::Pose pose = echoimage::sim::draw_session_pose(pose_rng);
   const double breath_phase = pose_rng.uniform(0.0, 2.0 * std::numbers::pi);
 
   CaptureBatch batch;
-  batch.true_distance_m = cond.distance_m + pose.depth_shift_m;
+  batch.true_distance_m =
+      user != nullptr ? cond.distance_m + pose.depth_shift_m : 0.0;
   batch.beeps.reserve(num_beeps);
 
   Rng noise_rng(pose_rng.fork(0xBEEF));
   const std::size_t per_stance = std::max<std::size_t>(1, cond.beeps_per_stance);
+  const std::vector<echoimage::sim::WorldReflector> no_body;
   for (std::size_t l = 0; l < num_beeps; ++l) {
     // The user re-takes their stance every few beeps (sessions span hours);
     // the clothing field stays fixed within a session.
@@ -70,8 +110,11 @@ CaptureBatch DataCollector::collect(const SimulatedUser& user,
     const double t = 0.5 * static_cast<double>(l);
     pose.breathing_m =
         0.002 * std::sin(2.0 * std::numbers::pi * t / 4.0 + breath_phase);
-    const auto body = echoimage::sim::pose_body(
-        user.body, pose, cond.distance_m, scene.array_height_m);
+    const auto body =
+        user != nullptr
+            ? echoimage::sim::pose_body(user->body, pose, cond.distance_m,
+                                        scene.array_height_m)
+            : no_body;
     Rng beep_rng = noise_rng.fork(0x1000 + l);
     batch.beeps.push_back(renderer.render_beep(body, beep_rng));
   }
@@ -79,6 +122,12 @@ CaptureBatch DataCollector::collect(const SimulatedUser& user,
   // Inter-beep gap: ~43 ms of noise-only signal for covariance estimation.
   Rng gap_rng = noise_rng.fork(0x6A9);
   batch.noise_only = renderer.render_noise_only(2048, gap_rng);
+
+  // Gain drift lives in the capture chain, after the acoustics: it scales
+  // everything each microphone hears, noise gap included.
+  if (drift != nullptr)
+    echoimage::sim::DriftScenario::apply_mic_gains(batch.beeps,
+                                                   batch.noise_only, *drift);
   return batch;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "eval/roster.hpp"
+#include "sim/drift.hpp"
 #include "sim/scene.hpp"
 
 namespace echoimage::eval {
@@ -55,11 +56,36 @@ class DataCollector {
                                      const CollectionConditions& cond,
                                      std::size_t num_beeps) const;
 
+  /// Drift-aware collection: same rendering, but the scene is evolved to
+  /// the drift state's session (relocated clutter, ambient offset, shifted
+  /// speed of sound, speaker gain) and the capture chain applies the
+  /// state's per-microphone gains — while the pipeline keeps its
+  /// enrollment-time calibration, reproducing the deployed mismatch.
+  [[nodiscard]] CaptureBatch collect(
+      const SimulatedUser& user, const CollectionConditions& cond,
+      std::size_t num_beeps, const echoimage::sim::DriftSessionState& drift)
+      const;
+
+  /// Empty-room captures: the device beeping with nobody in front of it —
+  /// clutter echoes, reverb and noise only. This is what the drift
+  /// monitor's background reference and recalibration probes are built
+  /// from.
+  [[nodiscard]] CaptureBatch collect_background(
+      const CollectionConditions& cond, std::size_t num_beeps) const;
+  [[nodiscard]] CaptureBatch collect_background(
+      const CollectionConditions& cond, std::size_t num_beeps,
+      const echoimage::sim::DriftSessionState& drift) const;
+
   /// The scene for a condition (exposed for tests and custom benches).
   [[nodiscard]] echoimage::sim::Scene make_scene(
       const CollectionConditions& cond) const;
 
  private:
+  [[nodiscard]] CaptureBatch collect_impl(
+      const SimulatedUser* user, const CollectionConditions& cond,
+      std::size_t num_beeps,
+      const echoimage::sim::DriftSessionState* drift) const;
+
   echoimage::sim::CaptureConfig capture_;
   echoimage::array::ArrayGeometry geometry_;
   std::uint64_t seed_;

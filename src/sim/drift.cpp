@@ -1,0 +1,180 @@
+#include "sim/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "array/geometry.hpp"
+
+namespace echoimage::sim {
+
+namespace {
+
+/// Furniture reflectivity tops out around 0.001 per point; walls are built
+/// at 0.17+ and the outdoor ground bounce at 0.05. Anything above this
+/// threshold is structural.
+constexpr double kMovableReflectivityMax = 0.01;
+
+}  // namespace
+
+bool is_movable_clutter(const WorldReflector& r) {
+  return r.reflectivity < kMovableReflectivityMax;
+}
+
+void DriftScenarioConfig::validate() const {
+  if (severity < 0.0 || severity > 1.0)
+    throw std::invalid_argument("DriftScenario: severity must be in [0, 1]");
+  if (horizon_sessions == 0)
+    throw std::invalid_argument(
+        "DriftScenario: horizon_sessions must be positive");
+  if (mic_gain_drift < 0.0 || mic_gain_drift >= 1.0 ||
+      speaker_gain_drift < 0.0 || speaker_gain_drift >= 1.0)
+    throw std::invalid_argument(
+        "DriftScenario: gain drifts must be in [0, 1)");
+  if (clutter_change_prob < 0.0 || clutter_change_prob > 1.0)
+    throw std::invalid_argument(
+        "DriftScenario: clutter_change_prob must be in [0, 1]");
+  if (max_temperature_delta_c < 0.0 || ambient_ramp_db < 0.0 ||
+      clutter_walk_m < 0.0)
+    throw std::invalid_argument(
+        "DriftScenario: component strengths must be >= 0");
+}
+
+std::string DriftSessionState::describe() const {
+  std::ostringstream os;
+  os << "session " << session << ": " << temperature_c << " C (sound speed x"
+     << sound_speed_scale << "), ambient +" << ambient_offset_db
+     << " dB, speaker gain " << speaker_gain << ", mic gains [";
+  for (std::size_t c = 0; c < mic_gains.size(); ++c)
+    os << (c ? " " : "") << mic_gains[c];
+  os << "], " << environment.clutter.size() << " clutter reflectors";
+  return os.str();
+}
+
+DriftScenario::DriftScenario(Environment base, std::size_t num_channels,
+                             DriftScenarioConfig config)
+    : base_(std::move(base)), num_channels_(num_channels), config_(config) {
+  config_.validate();
+  if (num_channels_ == 0)
+    throw std::invalid_argument("DriftScenario: num_channels must be > 0");
+}
+
+DriftSessionState DriftScenario::state(std::size_t session) const {
+  DriftSessionState out;
+  out.session = session;
+  out.environment = base_;
+  out.mic_gains.assign(num_channels_, 1.0);
+  const double sev = config_.severity;
+  if (sev <= 0.0) return out;  // frozen world, bit-identical rendering
+
+  const double horizon = static_cast<double>(config_.horizon_sessions);
+  // Ramps saturate at the horizon instead of growing without bound.
+  const double ramp =
+      std::min(1.0, static_cast<double>(session) / horizon);
+
+  // --- temperature trajectory -> speed of sound ------------------------
+  // Slow seasonal sine (period ~ 2 horizons, phase drawn from the seed)
+  // plus per-session HVAC jitter of ~1/8 the excursion.
+  Rng temp_rng(mix_seed(config_.seed, 0xD81F));
+  const double phase =
+      temp_rng.uniform(0.0, 2.0 * std::numbers::pi);
+  Rng session_rng(mix_seed(config_.seed, 0xD820 + session));
+  const double excursion = sev * config_.max_temperature_delta_c;
+  out.temperature_c =
+      20.0 +
+      excursion * std::sin(std::numbers::pi *
+                               static_cast<double>(session) / horizon +
+                           phase) +
+      0.125 * excursion * session_rng.gaussian();
+  // Scale relative to the 20 C calibration point so severity 0 (or a
+  // trajectory passing exactly through 20 C) leaves the scene's configured
+  // speed untouched whatever its absolute value.
+  out.sound_speed_scale = echoimage::array::speed_of_sound_at(
+                              out.temperature_c) /
+                          echoimage::array::speed_of_sound_at(20.0);
+
+  // --- ambient noise ramp ----------------------------------------------
+  out.ambient_offset_db = sev * config_.ambient_ramp_db * ramp;
+  out.environment.ambient.level_db += out.ambient_offset_db;
+
+  // --- speaker / microphone gain drift ---------------------------------
+  // Each channel ages toward a per-device direction drawn once from the
+  // seed (an electret's sensitivity drifts monotonically), plus small
+  // per-session jitter.
+  Rng gain_rng(mix_seed(config_.seed, 0x6A1B));
+  for (std::size_t c = 0; c < num_channels_; ++c) {
+    const double direction = gain_rng.uniform(-1.0, 1.0);
+    const double trend = sev * config_.mic_gain_drift * direction * ramp;
+    const double jitter =
+        0.05 * sev * config_.mic_gain_drift * session_rng.gaussian();
+    out.mic_gains[c] = std::max(0.05, 1.0 + trend + jitter);
+  }
+  const double spk_direction = gain_rng.uniform(-1.0, 1.0);
+  out.speaker_gain = std::max(
+      0.05, 1.0 + sev * config_.speaker_gain_drift * spk_direction * ramp);
+
+  // --- clutter evolution ------------------------------------------------
+  // Furniture performs a persistent random walk (each session adds an
+  // increment, so displacement accumulates); occasionally a cluster is
+  // removed or a new one appears. Walls and ground never move. The walk is
+  // replayed from session 0 so state(s) is a pure function.
+  const double step_m =
+      sev * config_.clutter_walk_m / std::sqrt(horizon);
+  std::vector<WorldReflector>& clutter = out.environment.clutter;
+  for (std::size_t s = 1; s <= session; ++s) {
+    Rng walk_rng(mix_seed(config_.seed, 0xC1A7 + s));
+    for (WorldReflector& r : clutter) {
+      if (!is_movable_clutter(r)) continue;
+      r.position.x += walk_rng.gaussian(0.0, step_m);
+      r.position.y += walk_rng.gaussian(0.0, step_m);
+      r.position.z += walk_rng.gaussian(0.0, 0.25 * step_m);
+    }
+    if (walk_rng.uniform(0.0, 1.0) < sev * config_.clutter_change_prob) {
+      // Toggle one furniture cluster: remove a random movable reflector
+      // quartet, or add a fresh one off the user's axis.
+      std::vector<std::size_t> movable;
+      for (std::size_t i = 0; i < clutter.size(); ++i)
+        if (is_movable_clutter(clutter[i])) movable.push_back(i);
+      const bool remove =
+          !movable.empty() && walk_rng.uniform(0.0, 1.0) < 0.5;
+      if (remove) {
+        const std::size_t at = movable[static_cast<std::size_t>(
+            walk_rng.uniform_int(0, static_cast<int>(movable.size()) - 1))];
+        clutter.erase(clutter.begin() + static_cast<std::ptrdiff_t>(at));
+      } else {
+        const double radius = walk_rng.uniform(1.0, 2.5);
+        const double ang = walk_rng.uniform(0.35, 2.8) *
+                           (walk_rng.uniform_int(0, 1) == 0 ? 1.0 : -1.0);
+        const Vec3 center{radius * std::sin(ang), radius * std::cos(ang),
+                          walk_rng.uniform(-0.9, 0.3)};
+        const double total = walk_rng.uniform(0.0002, 0.001);
+        for (int p = 0; p < 4; ++p)
+          clutter.push_back(WorldReflector{
+              Vec3{center.x + walk_rng.gaussian(0.0, 0.08),
+                   center.y + walk_rng.gaussian(0.0, 0.08),
+                   center.z + walk_rng.gaussian(0.0, 0.08)},
+              total / 4.0});
+      }
+    }
+  }
+  return out;
+}
+
+void DriftScenario::apply_mic_gains(std::vector<MultiChannelSignal>& beeps,
+                                    MultiChannelSignal& noise_only,
+                                    const DriftSessionState& state) {
+  const auto scale = [&](MultiChannelSignal& capture) {
+    for (std::size_t c = 0;
+         c < capture.num_channels() && c < state.mic_gains.size(); ++c) {
+      const double g = state.mic_gains[c];
+      if (g == 1.0) continue;
+      for (double& v : capture.channels[c]) v *= g;
+    }
+  };
+  for (MultiChannelSignal& beep : beeps) scale(beep);
+  scale(noise_only);
+}
+
+}  // namespace echoimage::sim

@@ -1,0 +1,105 @@
+// Environment-drift scenarios: seeded session-to-session evolution of a
+// capture environment.
+//
+// Hardware faults (sim/faults) break a capture instantly; environments rot
+// slowly. Across days the furniture moves, the HVAC ramps the ambient
+// floor, speaker and microphone gains age, and temperature changes the
+// speed of sound — so the renderer's physics drift away from the constants
+// the pipeline was calibrated with (`kSpeedOfSound`, enrollment-time
+// gains). A DriftScenario produces, for each session index, a
+// deterministic DriftSessionState describing the evolved world; the
+// renderer uses it while the pipeline keeps its stale assumptions,
+// reproducing exactly the mismatch a deployed device accumulates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/signal.hpp"
+#include "sim/environment.hpp"
+#include "sim/random.hpp"
+
+namespace echoimage::sim {
+
+using echoimage::dsp::MultiChannelSignal;
+
+struct DriftScenarioConfig {
+  /// Master severity knob in [0, 1]: every component scales with it, and 0
+  /// freezes the environment exactly (bit-identical rendering).
+  double severity = 1.0;
+  std::uint64_t seed = 0;
+  /// Session horizon: ramps reach full strength at this session index.
+  std::size_t horizon_sessions = 8;
+
+  // --- component strengths at severity 1 -------------------------------
+  /// Peak temperature excursion from the 20 C calibration point (C). The
+  /// trajectory is a slow seasonal sine plus per-session HVAC jitter.
+  double max_temperature_delta_c = 12.0;
+  /// Ambient noise floor added linearly across the horizon (dB).
+  double ambient_ramp_db = 10.0;
+  /// Per-microphone gain trend at the horizon (relative, e.g. 0.35 means
+  /// gains wander toward [0.65, 1.35]), plus small per-session jitter.
+  double mic_gain_drift = 0.35;
+  /// Speaker output drift at the horizon (relative; scales the emitted
+  /// chirp amplitude).
+  double speaker_gain_drift = 0.25;
+  /// RMS of the per-session random walk of furniture positions (m at the
+  /// horizon). Walls and ground never move.
+  double clutter_walk_m = 0.5;
+  /// Per-session probability that one furniture cluster is removed or a
+  /// new one appears.
+  double clutter_change_prob = 0.3;
+
+  /// Throws std::invalid_argument when out of range.
+  void validate() const;
+};
+
+/// The world of one session, ready to drive a SceneRenderer.
+struct DriftSessionState {
+  std::size_t session = 0;
+  double temperature_c = 20.0;
+  /// Actual speed of sound the renderer should use; equals the base
+  /// scene's speed scaled by the physics ratio c(T)/c(20 C), so severity 0
+  /// leaves the scene untouched.
+  double sound_speed_scale = 1.0;
+  double ambient_offset_db = 0.0;
+  double speaker_gain = 1.0;
+  std::vector<double> mic_gains;  ///< one multiplicative gain per channel
+  Environment environment;        ///< evolved clutter + ambient level
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministic drift trajectory over a base environment. `state(s)` is a
+/// pure function of (config, base environment, s): it replays the walk from
+/// session 0 every call, so scenarios are cheap to share and replay.
+class DriftScenario {
+ public:
+  DriftScenario(Environment base, std::size_t num_channels,
+                DriftScenarioConfig config = {});
+
+  [[nodiscard]] const DriftScenarioConfig& config() const { return config_; }
+
+  /// Evolved world at the given session index (session 0 = enrollment day,
+  /// already mildly drifted unless severity is 0).
+  [[nodiscard]] DriftSessionState state(std::size_t session) const;
+
+  /// Apply the state's capture-chain gains in place: every channel of the
+  /// batch (beeps and the noise-only gap capture alike — a microphone
+  /// amplifies everything it hears) is scaled by its mic gain.
+  static void apply_mic_gains(std::vector<MultiChannelSignal>& beeps,
+                              MultiChannelSignal& noise_only,
+                              const DriftSessionState& state);
+
+ private:
+  Environment base_;
+  std::size_t num_channels_;
+  DriftScenarioConfig config_;
+};
+
+/// True for clutter that drifts (furniture-scale scatterers); walls and the
+/// ground plane are strong specular reflectors that never relocate.
+[[nodiscard]] bool is_movable_clutter(const WorldReflector& r);
+
+}  // namespace echoimage::sim

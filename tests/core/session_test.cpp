@@ -133,12 +133,76 @@ TEST(SessionMonitor, AbstentionsDoNotLockAnActiveSession) {
   for (int i = 0; i < 4; ++i) m.update(accept(3));
   ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
   // A dead microphone produces abstentions, not rejections: the session
-  // must survive arbitrarily many of them.
+  // must survive any plausible retry burst (the default staleness lockout
+  // only triggers well past the supervisor's retry budget).
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(m.update(AuthDecision::abstain()),
               SessionMonitor::State::kAuthenticated);
   }
   EXPECT_EQ(m.lock_count(), 0u);
+}
+
+TEST(SessionMonitor, SustainedBlindnessEndsAnAuthenticatedSession) {
+  // The stale-session hole: before the lockout existed, a session stayed
+  // authenticated forever while every capture abstained — the owner could
+  // walk away mid-fault and the open session would outlive them.
+  SessionMonitorConfig cfg;
+  cfg.max_abstain_streak = 5;
+  SessionMonitor m(cfg);
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.update(AuthDecision::abstain()),
+              SessionMonitor::State::kAuthenticated);
+  }
+  EXPECT_EQ(m.update(AuthDecision::abstain()),
+            SessionMonitor::State::kLocked);
+  EXPECT_EQ(m.active_user(), -1);
+  EXPECT_EQ(m.lock_count(), 1u);
+}
+
+TEST(SessionMonitor, UsableBeepResetsTheAbstainStreak) {
+  SessionMonitorConfig cfg;
+  cfg.max_abstain_streak = 3;
+  SessionMonitor m(cfg);
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  // 2 abstains, a matching beep, 2 abstains: never 3 consecutive.
+  m.update(AuthDecision::abstain());
+  m.update(AuthDecision::abstain());
+  m.update(accept(3));
+  m.update(AuthDecision::abstain());
+  m.update(AuthDecision::abstain());
+  EXPECT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  EXPECT_EQ(m.update(AuthDecision::abstain()),
+            SessionMonitor::State::kLocked);
+}
+
+TEST(SessionMonitor, ZeroDisablesTheStalenessLockout) {
+  SessionMonitorConfig cfg;
+  cfg.max_abstain_streak = 0;  // legacy behaviour, explicitly opted into
+  SessionMonitor m(cfg);
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m.update(AuthDecision::abstain()),
+              SessionMonitor::State::kAuthenticated);
+  }
+}
+
+TEST(SessionMonitor, AbstainStreakOnlyCountsWhileAuthenticated) {
+  SessionMonitorConfig cfg;
+  cfg.max_abstain_streak = 2;
+  SessionMonitor m(cfg);
+  // Locked: abstentions accrue no streak and trigger no lock event.
+  for (int i = 0; i < 6; ++i) m.update(AuthDecision::abstain());
+  EXPECT_EQ(m.lock_count(), 0u);
+  // The lockout clears its own streak: a fresh unlock starts from zero.
+  for (int i = 0; i < 4; ++i) m.update(accept(1));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  m.update(AuthDecision::abstain());
+  EXPECT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  m.update(AuthDecision::abstain());
+  EXPECT_EQ(m.state(), SessionMonitor::State::kLocked);
 }
 
 TEST(SessionMonitor, AbstentionsDoNotClearAMismatchStreak) {

@@ -45,6 +45,12 @@ TEST(CaptureSupervisor, ConfigValidation) {
   bad = CaptureSupervisorConfig{};
   bad.backoff_multiplier = 0.5;
   EXPECT_THROW(CaptureSupervisor(f.pipeline, bad), std::invalid_argument);
+  bad = CaptureSupervisorConfig{};
+  bad.backoff_jitter = 1.0;  // full-range jitter could zero a backoff step
+  EXPECT_THROW(CaptureSupervisor(f.pipeline, bad), std::invalid_argument);
+  bad = CaptureSupervisorConfig{};
+  bad.backoff_jitter = -0.1;
+  EXPECT_THROW(CaptureSupervisor(f.pipeline, bad), std::invalid_argument);
 }
 
 TEST(CaptureSupervisor, FirstCleanCaptureNeedsNoRetry) {
@@ -86,6 +92,44 @@ TEST(CaptureSupervisor, RetriesWithExponentialBackoffUntilHealthy) {
   EXPECT_EQ(got.attempt_verdicts[1], CaptureVerdict::kFailed);
   EXPECT_NE(got.attempt_verdicts[2], CaptureVerdict::kFailed);
   EXPECT_TRUE(got.processed.distance.valid);
+}
+
+TEST(CaptureSupervisor, JitteredBackoffStaysInsideTheEnvelopeDeterministically) {
+  // Jitter desynchronises a fleet of devices retrying in lockstep, but it
+  // must stay bounded (the caller budgets worst-case latency from the
+  // nominal schedule) and replayable (same seed, same trace).
+  const Fixture f;
+  CaptureSupervisorConfig cfg;
+  cfg.max_attempts = 4;
+  cfg.initial_backoff_s = 0.25;
+  cfg.backoff_multiplier = 2.0;
+  cfg.backoff_jitter = 0.5;
+  cfg.jitter_seed = 42;
+  const eval::CaptureBatch clean = f.capture();
+  const auto broken_source = [&](std::size_t) {
+    eval::CaptureBatch batch = clean;
+    break_array(batch);
+    return CaptureAttempt{batch.beeps, batch.noise_only};
+  };
+  // Three backoff steps between four attempts: nominal 0.25 + 0.5 + 1.0.
+  const double nominal = 1.75;
+  const CaptureSupervisor sup(f.pipeline, cfg);
+  const SupervisedCapture got = sup.acquire(broken_source);
+  EXPECT_TRUE(got.abstained);
+  EXPECT_EQ(got.attempts, 4u);
+  EXPECT_GE(got.total_backoff_s, nominal * (1.0 - cfg.backoff_jitter));
+  EXPECT_LE(got.total_backoff_s, nominal * (1.0 + cfg.backoff_jitter));
+  // The jitter is real — the schedule is not the nominal one...
+  EXPECT_NE(got.total_backoff_s, nominal);
+  // ...and deterministic: an identical supervisor replays it exactly.
+  const CaptureSupervisor replay(f.pipeline, cfg);
+  EXPECT_DOUBLE_EQ(replay.acquire(broken_source).total_backoff_s,
+                   got.total_backoff_s);
+  // A different seed walks a different schedule.
+  cfg.jitter_seed = 43;
+  const CaptureSupervisor other(f.pipeline, cfg);
+  EXPECT_NE(other.acquire(broken_source).total_backoff_s,
+            got.total_backoff_s);
 }
 
 TEST(CaptureSupervisor, AbstainsAfterExhaustingRetries) {

@@ -1,0 +1,171 @@
+// Environment-drift round trip across module boundaries: a user enrolls in
+// a calm room; the room then warms up and the microphone gains wander
+// (sim/drift renders the evolved physics while the pipeline keeps its
+// enrollment-time constants). The drift monitor must confirm the change
+// from the live captures, the supervisor must quarantine and recalibrate
+// from empty-room probes, and authentication must come back. When
+// recalibration cannot converge the system must abstain — a stale
+// calibration never false-rejects the owner.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "array/geometry.hpp"
+#include "core/drift.hpp"
+#include "core/supervisor.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "sim/drift.hpp"
+
+namespace echoimage {
+namespace {
+
+struct Fixture {
+  array::ArrayGeometry geometry = array::make_respeaker_array();
+  core::SystemConfig config = eval::default_system_config();
+  core::EchoImagePipeline pipeline{config, geometry};
+  std::vector<eval::SimulatedUser> users =
+      eval::make_users(eval::make_roster(), 7);
+  eval::DataCollector collector{sim::CaptureConfig{}, geometry, 7};
+  eval::CollectionConditions cond;
+
+  [[nodiscard]] eval::CaptureBatch background(int rep) const {
+    eval::CollectionConditions c = cond;
+    c.repetition = rep;
+    return collector.collect_background(c, 3);
+  }
+  [[nodiscard]] eval::CaptureBatch background(
+      int rep, const sim::DriftSessionState& drift) const {
+    eval::CollectionConditions c = cond;
+    c.repetition = rep;
+    return collector.collect_background(c, 3, drift);
+  }
+
+  /// Clean enrollment of user 0: augmented visits plus an unaugmented
+  /// calibration visit for the SVDD threshold.
+  [[nodiscard]] core::Authenticator enroll() const {
+    core::EnrolledUser e;
+    e.user_id = users[0].subject.user_id;
+    for (int visit = 0; visit <= 3; ++visit) {
+      const bool calibration = visit == 3;
+      eval::CollectionConditions c = cond;
+      c.repetition = 10 + visit;
+      const eval::CaptureBatch batch =
+          collector.collect(users[0], c, calibration ? 4 : 6);
+      const auto p = pipeline.process(batch.beeps, batch.noise_only);
+      if (!p.distance.valid) continue;
+      auto f = pipeline.features_batch(
+          p.images, p.distance.user_distance_centroid_m, !calibration);
+      auto& dest = calibration ? e.calibration_features : e.features;
+      dest.insert(dest.end(), std::make_move_iterator(f.begin()),
+                  std::make_move_iterator(f.end()));
+    }
+    return pipeline.enroll({e});
+  }
+
+  /// The drifted world: the room warmed 10 C and the mic gains wandered.
+  [[nodiscard]] sim::DriftSessionState drifted_world() const {
+    sim::DriftSessionState s;
+    s.environment = collector.make_scene(cond).environment;
+    s.temperature_c = 30.0;
+    s.sound_speed_scale =
+        array::speed_of_sound_at(30.0) / array::speed_of_sound_at(20.0);
+    s.mic_gains = {1.3, 0.75, 1.2, 0.8, 1.15, 0.9};
+    return s;
+  }
+};
+
+TEST(DriftResilience, ConfirmedDriftRecalibratesAndAuthenticationRecovers) {
+  const Fixture f;
+  const core::Authenticator auth = f.enroll();
+  const sim::DriftSessionState world = f.drifted_world();
+
+  core::DriftManager manager(f.pipeline);
+  const eval::CaptureBatch ref = f.background(0);
+  manager.set_reference(ref.beeps, ref.noise_only);
+  manager.set_probe_source([&](std::size_t attempt) {
+    const eval::CaptureBatch b =
+        f.background(500 + static_cast<int>(attempt), world);
+    return core::CaptureAttempt{b.beeps, b.noise_only};
+  });
+  core::CaptureSupervisor supervisor(f.pipeline);
+  supervisor.attach_drift(manager);
+
+  std::size_t accepted_after_recal = 0;
+  for (int batch = 0; batch < 6; ++batch) {
+    eval::CollectionConditions c = f.cond;
+    c.repetition = 100 + batch;
+    const eval::CaptureBatch capture =
+        f.collector.collect(f.users[0], c, 4, world);
+    const core::AuthDecision d = supervisor.authenticate(
+        [&](std::size_t) {
+          return core::CaptureAttempt{capture.beeps, capture.noise_only};
+        },
+        auth);
+    if (manager.recalibration_count() > 0 &&
+        d.outcome == core::AuthOutcome::kAccepted &&
+        d.user_id == f.users[0].subject.user_id)
+      ++accepted_after_recal;
+  }
+
+  // Drift was confirmed mid-stream, recalibration converged, and the
+  // quarantine was lifted.
+  EXPECT_EQ(manager.recalibration_count(), 1u)
+      << manager.last_report().describe();
+  EXPECT_FALSE(manager.quarantined());
+  ASSERT_TRUE(manager.corrections().active);
+  // The recovered speed of sound tracks the warmed room.
+  const double true_speed = f.config.speed_of_sound * world.sound_speed_scale;
+  EXPECT_NEAR(manager.corrections().speed_of_sound, true_speed, 2.5)
+      << manager.corrections().describe();
+  // And the owner gets back in under the corrected physics.
+  EXPECT_GT(accepted_after_recal, 0u);
+}
+
+TEST(DriftResilience, FailedRecalibrationAbstainsInsteadOfRejecting) {
+  const Fixture f;
+  const core::Authenticator auth = f.enroll();
+  const sim::DriftSessionState world = f.drifted_world();
+
+  core::DriftManager manager(f.pipeline);
+  const eval::CaptureBatch ref = f.background(0);
+  manager.set_reference(ref.beeps, ref.noise_only);
+  const double ref_rms = manager.monitor().reference().channel_rms[0];
+  // Every probe has a person standing in the frame: the distance estimator
+  // keeps finding a body, so there is nothing safe to recalibrate from.
+  manager.set_probe_source([&](std::size_t attempt) {
+    eval::CollectionConditions c = f.cond;
+    c.repetition = 700 + static_cast<int>(attempt);
+    const eval::CaptureBatch b =
+        f.collector.collect(f.users[1], c, 3, world);
+    return core::CaptureAttempt{b.beeps, b.noise_only};
+  });
+  core::CaptureSupervisor supervisor(f.pipeline);
+  supervisor.attach_drift(manager);
+
+  core::AuthDecision last;
+  for (int batch = 0; batch < 6 && !manager.quarantined(); ++batch) {
+    eval::CollectionConditions c = f.cond;
+    c.repetition = 100 + batch;
+    const eval::CaptureBatch capture =
+        f.collector.collect(f.users[0], c, 4, world);
+    last = supervisor.authenticate(
+        [&](std::size_t) {
+          return core::CaptureAttempt{capture.beeps, capture.noise_only};
+        },
+        auth);
+  }
+
+  ASSERT_TRUE(manager.quarantined()) << manager.last_report().describe();
+  // The decision under quarantine abstained — it did not reject the owner.
+  EXPECT_EQ(last.outcome, core::AuthOutcome::kAbstained);
+  // No recalibration happened and, critically, the occupied probes never
+  // refreshed the background reference.
+  EXPECT_EQ(manager.recalibration_count(), 0u);
+  EXPECT_FALSE(manager.corrections().active);
+  EXPECT_DOUBLE_EQ(manager.monitor().reference().channel_rms[0], ref_rms);
+}
+
+}  // namespace
+}  // namespace echoimage

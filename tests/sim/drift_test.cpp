@@ -1,0 +1,153 @@
+// Drift scenarios must be seeded pure functions of (config, session): the
+// same trajectory replays bit-identically, severity 0 freezes the world
+// exactly, and structural reflectors (walls, ground) never move — only
+// furniture drifts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/drift.hpp"
+#include "sim/environment.hpp"
+
+namespace echoimage::sim {
+namespace {
+
+DriftScenarioConfig config_at(double severity, std::uint64_t seed = 11) {
+  DriftScenarioConfig config;
+  config.severity = severity;
+  config.seed = seed;
+  return config;
+}
+
+Environment lab() { return make_environment(EnvironmentKind::kLab, 3); }
+
+TEST(DriftScenario, SeverityZeroFreezesTheWorldExactly) {
+  const Environment base = lab();
+  const DriftScenario scenario(base, 6, config_at(0.0));
+  for (const std::size_t session : {0u, 3u, 9u, 40u}) {
+    const DriftSessionState s = scenario.state(session);
+    EXPECT_DOUBLE_EQ(s.temperature_c, 20.0);
+    EXPECT_DOUBLE_EQ(s.sound_speed_scale, 1.0);
+    EXPECT_DOUBLE_EQ(s.ambient_offset_db, 0.0);
+    EXPECT_DOUBLE_EQ(s.speaker_gain, 1.0);
+    for (const double g : s.mic_gains) EXPECT_DOUBLE_EQ(g, 1.0);
+    ASSERT_EQ(s.environment.clutter.size(), base.clutter.size());
+    for (std::size_t i = 0; i < base.clutter.size(); ++i) {
+      EXPECT_DOUBLE_EQ(s.environment.clutter[i].position.x,
+                       base.clutter[i].position.x);
+      EXPECT_DOUBLE_EQ(s.environment.clutter[i].reflectivity,
+                       base.clutter[i].reflectivity);
+    }
+    EXPECT_DOUBLE_EQ(s.environment.ambient.level_db, base.ambient.level_db);
+  }
+}
+
+TEST(DriftScenario, StateIsAPureFunctionOfConfigAndSession) {
+  const DriftScenario a(lab(), 6, config_at(0.8));
+  const DriftScenario b(lab(), 6, config_at(0.8));
+  for (const std::size_t session : {0u, 2u, 7u, 8u}) {
+    const DriftSessionState sa = a.state(session);
+    const DriftSessionState sb = b.state(session);
+    EXPECT_DOUBLE_EQ(sa.temperature_c, sb.temperature_c);
+    EXPECT_DOUBLE_EQ(sa.speaker_gain, sb.speaker_gain);
+    ASSERT_EQ(sa.mic_gains.size(), sb.mic_gains.size());
+    for (std::size_t c = 0; c < sa.mic_gains.size(); ++c)
+      EXPECT_DOUBLE_EQ(sa.mic_gains[c], sb.mic_gains[c]);
+    ASSERT_EQ(sa.environment.clutter.size(), sb.environment.clutter.size());
+    for (std::size_t i = 0; i < sa.environment.clutter.size(); ++i)
+      EXPECT_DOUBLE_EQ(sa.environment.clutter[i].position.y,
+                       sb.environment.clutter[i].position.y);
+  }
+  // A different seed walks a different trajectory.
+  const DriftScenario c(lab(), 6, config_at(0.8, 99));
+  EXPECT_NE(a.state(5).temperature_c, c.state(5).temperature_c);
+}
+
+TEST(DriftScenario, WallsAndGroundNeverMove) {
+  const Environment base = lab();
+  const DriftScenario scenario(base, 6, config_at(1.0));
+  const DriftSessionState s = scenario.state(8);
+  // Every structural reflector of the base room appears, unmoved, in the
+  // evolved room (furniture may have been added/removed around them).
+  for (const WorldReflector& r : base.clutter) {
+    if (is_movable_clutter(r)) continue;
+    bool found = false;
+    for (const WorldReflector& e : s.environment.clutter)
+      if (e.position.x == r.position.x && e.position.y == r.position.y &&
+          e.position.z == r.position.z &&
+          e.reflectivity == r.reflectivity) {
+        found = true;
+        break;
+      }
+    EXPECT_TRUE(found) << "structural reflector moved or vanished";
+  }
+}
+
+TEST(DriftScenario, FurnitureActuallyDriftsAtFullSeverity) {
+  const Environment base = lab();
+  const DriftScenario scenario(base, 6, config_at(1.0));
+  const DriftSessionState s = scenario.state(8);
+  double moved = 0.0;
+  std::size_t movable = 0;
+  for (const WorldReflector& r : base.clutter) {
+    if (!is_movable_clutter(r)) continue;
+    ++movable;
+    // Nearest surviving reflector distance (the piece may also be gone).
+    double best = 1e9;
+    for (const WorldReflector& e : s.environment.clutter)
+      best = std::min(best, e.position.distance_to(r.position));
+    moved = std::max(moved, best);
+  }
+  ASSERT_GT(movable, 0u) << "lab environment should contain furniture";
+  EXPECT_GT(moved, 0.05) << "full-severity drift left every piece in place";
+}
+
+TEST(DriftScenario, ComponentsStayWithinConfiguredEnvelopes) {
+  const DriftScenarioConfig config = config_at(1.0);
+  const DriftScenario scenario(lab(), 6, config);
+  for (std::size_t session = 0; session <= 2 * config.horizon_sessions;
+       ++session) {
+    const DriftSessionState s = scenario.state(session);
+    // Sine excursion + 12.5% gaussian jitter: generous 2x envelope.
+    EXPECT_LT(std::abs(s.temperature_c - 20.0),
+              2.0 * config.max_temperature_delta_c);
+    EXPECT_GE(s.ambient_offset_db, 0.0);
+    EXPECT_LE(s.ambient_offset_db, config.ambient_ramp_db + 1e-12);
+    EXPECT_GE(s.speaker_gain,
+              1.0 - config.speaker_gain_drift - 1e-12);
+    EXPECT_LE(s.speaker_gain,
+              1.0 + config.speaker_gain_drift + 1e-12);
+    EXPECT_GT(s.sound_speed_scale, 0.9);
+    EXPECT_LT(s.sound_speed_scale, 1.1);
+  }
+}
+
+TEST(DriftScenario, ApplyMicGainsScalesEveryCapture) {
+  DriftSessionState state;
+  state.mic_gains = {2.0, 0.5};
+  std::vector<MultiChannelSignal> beeps(1);
+  beeps[0].channels = {{1.0, 1.0}, {1.0, 1.0}};
+  MultiChannelSignal noise;
+  noise.channels = {{3.0}, {3.0}};
+  DriftScenario::apply_mic_gains(beeps, noise, state);
+  EXPECT_DOUBLE_EQ(beeps[0].channels[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(beeps[0].channels[1][1], 0.5);
+  EXPECT_DOUBLE_EQ(noise.channels[0][0], 6.0);
+  EXPECT_DOUBLE_EQ(noise.channels[1][0], 1.5);
+}
+
+TEST(DriftScenario, ValidationRejectsNonsense) {
+  EXPECT_THROW((void)DriftScenario(lab(), 6, config_at(1.5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)DriftScenario(lab(), 0, config_at(0.5)),
+               std::invalid_argument);
+  DriftScenarioConfig config = config_at(0.5);
+  config.horizon_sessions = 0;
+  EXPECT_THROW((void)DriftScenario(lab(), 6, config), std::invalid_argument);
+  config = config_at(0.5);
+  config.mic_gain_drift = 1.0;
+  EXPECT_THROW((void)DriftScenario(lab(), 6, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::sim

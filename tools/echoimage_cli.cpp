@@ -8,6 +8,8 @@
 //   verify    authenticate a capture directory against a saved model
 //   image     construct acoustic images from a capture and write PGMs
 //   health    per-channel capture diagnostics (ok / degraded / dead)
+//   drift     compare captures against a background reference for
+//             environment drift (temperature, ambient floor, gains)
 //
 // Capture directory layout: beep_000.wav, beep_001.wav, ... (one
 // multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/drift.hpp"
 #include "core/pipeline.hpp"
 #include "dsp/resample.hpp"
 #include "dsp/wav.hpp"
@@ -322,11 +325,51 @@ int cmd_image(const Args& args) {
   return 0;
 }
 
+int cmd_drift(const Args& args) {
+  const std::string ref_dir = args.get("ref");
+  const auto& dirs = args.all("dir");
+  if (ref_dir.empty() || dirs.empty()) {
+    std::cerr << "drift: need --ref DIR (background reference capture) and "
+                 "at least one --dir DIR (live capture)\n";
+    return 2;
+  }
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(system_config(), geometry);
+  core::DriftMonitorConfig monitor_config =
+      core::make_drift_monitor_config(system_config());
+  // A CLI invocation scores a handful of captures, not a long stream:
+  // let a single strongly-drifted capture reach a verdict.
+  monitor_config.min_observations = 1;
+  core::DriftMonitor monitor(monitor_config);
+
+  const Capture reference = read_capture(ref_dir);
+  monitor.set_reference(reference.beeps, reference.noise);
+  std::cout << "reference: " << ref_dir << " (" << reference.beeps.size()
+            << " beeps)\n";
+
+  core::DriftReport report;
+  for (const std::string& dir : dirs) {
+    const Capture capture = read_capture(dir);
+    // Clutter statistics are only meaningful on empty-room captures; let
+    // the distance estimator decide whether someone is standing there.
+    const auto processed = pipeline.process(capture.beeps, capture.noise);
+    const bool occupied = processed.distance.valid;
+    report = monitor.observe(capture.beeps, capture.noise, occupied);
+    std::cout << "\n" << dir << (occupied ? " (occupied)" : " (empty room)")
+              << ":\n"
+              << report.describe() << "\n";
+  }
+  if (report.verdict == core::DriftVerdict::kConfirmed) return 5;
+  if (report.verdict == core::DriftVerdict::kSuspected) return 4;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cout << "usage: echoimage_cli <simulate|enroll|verify|image|health> "
+    std::cout << "usage: echoimage_cli "
+                 "<simulate|enroll|verify|image|health|drift> "
                  "[--key value ...]\n"
                  "  simulate --out DIR [--seed N --user N --distance D "
                  "--beeps L --session S --repetition R --env "
@@ -336,7 +379,8 @@ int main(int argc, char** argv) {
                  "--dir DIR ...] [--augment]\n"
                  "  verify   --model FILE --dir DIR\n"
                  "  image    --dir DIR [--out PREFIX]\n"
-                 "  health   --dir DIR\n";
+                 "  health   --dir DIR\n"
+                 "  drift    --ref DIR --dir DIR [--dir DIR ...]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -347,6 +391,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(args);
     if (cmd == "image") return cmd_image(args);
     if (cmd == "health") return cmd_health(args);
+    if (cmd == "drift") return cmd_drift(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

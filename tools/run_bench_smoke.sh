@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Build and run the robustness benches in smoke mode (tiny roster, core
+# scenarios only) as a fast end-to-end check that the fault-tolerance and
+# drift-resilience pipelines still meet their acceptance lines.
+#
+# Usage: tools/run_bench_smoke.sh [build-dir]
+# Defaults to build/; pass an existing CMake build tree to reuse it.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target bench_faults --target bench_drift
+
+status=0
+for bench in bench_faults bench_drift; do
+  echo "=== $bench --smoke ==="
+  if ! "$build_dir/bench/$bench" --smoke; then
+    echo "$bench: FAILED" >&2
+    status=1
+  fi
+done
+exit $status
