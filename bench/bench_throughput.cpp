@@ -1,0 +1,223 @@
+// Imaging-engine throughput: images/sec across thread counts and weight
+// cache on/off, plus the determinism spot-check that makes the parallel
+// numbers trustworthy (every configuration must reproduce the serial,
+// cache-off image bit for bit).
+//
+// The workload mirrors deployment: a batch of beeps from one stance shares
+// a single estimated plane distance, so after the first image every MVDR
+// steer replays from the weight cache.
+//
+// Acceptance:
+//   * determinism — every (threads, cache) image is bit-identical to the
+//     serial reference;
+//   * cache      — on a warm batch the hit rate clears 50% and caching
+//     does not slow the engine down;
+//   * scaling    — >= 3x speedup at 8 threads, gated on the machine
+//     actually having >= 4 hardware threads (SKIP otherwise: on fewer
+//     cores the extra workers have nowhere to run).
+//
+// Writes BENCH_throughput.json into the working directory.
+// `--smoke` shrinks the grid and repetitions for CI smoke runs.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/imaging.hpp"
+#include "eval/dataset.hpp"
+#include "eval/roster.hpp"
+#include "eval/table.hpp"
+
+namespace {
+
+using namespace echoimage;
+
+struct Measurement {
+  std::size_t threads = 1;
+  bool cache = false;
+  double images_per_sec = 0.0;
+  double speedup_vs_serial = 0.0;  ///< same cache mode, threads = 1
+  double hit_rate = 0.0;
+  bool bit_identical = false;
+};
+
+bool bitwise_equal(const std::vector<core::Matrix2D>& a,
+                   const std::vector<core::Matrix2D>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t band = 0; band < a.size(); ++band) {
+    if (a[band].rows() != b[band].rows() || a[band].cols() != b[band].cols())
+      return false;
+    for (std::size_t i = 0; i < a[band].size(); ++i)
+      if (std::bit_cast<std::uint64_t>(a[band].data()[i]) !=
+          std::bit_cast<std::uint64_t>(b[band].data()[i]))
+        return false;
+  }
+  return true;
+}
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t kGrid = smoke ? 16 : 48;
+  const std::size_t kSubbands = smoke ? 2 : 5;
+  const std::size_t kImages = smoke ? 6 : 8;  ///< images per configuration
+  const std::vector<std::size_t> kThreads{1, 2, 4, 8};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::cout << "== Imaging throughput: thread sweep x weight cache ==\n("
+            << kGrid << "x" << kGrid << " grids, " << kSubbands
+            << " bands, " << kImages << " images per config, " << hw
+            << " hardware thread(s)" << (smoke ? ", SMOKE" : "") << ")\n\n";
+
+  const array::ArrayGeometry geometry = array::make_respeaker_array();
+  const auto users = eval::make_users(eval::make_roster(), 7);
+  const eval::DataCollector collector(sim::CaptureConfig{}, geometry, 7);
+  eval::CollectionConditions cond;
+  cond.beeps_per_stance = 4;
+  const eval::CaptureBatch batch = collector.collect(users[0], cond, 4);
+
+  core::ImagingConfig base;
+  base.grid_size = kGrid;
+  base.num_subbands = kSubbands;
+
+  // Serial cache-off reference: the bit pattern every config must match.
+  core::ImagingConfig ref_cfg = base;
+  ref_cfg.num_threads = 1;
+  ref_cfg.use_weight_cache = false;
+  const std::vector<core::Matrix2D> reference =
+      core::AcousticImager(ref_cfg, geometry)
+          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+
+  std::vector<Measurement> results;
+  std::vector<std::vector<std::string>> rows;
+  for (const bool cache : {false, true}) {
+    double serial_rate = 0.0;
+    for (const std::size_t threads : kThreads) {
+      core::ImagingConfig cfg = base;
+      cfg.num_threads = threads;
+      cfg.use_weight_cache = cache;
+      const core::AcousticImager imager(cfg, geometry);
+
+      // Warm-up render: first-touch pool spin-up and cold cache misses stay
+      // out of the timed region (the steady state is what deployment sees).
+      std::vector<core::Matrix2D> image = imager.construct_bands(
+          batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      if (imager.weight_cache() != nullptr)
+        imager.weight_cache()->reset_stats();
+
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < kImages; ++r)
+        image = imager.construct_bands(batch.beeps[r % batch.beeps.size()],
+                                       0.7, 0.0002, batch.noise_only);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      // Compare against the reference on the reference's beep (the timed
+      // loop cycles through the batch, so `image` holds a different one).
+      image = imager.construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                     batch.noise_only);
+
+      Measurement m;
+      m.threads = threads;
+      m.cache = cache;
+      m.images_per_sec =
+          static_cast<double>(kImages) / std::max(1e-9, elapsed.count());
+      if (threads == 1) serial_rate = m.images_per_sec;
+      m.speedup_vs_serial =
+          serial_rate > 0.0 ? m.images_per_sec / serial_rate : 0.0;
+      m.hit_rate = imager.weight_cache() != nullptr
+                       ? imager.weight_cache()->stats().hit_rate()
+                       : 0.0;
+      m.bit_identical = bitwise_equal(image, reference);
+      results.push_back(m);
+      rows.push_back({std::to_string(threads), cache ? "on" : "off",
+                      eval::fmt(m.images_per_sec),
+                      eval::fmt(m.speedup_vs_serial), eval::fmt(m.hit_rate),
+                      m.bit_identical ? "yes" : "NO"});
+      std::cerr << '.' << std::flush;
+    }
+  }
+  std::cerr << '\n';
+
+  std::cout << '\n';
+  eval::print_table(std::cout,
+                    {"threads", "cache", "images/s", "speedup", "hit rate",
+                     "bit-identical"},
+                    rows);
+
+  // --- Acceptance ---
+  bool deterministic = true;
+  for (const Measurement& m : results) deterministic &= m.bit_identical;
+
+  double cache_on_serial = 0.0, cache_off_serial = 0.0, warm_hit_rate = 0.0;
+  double best_8t_speedup = 0.0;
+  for (const Measurement& m : results) {
+    if (m.threads == 1 && m.cache) {
+      cache_on_serial = m.images_per_sec;
+      warm_hit_rate = m.hit_rate;
+    }
+    if (m.threads == 1 && !m.cache) cache_off_serial = m.images_per_sec;
+    if (m.threads == 8 && m.speedup_vs_serial > best_8t_speedup)
+      best_8t_speedup = m.speedup_vs_serial;
+  }
+  const double cache_speedup =
+      cache_off_serial > 0.0 ? cache_on_serial / cache_off_serial : 0.0;
+  // Timing on a loaded CI box is noisy; the cache claim is "not slower,
+  // hits dominate", the real win being the skipped steering + MVDR solves.
+  const bool cache_ok = warm_hit_rate >= 0.5 && cache_speedup >= 0.9;
+  const bool scaling_applicable = hw >= 4;
+  const bool scaling_ok = best_8t_speedup >= 3.0;
+
+  std::cout << "\ndeterminism (all configs match serial bitwise): "
+            << (deterministic ? "PASS" : "FAIL")
+            << "\nwarm-batch cache hit rate: " << eval::fmt(warm_hit_rate)
+            << ", cache speedup (serial): " << eval::fmt(cache_speedup)
+            << "\nacceptance (hit rate >= 0.5, not slower): "
+            << (cache_ok ? "PASS" : "FAIL")
+            << "\n8-thread speedup: " << eval::fmt(best_8t_speedup)
+            << "\nacceptance (>= 3x at 8 threads): ";
+  if (!scaling_applicable)
+    std::cout << "SKIP (machine has " << hw
+              << " hardware thread(s); needs >= 4 for the claim to be "
+                 "testable)";
+  else
+    std::cout << (scaling_ok ? "PASS" : "FAIL");
+  std::cout << '\n';
+
+  std::ofstream json("BENCH_throughput.json");
+  json << "{\n  \"grid_size\": " << kGrid
+       << ",\n  \"num_subbands\": " << kSubbands
+       << ",\n  \"images_per_config\": " << kImages
+       << ",\n  \"hardware_threads\": " << hw << ",\n  \"smoke\": "
+       << json_bool(smoke) << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    json << "    {\"threads\": " << m.threads
+         << ", \"cache\": " << json_bool(m.cache)
+         << ", \"images_per_sec\": " << m.images_per_sec
+         << ", \"speedup_vs_serial\": " << m.speedup_vs_serial
+         << ", \"hit_rate\": " << m.hit_rate
+         << ", \"bit_identical\": " << json_bool(m.bit_identical) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"determinism_pass\": " << json_bool(deterministic)
+       << ",\n  \"cache_pass\": " << json_bool(cache_ok)
+       << ",\n  \"scaling_pass\": "
+       << (scaling_applicable ? json_bool(scaling_ok) : "\"skipped\"")
+       << "\n}\n";
+  std::cout << "\nwrote BENCH_throughput.json\n";
+
+  return deterministic && cache_ok && (!scaling_applicable || scaling_ok) ? 0
+                                                                          : 1;
+}

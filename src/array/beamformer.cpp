@@ -251,6 +251,24 @@ std::vector<Complex> NarrowbandBeamformer::weights_das(
       steering_vector_hz(geom_, dir, center_freq_hz_, speed_of_sound_));
 }
 
+void NarrowbandBeamformer::compute_weights(const Direction& dir,
+                                           bool use_mvdr,
+                                           std::vector<Complex>& scratch,
+                                           std::vector<Complex>& out) const {
+  steering_vector_into(geom_, dir,
+                       2.0 * std::numbers::pi * center_freq_hz_,
+                       speed_of_sound_, scratch);
+  if (use_mvdr) {
+    echoimage::linalg::multiply_into(noise_cov_inv_, scratch, out);
+    const Complex denom = hdot(scratch, out);
+    for (Complex& w : out) w /= denom;
+  } else {
+    out = scratch;
+    const double inv_m = 1.0 / static_cast<double>(out.size());
+    for (Complex& w : out) w *= inv_m;
+  }
+}
+
 ComplexSignal NarrowbandBeamformer::steer(const Direction& dir) const {
   return apply_weights(analytic_, weights_mvdr(dir));
 }
@@ -265,6 +283,23 @@ double NarrowbandBeamformer::steered_energy(const Direction& dir,
                                             bool use_mvdr) const {
   const std::vector<Complex> w =
       use_mvdr ? weights_mvdr(dir) : weights_das(dir);
+  const std::size_t last = std::min(length_, first + count);
+  double e = 0.0;
+  for (std::size_t t = first; t < last; ++t) {
+    Complex y(0.0, 0.0);
+    for (std::size_t m = 0; m < analytic_.size(); ++m)
+      y += std::conj(w[m]) * analytic_[m][t];
+    e += std::norm(y);
+  }
+  return e;
+}
+
+double NarrowbandBeamformer::steered_energy(const std::vector<Complex>& w,
+                                            std::size_t first,
+                                            std::size_t count) const {
+  if (w.size() != analytic_.size())
+    throw std::invalid_argument(
+        "NarrowbandBeamformer: weight/channel mismatch");
   const std::size_t last = std::min(length_, first + count);
   double e = 0.0;
   for (std::size_t t = first; t < last; ++t) {

@@ -110,6 +110,13 @@ class NarrowbandBeamformer {
   /// Delay-and-sum weights toward `dir`.
   [[nodiscard]] std::vector<Complex> weights_das(const Direction& dir) const;
 
+  /// Allocation-reusing variant for hot loops: weights toward `dir`
+  /// (MVDR or delay-and-sum) written into `out`, with `scratch` holding
+  /// the steering vector. Bit-identical to the returning overloads.
+  void compute_weights(const Direction& dir, bool use_mvdr,
+                       std::vector<Complex>& scratch,
+                       std::vector<Complex>& out) const;
+
   /// Steered analytic output y(t) = w^H x(t) with MVDR weights.
   [[nodiscard]] echoimage::dsp::ComplexSignal steer(const Direction& dir) const;
 
@@ -121,6 +128,12 @@ class NarrowbandBeamformer {
   /// [first, first+count) — the imaging inner loop, avoids materializing y.
   [[nodiscard]] double steered_energy(const Direction& dir, std::size_t first,
                                       std::size_t count, bool use_mvdr) const;
+
+  /// Same energy from precomputed weights (e.g. a WeightCache hit). The
+  /// weight vector must match the (masked) channel count.
+  [[nodiscard]] double steered_energy(const std::vector<Complex>& w,
+                                      std::size_t first,
+                                      std::size_t count) const;
 
   /// Incoherent (phase-free) energy: mean over microphones of the per-
   /// channel energy in [first, first+count). Direction-independent — pure

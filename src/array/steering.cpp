@@ -63,6 +63,17 @@ std::vector<Complex> steering_vector_hz(const ArrayGeometry& geom,
                          speed_of_sound);
 }
 
+void steering_vector_into(const ArrayGeometry& geom, const Direction& dir,
+                          double omega, double speed_of_sound,
+                          std::vector<Complex>& out) {
+  out.resize(geom.num_mics());
+  const Vec3 v = propagation_vector(dir);
+  for (std::size_t m = 0; m < geom.num_mics(); ++m) {
+    const double phase = -(omega / speed_of_sound) * v.dot(geom.mic(m));
+    out[m] = std::polar(1.0, phase);
+  }
+}
+
 std::vector<Complex> steering_vector(const ArrayGeometry& geom,
                                      const Direction& dir, double omega,
                                      const ChannelMask& mask,

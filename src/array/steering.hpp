@@ -62,6 +62,12 @@ struct Direction {
     const ArrayGeometry& geom, const Direction& dir, double freq_hz,
     double speed_of_sound = kSpeedOfSound);
 
+/// Allocation-reusing variant for hot loops: the steering vector written
+/// into `out` (resized to fit). Bit-identical to `steering_vector`.
+void steering_vector_into(const ArrayGeometry& geom, const Direction& dir,
+                          double omega, double speed_of_sound,
+                          std::vector<Complex>& out);
+
 /// Masked steering vectors: the steering vector of the surviving subarray
 /// (entries only for active microphones, order preserved) — pairs with the
 /// masked covariance so MVDR runs on healthy channels alone. An empty mask

@@ -2,10 +2,13 @@
 
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
+
 namespace echoimage::core {
 
-DataAugmenter::DataAugmenter(ImagingConfig config)
-    : config_(std::move(config)) {}
+DataAugmenter::DataAugmenter(ImagingConfig config,
+                             std::shared_ptr<echoimage::runtime::ThreadPool> pool)
+    : config_(std::move(config)), pool_(std::move(pool)) {}
 
 Matrix2D DataAugmenter::transform(const Matrix2D& image, double from_m,
                                   double to_m) const {
@@ -37,10 +40,18 @@ AcousticImage DataAugmenter::transform(const AcousticImage& image,
 std::vector<Matrix2D> DataAugmenter::synthesize(
     const Matrix2D& image, double from_m,
     const std::vector<double>& target_distances_m) const {
-  std::vector<Matrix2D> out;
-  out.reserve(target_distances_m.size());
-  for (const double d : target_distances_m)
-    out.push_back(transform(image, from_m, d));
+  std::vector<Matrix2D> out(target_distances_m.size());
+  // Per-target fan-out: each distance fills its own slot, so the result
+  // vector is identical to the serial loop for any worker count.
+  const auto project = [&](std::size_t i, std::size_t) {
+    out[i] = transform(image, from_m, target_distances_m[i]);
+  };
+  if (pool_ != nullptr) {
+    echoimage::runtime::parallel_for(*pool_, target_distances_m.size(),
+                                     project);
+  } else {
+    for (std::size_t i = 0; i < target_distances_m.size(); ++i) project(i, 0);
+  }
   return out;
 }
 

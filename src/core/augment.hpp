@@ -7,6 +7,7 @@
 // actually stood at, shrinking the enrollment burden.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/imaging.hpp"
@@ -16,7 +17,13 @@ namespace echoimage::core {
 class DataAugmenter {
  public:
   /// The imaging config fixes the grid geometry (x_k, z_k per pixel).
-  explicit DataAugmenter(ImagingConfig config);
+  /// `pool` (optional) parallelizes `synthesize` across target distances —
+  /// typically the imager's pool, shared so enrollment never runs two
+  /// worker sets; each target writes its own output slot, so synthesized
+  /// images are bit-identical to the serial path for any worker count.
+  explicit DataAugmenter(
+      ImagingConfig config,
+      std::shared_ptr<echoimage::runtime::ThreadPool> pool = nullptr);
 
   /// Re-project one image from plane distance `from_m` to `to_m` (Eq. 15).
   [[nodiscard]] Matrix2D transform(const Matrix2D& image, double from_m,
@@ -33,6 +40,7 @@ class DataAugmenter {
 
  private:
   ImagingConfig config_;
+  std::shared_ptr<echoimage::runtime::ThreadPool> pool_;
 };
 
 }  // namespace echoimage::core

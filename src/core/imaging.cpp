@@ -1,13 +1,16 @@
 #include "core/imaging.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "array/steering.hpp"
 #include "dsp/butterworth.hpp"
 #include "dsp/hilbert.hpp"
 #include "dsp/matched_filter.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace echoimage::core {
 
@@ -29,6 +32,12 @@ echoimage::array::Vec3 grid_center(const ImagingConfig& config,
   return {x, plane_distance_m, z};
 }
 
+std::size_t resolve_threads(std::size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace
 
 double grid_distance(const ImagingConfig& config, std::size_t row,
@@ -42,6 +51,15 @@ AcousticImager::AcousticImager(ImagingConfig config, ArrayGeometry geometry)
       bandpass_filter_(echoimage::dsp::butterworth_bandpass(
           config_.bandpass_order, config_.bandpass_low_hz,
           config_.bandpass_high_hz, config_.sample_rate)) {
+  const std::size_t threads = resolve_threads(config_.num_threads);
+  if (threads > 1)
+    pool_ = std::make_shared<echoimage::runtime::ThreadPool>(threads);
+  if (config_.use_weight_cache) {
+    echoimage::array::WeightCacheConfig cache_cfg;
+    cache_cfg.capacity = config_.weight_cache_capacity;
+    cache_cfg.distance_quantum_m = config_.weight_cache_quantum_m;
+    weight_cache_ = std::make_shared<echoimage::array::WeightCache>(cache_cfg);
+  }
   if (config_.grid_size == 0)
     throw std::invalid_argument("AcousticImager: grid_size must be positive");
   if (config_.grid_spacing_m <= 0.0)
@@ -146,41 +164,86 @@ void AcousticImager::accumulate_band(
       a = echoimage::dsp::matched_filter_complex(a, subband_templates_[band]);
     channels.push_back(std::move(a));
   }
+  // The fingerprint is taken before the beamformer's internal diagonal
+  // loading; it only needs to identify the noise field, not mirror it.
+  const std::uint64_t cov_fp = echoimage::array::WeightCache::fingerprint(cov);
   const NarrowbandBeamformer bf(std::move(channels), config_.sample_rate,
                                 subband_centers_[band], geometry_, cov,
                                 config_.speed_of_sound, active_mask);
 
-  for (std::size_t row = 0; row < config_.grid_size; ++row) {
-    for (std::size_t col = 0; col < config_.grid_size; ++col) {
-      const echoimage::array::Vec3 p =
-          grid_center(config_, row, col, plane_distance_m);
+  echoimage::array::WeightCache* const cache = weight_cache_.get();
+  echoimage::array::WeightKey key;
+  if (cache != nullptr) {
+    key.band = static_cast<std::uint32_t>(band);
+    key.distance_q = cache->quantize_distance(plane_distance_m);
+    key.speed_bits = std::bit_cast<std::uint64_t>(config_.speed_of_sound);
+    key.mask_bits = echoimage::array::WeightCache::mask_bits(
+        active_mask, filtered.num_channels());
+    key.cov_fingerprint = cov_fp;
+    key.mvdr = config_.use_mvdr;
+  }
+
+  // Per-grid loop: every grid writes its own pixel and bands accumulate in
+  // a fixed outer order, so the image is bit-identical for any worker
+  // count (and with the weight cache on or off — a hit replays the exact
+  // bits a recompute would produce).
+  struct PixelScratch {
+    std::vector<echoimage::dsp::Complex> steering;
+    std::vector<echoimage::dsp::Complex> weights;
+  };
+  echoimage::runtime::ScratchArena<PixelScratch> arena(
+      pool_ != nullptr ? pool_->num_workers() : 1);
+  const double mix = std::clamp(config_.incoherent_mix, 0.0, 1.0);
+  const std::size_t num_grids = config_.grid_size * config_.grid_size;
+  std::vector<double>& pixels = image.data();
+
+  const auto grid_energy = [&](std::size_t k, std::size_t worker) {
+    const std::size_t row = k / config_.grid_size;
+    const std::size_t col = k % config_.grid_size;
+    const echoimage::array::Vec3 p =
+        grid_center(config_, row, col, plane_distance_m);
+    const double dk = p.norm();
+    // Echoes from grid k: the compressed pulse peaks at the onset
+    // 2 Dk/c; without compression the raw chirp occupies a further
+    // chirp-length of samples. With echo anchoring the gate tracks the
+    // measured echo time, cancelling constant detection bias.
+    const bool anchored = config_.anchor_to_echo && tau_echo_s >= 0.0;
+    const double onset =
+        anchored
+            ? tau_echo_s +
+                  2.0 * (dk - plane_distance_m) / config_.speed_of_sound
+            : tau_direct_s + 2.0 * dk / config_.speed_of_sound;
+    const double t0 = onset - config_.gate_halfwidth_s;
+    const double t1 = onset + config_.gate_halfwidth_s +
+                      (config_.pulse_compression ? 0.0 : gate_extra);
+    const std::size_t first = echoimage::dsp::seconds_to_samples(
+        std::max(0.0, t0), config_.sample_rate);
+    const std::size_t last = echoimage::dsp::seconds_to_samples(
+        std::max(0.0, t1), config_.sample_rate);
+    const std::size_t count = last > first ? last - first : 0;
+    double e = 0.0;
+    if (mix < 1.0) {
+      PixelScratch& s = arena.local(worker);
       const Direction dir = echoimage::array::direction_to_point(p);
-      const double dk = p.norm();
-      // Echoes from grid k: the compressed pulse peaks at the onset
-      // 2 Dk/c; without compression the raw chirp occupies a further
-      // chirp-length of samples. With echo anchoring the gate tracks the
-      // measured echo time, cancelling constant detection bias.
-      const bool anchored = config_.anchor_to_echo && tau_echo_s >= 0.0;
-      const double onset =
-          anchored ? tau_echo_s + 2.0 * (dk - plane_distance_m) /
-                                      config_.speed_of_sound
-                   : tau_direct_s + 2.0 * dk / config_.speed_of_sound;
-      const double t0 = onset - config_.gate_halfwidth_s;
-      const double t1 = onset + config_.gate_halfwidth_s +
-                        (config_.pulse_compression ? 0.0 : gate_extra);
-      const std::size_t first = echoimage::dsp::seconds_to_samples(
-          std::max(0.0, t0), config_.sample_rate);
-      const std::size_t last = echoimage::dsp::seconds_to_samples(
-          std::max(0.0, t1), config_.sample_rate);
-      const std::size_t count = last > first ? last - first : 0;
-      const double mix = std::clamp(config_.incoherent_mix, 0.0, 1.0);
-      double e = 0.0;
-      if (mix < 1.0)
-        e += (1.0 - mix) *
-             bf.steered_energy(dir, first, count, config_.use_mvdr);
-      if (mix > 0.0) e += mix * bf.incoherent_energy(first, count);
-      image(row, col) += e;
+      if (cache != nullptr) {
+        echoimage::array::WeightKey k_key = key;
+        k_key.grid_index = static_cast<std::uint32_t>(k);
+        if (!cache->lookup(k_key, s.weights)) {
+          bf.compute_weights(dir, config_.use_mvdr, s.steering, s.weights);
+          cache->insert(k_key, s.weights);
+        }
+      } else {
+        bf.compute_weights(dir, config_.use_mvdr, s.steering, s.weights);
+      }
+      e += (1.0 - mix) * bf.steered_energy(s.weights, first, count);
     }
+    if (mix > 0.0) e += mix * bf.incoherent_energy(first, count);
+    pixels[k] += e;
+  };
+  if (pool_ != nullptr) {
+    echoimage::runtime::parallel_for(*pool_, num_grids, grid_energy);
+  } else {
+    for (std::size_t k = 0; k < num_grids; ++k) grid_energy(k, 0);
   }
 }
 

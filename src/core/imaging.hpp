@@ -10,11 +10,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "array/beamformer.hpp"
+#include "array/weight_cache.hpp"
 #include "core/distance.hpp"
 #include "dsp/biquad.hpp"
 #include "ml/tensor.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace echoimage::core {
 
@@ -67,6 +70,19 @@ struct ImagingConfig {
   /// 1 = single full-band image.
   std::size_t num_subbands = 5;
   double speed_of_sound = echoimage::array::kSpeedOfSound;
+  /// Workers for the per-grid imaging loop. 1 = the historical serial
+  /// path (no pool, no synchronization); 0 = one per hardware thread.
+  /// Any value produces bit-identical images: grids write disjoint output
+  /// slots and bands accumulate in a fixed order (see DESIGN.md,
+  /// "Threading model").
+  std::size_t num_threads = 1;
+  /// Memoize steering + MVDR weight solves across beeps and bands (see
+  /// array/weight_cache.hpp). Numerically free: a hit returns exactly the
+  /// bits a recompute would produce.
+  bool use_weight_cache = true;
+  /// Plane-distance quantum of the cache key (<= 0: exact bit pattern).
+  double weight_cache_quantum_m = 1e-3;
+  std::size_t weight_cache_capacity = 1u << 18;
 };
 
 /// One acoustic image: a stack of per-spectral-band grids. Single-band
@@ -85,6 +101,19 @@ class AcousticImager {
   AcousticImager(ImagingConfig config, ArrayGeometry geometry);
 
   [[nodiscard]] const ImagingConfig& config() const { return config_; }
+
+  /// Worker pool of the imaging loop (null on the serial path). Shared so
+  /// sibling stages (e.g. the augmenter) can reuse the same workers.
+  [[nodiscard]] const std::shared_ptr<echoimage::runtime::ThreadPool>& pool()
+      const {
+    return pool_;
+  }
+
+  /// The weight cache (null when disabled); exposes hit/miss accounting
+  /// for benches and tests.
+  [[nodiscard]] const echoimage::array::WeightCache* weight_cache() const {
+    return weight_cache_.get();
+  }
 
   /// Construct the acoustic image AI_l from one beep capture. `tau_direct_s`
   /// anchors the time axis (emission time = direct-path arrival minus the
@@ -126,6 +155,11 @@ class AcousticImager {
 
   ImagingConfig config_;
   ArrayGeometry geometry_;
+  /// Shared across copies of this imager: the pool serializes overlapping
+  /// regions internally, and cache entries are copy-agnostic (the config,
+  /// and so the keys, are identical).
+  std::shared_ptr<echoimage::runtime::ThreadPool> pool_;
+  std::shared_ptr<echoimage::array::WeightCache> weight_cache_;
   echoimage::dsp::SosCascade bandpass_filter_;
   std::vector<echoimage::dsp::SosCascade> subband_filters_;
   std::vector<double> subband_centers_;

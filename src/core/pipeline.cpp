@@ -38,6 +38,7 @@ void SystemConfig::harmonize() {
   imaging.sample_rate = sample_rate;
   imaging.chirp = chirp;
   imaging.speed_of_sound = speed_of_sound;
+  imaging.num_threads = num_threads;
   imaging.bandpass_low_hz = distance.bandpass_low_hz;
   imaging.bandpass_high_hz = distance.bandpass_high_hz;
   imaging.bandpass_order = distance.bandpass_order;
@@ -47,6 +48,9 @@ std::string SystemConfig::describe() const {
   std::ostringstream os;
   os << "sample_rate: " << sample_rate << " Hz\n"
      << "speed of sound: " << speed_of_sound << " m/s\n"
+     << "threads: " << num_threads << (num_threads == 0 ? " (auto)" : "")
+     << ", weight cache "
+     << (imaging.use_weight_cache ? "on" : "off") << "\n"
      << "chirp: " << chirp.f_start_hz << "-" << chirp.f_end_hz << " Hz, "
      << chirp.duration_s * 1000.0 << " ms\n"
      << "band-pass: " << distance.bandpass_low_hz << "-"
@@ -86,7 +90,7 @@ EchoImagePipeline::EchoImagePipeline(SystemConfig config,
       geometry_(geometry),
       distance_(config_.distance, geometry),
       imager_(config_.imaging, geometry),
-      augmenter_(config_.imaging),
+      augmenter_(config_.imaging, imager_.pool()),
       extractor_(config_.extractor) {}
 
 void EchoImagePipeline::validate_capture(

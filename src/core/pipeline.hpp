@@ -24,6 +24,11 @@ struct SystemConfig {
   /// imaging by `harmonize` — the single knob a recalibrator turns when
   /// the room temperature has moved the real value (see core/drift.hpp).
   double speed_of_sound = echoimage::array::kSpeedOfSound;
+  /// Worker threads for the parallel stages (imaging grids, augmentation
+  /// fan-out, experiment session fan-out). 1 = the historical serial
+  /// behavior, bit for bit; 0 = one worker per hardware thread. Results
+  /// are deterministic for every value (see DESIGN.md, "Threading model").
+  std::size_t num_threads = 1;
   echoimage::dsp::ChirpParams chirp{};
   DistanceEstimatorConfig distance{};
   ImagingConfig imaging{};

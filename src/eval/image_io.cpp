@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -32,6 +35,42 @@ void write_pgm_file(const std::string& path,
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("write_pgm: cannot open " + path);
   write_pgm(os, image);
+}
+
+void write_matrix(std::ostream& os, const echoimage::ml::Matrix2D& image) {
+  os << "EIMAT " << image.rows() << ' ' << image.cols() << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t r = 0; r < image.rows(); ++r) {
+    for (std::size_t c = 0; c < image.cols(); ++c) {
+      if (c > 0) os << ' ';
+      os << image(r, c);
+    }
+    os << '\n';
+  }
+}
+
+echoimage::ml::Matrix2D read_matrix(std::istream& is) {
+  std::string magic;
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> magic >> rows >> cols) || magic != "EIMAT")
+    throw std::runtime_error("read_matrix: not an EIMAT header");
+  echoimage::ml::Matrix2D out(rows, cols);
+  for (double& v : out.data())
+    if (!(is >> v)) throw std::runtime_error("read_matrix: truncated data");
+  return out;
+}
+
+void write_matrix_file(const std::string& path,
+                       const echoimage::ml::Matrix2D& image) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_matrix: cannot open " + path);
+  write_matrix(os, image);
+}
+
+echoimage::ml::Matrix2D read_matrix_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_matrix: cannot open " + path);
+  return read_matrix(is);
 }
 
 }  // namespace echoimage::eval

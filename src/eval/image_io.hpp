@@ -1,5 +1,6 @@
-// Image export for inspection: acoustic images as PGM (portable graymap),
-// readable by any image viewer.
+// Image export: acoustic images as PGM (portable graymap) for inspection
+// in any image viewer, and as a full-precision text matrix format for
+// golden-image regression baselines.
 #pragma once
 
 #include <iosfwd>
@@ -16,5 +17,20 @@ void write_pgm(std::ostream& os, const echoimage::ml::Matrix2D& image);
 /// File convenience; throws std::runtime_error when the file cannot open.
 void write_pgm_file(const std::string& path,
                     const echoimage::ml::Matrix2D& image);
+
+/// Write a matrix as text ("EIMAT rows cols" header, one row per line)
+/// at max_digits10 precision, so every double round-trips exactly —
+/// unlike the 8-bit PGM, suitable for bitwise golden-image baselines.
+void write_matrix(std::ostream& os, const echoimage::ml::Matrix2D& image);
+
+/// Parse the `write_matrix` format. Throws std::runtime_error on a
+/// malformed header or truncated data.
+[[nodiscard]] echoimage::ml::Matrix2D read_matrix(std::istream& is);
+
+/// File conveniences; throw std::runtime_error when the file cannot open.
+void write_matrix_file(const std::string& path,
+                       const echoimage::ml::Matrix2D& image);
+[[nodiscard]] echoimage::ml::Matrix2D read_matrix_file(
+    const std::string& path);
 
 }  // namespace echoimage::eval

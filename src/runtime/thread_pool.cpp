@@ -1,0 +1,82 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace echoimage::runtime {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_workers_(std::max<std::size_t>(1, num_threads)),
+      errors_(num_workers_) {
+  threads_.reserve(num_workers_ - 1);
+  for (std::size_t w = 1; w < num_workers_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_[worker] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& task) {
+  if (num_workers_ == 1) {
+    task(0);  // inline: the serial path, no synchronization at all
+    return;
+  }
+  std::lock_guard<std::mutex> region(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    pending_ = num_workers_ - 1;
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  try {
+    task(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    // Rethrow the lowest worker's failure so the surfaced error does not
+    // depend on scheduling.
+    for (const std::exception_ptr& e : errors_)
+      if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace echoimage::runtime

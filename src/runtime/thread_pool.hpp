@@ -1,0 +1,63 @@
+// Fixed-size fork-join thread pool.
+//
+// A ThreadPool owns (num_threads - 1) persistent worker threads; the
+// calling thread acts as worker 0 of every parallel region, so a pool of
+// one worker degenerates to plain inline execution with zero threading
+// machinery touched — the property the determinism suite leans on when it
+// compares `num_threads = 1` against the historical serial code path.
+//
+// Pools are cheap to keep around (workers sleep on a condition variable
+// between regions) and safe to share: `run` serializes concurrent callers,
+// so a pool referenced from several pipeline stages never interleaves two
+// parallel regions.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace echoimage::runtime {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total worker count including the calling thread;
+  /// 0 is treated as 1 (fully inline execution, no threads spawned).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers participating in a region (spawned threads + caller).
+  [[nodiscard]] std::size_t num_workers() const { return num_workers_; }
+
+  /// One fork-join region: `task(worker)` runs once per worker index in
+  /// [0, num_workers()); worker 0 executes on the calling thread. Blocks
+  /// until every worker returns. If workers throw, the exception of the
+  /// lowest worker index is rethrown (deterministic regardless of timing).
+  /// Concurrent callers are serialized.
+  void run(const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::size_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex run_mutex_;  ///< serializes whole regions across callers
+
+  std::mutex mutex_;  ///< protects the region state below
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t generation_ = 0;  ///< bumped once per region
+  std::size_t pending_ = 0;     ///< spawned workers still inside the region
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< slot per worker index
+};
+
+}  // namespace echoimage::runtime

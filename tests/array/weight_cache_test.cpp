@@ -1,0 +1,227 @@
+#include "array/weight_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace echoimage::array {
+namespace {
+
+WeightKey some_key() {
+  WeightKey k;
+  k.band = 1;
+  k.grid_index = 42;
+  k.distance_q = 700;
+  k.speed_bits = std::bit_cast<std::uint64_t>(343.0);
+  k.mask_bits = 0x3f;
+  k.cov_fingerprint = 0xdeadbeef;
+  k.mvdr = true;
+  return k;
+}
+
+std::vector<Complex> some_weights(double seed = 1.0) {
+  return {Complex(seed, -0.5), Complex(0.25 * seed, 2.0), Complex(-seed, 0.0)};
+}
+
+TEST(WeightCache, HitMissAccountingIsExact) {
+  WeightCache cache;
+  std::vector<Complex> out;
+  const WeightKey k = some_key();
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(cache.lookup(k, out));
+  cache.insert(k, some_weights());
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(cache.lookup(k, out));
+  const WeightCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 5u);
+  EXPECT_EQ(s.hits, 7u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.flushes, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 7.0 / 12.0);
+  cache.reset_stats();
+  const WeightCacheStats z = cache.stats();
+  EXPECT_EQ(z.hits + z.misses + z.insertions + z.flushes, 0u);
+  EXPECT_EQ(z.hit_rate(), 0.0);
+}
+
+TEST(WeightCache, HitReturnsTheInsertedBitsVerbatim) {
+  WeightCache cache;
+  const std::vector<Complex> w = some_weights(0.1);  // 0.1 is inexact: real bits
+  cache.insert(some_key(), w);
+  std::vector<Complex> out;
+  ASSERT_TRUE(cache.lookup(some_key(), out));
+  ASSERT_EQ(out.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i].real()),
+              std::bit_cast<std::uint64_t>(w[i].real()));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i].imag()),
+              std::bit_cast<std::uint64_t>(w[i].imag()));
+  }
+}
+
+TEST(WeightCache, SpeedOfSoundChangeNeverHitsStaleEntries) {
+  // A drift recalibration changes c; every key component else equal, the
+  // old entry must be unreachable.
+  WeightCache cache;
+  WeightKey k = some_key();
+  cache.insert(k, some_weights(1.0));
+  WeightKey recal = k;
+  recal.speed_bits = std::bit_cast<std::uint64_t>(346.12);
+  std::vector<Complex> out;
+  EXPECT_FALSE(cache.lookup(recal, out));
+  // Even a 1-ulp change in c misses: keys use the exact bit pattern.
+  WeightKey ulp = k;
+  ulp.speed_bits = k.speed_bits + 1;
+  EXPECT_FALSE(cache.lookup(ulp, out));
+  EXPECT_TRUE(cache.lookup(k, out));  // the original stays reachable
+}
+
+TEST(WeightCache, MaskBitsCannotAliasAcrossSubarrays) {
+  // Empty mask means "all channels active" — identical to an explicit
+  // all-true mask, and distinct from every degraded subarray.
+  const std::uint64_t full = WeightCache::mask_bits({}, 6);
+  EXPECT_EQ(full, 0x3fu);
+  EXPECT_EQ(WeightCache::mask_bits(ChannelMask(6, true), 6), full);
+  ChannelMask degraded(6, true);
+  degraded[2] = false;
+  const std::uint64_t deg = WeightCache::mask_bits(degraded, 6);
+  EXPECT_NE(deg, full);
+  ChannelMask other(6, true);
+  other[5] = false;
+  EXPECT_NE(WeightCache::mask_bits(other, 6), deg);
+  // Same surviving channels, different array size: still distinct keys.
+  EXPECT_NE(WeightCache::mask_bits({}, 4), WeightCache::mask_bits({}, 6));
+}
+
+TEST(WeightCache, MaskBitsRejectsMoreThan64Channels) {
+  EXPECT_THROW((void)WeightCache::mask_bits({}, 65), std::invalid_argument);
+  EXPECT_THROW((void)WeightCache::mask_bits(ChannelMask(65, true), 65),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)WeightCache::mask_bits(ChannelMask(64, true), 64));
+}
+
+TEST(WeightCache, DistanceQuantization) {
+  WeightCacheConfig cfg;
+  cfg.distance_quantum_m = 1e-3;
+  const WeightCache cache(cfg);
+  // Distances within one quantum share a key; a full quantum apart differ.
+  EXPECT_EQ(cache.quantize_distance(0.7000), cache.quantize_distance(0.70004));
+  EXPECT_NE(cache.quantize_distance(0.700), cache.quantize_distance(0.701));
+  // quantum <= 0 keys on the exact bit pattern: every distinct double is a
+  // distinct key.
+  WeightCacheConfig exact;
+  exact.distance_quantum_m = 0.0;
+  const WeightCache ecache(exact);
+  EXPECT_NE(ecache.quantize_distance(0.7),
+            ecache.quantize_distance(std::nextafter(0.7, 1.0)));
+  EXPECT_EQ(ecache.quantize_distance(0.7), ecache.quantize_distance(0.7));
+}
+
+TEST(WeightCache, CovarianceFingerprintSeparatesNoiseFields) {
+  CMatrix a(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      a(r, c) = Complex(static_cast<double>(r + c), r == c ? 1.0 : 0.0);
+  CMatrix b = a;
+  EXPECT_EQ(WeightCache::fingerprint(a), WeightCache::fingerprint(b));
+  b(1, 2) += Complex(1e-12, 0.0);  // tiny perturbation still separates
+  EXPECT_NE(WeightCache::fingerprint(a), WeightCache::fingerprint(b));
+  // Shape participates: a 1x9 with the same bytes is not a 3x3.
+  CMatrix flat(1, 9);
+  for (std::size_t i = 0; i < 9; ++i) flat(0, i) = a(i / 3, i % 3);
+  EXPECT_NE(WeightCache::fingerprint(a), WeightCache::fingerprint(flat));
+}
+
+TEST(WeightCache, EvictionIsWholesaleNeverPartial) {
+  WeightCacheConfig cfg;
+  cfg.capacity = 4;
+  WeightCache cache(cfg);
+  std::vector<Complex> out;
+  WeightKey k = some_key();
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    k.grid_index = i;
+    cache.insert(k, some_weights(i + 1.0));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().flushes, 0u);
+  // The 5th insert hits the cap: the whole cache flushes, then re-seeds
+  // with just the new entry — no lookup can ever see a half-evicted state.
+  k.grid_index = 99;
+  cache.insert(k, some_weights(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  EXPECT_TRUE(cache.lookup(k, out));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    k.grid_index = i;
+    EXPECT_FALSE(cache.lookup(k, out));
+  }
+}
+
+TEST(WeightCache, ReinsertingAnExistingKeyNeverFlushes) {
+  WeightCacheConfig cfg;
+  cfg.capacity = 2;
+  WeightCache cache(cfg);
+  WeightKey k = some_key();
+  cache.insert(k, some_weights(1.0));
+  k.grid_index = 2;
+  cache.insert(k, some_weights(2.0));
+  EXPECT_EQ(cache.size(), 2u);
+  // At capacity, but this key already exists: first writer wins, no flush.
+  cache.insert(k, some_weights(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().flushes, 0u);
+  std::vector<Complex> out;
+  ASSERT_TRUE(cache.lookup(k, out));
+  EXPECT_EQ(out[0].real(), 2.0);  // the original entry survived
+}
+
+TEST(WeightCache, ClearEmptiesAndCountsAFlush) {
+  WeightCache cache;
+  cache.insert(some_key(), some_weights());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  std::vector<Complex> out;
+  EXPECT_FALSE(cache.lookup(some_key(), out));
+}
+
+TEST(WeightCache, ZeroCapacityIsRejected) {
+  WeightCacheConfig cfg;
+  cfg.capacity = 0;
+  EXPECT_THROW(WeightCache{cfg}, std::invalid_argument);
+}
+
+TEST(WeightCache, ConcurrentLookupsAndInsertsStayConsistent) {
+  // Hammer the cache from several threads (the TSan-labeled suite runs this
+  // under ThreadSanitizer). Every hit must return the full inserted vector.
+  WeightCache cache;
+  constexpr int kKeys = 32;
+  constexpr int kIters = 200;
+  const auto worker = [&](unsigned salt) {
+    std::vector<Complex> out;
+    WeightKey k = some_key();
+    for (int it = 0; it < kIters; ++it) {
+      k.grid_index = static_cast<std::uint32_t>((it + salt) % kKeys);
+      if (cache.lookup(k, out)) {
+        ASSERT_EQ(out.size(), 3u);
+        EXPECT_EQ(out[0].real(), static_cast<double>(k.grid_index));
+      } else {
+        cache.insert(k, {Complex(k.grid_index, 0.0), Complex(0, 1),
+                         Complex(2, 2)});
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) threads.emplace_back(worker, t * 7);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  const WeightCacheStats s = cache.stats();
+  // Exactly one insertion can win per key; duplicates are dropped.
+  EXPECT_EQ(s.hits + s.misses, 4u * kIters);
+  EXPECT_GE(s.insertions, static_cast<std::uint64_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace echoimage::array

@@ -1,0 +1,94 @@
+// Golden-image regression: a fixed capture must reproduce the committed
+// reference image to within 1e-12. Catches any accidental numerical change
+// to the imaging chain — filtering, beamforming, gating, weight caching,
+// or the parallel decomposition.
+//
+// Regenerate (after an INTENDED numerical change, with the serial path):
+//   ECHOIMAGE_REGEN_GOLDEN=1 ./echoimage_tests --gtest_filter='GoldenImage.*'
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/imaging.hpp"
+#include "eval/dataset.hpp"
+#include "eval/image_io.hpp"
+#include "eval/roster.hpp"
+
+#ifndef ECHOIMAGE_TEST_DATA_DIR
+#error "ECHOIMAGE_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace echoimage::core {
+namespace {
+
+ImagingConfig golden_config() {
+  ImagingConfig cfg;
+  cfg.grid_size = 16;
+  cfg.grid_spacing_m = 0.045;
+  cfg.num_subbands = 2;
+  cfg.num_threads = 1;  // the golden file is defined by the serial path
+  return cfg;
+}
+
+std::vector<Matrix2D> render_golden_scene(const ImagingConfig& cfg) {
+  const auto geometry = echoimage::array::make_respeaker_array();
+  const auto users =
+      echoimage::eval::make_users(echoimage::eval::make_roster(), 7);
+  const echoimage::eval::DataCollector collector(
+      echoimage::sim::CaptureConfig{}, geometry, 7);
+  echoimage::eval::CollectionConditions cond;
+  const auto batch = collector.collect(users[0], cond, 1);
+  return AcousticImager(cfg, geometry)
+      .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+}
+
+std::string golden_path(std::size_t band) {
+  return std::string(ECHOIMAGE_TEST_DATA_DIR) + "/golden_image_band" +
+         std::to_string(band) + ".eimat";
+}
+
+TEST(GoldenImage, MatchesCommittedReferenceWithin1em12) {
+  const std::vector<Matrix2D> bands = render_golden_scene(golden_config());
+  ASSERT_EQ(bands.size(), 2u);
+  if (std::getenv("ECHOIMAGE_REGEN_GOLDEN") != nullptr) {
+    for (std::size_t b = 0; b < bands.size(); ++b)
+      echoimage::eval::write_matrix_file(golden_path(b), bands[b]);
+    GTEST_SKIP() << "regenerated golden files in " << ECHOIMAGE_TEST_DATA_DIR;
+  }
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    const Matrix2D golden = echoimage::eval::read_matrix_file(golden_path(b));
+    ASSERT_EQ(golden.rows(), bands[b].rows());
+    ASSERT_EQ(golden.cols(), bands[b].cols());
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < golden.size(); ++i)
+      max_diff = std::max(
+          max_diff, std::abs(golden.data()[i] - bands[b].data()[i]));
+    EXPECT_LE(max_diff, 1e-12)
+        << "band " << b << " drifted from the golden image";
+  }
+}
+
+TEST(GoldenImage, ParallelCachedEngineMatchesTheGoldenToo) {
+  // The threaded, cache-enabled engine is held to the same reference: its
+  // determinism guarantee means it cannot drift from the serial golden.
+  if (std::getenv("ECHOIMAGE_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regeneration uses the serial path only";
+  ImagingConfig cfg = golden_config();
+  cfg.num_threads = 4;
+  cfg.use_weight_cache = true;
+  const std::vector<Matrix2D> bands = render_golden_scene(cfg);
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    const Matrix2D golden = echoimage::eval::read_matrix_file(golden_path(b));
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < golden.size(); ++i)
+      max_diff = std::max(
+          max_diff, std::abs(golden.data()[i] - bands[b].data()[i]));
+    EXPECT_LE(max_diff, 1e-12) << "band " << b;
+  }
+}
+
+}  // namespace
+}  // namespace echoimage::core

@@ -1,0 +1,271 @@
+// Determinism suite for the parallel imaging engine: every thread count,
+// cache mode, grid shape, and subarray must reproduce the serial images
+// bit for bit (see DESIGN.md, "Threading model").
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/imaging.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/roster.hpp"
+
+namespace echoimage::core {
+namespace {
+
+ImagingConfig small_config() {
+  ImagingConfig cfg;
+  cfg.grid_size = 12;  // keep the cross-product of modes fast
+  cfg.grid_spacing_m = 0.06;
+  cfg.num_subbands = 2;
+  return cfg;
+}
+
+struct Fixture {
+  echoimage::array::ArrayGeometry geometry =
+      echoimage::array::make_respeaker_array();
+  std::vector<echoimage::eval::SimulatedUser> users =
+      echoimage::eval::make_users(echoimage::eval::make_roster(), 7);
+  echoimage::eval::DataCollector collector{echoimage::sim::CaptureConfig{},
+                                           geometry, 7};
+
+  [[nodiscard]] echoimage::eval::CaptureBatch batch(std::size_t user = 0,
+                                                    std::size_t beeps = 1) const {
+    echoimage::eval::CollectionConditions cond;
+    return collector.collect(users[user], cond, beeps);
+  }
+};
+
+void expect_bitwise_equal(const std::vector<Matrix2D>& a,
+                          const std::vector<Matrix2D>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t band = 0; band < a.size(); ++band) {
+    ASSERT_EQ(a[band].rows(), b[band].rows()) << what;
+    ASSERT_EQ(a[band].cols(), b[band].cols()) << what;
+    for (std::size_t i = 0; i < a[band].size(); ++i)
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a[band].data()[i]),
+                std::bit_cast<std::uint64_t>(b[band].data()[i]))
+          << what << ": band " << band << " pixel " << i;
+  }
+}
+
+TEST(ParallelImaging, BitIdenticalAcrossThreadCounts) {
+  const Fixture f;
+  const auto batch = f.batch();
+  ImagingConfig cfg = small_config();
+  cfg.num_threads = 1;
+  const std::vector<Matrix2D> serial =
+      AcousticImager(cfg, f.geometry)
+          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    cfg.num_threads = threads;
+    const std::vector<Matrix2D> parallel =
+        AcousticImager(cfg, f.geometry)
+            .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+    expect_bitwise_equal(serial, parallel, "threads vs serial");
+  }
+}
+
+TEST(ParallelImaging, CacheOnAndOffAreBitIdentical) {
+  const Fixture f;
+  const auto batch = f.batch();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ImagingConfig on = small_config();
+    on.num_threads = threads;
+    on.use_weight_cache = true;
+    ImagingConfig off = on;
+    off.use_weight_cache = false;
+    const AcousticImager imager_on(on, f.geometry);
+    ASSERT_NE(imager_on.weight_cache(), nullptr);
+    const AcousticImager imager_off(off, f.geometry);
+    ASSERT_EQ(imager_off.weight_cache(), nullptr);
+    expect_bitwise_equal(
+        imager_on.construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                  batch.noise_only),
+        imager_off.construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                   batch.noise_only),
+        "cache on vs off");
+  }
+}
+
+TEST(ParallelImaging, RepeatedRunsReplayCachedWeightsBitIdentically) {
+  const Fixture f;
+  const auto batch = f.batch(0, 2);
+  ImagingConfig cfg = small_config();
+  cfg.num_threads = 2;
+  const AcousticImager imager(cfg, f.geometry);
+  // First construction populates the cache; later ones replay it. All runs
+  // (and a second beep at the same plane distance) must agree bitwise with
+  // a fresh imager's cold run.
+  const auto first =
+      imager.construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  const auto again =
+      imager.construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  expect_bitwise_equal(first, again, "repeat run");
+  const auto cold = AcousticImager(cfg, f.geometry)
+                        .construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                         batch.noise_only);
+  expect_bitwise_equal(first, cold, "warm vs cold imager");
+
+  ASSERT_NE(imager.weight_cache(), nullptr);
+  const auto stats = imager.weight_cache()->stats();
+  EXPECT_GT(stats.hits, 0u);  // the replay actually exercised the cache
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(ParallelImaging, OddGridSizesStayDeterministic) {
+  // 17x17 = 289 grids never splits evenly across 2 or 8 workers.
+  const Fixture f;
+  const auto batch = f.batch();
+  ImagingConfig cfg = small_config();
+  cfg.grid_size = 17;
+  cfg.num_threads = 1;
+  const auto serial =
+      AcousticImager(cfg, f.geometry)
+          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  ASSERT_EQ(serial[0].rows(), 17u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    cfg.num_threads = threads;
+    expect_bitwise_equal(
+        serial,
+        AcousticImager(cfg, f.geometry)
+            .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only),
+        "odd grid");
+  }
+}
+
+TEST(ParallelImaging, DegradedChannelMaskStaysDeterministic) {
+  const Fixture f;
+  const auto batch = f.batch();
+  echoimage::array::ChannelMask mask(f.geometry.num_mics(), true);
+  mask[1] = false;
+  mask[4] = false;  // the health gate condemned two channels
+  ImagingConfig cfg = small_config();
+  cfg.num_threads = 1;
+  const auto serial = AcousticImager(cfg, f.geometry)
+                          .construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                           batch.noise_only, -1.0, mask);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    cfg.num_threads = threads;
+    for (const bool cache : {true, false}) {
+      cfg.use_weight_cache = cache;
+      expect_bitwise_equal(
+          serial,
+          AcousticImager(cfg, f.geometry)
+              .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only,
+                               -1.0, mask),
+          "degraded mask");
+    }
+  }
+  // The degraded subarray genuinely changes the image (so the mask made it
+  // into the computation, not just the key).
+  cfg.num_threads = 1;
+  cfg.use_weight_cache = true;
+  const auto full = AcousticImager(cfg, f.geometry)
+                        .construct_bands(batch.beeps[0], 0.7, 0.0002,
+                                         batch.noise_only);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < full[0].size(); ++i)
+    diff += std::abs(full[0].data()[i] - serial[0].data()[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(ParallelImaging, RecalibratedSpeedOfSoundStaysDeterministic) {
+  // Environment drift recalibrates c (core/drift rebuilds the pipeline with
+  // the corrected config); the recalibrated imager must be deterministic
+  // too, and must not reproduce the stale-c images.
+  const Fixture f;
+  const auto batch = f.batch();
+  ImagingConfig cfg = small_config();
+  cfg.speed_of_sound = 349.6;  // ~35 C air, far from the 343 default
+  cfg.num_threads = 1;
+  const auto serial =
+      AcousticImager(cfg, f.geometry)
+          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    cfg.num_threads = threads;
+    for (const bool cache : {true, false}) {
+      cfg.use_weight_cache = cache;
+      expect_bitwise_equal(
+          serial,
+          AcousticImager(cfg, f.geometry)
+              .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only),
+          "recalibrated c");
+    }
+  }
+  ImagingConfig stock = small_config();
+  const auto baseline =
+      AcousticImager(stock, f.geometry)
+          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < baseline[0].size(); ++i)
+    diff += std::abs(baseline[0].data()[i] - serial[0].data()[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(ParallelImaging, AugmenterSynthesizesBitIdenticallyAcrossPools) {
+  const Fixture f;
+  const auto batch = f.batch();
+  ImagingConfig cfg = small_config();
+  const Matrix2D source =
+      AcousticImager(cfg, f.geometry)
+          .construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+  const std::vector<double> targets{0.5, 0.6, 0.8, 0.9, 1.1, 1.3, 1.7};
+  const DataAugmenter serial(cfg);
+  const std::vector<Matrix2D> want = serial.synthesize(source, 0.7, targets);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto pool =
+        std::make_shared<echoimage::runtime::ThreadPool>(threads);
+    const DataAugmenter parallel(cfg, pool);
+    expect_bitwise_equal(want, parallel.synthesize(source, 0.7, targets),
+                         "augmenter");
+  }
+}
+
+TEST(ParallelImaging, ExperimentResultsAreIdenticalAcrossThreadCounts) {
+  // Session-level fan-out: the whole experiment — enrollment, testing,
+  // confusion matrices, scores, accumulated distance error — must match the
+  // serial run exactly when threaded.
+  echoimage::eval::ExperimentConfig cfg;
+  cfg.system = echoimage::eval::default_system_config();
+  cfg.system.imaging.grid_size = 12;
+  cfg.system.imaging.num_subbands = 1;
+  cfg.system.extractor.input_size = 12;
+  cfg.system.extractor.block_channels = {8};  // 12px survives one pool
+  cfg.system.extractor.bypass_network = true;
+  cfg.num_registered = 2;
+  cfg.num_spoofers = 1;
+  cfg.train_beeps = 4;
+  cfg.train_visits = 2;
+  cfg.test_beeps = 2;
+  cfg.system.num_threads = 1;
+  cfg.system.harmonize();
+  const auto serial = echoimage::eval::run_authentication_experiment(cfg);
+  cfg.system.num_threads = 2;
+  cfg.system.harmonize();
+  const auto threaded = echoimage::eval::run_authentication_experiment(cfg);
+
+  EXPECT_EQ(serial.valid_estimates, threaded.valid_estimates);
+  EXPECT_EQ(serial.invalid_estimates, threaded.invalid_estimates);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.mean_abs_distance_error_m),
+            std::bit_cast<std::uint64_t>(threaded.mean_abs_distance_error_m));
+  ASSERT_EQ(serial.genuine_scores.size(), threaded.genuine_scores.size());
+  for (std::size_t i = 0; i < serial.genuine_scores.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.genuine_scores[i]),
+              std::bit_cast<std::uint64_t>(threaded.genuine_scores[i]));
+  ASSERT_EQ(serial.impostor_scores.size(), threaded.impostor_scores.size());
+  for (std::size_t i = 0; i < serial.impostor_scores.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.impostor_scores[i]),
+              std::bit_cast<std::uint64_t>(threaded.impostor_scores[i]));
+  EXPECT_EQ(serial.confusion.total(), threaded.confusion.total());
+  for (const int actual : serial.confusion.labels())
+    for (const int predicted : serial.confusion.labels())
+      EXPECT_EQ(serial.confusion.count(actual, predicted),
+                threaded.confusion.count(actual, predicted));
+}
+
+}  // namespace
+}  // namespace echoimage::core

@@ -55,5 +55,51 @@ TEST(Pgm, FileWriteWorksAndBadPathThrows) {
                std::runtime_error);
 }
 
+TEST(MatrixIo, RoundTripsDoublesExactly) {
+  echoimage::ml::Matrix2D img(3, 4);
+  // Values chosen to stress precision: irrational-ish, denormal-adjacent,
+  // negative, and exact-binary cases.
+  const double vals[] = {1.0 / 3.0,  -2.718281828459045, 1e-300,  0.0,
+                         -0.0,       6.25,               1e308,   -1e-12,
+                         0.1,        123456789.123456789, 2.0,    -7.5e-5};
+  for (std::size_t i = 0; i < img.size(); ++i) img.data()[i] = vals[i];
+  std::stringstream ss;
+  write_matrix(ss, img);
+  const echoimage::ml::Matrix2D back = read_matrix(ss);
+  ASSERT_EQ(back.rows(), img.rows());
+  ASSERT_EQ(back.cols(), img.cols());
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_EQ(back.data()[i], img.data()[i]) << "element " << i;
+}
+
+TEST(MatrixIo, HeaderNamesShape) {
+  const echoimage::ml::Matrix2D img(2, 5, 1.5);
+  std::stringstream ss;
+  write_matrix(ss, img);
+  EXPECT_EQ(ss.str().rfind("EIMAT 2 5\n", 0), 0u);
+}
+
+TEST(MatrixIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("NOPE 2 2\n1 2\n3 4\n");
+  EXPECT_THROW((void)read_matrix(bad), std::runtime_error);
+  std::stringstream trunc("EIMAT 2 2\n1 2\n3\n");
+  EXPECT_THROW((void)read_matrix(trunc), std::runtime_error);
+}
+
+TEST(MatrixIo, FileRoundTripAndBadPathThrows) {
+  echoimage::ml::Matrix2D img(2, 2);
+  img(0, 0) = 0.25;
+  img(1, 1) = -1.0 / 7.0;
+  write_matrix_file("/tmp/echoimage_matrix_test.eimat", img);
+  const echoimage::ml::Matrix2D back =
+      read_matrix_file("/tmp/echoimage_matrix_test.eimat");
+  for (std::size_t i = 0; i < img.size(); ++i)
+    EXPECT_EQ(back.data()[i], img.data()[i]);
+  EXPECT_THROW(write_matrix_file("/nonexistent/x.eimat", img),
+               std::runtime_error);
+  EXPECT_THROW((void)read_matrix_file("/nonexistent/x.eimat"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace echoimage::eval

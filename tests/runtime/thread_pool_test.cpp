@@ -1,0 +1,108 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace echoimage::runtime {
+namespace {
+
+TEST(ThreadPool, ZeroAndOneWorkersRunInline) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_workers(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen{};
+    std::size_t calls = 0;
+    pool.run([&](std::size_t worker) {
+      EXPECT_EQ(worker, 0u);
+      seen = std::this_thread::get_id();
+      ++calls;
+    });
+    // The single-worker path must execute on the calling thread: that is
+    // what makes num_threads = 1 the historical serial path.
+    EXPECT_EQ(seen, caller);
+    EXPECT_EQ(calls, 1u);
+  }
+}
+
+TEST(ThreadPool, EveryWorkerIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_workers(), 4u);
+  std::vector<std::atomic<int>> counts(4);
+  pool.run([&](std::size_t worker) { ++counts[worker]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, WorkerZeroIsTheCallingThread) {
+  ThreadPool pool(3);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id worker0{};
+  pool.run([&](std::size_t worker) {
+    if (worker == 0) worker0 = std::this_thread::get_id();
+  });
+  EXPECT_EQ(worker0, caller);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int region = 0; region < 50; ++region)
+    pool.run([&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 50 * 3);
+}
+
+TEST(ThreadPool, LowestWorkerIndexExceptionWins) {
+  ThreadPool pool(4);
+  // Workers 1 and 3 throw; the rethrown exception must deterministically be
+  // worker 1's, independent of which thread finished first.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    try {
+      pool.run([&](std::size_t worker) {
+        if (worker == 1) throw std::runtime_error("w1");
+        if (worker == 3) throw std::runtime_error("w3");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "w1");
+    }
+  }
+}
+
+TEST(ThreadPool, PoolSurvivesAThrowingRegion) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run([](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeWholeRegions) {
+  ThreadPool pool(2);
+  // Two external threads issue regions on the same pool; regions must never
+  // interleave, so the in-region worker count can only ever be 0..2 and
+  // each region observes only its own workers.
+  std::atomic<int> in_region{0};
+  std::atomic<bool> overlap{false};
+  const auto caller = [&] {
+    for (int r = 0; r < 20; ++r) {
+      pool.run([&](std::size_t) {
+        const int now = ++in_region;
+        if (now > 2) overlap = true;
+        --in_region;
+      });
+    }
+  };
+  std::thread a(caller), b(caller);
+  a.join();
+  b.join();
+  EXPECT_FALSE(overlap.load());
+}
+
+}  // namespace
+}  // namespace echoimage::runtime

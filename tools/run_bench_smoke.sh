@@ -12,10 +12,10 @@ build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_faults --target bench_drift
+  --target bench_faults --target bench_drift --target bench_throughput
 
 status=0
-for bench in bench_faults bench_drift; do
+for bench in bench_faults bench_drift bench_throughput; do
   echo "=== $bench --smoke ==="
   if ! "$build_dir/bench/$bench" --smoke; then
     echo "$bench: FAILED" >&2

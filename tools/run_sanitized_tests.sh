@@ -1,20 +1,49 @@
 #!/usr/bin/env sh
-# Build and run the tier-1 test suite under ASan + UBSan.
+# Build and run the test suite under a sanitizer.
 #
-# Usage: tools/run_sanitized_tests.sh [ctest args...]
-# Uses a dedicated build tree (build-asan/) so the regular build stays
-# untouched. Any extra arguments are forwarded to ctest (e.g. -R Health).
+# Usage: tools/run_sanitized_tests.sh [mode] [ctest args...]
+#   mode "address" (default): ASan + UBSan over the full tier-1 suite in
+#                             build-asan/.
+#   mode "thread":            TSan over the concurrency suite (the tests
+#                             labeled `tsan`) in build-tsan/.
+# Any extra arguments are forwarded to ctest (e.g. -R WeightCache).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir="$repo_root/build-asan"
+
+mode="address"
+case "${1:-}" in
+  address|thread)
+    mode="$1"
+    shift
+    ;;
+esac
+
+if [ "$mode" = "thread" ]; then
+  build_dir="$repo_root/build-tsan"
+  sanitize="thread"
+  # Only the tsan-labeled suite runs, so only its binary is needed.
+  targets="echoimage_concurrency_tests"
+else
+  build_dir="$repo_root/build-asan"
+  sanitize="ON"
+  # Everything ctest discovers, or the unbuilt entries fail as "Not Run".
+  targets="echoimage_tests echoimage_concurrency_tests bench_throughput"
+fi
 
 cmake -B "$build_dir" -S "$repo_root" \
-  -DECHOIMAGE_SANITIZE=ON \
+  -DECHOIMAGE_SANITIZE="$sanitize" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j "$(nproc)" --target echoimage_tests
+for t in $targets; do
+  cmake --build "$build_dir" -j "$(nproc)" --target "$t"
+done
 
 cd "$build_dir"
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-  ctest --output-on-failure -j "$(nproc)" "$@"
+if [ "$mode" = "thread" ]; then
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --output-on-failure -j "$(nproc)" -L tsan "$@"
+else
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ctest --output-on-failure -j "$(nproc)" "$@"
+fi
