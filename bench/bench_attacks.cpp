@@ -46,7 +46,8 @@ std::vector<sim::WorldReflector> mannequin_body(double distance_m,
   const sim::BodyProfile shape = sim::generate_body_profile(
       shape_seed, sim::Demographic{}, params);
   sim::Pose pose;  // rigid: no habitual posture of the victim
-  auto body = sim::pose_body(shape, pose, distance_m, array_height_m,
+  auto body = sim::pose_body(shape, pose, echoimage::units::Meters{distance_m},
+                             echoimage::units::Meters{array_height_m},
                              params.specular_exponent);
   for (auto& r : body) r.spectral_slope = 0.0;
   return body;

@@ -84,7 +84,7 @@ BENCHMARK(BM_MatchedFilterEnvelope);
 void BM_MvdrWeights(benchmark::State& state) {
   const auto g = array::make_respeaker_array();
   const auto a = array::steering_vector_hz(g, array::Direction{1.0, 1.2},
-                                           2500.0);
+                                           echoimage::units::Hertz{2500.0});
   const auto r = array::white_noise_covariance(6);
   for (auto _ : state) {
     auto w = array::mvdr_weights(r, a);
@@ -99,7 +99,8 @@ void BM_RenderBeep(benchmark::State& state) {
   scene.environment = sim::make_environment(sim::EnvironmentKind::kLab, 1);
   const sim::SceneRenderer renderer(scene, sim::CaptureConfig{});
   const auto body =
-      sim::pose_body(users[0].body, sim::Pose{}, 0.7, scene.array_height_m);
+      sim::pose_body(users[0].body, sim::Pose{}, echoimage::units::Meters{0.7},
+                     scene.array_height);
   sim::Rng rng(2);
   for (auto _ : state) {
     auto capture = renderer.render_beep(body, rng);
@@ -118,7 +119,8 @@ void BM_ConstructImage(benchmark::State& state) {
   cfg.num_subbands = static_cast<std::size_t>(state.range(0));
   const core::AcousticImager imager(cfg, geometry);
   for (auto _ : state) {
-    auto bands = imager.construct_bands(batch.beeps[0], 0.7, 0.0002,
+    auto bands = imager.construct_bands(batch.beeps[0],
+                                        echoimage::units::Meters{0.7}, 0.0002,
                                         batch.noise_only);
     benchmark::DoNotOptimize(bands);
   }

@@ -23,12 +23,12 @@ namespace {
 
 // Peak sidelobe/grating-lobe level (dB relative to the main lobe) of a
 // delay-and-sum beam steered broadside, scanned over azimuth.
-double worst_lobe_db(double freq_hz) {
+double worst_lobe_db(units::Hertz freq) {
   const auto g = array::make_respeaker_array();
   const array::Direction look{std::numbers::pi / 2.0,
                               std::numbers::pi / 2.0};
   const auto w = array::das_weights(
-      array::steering_vector_hz(g, look, freq_hz));
+      array::steering_vector_hz(g, look, freq));
   double worst = 0.0;
   for (double th = 0.0; th < 2.0 * std::numbers::pi; th += 0.01) {
     // Skip the main lobe (+/- 0.5 rad around the look azimuth).
@@ -36,7 +36,7 @@ double worst_lobe_db(double freq_hz) {
     d = std::min(d, 2.0 * std::numbers::pi - d);
     if (d < 0.5) continue;
     const auto bp = array::beampattern(
-        g, w, freq_hz, {array::Direction{th, std::numbers::pi / 2.0}});
+        g, w, freq, {array::Direction{th, std::numbers::pi / 2.0}});
     worst = std::max(worst, bp[0]);
   }
   return 10.0 * std::log10(std::max(worst, 1e-12));  // main lobe = 0 dB
@@ -51,7 +51,7 @@ std::pair<double, int> distance_quality(const dsp::ChirpParams& chirp) {
   const eval::DataCollector collector(capture, geometry, 9);
   core::DistanceEstimatorConfig cfg;
   cfg.chirp = chirp;
-  cfg.chirp_period_s = chirp.duration_s;
+  cfg.chirp_period_s = chirp.duration.value();
   const core::DistanceEstimator est(cfg, geometry);
   double err = 0.0;
   int valid = 0;
@@ -79,7 +79,7 @@ int main() {
                "lobe, dB re main lobe) --\n";
   std::vector<std::vector<std::string>> lobe_rows;
   for (const double f : {1500.0, 2500.0, 3000.0, 3430.0, 5000.0, 7000.0}) {
-    const double db = worst_lobe_db(f);
+    const double db = worst_lobe_db(units::Hertz{f});
     lobe_rows.push_back(
         {eval::fmt(f / 1000.0, 2) + " kHz", eval::fmt(db, 1) + " dB",
          db > -1.0 ? (f > 3430.0 ? "aliased (grating lobe)"
@@ -99,7 +99,7 @@ int main() {
   std::vector<std::vector<std::string>> len_rows;
   for (const double len_ms : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     dsp::ChirpParams chirp;  // 2-3 kHz
-    chirp.duration_s = len_ms / 1000.0;
+    chirp.duration = echoimage::units::Seconds{len_ms / 1000.0};
     const auto [err, valid] = distance_quality(chirp);
     len_rows.push_back({eval::fmt(len_ms, 1) + " ms",
                         err >= 0.0 ? eval::fmt(err, 3) + " m" : "-",
@@ -121,8 +121,8 @@ int main() {
     const auto geometry = array::make_respeaker_array();
     const auto users = eval::make_users(eval::make_roster(), 9);
     dsp::ChirpParams chirp;
-    chirp.f_start_hz = b.lo;
-    chirp.f_end_hz = b.hi;
+    chirp.f_start = echoimage::units::Hertz{b.lo};
+    chirp.f_end = echoimage::units::Hertz{b.hi};
     sim::CaptureConfig capture;
     capture.chirp = chirp;
     const eval::DataCollector collector(capture, geometry, 9);

@@ -98,7 +98,8 @@ int main(int argc, char** argv) {
   ref_cfg.use_weight_cache = false;
   const std::vector<core::Matrix2D> reference =
       core::AcousticImager(ref_cfg, geometry)
-          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct_bands(batch.beeps[0], echoimage::units::Meters{0.7},
+                           0.0002, batch.noise_only);
 
   std::vector<Measurement> results;
   std::vector<std::vector<std::string>> rows;
@@ -113,19 +114,22 @@ int main(int argc, char** argv) {
       // Warm-up render: first-touch pool spin-up and cold cache misses stay
       // out of the timed region (the steady state is what deployment sees).
       std::vector<core::Matrix2D> image = imager.construct_bands(
-          batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          batch.beeps[0], echoimage::units::Meters{0.7}, 0.0002,
+          batch.noise_only);
       if (imager.weight_cache() != nullptr)
         imager.weight_cache()->reset_stats();
 
       const auto start = std::chrono::steady_clock::now();
       for (std::size_t r = 0; r < kImages; ++r)
         image = imager.construct_bands(batch.beeps[r % batch.beeps.size()],
-                                       0.7, 0.0002, batch.noise_only);
+                                       echoimage::units::Meters{0.7}, 0.0002,
+                                       batch.noise_only);
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start;
       // Compare against the reference on the reference's beep (the timed
       // loop cycles through the batch, so `image` holds a different one).
-      image = imager.construct_bands(batch.beeps[0], 0.7, 0.0002,
+      image = imager.construct_bands(batch.beeps[0],
+                                     echoimage::units::Meters{0.7}, 0.0002,
                                      batch.noise_only);
 
       Measurement m;

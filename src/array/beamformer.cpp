@@ -80,7 +80,8 @@ Signal fractional_delay(std::span<const echoimage::dsp::Sample> x,
 
 Signal beamform_das_broadband(const MultiChannelSignal& x,
                               const ArrayGeometry& geom, const Direction& dir,
-                              double sample_rate, double speed_of_sound) {
+                              double sample_rate,
+                              units::MetersPerSecond speed_of_sound) {
   if (x.num_channels() != geom.num_mics())
     throw std::invalid_argument(
         "beamform_das_broadband: channel/mic mismatch");
@@ -116,15 +117,15 @@ bool check_mask(const ChannelMask& mask, std::size_t num_channels) {
 
 NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
                                            double sample_rate,
-                                           double center_freq_hz,
+                                           units::Hertz center_freq,
                                            ArrayGeometry geom,
                                            std::size_t noise_first,
                                            std::size_t noise_count,
-                                           double speed_of_sound,
+                                           units::MetersPerSecond speed_of_sound,
                                            const ChannelMask& active_mask)
     : sample_rate_(sample_rate),
-      center_freq_hz_(center_freq_hz),
-      speed_of_sound_(speed_of_sound) {
+      center_freq_hz_(center_freq.value()),
+      speed_of_sound_(speed_of_sound.value()) {
   if (bandpassed.num_channels() != geom.num_mics())
     throw std::invalid_argument(
         "NarrowbandBeamformer: channel/mic mismatch");
@@ -151,14 +152,14 @@ NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
 
 NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
                                            double sample_rate,
-                                           double center_freq_hz,
+                                           units::Hertz center_freq,
                                            ArrayGeometry geom,
                                            CMatrix noise_covariance,
-                                           double speed_of_sound,
+                                           units::MetersPerSecond speed_of_sound,
                                            const ChannelMask& active_mask)
     : sample_rate_(sample_rate),
-      center_freq_hz_(center_freq_hz),
-      speed_of_sound_(speed_of_sound) {
+      center_freq_hz_(center_freq.value()),
+      speed_of_sound_(speed_of_sound.value()) {
   if (bandpassed.num_channels() != geom.num_mics())
     throw std::invalid_argument("NarrowbandBeamformer: channel/mic mismatch");
   if (!bandpassed.is_rectangular())
@@ -185,11 +186,11 @@ NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
 
 NarrowbandBeamformer::NarrowbandBeamformer(
     std::vector<ComplexSignal> channels, double sample_rate,
-    double center_freq_hz, ArrayGeometry geom, CMatrix noise_covariance,
-    double speed_of_sound, const ChannelMask& active_mask)
+    units::Hertz center_freq, ArrayGeometry geom, CMatrix noise_covariance,
+    units::MetersPerSecond speed_of_sound, const ChannelMask& active_mask)
     : sample_rate_(sample_rate),
-      center_freq_hz_(center_freq_hz),
-      speed_of_sound_(speed_of_sound) {
+      center_freq_hz_(center_freq.value()),
+      speed_of_sound_(speed_of_sound.value()) {
   if (channels.size() != geom.num_mics())
     throw std::invalid_argument("NarrowbandBeamformer: channel/mic mismatch");
   if (noise_covariance.rows() != geom.num_mics() ||
@@ -238,7 +239,8 @@ CMatrix noise_covariance_of(const MultiChannelSignal& noise,
 std::vector<Complex> NarrowbandBeamformer::weights_mvdr(
     const Direction& dir) const {
   const std::vector<Complex> a =
-      steering_vector_hz(geom_, dir, center_freq_hz_, speed_of_sound_);
+      steering_vector_hz(geom_, dir, units::Hertz{center_freq_hz_},
+                         units::MetersPerSecond{speed_of_sound_});
   std::vector<Complex> ra = multiply(noise_cov_inv_, a);
   const Complex denom = hdot(a, ra);
   for (Complex& w : ra) w /= denom;
@@ -248,7 +250,8 @@ std::vector<Complex> NarrowbandBeamformer::weights_mvdr(
 std::vector<Complex> NarrowbandBeamformer::weights_das(
     const Direction& dir) const {
   return das_weights(
-      steering_vector_hz(geom_, dir, center_freq_hz_, speed_of_sound_));
+      steering_vector_hz(geom_, dir, units::Hertz{center_freq_hz_},
+                         units::MetersPerSecond{speed_of_sound_}));
 }
 
 void NarrowbandBeamformer::compute_weights(const Direction& dir,
@@ -257,7 +260,7 @@ void NarrowbandBeamformer::compute_weights(const Direction& dir,
                                            std::vector<Complex>& out) const {
   steering_vector_into(geom_, dir,
                        2.0 * std::numbers::pi * center_freq_hz_,
-                       speed_of_sound_, scratch);
+                       units::MetersPerSecond{speed_of_sound_}, scratch);
   if (use_mvdr) {
     echoimage::linalg::multiply_into(noise_cov_inv_, scratch, out);
     const Complex denom = hdot(scratch, out);
@@ -326,7 +329,7 @@ Signal beamform_subband_mvdr(const MultiChannelSignal& x,
                              const echoimage::dsp::StftParams& stft_params,
                              std::size_t noise_first_frame,
                              std::size_t noise_frame_count,
-                             double speed_of_sound) {
+                             units::MetersPerSecond speed_of_sound) {
   using echoimage::dsp::Stft;
   if (x.num_channels() != geom.num_mics())
     throw std::invalid_argument("beamform_subband_mvdr: channel/mic mismatch");
@@ -344,7 +347,7 @@ Signal beamform_subband_mvdr(const MultiChannelSignal& x,
   for (std::size_t k = 0; k < num_bins; ++k) {
     const double f = specs.front().bin_frequency(k, sample_rate);
     const std::vector<Complex> a =
-        steering_vector_hz(geom, dir, f, speed_of_sound);
+        steering_vector_hz(geom, dir, units::Hertz{f}, speed_of_sound);
     // Per-bin noise covariance (or white) with diagonal loading.
     CMatrix r = CMatrix::identity(m);
     if (noise_frame_count > 0) {
@@ -390,14 +393,15 @@ Signal beamform_subband_mvdr(const MultiChannelSignal& x,
 }
 
 std::vector<double> beampattern(const ArrayGeometry& geom,
-                                const std::vector<Complex>& w, double freq_hz,
+                                const std::vector<Complex>& w,
+                                units::Hertz freq,
                                 const std::vector<Direction>& dirs,
-                                double speed_of_sound) {
+                                units::MetersPerSecond speed_of_sound) {
   std::vector<double> out;
   out.reserve(dirs.size());
   for (const Direction& d : dirs) {
     const std::vector<Complex> a =
-        steering_vector_hz(geom, d, freq_hz, speed_of_sound);
+        steering_vector_hz(geom, d, freq, speed_of_sound);
     out.push_back(std::norm(hdot(w, a)));
   }
   return out;

@@ -53,7 +53,7 @@ using echoimage::dsp::Signal;
 [[nodiscard]] Signal beamform_das_broadband(
     const MultiChannelSignal& x, const ArrayGeometry& geom,
     const Direction& dir, double sample_rate,
-    double speed_of_sound = kSpeedOfSound);
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 /// Narrowband steering engine: computes per-channel analytic signals and the
 /// (loaded, inverted) noise covariance once, then steers to many directions
@@ -68,10 +68,10 @@ class NarrowbandBeamformer {
   /// the beamformer then operates as the surviving subarray, so one dead
   /// microphone cannot poison the covariance of Eq. 8.
   NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
-                       double sample_rate, double center_freq_hz,
+                       double sample_rate, units::Hertz center_freq,
                        ArrayGeometry geom, std::size_t noise_first = 0,
                        std::size_t noise_count = 0,
-                       double speed_of_sound = kSpeedOfSound,
+                       units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps,
                        const ChannelMask& active_mask = {});
 
   /// Variant with an externally estimated noise covariance (e.g. from a
@@ -80,17 +80,17 @@ class NarrowbandBeamformer {
   /// later in the buffer leaks coherent tails into the prefix). The
   /// covariance is full-size; the mask reduces it to the subarray.
   NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
-                       double sample_rate, double center_freq_hz,
+                       double sample_rate, units::Hertz center_freq,
                        ArrayGeometry geom, CMatrix noise_covariance,
-                       double speed_of_sound = kSpeedOfSound,
+                       units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps,
                        const ChannelMask& active_mask = {});
 
   /// Variant taking per-channel complex (analytic or pulse-compressed)
   /// signals directly.
   NarrowbandBeamformer(std::vector<echoimage::dsp::ComplexSignal> channels,
-                       double sample_rate, double center_freq_hz,
+                       double sample_rate, units::Hertz center_freq,
                        ArrayGeometry geom, CMatrix noise_covariance,
-                       double speed_of_sound = kSpeedOfSound,
+                       units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps,
                        const ChannelMask& active_mask = {});
 
   /// Geometry of the (possibly reduced) subarray this beamformer runs on.
@@ -169,12 +169,12 @@ class NarrowbandBeamformer {
     const Direction& dir, double sample_rate,
     const echoimage::dsp::StftParams& stft_params,
     std::size_t noise_first_frame = 0, std::size_t noise_frame_count = 0,
-    double speed_of_sound = kSpeedOfSound);
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 /// Power beampattern of a weight vector: |w^H a(dir)|^2 for each direction.
 [[nodiscard]] std::vector<double> beampattern(
-    const ArrayGeometry& geom, const std::vector<Complex>& w, double freq_hz,
-    const std::vector<Direction>& dirs,
-    double speed_of_sound = kSpeedOfSound);
+    const ArrayGeometry& geom, const std::vector<Complex>& w,
+    units::Hertz freq, const std::vector<Direction>& dirs,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 }  // namespace echoimage::array

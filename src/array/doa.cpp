@@ -47,7 +47,7 @@ std::vector<double> DoaEstimator::spectrum(
   std::vector<double> spec(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const Direction d = direction_at(i);
-    const auto a = steering_vector_hz(geometry_, d, config_.freq_hz,
+    const auto a = steering_vector_hz(geometry_, d, config_.freq,
                                       config_.speed_of_sound);
     if (config_.use_mvdr) {
       // MVDR pseudo-spectrum: 1 / (a^H R^-1 a).

@@ -15,11 +15,11 @@
 namespace echoimage::array {
 
 struct DoaConfig {
-  double freq_hz = 2500.0;        ///< narrowband analysis frequency
+  units::Hertz freq{2500.0};      ///< narrowband analysis frequency
   std::size_t azimuth_steps = 72; ///< theta resolution (5 degrees default)
   std::size_t elevation_steps = 18;  ///< phi resolution over (0, pi)
   bool use_mvdr = false;  ///< MVDR pseudo-spectrum instead of SRP
-  double speed_of_sound = kSpeedOfSound;
+  units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps;
 };
 
 struct DoaEstimate {

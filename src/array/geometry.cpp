@@ -68,14 +68,14 @@ double ArrayGeometry::min_adjacent_spacing() const {
 }
 
 ArrayGeometry make_uniform_circular_array(std::size_t num_mics,
-                                          double adjacent_spacing_m) {
+                                          units::Meters adjacent_spacing) {
   if (num_mics < 2)
     throw std::invalid_argument("uniform circular array: need >= 2 mics");
-  if (adjacent_spacing_m <= 0.0)
+  if (adjacent_spacing.value() <= 0.0)
     throw std::invalid_argument("uniform circular array: spacing must be > 0");
   // Chord length c between adjacent mics on a circle of radius r spanning
   // angle 2*pi/M: c = 2 r sin(pi / M).
-  const double r = adjacent_spacing_m /
+  const double r = adjacent_spacing.value() /
                    (2.0 * std::sin(std::numbers::pi /
                                    static_cast<double>(num_mics)));
   std::vector<Vec3> mics;
@@ -89,17 +89,18 @@ ArrayGeometry make_uniform_circular_array(std::size_t num_mics,
 }
 
 ArrayGeometry make_respeaker_array() {
-  return make_uniform_circular_array(6, 0.05);
+  return make_uniform_circular_array(6, units::Meters{0.05});
 }
 
 ArrayGeometry make_uniform_linear_array(std::size_t num_mics,
-                                        double spacing_m) {
+                                        units::Meters spacing) {
   if (num_mics < 2)
     throw std::invalid_argument("uniform linear array: need >= 2 mics");
-  if (spacing_m <= 0.0)
+  if (spacing.value() <= 0.0)
     throw std::invalid_argument("uniform linear array: spacing must be > 0");
   std::vector<Vec3> mics;
   mics.reserve(num_mics);
+  const double spacing_m = spacing.value();
   const double half =
       0.5 * static_cast<double>(num_mics - 1) * spacing_m;
   for (std::size_t m = 0; m < num_mics; ++m)
@@ -108,32 +109,36 @@ ArrayGeometry make_uniform_linear_array(std::size_t num_mics,
   return ArrayGeometry(std::move(mics));
 }
 
-double speed_of_sound_at(double temperature_celsius) {
-  return 331.3 * std::sqrt(1.0 + temperature_celsius / 273.15);
+units::MetersPerSecond speed_of_sound_at(units::Celsius temperature) {
+  return units::MetersPerSecond{
+      331.3 * std::sqrt(1.0 + temperature.value() / 273.15)};
 }
 
-double temperature_for_speed_of_sound(double speed_of_sound) {
-  if (speed_of_sound <= 0.0)
+units::Celsius temperature_for_speed_of_sound(
+    units::MetersPerSecond speed_of_sound) {
+  if (speed_of_sound.value() <= 0.0)
     throw std::invalid_argument(
         "temperature_for_speed_of_sound: speed must be > 0");
-  const double r = speed_of_sound / 331.3;
-  return 273.15 * (r * r - 1.0);
+  const double r = speed_of_sound.value() / 331.3;
+  return units::Celsius{273.15 * (r * r - 1.0)};
 }
 
-double far_field_min_distance(double aperture_m, double freq_hz,
-                              double speed_of_sound) {
-  if (freq_hz <= 0.0)
+units::Meters far_field_min_distance(units::Meters aperture, units::Hertz freq,
+                                     units::MetersPerSecond speed_of_sound) {
+  if (freq.value() <= 0.0)
     throw std::invalid_argument("far_field_min_distance: freq must be > 0");
-  const double lambda = speed_of_sound / freq_hz;
-  return 2.0 * aperture_m * aperture_m / lambda;
+  // Dimension algebra carries the proof: (m/s) / (1/s) = m, m * m / m = m.
+  const units::Meters lambda = speed_of_sound / freq;
+  return 2.0 * aperture * aperture / lambda;
 }
 
-double max_unambiguous_frequency(double spacing_m, double speed_of_sound) {
-  if (spacing_m <= 0.0)
+units::Hertz max_unambiguous_frequency(units::Meters spacing,
+                                       units::MetersPerSecond speed_of_sound) {
+  if (spacing.value() <= 0.0)
     throw std::invalid_argument(
         "max_unambiguous_frequency: spacing must be > 0");
   // spacing < lambda / 2  <=>  f < c / (2 * spacing)
-  return speed_of_sound / (2.0 * spacing_m);
+  return speed_of_sound / (2.0 * spacing);
 }
 
 }  // namespace echoimage::array

@@ -8,22 +8,34 @@
 #include <cstddef>
 #include <vector>
 
+#include "units/units.hpp"
+
 namespace echoimage::array {
 
-/// Speed of sound used throughout the paper's formulas (m/s, ~20 C air).
+namespace units = echoimage::units;
+
+/// Speed of sound used throughout the paper's formulas (m/s, ~20 C air),
+/// as a raw double for inner-loop math. Public signatures take the
+/// strong-typed `kSpeedOfSoundMps` below.
 inline constexpr double kSpeedOfSound = 343.0;
 
-/// Speed of sound in air at a given temperature (m/s): c = 331.3 *
+/// Strong-typed speed of sound — the default argument of every public
+/// API that is parameterized on propagation speed.
+inline constexpr units::MetersPerSecond kSpeedOfSoundMps{kSpeedOfSound};
+
+/// Speed of sound in air at a given temperature: c = 331.3 *
 /// sqrt(1 + T/273.15). A 10 C room-to-room difference shifts ranges by
 /// ~1.7%, i.e. ~1 cm at the paper's 0.7 m operating distance — worth
 /// calibrating on devices deployed across climates.
-[[nodiscard]] double speed_of_sound_at(double temperature_celsius);
+[[nodiscard]] units::MetersPerSecond speed_of_sound_at(
+    units::Celsius temperature);
 
-/// Inverse of `speed_of_sound_at`: the air temperature (C) implied by a
+/// Inverse of `speed_of_sound_at`: the air temperature implied by a
 /// measured speed of sound. Lets a recalibrator report *why* the ranges
 /// shifted ("the room warmed 9 C") instead of a bare correction factor.
 /// Throws std::invalid_argument for a non-positive speed.
-[[nodiscard]] double temperature_for_speed_of_sound(double speed_of_sound);
+[[nodiscard]] units::Celsius temperature_for_speed_of_sound(
+    units::MetersPerSecond speed_of_sound);
 
 /// 3-D point / vector with the handful of operations array processing needs.
 struct Vec3 {
@@ -89,7 +101,7 @@ class ArrayGeometry {
 /// (z = 0), centered at the origin, with the given *adjacent* microphone
 /// spacing (paper: 6 mics, ~5 cm spacing -> radius 5 cm).
 [[nodiscard]] ArrayGeometry make_uniform_circular_array(
-    std::size_t num_mics, double adjacent_spacing_m);
+    std::size_t num_mics, units::Meters adjacent_spacing);
 
 /// ReSpeaker-like default: 6 mics, 5 cm adjacent spacing.
 [[nodiscard]] ArrayGeometry make_respeaker_array();
@@ -98,16 +110,18 @@ class ArrayGeometry {
 /// textbook geometry, useful for tests and for devices with bar-style
 /// microphone layouts.
 [[nodiscard]] ArrayGeometry make_uniform_linear_array(std::size_t num_mics,
-                                                      double spacing_m);
+                                                      units::Meters spacing);
 
 /// Far-field minimum distance (paper Eq. 1): L >= 2 d^2 / lambda, where d is
-/// the array aperture and lambda the wavelength of `freq_hz`.
-[[nodiscard]] double far_field_min_distance(double aperture_m, double freq_hz,
-                                            double speed_of_sound = kSpeedOfSound);
+/// the array aperture and lambda the wavelength of `freq`.
+[[nodiscard]] units::Meters far_field_min_distance(
+    units::Meters aperture, units::Hertz freq,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 /// Highest frequency free of grating lobes for the given microphone spacing
 /// (spacing < lambda/2, paper Sec. V-A).
-[[nodiscard]] double max_unambiguous_frequency(
-    double spacing_m, double speed_of_sound = kSpeedOfSound);
+[[nodiscard]] units::Hertz max_unambiguous_frequency(
+    units::Meters spacing,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 }  // namespace echoimage::array

@@ -40,32 +40,33 @@ struct Direction {
 /// paper's Eq. 6 carries the opposite sign; combined with its Eq. 7/8 the
 /// two sign flips cancel, and this library uses the physically anchored
 /// convention throughout (validated against the renderer in the tests).
-[[nodiscard]] double tdoa(const ArrayGeometry& geom, const Direction& dir,
-                          std::size_t mic,
-                          double speed_of_sound = kSpeedOfSound);
+[[nodiscard]] units::Seconds tdoa(
+    const ArrayGeometry& geom, const Direction& dir, std::size_t mic,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
-/// All M TDOAs.
-[[nodiscard]] std::vector<double> tdoas(const ArrayGeometry& geom,
-                                        const Direction& dir,
-                                        double speed_of_sound = kSpeedOfSound);
+/// All M TDOAs, as raw seconds (the beamformers' hot-path input).
+[[nodiscard]] std::vector<double> tdoas(
+    const ArrayGeometry& geom, const Direction& dir,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
-/// Narrowband steering vector at angular frequency omega (paper Eq. 8's
+/// Narrowband steering vector at angular frequency omega — rad/s, a raw
+/// double by design: omega only exists inside phase math (paper Eq. 8's
 /// p_s): a_m = exp(-j omega tau_m) = exp(-j k^T(Omega) p_m), the phase
 /// signature conjugate to what a unit plane wave from Omega leaves on the
 /// array, so w ~ a aligns the channels.
 [[nodiscard]] std::vector<Complex> steering_vector(
     const ArrayGeometry& geom, const Direction& dir, double omega,
-    double speed_of_sound = kSpeedOfSound);
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
-/// Steering vector at frequency `freq_hz` (omega = 2 pi f).
+/// Steering vector at acoustic frequency `freq` (omega = 2 pi f).
 [[nodiscard]] std::vector<Complex> steering_vector_hz(
-    const ArrayGeometry& geom, const Direction& dir, double freq_hz,
-    double speed_of_sound = kSpeedOfSound);
+    const ArrayGeometry& geom, const Direction& dir, units::Hertz freq,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 /// Allocation-reusing variant for hot loops: the steering vector written
 /// into `out` (resized to fit). Bit-identical to `steering_vector`.
 void steering_vector_into(const ArrayGeometry& geom, const Direction& dir,
-                          double omega, double speed_of_sound,
+                          double omega, units::MetersPerSecond speed_of_sound,
                           std::vector<Complex>& out);
 
 /// Masked steering vectors: the steering vector of the surviving subarray
@@ -74,9 +75,11 @@ void steering_vector_into(const ArrayGeometry& geom, const Direction& dir,
 /// is the full array.
 [[nodiscard]] std::vector<Complex> steering_vector(
     const ArrayGeometry& geom, const Direction& dir, double omega,
-    const ChannelMask& mask, double speed_of_sound = kSpeedOfSound);
+    const ChannelMask& mask,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 [[nodiscard]] std::vector<Complex> steering_vector_hz(
-    const ArrayGeometry& geom, const Direction& dir, double freq_hz,
-    const ChannelMask& mask, double speed_of_sound = kSpeedOfSound);
+    const ArrayGeometry& geom, const Direction& dir, units::Hertz freq,
+    const ChannelMask& mask,
+    units::MetersPerSecond speed_of_sound = kSpeedOfSoundMps);
 
 }  // namespace echoimage::array

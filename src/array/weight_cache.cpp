@@ -44,11 +44,12 @@ WeightCache::WeightCache(WeightCacheConfig config) : config_(config) {
     throw std::invalid_argument("WeightCache: capacity must be positive");
 }
 
-std::int64_t WeightCache::quantize_distance(double distance_m) const {
-  if (config_.distance_quantum_m <= 0.0)
+std::int64_t WeightCache::quantize_distance(units::Meters distance) const {
+  const double distance_m = distance.value();
+  if (config_.distance_quantum.value() <= 0.0)
     return static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(distance_m));
   return static_cast<std::int64_t>(
-      std::llround(distance_m / config_.distance_quantum_m));
+      std::llround(distance_m / config_.distance_quantum.value()));
 }
 
 std::uint64_t WeightCache::mask_bits(const ChannelMask& mask,

@@ -69,7 +69,7 @@ struct WeightCacheConfig {
   std::size_t capacity = 1u << 18;
   /// Plane distances are quantized to this step for the key; <= 0 keys on
   /// the exact bit pattern.
-  double distance_quantum_m = 1e-3;
+  units::Meters distance_quantum{1e-3};
 };
 
 struct WeightCacheStats {
@@ -92,7 +92,7 @@ class WeightCache {
   [[nodiscard]] const WeightCacheConfig& config() const { return config_; }
 
   /// Distance quantization used for keys (bit pattern when quantum <= 0).
-  [[nodiscard]] std::int64_t quantize_distance(double distance_m) const;
+  [[nodiscard]] std::int64_t quantize_distance(units::Meters distance) const;
 
   /// Canonical 64-bit encoding of an active-channel mask (empty mask = all
   /// `num_channels` active). Masks beyond 64 channels are rejected with

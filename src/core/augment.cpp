@@ -19,8 +19,10 @@ Matrix2D DataAugmenter::transform(const Matrix2D& image, double from_m,
   Matrix2D out(image.rows(), image.cols());
   for (std::size_t r = 0; r < image.rows(); ++r) {
     for (std::size_t c = 0; c < image.cols(); ++c) {
-      const double dk = grid_distance(config_, r, c, from_m);
-      const double dk2 = grid_distance(config_, r, c, to_m);
+      const double dk =
+          grid_distance(config_, r, c, units::Meters{from_m}).value();
+      const double dk2 =
+          grid_distance(config_, r, c, units::Meters{to_m}).value();
       const double scale = (dk / dk2) * (dk / dk2);  // Eq. 15
       out(r, c) = scale * image(r, c);
     }

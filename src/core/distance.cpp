@@ -66,7 +66,7 @@ Signal DistanceEstimator::beep_envelope(
             ? echoimage::array::noise_covariance_of(bandpass(noise_only))
             : echoimage::array::white_noise_covariance(geometry_.num_mics());
     const NarrowbandBeamformer bf(filtered, config_.sample_rate,
-                                  config_.chirp.center_frequency_hz(),
+                                  config_.chirp.center_frequency(),
                                   geometry_, cov, config_.speed_of_sound,
                                   active_mask);
     steered = config_.mode == SteeringMode::kMvdr
@@ -164,7 +164,7 @@ DistanceEstimate DistanceEstimator::estimate(
   out.tau_echo_s =
       echoimage::dsp::samples_to_seconds(echo.index, config_.sample_rate);
   const double rel = out.tau_echo_s - out.tau_direct_s;
-  out.slant_distance_m = rel * config_.speed_of_sound / 2.0;
+  out.slant_distance_m = rel * config_.speed_of_sound.value() / 2.0;
   const double projection =
       std::sin(config_.steer.phi) * std::sin(config_.steer.theta);
   out.user_distance_m = out.slant_distance_m * projection;
@@ -191,7 +191,7 @@ DistanceEstimate DistanceEstimator::estimate(
         static_cast<std::size_t>(tsum / wsum), config_.sample_rate);
     out.user_distance_centroid_m =
         (out.tau_echo_centroid_s - out.tau_direct_s) *
-        config_.speed_of_sound / 2.0 * projection;
+        config_.speed_of_sound.value() / 2.0 * projection;
   } else {
     out.tau_echo_centroid_s = out.tau_echo_s;
     out.user_distance_centroid_m = out.user_distance_m;

@@ -21,6 +21,7 @@
 
 namespace echoimage::core {
 
+namespace units = echoimage::units;
 using echoimage::array::ArrayGeometry;
 using echoimage::array::Direction;
 using echoimage::dsp::MultiChannelSignal;
@@ -64,7 +65,7 @@ struct DistanceEstimatorConfig {
   std::size_t echo_window_smooth_samples = 65;
   SteeringMode mode = SteeringMode::kMvdr;
   std::size_t single_mic_index = 0;  ///< used when mode == kSingleMic
-  double speed_of_sound = echoimage::array::kSpeedOfSound;
+  units::MetersPerSecond speed_of_sound = echoimage::array::kSpeedOfSoundMps;
 };
 
 struct DistanceEstimate {

@@ -585,7 +585,7 @@ RecalibrationOutcome DriftManager::recalibrate() {
   // Temperature from the profile time scale: the clutter geometry is
   // fixed, every echo obeys tau = L / c, and align_profiles measured
   // live(t) ~ enroll(s * t), i.e. c_live ~ s * c_enroll.
-  double speed = base_->config().speed_of_sound;
+  double speed = base_->config().speed_of_sound.value();
   {
     const double corrected = speed * align.time_scale;
     if (std::abs(corrected / speed - 1.0) >
@@ -595,11 +595,13 @@ RecalibrationOutcome DriftManager::recalibrate() {
   }
   next.speed_of_sound = speed;
   next.temperature_c =
-      echoimage::array::temperature_for_speed_of_sound(speed);
+      echoimage::array::temperature_for_speed_of_sound(
+          units::MetersPerSecond{speed})
+          .value();
   next.active = true;
 
   SystemConfig config = base_->config();
-  config.speed_of_sound = speed;
+  config.speed_of_sound = units::MetersPerSecond{speed};
   corrected_ =
       std::make_unique<EchoImagePipeline>(config, base_->geometry());
   corrections_ = std::move(next);

@@ -4,7 +4,6 @@
 #include <bit>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 
 #include "array/steering.hpp"
 #include "dsp/butterworth.hpp"
@@ -32,17 +31,12 @@ echoimage::array::Vec3 grid_center(const ImagingConfig& config,
   return {x, plane_distance_m, z};
 }
 
-std::size_t resolve_threads(std::size_t num_threads) {
-  if (num_threads != 0) return num_threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
 }  // namespace
 
-double grid_distance(const ImagingConfig& config, std::size_t row,
-                     std::size_t col, double plane_distance_m) {
-  return grid_center(config, row, col, plane_distance_m).norm();
+units::Meters grid_distance(const ImagingConfig& config, std::size_t row,
+                            std::size_t col, units::Meters plane_distance) {
+  return units::Meters{
+      grid_center(config, row, col, plane_distance.value()).norm()};
 }
 
 AcousticImager::AcousticImager(ImagingConfig config, ArrayGeometry geometry)
@@ -51,13 +45,14 @@ AcousticImager::AcousticImager(ImagingConfig config, ArrayGeometry geometry)
       bandpass_filter_(echoimage::dsp::butterworth_bandpass(
           config_.bandpass_order, config_.bandpass_low_hz,
           config_.bandpass_high_hz, config_.sample_rate)) {
-  const std::size_t threads = resolve_threads(config_.num_threads);
+  const std::size_t threads =
+      echoimage::runtime::resolve_workers(config_.num_threads);
   if (threads > 1)
     pool_ = std::make_shared<echoimage::runtime::ThreadPool>(threads);
   if (config_.use_weight_cache) {
     echoimage::array::WeightCacheConfig cache_cfg;
     cache_cfg.capacity = config_.weight_cache_capacity;
-    cache_cfg.distance_quantum_m = config_.weight_cache_quantum_m;
+    cache_cfg.distance_quantum = config_.weight_cache_quantum;
     weight_cache_ = std::make_shared<echoimage::array::WeightCache>(cache_cfg);
   }
   if (config_.grid_size == 0)
@@ -105,7 +100,7 @@ void AcousticImager::prepare(const MultiChannelSignal& beep,
   // otherwise smear across the echo window).
   if (config_.suppress_direct) {
     const std::size_t direct_end = echoimage::dsp::seconds_to_samples(
-        tau_direct_s + config_.chirp.duration_s + config_.direct_guard_s,
+        tau_direct_s + config_.chirp.duration.value() + config_.direct_guard_s,
         config_.sample_rate);
     for (auto& ch : filtered.channels) {
       const std::size_t n = std::min(direct_end, ch.size());
@@ -128,7 +123,7 @@ void AcousticImager::accumulate_band(
     const MultiChannelSignal& noise_f, bool have_noise,
     double plane_distance_m, double tau_direct_s, double tau_echo_s,
     const echoimage::array::ChannelMask& active_mask, Matrix2D& image) const {
-  const double gate_extra = config_.chirp.duration_s;  // echo smear length
+  const double gate_extra = config_.chirp.duration.value();  // echo smear
 
   // Subband isolation (skipped when only one band is configured).
   const MultiChannelSignal* band_signal = &filtered;
@@ -168,15 +163,15 @@ void AcousticImager::accumulate_band(
   // loading; it only needs to identify the noise field, not mirror it.
   const std::uint64_t cov_fp = echoimage::array::WeightCache::fingerprint(cov);
   const NarrowbandBeamformer bf(std::move(channels), config_.sample_rate,
-                                subband_centers_[band], geometry_, cov,
-                                config_.speed_of_sound, active_mask);
+                                units::Hertz{subband_centers_[band]}, geometry_,
+                                cov, config_.speed_of_sound, active_mask);
 
   echoimage::array::WeightCache* const cache = weight_cache_.get();
   echoimage::array::WeightKey key;
   if (cache != nullptr) {
     key.band = static_cast<std::uint32_t>(band);
-    key.distance_q = cache->quantize_distance(plane_distance_m);
-    key.speed_bits = std::bit_cast<std::uint64_t>(config_.speed_of_sound);
+    key.distance_q = cache->quantize_distance(units::Meters{plane_distance_m});
+    key.speed_bits = std::bit_cast<std::uint64_t>(config_.speed_of_sound.value());
     key.mask_bits = echoimage::array::WeightCache::mask_bits(
         active_mask, filtered.num_channels());
     key.cov_fingerprint = cov_fp;
@@ -194,6 +189,7 @@ void AcousticImager::accumulate_band(
   echoimage::runtime::ScratchArena<PixelScratch> arena(
       pool_ != nullptr ? pool_->num_workers() : 1);
   const double mix = std::clamp(config_.incoherent_mix, 0.0, 1.0);
+  const double speed = config_.speed_of_sound.value();
   const std::size_t num_grids = config_.grid_size * config_.grid_size;
   std::vector<double>& pixels = image.data();
 
@@ -209,10 +205,8 @@ void AcousticImager::accumulate_band(
     // measured echo time, cancelling constant detection bias.
     const bool anchored = config_.anchor_to_echo && tau_echo_s >= 0.0;
     const double onset =
-        anchored
-            ? tau_echo_s +
-                  2.0 * (dk - plane_distance_m) / config_.speed_of_sound
-            : tau_direct_s + 2.0 * dk / config_.speed_of_sound;
+        anchored ? tau_echo_s + 2.0 * (dk - plane_distance_m) / speed
+                 : tau_direct_s + 2.0 * dk / speed;
     const double t0 = onset - config_.gate_halfwidth_s;
     const double t1 = onset + config_.gate_halfwidth_s +
                       (config_.pulse_compression ? 0.0 : gate_extra);
@@ -248,10 +242,10 @@ void AcousticImager::accumulate_band(
 }
 
 Matrix2D AcousticImager::construct(
-    const MultiChannelSignal& beep, double plane_distance_m,
+    const MultiChannelSignal& beep, units::Meters plane_distance,
     double tau_direct_s, const MultiChannelSignal& noise_only,
     double tau_echo_s, const echoimage::array::ChannelMask& active_mask) const {
-  if (plane_distance_m <= 0.0)
+  if (plane_distance.value() <= 0.0)
     throw std::invalid_argument("AcousticImager: plane distance must be > 0");
   MultiChannelSignal filtered, noise_f;
   bool have_noise = false;
@@ -259,7 +253,7 @@ Matrix2D AcousticImager::construct(
 
   Matrix2D image(config_.grid_size, config_.grid_size);
   for (std::size_t band = 0; band < config_.num_subbands; ++band)
-    accumulate_band(band, filtered, noise_f, have_noise, plane_distance_m,
+    accumulate_band(band, filtered, noise_f, have_noise, plane_distance.value(),
                     tau_direct_s, tau_echo_s, active_mask, image);
   // L2 norm of the gated segment(s): sqrt of the (compounded) energy.
   for (double& v : image.data()) v = std::sqrt(v);
@@ -267,10 +261,10 @@ Matrix2D AcousticImager::construct(
 }
 
 std::vector<Matrix2D> AcousticImager::construct_bands(
-    const MultiChannelSignal& beep, double plane_distance_m,
+    const MultiChannelSignal& beep, units::Meters plane_distance,
     double tau_direct_s, const MultiChannelSignal& noise_only,
     double tau_echo_s, const echoimage::array::ChannelMask& active_mask) const {
-  if (plane_distance_m <= 0.0)
+  if (plane_distance.value() <= 0.0)
     throw std::invalid_argument("AcousticImager: plane distance must be > 0");
   MultiChannelSignal filtered, noise_f;
   bool have_noise = false;
@@ -280,7 +274,7 @@ std::vector<Matrix2D> AcousticImager::construct_bands(
   bands.reserve(config_.num_subbands);
   for (std::size_t band = 0; band < config_.num_subbands; ++band) {
     Matrix2D image(config_.grid_size, config_.grid_size);
-    accumulate_band(band, filtered, noise_f, have_noise, plane_distance_m,
+    accumulate_band(band, filtered, noise_f, have_noise, plane_distance.value(),
                     tau_direct_s, tau_echo_s, active_mask, image);
     for (double& v : image.data()) v = std::sqrt(v);
     bands.push_back(std::move(image));

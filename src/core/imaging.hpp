@@ -21,6 +21,7 @@
 
 namespace echoimage::core {
 
+namespace units = echoimage::units;
 using echoimage::ml::Matrix2D;
 
 struct ImagingConfig {
@@ -69,7 +70,7 @@ struct ImagingConfig {
   /// `construct` sums band energies instead (frequency compounding).
   /// 1 = single full-band image.
   std::size_t num_subbands = 5;
-  double speed_of_sound = echoimage::array::kSpeedOfSound;
+  units::MetersPerSecond speed_of_sound = echoimage::array::kSpeedOfSoundMps;
   /// Workers for the per-grid imaging loop. 1 = the historical serial
   /// path (no pool, no synchronization); 0 = one per hardware thread.
   /// Any value produces bit-identical images: grids write disjoint output
@@ -81,7 +82,7 @@ struct ImagingConfig {
   /// bits a recompute would produce.
   bool use_weight_cache = true;
   /// Plane-distance quantum of the cache key (<= 0: exact bit pattern).
-  double weight_cache_quantum_m = 1e-3;
+  units::Meters weight_cache_quantum{1e-3};
   std::size_t weight_cache_capacity = 1u << 18;
 };
 
@@ -93,8 +94,9 @@ struct AcousticImage {
 
 /// Grid geometry helper shared with the data augmenter: distance from the
 /// k-th grid (row r, col c) of a plane at distance D_p to the origin.
-[[nodiscard]] double grid_distance(const ImagingConfig& config, std::size_t row,
-                                   std::size_t col, double plane_distance_m);
+[[nodiscard]] units::Meters grid_distance(const ImagingConfig& config,
+                                          std::size_t row, std::size_t col,
+                                          units::Meters plane_distance);
 
 class AcousticImager {
  public:
@@ -123,7 +125,7 @@ class AcousticImager {
   /// `anchor_to_echo` is set. `active_mask` (empty = all) images with the
   /// surviving subarray when the health gate has condemned channels.
   [[nodiscard]] Matrix2D construct(
-      const MultiChannelSignal& beep, double plane_distance_m,
+      const MultiChannelSignal& beep, units::Meters plane_distance,
       double tau_direct_s = 0.0, const MultiChannelSignal& noise_only = {},
       double tau_echo_s = -1.0,
       const echoimage::array::ChannelMask& active_mask = {}) const;
@@ -132,7 +134,7 @@ class AcousticImager {
   /// `construct` but each spectral band is returned separately so the
   /// classifier sees the body's frequency-dependent reflectivity.
   [[nodiscard]] std::vector<Matrix2D> construct_bands(
-      const MultiChannelSignal& beep, double plane_distance_m,
+      const MultiChannelSignal& beep, units::Meters plane_distance,
       double tau_direct_s = 0.0,
       const MultiChannelSignal& noise_only = {},
       double tau_echo_s = -1.0,

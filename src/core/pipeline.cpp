@@ -47,12 +47,12 @@ void SystemConfig::harmonize() {
 std::string SystemConfig::describe() const {
   std::ostringstream os;
   os << "sample_rate: " << sample_rate << " Hz\n"
-     << "speed of sound: " << speed_of_sound << " m/s\n"
+     << "speed of sound: " << speed_of_sound.value() << " m/s\n"
      << "threads: " << num_threads << (num_threads == 0 ? " (auto)" : "")
      << ", weight cache "
      << (imaging.use_weight_cache ? "on" : "off") << "\n"
-     << "chirp: " << chirp.f_start_hz << "-" << chirp.f_end_hz << " Hz, "
-     << chirp.duration_s * 1000.0 << " ms\n"
+     << "chirp: " << chirp.f_start.value() << "-" << chirp.f_end.value()
+     << " Hz, " << chirp.duration.value() * 1000.0 << " ms\n"
      << "band-pass: " << distance.bandpass_low_hz << "-"
      << distance.bandpass_high_hz << " Hz (order "
      << distance.bandpass_order << ")\n"
@@ -204,9 +204,9 @@ ProcessedBeeps EchoImagePipeline::process(
   out.images.reserve(beeps.size());
   // The plane sits at the centroid-derived distance (smoother than the
   // peak) and the gates anchor to the measured echo centroid.
-  const double plane = out.distance.user_distance_centroid_m > 0.0
-                           ? out.distance.user_distance_centroid_m
-                           : out.distance.user_distance_m;
+  const units::Meters plane{out.distance.user_distance_centroid_m > 0.0
+                                ? out.distance.user_distance_centroid_m
+                                : out.distance.user_distance_m};
   for (const MultiChannelSignal& beep : *use_beeps)
     out.images.push_back(AcousticImage{imager_.construct_bands(
         beep, plane, out.distance.tau_direct_s, *use_noise,

@@ -23,7 +23,7 @@ struct SystemConfig {
   /// Assumed speed of sound, propagated into distance estimation and
   /// imaging by `harmonize` — the single knob a recalibrator turns when
   /// the room temperature has moved the real value (see core/drift.hpp).
-  double speed_of_sound = echoimage::array::kSpeedOfSound;
+  units::MetersPerSecond speed_of_sound = echoimage::array::kSpeedOfSoundMps;
   /// Worker threads for the parallel stages (imaging grids, augmentation
   /// fan-out, experiment session fan-out). 1 = the historical serial
   /// behavior, bit for bit; 0 = one worker per hardware thread. Results

@@ -10,22 +10,31 @@
 
 #include "dsp/signal.hpp"
 #include "dsp/window.hpp"
+#include "units/units.hpp"
 
 namespace echoimage::dsp {
 
+namespace units = echoimage::units;
+
 /// Parameters of the probing beep (paper Eq. 2 with start/stop frequency
 /// parameterization: f(t) sweeps f_start -> f_end over `duration` seconds).
+/// The sweep endpoints and duration are strong-typed: a sample rate or a
+/// length can no longer be passed where a sweep frequency belongs.
 struct ChirpParams {
-  double f_start_hz = 2000.0;   ///< Sweep start frequency (paper: 2 kHz).
-  double f_end_hz = 3000.0;     ///< Sweep end frequency (paper: 3 kHz).
-  double duration_s = 0.002;    ///< Beep length (paper: ~2 ms).
-  double amplitude = 1.0;       ///< Peak amplitude A.
-  double tukey_alpha = 0.25;    ///< Edge taper to avoid spectral splatter.
+  units::Hertz f_start{2000.0};   ///< Sweep start frequency (paper: 2 kHz).
+  units::Hertz f_end{3000.0};     ///< Sweep end frequency (paper: 3 kHz).
+  units::Seconds duration{0.002}; ///< Beep length (paper: ~2 ms).
+  double amplitude = 1.0;         ///< Peak amplitude A.
+  double tukey_alpha = 0.25;      ///< Edge taper to avoid spectral splatter.
 
-  [[nodiscard]] double center_frequency_hz() const {
-    return 0.5 * (f_start_hz + f_end_hz);
+  [[nodiscard]] units::Hertz center_frequency() const {
+    return 0.5 * (f_start + f_end);
   }
-  [[nodiscard]] double bandwidth_hz() const { return f_end_hz - f_start_hz; }
+  [[nodiscard]] units::Hertz bandwidth() const { return f_end - f_start; }
+  /// Sweep slope k = B / T (Hz per second, paper Eq. 2).
+  [[nodiscard]] units::HertzPerSecond sweep_rate() const {
+    return bandwidth() / duration;
+  }
   /// Validate ranges; throws std::invalid_argument when inconsistent.
   void validate() const;
 };

@@ -112,8 +112,9 @@ CaptureBatch DataCollector::collect_impl(
         0.002 * std::sin(2.0 * std::numbers::pi * t / 4.0 + breath_phase);
     const auto body =
         user != nullptr
-            ? echoimage::sim::pose_body(user->body, pose, cond.distance_m,
-                                        scene.array_height_m)
+            ? echoimage::sim::pose_body(
+                  user->body, pose, echoimage::units::Meters{cond.distance_m},
+                  scene.array_height)
             : no_body;
     Rng beep_rng = noise_rng.fork(0x1000 + l);
     batch.beeps.push_back(renderer.render_beep(body, beep_rng));

@@ -5,7 +5,6 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "runtime/parallel_for.hpp"
 
@@ -14,16 +13,6 @@ namespace echoimage::eval {
 using echoimage::core::EchoImagePipeline;
 using echoimage::core::EnrolledUser;
 using echoimage::core::ProcessedBeeps;
-
-namespace {
-
-std::size_t resolve_threads(std::size_t num_threads) {
-  if (num_threads != 0) return num_threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-}  // namespace
 
 echoimage::core::SystemConfig default_system_config() {
   echoimage::core::SystemConfig cfg;
@@ -72,7 +61,8 @@ ExperimentResult run_authentication_experiment(
   // serves the whole experiment; with num_threads == 1 no pool exists and
   // the loops below run inline, reproducing the historical serial path bit
   // for bit.
-  const std::size_t num_threads = resolve_threads(config.system.num_threads);
+  const std::size_t num_threads =
+      echoimage::runtime::resolve_workers(config.system.num_threads);
   std::unique_ptr<echoimage::runtime::ThreadPool> pool;
   if (num_threads > 1)
     pool = std::make_unique<echoimage::runtime::ThreadPool>(num_threads);
@@ -116,8 +106,8 @@ ExperimentResult run_authentication_experiment(
       for (const auto& beep : batch.beeps)
         processed.images.push_back(
             echoimage::core::AcousticImage{pipeline.imager().construct_bands(
-                beep, plane_distance, processed.distance.tau_direct_s,
-                batch.noise_only)});
+                beep, echoimage::units::Meters{plane_distance},
+                processed.distance.tau_direct_s, batch.noise_only)});
     }
     out.features =
         pipeline.features_batch(processed.images, plane_distance, augment);

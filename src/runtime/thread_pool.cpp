@@ -4,6 +4,12 @@
 
 namespace echoimage::runtime {
 
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads)
     : num_workers_(std::max<std::size_t>(1, num_threads)),
       errors_(num_workers_) {

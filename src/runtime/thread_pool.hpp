@@ -22,6 +22,12 @@
 
 namespace echoimage::runtime {
 
+/// Resolve a requested worker count: 0 = one worker per hardware thread
+/// (at least 1), any other value verbatim. This is the one sanctioned way
+/// for library code to ask the machine for its parallelism — subsystems
+/// outside src/runtime must not include <thread> (enforced by echolint).
+[[nodiscard]] std::size_t resolve_workers(std::size_t requested);
+
 class ThreadPool {
  public:
   /// `num_threads` is the total worker count including the calling thread;

@@ -172,9 +172,11 @@ Pose draw_session_pose(Rng& rng, double jitter_scale) {
 }
 
 std::vector<WorldReflector> pose_body(const BodyProfile& profile,
-                                      const Pose& pose, double distance_m,
-                                      double array_height_m,
+                                      const Pose& pose, units::Meters distance,
+                                      units::Meters array_height,
                                       double specular_exponent) {
+  const double distance_m = distance.value();
+  const double array_height_m = array_height.value();
   const SmoothField2D clothing(mix_seed(pose.clothing_seed, 0xC107), 8, 3.0);
   const double lean = pose.lean_rad + profile.habitual_lean_rad();
   const double cos_lean = std::cos(lean);

@@ -15,9 +15,11 @@
 
 #include "array/geometry.hpp"
 #include "sim/random.hpp"
+#include "units/units.hpp"
 
 namespace echoimage::sim {
 
+namespace units = echoimage::units;
 using echoimage::array::Vec3;
 
 enum class Gender { kMale, kFemale };
@@ -102,8 +104,8 @@ struct Pose {
 [[nodiscard]] Pose draw_session_pose(Rng& rng, double jitter_scale = 1.0);
 
 /// Place the posed body in world (array-centered) coordinates: the user
-/// faces the array at horizontal distance `distance_m` along +y, the floor
-/// is at z = -array_height_m. Returns world-space reflectors with
+/// faces the array at horizontal distance `distance` along +y, the floor
+/// is at z = -array_height. Returns world-space reflectors with
 /// clothing-modulated reflectivities and specular incidence weighting.
 struct WorldReflector {
   Vec3 position;
@@ -111,7 +113,7 @@ struct WorldReflector {
   double spectral_slope = 0.0;  ///< see BodyReflector::spectral_slope
 };
 [[nodiscard]] std::vector<WorldReflector> pose_body(
-    const BodyProfile& profile, const Pose& pose, double distance_m,
-    double array_height_m, double specular_exponent = 10.0);
+    const BodyProfile& profile, const Pose& pose, units::Meters distance,
+    units::Meters array_height, double specular_exponent = 10.0);
 
 }  // namespace echoimage::sim

@@ -91,9 +91,10 @@ DriftSessionState DriftScenario::state(std::size_t session) const {
   // Scale relative to the 20 C calibration point so severity 0 (or a
   // trajectory passing exactly through 20 C) leaves the scene's configured
   // speed untouched whatever its absolute value.
-  out.sound_speed_scale = echoimage::array::speed_of_sound_at(
-                              out.temperature_c) /
-                          echoimage::array::speed_of_sound_at(20.0);
+  out.sound_speed_scale =
+      echoimage::array::speed_of_sound_at(
+          echoimage::units::Celsius{out.temperature_c}) /
+      echoimage::array::speed_of_sound_at(echoimage::units::Celsius{20.0});
 
   // --- ambient noise ramp ----------------------------------------------
   out.ambient_offset_db = sev * config_.ambient_ramp_db * ramp;

@@ -10,13 +10,13 @@ SceneRenderer::SceneRenderer(Scene scene, CaptureConfig config)
 
 double SceneRenderer::direct_delay(std::size_t mic) const {
   return scene_.speaker_position.distance_to(scene_.geometry.mic(mic)) /
-         scene_.speed_of_sound;
+         scene_.speed_of_sound.value();
 }
 
 double SceneRenderer::echo_delay(const Vec3& point, std::size_t mic) const {
   const double d_tx = scene_.speaker_position.distance_to(point);
   const double d_rx = point.distance_to(scene_.geometry.mic(mic));
-  return (d_tx + d_rx) / scene_.speed_of_sound;
+  return (d_tx + d_rx) / scene_.speed_of_sound.value();
 }
 
 void SceneRenderer::add_path(echoimage::dsp::Signal& channel, double delay_s,
@@ -28,7 +28,7 @@ void SceneRenderer::add_path(echoimage::dsp::Signal& channel, double delay_s,
 void SceneRenderer::add_noise(MultiChannelSignal& out, Rng& rng) const {
   const std::size_t n = out.length();
   const std::size_t num_mics = out.num_channels();
-  const double clamp_d = config_.min_path_m;
+  const double clamp_d = config_.min_path.value();
 
   // Ambient (diffuse) noise: independent per microphone.
   for (std::size_t m = 0; m < num_mics; ++m) {
@@ -42,7 +42,7 @@ void SceneRenderer::add_noise(MultiChannelSignal& out, Rng& rng) const {
   for (std::size_t m = 0; m < num_mics; ++m) {
     Rng mic_rng = rng.fork(0x5E25 + m);
     const echoimage::dsp::Signal self = generate_noise(
-        NoiseParams{NoiseKind::kWhite, config_.sensor_noise_db}, n,
+        NoiseParams{NoiseKind::kWhite, config_.sensor_noise.value()}, n,
         config_.sample_rate, mic_rng);
     echoimage::dsp::add_in_place(out.channels[m], self);
   }
@@ -62,7 +62,7 @@ void SceneRenderer::add_noise(MultiChannelSignal& out, Rng& rng) const {
       const double d = std::max(src.position.distance_to(mic), clamp_d);
       const std::size_t delay = std::min(
           lead, echoimage::dsp::seconds_to_samples(
-                    d / scene_.speed_of_sound, config_.sample_rate));
+                    d / scene_.speed_of_sound.value(), config_.sample_rate));
       const double gain = 1.0 / d;
       echoimage::dsp::Signal& ch = out.channels[m];
       for (std::size_t i = 0; i < n; ++i) ch[i] += gain * wave[lead + i - delay];
@@ -74,7 +74,7 @@ MultiChannelSignal SceneRenderer::render_beep(
     const std::vector<WorldReflector>& body, Rng& rng) const {
   const std::size_t n = config_.frame_samples();
   const std::size_t num_mics = scene_.geometry.num_mics();
-  const double clamp_d = config_.min_path_m;
+  const double clamp_d = config_.min_path.value();
   MultiChannelSignal out;
   out.channels.assign(num_mics, echoimage::dsp::Signal(n, 0.0));
 
@@ -86,7 +86,7 @@ MultiChannelSignal SceneRenderer::render_beep(
     {
       const double d =
           std::max(scene_.speaker_position.distance_to(mic), clamp_d);
-      add_path(ch, d / scene_.speed_of_sound, 1.0 / d);
+      add_path(ch, d / scene_.speed_of_sound.value(), 1.0 / d);
     }
 
     // Echoes: body + environment clutter, spherical spreading on each leg.
@@ -94,7 +94,7 @@ MultiChannelSignal SceneRenderer::render_beep(
       const double d_tx =
           std::max(scene_.speaker_position.distance_to(r.position), clamp_d);
       const double d_rx = std::max(r.position.distance_to(mic), clamp_d);
-      add_path(ch, (d_tx + d_rx) / scene_.speed_of_sound,
+      add_path(ch, (d_tx + d_rx) / scene_.speed_of_sound.value(),
                r.reflectivity / (d_tx * d_rx), r.spectral_slope);
     };
     for (const WorldReflector& r : body) add_reflector(r);

@@ -24,6 +24,7 @@
 
 namespace echoimage::sim {
 
+namespace units = echoimage::units;
 using echoimage::array::ArrayGeometry;
 using echoimage::dsp::Chirp;
 using echoimage::dsp::MultiChannelSignal;
@@ -38,26 +39,28 @@ struct NoiseSource {
 struct Scene {
   ArrayGeometry geometry = echoimage::array::make_respeaker_array();
   Vec3 speaker_position{0.0, 0.0, -0.02};  ///< just below the array center
-  double array_height_m = 1.2;             ///< array center above the floor
+  units::Meters array_height{1.2};         ///< array center above the floor
   Environment environment;
   std::optional<NoiseSource> noise_source;
-  double speed_of_sound = echoimage::array::kSpeedOfSound;
+  units::MetersPerSecond speed_of_sound = echoimage::array::kSpeedOfSoundMps;
 };
 
 /// Per-beep capture parameters.
 struct CaptureConfig {
   double sample_rate = 48000.0;
-  double frame_s = 0.060;  ///< per-beep capture window (covers a 2 m user)
+  /// Per-beep capture window (covers a 2 m user).
+  units::Seconds frame{0.060};
   echoimage::dsp::ChirpParams chirp{};  ///< paper defaults: 2-3 kHz, 2 ms
-  double min_path_m = 0.05;  ///< spreading-loss clamp near the transducers
+  /// Spreading-loss clamp near the transducers.
+  units::Meters min_path{0.05};
   /// Microphone self-noise + ADC floor: white, independent per channel,
   /// always present regardless of the acoustic environment. This is what
   /// bounds the sensing range (paper Fig. 13: echoes from past ~1 m become
   /// "weak and hard to be picked up").
-  double sensor_noise_db = 54.0;
+  units::Decibels sensor_noise{54.0};
 
   [[nodiscard]] std::size_t frame_samples() const {
-    return echoimage::dsp::seconds_to_samples(frame_s, sample_rate);
+    return echoimage::dsp::seconds_to_samples(frame.value(), sample_rate);
   }
 };
 

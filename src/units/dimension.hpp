@@ -1,0 +1,47 @@
+// Compile-time dimension algebra for the physical-units layer.
+//
+// A Dimension is a vector of integer exponents over the base quantities the
+// acoustic pipeline actually mixes: length (m), time (s), temperature (C)
+// and sample count (ADC frames). Products and quotients of quantities add
+// and subtract these exponents at compile time, so Meters / MetersPerSecond
+// *is* Seconds and Seconds * SampleRate *is* SampleCount — and anything
+// dimensionally inconsistent is a type error, not a runtime bug.
+//
+// Samples are a real base dimension here, not a dimensionless count: a
+// sample rate (samples/s) and an acoustic frequency (1/s) must never be
+// interchangeable, because confusing the two is exactly the class of bug
+// (48 kHz where 3 kHz was meant) this layer exists to stop.
+#pragma once
+
+namespace echoimage::units {
+
+/// Exponent vector of a physical dimension. All algebra is purely
+/// compile-time; no object of this type is ever constructed at runtime.
+template <int LengthExp, int TimeExp, int TemperatureExp, int SampleExp>
+struct Dimension {
+  static constexpr int length = LengthExp;
+  static constexpr int time = TimeExp;
+  static constexpr int temperature = TemperatureExp;
+  static constexpr int samples = SampleExp;
+};
+
+/// The dimensionless (pure-ratio) dimension.
+using DimScalar = Dimension<0, 0, 0, 0>;
+
+/// Dimension of a product: exponents add.
+template <class A, class B>
+using DimProduct = Dimension<A::length + B::length, A::time + B::time,
+                             A::temperature + B::temperature,
+                             A::samples + B::samples>;
+
+/// Dimension of a quotient: exponents subtract.
+template <class A, class B>
+using DimQuotient = Dimension<A::length - B::length, A::time - B::time,
+                              A::temperature - B::temperature,
+                              A::samples - B::samples>;
+
+/// Dimension of a reciprocal.
+template <class A>
+using DimInverse = DimQuotient<DimScalar, A>;
+
+}  // namespace echoimage::units

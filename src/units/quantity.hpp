@@ -1,0 +1,112 @@
+// Strong-typed physical quantity: a double tagged with a compile-time
+// Dimension.
+//
+// Design rules (see DESIGN.md, "Static analysis & units"):
+//  * Construction from a raw double is *explicit* — `Meters m = 0.05;` does
+//    not compile; `Meters{0.05}` states the unit at the call site.
+//  * `.value()` is the explicit escape hatch back to a raw double for
+//    inner-loop math. The wrap/unwrap pair is the identity on the stored
+//    bits, so threading quantities through an API cannot change results.
+//  * Arithmetic derives dimensions: Quantity<A> * Quantity<B> has dimension
+//    A+B, / has A-B; + and - require identical dimensions. Scalars scale
+//    any quantity without changing its dimension.
+//  * A dimensionless quantity (all exponents zero — e.g. the ratio of two
+//    speeds) converts *implicitly* to double: a pure ratio is a number.
+//
+// Everything is constexpr and trivially copyable; with optimization on, a
+// Quantity compiles to exactly the double it wraps (zero-cost).
+#pragma once
+
+#include <compare>
+#include <concepts>
+
+#include "units/dimension.hpp"
+
+namespace echoimage::units {
+
+template <class Dim>
+class Quantity {
+ public:
+  using dimension = Dim;
+
+  constexpr Quantity() = default;
+  explicit constexpr Quantity(double raw) : value_(raw) {}
+
+  /// Escape hatch: the raw double, for inner-loop math and I/O.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  /// A pure ratio is just a number.
+  constexpr operator double() const  // NOLINT(google-explicit-constructor)
+    requires std::same_as<Dim, DimScalar>
+  {
+    return value_;
+  }
+
+  // Same-dimension additive algebra.
+  [[nodiscard]] constexpr Quantity operator+(Quantity o) const {
+    return Quantity{value_ + o.value_};
+  }
+  [[nodiscard]] constexpr Quantity operator-(Quantity o) const {
+    return Quantity{value_ - o.value_};
+  }
+  [[nodiscard]] constexpr Quantity operator-() const {
+    return Quantity{-value_};
+  }
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+
+  // Dimension-preserving scaling by a raw number.
+  [[nodiscard]] constexpr Quantity operator*(double s) const {
+    return Quantity{value_ * s};
+  }
+  [[nodiscard]] constexpr Quantity operator/(double s) const {
+    return Quantity{value_ / s};
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  // Dimension-deriving products and quotients.
+  template <class D2>
+  [[nodiscard]] constexpr Quantity<DimProduct<Dim, D2>> operator*(
+      Quantity<D2> o) const {
+    return Quantity<DimProduct<Dim, D2>>{value_ * o.value()};
+  }
+  template <class D2>
+  [[nodiscard]] constexpr Quantity<DimQuotient<Dim, D2>> operator/(
+      Quantity<D2> o) const {
+    return Quantity<DimQuotient<Dim, D2>>{value_ / o.value()};
+  }
+
+  // Same-dimension comparisons only.
+  [[nodiscard]] constexpr auto operator<=>(const Quantity&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Scalar * quantity (quantity * scalar is a member).
+template <class Dim>
+[[nodiscard]] constexpr Quantity<Dim> operator*(double s, Quantity<Dim> q) {
+  return Quantity<Dim>{s * q.value()};
+}
+
+/// Scalar / quantity inverts the dimension (e.g. 1.0 / Seconds -> Hertz).
+template <class Dim>
+[[nodiscard]] constexpr Quantity<DimInverse<Dim>> operator/(double s,
+                                                            Quantity<Dim> q) {
+  return Quantity<DimInverse<Dim>>{s / q.value()};
+}
+
+}  // namespace echoimage::units

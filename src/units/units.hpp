@@ -1,0 +1,128 @@
+// Named physical units of the EchoImage pipeline.
+//
+// These are the vocabulary types threaded through the public signatures of
+// the array / dsp / core / sim layers: a steering delay is Meters divided
+// by MetersPerSecond (-> Seconds), a range gate is Seconds times SampleRate
+// (-> SampleCount), a chirp sweep runs between two Hertz endpoints. A
+// swapped `freq_hz` / `speed_of_sound` argument pair — which used to
+// compile silently as two bare doubles and corrupt the acoustic image —
+// is a type error with these.
+//
+// The negative-compilation suite (tests/units/negative/) pins down what
+// must NOT compile; tests/units/units_test.cpp pins down the algebra that
+// must.
+#pragma once
+
+#include "units/quantity.hpp"
+
+namespace echoimage::units {
+
+// ---------------------------------------------------------------------------
+// Base and derived quantities. Dimension exponents: <length, time,
+// temperature, samples>.
+// ---------------------------------------------------------------------------
+
+/// Pure ratio (implicitly converts to double).
+using Dimensionless = Quantity<DimScalar>;
+
+/// Length in meters (grid spacing, plane distance, microphone spacing).
+using Meters = Quantity<Dimension<1, 0, 0, 0>>;
+
+/// Time in seconds (delays, gates, chirp duration).
+using Seconds = Quantity<Dimension<0, 1, 0, 0>>;
+
+/// Acoustic frequency in Hz = 1/s (chirp endpoints, analysis frequency).
+using Hertz = Quantity<Dimension<0, -1, 0, 0>>;
+
+/// Propagation speed in m/s (speed of sound).
+using MetersPerSecond = Quantity<Dimension<1, -1, 0, 0>>;
+
+/// Chirp sweep rate in Hz/s.
+using HertzPerSecond = Quantity<Dimension<0, -2, 0, 0>>;
+
+/// Air temperature in degrees Celsius (speed-of-sound calibration).
+using Celsius = Quantity<Dimension<0, 0, 1, 0>>;
+
+/// A number of ADC samples. A distinct base dimension, NOT a dimensionless
+/// count: Seconds * SampleRate yields SampleCount, while Seconds * Hertz
+/// yields a plain ratio — so a 48 kHz sample rate can never be passed where
+/// a 3 kHz acoustic frequency is expected.
+using SampleCount = Quantity<Dimension<0, 0, 0, 1>>;
+
+/// ADC sample rate in samples/second.
+using SampleRate = Quantity<Dimension<0, -1, 0, 1>>;
+
+/// Inverse square length, 1/m^2 — the spreading-loss factor of the
+/// distance-re-projection augmentation (paper Eq. 13-15).
+using PerSquareMeter = Quantity<Dimension<-2, 0, 0, 0>>;
+
+// ---------------------------------------------------------------------------
+// Decibels: logarithmic level. Deliberately NOT a Quantity — adding two
+// absolute levels or scaling one by a plain factor is meaningless, while
+// adding a *gain* in dB is composition. Only those operations exist.
+// ---------------------------------------------------------------------------
+class Decibels {
+ public:
+  constexpr Decibels() = default;
+  explicit constexpr Decibels(double db) : value_(db) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  /// Gain composition in the log domain.
+  [[nodiscard]] constexpr Decibels operator+(Decibels o) const {
+    return Decibels{value_ + o.value_};
+  }
+  [[nodiscard]] constexpr Decibels operator-(Decibels o) const {
+    return Decibels{value_ - o.value_};
+  }
+
+  [[nodiscard]] constexpr auto operator<=>(const Decibels&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Literals for the units the codebase speaks: `0.05_m`, `343.0_mps`,
+// `3000.0_hz`, `20.0_degc`, `50.0_db`.
+// ---------------------------------------------------------------------------
+inline namespace literals {
+constexpr Meters operator""_m(long double v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Hertz operator""_hz(long double v) {
+  return Hertz{static_cast<double>(v)};
+}
+constexpr MetersPerSecond operator""_mps(long double v) {
+  return MetersPerSecond{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degc(long double v) {
+  return Celsius{static_cast<double>(v)};
+}
+constexpr Decibels operator""_db(long double v) {
+  return Decibels{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(unsigned long long v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Hertz operator""_hz(unsigned long long v) {
+  return Hertz{static_cast<double>(v)};
+}
+constexpr MetersPerSecond operator""_mps(unsigned long long v) {
+  return MetersPerSecond{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degc(unsigned long long v) {
+  return Celsius{static_cast<double>(v)};
+}
+constexpr Decibels operator""_db(unsigned long long v) {
+  return Decibels{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace echoimage::units

@@ -20,11 +20,11 @@ using echoimage::dsp::Signal;
 
 constexpr double kPi = std::numbers::pi;
 constexpr double kFs = 48000.0;
-constexpr double kF0 = 2500.0;
+constexpr units::Hertz kF0{2500.0};
 
 // Simulate a far-field tone arriving from `dir` on the given geometry.
 MultiChannelSignal plane_wave_tone(const ArrayGeometry& g, const Direction& dir,
-                                   double freq, std::size_t n,
+                                   units::Hertz freq, std::size_t n,
                                    double noise_std = 0.0, unsigned seed = 1) {
   const std::vector<double> taus = tdoas(g, dir);
   std::mt19937 gen(seed);
@@ -35,7 +35,7 @@ MultiChannelSignal plane_wave_tone(const ArrayGeometry& g, const Direction& dir,
     x.channels[m].resize(n);
     for (std::size_t t = 0; t < n; ++t) {
       const double time = static_cast<double>(t) / kFs - taus[m];
-      x.channels[m][t] = std::cos(2.0 * kPi * freq * time) +
+      x.channels[m][t] = std::cos(2.0 * kPi * freq.value() * time) +
                          noise_std * d(gen);
     }
   }
@@ -207,7 +207,7 @@ TEST(NarrowbandBeamformer, PhysicallyRenderedEchoFavoursTrueDirection) {
   scene.environment.clutter.clear();
   scene.environment.reverb = ReverbParams{};
   CaptureConfig capture_cfg;
-  capture_cfg.sensor_noise_db = -300.0;
+  capture_cfg.sensor_noise = units::Decibels{-300.0};
   const SceneRenderer renderer(scene, capture_cfg);
   const Vec3 target{-0.5, 0.5, 0.0};  // up-left of the array
   Rng rng(3);

@@ -33,7 +33,9 @@ TEST(SpatialCovariance, IndependentNoiseIsNearDiagonal) {
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_NEAR(r(i, i).real(), 2.0, 0.15);  // var(re) + var(im)
     for (std::size_t j = 0; j < 4; ++j)
-      if (i != j) EXPECT_LT(std::abs(r(i, j)), 0.15);
+      if (i != j) {
+        EXPECT_LT(std::abs(r(i, j)), 0.15);
+      }
   }
 }
 

@@ -10,6 +10,8 @@
 namespace echoimage::array {
 namespace {
 
+using namespace echoimage::units::literals;
+
 TEST(Vec3, BasicOperations) {
   const Vec3 a{1.0, 2.0, 3.0};
   const Vec3 b{4.0, -5.0, 6.0};
@@ -70,15 +72,15 @@ TEST(UniformCircularArray, SixMicRadiusEqualsSpacing) {
 }
 
 TEST(UniformCircularArray, MicsLieInXyPlane) {
-  const ArrayGeometry g = make_uniform_circular_array(8, 0.04);
+  const ArrayGeometry g = make_uniform_circular_array(8, 0.04_m);
   for (std::size_t m = 0; m < g.num_mics(); ++m)
     EXPECT_DOUBLE_EQ(g.mic(m).z, 0.0);
 }
 
 TEST(UniformCircularArray, InvalidParamsThrow) {
-  EXPECT_THROW(make_uniform_circular_array(1, 0.05), std::invalid_argument);
-  EXPECT_THROW(make_uniform_circular_array(6, 0.0), std::invalid_argument);
-  EXPECT_THROW(make_uniform_circular_array(6, -1.0), std::invalid_argument);
+  EXPECT_THROW(make_uniform_circular_array(1, 0.05_m), std::invalid_argument);
+  EXPECT_THROW(make_uniform_circular_array(6, 0.0_m), std::invalid_argument);
+  EXPECT_THROW(make_uniform_circular_array(6, -1.0_m), std::invalid_argument);
 }
 
 TEST(ArrayGeometry, ApertureOfCircularArrayIsDiameter) {
@@ -95,42 +97,49 @@ TEST(ArrayGeometry, MinAdjacentSpacing) {
 
 TEST(FarField, PaperExampleHolds) {
   // Paper Sec. III-A: f = 3000 Hz, array size 0.1 m -> far field at 0.18 m.
-  const double l = far_field_min_distance(0.1, 3000.0, 343.0);
+  const double l =
+      far_field_min_distance(0.1_m, 3000.0_hz, 343.0_mps).value();
   EXPECT_NEAR(l, 2.0 * 0.1 * 0.1 / (343.0 / 3000.0), 1e-12);
   EXPECT_NEAR(l, 0.175, 0.01);
 }
 
 TEST(FarField, InvalidFrequencyThrows) {
-  EXPECT_THROW((void)far_field_min_distance(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)far_field_min_distance(0.1_m, 0.0_hz),
+               std::invalid_argument);
 }
 
 TEST(GratingLobes, PaperFrequencyBudgetHolds) {
   // Paper Sec. V-A: 4-7 cm spacing forces the beep below ~3 kHz.
-  EXPECT_NEAR(max_unambiguous_frequency(0.05), 3430.0, 1.0);
-  EXPECT_GT(max_unambiguous_frequency(0.04), 4000.0);
-  EXPECT_LT(max_unambiguous_frequency(0.07), 2500.0);
+  EXPECT_NEAR(max_unambiguous_frequency(0.05_m).value(), 3430.0, 1.0);
+  EXPECT_GT(max_unambiguous_frequency(0.04_m).value(), 4000.0);
+  EXPECT_LT(max_unambiguous_frequency(0.07_m).value(), 2500.0);
 }
 
 TEST(GratingLobes, InvalidSpacingThrows) {
-  EXPECT_THROW((void)max_unambiguous_frequency(0.0), std::invalid_argument);
+  EXPECT_THROW((void)max_unambiguous_frequency(0.0_m), std::invalid_argument);
 }
 
 TEST(GratingLobes, PaperBeepBandIsUnambiguous) {
   // The 2-3 kHz beep must stay below the ReSpeaker's grating-lobe limit.
   const ArrayGeometry g = make_respeaker_array();
-  EXPECT_LT(3000.0, max_unambiguous_frequency(g.min_adjacent_spacing()));
+  EXPECT_LT(3000.0,
+            max_unambiguous_frequency(units::Meters{g.min_adjacent_spacing()})
+                .value());
 }
 
 TEST(SpeedOfSound, TemperatureDependence) {
-  EXPECT_NEAR(speed_of_sound_at(0.0), 331.3, 0.1);
-  EXPECT_NEAR(speed_of_sound_at(20.0), 343.2, 0.5);  // the constant we use
-  EXPECT_GT(speed_of_sound_at(35.0), speed_of_sound_at(5.0));
+  EXPECT_NEAR(speed_of_sound_at(0.0_degc).value(), 331.3, 0.1);
+  // The constant we use.
+  EXPECT_NEAR(speed_of_sound_at(20.0_degc).value(), 343.2, 0.5);
+  EXPECT_GT(speed_of_sound_at(35.0_degc), speed_of_sound_at(5.0_degc));
   // ~0.6 m/s per degree C around room temperature.
-  EXPECT_NEAR(speed_of_sound_at(21.0) - speed_of_sound_at(20.0), 0.6, 0.1);
+  EXPECT_NEAR(
+      (speed_of_sound_at(21.0_degc) - speed_of_sound_at(20.0_degc)).value(),
+      0.6, 0.1);
 }
 
 TEST(UniformLinearArray, GeometryAndValidation) {
-  const ArrayGeometry g = make_uniform_linear_array(4, 0.04);
+  const ArrayGeometry g = make_uniform_linear_array(4, 0.04_m);
   ASSERT_EQ(g.num_mics(), 4u);
   // Centered on the origin, spaced along x.
   EXPECT_NEAR(g.center().x, 0.0, 1e-12);
@@ -138,16 +147,16 @@ TEST(UniformLinearArray, GeometryAndValidation) {
   EXPECT_NEAR(g.mic(3).x, 0.06, 1e-12);
   EXPECT_NEAR(g.min_adjacent_spacing(), 0.04, 1e-12);
   EXPECT_NEAR(g.aperture(), 0.12, 1e-12);
-  EXPECT_THROW(make_uniform_linear_array(1, 0.04), std::invalid_argument);
-  EXPECT_THROW(make_uniform_linear_array(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_uniform_linear_array(1, 0.04_m), std::invalid_argument);
+  EXPECT_THROW(make_uniform_linear_array(4, 0.0_m), std::invalid_argument);
 }
 
 TEST(UniformLinearArray, EndfireAmbiguityOfLinearGeometry) {
   // A ULA cannot distinguish front from back (mirror symmetry about its
   // axis): steering vectors for theta and -theta coincide.
-  const ArrayGeometry g = make_uniform_linear_array(4, 0.05);
-  const auto a1 = steering_vector_hz(g, Direction{0.7, 1.2}, 2500.0);
-  const auto a2 = steering_vector_hz(g, Direction{-0.7, 1.2}, 2500.0);
+  const ArrayGeometry g = make_uniform_linear_array(4, 0.05_m);
+  const auto a1 = steering_vector_hz(g, Direction{0.7, 1.2}, 2500.0_hz);
+  const auto a2 = steering_vector_hz(g, Direction{-0.7, 1.2}, 2500.0_hz);
   for (std::size_t m = 0; m < 4; ++m)
     EXPECT_NEAR(std::abs(a1[m] - a2[m]), 0.0, 1e-12);
 }

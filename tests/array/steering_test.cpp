@@ -9,6 +9,8 @@
 namespace echoimage::array {
 namespace {
 
+using namespace echoimage::units::literals;
+
 constexpr double kPi = std::numbers::pi;
 
 TEST(Direction, ToPointRecoversSphericalAngles) {
@@ -53,16 +55,16 @@ TEST(Tdoa, MicTowardSourceHearsFirst) {
   const ArrayGeometry g = make_respeaker_array();
   // Source along +x (theta = 0, phi = pi/2): mic 0 sits at (+0.05, 0, 0).
   const Direction d{0.0, kPi / 2.0};
-  const double t0 = tdoa(g, d, 0);
-  EXPECT_LT(t0, 0.0);  // closer mic receives earlier than the origin
-  EXPECT_NEAR(t0, -0.05 / kSpeedOfSound, 1e-12);
+  const units::Seconds t0 = tdoa(g, d, 0);
+  EXPECT_LT(t0.value(), 0.0);  // closer mic receives earlier than the origin
+  EXPECT_NEAR(t0.value(), -0.05 / kSpeedOfSound, 1e-12);
 }
 
 TEST(Tdoa, OppositeMicsHaveOppositeDelays) {
   const ArrayGeometry g = make_respeaker_array();
   const Direction d{0.0, kPi / 2.0};
   // Mics 0 and 3 are diametrically opposite on the 6-mic circle.
-  EXPECT_NEAR(tdoa(g, d, 0), -tdoa(g, d, 3), 1e-15);
+  EXPECT_NEAR(tdoa(g, d, 0).value(), -tdoa(g, d, 3).value(), 1e-15);
 }
 
 TEST(Tdoa, BroadsideSourceGivesZeroDelays) {
@@ -85,7 +87,7 @@ TEST(Tdoa, BoundedByAperture) {
 
 TEST(SteeringVector, UnitModulusEntries) {
   const ArrayGeometry g = make_respeaker_array();
-  const auto a = steering_vector_hz(g, Direction{1.0, 1.2}, 2500.0);
+  const auto a = steering_vector_hz(g, Direction{1.0, 1.2}, 2500.0_hz);
   ASSERT_EQ(a.size(), 6u);
   for (const Complex& c : a) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
 }
@@ -95,7 +97,7 @@ TEST(SteeringVector, PhaseMatchesTdoa) {
   const ArrayGeometry g = make_respeaker_array();
   const Direction d{0.9, 1.3};
   const double f = 2500.0;
-  const auto a = steering_vector_hz(g, d, f);
+  const auto a = steering_vector_hz(g, d, units::Hertz{f});
   const auto taus = tdoas(g, d);
   for (std::size_t m = 0; m < 6; ++m) {
     const Complex expected =
@@ -106,15 +108,15 @@ TEST(SteeringVector, PhaseMatchesTdoa) {
 
 TEST(SteeringVector, ZenithIsAllOnes) {
   const ArrayGeometry g = make_respeaker_array();
-  const auto a = steering_vector_hz(g, Direction{0.0, 0.0}, 2500.0);
+  const auto a = steering_vector_hz(g, Direction{0.0, 0.0}, 2500.0_hz);
   for (const Complex& c : a) EXPECT_NEAR(std::abs(c - 1.0), 0.0, 1e-12);
 }
 
 TEST(SteeringVector, FrequencyScalesPhase) {
   const ArrayGeometry g = make_respeaker_array();
   const Direction d{0.0, kPi / 2.0};
-  const auto a1 = steering_vector_hz(g, d, 1000.0);
-  const auto a2 = steering_vector_hz(g, d, 2000.0);
+  const auto a1 = steering_vector_hz(g, d, 1000.0_hz);
+  const auto a2 = steering_vector_hz(g, d, 2000.0_hz);
   for (std::size_t m = 0; m < 6; ++m) {
     const double p1 = std::arg(a1[m]);
     // Doubling frequency doubles phase (mod 2 pi).

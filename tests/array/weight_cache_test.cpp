@@ -103,20 +103,24 @@ TEST(WeightCache, MaskBitsRejectsMoreThan64Channels) {
 }
 
 TEST(WeightCache, DistanceQuantization) {
+  using echoimage::units::Meters;
   WeightCacheConfig cfg;
-  cfg.distance_quantum_m = 1e-3;
+  cfg.distance_quantum = Meters{1e-3};
   const WeightCache cache(cfg);
   // Distances within one quantum share a key; a full quantum apart differ.
-  EXPECT_EQ(cache.quantize_distance(0.7000), cache.quantize_distance(0.70004));
-  EXPECT_NE(cache.quantize_distance(0.700), cache.quantize_distance(0.701));
+  EXPECT_EQ(cache.quantize_distance(Meters{0.7000}),
+            cache.quantize_distance(Meters{0.70004}));
+  EXPECT_NE(cache.quantize_distance(Meters{0.700}),
+            cache.quantize_distance(Meters{0.701}));
   // quantum <= 0 keys on the exact bit pattern: every distinct double is a
   // distinct key.
   WeightCacheConfig exact;
-  exact.distance_quantum_m = 0.0;
+  exact.distance_quantum = Meters{0.0};
   const WeightCache ecache(exact);
-  EXPECT_NE(ecache.quantize_distance(0.7),
-            ecache.quantize_distance(std::nextafter(0.7, 1.0)));
-  EXPECT_EQ(ecache.quantize_distance(0.7), ecache.quantize_distance(0.7));
+  EXPECT_NE(ecache.quantize_distance(Meters{0.7}),
+            ecache.quantize_distance(Meters{std::nextafter(0.7, 1.0)}));
+  EXPECT_EQ(ecache.quantize_distance(Meters{0.7}),
+            ecache.quantize_distance(Meters{0.7}));
 }
 
 TEST(WeightCache, CovarianceFingerprintSeparatesNoiseFields) {

@@ -57,8 +57,8 @@ TEST(DataAugmenter, PixelScaleFollowsEq15) {
   const Matrix2D out = aug.transform(img, from, to);
   for (std::size_t r = 0; r < 16; r += 3) {
     for (std::size_t c = 0; c < 16; c += 3) {
-      const double dk = grid_distance(cfg, r, c, from);
-      const double dk2 = grid_distance(cfg, r, c, to);
+      const double dk = grid_distance(cfg, r, c, units::Meters{from}).value();
+      const double dk2 = grid_distance(cfg, r, c, units::Meters{to}).value();
       const double expected = (dk / dk2) * (dk / dk2) * img(r, c);
       EXPECT_NEAR(out(r, c), expected, 1e-12);
     }

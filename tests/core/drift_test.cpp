@@ -142,8 +142,8 @@ TEST(DriftMonitor, TemperatureShiftConfirmedViaOnsetDelay) {
   // and the wall landmark slides ~2% closer in delay.
   sim::DriftSessionState drift = f.neutral_state();
   drift.temperature_c = 32.0;
-  drift.sound_speed_scale =
-      array::speed_of_sound_at(32.0) / array::speed_of_sound_at(20.0);
+  drift.sound_speed_scale = array::speed_of_sound_at(units::Celsius{32.0}) /
+                            array::speed_of_sound_at(units::Celsius{20.0});
   core::DriftReport last;
   for (int rep = 1; rep <= 10 &&
                     last.verdict != core::DriftVerdict::kConfirmed;
@@ -196,8 +196,8 @@ TEST(DriftManager, BackgroundScanQuarantinesAndRecalibrationRecoversPhysics) {
 
   sim::DriftSessionState drift = f.neutral_state();
   drift.temperature_c = 31.0;
-  drift.sound_speed_scale =
-      array::speed_of_sound_at(31.0) / array::speed_of_sound_at(20.0);
+  drift.sound_speed_scale = array::speed_of_sound_at(units::Celsius{31.0}) /
+                            array::speed_of_sound_at(units::Celsius{20.0});
   drift.mic_gains = {1.25, 0.8, 1.2, 0.85, 1.15, 0.9};
   manager.set_probe_source([&](std::size_t attempt) {
     const eval::CaptureBatch b =
@@ -218,10 +218,10 @@ TEST(DriftManager, BackgroundScanQuarantinesAndRecalibrationRecoversPhysics) {
   ASSERT_TRUE(corr.active);
   // The true speed of sound in the drifted room.
   const double expected =
-      f.config.speed_of_sound * drift.sound_speed_scale;
+      f.config.speed_of_sound.value() * drift.sound_speed_scale;
   EXPECT_NEAR(corr.speed_of_sound, expected, 2.0) << corr.describe();
   EXPECT_NEAR(corr.temperature_c, 31.0, 4.0) << corr.describe();
-  EXPECT_DOUBLE_EQ(manager.pipeline().config().speed_of_sound,
+  EXPECT_DOUBLE_EQ(manager.pipeline().config().speed_of_sound.value(),
                    corr.speed_of_sound);
   // Gain corrections invert the drifted mic gains.
   ASSERT_EQ(corr.channel_gains.size(), drift.mic_gains.size());

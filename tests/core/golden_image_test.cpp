@@ -42,7 +42,8 @@ std::vector<Matrix2D> render_golden_scene(const ImagingConfig& cfg) {
   echoimage::eval::CollectionConditions cond;
   const auto batch = collector.collect(users[0], cond, 1);
   return AcousticImager(cfg, geometry)
-      .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      .construct_bands(batch.beeps[0], echoimage::units::Meters{0.7}, 0.0002,
+                       batch.noise_only);
 }
 
 std::string golden_path(std::size_t band) {

@@ -15,6 +15,8 @@
 namespace echoimage::core {
 namespace {
 
+using namespace echoimage::units::literals;
+
 ImagingConfig small_config() {
   ImagingConfig cfg;
   cfg.grid_size = 12;  // keep the cross-product of modes fast
@@ -59,12 +61,12 @@ TEST(ParallelImaging, BitIdenticalAcrossThreadCounts) {
   cfg.num_threads = 1;
   const std::vector<Matrix2D> serial =
       AcousticImager(cfg, f.geometry)
-          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
     cfg.num_threads = threads;
     const std::vector<Matrix2D> parallel =
         AcousticImager(cfg, f.geometry)
-            .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+            .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
     expect_bitwise_equal(serial, parallel, "threads vs serial");
   }
 }
@@ -83,9 +85,9 @@ TEST(ParallelImaging, CacheOnAndOffAreBitIdentical) {
     const AcousticImager imager_off(off, f.geometry);
     ASSERT_EQ(imager_off.weight_cache(), nullptr);
     expect_bitwise_equal(
-        imager_on.construct_bands(batch.beeps[0], 0.7, 0.0002,
+        imager_on.construct_bands(batch.beeps[0], 0.7_m, 0.0002,
                                   batch.noise_only),
-        imager_off.construct_bands(batch.beeps[0], 0.7, 0.0002,
+        imager_off.construct_bands(batch.beeps[0], 0.7_m, 0.0002,
                                    batch.noise_only),
         "cache on vs off");
   }
@@ -101,12 +103,12 @@ TEST(ParallelImaging, RepeatedRunsReplayCachedWeightsBitIdentically) {
   // (and a second beep at the same plane distance) must agree bitwise with
   // a fresh imager's cold run.
   const auto first =
-      imager.construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   const auto again =
-      imager.construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   expect_bitwise_equal(first, again, "repeat run");
   const auto cold = AcousticImager(cfg, f.geometry)
-                        .construct_bands(batch.beeps[0], 0.7, 0.0002,
+                        .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
                                          batch.noise_only);
   expect_bitwise_equal(first, cold, "warm vs cold imager");
 
@@ -125,14 +127,14 @@ TEST(ParallelImaging, OddGridSizesStayDeterministic) {
   cfg.num_threads = 1;
   const auto serial =
       AcousticImager(cfg, f.geometry)
-          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   ASSERT_EQ(serial[0].rows(), 17u);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
     cfg.num_threads = threads;
     expect_bitwise_equal(
         serial,
         AcousticImager(cfg, f.geometry)
-            .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only),
+            .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only),
         "odd grid");
   }
 }
@@ -146,7 +148,7 @@ TEST(ParallelImaging, DegradedChannelMaskStaysDeterministic) {
   ImagingConfig cfg = small_config();
   cfg.num_threads = 1;
   const auto serial = AcousticImager(cfg, f.geometry)
-                          .construct_bands(batch.beeps[0], 0.7, 0.0002,
+                          .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
                                            batch.noise_only, -1.0, mask);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
     cfg.num_threads = threads;
@@ -155,7 +157,7 @@ TEST(ParallelImaging, DegradedChannelMaskStaysDeterministic) {
       expect_bitwise_equal(
           serial,
           AcousticImager(cfg, f.geometry)
-              .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only,
+              .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only,
                                -1.0, mask),
           "degraded mask");
     }
@@ -165,7 +167,7 @@ TEST(ParallelImaging, DegradedChannelMaskStaysDeterministic) {
   cfg.num_threads = 1;
   cfg.use_weight_cache = true;
   const auto full = AcousticImager(cfg, f.geometry)
-                        .construct_bands(batch.beeps[0], 0.7, 0.0002,
+                        .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
                                          batch.noise_only);
   double diff = 0.0;
   for (std::size_t i = 0; i < full[0].size(); ++i)
@@ -180,11 +182,11 @@ TEST(ParallelImaging, RecalibratedSpeedOfSoundStaysDeterministic) {
   const Fixture f;
   const auto batch = f.batch();
   ImagingConfig cfg = small_config();
-  cfg.speed_of_sound = 349.6;  // ~35 C air, far from the 343 default
+  cfg.speed_of_sound = units::MetersPerSecond{349.6};  // ~35 C air
   cfg.num_threads = 1;
   const auto serial =
       AcousticImager(cfg, f.geometry)
-          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
     cfg.num_threads = threads;
     for (const bool cache : {true, false}) {
@@ -192,14 +194,14 @@ TEST(ParallelImaging, RecalibratedSpeedOfSoundStaysDeterministic) {
       expect_bitwise_equal(
           serial,
           AcousticImager(cfg, f.geometry)
-              .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only),
+              .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only),
           "recalibrated c");
     }
   }
   ImagingConfig stock = small_config();
   const auto baseline =
       AcousticImager(stock, f.geometry)
-          .construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   double diff = 0.0;
   for (std::size_t i = 0; i < baseline[0].size(); ++i)
     diff += std::abs(baseline[0].data()[i] - serial[0].data()[i]);
@@ -212,7 +214,7 @@ TEST(ParallelImaging, AugmenterSynthesizesBitIdenticallyAcrossPools) {
   ImagingConfig cfg = small_config();
   const Matrix2D source =
       AcousticImager(cfg, f.geometry)
-          .construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   const std::vector<double> targets{0.5, 0.6, 0.8, 0.9, 1.1, 1.3, 1.7};
   const DataAugmenter serial(cfg);
   const std::vector<Matrix2D> want = serial.synthesize(source, 0.7, targets);

@@ -11,6 +11,8 @@
 namespace echoimage::core {
 namespace {
 
+using namespace echoimage::units::literals;
+
 ImagingConfig small_config() {
   ImagingConfig cfg;
   cfg.grid_size = 16;  // keep unit tests fast
@@ -45,9 +47,9 @@ TEST(AcousticImager, RejectsNonPositivePlaneDistance) {
   const AcousticImager imager(small_config(), f.geometry);
   echoimage::eval::CollectionConditions cond;
   const auto batch = f.collector.collect(f.users[0], cond, 1);
-  EXPECT_THROW((void)imager.construct(batch.beeps[0], 0.0),
+  EXPECT_THROW((void)imager.construct(batch.beeps[0], 0.0_m),
                std::invalid_argument);
-  EXPECT_THROW((void)imager.construct_bands(batch.beeps[0], -1.0),
+  EXPECT_THROW((void)imager.construct_bands(batch.beeps[0], -1.0_m),
                std::invalid_argument);
 }
 
@@ -57,7 +59,7 @@ TEST(AcousticImager, ImageHasConfiguredShapeAndNonNegativePixels) {
   echoimage::eval::CollectionConditions cond;
   const auto batch = f.collector.collect(f.users[0], cond, 1);
   const Matrix2D img =
-      imager.construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   EXPECT_EQ(img.rows(), 16u);
   EXPECT_EQ(img.cols(), 16u);
   double total = 0.0;
@@ -76,7 +78,7 @@ TEST(AcousticImager, ConstructBandsReturnsOneImagePerSubband) {
   echoimage::eval::CollectionConditions cond;
   const auto batch = f.collector.collect(f.users[0], cond, 1);
   const auto bands =
-      imager.construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   ASSERT_EQ(bands.size(), 3u);
   for (const Matrix2D& b : bands) {
     EXPECT_EQ(b.rows(), 16u);
@@ -94,9 +96,9 @@ TEST(AcousticImager, BandsSumToCompoundedImageEnergy) {
   echoimage::eval::CollectionConditions cond;
   const auto batch = f.collector.collect(f.users[1], cond, 1);
   const auto bands =
-      imager.construct_bands(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct_bands(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   const Matrix2D sum =
-      imager.construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   for (std::size_t i = 0; i < sum.size(); ++i) {
     const double via_bands = bands[0].data()[i] * bands[0].data()[i] +
                              bands[1].data()[i] * bands[1].data()[i];
@@ -112,9 +114,9 @@ TEST(AcousticImager, SameUserSameStanceImagesAgree) {
   cond.beeps_per_stance = 4;
   const auto batch = f.collector.collect(f.users[0], cond, 2);
   const Matrix2D a =
-      imager.construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   const Matrix2D b =
-      imager.construct(batch.beeps[1], 0.7, 0.0002, batch.noise_only);
+      imager.construct(batch.beeps[1], 0.7_m, 0.0002, batch.noise_only);
   EXPECT_GT(echoimage::dsp::pearson(a.data(), b.data()), 0.95);
 }
 
@@ -124,8 +126,8 @@ TEST(AcousticImager, DifferentUsersProduceDifferentImages) {
   echoimage::eval::CollectionConditions cond;
   const auto ba = f.collector.collect(f.users[0], cond, 1);
   const auto bb = f.collector.collect(f.users[3], cond, 1);
-  const Matrix2D a = imager.construct(ba.beeps[0], 0.7, 0.0002, ba.noise_only);
-  const Matrix2D b = imager.construct(bb.beeps[0], 0.7, 0.0002, bb.noise_only);
+  const Matrix2D a = imager.construct(ba.beeps[0], 0.7_m, 0.0002, ba.noise_only);
+  const Matrix2D b = imager.construct(bb.beeps[0], 0.7_m, 0.0002, bb.noise_only);
   // Normalized difference must be well away from zero.
   const double corr = echoimage::dsp::pearson(a.data(), b.data());
   EXPECT_LT(corr, 0.95);
@@ -140,10 +142,10 @@ TEST(AcousticImager, DirectSuppressionRemovesSelfInterference) {
   const auto batch = f.collector.collect(f.users[0], cond, 1);
   const Matrix2D img_with =
       AcousticImager(with, f.geometry)
-          .construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   const Matrix2D img_without =
       AcousticImager(without, f.geometry)
-          .construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+          .construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   // The direct chirp is ~50 dB above echoes: its Hilbert tails inflate
   // pixel energy when not suppressed.
   double e_with = 0.0, e_without = 0.0;
@@ -161,10 +163,10 @@ TEST(AcousticImager, IncoherentMixZeroUsesCoherentPath) {
   echoimage::eval::CollectionConditions cond;
   const auto batch = f.collector.collect(f.users[0], cond, 1);
   const Matrix2D a = AcousticImager(coh, f.geometry)
-                         .construct(batch.beeps[0], 0.7, 0.0002,
+                         .construct(batch.beeps[0], 0.7_m, 0.0002,
                                     batch.noise_only);
   const Matrix2D b = AcousticImager(inc, f.geometry)
-                         .construct(batch.beeps[0], 0.7, 0.0002,
+                         .construct(batch.beeps[0], 0.7_m, 0.0002,
                                     batch.noise_only);
   // The two modes are genuinely different images.
   double diff = 0.0;
@@ -183,7 +185,7 @@ TEST(AcousticImager, IncoherentImageIsRadiallySymmetric) {
   echoimage::eval::CollectionConditions cond;
   const auto batch = f.collector.collect(f.users[0], cond, 1);
   const Matrix2D img =
-      imager.construct(batch.beeps[0], 0.7, 0.0002, batch.noise_only);
+      imager.construct(batch.beeps[0], 0.7_m, 0.0002, batch.noise_only);
   // Mirror symmetry in x: col c vs col (N-1-c) sit at identical D_k.
   for (std::size_t r = 0; r < img.rows(); ++r)
     for (std::size_t c = 0; c < img.cols() / 2; ++c)
@@ -202,7 +204,7 @@ TEST(GridDistance, GeometryMatchesEq13) {
       const double x = static_cast<double>(c) * cfg.grid_spacing_m - half;
       const double z = cfg.plane_center_z_m + half -
                        static_cast<double>(r) * cfg.grid_spacing_m;
-      EXPECT_NEAR(grid_distance(cfg, r, c, dp),
+      EXPECT_NEAR(grid_distance(cfg, r, c, units::Meters{dp}).value(),
                   std::sqrt(x * x + dp * dp + z * z), 1e-12);
     }
   }
@@ -210,9 +212,9 @@ TEST(GridDistance, GeometryMatchesEq13) {
 
 TEST(GridDistance, CornerGridsAreFartherThanCenter) {
   const ImagingConfig cfg = small_config();
-  const double center =
-      grid_distance(cfg, cfg.grid_size / 2, cfg.grid_size / 2, 0.7);
-  const double corner = grid_distance(cfg, 0, 0, 0.7);
+  const units::Meters center =
+      grid_distance(cfg, cfg.grid_size / 2, cfg.grid_size / 2, 0.7_m);
+  const units::Meters corner = grid_distance(cfg, 0, 0, 0.7_m);
   EXPECT_GT(corner, center);
 }
 

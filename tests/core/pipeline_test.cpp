@@ -33,12 +33,12 @@ struct Fixture {
 TEST(SystemConfig, HarmonizePropagatesSharedFields) {
   SystemConfig cfg;
   cfg.sample_rate = 44100.0;
-  cfg.chirp.f_start_hz = 2100.0;
+  cfg.chirp.f_start = units::Hertz{2100.0};
   cfg.distance.bandpass_low_hz = 1900.0;
   cfg.harmonize();
   EXPECT_DOUBLE_EQ(cfg.distance.sample_rate, 44100.0);
   EXPECT_DOUBLE_EQ(cfg.imaging.sample_rate, 44100.0);
-  EXPECT_DOUBLE_EQ(cfg.imaging.chirp.f_start_hz, 2100.0);
+  EXPECT_DOUBLE_EQ(cfg.imaging.chirp.f_start.value(), 2100.0);
   EXPECT_DOUBLE_EQ(cfg.imaging.bandpass_low_hz, 1900.0);
 }
 

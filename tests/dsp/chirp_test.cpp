@@ -15,16 +15,20 @@ ChirpParams paper_params() { return ChirpParams{}; }  // 2-3 kHz, 2 ms
 
 TEST(ChirpParams, PaperDefaults) {
   const ChirpParams p = paper_params();
-  EXPECT_DOUBLE_EQ(p.f_start_hz, 2000.0);
-  EXPECT_DOUBLE_EQ(p.f_end_hz, 3000.0);
-  EXPECT_DOUBLE_EQ(p.duration_s, 0.002);
-  EXPECT_DOUBLE_EQ(p.center_frequency_hz(), 2500.0);
-  EXPECT_DOUBLE_EQ(p.bandwidth_hz(), 1000.0);
+  EXPECT_DOUBLE_EQ(p.f_start.value(), 2000.0);
+  EXPECT_DOUBLE_EQ(p.f_end.value(), 3000.0);
+  EXPECT_DOUBLE_EQ(p.duration.value(), 0.002);
+  EXPECT_DOUBLE_EQ(p.center_frequency().value(), 2500.0);
+  EXPECT_DOUBLE_EQ(p.bandwidth().value(), 1000.0);
+  // Sweep slope: B / T through the dimension system (Hz / s).
+  EXPECT_DOUBLE_EQ(p.sweep_rate().value(), 500000.0);
 }
 
 TEST(ChirpParams, ValidateRejectsBadValues) {
+  using echoimage::units::Hertz;
+  using echoimage::units::Seconds;
   ChirpParams p = paper_params();
-  p.duration_s = 0.0;
+  p.duration = Seconds{0.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = paper_params();
   p.amplitude = -1.0;
@@ -33,7 +37,7 @@ TEST(ChirpParams, ValidateRejectsBadValues) {
   p.tukey_alpha = 2.0;
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = paper_params();
-  p.f_start_hz = -10.0;
+  p.f_start = Hertz{-10.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
 }
 

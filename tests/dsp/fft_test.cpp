@@ -77,7 +77,9 @@ TEST(Fft, SingleToneLandsInOneBin) {
   const ComplexSignal y = fft(x);
   EXPECT_NEAR(std::abs(y[5]), static_cast<double>(n), 1e-9);
   for (std::size_t k = 0; k < n; ++k)
-    if (k != 5) EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-9);
+    if (k != 5) {
+      EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-9);
+    }
 }
 
 class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};

@@ -8,15 +8,15 @@ namespace {
 TEST(DefaultSystemConfig, MatchesPaperParameters) {
   const auto cfg = default_system_config();
   EXPECT_DOUBLE_EQ(cfg.sample_rate, 48000.0);           // Sec. V-B
-  EXPECT_DOUBLE_EQ(cfg.chirp.f_start_hz, 2000.0);       // Sec. V-A
-  EXPECT_DOUBLE_EQ(cfg.chirp.f_end_hz, 3000.0);
-  EXPECT_DOUBLE_EQ(cfg.chirp.duration_s, 0.002);
+  EXPECT_DOUBLE_EQ(cfg.chirp.f_start.value(), 2000.0);  // Sec. V-A
+  EXPECT_DOUBLE_EQ(cfg.chirp.f_end.value(), 3000.0);
+  EXPECT_DOUBLE_EQ(cfg.chirp.duration.value(), 0.002);
   EXPECT_DOUBLE_EQ(cfg.distance.bandpass_low_hz, 2000.0);
   EXPECT_DOUBLE_EQ(cfg.distance.bandpass_high_hz, 3000.0);
   EXPECT_EQ(cfg.imaging.grid_size, 48u);  // documented scaling of 180x180
   // Harmonized sub-configs share the chirp.
-  EXPECT_DOUBLE_EQ(cfg.imaging.chirp.f_end_hz, 3000.0);
-  EXPECT_DOUBLE_EQ(cfg.distance.chirp.duration_s, 0.002);
+  EXPECT_DOUBLE_EQ(cfg.imaging.chirp.f_end.value(), 3000.0);
+  EXPECT_DOUBLE_EQ(cfg.distance.chirp.duration.value(), 0.002);
 }
 
 TEST(DefaultSystemConfig, AugmentationDistancesCoverPaperRange) {

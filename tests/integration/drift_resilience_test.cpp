@@ -69,8 +69,8 @@ struct Fixture {
     sim::DriftSessionState s;
     s.environment = collector.make_scene(cond).environment;
     s.temperature_c = 30.0;
-    s.sound_speed_scale =
-        array::speed_of_sound_at(30.0) / array::speed_of_sound_at(20.0);
+    s.sound_speed_scale = array::speed_of_sound_at(units::Celsius{30.0}) /
+                          array::speed_of_sound_at(units::Celsius{20.0});
     s.mic_gains = {1.3, 0.75, 1.2, 0.8, 1.15, 0.9};
     return s;
   }
@@ -116,7 +116,8 @@ TEST(DriftResilience, ConfirmedDriftRecalibratesAndAuthenticationRecovers) {
   EXPECT_FALSE(manager.quarantined());
   ASSERT_TRUE(manager.corrections().active);
   // The recovered speed of sound tracks the warmed room.
-  const double true_speed = f.config.speed_of_sound * world.sound_speed_scale;
+  const double true_speed =
+      f.config.speed_of_sound.value() * world.sound_speed_scale;
   EXPECT_NEAR(manager.corrections().speed_of_sound, true_speed, 2.5)
       << manager.corrections().describe();
   // And the owner gets back in under the corrected physics.

@@ -66,8 +66,9 @@ TEST(Conv2D, ImpulseResponseConfinedToKernelSupport) {
   const Tensor3 y = conv.forward(x);
   for (std::size_t r = 0; r < 7; ++r)
     for (std::size_t c = 0; c < 7; ++c)
-      if (r < 2 || r > 4 || c < 2 || c > 4)
+      if (r < 2 || r > 4 || c < 2 || c > 4) {
         EXPECT_DOUBLE_EQ(y.at(r, c, 0), 0.0);
+      }
 }
 
 TEST(Activations, ReluClampsNegatives) {

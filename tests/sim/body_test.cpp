@@ -7,6 +7,8 @@
 namespace echoimage::sim {
 namespace {
 
+using namespace echoimage::units::literals;
+
 BodyProfile make_profile(std::uint64_t seed = 1,
                          Gender gender = Gender::kMale, int age = 25) {
   Demographic d;
@@ -109,7 +111,7 @@ TEST(SessionPose, JitterIsCentimeterScale) {
 TEST(PoseBody, PlacesUserAtRequestedDistance) {
   const BodyProfile p = make_profile(8);
   Pose pose;  // neutral
-  const auto world = pose_body(p, pose, 0.7, 1.2);
+  const auto world = pose_body(p, pose, 0.7_m, 1.2_m);
   ASSERT_EQ(world.size(), p.reflectors().size());
   // All chest-height points sit near y = 0.7 (+/- habitual offsets and
   // body relief, both < 15 cm).
@@ -122,8 +124,8 @@ TEST(PoseBody, PlacesUserAtRequestedDistance) {
 TEST(PoseBody, ArrayHeightShiftsVerticalCoordinates) {
   const BodyProfile p = make_profile(9);
   Pose pose;
-  const auto low = pose_body(p, pose, 0.7, 1.0);
-  const auto high = pose_body(p, pose, 0.7, 1.4);
+  const auto low = pose_body(p, pose, 0.7_m, 1.0_m);
+  const auto high = pose_body(p, pose, 0.7_m, 1.4_m);
   for (std::size_t i = 0; i < low.size(); ++i)
     EXPECT_NEAR(low[i].position.z - high[i].position.z, 0.4, 1e-9);
 }
@@ -132,8 +134,8 @@ TEST(PoseBody, LateralShiftMovesBodySideways) {
   const BodyProfile p = make_profile(10);
   Pose a, b;
   b.lateral_shift_m = 0.05;
-  const auto wa = pose_body(p, a, 0.7, 1.2);
-  const auto wb = pose_body(p, b, 0.7, 1.2);
+  const auto wa = pose_body(p, a, 0.7_m, 1.2_m);
+  const auto wb = pose_body(p, b, 0.7_m, 1.2_m);
   for (std::size_t i = 0; i < wa.size(); ++i)
     EXPECT_NEAR(wb[i].position.x - wa[i].position.x, 0.05, 1e-9);
 }
@@ -142,8 +144,8 @@ TEST(PoseBody, BreathingMovesChestTowardArray) {
   const BodyProfile p = make_profile(11);
   Pose inhale, neutral;
   inhale.breathing_m = 0.002;
-  const auto wn = pose_body(p, neutral, 0.7, 1.2);
-  const auto wi = pose_body(p, inhale, 0.7, 1.2);
+  const auto wn = pose_body(p, neutral, 0.7_m, 1.2_m);
+  const auto wi = pose_body(p, inhale, 0.7_m, 1.2_m);
   // Positive breathing displaces the surface toward the array (-y).
   double mean_shift = 0.0;
   for (std::size_t i = 0; i < wn.size(); ++i)
@@ -155,8 +157,8 @@ TEST(PoseBody, BreathingMovesChestTowardArray) {
 TEST(PoseBody, SpecularWeightingConcentratesEnergyNearAxis) {
   const BodyProfile p = make_profile(12);
   Pose pose;
-  const auto spec = pose_body(p, pose, 0.7, 1.2, 10.0);
-  const auto iso = pose_body(p, pose, 0.7, 1.2, 0.0);
+  const auto spec = pose_body(p, pose, 0.7_m, 1.2_m, 10.0);
+  const auto iso = pose_body(p, pose, 0.7_m, 1.2_m, 0.0);
   // Specularity must reduce off-axis reflectivity more than on-axis.
   double on_ratio = 0.0, off_ratio = 0.0;
   int on_n = 0, off_n = 0;
@@ -182,8 +184,8 @@ TEST(PoseBody, ClothingSeedModulatesReflectivity) {
   Pose a, b;
   a.clothing_seed = 1;
   b.clothing_seed = 2;
-  const auto wa = pose_body(p, a, 0.7, 1.2);
-  const auto wb = pose_body(p, b, 0.7, 1.2);
+  const auto wa = pose_body(p, a, 0.7_m, 1.2_m);
+  const auto wb = pose_body(p, b, 0.7_m, 1.2_m);
   double diff = 0.0;
   for (std::size_t i = 0; i < wa.size(); ++i)
     diff += std::abs(wa[i].reflectivity - wb[i].reflectivity) /
@@ -196,8 +198,8 @@ TEST(PoseBody, HabitualPostureIsStablePerUser) {
   const BodyProfile p = make_profile(14);
   // Same profile posed twice with neutral session jitter: identical.
   Pose pose;
-  const auto w1 = pose_body(p, pose, 0.7, 1.2);
-  const auto w2 = pose_body(p, pose, 0.7, 1.2);
+  const auto w1 = pose_body(p, pose, 0.7_m, 1.2_m);
+  const auto w2 = pose_body(p, pose, 0.7_m, 1.2_m);
   for (std::size_t i = 0; i < w1.size(); ++i)
     EXPECT_DOUBLE_EQ(w1[i].position.y, w2[i].position.y);
 }

@@ -22,7 +22,7 @@ Scene quiet_scene() {
 // individual propagation paths.
 CaptureConfig noiseless_capture() {
   CaptureConfig c;
-  c.sensor_noise_db = -300.0;
+  c.sensor_noise = units::Decibels{-300.0};
   return c;
 }
 
@@ -200,7 +200,7 @@ TEST(SceneRenderer, SensorNoiseFloorAlwaysPresent) {
   Scene s = quiet_scene();
   s.environment.ambient.level_db = -300.0;
   CaptureConfig cfg;
-  cfg.sensor_noise_db = 54.0;
+  cfg.sensor_noise = units::Decibels{54.0};
   const SceneRenderer r(s, cfg);
   Rng rng(12);
   const auto noise = r.render_noise_only(8192, rng);

@@ -1,0 +1,14 @@
+// A raw double must not silently become a Meters: the constructor is
+// explicit, so the unit is always stated at the call site.
+#include "units/units.hpp"
+
+using namespace echoimage::units;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  Meters m = 0.05;
+#else
+  Meters m{0.05};
+#endif
+  return m.value() > 0.0 ? 0 : 1;
+}

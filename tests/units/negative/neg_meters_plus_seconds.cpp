@@ -1,0 +1,15 @@
+// Adding a length to a time must not compile: operator+ requires identical
+// dimensions. The control branch proves the snippet is otherwise valid.
+#include "units/units.hpp"
+
+using namespace echoimage::units;
+using namespace echoimage::units::literals;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  auto x = 1.0_m + 2.0_s;
+#else
+  auto x = 1.0_m + 2.0_m;
+#endif
+  return x.value() > 0.0 ? 0 : 1;
+}

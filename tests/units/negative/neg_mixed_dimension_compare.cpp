@@ -1,0 +1,15 @@
+// Ordering a length against a time must not compile: comparisons are
+// defined only between quantities of the same dimension.
+#include "units/units.hpp"
+
+using namespace echoimage::units;
+using namespace echoimage::units::literals;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  const bool b = 1.0_m < 2.0_s;
+#else
+  const bool b = 1.0_m < 2.0_m;
+#endif
+  return b ? 0 : 1;
+}

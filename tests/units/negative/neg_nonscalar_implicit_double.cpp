@@ -1,0 +1,14 @@
+// A dimensioned quantity must not decay to a raw double implicitly; only
+// .value() (or a genuinely dimensionless ratio) crosses that boundary.
+#include "units/units.hpp"
+
+using namespace echoimage::units::literals;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  double x = 1.0_m;
+#else
+  double x = (1.0_m).value();
+#endif
+  return x > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+// Samples are a real base dimension: duration * ACOUSTIC frequency is a
+// pure cycle count, not a sample count. Only duration * SampleRate yields
+// SampleCount — so a 48 kHz sample rate can never masquerade as a 2.5 kHz
+// beam frequency or vice versa.
+#include "units/units.hpp"
+
+using namespace echoimage::units;
+using namespace echoimage::units::literals;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  SampleCount n = 0.002_s * 2500.0_hz;
+#else
+  SampleCount n = 0.002_s * SampleRate{48000.0};
+#endif
+  return n.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+// speed_of_sound_at maps a temperature to a speed; feeding it a speed
+// (the classic swapped-calibration mistake) must not compile.
+#include "array/geometry.hpp"
+#include "units/units.hpp"
+
+using namespace echoimage::units::literals;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  const auto c = echoimage::array::speed_of_sound_at(343.0_mps);
+#else
+  const auto c = echoimage::array::speed_of_sound_at(20.0_degc);
+#endif
+  return c.value() > 0.0 ? 0 : 1;
+}

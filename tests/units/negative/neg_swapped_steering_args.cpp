@@ -1,0 +1,21 @@
+// The historical bug this layer exists to kill: swapping the frequency and
+// speed-of-sound arguments of steering_vector_hz used to compile as two
+// bare doubles and silently corrupt every steering phase. Now it is a type
+// error.
+#include "array/steering.hpp"
+#include "units/units.hpp"
+
+using namespace echoimage::units::literals;
+
+int main() {
+  const auto g = echoimage::array::make_respeaker_array();
+  const echoimage::array::Direction d{0.0, 1.2};
+#ifdef NEGATIVE_CASE
+  const auto a = echoimage::array::steering_vector_hz(g, d, 343.0_mps,
+                                                      2500.0_hz);
+#else
+  const auto a = echoimage::array::steering_vector_hz(g, d, 2500.0_hz,
+                                                      343.0_mps);
+#endif
+  return a.empty() ? 1 : 0;
+}

@@ -1,0 +1,15 @@
+// Assigning a product to the wrong derived dimension must not compile:
+// distance * speed is m^2/s, not a time — only distance / speed is.
+#include "units/units.hpp"
+
+using namespace echoimage::units;
+using namespace echoimage::units::literals;
+
+int main() {
+#ifdef NEGATIVE_CASE
+  Seconds t = 1.4_m * 343.0_mps;
+#else
+  Seconds t = 1.4_m / 343.0_mps;
+#endif
+  return t.value() > 0.0 ? 0 : 1;
+}

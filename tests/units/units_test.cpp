@@ -1,0 +1,167 @@
+// The dimensional algebra the rest of the codebase leans on. Compile-time
+// behaviour that must FAIL is pinned by tests/units/negative/; this file
+// pins what must succeed — including that wrap/unwrap is the bit identity
+// the golden-image regression depends on.
+#include "units/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "array/geometry.hpp"
+
+namespace echoimage::units {
+namespace {
+
+using namespace echoimage::units::literals;
+
+// ---------------------------------------------------------------------------
+// Compile-time algebra: derived dimensions resolve to the named aliases.
+// ---------------------------------------------------------------------------
+static_assert(std::is_same_v<decltype(1.0_m / 343.0_mps), Seconds>,
+              "distance / speed is a time");
+static_assert(std::is_same_v<decltype(343.0_mps * 0.001_s), Meters>,
+              "speed * time is a distance");
+static_assert(
+    std::is_same_v<decltype(0.002_s * SampleRate{48000.0}), SampleCount>,
+    "time * sample rate is a sample count");
+static_assert(std::is_same_v<decltype(0.002_s * 2500.0_hz), Dimensionless>,
+              "time * acoustic frequency is a pure ratio, NOT samples");
+static_assert(std::is_same_v<decltype(1000.0_hz / 0.002_s), HertzPerSecond>,
+              "chirp bandwidth / duration is a sweep rate");
+static_assert(std::is_same_v<decltype(1.0 / 0.002_s), Hertz>,
+              "scalar / time inverts to a frequency");
+static_assert(std::is_same_v<decltype(343.0_mps / 2500.0_hz), Meters>,
+              "speed / frequency is a wavelength");
+static_assert(std::is_same_v<decltype(350.0_mps / 343.0_mps), Dimensionless>,
+              "a ratio of speeds is dimensionless");
+static_assert(std::is_same_v<decltype(1.0 / (0.7_m * 0.7_m)), PerSquareMeter>,
+              "inverse square length (augmentation spreading factor)");
+
+// The whole layer is trivially copyable and the size of one double: a
+// Quantity in a signature costs nothing at the ABI level.
+static_assert(std::is_trivially_copyable_v<Meters>);
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(sizeof(Decibels) == sizeof(double));
+
+// Everything is constexpr end to end.
+static_assert((2.0_m + 0.5_m).value() == 2.5);
+static_assert((-1.0_m).value() == -1.0);
+static_assert((2.0 * 0.7_m).value() == 1.4);
+static_assert(0.7_m < 0.8_m);
+static_assert(54.0_db - 4.0_db == 50.0_db);
+
+TEST(Units, WrapUnwrapIsBitIdentity) {
+  // The golden-image guarantee: moving a value through a Quantity cannot
+  // perturb a single bit, inexact decimals included.
+  for (const double v : {0.1, 0.7, 343.21, 1e-300, -0.0, 48000.0}) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(Meters{v}.value()),
+              std::bit_cast<std::uint64_t>(v));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(SampleRate{v}.value()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Units, ArithmeticMatchesRawDoubleArithmetic) {
+  // Same operations, same order, same bits as the raw-double equivalent.
+  const double d = 0.7321, c = 343.17;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>((Meters{d} / MetersPerSecond{c})
+                                             .value()),
+            std::bit_cast<std::uint64_t>(d / c));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>((Meters{d} * 2.0 / c).value()),
+            std::bit_cast<std::uint64_t>(d * 2.0 / c));
+}
+
+TEST(Units, DerivedDimensionRoundTrips) {
+  const Seconds tof = 1.4_m / 350.0_mps;  // echo time of flight
+  EXPECT_DOUBLE_EQ(tof.value(), 0.004);
+  const Meters back = 350.0_mps * tof;
+  EXPECT_DOUBLE_EQ(back.value(), 1.4);
+
+  const SampleCount n = 0.002_s * SampleRate{48000.0};
+  EXPECT_DOUBLE_EQ(n.value(), 96.0);
+  const Seconds t = n / SampleRate{48000.0};
+  EXPECT_DOUBLE_EQ(t.value(), 0.002);
+}
+
+TEST(Units, DimensionlessRatioIsJustANumber) {
+  const Dimensionless scale = 349.6_mps / 343.0_mps;
+  const double as_double = scale;  // implicit: a pure ratio is a number
+  EXPECT_NEAR(as_double, 1.0192, 1e-4);
+  // Periods-per-beep: time * frequency collapses to a plain count.
+  const double cycles = 0.002_s * 2500.0_hz;
+  EXPECT_DOUBLE_EQ(cycles, 5.0);
+}
+
+TEST(Units, CompoundAssignmentScalesInPlace) {
+  MetersPerSecond c = 343.0_mps;
+  c *= 1.02;  // drift recalibration path (eval/dataset.cpp)
+  EXPECT_DOUBLE_EQ(c.value(), 343.0 * 1.02);
+  c /= 1.02;
+  EXPECT_DOUBLE_EQ(c.value(), 343.0);
+  Meters d = 0.7_m;
+  d += 0.1_m;
+  d -= 0.05_m;
+  EXPECT_DOUBLE_EQ(d.value(), 0.7 + 0.1 - 0.05);
+}
+
+TEST(Units, ComparisonsOrderSameDimension) {
+  EXPECT_LT(2000.0_hz, 3000.0_hz);
+  EXPECT_GT(0.0_degc, -5.0_degc);
+  EXPECT_EQ(Meters{0.05}, 0.05_m);
+  EXPECT_LE(48.0_db, 48.0_db);
+}
+
+TEST(Units, SpeedOfSoundTemperatureInverse) {
+  // speed_of_sound_at and temperature_for_speed_of_sound are inverse maps
+  // through Celsius <-> MetersPerSecond; the drift recalibration loop
+  // (core/drift.cpp) relies on the round trip landing on the same physics.
+  using echoimage::array::speed_of_sound_at;
+  using echoimage::array::temperature_for_speed_of_sound;
+  for (const Celsius t : {-10.0_degc, 0.0_degc, 20.0_degc, 35.0_degc}) {
+    const MetersPerSecond c = speed_of_sound_at(t);
+    const Celsius back = temperature_for_speed_of_sound(c);
+    EXPECT_NEAR(back.value(), t.value(), 1e-9) << "at " << t.value() << " C";
+  }
+  for (const MetersPerSecond c : {330.0_mps, 343.0_mps, 352.0_mps}) {
+    const MetersPerSecond back =
+        speed_of_sound_at(temperature_for_speed_of_sound(c));
+    EXPECT_NEAR(back.value(), c.value(), 1e-9);
+  }
+  // Physics sanity: warmer air is faster, ~0.6 m/s per degree near 20 C.
+  const Dimensionless per_degree =
+      (speed_of_sound_at(21.0_degc) - speed_of_sound_at(20.0_degc)) /
+      MetersPerSecond{1.0};
+  EXPECT_NEAR(per_degree, 0.6, 0.05);
+}
+
+TEST(Units, DecibelsComposeOnlyAsGains) {
+  const Decibels floor = 54.0_db;
+  const Decibels headroom = 6.0_db;
+  EXPECT_DOUBLE_EQ((floor + headroom).value(), 60.0);
+  EXPECT_DOUBLE_EQ((floor - headroom).value(), 48.0);
+  EXPECT_LT(Decibels{-300.0}, floor);  // the noiseless-capture sentinel
+}
+
+TEST(Units, LiteralsMatchExplicitConstruction) {
+  EXPECT_EQ(0.05_m, Meters{0.05});
+  EXPECT_EQ(3000.0_hz, Hertz{3000.0});
+  EXPECT_EQ(343.0_mps, MetersPerSecond{343.0});
+  EXPECT_EQ(0.002_s, Seconds{0.002});
+  EXPECT_EQ(20.0_degc, Celsius{20.0});
+  EXPECT_EQ(50.0_db, Decibels{50.0});
+  // Integer literals work too: 2_m is two meters, not a conversion trap.
+  EXPECT_EQ(2_m, Meters{2.0});
+  EXPECT_EQ(48000_hz, Hertz{48000.0});
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_DOUBLE_EQ(Meters{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Decibels{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Dimensionless{}, 0.0);
+}
+
+}  // namespace
+}  // namespace echoimage::units

@@ -1,0 +1,377 @@
+#!/usr/bin/env python3
+"""echolint: project-specific static checks for the EchoImage codebase.
+
+Rules
+-----
+R1  no-unseeded-randomness
+    std::random_device, rand()/srand(), and wall-clock time() seeds are
+    banned everywhere (src, tests, bench, examples, tools). Every random
+    stream in this project must come from an explicitly seeded generator,
+    or reproducibility (and the golden-image regression) is gone.
+
+R2  no-raw-threading-outside-runtime
+    <thread>/<mutex>/<atomic>/<condition_variable>/<future> and their
+    std:: types are confined to src/runtime. Library code asks the
+    runtime layer (ThreadPool, resolve_workers) for parallelism so the
+    deterministic-reduction contract stays in one place.
+
+R3  no-bare-double-unit-parameters
+    Function parameters named *_hz / *_m / speed_of_sound declared as
+    bare `double` in public headers (outside src/units) must use the
+    src/units quantity types instead. Existing raw-double boundaries are
+    grandfathered in the suppression file; new ones fail the build.
+
+R4  no-iostream-in-library
+    <iostream>/<cstdio> and cout/cerr/printf are banned in library code
+    under src/. Libraries return data; tools, benches, examples, and
+    tests do the talking.
+
+Usage
+-----
+  echolint.py [--root DIR] [--compile-commands PATH]
+              [--suppressions PATH] [--fix-hints] [--self-test]
+
+Exit status: 0 clean, 1 violations found, 2 bad invocation / setup.
+
+The checker is compile_commands.json-aware: when the database exists it
+is used to enumerate first-party translation units (so generated or
+out-of-tree sources are never scanned); headers are discovered by
+walking the scanned roots. Without a database the checker falls back to
+a plain directory walk and says so.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+import tempfile
+from typing import Iterable, NamedTuple
+
+SCAN_ROOTS = ("src", "tests", "bench", "examples", "tools")
+LIBRARY_ROOT = "src"
+RUNTIME_PREFIX = os.path.join("src", "runtime")
+UNITS_PREFIX = os.path.join("src", "units")
+CXX_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
+
+
+class Violation(NamedTuple):
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    text: str  # offending excerpt
+
+
+class Suppression(NamedTuple):
+    rule: str
+    path: str
+    token: str  # "" matches any violation of (rule, path)
+
+
+RULE_TITLES = {
+    "R1": "no-unseeded-randomness",
+    "R2": "no-raw-threading-outside-runtime",
+    "R3": "no-bare-double-unit-parameters",
+    "R4": "no-iostream-in-library",
+}
+
+FIX_HINTS = {
+    "R1": "seed an explicit engine (sim::Rng / std::mt19937{seed}) instead; "
+          "thread the seed through the config or test fixture",
+    "R2": "use echoimage::runtime (ThreadPool, parallel_for, resolve_workers) "
+          "or move the code into src/runtime",
+    "R3": "take echoimage::units::{Meters,Hertz,MetersPerSecond,...} and "
+          "unwrap with .value() at the numeric core",
+    "R4": "return data (struct / string) and let the caller in tools/bench "
+          "print it; std::ostringstream is fine for describe() helpers",
+}
+
+R1_PATTERNS = [
+    re.compile(r"std\s*::\s*random_device"),
+    re.compile(r"(?<![\w:])s?rand\s*\("),
+    re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+]
+
+R2_PATTERNS = [
+    re.compile(r"#\s*include\s*<(?:thread|mutex|shared_mutex|atomic|"
+               r"condition_variable|future)>"),
+    re.compile(r"std\s*::\s*(?:jthread|thread|async|mutex|shared_mutex|"
+               r"recursive_mutex|condition_variable(?:_any)?|atomic\b|"
+               r"atomic_\w+|future|promise)"),
+]
+
+R3_PATTERN = re.compile(r"\bdouble\s+(\w*(?:_hz|_m|speed_of_sound))\b")
+
+R4_PATTERNS = [
+    re.compile(r"#\s*include\s*<(?:iostream|cstdio|stdio\.h)>"),
+    re.compile(r"std\s*::\s*(?:cout|cerr|clog|printf|fprintf|puts)\b"),
+    re.compile(r"(?<![\w:])f?printf\s*\("),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines and
+    column positions so line numbers and paren depth survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join("\n" if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_pattern_hits(code: str, patterns: Iterable[re.Pattern]):
+    for pat in patterns:
+        for m in pat.finditer(code):
+            yield m
+
+
+def line_of(code: str, pos: int) -> int:
+    return code.count("\n", 0, pos) + 1
+
+
+def paren_depth_at(code: str, pos: int) -> int:
+    return code.count("(", 0, pos) - code.count(")", 0, pos)
+
+
+def check_file(rel_path: str, text: str) -> list[Violation]:
+    code = strip_comments_and_strings(text)
+    out: list[Violation] = []
+    norm = rel_path.replace(os.sep, "/")
+    in_library = norm.startswith(LIBRARY_ROOT + "/")
+    in_runtime = norm.startswith(RUNTIME_PREFIX.replace(os.sep, "/") + "/")
+    in_units = norm.startswith(UNITS_PREFIX.replace(os.sep, "/") + "/")
+    is_header = norm.endswith((".hpp", ".hh", ".h"))
+
+    for m in iter_pattern_hits(code, R1_PATTERNS):
+        out.append(Violation("R1", norm, line_of(code, m.start()),
+                             m.group(0).strip()))
+
+    if in_library and not in_runtime:
+        for m in iter_pattern_hits(code, R2_PATTERNS):
+            out.append(Violation("R2", norm, line_of(code, m.start()),
+                                 m.group(0).strip()))
+
+    if in_library and not in_units and is_header:
+        for m in R3_PATTERN.finditer(code):
+            # Parameters live inside parentheses; struct members do not.
+            if paren_depth_at(code, m.start()) > 0:
+                out.append(Violation("R3", norm, line_of(code, m.start()),
+                                     m.group(0).strip()))
+
+    if in_library:
+        for m in iter_pattern_hits(code, R4_PATTERNS):
+            out.append(Violation("R4", norm, line_of(code, m.start()),
+                                 m.group(0).strip()))
+
+    return out
+
+
+def load_suppressions(path: str) -> list[Suppression]:
+    sup: list[Suppression] = []
+    if not os.path.isfile(path):
+        return sup
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) < 2 or parts[0] not in RULE_TITLES:
+                print(f"echolint: bad suppression line: {raw.rstrip()}",
+                      file=sys.stderr)
+                sys.exit(2)
+            sup.append(Suppression(parts[0], parts[1],
+                                   parts[2] if len(parts) > 2 else ""))
+    return sup
+
+
+def is_suppressed(v: Violation, sups: list[Suppression]) -> bool:
+    return any(s.rule == v.rule and s.path == v.path and
+               (not s.token or s.token in v.text) for s in sups)
+
+
+def discover_files(root: str, compile_commands: str | None) -> list[str]:
+    """First-party files to scan, repo-relative. Translation units come
+    from compile_commands.json when available; headers from a walk."""
+    files: set[str] = set()
+    used_db = False
+    if compile_commands and os.path.isfile(compile_commands):
+        try:
+            with open(compile_commands, encoding="utf-8") as fh:
+                db = json.load(fh)
+            for entry in db:
+                src = os.path.normpath(
+                    os.path.join(entry.get("directory", ""),
+                                 entry["file"]))
+                rel = os.path.relpath(src, root)
+                if rel.startswith(".."):
+                    continue
+                if rel.split(os.sep)[0] in SCAN_ROOTS:
+                    files.add(rel)
+            used_db = True
+        except (json.JSONDecodeError, KeyError, OSError) as err:
+            print(f"echolint: ignoring unreadable compile database: {err}",
+                  file=sys.stderr)
+    if not used_db:
+        print("echolint: no compile_commands.json; falling back to a "
+              "directory walk", file=sys.stderr)
+    for scan_root in SCAN_ROOTS:
+        top = os.path.join(root, scan_root)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in filenames:
+                if name.endswith(CXX_EXTENSIONS):
+                    # Headers always come from the walk; sources only when
+                    # the compile database was unusable.
+                    if used_db and not name.endswith((".hpp", ".hh", ".h")):
+                        continue
+                    files.add(os.path.relpath(os.path.join(dirpath, name),
+                                              root))
+    return sorted(files)
+
+
+def run_checks(root: str, compile_commands: str | None,
+               suppressions_path: str, fix_hints: bool) -> int:
+    sups = load_suppressions(suppressions_path)
+    violations: list[Violation] = []
+    for rel in discover_files(root, compile_commands):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8",
+                      errors="replace") as fh:
+                text = fh.read()
+        except OSError as err:
+            print(f"echolint: cannot read {rel}: {err}", file=sys.stderr)
+            return 2
+        violations.extend(v for v in check_file(rel, text)
+                          if not is_suppressed(v, sups))
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule} {RULE_TITLES[v.rule]}] "
+              f"`{v.text}`")
+        if fix_hints:
+            print(f"    hint: {FIX_HINTS[v.rule]}")
+    if violations:
+        print(f"echolint: {len(violations)} violation(s). Fix them or add a "
+              f"justified line to {os.path.relpath(suppressions_path, root)}.")
+        return 1
+    print("echolint: clean")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self test: seed one violation per rule into a scratch tree and check that
+# each fires, that clean code passes, and that suppressions suppress.
+
+SELF_TEST_CASES = [
+    ("src/core/bad_r1.cpp", "std::random_device rd;\n", "R1"),
+    ("tests/core/bad_r1_test.cpp", "unsigned s = time(NULL);\n", "R1"),
+    ("src/core/bad_r2.cpp", "#include <thread>\n", "R2"),
+    ("src/core/bad_r2b.cpp", "std::mutex m;\n", "R2"),
+    ("src/core/bad_r3.hpp", "void f(double range_m);\n", "R3"),
+    ("src/core/bad_r3b.hpp", "void g(int n, double center_hz);\n", "R3"),
+    ("src/core/bad_r4.cpp", "#include <iostream>\n", "R4"),
+]
+
+SELF_TEST_CLEAN = [
+    # Members are not parameters: R3 must not fire on these.
+    ("src/core/ok_member.hpp", "struct C { double spacing_m = 0.1; };\n"),
+    # Runtime may thread; units headers may take raw doubles.
+    ("src/runtime/ok_thread.cpp", "#include <thread>\n"),
+    ("src/units/ok_units.hpp", "void q(double value_m);\n"),
+    # Tools may print; tests may thread.
+    ("tools/ok_print.cpp", "#include <iostream>\n"),
+    ("tests/core/ok_thread_test.cpp", "#include <thread>\n"),
+    # A comment or string mentioning rand() is not a call.
+    ("src/core/ok_comment.cpp", "// rand() is banned\nconst char* s = "
+                                "\"std::mutex\";\n"),
+]
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="echolint_selftest_") as tmp:
+        for rel, content, rule in SELF_TEST_CASES:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(content)
+            got = [v.rule for v in check_file(rel, content)]
+            if rule not in got:
+                failures.append(f"{rel}: expected {rule}, got {got or 'none'}")
+        for rel, content in SELF_TEST_CLEAN:
+            got = check_file(rel, content)
+            if got:
+                failures.append(f"{rel}: expected clean, got "
+                                f"{[v.rule for v in got]}")
+        # Suppression round trip on the first seeded case.
+        rel, content, rule = SELF_TEST_CASES[0]
+        vio = check_file(rel, content)
+        sup = [Suppression(rule, rel.replace(os.sep, "/"), "")]
+        if not vio or not all(is_suppressed(v, sup) for v in vio
+                              if v.rule == rule):
+            failures.append("suppression did not suppress the seeded "
+                            "violation")
+    for f in failures:
+        print(f"echolint self-test FAILED: {f}")
+    if not failures:
+        print(f"echolint self-test: {len(SELF_TEST_CASES)} seeded violations "
+              f"fired, {len(SELF_TEST_CLEAN)} clean cases passed, "
+              "suppression honored")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="path to compile_commands.json "
+                         "(default: <root>/build/compile_commands.json)")
+    ap.add_argument("--suppressions", default=None,
+                    help="suppression file "
+                         "(default: <root>/tools/echolint_suppressions.txt)")
+    ap.add_argument("--fix-hints", action="store_true",
+                    help="print a remediation hint under each violation")
+    ap.add_argument("--self-test", action="store_true",
+                    help="seed one violation per rule and verify the "
+                         "checker catches it")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"echolint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    cc = args.compile_commands or os.path.join(root, "build",
+                                               "compile_commands.json")
+    sup = args.suppressions or os.path.join(root, "tools",
+                                            "echolint_suppressions.txt")
+    return run_checks(root, cc, sup, args.fix_hints)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,17 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+
+# The compile database is the contract with the static-analysis tooling
+# (tools/run_static_analysis.sh, tools/echolint.py): fail fast if this
+# tree was configured without it rather than let lint run on stale flags.
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_bench_smoke: $build_dir has no compile_commands.json —" \
+       "reconfigure with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the project" \
+       "default); a tree without it predates the lint wiring." >&2
+  exit 2
+fi
+
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_faults --target bench_drift --target bench_throughput
 

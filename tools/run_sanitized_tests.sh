@@ -4,46 +4,74 @@
 # Usage: tools/run_sanitized_tests.sh [mode] [ctest args...]
 #   mode "address" (default): ASan + UBSan over the full tier-1 suite in
 #                             build-asan/.
+#   mode "undefined":         UBSan alone (-fno-sanitize-recover=all) over
+#                             the full tier-1 suite in build-ubsan/ — the
+#                             fast CI lane: no ASan shadow-memory slowdown,
+#                             every UB finding is fatal.
 #   mode "thread":            TSan over the concurrency suite (the tests
 #                             labeled `tsan`) in build-tsan/.
 # Any extra arguments are forwarded to ctest (e.g. -R WeightCache).
+# Sanitized builds also turn on ECHOIMAGE_WERROR: warnings that survive to
+# CI are bugs here.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 mode="address"
 case "${1:-}" in
-  address|thread)
+  address|undefined|thread)
     mode="$1"
+    shift
+    ;;
+  ON)
+    # Legacy spelling from before the selector grew modes: ON always meant
+    # the ASan lane. Map it explicitly rather than falling through.
+    mode="address"
     shift
     ;;
 esac
 
-if [ "$mode" = "thread" ]; then
-  build_dir="$repo_root/build-tsan"
-  sanitize="thread"
-  # Only the tsan-labeled suite runs, so only its binary is needed.
-  targets="echoimage_concurrency_tests"
-else
-  build_dir="$repo_root/build-asan"
-  sanitize="ON"
-  # Everything ctest discovers, or the unbuilt entries fail as "Not Run".
-  targets="echoimage_tests echoimage_concurrency_tests bench_throughput"
-fi
+case "$mode" in
+  thread)
+    build_dir="$repo_root/build-tsan"
+    sanitize="thread"
+    # Only the tsan-labeled suite runs, so only its binary is needed.
+    targets="echoimage_concurrency_tests"
+    ;;
+  undefined)
+    build_dir="$repo_root/build-ubsan"
+    sanitize="undefined"
+    targets="echoimage_tests echoimage_concurrency_tests bench_throughput"
+    ;;
+  *)
+    build_dir="$repo_root/build-asan"
+    sanitize="address"
+    # Everything ctest discovers, or the unbuilt entries fail as "Not Run".
+    targets="echoimage_tests echoimage_concurrency_tests bench_throughput"
+    ;;
+esac
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DECHOIMAGE_SANITIZE="$sanitize" \
+  -DECHOIMAGE_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 for t in $targets; do
   cmake --build "$build_dir" -j "$(nproc)" --target "$t"
 done
 
 cd "$build_dir"
-if [ "$mode" = "thread" ]; then
-  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ctest --output-on-failure -j "$(nproc)" -L tsan "$@"
-else
-  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-    ctest --output-on-failure -j "$(nproc)" "$@"
-fi
+case "$mode" in
+  thread)
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      ctest --output-on-failure -j "$(nproc)" -L tsan "$@"
+    ;;
+  undefined)
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      ctest --output-on-failure -j "$(nproc)" "$@"
+    ;;
+  *)
+    ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      ctest --output-on-failure -j "$(nproc)" "$@"
+    ;;
+esac

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Static analysis entry point: echolint always; clang-tidy when installed.
+#
+# Usage: tools/run_static_analysis.sh [build-dir]
+#   build-dir defaults to build/. The directory must have been configured
+#   with CMAKE_EXPORT_COMPILE_COMMANDS (the default since the units PR) so
+#   both tools see real compile flags. echolint runs even without a
+#   database (it falls back to a directory walk and says so); clang-tidy
+#   cannot, and is also skipped — with a notice, not a failure — when the
+#   binary is not installed, so this script is safe in minimal containers.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build}"
+status=0
+
+echo "=== echolint ==="
+if ! python3 "$repo_root/tools/echolint.py" --root "$repo_root" \
+    --compile-commands "$build_dir/compile_commands.json"; then
+  status=1
+fi
+
+echo "=== clang-tidy ==="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (echolint still gates)."
+elif [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "no compile database at $build_dir/compile_commands.json;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first." >&2
+  status=1
+else
+  # First-party translation units only; the profile lives in .clang-tidy.
+  files=$(find "$repo_root/src" -name '*.cpp' | sort)
+  if ! clang-tidy -p "$build_dir" --quiet $files; then
+    status=1
+  fi
+fi
+
+exit $status
