@@ -18,8 +18,11 @@
 // arm recovers at least half of the accuracy the naive arm lost, and at
 // severity zero recalibration costs nothing (identical decisions).
 //
-// `--smoke` shrinks the roster and the sweep for CI smoke runs.
+// `--smoke` shrinks the roster and the sweep for CI smoke runs. Writes
+// BENCH_drift_trace.json (Chrome trace_event) covering the sweep's spans;
+// the per-span timing table goes to stdout.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,6 +32,7 @@
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
 #include "eval/table.hpp"
+#include "obs/observability.hpp"
 #include "sim/drift.hpp"
 
 namespace {
@@ -89,7 +93,8 @@ int main(int argc, char** argv) {
             << (smoke ? ", SMOKE" : "") << ")\n\n";
 
   const array::ArrayGeometry geometry = array::make_respeaker_array();
-  const core::SystemConfig system = eval::default_system_config();
+  core::SystemConfig system = eval::default_system_config();
+  system.observability.enabled = true;  // sweep timing exported at exit
   const core::EchoImagePipeline pipeline(system, geometry);
   const std::uint64_t seed = 7;
   const std::vector<eval::SimulatedUser> users =
@@ -130,6 +135,9 @@ int main(int argc, char** argv) {
   const eval::CaptureBatch reference =
       collector.collect_background(ref_cond, 4);
   std::cerr << " done\n";
+  // Trace the sweep only: enrollment spans would drown the steady-state
+  // authentication + recalibration timing the export is for.
+  pipeline.observability()->reset();
 
   std::vector<std::vector<std::string>> rows;
   double clean_naive = 0.0, clean_recal = 0.0;
@@ -148,12 +156,15 @@ int main(int argc, char** argv) {
     manager.set_reference(reference.beeps, reference.noise_only);
     // Empty-room probes are drawn from the *current* session's world: the
     // device recalibrates against the room as it is now, not as it was.
-    std::size_t probe_session = 0;
+    // The session loop caches that state once per session — evolving a
+    // DriftScenario replays every session up to the target, so recomputing
+    // it inside each probe attempt would redo identical work per retry.
+    sim::DriftSessionState probe_world;
     manager.set_probe_source([&](std::size_t attempt) {
       eval::CollectionConditions c = cond;
       c.repetition = 800 + static_cast<int>(attempt);
-      const eval::CaptureBatch b = collector.collect_background(
-          c, 3, scenario.state(probe_session));
+      const eval::CaptureBatch b =
+          collector.collect_background(c, 3, probe_world);
       return core::CaptureAttempt{b.beeps, b.noise_only};
     });
     core::CaptureSupervisor recal(pipeline);
@@ -162,7 +173,7 @@ int main(int argc, char** argv) {
     Tally naive_tally, recal_tally;
     for (const std::size_t session : kSessions) {
       const sim::DriftSessionState world = scenario.state(session);
-      probe_session = session;
+      probe_world = world;
       // Idle heartbeat: the deployed device scans the empty room between
       // uses, so slow drift is caught on background captures, not on the
       // owner's first attempt of the day.
@@ -226,5 +237,11 @@ int main(int argc, char** argv) {
             << (zero_loss ? "PASS" : "FAIL") << " (recal "
             << eval::fmt(clean_recal) << " vs naive " << eval::fmt(clean_naive)
             << ")\n";
+
+  const auto& obs = pipeline.observability();
+  std::ofstream trace("BENCH_drift_trace.json");
+  trace << obs->tracer().chrome_trace_json();
+  std::cout << "\n-- sweep timing (per span) --\n"
+            << obs->tracer().summary() << "\nwrote BENCH_drift_trace.json\n";
   return recovery_ok && zero_loss ? 0 : 1;
 }

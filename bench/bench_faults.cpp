@@ -10,7 +10,11 @@
 // Acceptance target (ISSUE 1): with one dead microphone plus 5% clipping
 // the authentication accuracy stays within 5 points of the clean baseline,
 // and gate-failing captures abstain + retry instead of rejecting.
+//
+// Writes BENCH_faults_trace.json (Chrome trace_event) covering the sweep's
+// authentication spans; the per-span timing table goes to stdout.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +23,7 @@
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
 #include "eval/table.hpp"
+#include "obs/observability.hpp"
 #include "sim/faults.hpp"
 
 namespace {
@@ -66,7 +71,8 @@ int main(int argc, char** argv) {
             << (smoke ? ", SMOKE" : "") << ")\n\n";
 
   const array::ArrayGeometry geometry = array::make_respeaker_array();
-  const core::SystemConfig system = eval::default_system_config();
+  core::SystemConfig system = eval::default_system_config();
+  system.observability.enabled = true;  // sweep timing exported at exit
   const core::EchoImagePipeline pipeline(system, geometry);
   const std::uint64_t seed = 7;
   const std::vector<eval::SimulatedUser> users =
@@ -100,6 +106,21 @@ int main(int argc, char** argv) {
   }
   const core::Authenticator auth = pipeline.enroll(enrolled);
   std::cerr << " done\n";
+  // Trace the sweep only: enrollment spans would drown the steady-state
+  // authentication timing the export is for.
+  pipeline.observability()->reset();
+
+  // Clean captures are fault-independent: collect each (user, repetition)
+  // batch once and fault a copy per scenario, instead of re-simulating the
+  // identical capture for every severity in the sweep.
+  const std::size_t kPopulation = kRegistered + kSpoofers;
+  std::vector<std::vector<eval::CaptureBatch>> clean(kPopulation);
+  for (std::size_t i = 0; i < kPopulation; ++i)
+    for (std::size_t b = 0; b < kTestBatches; ++b) {
+      eval::CollectionConditions cond;
+      cond.repetition = 200 + static_cast<int>(b);
+      clean[i].push_back(collector.collect(users[i], cond, kBeeps));
+    }
 
   // --- Fault scenarios ---
   const auto dead = [](int ch) {
@@ -133,12 +154,10 @@ int main(int argc, char** argv) {
        {{dead(0), dead(1), dead(2), dead(3)}, 18}});
 
   const core::CaptureSupervisor supervisor(pipeline);
-  const auto authenticate = [&](const eval::SimulatedUser& user, int rep,
+  const auto authenticate = [&](const eval::CaptureBatch& clean_batch,
                                 const sim::FaultPlan& plan, Tally& tally,
                                 bool genuine, int own_id) {
-    eval::CollectionConditions cond;
-    cond.repetition = rep;
-    eval::CaptureBatch batch = collector.collect(user, cond, kBeeps);
+    eval::CaptureBatch batch = clean_batch;  // copy, then break it
     sim::apply_plan(batch.beeps, batch.noise_only, plan);
     std::size_t attempts = 0;
     const core::AuthDecision d = supervisor.authenticate(
@@ -168,12 +187,11 @@ int main(int argc, char** argv) {
     Tally tally;
     for (std::size_t i = 0; i < kRegistered; ++i)
       for (std::size_t b = 0; b < kTestBatches; ++b)
-        authenticate(users[i], 200 + static_cast<int>(b), s.plan, tally,
-                     true, users[i].subject.user_id);
-    for (std::size_t i = kRegistered; i < kRegistered + kSpoofers; ++i)
+        authenticate(clean[i][b], s.plan, tally, true,
+                     users[i].subject.user_id);
+    for (std::size_t i = kRegistered; i < kPopulation; ++i)
       for (std::size_t b = 0; b < kTestBatches; ++b)
-        authenticate(users[i], 200 + static_cast<int>(b), s.plan, tally,
-                     false, -1);
+        authenticate(clean[i][b], s.plan, tally, false, -1);
     std::cerr << '.';
 
     if (s.name == "clean") clean_accuracy = tally.accuracy();
@@ -210,5 +228,11 @@ int main(int argc, char** argv) {
                                                                   : "FAIL")
             << " (" << gate_fail_abstained << " abstained, "
             << gate_fail_decided << " decided)\n";
+
+  const auto& obs = pipeline.observability();
+  std::ofstream trace("BENCH_faults_trace.json");
+  trace << obs->tracer().chrome_trace_json();
+  std::cout << "\n-- sweep timing (per span) --\n"
+            << obs->tracer().summary() << "\nwrote BENCH_faults_trace.json\n";
   return 0;
 }

@@ -16,7 +16,10 @@
 //     actually having >= 4 hardware threads (SKIP otherwise: on fewer
 //     cores the extra workers have nowhere to run).
 //
-// Writes BENCH_throughput.json into the working directory.
+// Writes BENCH_throughput.json into the working directory, plus
+// BENCH_throughput_trace.json — a Chrome trace_event export of one
+// instrumented render (per-band, per-row span timings). The timed sweep
+// itself runs with observability off, as deployment does.
 // `--smoke` shrinks the grid and repetitions for CI smoke runs.
 #include <algorithm>
 #include <bit>
@@ -33,6 +36,7 @@
 #include "eval/dataset.hpp"
 #include "eval/roster.hpp"
 #include "eval/table.hpp"
+#include "obs/observability.hpp"
 
 namespace {
 
@@ -221,6 +225,27 @@ int main(int argc, char** argv) {
        << (scaling_applicable ? json_bool(scaling_ok) : "\"skipped\"")
        << "\n}\n";
   std::cout << "\nwrote BENCH_throughput.json\n";
+
+  // One instrumented render, outside the timed sweep: where a single image
+  // spends its time, band by band and row by row.
+  {
+    core::ImagingConfig cfg = base;
+    cfg.num_threads = 1;
+    cfg.use_weight_cache = true;
+    core::AcousticImager imager(cfg, geometry);
+    obs::ObservabilityConfig obs_cfg;
+    obs_cfg.enabled = true;
+    obs_cfg.workers = 1;
+    const auto obs = obs::make_observability(obs_cfg);
+    imager.attach_observability(obs);
+    imager.construct_bands(batch.beeps[0], echoimage::units::Meters{0.7},
+                           0.0002, batch.noise_only);
+    std::ofstream trace("BENCH_throughput_trace.json");
+    trace << obs->tracer().chrome_trace_json();
+    std::cout << "\n-- instrumented render (per span) --\n"
+              << obs->tracer().summary()
+              << "\nwrote BENCH_throughput_trace.json\n";
+  }
 
   return deterministic && cache_ok && (!scaling_applicable || scaling_ok) ? 0
                                                                           : 1;

@@ -42,6 +42,20 @@ std::size_t WeightKeyHash::operator()(const WeightKey& k) const {
 WeightCache::WeightCache(WeightCacheConfig config) : config_(config) {
   if (config_.capacity == 0)
     throw std::invalid_argument("WeightCache: capacity must be positive");
+  fallback_registry_ = std::make_shared<obs::MetricsRegistry>();
+  bind_counters(*fallback_registry_);
+}
+
+void WeightCache::bind_counters(obs::MetricsRegistry& registry) {
+  hits_ = &registry.counter("weight_cache.hits");
+  misses_ = &registry.counter("weight_cache.misses");
+  insertions_ = &registry.counter("weight_cache.insertions");
+  flushes_ = &registry.counter("weight_cache.flushes");
+}
+
+void WeightCache::attach_metrics(obs::MetricsRegistry& registry) {
+  bind_counters(registry);
+  fallback_registry_.reset();
 }
 
 std::int64_t WeightCache::quantize_distance(units::Meters distance) const {
@@ -83,11 +97,11 @@ bool WeightCache::lookup(const WeightKey& key,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       out = it->second;
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->add();
       return true;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->add();
   return false;
 }
 
@@ -96,10 +110,9 @@ void WeightCache::insert(const WeightKey& key,
   std::unique_lock lock(mutex_);
   if (entries_.size() >= config_.capacity && !entries_.contains(key)) {
     entries_.clear();
-    flushes_.fetch_add(1, std::memory_order_relaxed);
+    flushes_->add();
   }
-  if (entries_.emplace(key, weights).second)
-    insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (entries_.emplace(key, weights).second) insertions_->add();
 }
 
 std::size_t WeightCache::size() const {
@@ -109,23 +122,23 @@ std::size_t WeightCache::size() const {
 
 WeightCacheStats WeightCache::stats() const {
   WeightCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.insertions = insertions_->value();
+  s.flushes = flushes_->value();
   return s;
 }
 
 void WeightCache::reset_stats() const {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  insertions_.store(0, std::memory_order_relaxed);
-  flushes_.store(0, std::memory_order_relaxed);
+  hits_->reset();
+  misses_->reset();
+  insertions_->reset();
+  flushes_->reset();
 }
 
 void WeightCache::clear() {
   std::unique_lock lock(mutex_);
-  if (!entries_.empty()) flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (!entries_.empty()) flushes_->add();
   entries_.clear();
 }
 

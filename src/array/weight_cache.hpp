@@ -33,17 +33,21 @@
 // partially evicted (stale) state.
 //
 // Thread safety: lookups take a shared lock, inserts an exclusive lock;
-// hit/miss accounting is atomic and exact.
+// hit/miss accounting goes through obs::Counter handles (sharded per pool
+// worker, merged exactly on read). By default the cache binds counters in
+// a private registry; `attach_metrics` rebinds them into the system-wide
+// observability registry so cache behaviour shows up in trace reports.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "array/covariance.hpp"
 #include "array/geometry.hpp"
+#include "obs/metrics.hpp"
 
 namespace echoimage::array {
 
@@ -120,14 +124,25 @@ class WeightCache {
   void reset_stats() const;
   void clear();
 
+  /// Rebind the accounting counters (`weight_cache.hits` etc.) into an
+  /// external registry — the system observability registry — instead of
+  /// the private fallback. Counts recorded before the rebind stay in the
+  /// old registry, so attach before first use. `registry` must outlive
+  /// this cache.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
+  void bind_counters(obs::MetricsRegistry& registry);
+
   WeightCacheConfig config_;
   mutable std::shared_mutex mutex_;
   std::unordered_map<WeightKey, std::vector<Complex>, WeightKeyHash> entries_;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  mutable std::atomic<std::uint64_t> insertions_{0};
-  mutable std::atomic<std::uint64_t> flushes_{0};
+  /// Owns the counters until attach_metrics points them elsewhere.
+  std::shared_ptr<obs::MetricsRegistry> fallback_registry_;
+  const obs::Counter* hits_ = nullptr;
+  const obs::Counter* misses_ = nullptr;
+  const obs::Counter* insertions_ = nullptr;
+  const obs::Counter* flushes_ = nullptr;
 };
 
 }  // namespace echoimage::array

@@ -79,7 +79,37 @@ Signal DistanceEstimator::beep_envelope(
   return echoimage::dsp::moving_average(env, config_.envelope_smooth_samples);
 }
 
+void DistanceEstimator::attach_observability(
+    std::shared_ptr<const obs::Observability> obs) {
+  obs_ = std::move(obs);
+  valid_counter_ = nullptr;
+  invalid_counter_ = nullptr;
+  distance_hist_ = nullptr;
+  if (obs_ == nullptr) return;
+  valid_counter_ = &obs_->metrics().counter("distance.valid");
+  invalid_counter_ = &obs_->metrics().counter("distance.invalid");
+  // Estimated user distance in meters; observations are deterministic for
+  // a seeded scenario, so the histogram is part of the golden report.
+  distance_hist_ = &obs_->metrics().histogram(
+      "distance.user_distance_m", {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0});
+}
+
 DistanceEstimate DistanceEstimator::estimate(
+    const std::vector<MultiChannelSignal>& beeps,
+    const MultiChannelSignal& noise_only,
+    const echoimage::array::ChannelMask& active_mask) const {
+  EI_SPAN(obs::Observability::tracer_of(obs_.get()), "distance.estimate");
+  const DistanceEstimate out = estimate_impl(beeps, noise_only, active_mask);
+  if (out.valid) {
+    if (valid_counter_ != nullptr) valid_counter_->add();
+    if (distance_hist_ != nullptr) distance_hist_->observe(out.user_distance_m);
+  } else if (invalid_counter_ != nullptr) {
+    invalid_counter_->add();
+  }
+  return out;
+}
+
+DistanceEstimate DistanceEstimator::estimate_impl(
     const std::vector<MultiChannelSignal>& beeps,
     const MultiChannelSignal& noise_only,
     const echoimage::array::ChannelMask& active_mask) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <numbers>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "dsp/chirp.hpp"
 #include "dsp/peaks.hpp"
 #include "dsp/signal.hpp"
+#include "obs/observability.hpp"
 
 namespace echoimage::core {
 
@@ -111,11 +113,25 @@ class DistanceEstimator {
       const MultiChannelSignal& beep, const MultiChannelSignal& noise_only,
       const echoimage::array::ChannelMask& active_mask = {}) const;
 
+  /// Wire into the system observability bundle: estimate spans plus
+  /// valid/invalid counters and a distance histogram (all deterministic for
+  /// a seeded scenario). Null keeps every site a dead branch.
+  void attach_observability(std::shared_ptr<const obs::Observability> obs);
+
  private:
+  [[nodiscard]] DistanceEstimate estimate_impl(
+      const std::vector<MultiChannelSignal>& beeps,
+      const MultiChannelSignal& noise_only,
+      const echoimage::array::ChannelMask& active_mask) const;
+
   DistanceEstimatorConfig config_;
   ArrayGeometry geometry_;
   echoimage::dsp::SosCascade bandpass_filter_;
   Signal chirp_template_;
+  std::shared_ptr<const obs::Observability> obs_;
+  const obs::Counter* valid_counter_ = nullptr;
+  const obs::Counter* invalid_counter_ = nullptr;
+  const obs::Histogram* distance_hist_ = nullptr;
 };
 
 }  // namespace echoimage::core

@@ -466,6 +466,15 @@ DriftManager::DriftManager(const EchoImagePipeline& base_pipeline,
       recalibration_(recalibration_config),
       monitor_(monitor_config) {
   recalibration_.validate();
+  const std::shared_ptr<const obs::Observability>& obs =
+      base_pipeline.observability();
+  if (obs == nullptr) return;
+  tracer_ = obs::Observability::tracer_of(obs.get());
+  observations_counter_ = &obs->metrics().counter("drift.observations");
+  quarantines_counter_ = &obs->metrics().counter("drift.quarantines");
+  recalibrations_counter_ = &obs->metrics().counter("drift.recalibrations");
+  recalibration_failures_counter_ =
+      &obs->metrics().counter("drift.recalibration_failures");
 }
 
 DriftManager::DriftManager(const EchoImagePipeline& base_pipeline)
@@ -501,12 +510,18 @@ void DriftManager::correct(std::vector<MultiChannelSignal>& beeps,
 DriftReport DriftManager::observe(const std::vector<MultiChannelSignal>& beeps,
                                   const MultiChannelSignal& noise_only,
                                   bool occupied) {
+  EI_SPAN(tracer_, "drift.observe");
+  if (observations_counter_ != nullptr) observations_counter_->add();
   last_report_ = monitor_.observe(beeps, noise_only, occupied);
-  if (last_report_.verdict == DriftVerdict::kConfirmed) quarantined_ = true;
+  if (last_report_.verdict == DriftVerdict::kConfirmed && !quarantined_) {
+    quarantined_ = true;
+    if (quarantines_counter_ != nullptr) quarantines_counter_->add();
+  }
   return last_report_;
 }
 
 DriftReport DriftManager::background_scan() {
+  EI_SPAN(tracer_, "drift.background_scan");
   if (!probe_source_ || !monitor_.has_reference()) return DriftReport{};
   const CaptureAttempt probe = probe_source_(probes_drawn_++);
   std::vector<MultiChannelSignal> beeps = probe.beeps;
@@ -518,6 +533,17 @@ DriftReport DriftManager::background_scan() {
 }
 
 RecalibrationOutcome DriftManager::recalibrate() {
+  EI_SPAN(tracer_, "drift.recalibrate");
+  const RecalibrationOutcome outcome = recalibrate_impl();
+  if (outcome == RecalibrationOutcome::kRecalibrated) {
+    if (recalibrations_counter_ != nullptr) recalibrations_counter_->add();
+  } else if (recalibration_failures_counter_ != nullptr) {
+    recalibration_failures_counter_->add();
+  }
+  return outcome;
+}
+
+RecalibrationOutcome DriftManager::recalibrate_impl() {
   if (!probe_source_) return RecalibrationOutcome::kNoProbeSource;
   if (!enrollment_.valid) return RecalibrationOutcome::kNoEmptyRoom;
 

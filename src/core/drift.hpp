@@ -310,6 +310,8 @@ class DriftManager {
   RecalibrationOutcome recalibrate();
 
  private:
+  RecalibrationOutcome recalibrate_impl();
+
   const EchoImagePipeline* base_;  ///< non-owning; outlives the manager
   RecalibrationConfig recalibration_;
   DriftMonitor monitor_;
@@ -321,6 +323,13 @@ class DriftManager {
   bool quarantined_ = false;
   std::size_t recalibrations_ = 0;
   std::size_t probes_drawn_ = 0;
+  // Observability handles resolved from the base pipeline's bundle at
+  // construction (all null when observability is off).
+  const obs::Tracer* tracer_ = nullptr;
+  const obs::Counter* observations_counter_ = nullptr;
+  const obs::Counter* quarantines_counter_ = nullptr;
+  const obs::Counter* recalibrations_counter_ = nullptr;
+  const obs::Counter* recalibration_failures_counter_ = nullptr;
 };
 
 /// Monitor config matching a deployed system's probing parameters.

@@ -83,12 +83,24 @@ AcousticImager::AcousticImager(ImagingConfig config, ArrayGeometry geometry)
   }
 }
 
+void AcousticImager::attach_observability(
+    std::shared_ptr<const obs::Observability> obs) {
+  obs_ = std::move(obs);
+  images_counter_ = nullptr;
+  bands_counter_ = nullptr;
+  if (obs_ == nullptr) return;
+  images_counter_ = &obs_->metrics().counter("imaging.images");
+  bands_counter_ = &obs_->metrics().counter("imaging.bands");
+  if (weight_cache_ != nullptr) weight_cache_->attach_metrics(obs_->metrics());
+}
+
 void AcousticImager::prepare(const MultiChannelSignal& beep,
                              const MultiChannelSignal& noise_only,
                              double tau_direct_s,
                              MultiChannelSignal& filtered,
                              MultiChannelSignal& noise_f,
                              bool& have_noise) const {
+  EI_SPAN(obs::Observability::tracer_of(obs_.get()), "imaging.prepare");
   // Band-pass all channels to the probing band.
   filtered.channels.clear();
   filtered.channels.reserve(beep.num_channels());
@@ -123,6 +135,9 @@ void AcousticImager::accumulate_band(
     const MultiChannelSignal& noise_f, bool have_noise,
     double plane_distance_m, double tau_direct_s, double tau_echo_s,
     const echoimage::array::ChannelMask& active_mask, Matrix2D& image) const {
+  const obs::Tracer* const tracer = obs::Observability::tracer_of(obs_.get());
+  EI_SPAN(tracer, "imaging.band", band);
+  if (bands_counter_ != nullptr) bands_counter_->add();
   const double gate_extra = config_.chirp.duration.value();  // echo smear
 
   // Subband isolation (skipped when only one band is configured).
@@ -190,7 +205,6 @@ void AcousticImager::accumulate_band(
       pool_ != nullptr ? pool_->num_workers() : 1);
   const double mix = std::clamp(config_.incoherent_mix, 0.0, 1.0);
   const double speed = config_.speed_of_sound.value();
-  const std::size_t num_grids = config_.grid_size * config_.grid_size;
   std::vector<double>& pixels = image.data();
 
   const auto grid_energy = [&](std::size_t k, std::size_t worker) {
@@ -234,10 +248,22 @@ void AcousticImager::accumulate_band(
     if (mix > 0.0) e += mix * bf.incoherent_energy(first, count);
     pixels[k] += e;
   };
+  // One task per grid row — a fixed grain, so the recorded
+  // `imaging.grid_chunk[row]` spans are identical for every worker count
+  // (the determinism contract in obs/trace.hpp); pixels still write
+  // disjoint slots, so the image itself stays bit-identical too.
+  EI_SPAN_NAMED(sweep_span, tracer, "imaging.grid_sweep", band);
+  const obs::SpanHandle sweep = sweep_span.handle();
+  const auto row_task = [&](std::size_t row, std::size_t worker) {
+    EI_SPAN(tracer, "imaging.grid_chunk", row, sweep);
+    const std::size_t base = row * config_.grid_size;
+    for (std::size_t col = 0; col < config_.grid_size; ++col)
+      grid_energy(base + col, worker);
+  };
   if (pool_ != nullptr) {
-    echoimage::runtime::parallel_for(*pool_, num_grids, grid_energy);
+    echoimage::runtime::parallel_for(*pool_, config_.grid_size, row_task);
   } else {
-    for (std::size_t k = 0; k < num_grids; ++k) grid_energy(k, 0);
+    for (std::size_t row = 0; row < config_.grid_size; ++row) row_task(row, 0);
   }
 }
 
@@ -247,6 +273,8 @@ Matrix2D AcousticImager::construct(
     double tau_echo_s, const echoimage::array::ChannelMask& active_mask) const {
   if (plane_distance.value() <= 0.0)
     throw std::invalid_argument("AcousticImager: plane distance must be > 0");
+  EI_SPAN(obs::Observability::tracer_of(obs_.get()), "imaging.construct");
+  if (images_counter_ != nullptr) images_counter_->add();
   MultiChannelSignal filtered, noise_f;
   bool have_noise = false;
   prepare(beep, noise_only, tau_direct_s, filtered, noise_f, have_noise);
@@ -266,6 +294,8 @@ std::vector<Matrix2D> AcousticImager::construct_bands(
     double tau_echo_s, const echoimage::array::ChannelMask& active_mask) const {
   if (plane_distance.value() <= 0.0)
     throw std::invalid_argument("AcousticImager: plane distance must be > 0");
+  EI_SPAN(obs::Observability::tracer_of(obs_.get()), "imaging.construct");
+  if (images_counter_ != nullptr) images_counter_->add();
   MultiChannelSignal filtered, noise_f;
   bool have_noise = false;
   prepare(beep, noise_only, tau_direct_s, filtered, noise_f, have_noise);

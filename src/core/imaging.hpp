@@ -17,6 +17,7 @@
 #include "core/distance.hpp"
 #include "dsp/biquad.hpp"
 #include "ml/tensor.hpp"
+#include "obs/observability.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace echoimage::core {
@@ -117,6 +118,12 @@ class AcousticImager {
     return weight_cache_.get();
   }
 
+  /// Wire this imager into the system observability bundle: per-band and
+  /// per-grid-row spans, image/band counters, and the weight cache's
+  /// accounting rebound into `obs->metrics()`. Null (the default) keeps
+  /// every site a dead branch. Call before first use.
+  void attach_observability(std::shared_ptr<const obs::Observability> obs);
+
   /// Construct the acoustic image AI_l from one beep capture. `tau_direct_s`
   /// anchors the time axis (emission time = direct-path arrival minus the
   /// speaker-mic flight, which is negligible at array scale); `noise_only`
@@ -162,6 +169,9 @@ class AcousticImager {
   /// and so the keys, are identical).
   std::shared_ptr<echoimage::runtime::ThreadPool> pool_;
   std::shared_ptr<echoimage::array::WeightCache> weight_cache_;
+  std::shared_ptr<const obs::Observability> obs_;
+  const obs::Counter* images_counter_ = nullptr;
+  const obs::Counter* bands_counter_ = nullptr;
   echoimage::dsp::SosCascade bandpass_filter_;
   std::vector<echoimage::dsp::SosCascade> subband_filters_;
   std::vector<double> subband_centers_;

@@ -32,6 +32,9 @@ MultiChannelSignal silence_masked(const MultiChannelSignal& capture,
 }  // namespace
 
 void SystemConfig::harmonize() {
+  // Size registry shards and trace lanes to the worker count that will
+  // actually feed them (0 resolves machine-wide, like the pool itself).
+  observability.workers = num_threads;
   distance.sample_rate = sample_rate;
   distance.chirp = chirp;
   distance.speed_of_sound = speed_of_sound;
@@ -91,7 +94,19 @@ EchoImagePipeline::EchoImagePipeline(SystemConfig config,
       distance_(config_.distance, geometry),
       imager_(config_.imaging, geometry),
       augmenter_(config_.imaging, imager_.pool()),
-      extractor_(config_.extractor) {}
+      extractor_(config_.extractor) {
+  obs_ = obs::make_observability(config_.observability);
+  if (obs_ == nullptr) return;
+  distance_.attach_observability(obs_);
+  imager_.attach_observability(obs_);
+  captures_counter_ = &obs_->metrics().counter("pipeline.captures");
+  gate_failed_counter_ = &obs_->metrics().counter("pipeline.gate_failed");
+  gate_degraded_counter_ = &obs_->metrics().counter("pipeline.gate_degraded");
+  distance_invalid_counter_ =
+      &obs_->metrics().counter("pipeline.distance_invalid");
+  dropped_channels_hist_ = &obs_->metrics().histogram(
+      "pipeline.dropped_channels", {0.0, 1.0, 2.0, 4.0, 8.0});
+}
 
 void EchoImagePipeline::validate_capture(
     const std::vector<MultiChannelSignal>& beeps,
@@ -139,12 +154,19 @@ void EchoImagePipeline::validate_capture(
 ProcessedBeeps EchoImagePipeline::process(
     const std::vector<MultiChannelSignal>& beeps,
     const MultiChannelSignal& noise_only) const {
-  validate_capture(beeps, noise_only);
+  const obs::Tracer* const tracer = obs::Observability::tracer_of(obs_.get());
+  EI_SPAN(tracer, "pipeline.process");
+  if (captures_counter_ != nullptr) captures_counter_->add();
+  {
+    EI_SPAN(tracer, "pipeline.validate");
+    validate_capture(beeps, noise_only);
+  }
   const std::size_t mics = geometry_.num_mics();
   ProcessedBeeps out;
   out.active_mask.assign(mics, true);
 
   if (config_.health_gate) {
+    EI_SPAN(tracer, "pipeline.health_gate");
     out.health = assess_capture(beeps, config_.health);
     // A noise channel carrying NaN/Inf shares the faulty hardware chain
     // with its beep channel — condemn it even if the beeps looked clean
@@ -162,7 +184,15 @@ ProcessedBeeps EchoImagePipeline::process(
       out.health.verdict = CaptureVerdict::kFailed;
     out.active_mask = out.health.active_mask;
     out.dropped_channels = mics - out.health.num_active;
-    if (!out.health.usable()) return out;  // abstain: retry, don't reject
+    if (dropped_channels_hist_ != nullptr)
+      dropped_channels_hist_->observe(
+          static_cast<double>(out.dropped_channels));
+    if (!out.health.usable()) {
+      if (gate_failed_counter_ != nullptr) gate_failed_counter_->add();
+      return out;  // abstain: retry, don't reject
+    }
+    if (out.dropped_channels > 0 && gate_degraded_counter_ != nullptr)
+      gate_degraded_counter_->add();
   } else {
     // Without the gate the pipeline refuses non-finite input outright —
     // NaN propagates silently through FFTs and would emerge as a garbage
@@ -200,22 +230,28 @@ ProcessedBeeps EchoImagePipeline::process(
   }
 
   out.distance = distance_.estimate(*use_beeps, *use_noise, mask_ref);
-  if (!out.distance.valid) return out;
+  if (!out.distance.valid) {
+    if (distance_invalid_counter_ != nullptr) distance_invalid_counter_->add();
+    return out;
+  }
   out.images.reserve(beeps.size());
   // The plane sits at the centroid-derived distance (smoother than the
   // peak) and the gates anchor to the measured echo centroid.
   const units::Meters plane{out.distance.user_distance_centroid_m > 0.0
                                 ? out.distance.user_distance_centroid_m
                                 : out.distance.user_distance_m};
-  for (const MultiChannelSignal& beep : *use_beeps)
+  for (std::size_t b = 0; b < use_beeps->size(); ++b) {
+    EI_SPAN(tracer, "pipeline.image", b);
     out.images.push_back(AcousticImage{imager_.construct_bands(
-        beep, plane, out.distance.tau_direct_s, *use_noise,
+        (*use_beeps)[b], plane, out.distance.tau_direct_s, *use_noise,
         out.distance.tau_echo_centroid_s, mask_ref)});
+  }
   return out;
 }
 
 std::vector<double> EchoImagePipeline::features(
     const AcousticImage& image) const {
+  EI_SPAN(obs::Observability::tracer_of(obs_.get()), "pipeline.features");
   std::vector<double> out;
   for (const Matrix2D& band : image.bands) {
     const std::vector<double> f = extractor_.extract(band);
@@ -244,6 +280,7 @@ std::vector<std::vector<double>> EchoImagePipeline::features_batch(
 
 Authenticator EchoImagePipeline::enroll(
     const std::vector<EnrolledUser>& users) const {
+  EI_SPAN(obs::Observability::tracer_of(obs_.get()), "pipeline.enroll");
   return Authenticator::train(users, config_.authenticator);
 }
 

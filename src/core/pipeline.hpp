@@ -14,6 +14,7 @@
 #include "core/health.hpp"
 #include "core/imaging.hpp"
 #include "ml/cnn.hpp"
+#include "obs/observability.hpp"
 
 namespace echoimage::core {
 
@@ -45,6 +46,10 @@ struct SystemConfig {
   /// CaptureVerdict::kFailed instead of garbage images. When off, the
   /// pipeline instead rejects non-finite input with an exception.
   bool health_gate = true;
+  /// Metrics + tracing (src/obs). Off by default: no bundle is built and
+  /// every instrumentation site in the pipeline reduces to a dead branch,
+  /// so golden images stay bit-identical and throughput is unchanged.
+  obs::ObservabilityConfig observability{};
 
   /// Propagate the shared fields (sample rate, chirp, band) into the
   /// sub-configs so callers only set them once.
@@ -92,6 +97,14 @@ class EchoImagePipeline {
     return extractor_;
   }
 
+  /// The observability bundle (null when SystemConfig::observability is
+  /// off). Shared by every instrumented stage of this pipeline, so one
+  /// trace/report covers the full auth path.
+  [[nodiscard]] const std::shared_ptr<const obs::Observability>& observability()
+      const {
+    return obs_;
+  }
+
   /// Distance estimation + per-beep image construction. Runs the channel-
   /// health gate first (see SystemConfig::health_gate): dead channels are
   /// masked out and recorded in the result; a capture with fewer than
@@ -128,6 +141,12 @@ class EchoImagePipeline {
   AcousticImager imager_;
   DataAugmenter augmenter_;
   echoimage::ml::VggishFeatureExtractor extractor_;
+  std::shared_ptr<const obs::Observability> obs_;
+  const obs::Counter* captures_counter_ = nullptr;
+  const obs::Counter* gate_failed_counter_ = nullptr;
+  const obs::Counter* gate_degraded_counter_ = nullptr;
+  const obs::Counter* distance_invalid_counter_ = nullptr;
+  const obs::Histogram* dropped_channels_hist_ = nullptr;
 };
 
 }  // namespace echoimage::core

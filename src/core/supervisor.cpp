@@ -52,6 +52,15 @@ CaptureSupervisor::CaptureSupervisor(const EchoImagePipeline& pipeline,
                                      CaptureSupervisorConfig config)
     : pipeline_(&pipeline), config_(config) {
   config_.validate();
+  const std::shared_ptr<const obs::Observability>& obs =
+      pipeline.observability();
+  if (obs == nullptr) return;
+  tracer_ = obs::Observability::tracer_of(obs.get());
+  attempts_counter_ = &obs->metrics().counter("supervisor.attempts");
+  retries_counter_ = &obs->metrics().counter("supervisor.retries");
+  abstains_counter_ = &obs->metrics().counter("supervisor.abstains");
+  accepts_counter_ = &obs->metrics().counter("supervisor.accepts");
+  rejects_counter_ = &obs->metrics().counter("supervisor.rejects");
 }
 
 const EchoImagePipeline& CaptureSupervisor::active_pipeline() const {
@@ -65,10 +74,13 @@ SupervisedCapture CaptureSupervisor::acquire(
 
 SupervisedCapture CaptureSupervisor::acquire_impl(
     const CaptureSource& source, CaptureAttempt* last_raw) const {
+  EI_SPAN(tracer_, "supervisor.acquire");
   SupervisedCapture out;
   double nominal = config_.initial_backoff_s;
   for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    EI_SPAN(tracer_, "supervisor.attempt", attempt);
     if (attempt > 0) {
+      if (retries_counter_ != nullptr) retries_counter_->add();
       out.total_backoff_s +=
           nominal * (1.0 + config_.backoff_jitter *
                                jitter_unit(config_.jitter_seed, attempt));
@@ -76,6 +88,7 @@ SupervisedCapture CaptureSupervisor::acquire_impl(
     }
     CaptureAttempt capture = source(attempt);
     ++out.attempts;
+    if (attempts_counter_ != nullptr) attempts_counter_->add();
     if (last_raw != nullptr) *last_raw = capture;
     if (drift_ != nullptr)
       drift_->correct(capture.beeps, capture.noise_only);
@@ -90,6 +103,24 @@ SupervisedCapture CaptureSupervisor::acquire_impl(
 
 AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
                                              const Authenticator& auth) const {
+  EI_SPAN(tracer_, "supervisor.authenticate");
+  const AuthDecision decision = authenticate_impl(source, auth);
+  switch (decision.outcome) {
+    case AuthOutcome::kAccepted:
+      if (accepts_counter_ != nullptr) accepts_counter_->add();
+      break;
+    case AuthOutcome::kRejected:
+      if (rejects_counter_ != nullptr) rejects_counter_->add();
+      break;
+    case AuthOutcome::kAbstained:
+      if (abstains_counter_ != nullptr) abstains_counter_->add();
+      break;
+  }
+  return decision;
+}
+
+AuthDecision CaptureSupervisor::authenticate_impl(
+    const CaptureSource& source, const Authenticator& auth) const {
   CaptureAttempt raw;
   SupervisedCapture capture = acquire_impl(source, &raw);
   if (capture.abstained) return AuthDecision::abstain();
@@ -120,9 +151,10 @@ AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
   // Majority vote across the beeps of the batch; -1 collects rejections.
   std::map<int, std::size_t> votes;
   std::map<int, double> score_sums;
-  for (const AcousticImage& image : p.images) {
+  for (std::size_t i = 0; i < p.images.size(); ++i) {
+    EI_SPAN(tracer_, "supervisor.score", i);
     const AuthDecision d =
-        auth.authenticate(active_pipeline().features(image));
+        auth.authenticate(active_pipeline().features(p.images[i]));
     const int id = d.accepted ? d.user_id : -1;
     ++votes[id];
     score_sums[id] += d.svdd_score;

@@ -106,11 +106,21 @@ class CaptureSupervisor {
  private:
   SupervisedCapture acquire_impl(const CaptureSource& source,
                                  CaptureAttempt* last_raw) const;
+  [[nodiscard]] AuthDecision authenticate_impl(const CaptureSource& source,
+                                               const Authenticator& auth) const;
   [[nodiscard]] const EchoImagePipeline& active_pipeline() const;
 
   const EchoImagePipeline* pipeline_;  ///< non-owning; outlives supervisor
   CaptureSupervisorConfig config_;
   DriftManager* drift_ = nullptr;  ///< non-owning; optional
+  // Observability handles resolved from the pipeline's bundle at
+  // construction (all null when observability is off).
+  const obs::Tracer* tracer_ = nullptr;
+  const obs::Counter* attempts_counter_ = nullptr;
+  const obs::Counter* retries_counter_ = nullptr;
+  const obs::Counter* abstains_counter_ = nullptr;
+  const obs::Counter* accepts_counter_ = nullptr;
+  const obs::Counter* rejects_counter_ = nullptr;
 };
 
 }  // namespace echoimage::core

@@ -1,0 +1,62 @@
+#include "eval/trace_scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/supervisor.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/roster.hpp"
+
+namespace echoimage::eval {
+
+TraceScenarioResult run_trace_scenario(const TraceScenarioConfig& config) {
+  core::SystemConfig system = default_system_config();
+  system.num_threads = config.num_threads;
+  system.observability.enabled = true;
+  const auto geometry = array::make_respeaker_array();
+  const core::EchoImagePipeline pipeline(system, geometry);
+
+  const std::vector<SimulatedUser> users =
+      make_users(make_roster(), config.seed);
+  if (config.user >= users.size())
+    throw std::invalid_argument("run_trace_scenario: user out of range");
+  const SimulatedUser& user = users[config.user];
+
+  const DataCollector collector(sim::CaptureConfig{}, geometry, config.seed);
+  CollectionConditions cond;
+  cond.distance_m = config.distance_m;
+  cond.session = 1;
+  cond.repetition = 0;
+  const CaptureBatch enroll_batch =
+      collector.collect(user, cond, config.enroll_beeps);
+
+  // Enrollment: process + features + SVDD/SVM training, all on-trace.
+  const core::ProcessedBeeps processed =
+      pipeline.process(enroll_batch.beeps, enroll_batch.noise_only);
+  if (!processed.distance.valid)
+    throw std::runtime_error("run_trace_scenario: enrollment found no user");
+  core::EnrolledUser enrolled;
+  enrolled.user_id = user.subject.user_id;
+  enrolled.features = pipeline.features_batch(
+      processed.images, processed.distance.user_distance_centroid_m,
+      /*augment=*/false);
+  const core::Authenticator auth = pipeline.enroll({enrolled});
+
+  // Supervised verification of a fresh capture of the same user.
+  cond.repetition = 1;
+  const CaptureBatch verify_batch =
+      collector.collect(user, cond, config.verify_beeps);
+  const core::CaptureSupervisor supervisor(pipeline);
+  const core::CaptureSource source = [&verify_batch](std::size_t) {
+    return core::CaptureAttempt{verify_batch.beeps, verify_batch.noise_only};
+  };
+
+  TraceScenarioResult result;
+  result.decision = supervisor.authenticate(source, auth);
+  result.obs = pipeline.observability();
+  return result;
+}
+
+}  // namespace echoimage::eval

@@ -1,0 +1,42 @@
+// The canonical seeded trace scenario: one enrollment plus one supervised
+// authentication run end-to-end with observability enabled.
+//
+// `cli trace` and the golden trace test both drive this helper, so the
+// trace the user exports and the structure the test pins are guaranteed to
+// come from the same scenario. Everything is derived from the seed — the
+// structural report (span tree + counter totals + histogram counts) is
+// byte-identical across runs and across worker counts; only timings and
+// lane assignments differ.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/authenticator.hpp"
+#include "obs/observability.hpp"
+
+namespace echoimage::eval {
+
+struct TraceScenarioConfig {
+  std::uint64_t seed = 42;
+  /// Imaging worker count (1 = serial path). The exported trace structure
+  /// must not depend on this — that is the invariant the golden test pins.
+  std::size_t num_threads = 1;
+  std::size_t user = 0;
+  double distance_m = 0.7;
+  std::size_t enroll_beeps = 3;
+  std::size_t verify_beeps = 3;
+};
+
+struct TraceScenarioResult {
+  /// The pipeline's bundle, holding the recorded spans and counters of the
+  /// whole scenario. Valid after the pipeline itself is gone.
+  std::shared_ptr<const echoimage::obs::Observability> obs;
+  echoimage::core::AuthDecision decision;
+};
+
+[[nodiscard]] TraceScenarioResult run_trace_scenario(
+    const TraceScenarioConfig& config = {});
+
+}  // namespace echoimage::eval

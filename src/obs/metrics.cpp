@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace echoimage::obs {
+
+namespace {
+
+template <typename T>
+const T* find_by_name(const std::vector<std::unique_ptr<T>>& list,
+                      std::string_view name) {
+  for (const auto& m : list)
+    if (m->name() == name) return m.get();
+  return nullptr;
+}
+
+template <typename T>
+std::vector<const T*> sorted_view(const std::vector<std::unique_ptr<T>>& list) {
+  std::vector<const T*> out;
+  out.reserve(list.size());
+  for (const auto& m : list) out.push_back(m.get());
+  std::sort(out.begin(), out.end(),
+            [](const T* a, const T* b) { return a->name() < b->name(); });
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(MetricsConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+}
+
+const Counter& MetricsRegistry::counter(std::string_view name) {
+  const echoimage::runtime::LockedRegion region(lock_);
+  if (const Counter* existing = find_by_name(counters_, name))
+    return *existing;
+  counters_.push_back(std::unique_ptr<Counter>(
+      new Counter(std::string(name), config_.shards)));
+  return *counters_.back();
+}
+
+const Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const echoimage::runtime::LockedRegion region(lock_);
+  if (const Gauge* existing = find_by_name(gauges_, name)) return *existing;
+  gauges_.push_back(std::unique_ptr<Gauge>(new Gauge(std::string(name))));
+  return *gauges_.back();
+}
+
+const Histogram& MetricsRegistry::histogram(std::string_view name,
+                                            std::vector<double> bounds) {
+  const echoimage::runtime::LockedRegion region(lock_);
+  if (const Histogram* existing = find_by_name(histograms_, name))
+    return *existing;
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  histograms_.push_back(std::unique_ptr<Histogram>(
+      new Histogram(std::string(name), std::move(bounds), config_.shards)));
+  return *histograms_.back();
+}
+
+std::vector<const Counter*> MetricsRegistry::counters() const {
+  const echoimage::runtime::LockedRegion region(lock_);
+  return sorted_view(counters_);
+}
+
+std::vector<const Gauge*> MetricsRegistry::gauges() const {
+  const echoimage::runtime::LockedRegion region(lock_);
+  return sorted_view(gauges_);
+}
+
+std::vector<const Histogram*> MetricsRegistry::histograms() const {
+  const echoimage::runtime::LockedRegion region(lock_);
+  return sorted_view(histograms_);
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::ostringstream os;
+  for (const Counter* c : counters())
+    os << "counter " << c->name() << " " << c->value() << "\n";
+  for (const Gauge* g : gauges())
+    os << "gauge " << g->name() << " " << g->value() << "\n";
+  for (const Histogram* h : histograms()) {
+    os << "histogram " << h->name() << " count=" << h->count() << " buckets=[";
+    for (std::size_t b = 0; b < h->num_buckets(); ++b)
+      os << (b > 0 ? " " : "") << h->bucket_count(b);
+    os << "]\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset_counters() const {
+  const echoimage::runtime::LockedRegion region(lock_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& h : histograms_) h->reset();
+}
+
+}  // namespace echoimage::obs

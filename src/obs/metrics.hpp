@@ -1,0 +1,158 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the one place live operational state is accounted:
+// weight-cache hits, capture retries, drift quarantines, health-gate
+// verdicts, per-stage latencies. Design constraints, in order:
+//
+//   * The imaging hot path must stay uncontended — counters are sharded
+//     per pool worker (runtime::ShardedCounters) and an increment is one
+//     relaxed atomic add into the caller's own cache line. Totals are
+//     exact: merging shards on read loses nothing.
+//   * Increments, observations, and gauge stores never allocate. All
+//     storage is laid out when a metric is registered (startup); the
+//     observability-off invariance test pins this with a counting
+//     allocator.
+//   * Everything is deterministic where the underlying computation is:
+//     counter totals in a seeded run are part of the golden trace.
+//
+// Metric handles returned by the registry are stable for the registry's
+// lifetime (metrics are never unregistered), so subsystems resolve their
+// counters once at attach time and increment through the pointer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/sharded.hpp"
+
+namespace echoimage::obs {
+
+struct MetricsConfig {
+  /// Counter shards. Sized to the worker count that will increment (one
+  /// shard per worker keeps the hot path uncontended); any excess worker
+  /// index wraps, which costs sharing, never correctness.
+  std::size_t shards = 16;
+};
+
+/// Monotonic event count. Increment from any worker; read as the exact
+/// merged total.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) const noexcept {
+    cells_.add(echoimage::runtime::current_worker(), 0, delta);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return cells_.total(0);
+  }
+  void reset() const noexcept { cells_.reset(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::size_t shards)
+      : name_(std::move(name)), cells_(shards, 1) {}
+
+  std::string name_;
+  echoimage::runtime::ShardedCounters cells_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, cache size, corrected
+/// speed of sound). Writers are expected to be serialized — the guard in
+/// runtime::LockedDouble only protects readers from torn loads.
+class Gauge {
+ public:
+  void set(double value) const noexcept { value_.store(value); }
+  [[nodiscard]] double value() const noexcept { return value_.load(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  echoimage::runtime::LockedDouble value_;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit +inf overflow bucket, so there are bounds.size() + 1
+/// buckets and every observation lands in exactly one. Bucket counts are
+/// sharded like counters; their sum always equals the observation count.
+class Histogram {
+ public:
+  void observe(double value) const noexcept {
+    std::size_t bucket = bounds_.size();  // overflow unless a bound fits
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (value <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    cells_.add(echoimage::runtime::current_worker(), bucket, 1);
+  }
+  [[nodiscard]] std::size_t num_buckets() const { return bounds_.size() + 1; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const noexcept {
+    return cells_.total(bucket);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t b = 0; b < num_buckets(); ++b) sum += bucket_count(b);
+    return sum;
+  }
+  void reset() const noexcept { cells_.reset(); }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds, std::size_t shards)
+      : name_(std::move(name)),
+        bounds_(std::move(bounds)),
+        cells_(shards, bounds_.size() + 1) {}
+
+  std::string name_;
+  std::vector<double> bounds_;
+  echoimage::runtime::ShardedCounters cells_;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(MetricsConfig config = {});
+
+  [[nodiscard]] const MetricsConfig& config() const { return config_; }
+
+  /// Get-or-create by name. Registration is serialized and allocates; the
+  /// returned reference stays valid for the registry's lifetime, so
+  /// subsystems resolve once at attach time. Re-requesting an existing
+  /// histogram returns it unchanged (the bounds argument is ignored).
+  [[nodiscard]] const Counter& counter(std::string_view name);
+  [[nodiscard]] const Gauge& gauge(std::string_view name);
+  [[nodiscard]] const Histogram& histogram(std::string_view name,
+                                           std::vector<double> bounds);
+
+  /// All registered metrics in name order (snapshot of the handle lists;
+  /// values are read live through the handles).
+  [[nodiscard]] std::vector<const Counter*> counters() const;
+  [[nodiscard]] std::vector<const Gauge*> gauges() const;
+  [[nodiscard]] std::vector<const Histogram*> histograms() const;
+
+  /// Human-readable dump, one metric per line, sorted by name. Counter and
+  /// histogram lines are deterministic for a seeded run; gauge lines carry
+  /// live values.
+  [[nodiscard]] std::string render_text() const;
+
+  /// Zero all counters and histograms (gauges keep their last value).
+  void reset_counters() const;
+
+ private:
+  MetricsConfig config_;
+  echoimage::runtime::RegionLock lock_;  ///< registration + list snapshot
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace echoimage::obs

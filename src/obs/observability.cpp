@@ -1,0 +1,59 @@
+#include "obs/observability.hpp"
+
+#include <sstream>
+
+namespace echoimage::obs {
+
+namespace {
+
+MetricsConfig metrics_config_for(const ObservabilityConfig& config,
+                                 std::size_t workers) {
+  MetricsConfig mc;
+  mc.shards = workers;
+  (void)config;
+  return mc;
+}
+
+TraceConfig trace_config_for(const ObservabilityConfig& config,
+                             std::size_t workers) {
+  TraceConfig tc;
+  tc.max_workers = workers;
+  tc.reserve_per_lane = config.trace_reserve;
+  return tc;
+}
+
+}  // namespace
+
+Observability::Observability(ObservabilityConfig config)
+    : config_(config),
+      metrics_(metrics_config_for(
+          config_, echoimage::runtime::resolve_workers(config_.workers))),
+      tracer_(trace_config_for(
+          config_, echoimage::runtime::resolve_workers(config_.workers))) {}
+
+std::string Observability::structural_report() const {
+  std::ostringstream os;
+  os << "-- spans --\n" << tracer_.structure();
+  os << "-- counters --\n";
+  for (const Counter* c : metrics_.counters())
+    os << c->name() << " = " << c->value() << "\n";
+  os << "-- histograms --\n";
+  for (const Histogram* h : metrics_.histograms())
+    os << h->name() << " count=" << h->count() << "\n";
+  os << "-- gauges --\n";
+  for (const Gauge* g : metrics_.gauges()) os << g->name() << "\n";
+  return os.str();
+}
+
+void Observability::reset() const {
+  tracer_.clear();
+  metrics_.reset_counters();
+}
+
+std::shared_ptr<const Observability> make_observability(
+    const ObservabilityConfig& config) {
+  if (!config.enabled) return nullptr;
+  return std::make_shared<const Observability>(config);
+}
+
+}  // namespace echoimage::obs

@@ -1,0 +1,78 @@
+// Observability bundle: one metrics registry plus one tracer, sized to the
+// worker count of the pool that will feed them.
+//
+// Subsystems hold a `std::shared_ptr<const Observability>` (null when
+// observability is off — the default). Every instrumentation site therefore
+// reduces, when off, to a null-pointer test: spans construct a no-op guard,
+// and counter handles resolved at attach time are null. Nothing allocates,
+// nothing synchronizes, and the numeric pipeline is untouched — the
+// invariance test pins golden images bit-identical with observability on
+// and off.
+//
+// The deterministic exports live here too: `structural_report()` combines
+// the canonical trace tree with counter totals and histogram counts (the
+// parts of a seeded run that are invariant across worker counts), which is
+// what the golden trace test and `cli trace` diff byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace echoimage::obs {
+
+struct ObservabilityConfig {
+  /// Master switch. Off (default) means no Observability object is built
+  /// at all; pipelines see a null pointer and skip every site.
+  bool enabled = false;
+  /// Worker count the registry shards and trace lanes are sized to.
+  /// 0 = resolve from the machine like runtime::resolve_workers.
+  std::size_t workers = 0;
+  /// Per-lane trace event preallocation (see TraceConfig).
+  std::size_t trace_reserve = 4096;
+
+  [[nodiscard]] bool operator==(const ObservabilityConfig&) const = default;
+};
+
+class Observability {
+ public:
+  explicit Observability(ObservabilityConfig config = {});
+
+  [[nodiscard]] const ObservabilityConfig& config() const { return config_; }
+
+  /// Registration interface (get-or-create); mutable because registering
+  /// metrics extends the registry, unlike recording into them.
+  [[nodiscard]] MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Convenience for instrumentation sites: tracer pointer that is null
+  /// exactly when `obs` is null, so `EI_SPAN(obs::tracer_of(obs_), ...)`
+  /// works unconditionally.
+  [[nodiscard]] static const Tracer* tracer_of(const Observability* obs) {
+    return obs != nullptr ? &obs->tracer_ : nullptr;
+  }
+
+  /// Canonical deterministic report: the timing-free trace tree followed by
+  /// counter totals and histogram observation counts (gauges by name only —
+  /// their values may be timing-derived). Byte-identical across runs and
+  /// worker counts for a seeded scenario.
+  [[nodiscard]] std::string structural_report() const;
+
+  /// Start a fresh session: drop recorded spans, zero counters/histograms.
+  void reset() const;
+
+ private:
+  ObservabilityConfig config_;
+  mutable MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// Build the bundle a SystemConfig asks for: null when disabled, so the
+/// null-pointer convention above holds everywhere.
+[[nodiscard]] std::shared_ptr<const Observability> make_observability(
+    const ObservabilityConfig& config);
+
+}  // namespace echoimage::obs

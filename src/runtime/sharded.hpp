@@ -1,0 +1,127 @@
+// Uncontended accounting primitives for the observability layer.
+//
+// Library code outside src/runtime is not allowed to touch std::atomic or
+// std::mutex directly (echolint R2), so the building blocks the metrics
+// registry needs live here: a table of cache-line-padded per-worker counter
+// shards (writes are relaxed adds to the caller's own shard; reads merge
+// all shards), and a small mutex-guarded double for last-write-wins gauges.
+//
+// The sharding contract mirrors ScratchArena: each pool worker writes its
+// own padded slot, so the imaging hot path increments counters without a
+// single contended cache line and the whole structure is TSan-clean by
+// construction (relaxed atomics, no data races to explain away).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace echoimage::runtime {
+
+/// `shards` x `width` table of relaxed atomic counters. Each shard's cells
+/// are contiguous and every shard starts on its own cache line, so two
+/// workers incrementing the same logical cell never share a line. Totals
+/// are exact: relaxed atomic adds lose nothing, they only relax ordering.
+class ShardedCounters {
+ public:
+  ShardedCounters(std::size_t shards, std::size_t width)
+      : width_(width == 0 ? 1 : width),
+        shards_(shards == 0 ? 1 : shards,
+                Shard{std::vector<std::atomic<std::uint64_t>>(width_)}) {}
+
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Relaxed add into cell `cell` of shard `shard` (both clamp by modulo,
+  /// so callers can pass a raw worker index from any pool). Const because
+  /// accounting is observational state, not logical state.
+  void add(std::size_t shard, std::size_t cell,
+           std::uint64_t delta) const noexcept {
+    shards_[shard % shards_.size()].cells[cell % width_].fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Exact merged total of one cell across every shard.
+  [[nodiscard]] std::uint64_t total(std::size_t cell) const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_)
+      sum += s.cells[cell % width_].load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Zero every cell (observational reset; racing adds may survive, so
+  /// callers reset only between regions).
+  void reset() const noexcept {
+    for (const Shard& s : shards_)
+      for (std::atomic<std::uint64_t>& c : s.cells)
+        c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    // Atomics are mutable by nature; the vector is only resized at
+    // construction, so concurrent cell access never races the layout.
+    mutable std::vector<std::atomic<std::uint64_t>> cells;
+
+    Shard() = default;
+    explicit Shard(std::vector<std::atomic<std::uint64_t>> c)
+        : cells(std::move(c)) {}
+    Shard(const Shard& other) : cells(other.cells.size()) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        cells[i].store(other.cells[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    Shard& operator=(const Shard&) = delete;
+  };
+
+  std::size_t width_;
+  std::vector<Shard> shards_;
+};
+
+/// Last-write-wins double behind a mutex: the gauge primitive. Writes are
+/// expected from serialized regions (or any single writer at a time); the
+/// lock exists so an unlucky concurrent read still returns a whole value,
+/// never a torn one.
+class LockedDouble {
+ public:
+  void store(double v) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+  }
+  [[nodiscard]] double load() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable double value_ = 0.0;
+};
+
+/// Plain mutex handed to layers that may not name std::mutex themselves
+/// (the metrics registry's registration path). Lock with LockedRegion.
+class RegionLock {
+ public:
+  void lock() const { mutex_.lock(); }
+  void unlock() const { mutex_.unlock(); }
+
+ private:
+  mutable std::mutex mutex_;
+};
+
+class LockedRegion {
+ public:
+  explicit LockedRegion(const RegionLock& lock) : lock_(lock) { lock_.lock(); }
+  ~LockedRegion() { lock_.unlock(); }
+  LockedRegion(const LockedRegion&) = delete;
+  LockedRegion& operator=(const LockedRegion&) = delete;
+
+ private:
+  const RegionLock& lock_;
+};
+
+}  // namespace echoimage::runtime

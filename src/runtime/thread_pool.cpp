@@ -4,6 +4,17 @@
 
 namespace echoimage::runtime {
 
+namespace {
+// Worker identity of the calling thread. The main thread (worker 0 of
+// every fork-join region) keeps the zero default; pool threads set their
+// index once at spawn. Indexes are per-pool, which is fine for shard /
+// lane selection: a collision between two pools costs a shared cache
+// line, never correctness.
+thread_local std::size_t t_current_worker = 0;
+}  // namespace
+
+std::size_t current_worker() noexcept { return t_current_worker; }
+
 std::size_t resolve_workers(std::size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -28,6 +39,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  t_current_worker = worker;
   std::size_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* task = nullptr;

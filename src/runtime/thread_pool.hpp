@@ -28,6 +28,13 @@ namespace echoimage::runtime {
 /// outside src/runtime must not include <thread> (enforced by echolint).
 [[nodiscard]] std::size_t resolve_workers(std::size_t requested);
 
+/// Worker index of the calling thread: 0 on the main thread (which acts as
+/// worker 0 of every region) and the pool-assigned index on spawned worker
+/// threads. This is what lets layers above pick an uncontended shard or
+/// trace lane without naming any threading primitive themselves — the
+/// observability layer's per-worker storage is keyed on it.
+[[nodiscard]] std::size_t current_worker() noexcept;
+
 class ThreadPool {
  public:
   /// `num_threads` is the total worker count including the calling thread;

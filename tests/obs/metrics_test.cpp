@@ -1,0 +1,133 @@
+// Property tests for the metrics registry's concurrency contract:
+// counter increments from pool workers sum exactly, histogram bucket
+// counts always equal the observation count, and gauges keep last-write
+// semantics. Lives in the concurrency suite so the `tsan` lane replays
+// every property under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace echoimage::obs {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::uint64_t kPerWorker = 20000;
+
+TEST(MetricsRegistry, GetOrCreateReturnsTheSameHandle) {
+  MetricsRegistry registry;
+  const Counter& a = registry.counter("pipeline.captures");
+  const Counter& b = registry.counter("pipeline.captures");
+  EXPECT_EQ(&a, &b);
+  const Histogram& h1 = registry.histogram("lat", {1.0, 2.0});
+  const Histogram& h2 = registry.histogram("lat", {9.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.num_buckets(), 3u);
+}
+
+TEST(MetricsRegistry, ConcurrentCounterIncrementsSumExactly) {
+  MetricsRegistry registry(MetricsConfig{kWorkers});
+  const Counter& counter = registry.counter("events");
+  echoimage::runtime::ThreadPool pool(kWorkers);
+  pool.run([&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerWorker; ++i) counter.add();
+  });
+  EXPECT_EQ(counter.value(), kPerWorker * kWorkers);
+  pool.run([&](std::size_t worker) { counter.add(worker); });
+  EXPECT_EQ(counter.value(),
+            kPerWorker * kWorkers + kWorkers * (kWorkers - 1) / 2);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationYieldsOneCounter) {
+  MetricsRegistry registry(MetricsConfig{kWorkers});
+  echoimage::runtime::ThreadPool pool(kWorkers);
+  std::vector<const Counter*> seen(kWorkers, nullptr);
+  pool.run([&](std::size_t worker) {
+    const Counter& c = registry.counter("raced");
+    seen[worker] = &c;
+    c.add();
+  });
+  for (std::size_t w = 1; w < kWorkers; ++w) EXPECT_EQ(seen[w], seen[0]);
+  EXPECT_EQ(seen[0]->value(), kWorkers);
+  EXPECT_EQ(registry.counters().size(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramBucketCountsAlwaysSumToObservations) {
+  MetricsRegistry registry(MetricsConfig{kWorkers});
+  const Histogram& hist = registry.histogram("ms", {1.0, 5.0, 25.0});
+  echoimage::runtime::ThreadPool pool(kWorkers);
+  pool.run([&](std::size_t worker) {
+    for (std::uint64_t i = 0; i < kPerWorker; ++i)
+      hist.observe(static_cast<double>((worker + i) % 40));
+  });
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t b = 0; b < hist.num_buckets(); ++b)
+    bucket_sum += hist.bucket_count(b);
+  EXPECT_EQ(bucket_sum, kPerWorker * kWorkers);
+  EXPECT_EQ(hist.count(), kPerWorker * kWorkers);
+  // Every observation lands in exactly one bucket: values 0..40 against
+  // bounds {1, 5, 25} populate all four (including overflow).
+  for (std::size_t b = 0; b < hist.num_buckets(); ++b)
+    EXPECT_GT(hist.bucket_count(b), 0u) << "bucket " << b;
+}
+
+TEST(MetricsRegistry, HistogramBoundsAreSortedAndDeduplicated) {
+  MetricsRegistry registry;
+  const Histogram& hist = registry.histogram("h", {5.0, 1.0, 5.0, 2.0});
+  ASSERT_EQ(hist.bounds().size(), 3u);
+  EXPECT_EQ(hist.bounds()[0], 1.0);
+  EXPECT_EQ(hist.bounds()[2], 5.0);
+  hist.observe(1.0);  // inclusive upper bound -> first bucket
+  hist.observe(100.0);  // beyond every bound -> overflow bucket
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+}
+
+TEST(MetricsRegistry, GaugeKeepsTheLastWriteOfASerializedRegion) {
+  MetricsRegistry registry(MetricsConfig{kWorkers});
+  const Gauge& gauge = registry.gauge("depth");
+  // Pool regions are serialized; within one, each worker writes its own
+  // value once — the surviving value must be one of the written ones, and
+  // consecutive serialized writes obey last-write-wins.
+  echoimage::runtime::ThreadPool pool(kWorkers);
+  pool.run([&](std::size_t worker) {
+    gauge.set(static_cast<double>(worker + 1));
+  });
+  const double survived = gauge.value();
+  EXPECT_GE(survived, 1.0);
+  EXPECT_LE(survived, static_cast<double>(kWorkers));
+  gauge.set(42.0);
+  gauge.set(7.0);
+  EXPECT_EQ(gauge.value(), 7.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesCountersAndHistogramsButKeepsGauges) {
+  MetricsRegistry registry;
+  const Counter& c = registry.counter("c");
+  const Histogram& h = registry.histogram("h", {1.0});
+  const Gauge& g = registry.gauge("g");
+  c.add(3);
+  h.observe(0.5);
+  g.set(2.5);
+  registry.reset_counters();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(g.value(), 2.5);
+}
+
+TEST(MetricsRegistry, RenderTextSortsByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(2);
+  registry.counter("alpha").add(1);
+  const std::string text = registry.render_text();
+  EXPECT_LT(text.find("alpha"), text.find("zeta"));
+  EXPECT_NE(text.find("counter alpha 1"), std::string::npos);
+  EXPECT_NE(text.find("counter zeta 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace echoimage::obs

@@ -1,0 +1,75 @@
+// Observability-off invariance: attaching the observability bundle must
+// not perturb the numeric pipeline by a single bit. The same seeded scene
+// is rendered with observability off (the default — null bundle, every
+// instrumentation site a dead branch) and on (full tracing + counters),
+// and the images must be exactly equal, serial and threaded alike.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/imaging.hpp"
+#include "eval/dataset.hpp"
+#include "eval/roster.hpp"
+#include "obs/observability.hpp"
+
+namespace echoimage::core {
+namespace {
+
+ImagingConfig scene_config(std::size_t num_threads) {
+  ImagingConfig cfg;
+  cfg.grid_size = 16;
+  cfg.grid_spacing_m = 0.045;
+  cfg.num_subbands = 2;
+  cfg.num_threads = num_threads;
+  return cfg;
+}
+
+std::vector<Matrix2D> render(const ImagingConfig& cfg, bool with_obs) {
+  const auto geometry = echoimage::array::make_respeaker_array();
+  const auto users =
+      echoimage::eval::make_users(echoimage::eval::make_roster(), 7);
+  const echoimage::eval::DataCollector collector(
+      echoimage::sim::CaptureConfig{}, geometry, 7);
+  echoimage::eval::CollectionConditions cond;
+  const auto batch = collector.collect(users[0], cond, 1);
+  AcousticImager imager(cfg, geometry);
+  if (with_obs) {
+    echoimage::obs::ObservabilityConfig obs_cfg;
+    obs_cfg.enabled = true;
+    obs_cfg.workers = cfg.num_threads;
+    imager.attach_observability(echoimage::obs::make_observability(obs_cfg));
+  }
+  return imager.construct_bands(batch.beeps[0], echoimage::units::Meters{0.7},
+                                0.0002, batch.noise_only);
+}
+
+void expect_bit_identical(const std::vector<Matrix2D>& off,
+                          const std::vector<Matrix2D>& on) {
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t b = 0; b < off.size(); ++b) {
+    ASSERT_EQ(off[b].size(), on[b].size());
+    for (std::size_t i = 0; i < off[b].size(); ++i)
+      ASSERT_EQ(off[b].data()[i], on[b].data()[i])
+          << "band " << b << " pixel " << i
+          << " changed when observability was enabled";
+  }
+}
+
+TEST(ObservabilityOff, SerialImagesAreBitIdenticalWithAndWithoutObs) {
+  const ImagingConfig cfg = scene_config(1);
+  expect_bit_identical(render(cfg, false), render(cfg, true));
+}
+
+TEST(ObservabilityOff, ThreadedImagesAreBitIdenticalWithAndWithoutObs) {
+  const ImagingConfig cfg = scene_config(4);
+  expect_bit_identical(render(cfg, false), render(cfg, true));
+}
+
+TEST(ObservabilityOff, DisabledConfigBuildsNoBundle) {
+  echoimage::obs::ObservabilityConfig cfg;  // enabled = false by default
+  EXPECT_EQ(echoimage::obs::make_observability(cfg), nullptr);
+}
+
+}  // namespace
+}  // namespace echoimage::core

@@ -1,0 +1,72 @@
+// Deterministic-trace golden regression: the canonical seeded scenario
+// (eval::run_trace_scenario — the same one `cli trace` drives) must
+// produce a structural report — span tree, per-stage span counts, counter
+// totals, histogram observation counts — that is byte-identical across
+// worker counts {1, 4} and matches the committed reference. Durations and
+// lane assignments are excluded by construction (see Tracer::structure).
+//
+// Regenerate (after an INTENDED instrumentation or pipeline change):
+//   ECHOIMAGE_REGEN_GOLDEN=1 ./echoimage_tests --gtest_filter='TraceGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/trace_scenario.hpp"
+
+#ifndef ECHOIMAGE_TEST_DATA_DIR
+#error "ECHOIMAGE_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace echoimage::eval {
+namespace {
+
+std::string golden_path() {
+  return std::string(ECHOIMAGE_TEST_DATA_DIR) + "/golden_trace_structure.txt";
+}
+
+std::string scenario_report(std::size_t num_threads) {
+  TraceScenarioConfig config;
+  config.num_threads = num_threads;
+  const TraceScenarioResult result = run_trace_scenario(config);
+  return result.obs->structural_report();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TraceGolden, StructuralReportMatchesCommittedReference) {
+  const std::string report = scenario_report(1);
+  if (std::getenv("ECHOIMAGE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << report;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  const std::string golden = read_file(golden_path());
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path();
+  EXPECT_EQ(report, golden)
+      << "trace structure drifted from the committed reference";
+}
+
+TEST(TraceGolden, StructureIsIdenticalAcrossWorkerCounts) {
+  // The determinism contract: parallel regions chunk by fixed grain and
+  // carry logical args, so the report cannot depend on the pool size.
+  if (std::getenv("ECHOIMAGE_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regeneration uses the serial scenario only";
+  EXPECT_EQ(scenario_report(1), scenario_report(4));
+}
+
+TEST(TraceGolden, RepeatedRunsAreByteIdentical) {
+  if (std::getenv("ECHOIMAGE_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regeneration uses a single run";
+  EXPECT_EQ(scenario_report(1), scenario_report(1));
+}
+
+}  // namespace
+}  // namespace echoimage::eval

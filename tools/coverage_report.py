@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""coverage_report: aggregate gcov JSON into an lcov-style summary.
+
+Walks a coverage-instrumented build tree (configured with
+-DECHOIMAGE_COVERAGE=ON, exercised by ctest), runs `gcov --json-format`
+on every .gcda note, merges the per-translation-unit line data — a
+header's line is covered if ANY including TU executed it — and prints
+per-directory line coverage for the first-party `src/` tree.
+
+A floor file (tools/coverage_floor.txt: `<directory> <min-percent>` per
+line, `#` comments) turns the report into a gate: any directory below
+its floor fails the run. Directories without a floor are reported but
+not enforced.
+
+Usage:
+  coverage_report.py --build-dir DIR [--root DIR] [--floor FILE]
+                     [--gcov GCOV]
+
+Exit status: 0 all floors met, 1 a floor missed, 2 setup error (no
+.gcda data, gcov missing or too old for --json-format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir: str) -> list[str]:
+    hits = []
+    # Absolute paths: run_gcov cds into the note's directory, which would
+    # strand a relative --build-dir.
+    for dirpath, _dirnames, filenames in os.walk(os.path.abspath(build_dir)):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                hits.append(os.path.join(dirpath, name))
+    return sorted(hits)
+
+
+def run_gcov(gcov: str, gcda: str) -> dict | None:
+    """One TU's coverage as parsed JSON, or None if gcov balks."""
+    result = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda],
+        capture_output=True, text=True,
+        cwd=os.path.dirname(gcda) or ".")
+    if result.returncode != 0 or not result.stdout.strip():
+        return None
+    # --stdout emits one JSON document per processed note; take each line
+    # that parses (gcov prints them newline-separated).
+    merged: dict = {"files": []}
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        merged["files"].extend(doc.get("files", []))
+    return merged
+
+
+def normalize(path: str, root: str) -> str | None:
+    """Repo-relative forward-slash path, or None for out-of-tree files."""
+    if not os.path.isabs(path):
+        path = os.path.join(root, path)
+    real = os.path.realpath(path)
+    real_root = os.path.realpath(root)
+    if not real.startswith(real_root + os.sep):
+        return None
+    return os.path.relpath(real, real_root).replace(os.sep, "/")
+
+
+def directory_of(rel_path: str) -> str:
+    parts = rel_path.split("/")
+    return "/".join(parts[:2]) if len(parts) > 1 else parts[0]
+
+
+def load_floors(path: str) -> dict[str, float]:
+    floors: dict[str, float] = {}
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise ValueError(f"bad floor line: {raw.rstrip()}")
+            floors[fields[0]] = float(fields[1])
+    return floors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--floor", default=None,
+                        help="floor file; omit to report without gating")
+    parser.add_argument("--gcov", default="gcov")
+    args = parser.parse_args()
+
+    gcda_files = find_gcda(args.build_dir)
+    if not gcda_files:
+        print(f"coverage_report: no .gcda files under {args.build_dir} — "
+              "build with -DECHOIMAGE_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    # file -> {line_number -> hit_anywhere}
+    lines_by_file: dict[str, dict[int, bool]] = {}
+    parsed_any = False
+    for gcda in gcda_files:
+        doc = run_gcov(args.gcov, gcda)
+        if doc is None:
+            continue
+        parsed_any = True
+        for entry in doc.get("files", []):
+            rel = normalize(entry.get("file", ""), args.root)
+            if rel is None or not rel.startswith("src/"):
+                continue
+            file_lines = lines_by_file.setdefault(rel, {})
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                if number is None:
+                    continue
+                hit = line.get("count", 0) > 0
+                file_lines[number] = file_lines.get(number, False) or hit
+    if not parsed_any:
+        print("coverage_report: gcov produced no JSON — needs gcov >= 9 "
+              "(--json-format)", file=sys.stderr)
+        return 2
+
+    by_dir: dict[str, list[int]] = {}  # dir -> [covered, total]
+    for rel, line_map in sorted(lines_by_file.items()):
+        slot = by_dir.setdefault(directory_of(rel), [0, 0])
+        slot[0] += sum(1 for hit in line_map.values() if hit)
+        slot[1] += len(line_map)
+
+    floors = load_floors(args.floor) if args.floor else {}
+    failures = []
+    print("Line coverage by directory (src/ tree):")
+    total_covered = total_lines = 0
+    for directory in sorted(by_dir):
+        covered, total = by_dir[directory]
+        total_covered += covered
+        total_lines += total
+        percent = 100.0 * covered / total if total else 100.0
+        floor = floors.get(directory)
+        gate = ""
+        if floor is not None:
+            ok = percent + 1e-9 >= floor
+            gate = f"  [floor {floor:.1f}% {'ok' if ok else 'FAIL'}]"
+            if not ok:
+                failures.append((directory, percent, floor))
+        print(f"  {directory:<16} {percent:6.1f}%  "
+              f"({covered} of {total} lines){gate}")
+    overall = 100.0 * total_covered / total_lines if total_lines else 100.0
+    print(f"  {'total':<16} {overall:6.1f}%  "
+          f"({total_covered} of {total_lines} lines)")
+
+    for directory in sorted(floors):
+        if directory not in by_dir:
+            failures.append((directory, 0.0, floors[directory]))
+            print(f"coverage_report: floor names unknown directory "
+                  f"{directory} (no coverage data)", file=sys.stderr)
+
+    if failures:
+        print("\ncoverage FAIL:", file=sys.stderr)
+        for directory, percent, floor in failures:
+            print(f"  {directory}: {percent:.1f}% < floor {floor:.1f}%",
+                  file=sys.stderr)
+        return 1
+    print("\ncoverage floors: "
+          + ("all met" if floors else "none enforced (no floor file)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@
 //   health    per-channel capture diagnostics (ok / degraded / dead)
 //   drift     compare captures against a background reference for
 //             environment drift (temperature, ambient floor, gains)
+//   trace     run the canonical seeded enroll+verify scenario with
+//             observability on; export a Chrome trace, the canonical
+//             structural report, and the metrics/timing summaries
 //
 // Capture directory layout: beep_000.wav, beep_001.wav, ... (one
 // multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
@@ -31,6 +34,7 @@
 #include "eval/experiment.hpp"
 #include "eval/image_io.hpp"
 #include "eval/table.hpp"
+#include "eval/trace_scenario.hpp"
 
 namespace fs = std::filesystem;
 using namespace echoimage;
@@ -364,12 +368,59 @@ int cmd_drift(const Args& args) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  eval::TraceScenarioConfig scenario;
+  scenario.seed =
+      static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  scenario.num_threads =
+      static_cast<std::size_t>(std::stoul(args.get("threads", "1")));
+  scenario.user = static_cast<std::size_t>(std::stoul(args.get("user", "0")));
+  scenario.distance_m = std::stod(args.get("distance", "0.7"));
+  scenario.enroll_beeps =
+      static_cast<std::size_t>(std::stoul(args.get("beeps", "3")));
+  scenario.verify_beeps = scenario.enroll_beeps;
+  const std::string prefix = args.get("out", "echoimage");
+
+  const eval::TraceScenarioResult result = eval::run_trace_scenario(scenario);
+  const obs::Observability& ob = *result.obs;
+
+  const std::string trace_path = prefix + ".trace.json";
+  const std::string structure_path = prefix + ".structure.txt";
+  {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "trace: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    os << ob.tracer().chrome_trace_json();
+  }
+  {
+    std::ofstream os(structure_path);
+    if (!os) {
+      std::cerr << "trace: cannot write " << structure_path << "\n";
+      return 1;
+    }
+    os << ob.structural_report();
+  }
+  std::cout << "decision: " << core::to_string(result.decision.outcome)
+            << (result.decision.accepted
+                    ? " (user " + std::to_string(result.decision.user_id) + ")"
+                    : "")
+            << "\n\n-- span timings (non-deterministic) --\n"
+            << ob.tracer().summary() << "\n-- metrics --\n"
+            << ob.metrics().render_text() << "\nwrote " << trace_path
+            << " (load via chrome://tracing or ui.perfetto.dev)\nwrote "
+            << structure_path
+            << " (canonical: identical for every --threads value)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: echoimage_cli "
-                 "<simulate|enroll|verify|image|health|drift> "
+                 "<simulate|enroll|verify|image|health|drift|trace> "
                  "[--key value ...]\n"
                  "  simulate --out DIR [--seed N --user N --distance D "
                  "--beeps L --session S --repetition R --env "
@@ -380,7 +431,9 @@ int main(int argc, char** argv) {
                  "  verify   --model FILE --dir DIR\n"
                  "  image    --dir DIR [--out PREFIX]\n"
                  "  health   --dir DIR\n"
-                 "  drift    --ref DIR --dir DIR [--dir DIR ...]\n";
+                 "  drift    --ref DIR --dir DIR [--dir DIR ...]\n"
+                 "  trace    [--out PREFIX --seed N --threads T --user N "
+                 "--distance D --beeps L]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -392,6 +445,7 @@ int main(int argc, char** argv) {
     if (cmd == "image") return cmd_image(args);
     if (cmd == "health") return cmd_health(args);
     if (cmd == "drift") return cmd_drift(args);
+    if (cmd == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

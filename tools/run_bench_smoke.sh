@@ -28,8 +28,21 @@ cmake --build "$build_dir" -j "$(nproc)" \
 status=0
 for bench in bench_faults bench_drift bench_throughput; do
   echo "=== $bench --smoke ==="
-  if ! "$build_dir/bench/$bench" --smoke; then
+  if ! (cd "$build_dir/bench" && "./$bench" --smoke); then
     echo "$bench: FAILED" >&2
+    status=1
+  fi
+done
+
+# Every bench exports a Chrome trace_event file (load in ui.perfetto.dev)
+# next to its JSON results; surface where they landed.
+echo "=== trace exports ==="
+for trace in BENCH_faults_trace.json BENCH_drift_trace.json \
+             BENCH_throughput_trace.json; do
+  if [ -f "$build_dir/bench/$trace" ]; then
+    echo "$build_dir/bench/$trace"
+  else
+    echo "missing trace export: $trace" >&2
     status=1
   fi
 done
