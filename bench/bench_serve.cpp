@@ -1,0 +1,202 @@
+// Streaming auth service under offered load: sessions/sec and latency
+// percentiles across an offered-load sweep, with the overload contract
+// checked structurally on every completion log.
+//
+// The sweep drives the deterministic (virtual-clock) AuthService with the
+// seeded synthetic cost model at multiples of nominal capacity
+// (1 / full-mode service cost). Under capacity the service decides
+// everything near the service-time floor; over capacity the admission
+// ladder and deadlines shed the excess as *abstentions* while decided
+// throughput holds near capacity instead of collapsing.
+//
+// Acceptance:
+//   * abstain-on-overload — across every load point (and the real-pipeline
+//     smoke): no completion is a reject-past-deadline and no accept is
+//     delivered past its deadline. Load shedding must never manufacture a
+//     false reject.
+//   * sheds-over-capacity — the 4x point actually sheds (the ladder
+//     engages rather than queueing without bound).
+//   * determinism — the 1x point replayed twice produces bit-identical
+//     completion logs (fingerprint match): the whole serve path is a pure
+//     function of (config, seed).
+//
+// Writes BENCH_serve.json, plus BENCH_serve_trace.json — a Chrome trace
+// export of a small real-pipeline serving run (supervisor + pipeline spans
+// under the scheduler's batching). `--smoke` shrinks the sweep for CI.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/serve_scenario.hpp"
+#include "eval/table.hpp"
+#include "obs/observability.hpp"
+
+namespace {
+
+using namespace echoimage;
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+/// The overload contract, checked frame by frame: a deadline miss must
+/// surface as an abstention (never a reject), and an accept must never be
+/// delivered late.
+bool shed_contract_holds(const eval::ServeScenarioResult& result,
+                         std::string& violation) {
+  for (const serve::CompletedFrame& f : result.log) {
+    if (f.deadline_missed &&
+        f.decision.outcome != core::AuthOutcome::kAbstained) {
+      violation = "deadline-missed frame delivered as " +
+                  std::string(core::to_string(f.decision.outcome));
+      return false;
+    }
+    if (f.decision.outcome == core::AuthOutcome::kAccepted &&
+        f.deadline_missed) {
+      violation = "accept delivered past its deadline";
+      return false;
+    }
+    if (f.decision.outcome == core::AuthOutcome::kAbstained &&
+        f.decision.abstain_reason == core::AbstainReason::kNone) {
+      violation = "abstention without a reason";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct LoadPoint {
+  double load_factor = 0.0;
+  double offered_per_s = 0.0;
+  eval::ServeScenarioResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t kSessions = 8;
+  const double kDuration = smoke ? 10.0 : 30.0;
+  const std::vector<double> kLoads =
+      smoke ? std::vector<double>{1.0, 4.0}
+            : std::vector<double>{0.5, 1.0, 2.0, 4.0};
+
+  eval::ServeScenarioConfig base;
+  base.num_sessions = kSessions;
+  base.duration_s = kDuration;
+  base.seed = 0x5EC0DE;
+  const double capacity_hz = 1.0 / base.synthetic.full_cost_s;
+
+  std::cout << "== Streaming auth service: offered-load sweep ==\n("
+            << kSessions << " sessions, " << kDuration
+            << " s virtual, nominal capacity " << eval::fmt(capacity_hz)
+            << " frames/s" << (smoke ? ", SMOKE" : "") << ")\n\n";
+
+  bool contract_ok = true;
+  std::string violation;
+  std::vector<LoadPoint> points;
+  std::vector<std::vector<std::string>> rows;
+  for (const double load : kLoads) {
+    eval::ServeScenarioConfig cfg = base;
+    cfg.rate_hz = load * capacity_hz / static_cast<double>(kSessions);
+    LoadPoint point;
+    point.load_factor = load;
+    point.result = eval::run_serve_scenario(cfg);
+    point.offered_per_s = static_cast<double>(point.result.offered) /
+                          point.result.elapsed_s;
+    if (!shed_contract_holds(point.result, violation)) contract_ok = false;
+    rows.push_back({eval::fmt(load), eval::fmt(point.offered_per_s),
+                    eval::fmt(point.result.decided_per_s),
+                    eval::fmt(point.result.p50_latency_s),
+                    eval::fmt(point.result.p99_latency_s),
+                    std::to_string(point.result.shed_total()),
+                    std::to_string(point.result.backpressured),
+                    std::to_string(point.result.retries)});
+    points.push_back(std::move(point));
+    std::cerr << '.' << std::flush;
+  }
+  std::cerr << '\n';
+
+  eval::print_table(std::cout,
+                    {"load", "offered/s", "decided/s", "p50 s", "p99 s",
+                     "shed", "backpressured", "retries"},
+                    rows);
+
+  // --- Acceptance ---
+  const LoadPoint& top = points.back();
+  const bool sheds_over_capacity = top.result.shed_total() > 0;
+
+  eval::ServeScenarioConfig det_cfg = base;
+  det_cfg.rate_hz = capacity_hz / static_cast<double>(kSessions);
+  const std::string fp_a = eval::run_serve_scenario(det_cfg).fingerprint();
+  const std::string fp_b = eval::run_serve_scenario(det_cfg).fingerprint();
+  const bool deterministic = fp_a == fp_b;
+
+  // Real-pipeline smoke: tiny enrolled fleet served end to end, traced.
+  // Measured wall costs fold into virtual time; a generous deadline keeps
+  // the point about the plumbing, not this machine's speed.
+  obs::ObservabilityConfig obs_cfg;
+  obs_cfg.enabled = true;
+  obs_cfg.workers = 1;
+  const auto obs = obs::make_observability(obs_cfg);
+  const eval::ServeLanes lanes = eval::make_serve_lanes(2, 11, 24, 8, 2);
+  eval::ServeScenarioConfig pipe_cfg;
+  pipe_cfg.num_sessions = 2;
+  pipe_cfg.rate_hz = 0.4;
+  pipe_cfg.duration_s = 5.0;
+  pipe_cfg.seed = 11;
+  pipe_cfg.lanes = &lanes;
+  pipe_cfg.service.default_deadline_s = 30.0;
+  pipe_cfg.obs = obs;
+  const eval::ServeScenarioResult pipe = eval::run_serve_scenario(pipe_cfg);
+  if (!shed_contract_holds(pipe, violation)) contract_ok = false;
+  {
+    std::ofstream trace("BENCH_serve_trace.json");
+    trace << obs->tracer().chrome_trace_json();
+  }
+
+  std::cout << "\npipeline smoke: " << pipe.completions << " completions ("
+            << pipe.accepts << " accepts, " << pipe.rejects << " rejects, "
+            << pipe.abstain_device << " device abstains, "
+            << pipe.shed_total() << " shed)"
+            << "\nabstain-on-overload contract: "
+            << (contract_ok ? "PASS" : ("FAIL (" + violation + ")"))
+            << "\nsheds over capacity (load " << eval::fmt(top.load_factor)
+            << "x: " << top.result.shed_total()
+            << " shed): " << (sheds_over_capacity ? "PASS" : "FAIL")
+            << "\ndeterminism (fingerprint " << fp_a
+            << "): " << (deterministic ? "PASS" : "FAIL") << '\n';
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\n  \"num_sessions\": " << kSessions
+       << ",\n  \"duration_s\": " << kDuration
+       << ",\n  \"capacity_hz\": " << capacity_hz << ",\n  \"smoke\": "
+       << json_bool(smoke) << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    json << "    {\"load_factor\": " << p.load_factor
+         << ", \"offered_per_s\": " << p.offered_per_s
+         << ", \"sessions_per_s\": " << p.result.decided_per_s
+         << ", \"p50_latency_s\": " << p.result.p50_latency_s
+         << ", \"p99_latency_s\": " << p.result.p99_latency_s
+         << ", \"completions\": " << p.result.completions
+         << ", \"accepts\": " << p.result.accepts
+         << ", \"rejects\": " << p.result.rejects
+         << ", \"shed_overload\": " << p.result.abstain_overload
+         << ", \"shed_deadline\": " << p.result.abstain_deadline
+         << ", \"backpressured\": " << p.result.backpressured
+         << ", \"retries\": " << p.result.retries << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"pipeline_smoke_completions\": " << pipe.completions
+       << ",\n  \"contract_pass\": " << json_bool(contract_ok)
+       << ",\n  \"shed_pass\": " << json_bool(sheds_over_capacity)
+       << ",\n  \"determinism_pass\": " << json_bool(deterministic)
+       << ",\n  \"fingerprint\": \"" << fp_a << "\"\n}\n";
+  std::cout << "\nwrote BENCH_serve.json\nwrote BENCH_serve_trace.json\n";
+
+  return contract_ok && sheds_over_capacity && deterministic ? 0 : 1;
+}

@@ -130,6 +130,17 @@ const char* to_string(AuthOutcome outcome) {
   return "?";
 }
 
+const char* to_string(AbstainReason reason) {
+  switch (reason) {
+    case AbstainReason::kNone: return "none";
+    case AbstainReason::kCapture: return "capture";
+    case AbstainReason::kDrift: return "drift";
+    case AbstainReason::kOverload: return "overload";
+    case AbstainReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
 void Authenticator::save(std::ostream& os) const {
   using namespace echoimage::ml;
   write_tag(os, "echoimage_authenticator_v1");

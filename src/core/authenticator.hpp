@@ -61,19 +61,49 @@ enum class AuthOutcome { kAccepted, kRejected, kAbstained };
 
 [[nodiscard]] const char* to_string(AuthOutcome outcome);
 
+/// Why an attempt abstained. The split matters downstream: capture/drift
+/// abstentions mean the *device* is blind (SessionMonitor's staleness
+/// lockout counts them — a session must not outlive its evidence), while
+/// overload/deadline abstentions mean the *backend* shed load under
+/// pressure with a perfectly good capture in hand. Load shedding says
+/// nothing about whether the owner is still there, so it must neither
+/// reject them nor end their session (see serve/, "abstain-on-overload").
+enum class AbstainReason {
+  kNone,      ///< the decision is not an abstention
+  kCapture,   ///< health gate failed on every attempt (dead mics, clipping)
+  kDrift,     ///< drift quarantine without successful recalibration
+  kOverload,  ///< backend shed the request before processing it
+  kDeadline,  ///< processed (or queued) past the latency budget
+};
+
+[[nodiscard]] const char* to_string(AbstainReason reason);
+
 /// Outcome of one authentication attempt.
 struct AuthDecision {
   bool accepted = false;  ///< passed the SVDD spoofer gate
   int user_id = -1;       ///< identified registered user (when accepted)
   double svdd_score = 0.0;  ///< SVDD decision value (>= 0 accepts)
   AuthOutcome outcome = AuthOutcome::kRejected;
+  /// kNone unless `outcome` is kAbstained.
+  AbstainReason abstain_reason = AbstainReason::kNone;
 
-  /// Decision for a capture that failed the health gate: no accept, no
-  /// reject, no user. SessionMonitor leaves its state untouched on these.
-  [[nodiscard]] static AuthDecision abstain() {
+  /// Decision for an attempt that produced no evidence: no accept, no
+  /// reject, no user. SessionMonitor leaves its state untouched on these
+  /// (and its staleness lockout ignores the overload/deadline reasons).
+  [[nodiscard]] static AuthDecision abstain(
+      AbstainReason reason = AbstainReason::kCapture) {
     AuthDecision d;
     d.outcome = AuthOutcome::kAbstained;
+    d.abstain_reason = reason;
     return d;
+  }
+
+  /// True for backend load-shed abstentions (overload or deadline) — the
+  /// kind that must not count as device blindness.
+  [[nodiscard]] bool shed_by_backend() const {
+    return outcome == AuthOutcome::kAbstained &&
+           (abstain_reason == AbstainReason::kOverload ||
+            abstain_reason == AbstainReason::kDeadline);
   }
 };
 

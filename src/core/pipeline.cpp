@@ -153,7 +153,8 @@ void EchoImagePipeline::validate_capture(
 
 ProcessedBeeps EchoImagePipeline::process(
     const std::vector<MultiChannelSignal>& beeps,
-    const MultiChannelSignal& noise_only) const {
+    const MultiChannelSignal& noise_only,
+    const DeadlineProbe& deadline) const {
   const obs::Tracer* const tracer = obs::Observability::tracer_of(obs_.get());
   EI_SPAN(tracer, "pipeline.process");
   if (captures_counter_ != nullptr) captures_counter_->add();
@@ -241,6 +242,13 @@ ProcessedBeeps EchoImagePipeline::process(
                                 ? out.distance.user_distance_centroid_m
                                 : out.distance.user_distance_m};
   for (std::size_t b = 0; b < use_beeps->size(); ++b) {
+    // Deadline poll sits at the per-beep boundary: each image is the
+    // expensive unit of work, and stopping between images leaves a clean
+    // prefix (never a half-built image).
+    if (deadline && deadline()) {
+      out.deadline_expired = true;
+      return out;
+    }
     EI_SPAN(tracer, "pipeline.image", b);
     out.images.push_back(AcousticImage{imager_.construct_bands(
         (*use_beeps)[b], plane, out.distance.tau_direct_s, *use_noise,

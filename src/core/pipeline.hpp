@@ -4,6 +4,7 @@
 // at enrollment.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +60,16 @@ struct SystemConfig {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Latency-budget probe threaded through the pipeline by the serving
+/// layer: returns true once the caller's deadline has passed. The
+/// pipeline polls it at stage boundaries (between per-beep images — the
+/// expensive unit of work) and stops early rather than burn compute on a
+/// result nobody will accept. An empty probe means "no deadline". The
+/// probe must be cheap and must be monotonic (once expired, stays
+/// expired); a VirtualClock-backed probe keeps the early-out bit-stable
+/// in the deterministic serve mode.
+using DeadlineProbe = std::function<bool()>;
+
 /// Images + metadata produced from one batch of beeps.
 struct ProcessedBeeps {
   DistanceEstimate distance;
@@ -70,6 +81,11 @@ struct ProcessedBeeps {
   /// gate is disabled or every channel is healthy).
   echoimage::array::ChannelMask active_mask;
   std::size_t dropped_channels = 0;  ///< masked-out (dead) channel count
+  /// True when a DeadlineProbe fired mid-run: `images` holds only the
+  /// beeps finished before expiry (possibly none). The caller must treat
+  /// the capture as abstained (AbstainReason::kDeadline), never as a
+  /// rejection — a half-processed capture is not evidence either way.
+  bool deadline_expired = false;
   /// False when the health gate condemned the capture: distance/images are
   /// absent and the caller should re-beep (see CaptureSupervisor) rather
   /// than score the attempt as a rejection.
@@ -112,9 +128,13 @@ class EchoImagePipeline {
   /// `gate_passed() == false` and no images. Structurally invalid input
   /// (wrong channel count, ragged/empty channels) throws
   /// std::invalid_argument with a message naming the offending beep.
+  /// A non-empty `deadline` is polled between per-beep images; on expiry
+  /// the result carries `deadline_expired = true` and the remaining beeps
+  /// are skipped (see DeadlineProbe).
   [[nodiscard]] ProcessedBeeps process(
       const std::vector<MultiChannelSignal>& beeps,
-      const MultiChannelSignal& noise_only = {}) const;
+      const MultiChannelSignal& noise_only = {},
+      const DeadlineProbe& deadline = {}) const;
 
   /// The structural validation half of `process`, exposed for callers that
   /// want to fail fast before capture post-processing.

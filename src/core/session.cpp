@@ -36,6 +36,16 @@ SessionMonitor::State SessionMonitor::update(const AuthDecision& decision) {
   // But they do count toward the staleness lockout — an authenticated
   // session through which the device has been blind `max_abstain_streak`
   // probes in a row has outlived its evidence and ends.
+  //
+  // Backend load-shed abstentions (overload/deadline) are exempt from the
+  // lockout: the device captured perfectly well — the *server* chose not
+  // to look. An overloaded fleet backend shedding for minutes must not
+  // log every owner out of an otherwise healthy session; they neither
+  // advance nor clear the blindness streak.
+  if (decision.shed_by_backend()) {
+    ++shed_abstains_;
+    return state_;
+  }
   if (decision.outcome == AuthOutcome::kAbstained) {
     if (state_ == State::kAuthenticated && config_.max_abstain_streak > 0 &&
         ++abstain_streak_ >= config_.max_abstain_streak) {

@@ -56,7 +56,10 @@ class SessionMonitor {
   /// individually neutral: they neither advance an unlock nor count toward
   /// a mismatch lock. But `max_abstain_streak` consecutive abstentions end
   /// an authenticated session — sustained blindness is not evidence the
-  /// owner stayed.
+  /// owner stayed. Backend load-shed abstentions (AbstainReason kOverload
+  /// / kDeadline) are fully neutral: the device was not blind, the server
+  /// shed the request, so they do not advance the staleness streak either
+  /// (an overloaded backend must not end healthy sessions).
   State update(const AuthDecision& decision);
 
   /// Drop all history and lock.
@@ -65,16 +68,23 @@ class SessionMonitor {
   /// Total state transitions (for telemetry/tests).
   [[nodiscard]] std::size_t unlock_count() const { return unlocks_; }
   [[nodiscard]] std::size_t lock_count() const { return locks_; }
+  /// Backend load-shed decisions observed (telemetry: how much of this
+  /// session's probe stream the server refused to look at).
+  [[nodiscard]] std::size_t shed_abstain_count() const {
+    return shed_abstains_;
+  }
 
  private:
   SessionMonitorConfig config_;
   State state_ = State::kLocked;
   int active_user_ = -1;
+  // Bounded by config_.window (echolint R5: the one sanctioned deque).
   std::deque<int> recent_;  ///< user ids; -1 = rejected beep
   std::size_t mismatch_streak_ = 0;
   std::size_t abstain_streak_ = 0;
   std::size_t unlocks_ = 0;
   std::size_t locks_ = 0;
+  std::size_t shed_abstains_ = 0;
 };
 
 }  // namespace echoimage::core

@@ -25,6 +25,15 @@ double jitter_unit(std::uint64_t seed, std::uint64_t attempt) {
 
 }  // namespace
 
+double backoff_step_s(const CaptureSupervisorConfig& config,
+                      std::size_t attempt) {
+  if (attempt == 0) return 0.0;
+  double nominal = config.initial_backoff_s;
+  for (std::size_t k = 1; k < attempt; ++k) nominal *= config.backoff_multiplier;
+  return nominal * (1.0 + config.backoff_jitter *
+                              jitter_unit(config.jitter_seed, attempt));
+}
+
 void CaptureSupervisorConfig::validate() const {
   if (max_attempts == 0)
     throw std::invalid_argument(
@@ -61,6 +70,12 @@ CaptureSupervisor::CaptureSupervisor(const EchoImagePipeline& pipeline,
   abstains_counter_ = &obs->metrics().counter("supervisor.abstains");
   accepts_counter_ = &obs->metrics().counter("supervisor.accepts");
   rejects_counter_ = &obs->metrics().counter("supervisor.rejects");
+  // Backoff the device actually waited per acquisition that retried.
+  // Fleet telemetry reads the spread of this histogram to confirm the
+  // seeded jitter is decorrelating re-beeps (a synchronized fleet piles
+  // into one bucket).
+  backoff_hist_ = &obs->metrics().histogram(
+      "supervisor.backoff_s", {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0});
 }
 
 const EchoImagePipeline& CaptureSupervisor::active_pipeline() const {
@@ -68,17 +83,26 @@ const EchoImagePipeline& CaptureSupervisor::active_pipeline() const {
 }
 
 SupervisedCapture CaptureSupervisor::acquire(
-    const CaptureSource& source) const {
-  return acquire_impl(source, nullptr);
+    const CaptureSource& source, const DeadlineProbe& deadline) const {
+  return acquire_impl(source, deadline, nullptr);
 }
 
 SupervisedCapture CaptureSupervisor::acquire_impl(
-    const CaptureSource& source, CaptureAttempt* last_raw) const {
+    const CaptureSource& source, const DeadlineProbe& deadline,
+    CaptureAttempt* last_raw) const {
   EI_SPAN(tracer_, "supervisor.acquire");
   SupervisedCapture out;
   double nominal = config_.initial_backoff_s;
   for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
     EI_SPAN(tracer_, "supervisor.attempt", attempt);
+    // Past the latency budget: starting (or retrying) a capture now can
+    // only produce an answer nobody will accept. Abstain immediately —
+    // the half-done state is reported, not scored.
+    if (deadline && deadline()) {
+      out.abstained = true;
+      out.processed.deadline_expired = true;
+      break;
+    }
     if (attempt > 0) {
       if (retries_counter_ != nullptr) retries_counter_->add();
       out.total_backoff_s +=
@@ -93,18 +117,26 @@ SupervisedCapture CaptureSupervisor::acquire_impl(
     if (drift_ != nullptr)
       drift_->correct(capture.beeps, capture.noise_only);
     out.processed = active_pipeline().process(capture.beeps,
-                                              capture.noise_only);
+                                              capture.noise_only, deadline);
     out.attempt_verdicts.push_back(out.processed.health.verdict);
-    if (out.processed.gate_passed()) return out;
+    if (out.processed.deadline_expired) {
+      out.abstained = true;
+      break;
+    }
+    if (out.processed.gate_passed()) break;
+    if (attempt + 1 == config_.max_attempts) out.abstained = true;
   }
-  out.abstained = true;
+  if (backoff_hist_ != nullptr && out.attempts > 1)
+    backoff_hist_->observe(out.total_backoff_s);
   return out;
 }
 
 AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
-                                             const Authenticator& auth) const {
+                                             const Authenticator& auth,
+                                             const DeadlineProbe& deadline)
+    const {
   EI_SPAN(tracer_, "supervisor.authenticate");
-  const AuthDecision decision = authenticate_impl(source, auth);
+  const AuthDecision decision = authenticate_impl(source, auth, deadline);
   switch (decision.outcome) {
     case AuthOutcome::kAccepted:
       if (accepts_counter_ != nullptr) accepts_counter_->add();
@@ -120,10 +152,14 @@ AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
 }
 
 AuthDecision CaptureSupervisor::authenticate_impl(
-    const CaptureSource& source, const Authenticator& auth) const {
+    const CaptureSource& source, const Authenticator& auth,
+    const DeadlineProbe& deadline) const {
   CaptureAttempt raw;
-  SupervisedCapture capture = acquire_impl(source, &raw);
-  if (capture.abstained) return AuthDecision::abstain();
+  SupervisedCapture capture = acquire_impl(source, deadline, &raw);
+  if (capture.abstained)
+    return AuthDecision::abstain(capture.processed.deadline_expired
+                                     ? AbstainReason::kDeadline
+                                     : AbstainReason::kCapture);
 
   if (drift_ != nullptr && drift_->has_reference()) {
     // The monitor watches the *raw* capture (its reference is raw too);
@@ -132,13 +168,17 @@ AuthDecision CaptureSupervisor::authenticate_impl(
                     capture.processed.distance.valid);
     if (drift_->quarantined()) {
       if (drift_->recalibrate() != RecalibrationOutcome::kRecalibrated)
-        return AuthDecision::abstain();  // stale calibration: don't reject
+        // Stale calibration: don't reject.
+        return AuthDecision::abstain(AbstainReason::kDrift);
       // Re-score this capture under the recalibrated physics.
       std::vector<MultiChannelSignal> beeps = raw.beeps;
       MultiChannelSignal noise = raw.noise_only;
       drift_->correct(beeps, noise);
-      capture.processed = drift_->pipeline().process(beeps, noise);
-      if (!capture.processed.gate_passed()) return AuthDecision::abstain();
+      capture.processed = drift_->pipeline().process(beeps, noise, deadline);
+      if (capture.processed.deadline_expired)
+        return AuthDecision::abstain(AbstainReason::kDeadline);
+      if (!capture.processed.gate_passed())
+        return AuthDecision::abstain(AbstainReason::kCapture);
     }
   }
 

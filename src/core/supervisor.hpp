@@ -42,6 +42,16 @@ struct CaptureSupervisorConfig {
   void validate() const;
 };
 
+/// The jittered backoff before re-beep `attempt` (1-based: attempt 1 is
+/// the first retry): nominal initial * multiplier^(attempt-1), scaled by
+/// the config's seeded jitter. Exposed so schedulers above the supervisor
+/// (the serve layer's device retry model) can place re-beeps on exactly
+/// the schedule the supervisor would have waited — a fleet that faulted
+/// together then re-beeps decorrelated by per-device seeds instead of in
+/// lockstep.
+[[nodiscard]] double backoff_step_s(const CaptureSupervisorConfig& config,
+                                    std::size_t attempt);
+
 /// One beep batch as delivered by the capture hardware (or a simulator).
 struct CaptureAttempt {
   std::vector<MultiChannelSignal> beeps;
@@ -79,7 +89,12 @@ class CaptureSupervisor {
   /// pipeline's health gate, and re-beep (with backoff) while the gate
   /// fails and attempts remain. Degraded-but-usable captures are accepted
   /// immediately — the pipeline has already masked the bad channels.
-  [[nodiscard]] SupervisedCapture acquire(const CaptureSource& source) const;
+  /// A non-empty `deadline` is polled before every attempt and threaded
+  /// into the pipeline; once expired no further attempt starts and the
+  /// capture comes back abstained (deadline_expired set on `processed`).
+  [[nodiscard]] SupervisedCapture acquire(const CaptureSource& source,
+                                          const DeadlineProbe& deadline = {})
+      const;
 
   /// Full fault-tolerant authentication of one capture: acquire, then
   /// score each beep image and majority-aggregate, abstaining when the
@@ -92,8 +107,15 @@ class CaptureSupervisor {
   /// attempts self-recalibration, and either re-scores the capture under
   /// the corrected physics or abstains — a stale calibration must not be
   /// allowed to false-reject (see core/drift.hpp).
+  ///
+  /// The returned decision's `abstain_reason` records *why* when it
+  /// abstains: kCapture (gate never passed), kDrift (quarantine without
+  /// recalibration), or kDeadline (the `deadline` probe fired — a late
+  /// answer is abstained, never returned as a reject).
   [[nodiscard]] AuthDecision authenticate(const CaptureSource& source,
-                                          const Authenticator& auth) const;
+                                          const Authenticator& auth,
+                                          const DeadlineProbe& deadline = {})
+      const;
 
   /// Route captures through `drift`: gain corrections and the recalibrated
   /// pipeline are applied in acquire/authenticate, and every authenticated
@@ -105,9 +127,12 @@ class CaptureSupervisor {
 
  private:
   SupervisedCapture acquire_impl(const CaptureSource& source,
+                                 const DeadlineProbe& deadline,
                                  CaptureAttempt* last_raw) const;
   [[nodiscard]] AuthDecision authenticate_impl(const CaptureSource& source,
-                                               const Authenticator& auth) const;
+                                               const Authenticator& auth,
+                                               const DeadlineProbe& deadline)
+      const;
   [[nodiscard]] const EchoImagePipeline& active_pipeline() const;
 
   const EchoImagePipeline* pipeline_;  ///< non-owning; outlives supervisor
@@ -121,6 +146,7 @@ class CaptureSupervisor {
   const obs::Counter* abstains_counter_ = nullptr;
   const obs::Counter* accepts_counter_ = nullptr;
   const obs::Counter* rejects_counter_ = nullptr;
+  const obs::Histogram* backoff_hist_ = nullptr;
 };
 
 }  // namespace echoimage::core

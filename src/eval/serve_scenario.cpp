@@ -1,0 +1,297 @@
+#include "eval/serve_scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "array/geometry.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/roster.hpp"
+
+namespace echoimage::eval {
+
+using echoimage::core::CaptureAttempt;
+using echoimage::core::EchoImagePipeline;
+using echoimage::core::EnrolledUser;
+using echoimage::serve::CompletedFrame;
+
+namespace {
+
+/// Per-lane enrollment features for one capture batch; throws when the
+/// batch cannot be enrolled (the seeded scenario must not silently train
+/// on thin air). `augment` mirrors the paper's enrollment: synthesized
+/// distance copies fatten the thin scenario-scale training set.
+std::vector<std::vector<double>> enroll_features(const EchoImagePipeline& lane,
+                                                 const CaptureBatch& batch,
+                                                 bool augment) {
+  const core::ProcessedBeeps processed =
+      lane.process(batch.beeps, batch.noise_only);
+  if (!processed.gate_passed() || processed.images.empty())
+    throw std::runtime_error(
+        "make_serve_lanes: enrollment capture failed the pipeline");
+  const double distance_m = processed.distance.valid
+                                ? processed.distance.user_distance_m
+                                : batch.true_distance_m;
+  return lane.features_batch(processed.images, distance_m, augment);
+}
+
+}  // namespace
+
+ServeLanes make_serve_lanes(std::size_t num_sessions, std::uint64_t seed,
+                            std::size_t grid_size, std::size_t enroll_beeps,
+                            std::size_t reduced_subbands) {
+  const std::vector<Subject> roster = make_roster();
+  const std::vector<SimulatedUser> users = make_users(roster, seed);
+  if (num_sessions == 0 || num_sessions > users.size())
+    throw std::invalid_argument(
+        "make_serve_lanes: num_sessions must be in [1, roster size]");
+
+  core::SystemConfig cfg = default_system_config();
+  cfg.imaging.grid_size = grid_size;
+  cfg.extractor.input_size = grid_size;
+  cfg.harmonize();
+  core::SystemConfig reduced_cfg = cfg;
+  reduced_cfg.imaging.num_subbands =
+      std::max<std::size_t>(1, reduced_subbands);
+  reduced_cfg.harmonize();
+
+  const echoimage::array::ArrayGeometry geometry =
+      echoimage::array::make_respeaker_array();
+  ServeLanes lanes;
+  lanes.full = std::make_unique<EchoImagePipeline>(cfg, geometry);
+  lanes.reduced = std::make_unique<EchoImagePipeline>(reduced_cfg, geometry);
+
+  echoimage::sim::CaptureConfig capture;
+  capture.sample_rate = cfg.sample_rate;
+  capture.chirp = cfg.chirp;
+  const DataCollector collector(capture, geometry, seed);
+
+  std::vector<EnrolledUser> full_users, reduced_users;
+  lanes.captures.reserve(num_sessions);
+  for (std::size_t s = 0; s < num_sessions; ++s) {
+    // Enrollment visit (augmented, as at real enrollment) plus a separate
+    // calibration visit without augmentation — synthesized copies sit
+    // arbitrarily close to their source and would deflate the SVDD accept
+    // threshold (see EnrolledUser::calibration_features).
+    CollectionConditions cond;
+    EnrolledUser full_user{users[s].subject.user_id, {}, {}};
+    EnrolledUser reduced_user{users[s].subject.user_id, {}, {}};
+    for (const int repetition : {0, 3}) {  // two enrollment visits
+      cond.repetition = repetition;
+      const CaptureBatch enroll =
+          collector.collect(users[s], cond, enroll_beeps);
+      for (auto& f : enroll_features(*lanes.full, enroll, true))
+        full_user.features.push_back(std::move(f));
+      for (auto& f : enroll_features(*lanes.reduced, enroll, true))
+        reduced_user.features.push_back(std::move(f));
+    }
+    cond.repetition = 2;
+    const CaptureBatch calib =
+        collector.collect(users[s], cond, std::max<std::size_t>(2, enroll_beeps / 2));
+    full_user.calibration_features = enroll_features(*lanes.full, calib, false);
+    reduced_user.calibration_features =
+        enroll_features(*lanes.reduced, calib, false);
+    full_users.push_back(std::move(full_user));
+    reduced_users.push_back(std::move(reduced_user));
+    // The probe the device replays at serve time: a later visit, so it is
+    // a fresh capture of the same body, not an enrollment replay.
+    cond.repetition = 1;
+    CaptureBatch probe = collector.collect(users[s], cond, 2);
+    lanes.captures.push_back(std::make_shared<const CaptureAttempt>(
+        CaptureAttempt{std::move(probe.beeps), std::move(probe.noise_only)}));
+  }
+  lanes.full_auth = core::Authenticator::train(full_users, cfg.authenticator);
+  lanes.reduced_auth =
+      core::Authenticator::train(reduced_users, reduced_cfg.authenticator);
+  return lanes;
+}
+
+namespace {
+
+/// One device-side event: session `session` submits its capture (attempt
+/// 0 = the scheduled arrival, >0 = a re-beep after backpressure or shed).
+struct Event {
+  double time_s = 0.0;
+  std::uint64_t session = 0;
+  std::size_t attempt = 0;
+};
+
+/// Min-heap order (std::push_heap keeps the max at front, so invert).
+/// Ties break by (session, attempt): event order must be a pure function
+/// of the inputs.
+bool later(const Event& a, const Event& b) {
+  if (a.time_s != b.time_s) return a.time_s > b.time_s;
+  if (a.session != b.session) return a.session > b.session;
+  return a.attempt > b.attempt;
+}
+
+}  // namespace
+
+std::string ServeScenarioResult::fingerprint() const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    h = serve::detail::mix64(h ^ v);
+  };
+  const auto fold_double = [&fold](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    fold(bits);
+  };
+  for (const CompletedFrame& f : log) {
+    fold(f.session_id);
+    fold(f.seq);
+    fold(static_cast<std::uint64_t>(f.decision.outcome));
+    fold(static_cast<std::uint64_t>(f.decision.abstain_reason));
+    fold(static_cast<std::uint64_t>(f.mode));
+    fold(f.deadline_missed ? 1 : 0);
+    fold_double(f.enqueue_time_s);
+    fold_double(f.queue_wait_s);
+    fold_double(f.service_s);
+    fold_double(f.completion_time_s);
+  }
+  std::ostringstream hex;
+  hex << std::hex << std::setw(16) << std::setfill('0') << h;
+  return hex.str();
+}
+
+ServeScenarioResult run_serve_scenario(const ServeScenarioConfig& config) {
+  serve::ServiceConfig service_cfg = config.service;
+  service_cfg.deterministic = true;  // the scenario owns a virtual timeline
+  service_cfg.ingest.num_sessions = config.num_sessions;
+
+  serve::AuthService service(
+      service_cfg, [&](const serve::Clock& clock) -> serve::FrameProcessor {
+        if (config.lanes == nullptr)
+          return serve::make_synthetic_processor(config.synthetic);
+        serve::PipelineLanes lanes;
+        lanes.full = config.lanes->full.get();
+        lanes.full_auth = &config.lanes->full_auth;
+        lanes.reduced = config.lanes->reduced.get();
+        lanes.reduced_auth = &config.lanes->reduced_auth;
+        return serve::make_pipeline_processor(lanes, service_cfg.supervisor,
+                                              clock);
+      });
+  if (config.obs != nullptr) service.attach_observability(config.obs);
+  serve::VirtualClock* vclock = service.virtual_clock();
+
+  // Per-device backoff config: same schedule, decorrelated jitter seeds —
+  // a fleet shed in the same batch re-beeps spread out, not in lockstep.
+  std::vector<core::CaptureSupervisorConfig> device_cfg(
+      config.num_sessions, service_cfg.supervisor);
+  for (std::size_t s = 0; s < config.num_sessions; ++s)
+    device_cfg[s].jitter_seed = serve::detail::mix64(
+        service_cfg.supervisor.jitter_seed ^
+        (0xD1B54A32D192ED03ULL * (static_cast<std::uint64_t>(s) + 1)));
+
+  std::vector<Event> events;
+  for (const serve::Arrival& a : serve::make_poisson_arrivals(
+           config.num_sessions, units::Hertz{config.rate_hz},
+           config.duration_s, config.seed))
+    events.push_back(Event{a.time_s, a.session_id, 0});
+  std::make_heap(events.begin(), events.end(), later);
+  const auto push_event = [&events](Event e) {
+    events.push_back(e);
+    std::push_heap(events.begin(), events.end(), later);
+  };
+  const auto pop_event = [&events] {
+    std::pop_heap(events.begin(), events.end(), later);
+    Event e = events.back();
+    events.pop_back();
+    return e;
+  };
+
+  // seq -> device attempt number, per session (seq counts every offer, so
+  // the vectors stay index-aligned with the service's numbering).
+  std::vector<std::vector<std::size_t>> attempt_of(config.num_sessions);
+
+  ServeScenarioResult result;
+  std::vector<double> latencies;
+  const auto schedule_retry = [&](std::uint64_t session, std::size_t attempt,
+                                  double after_s) {
+    if (attempt >= config.max_retries) return;
+    ++result.retries;
+    push_event(Event{
+        after_s + core::backoff_step_s(device_cfg[session], attempt + 1),
+        session, attempt + 1});
+  };
+
+  const serve::CompletionSink sink = [&](const CompletedFrame& done) {
+    result.log.push_back(done);
+    ++result.completions;
+    if (done.deadline_missed) ++result.deadline_missed;
+    latencies.push_back(
+        std::max(done.completion_time_s - done.enqueue_time_s, 0.0));
+    switch (done.decision.outcome) {
+      case core::AuthOutcome::kAccepted: ++result.accepts; break;
+      case core::AuthOutcome::kRejected: ++result.rejects; break;
+      case core::AuthOutcome::kAbstained:
+        switch (done.decision.abstain_reason) {
+          case core::AbstainReason::kOverload: ++result.abstain_overload; break;
+          case core::AbstainReason::kDeadline: ++result.abstain_deadline; break;
+          default: ++result.abstain_device; break;
+        }
+        break;
+    }
+    if (done.decision.shed_by_backend())
+      schedule_retry(done.session_id,
+                     attempt_of[done.session_id][done.seq],
+                     done.completion_time_s);
+  };
+
+  const auto submit_event = [&](const Event& e) {
+    ++result.offered;
+    attempt_of[e.session].push_back(e.attempt);
+    const serve::OfferOutcome out = service.submit(
+        e.session,
+        config.lanes != nullptr ? config.lanes->captures[e.session] : nullptr,
+        0.0, e.time_s);
+    if (out == serve::OfferOutcome::kRejectedSessionFull ||
+        out == serve::OfferOutcome::kRejectedGlobalBudget ||
+        out == serve::OfferOutcome::kRejectedUnknownSession) {
+      // Backpressure: the device kept its frame; it re-beeps after the
+      // same jittered backoff it would use for a shed.
+      ++result.backpressured;
+      schedule_retry(e.session, e.attempt, vclock->now_s());
+    }
+  };
+
+  // Event-driven drive: submit everything due, process while there is
+  // work, sleep the virtual clock to the next arrival when idle.
+  for (;;) {
+    const double now_s = vclock->now_s();
+    while (!events.empty() && events.front().time_s <= now_s)
+      submit_event(pop_event());
+    if (service.ingest().depth() == 0) {
+      if (events.empty()) break;
+      vclock->advance_to(events.front().time_s);
+      continue;
+    }
+    service.step(sink);
+  }
+
+  result.elapsed_s = std::max(vclock->now_s(), config.duration_s);
+  const std::size_t decided =
+      result.completions - result.abstain_overload - result.abstain_deadline;
+  result.decided_per_s =
+      result.elapsed_s > 0.0
+          ? static_cast<double>(decided) / result.elapsed_s
+          : 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto rank = [&latencies](double q) {
+      const double idx = q * static_cast<double>(latencies.size());
+      const std::size_t i = static_cast<std::size_t>(std::ceil(idx));
+      return latencies[std::min(latencies.size() - 1, i == 0 ? 0 : i - 1)];
+    };
+    result.p50_latency_s = rank(0.50);
+    result.p99_latency_s = rank(0.99);
+  }
+  return result;
+}
+
+}  // namespace echoimage::eval

@@ -1,0 +1,118 @@
+// Shared serving scenario: a fleet of device sessions offering capture
+// frames to one AuthService, driven event-by-event on the service's
+// virtual clock. This is the harness behind `bench_serve`, `cli serve`,
+// and the serve test suite — one implementation so the determinism
+// acceptance, the bench numbers, and the CLI demo are the same code path.
+//
+// The fleet model: arrivals are a seeded per-session Poisson process
+// (serve::make_poisson_arrivals). A device whose frame is backpressured
+// at ingest or shed by the backend (overload/deadline abstain) re-beeps
+// after the supervisor's jittered backoff schedule — the per-session
+// seeds in core::backoff_step_s are what keep a fleet that was shed
+// together from re-beeping together (the "thundering re-beep" failure
+// mode this layer exists to avoid).
+//
+// Frames are served either by the seeded synthetic processor (pure cost +
+// outcome model; bit-stable and instant — the bench's load sweep) or by
+// the real pipeline lanes (full + reduced-band, each with its own trained
+// authenticator — the smoke test that the serving layer speaks the actual
+// physics).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/authenticator.hpp"
+#include "core/pipeline.hpp"
+#include "obs/observability.hpp"
+#include "serve/service.hpp"
+
+namespace echoimage::eval {
+
+/// The trained serving lanes, owned. Build once (enrollment is the slow
+/// part), serve many scenarios.
+struct ServeLanes {
+  std::unique_ptr<core::EchoImagePipeline> full;
+  std::unique_ptr<core::EchoImagePipeline> reduced;
+  core::Authenticator full_auth;
+  core::Authenticator reduced_auth;
+  /// One pre-rendered capture per session (device), reused across
+  /// arrivals: the scenario measures the backend under load, not the
+  /// simulator's rendering throughput.
+  std::vector<std::shared_ptr<const core::CaptureAttempt>> captures;
+};
+
+/// Enroll `num_sessions` roster users on a full-band and a reduced-band
+/// pipeline (reduced = `reduced_subbands` of the configured bands; its own
+/// authenticator, because features concatenate per-band blocks) and
+/// pre-render one probe capture per session. `grid_size` trades fidelity
+/// for speed — scenarios default it small.
+[[nodiscard]] ServeLanes make_serve_lanes(std::size_t num_sessions,
+                                          std::uint64_t seed,
+                                          std::size_t grid_size = 24,
+                                          std::size_t enroll_beeps = 6,
+                                          std::size_t reduced_subbands = 2);
+
+struct ServeScenarioConfig {
+  std::size_t num_sessions = 8;
+  /// Per-session offered rate (Hz) over `duration_s` of virtual time.
+  double rate_hz = 1.0;
+  double duration_s = 20.0;
+  std::uint64_t seed = 0x5EC0DE;
+  serve::ServiceConfig service{};
+  /// Synthetic cost/outcome model (used when `lanes` is null).
+  serve::SyntheticProcessorConfig synthetic{};
+  /// Real pipeline lanes (non-owning; see make_serve_lanes). Null =
+  /// synthetic processor.
+  const ServeLanes* lanes = nullptr;
+  /// Device retry policy: re-beeps after backpressure or backend shed,
+  /// scheduled with the jittered supervisor backoff. 0 = fire-and-forget.
+  std::size_t max_retries = 2;
+  /// Optional metrics/trace bundle wired into the service (null = off).
+  std::shared_ptr<const obs::Observability> obs;
+};
+
+struct ServeScenarioResult {
+  // Offer accounting (device side).
+  std::size_t offered = 0;       ///< submit calls, retries included
+  std::size_t backpressured = 0; ///< rejected at ingest (session/global cap)
+  std::size_t retries = 0;       ///< re-beeps scheduled by the fleet model
+  // Completion accounting (backend side): every drained frame, by fate.
+  std::size_t completions = 0;
+  std::size_t accepts = 0;
+  std::size_t rejects = 0;
+  std::size_t abstain_overload = 0;  ///< shed by the admission ladder
+  std::size_t abstain_deadline = 0;  ///< stale at dequeue or demoted late
+  std::size_t abstain_device = 0;    ///< capture/drift (device-blind) abstains
+  std::size_t deadline_missed = 0;   ///< frames completed past deadline
+  // Latency over all completions (total: enqueue -> decision ready).
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  /// Virtual time span of the run and the decided-throughput over it
+  /// (completions that were NOT backend-shed, per second).
+  double elapsed_s = 0.0;
+  double decided_per_s = 0.0;
+  /// Full completion log in completion order (determinism comparisons).
+  std::vector<serve::CompletedFrame> log;
+
+  /// Order-sensitive 64-bit digest of the completion log (ids, outcomes,
+  /// reasons and exact time bit patterns): two runs are bit-identical iff
+  /// their fingerprints match.
+  [[nodiscard]] std::string fingerprint() const;
+  /// Abstentions that must never have become rejects: scenario invariant
+  /// checks read these.
+  [[nodiscard]] std::size_t shed_total() const {
+    return abstain_overload + abstain_deadline;
+  }
+};
+
+/// Run one scenario on a deterministic (virtual-clock) AuthService.
+/// `config.service.deterministic` is forced on; with the synthetic
+/// processor the result — including the fingerprint — is a pure function
+/// of `config`.
+[[nodiscard]] ServeScenarioResult run_serve_scenario(
+    const ServeScenarioConfig& config);
+
+}  // namespace echoimage::eval

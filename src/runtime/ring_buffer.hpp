@@ -1,0 +1,120 @@
+// Bounded ring buffer with explicit overflow policies — the ingest
+// primitive of the serving layer (src/serve).
+//
+// A deployed backend must never let a queue grow without bound: when the
+// offered load exceeds capacity the only honest choices are to refuse the
+// new frame (backpressure the device) or to evict the stalest one (fresh
+// evidence beats stale evidence for authentication). Both policies are
+// explicit here — there is no silent-growth mode, and echolint R5 bans
+// unbounded std::queue/std::deque outside src/serve and src/runtime so
+// this stays the only way work queues up.
+//
+// Concurrency: every operation takes a short internal lock, making the
+// ring MPSC/MPMC-safe by construction (and trivially TSan-clean). That is
+// the right trade here: elements are whole capture frames — tens of
+// milliseconds of multichannel audio arriving per device at beep rate —
+// so the critical section is nanoseconds against a millisecond cadence,
+// and a lock (unlike a lock-free SPSC ring) supports the drop-oldest
+// policy, which requires eviction from the producer side. The lock lives
+// in src/runtime because library code outside it may not name std::mutex
+// (echolint R2).
+//
+// Determinism: the ring adds no randomness and no timing dependence of
+// its own — with a single producer and consumer (the serve layer's
+// deterministic mode) the accept/drop sequence is a pure function of the
+// operation sequence, which is what the drop-policy property tests pin.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace echoimage::runtime {
+
+/// What to do with an arriving element when the ring is full.
+enum class OverflowPolicy {
+  /// Refuse the new element (backpressure: the producer is told "no").
+  kRejectNew,
+  /// Evict the oldest queued element to make room (freshness: stale
+  /// frames are worth the least in a latency-budgeted pipeline).
+  kDropOldest,
+};
+
+/// Outcome of one push.
+enum class PushOutcome {
+  kAccepted,        ///< stored; nothing displaced
+  kRejected,        ///< ring full under kRejectNew; element not stored
+  kReplacedOldest,  ///< stored; the oldest element was evicted
+};
+
+/// Fixed-capacity FIFO ring. Capacity is set at construction and never
+/// grows; `push` applies the caller's OverflowPolicy when full.
+template <typename T>
+class BoundedRing {
+ public:
+  /// `capacity` == 0 is promoted to 1 (a zero-capacity ring would turn
+  /// every push into a silent drop, which no caller means to ask for).
+  explicit BoundedRing(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedRing(const BoundedRing&) = delete;
+  BoundedRing& operator=(const BoundedRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] bool full() const { return size() == capacity(); }
+
+  /// Store `value` at the tail. When full, `policy` decides: kRejectNew
+  /// leaves the ring untouched and returns kRejected; kDropOldest evicts
+  /// the head (the element a consumer would have popped next) and returns
+  /// kReplacedOldest.
+  PushOutcome push(T value, OverflowPolicy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == slots_.size()) {
+      if (policy == OverflowPolicy::kRejectNew) return PushOutcome::kRejected;
+      // Drop-oldest: overwrite the head slot and advance the head.
+      slots_[head_] = std::move(value);
+      head_ = next(head_);
+      return PushOutcome::kReplacedOldest;
+    }
+    slots_[(head_ + count_) % slots_.size()] = std::move(value);
+    ++count_;
+    return PushOutcome::kAccepted;
+  }
+
+  /// Pop the oldest element into `out`; false when empty.
+  bool try_pop(T& out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return false;
+    out = std::move(slots_[head_]);
+    head_ = next(head_);
+    --count_;
+    return true;
+  }
+
+  /// Drop every queued element (used when a session is closed).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < count_; ++i) slots_[(head_ + i) % slots_.size()] = T{};
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const {
+    return (i + 1) % slots_.size();
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;   ///< index of the oldest element
+  std::size_t count_ = 0;  ///< queued elements
+};
+
+}  // namespace echoimage::runtime

@@ -1,0 +1,102 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace echoimage::serve {
+
+namespace {
+
+int rung(ServiceMode mode) {
+  switch (mode) {
+    case ServiceMode::kFull: return 0;
+    case ServiceMode::kReducedBand: return 1;
+    case ServiceMode::kAbstain: return 2;
+  }
+  return 0;
+}
+
+ServiceMode mode_of(int r) {
+  return r <= 0 ? ServiceMode::kFull
+                : (r == 1 ? ServiceMode::kReducedBand : ServiceMode::kAbstain);
+}
+
+}  // namespace
+
+void AdmissionConfig::validate() const {
+  if (depth_reduced == 0 || depth_abstain <= depth_reduced)
+    throw std::invalid_argument(
+        "AdmissionController: need 0 < depth_reduced < depth_abstain");
+  if (latency_reduced_s <= 0.0 || latency_abstain_s <= latency_reduced_s)
+    throw std::invalid_argument(
+        "AdmissionController: need 0 < latency_reduced_s < latency_abstain_s");
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0)
+    throw std::invalid_argument(
+        "AdmissionController: ewma_alpha must be in (0, 1]");
+  if (hysteresis < 0.0 || hysteresis >= 1.0)
+    throw std::invalid_argument(
+        "AdmissionController: hysteresis must be in [0, 1)");
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void AdmissionController::observe_latency(double service_s) {
+  if (service_s < 0.0) return;
+  if (!have_ewma_) {
+    ewma_s_ = service_s;
+    have_ewma_ = true;
+    return;
+  }
+  ewma_s_ = config_.ewma_alpha * service_s +
+            (1.0 - config_.ewma_alpha) * ewma_s_;
+}
+
+ServiceMode AdmissionController::target_mode(std::size_t queue_depth,
+                                            double relax_scale) const {
+  // Each signal independently names a rung; the ladder takes the worse.
+  const double depth = static_cast<double>(queue_depth);
+  int by_depth = 0;
+  if (depth >= static_cast<double>(config_.depth_abstain) * relax_scale)
+    by_depth = 2;
+  else if (depth >= static_cast<double>(config_.depth_reduced) * relax_scale)
+    by_depth = 1;
+  int by_latency = 0;
+  if (ewma_s_ >= config_.latency_abstain_s * relax_scale)
+    by_latency = 2;
+  else if (ewma_s_ >= config_.latency_reduced_s * relax_scale)
+    by_latency = 1;
+  return mode_of(std::max(by_depth, by_latency));
+}
+
+ServiceMode AdmissionController::update(std::size_t queue_depth) {
+  // Pressure gauge: the hotter signal, normalized to its abstain line.
+  pressure_ = std::max(
+      static_cast<double>(queue_depth) /
+          static_cast<double>(config_.depth_abstain),
+      config_.latency_abstain_s > 0.0 ? ewma_s_ / config_.latency_abstain_s
+                                      : 0.0);
+
+  const int current = rung(mode_);
+  // Escalation reads the thresholds verbatim; relaxation demands the
+  // pressure clear the step-down band below them.
+  const int up = rung(target_mode(queue_depth, 1.0));
+  if (up > current) {
+    mode_ = mode_of(up);
+    ++escalations_;
+    return mode_;
+  }
+  const int down = rung(target_mode(queue_depth, 1.0 - config_.hysteresis));
+  if (down < current) {
+    // One rung at a time: recovery is deliberately gradual, so a queue
+    // that empties because everything was shed does not slam the ladder
+    // back to kFull and immediately refill.
+    mode_ = mode_of(current - 1);
+    ++relaxations_;
+  }
+  return mode_;
+}
+
+}  // namespace echoimage::serve

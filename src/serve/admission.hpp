@@ -1,0 +1,94 @@
+// Admission control: the load-shedding ladder.
+//
+// The controller turns two observed pressure signals — ingest queue depth
+// and the EWMA of recent per-frame service latency — into a ServiceMode
+// for the next batch:
+//
+//   kFull        → the paper's pipeline, every spectral band
+//   kReducedBand → reduced-band imaging (cheaper physics, its own
+//                  calibrated authenticator — see serve/service.hpp)
+//   kAbstain     → shed without processing; the decision is an
+//                  abstention, never a reject
+//
+// Pressure is normalized so a value of 1.0 on either signal means "at the
+// configured shed threshold"; the ladder takes the max of the signals
+// (one saturated resource is enough). An asymmetric hysteresis band keeps
+// the ladder from chattering between rungs on every queue-depth wiggle:
+// stepping *up* (more degraded) is immediate — overload must be met in
+// one batch — while stepping *down* requires pressure below
+// (threshold * (1 - hysteresis)).
+//
+// Determinism: the controller is a pure state machine over the values the
+// scheduler feeds it; in virtual-clock mode those are seeded, so the
+// whole shed schedule replays bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/frame.hpp"
+
+namespace echoimage::serve {
+
+struct AdmissionConfig {
+  /// Queue depth (frames) at which the ladder reaches kReducedBand /
+  /// kAbstain on the depth signal.
+  std::size_t depth_reduced = 8;
+  std::size_t depth_abstain = 24;
+  /// EWMA service latency (seconds per frame) at which the ladder reaches
+  /// kReducedBand / kAbstain on the latency signal. Set these from the
+  /// per-stage SLO: reduced when full-mode service eats the whole budget,
+  /// abstain when even reduced mode blows through it.
+  double latency_reduced_s = 0.6;
+  double latency_abstain_s = 1.5;
+  /// EWMA smoothing factor in (0, 1]: weight of the newest observation.
+  double ewma_alpha = 0.2;
+  /// Step-down band in [0, 1): the ladder relaxes one rung only when
+  /// pressure drops below threshold * (1 - hysteresis).
+  double hysteresis = 0.2;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+  /// Feed one completed frame's service latency (seconds).
+  void observe_latency(double service_s);
+
+  /// Current smoothed service latency (0 until the first observation).
+  [[nodiscard]] double ewma_latency_s() const { return ewma_s_; }
+
+  /// Update the ladder from the current queue depth and the latency EWMA,
+  /// returning the mode for the next batch.
+  ServiceMode update(std::size_t queue_depth);
+
+  /// The rung chosen by the last update (kFull before any).
+  [[nodiscard]] ServiceMode mode() const { return mode_; }
+
+  /// Normalized pressure of the last update (1.0 = at the abstain
+  /// threshold on the hotter signal); telemetry.
+  [[nodiscard]] double pressure() const { return pressure_; }
+
+  /// Ladder transitions so far (telemetry/tests).
+  [[nodiscard]] std::uint64_t escalations() const { return escalations_; }
+  [[nodiscard]] std::uint64_t relaxations() const { return relaxations_; }
+
+ private:
+  [[nodiscard]] ServiceMode target_mode(std::size_t queue_depth,
+                                        double relax_scale) const;
+
+  AdmissionConfig config_;
+  ServiceMode mode_ = ServiceMode::kFull;
+  double ewma_s_ = 0.0;
+  bool have_ewma_ = false;
+  double pressure_ = 0.0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t relaxations_ = 0;
+};
+
+}  // namespace echoimage::serve

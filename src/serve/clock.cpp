@@ -1,0 +1,24 @@
+#include "serve/clock.hpp"
+
+#include <chrono>
+
+namespace echoimage::serve {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SteadyClock::SteadyClock() : epoch_ns_(steady_now_ns()) {}
+
+double SteadyClock::now_s() const {
+  return static_cast<double>(steady_now_ns() - epoch_ns_) * 1e-9;
+}
+
+}  // namespace echoimage::serve

@@ -1,0 +1,56 @@
+// Clock abstraction for the serving layer.
+//
+// Every latency, deadline, and backoff decision in src/serve reads one
+// Clock. Deployment wires a monotonic wall clock; the deterministic mode
+// wires a VirtualClock that only moves when the scheduler advances it —
+// arrival order, deadline hits, and shed decisions then replay bit-for-bit
+// from a seed, which is what the serve unit tests and the bench's
+// determinism acceptance pin.
+#pragma once
+
+#include <cstdint>
+
+namespace echoimage::serve {
+
+/// Monotonic seconds since an arbitrary epoch. Implementations must be
+/// non-decreasing; nothing in serve assumes a relation to calendar time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now_s() const = 0;
+};
+
+/// Manually advanced clock for deterministic scheduling. Not thread-safe:
+/// the deterministic mode runs the scheduler single-threaded (1 worker),
+/// so exactly one caller advances time.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] double now_s() const override { return now_s_; }
+
+  /// Move time forward by `dt_s` (negative deltas are ignored: a virtual
+  /// clock is monotonic like any other).
+  void advance(double dt_s) {
+    if (dt_s > 0.0) now_s_ += dt_s;
+  }
+
+  /// Jump to an absolute time, never backwards.
+  void advance_to(double t_s) {
+    if (t_s > now_s_) now_s_ = t_s;
+  }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+/// Monotonic wall clock (std::chrono::steady_clock, zeroed at
+/// construction) for the real serving path.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  [[nodiscard]] double now_s() const override;
+
+ private:
+  std::uint64_t epoch_ns_ = 0;
+};
+
+}  // namespace echoimage::serve

@@ -1,0 +1,63 @@
+#include "serve/frame.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace echoimage::serve {
+
+namespace detail {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double unit_open(std::uint64_t seed, std::uint64_t stream,
+                 std::uint64_t step) {
+  const std::uint64_t z =
+      mix64(seed + 0x9E3779B97F4A7C15ULL * (stream + 1) +
+            0xD1B54A32D192ED03ULL * (step + 1));
+  // (0, 1]: never 0, so -log() below stays finite.
+  return (static_cast<double>(z >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace detail
+
+const char* to_string(ServiceMode mode) {
+  switch (mode) {
+    case ServiceMode::kFull: return "full";
+    case ServiceMode::kReducedBand: return "reduced_band";
+    case ServiceMode::kAbstain: return "abstain";
+  }
+  return "?";
+}
+
+std::vector<Arrival> make_poisson_arrivals(std::size_t num_sessions,
+                                           units::Hertz rate,
+                                           double duration_s,
+                                           std::uint64_t seed) {
+  const double rate_hz = rate.value();
+  std::vector<Arrival> out;
+  if (rate_hz <= 0.0 || duration_s <= 0.0) return out;
+  for (std::uint64_t s = 0; s < num_sessions; ++s) {
+    double t = 0.0;
+    for (std::uint64_t k = 0;; ++k) {
+      // Exponential inter-arrival via inverse transform on the seeded
+      // per-(session, step) uniform stream.
+      t += -std::log(detail::unit_open(seed, s, k)) / rate_hz;
+      if (t >= duration_s) break;
+      out.push_back(Arrival{t, s});
+    }
+  }
+  // Merge to one global timeline. Ties (measure-zero, but belt and
+  // braces) break by session then by nothing else — arrival order must be
+  // a pure function of the inputs.
+  std::sort(out.begin(), out.end(), [](const Arrival& a, const Arrival& b) {
+    if (a.time_s != b.time_s) return a.time_s < b.time_s;
+    return a.session_id < b.session_id;
+  });
+  return out;
+}
+
+}  // namespace echoimage::serve

@@ -1,0 +1,94 @@
+// Frame and completion types flowing through the serving layer.
+//
+// One CaptureFrame is one authentication request from one device session:
+// a beep batch captured on the device, stamped with its arrival time and
+// the absolute deadline by which the backend's answer is still useful
+// (a voice command waits ~a second; after that the answer is dead air).
+// Completions carry the decision plus the per-stage latency breakdown the
+// SLO accounting is built from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/authenticator.hpp"
+#include "core/supervisor.hpp"
+#include "units/units.hpp"
+
+namespace echoimage::serve {
+
+/// Degradation rung the admission controller picked for a frame. The
+/// ladder trades fidelity for latency one step at a time: full imaging →
+/// reduced-band imaging (fewer spectral bands, same decision contract) →
+/// abstain without processing (the load-shedding floor: an abstention is
+/// never a false reject).
+enum class ServiceMode {
+  kFull,
+  kReducedBand,
+  kAbstain,
+};
+
+[[nodiscard]] const char* to_string(ServiceMode mode);
+
+/// One authentication request in flight.
+struct CaptureFrame {
+  std::uint64_t session_id = 0;
+  std::uint64_t seq = 0;  ///< per-session sequence number
+  /// Clock-domain timestamps (see serve::Clock): when the frame entered
+  /// ingest, and the absolute time past which any non-abstain answer is
+  /// worthless.
+  double enqueue_time_s = 0.0;
+  double deadline_s = 0.0;
+  /// The capture itself, shared: frames are queued, moved between rings
+  /// and worker slots, and (under drop policies) destroyed without being
+  /// processed — none of which should copy tens of milliseconds of
+  /// multichannel audio.
+  std::shared_ptr<const core::CaptureAttempt> capture;
+};
+
+/// What the scheduler did with one frame.
+struct CompletedFrame {
+  std::uint64_t session_id = 0;
+  std::uint64_t seq = 0;
+  core::AuthDecision decision;
+  ServiceMode mode = ServiceMode::kFull;  ///< rung the frame was served at
+  double enqueue_time_s = 0.0;  ///< copied from the frame (latency anchor)
+  double queue_wait_s = 0.0;   ///< ingest → dequeue
+  double service_s = 0.0;      ///< processing time (0 when shed unprocessed)
+  double completion_time_s = 0.0;  ///< clock time the decision was ready
+  bool deadline_missed = false;    ///< completed past `deadline_s`
+};
+
+namespace detail {
+
+/// splitmix64 finalizer: the project's stateless seeded-stream idiom
+/// (same construction as the supervisor's backoff jitter). Shared by the
+/// arrival process and the synthetic frame processor so every random-
+/// looking quantity in the serve layer comes from one seeded family.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z);
+
+/// Uniform draw in (0, 1] from the (seed, stream, step) lane — never 0,
+/// so -log() stays finite.
+[[nodiscard]] double unit_open(std::uint64_t seed, std::uint64_t stream,
+                               std::uint64_t step);
+
+}  // namespace detail
+
+/// One synthetic arrival: session `session_id` submits a frame at
+/// `time_s`. Produced by make_poisson_arrivals for benches and tests.
+struct Arrival {
+  double time_s = 0.0;
+  std::uint64_t session_id = 0;
+};
+
+/// Seeded deterministic open-loop arrival process: `num_sessions` devices
+/// each emitting auth requests as a Poisson process of `rate_hz` per
+/// session over [0, duration_s), merged into one time-sorted schedule.
+/// Pure function of its arguments — the serve determinism contract starts
+/// here.
+[[nodiscard]] std::vector<Arrival> make_poisson_arrivals(
+    std::size_t num_sessions, units::Hertz rate, double duration_s,
+    std::uint64_t seed);
+
+}  // namespace echoimage::serve

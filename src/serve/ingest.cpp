@@ -1,0 +1,119 @@
+#include "serve/ingest.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace echoimage::serve {
+
+void IngestConfig::validate() const {
+  if (num_sessions == 0)
+    throw std::invalid_argument("IngestQueue: num_sessions must be positive");
+  if (per_session_quota == 0)
+    throw std::invalid_argument(
+        "IngestQueue: per_session_quota must be positive");
+  if (global_budget > 0 && global_budget < per_session_quota)
+    throw std::invalid_argument(
+        "IngestQueue: global_budget must be >= per_session_quota (or 0 to "
+        "disable)");
+}
+
+const char* to_string(OfferOutcome outcome) {
+  switch (outcome) {
+    case OfferOutcome::kAccepted: return "accepted";
+    case OfferOutcome::kRejectedSessionFull: return "rejected_session_full";
+    case OfferOutcome::kReplacedOldest: return "replaced_oldest";
+    case OfferOutcome::kRejectedGlobalBudget: return "rejected_global_budget";
+    case OfferOutcome::kRejectedUnknownSession: return "rejected_unknown_session";
+  }
+  return "?";
+}
+
+IngestQueue::IngestQueue(IngestConfig config) : config_(config) {
+  config_.validate();
+  rings_.reserve(config_.num_sessions);
+  for (std::size_t s = 0; s < config_.num_sessions; ++s)
+    rings_.push_back(std::make_unique<runtime::BoundedRing<CaptureFrame>>(
+        config_.per_session_quota));
+}
+
+void IngestQueue::attach_observability(
+    std::shared_ptr<const obs::Observability> obs) {
+  if (obs == nullptr) return;
+  accepted_counter_ = &obs->metrics().counter("serve.ingest.accepted");
+  rejected_session_counter_ =
+      &obs->metrics().counter("serve.ingest.rejected_session_full");
+  rejected_global_counter_ =
+      &obs->metrics().counter("serve.ingest.rejected_global_budget");
+  replaced_counter_ = &obs->metrics().counter("serve.ingest.dropped_oldest");
+  depth_gauge_ = &obs->metrics().gauge("serve.ingest.depth");
+}
+
+OfferOutcome IngestQueue::offer(CaptureFrame frame) {
+  if (frame.session_id >= rings_.size()) {
+    ++rejected_;
+    return OfferOutcome::kRejectedUnknownSession;
+  }
+  // Global budget first: a backend at its memory cap refuses even
+  // sessions with quota to spare (drop-oldest would otherwise let total
+  // footprint ratchet to every session's quota at once).
+  const std::size_t budget = config_.global_budget == 0
+                                 ? config_.num_sessions * config_.per_session_quota
+                                 : config_.global_budget;
+  if (depth() >= budget) {
+    ++rejected_;
+    if (rejected_global_counter_ != nullptr) rejected_global_counter_->add();
+    return OfferOutcome::kRejectedGlobalBudget;
+  }
+  const std::uint64_t session = frame.session_id;
+  const runtime::PushOutcome pushed =
+      rings_[session]->push(std::move(frame), config_.overflow);
+  if (depth_gauge_ != nullptr)
+    depth_gauge_->set(static_cast<double>(depth()));
+  switch (pushed) {
+    case runtime::PushOutcome::kAccepted:
+      ++accepted_;
+      if (accepted_counter_ != nullptr) accepted_counter_->add();
+      return OfferOutcome::kAccepted;
+    case runtime::PushOutcome::kReplacedOldest:
+      ++replaced_;
+      if (replaced_counter_ != nullptr) replaced_counter_->add();
+      return OfferOutcome::kReplacedOldest;
+    case runtime::PushOutcome::kRejected:
+      break;
+  }
+  ++rejected_;
+  if (rejected_session_counter_ != nullptr) rejected_session_counter_->add();
+  return OfferOutcome::kRejectedSessionFull;
+}
+
+std::size_t IngestQueue::drain(std::size_t max_frames,
+                               std::vector<CaptureFrame>& out) {
+  std::size_t drained = 0;
+  std::size_t idle_laps = 0;  // sessions probed since the last hit
+  while (drained < max_frames && idle_laps < rings_.size()) {
+    CaptureFrame frame;
+    if (rings_[cursor_]->try_pop(frame)) {
+      out.push_back(std::move(frame));
+      ++drained;
+      idle_laps = 0;
+    } else {
+      ++idle_laps;
+    }
+    cursor_ = (cursor_ + 1) % rings_.size();
+  }
+  if (depth_gauge_ != nullptr)
+    depth_gauge_->set(static_cast<double>(depth()));
+  return drained;
+}
+
+std::size_t IngestQueue::depth() const {
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring->size();
+  return total;
+}
+
+std::size_t IngestQueue::session_depth(std::uint64_t session_id) const {
+  return session_id < rings_.size() ? rings_[session_id]->size() : 0;
+}
+
+}  // namespace echoimage::serve

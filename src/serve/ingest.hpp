@@ -1,0 +1,109 @@
+// Bounded multi-session ingest: the front door of the auth service.
+//
+// Each device session owns a fixed-quota BoundedRing of capture frames —
+// the per-session quota is the fairness mechanism (one chatty device can
+// fill only its own ring, never the backend) and the ring bound plus a
+// global frame budget is the overload mechanism (memory and staleness are
+// capped by construction; there is no unbounded queue anywhere on the
+// ingest path, a property echolint R5 enforces project-wide).
+//
+// Overflow is a policy, not an accident: kRejectNew backpressures the
+// device (it keeps its frame, may retry after backoff), kDropOldest keeps
+// the freshest evidence (the dropped frame's device simply never hears
+// back — indistinguishable from a shed, and counted). Every drop path
+// increments a named counter so the bench can reconcile offered load
+// against completions exactly.
+//
+// Determinism: sessions are stored densely by id and drained round-robin
+// from a persistent cursor, so the dequeue order is a pure function of
+// the offer sequence — no hashing, no pointer order, no timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/observability.hpp"
+#include "runtime/ring_buffer.hpp"
+#include "serve/frame.hpp"
+
+namespace echoimage::serve {
+
+struct IngestConfig {
+  /// Device sessions the queue is sized for (ids are [0, num_sessions)).
+  std::size_t num_sessions = 16;
+  /// Frames one session may have queued (its ring capacity / quota).
+  std::size_t per_session_quota = 4;
+  /// Frames queued across all sessions before new offers are rejected
+  /// outright (the backend's memory budget). 0 = num_sessions * quota
+  /// (i.e. only the per-session bound applies).
+  std::size_t global_budget = 0;
+  /// What to do when a session's ring is full.
+  runtime::OverflowPolicy overflow = runtime::OverflowPolicy::kRejectNew;
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+/// Outcome of one offer; mirrors runtime::PushOutcome plus the global cap.
+enum class OfferOutcome {
+  kAccepted,
+  kRejectedSessionFull,   ///< per-session ring full under kRejectNew
+  kReplacedOldest,        ///< accepted; session's stalest frame evicted
+  kRejectedGlobalBudget,  ///< total queued frames at the global budget
+  kRejectedUnknownSession,
+};
+
+[[nodiscard]] const char* to_string(OfferOutcome outcome);
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(IngestConfig config);
+
+  [[nodiscard]] const IngestConfig& config() const { return config_; }
+
+  /// Wire drop/depth accounting into `obs` (null = off). Call before
+  /// serving traffic.
+  void attach_observability(std::shared_ptr<const obs::Observability> obs);
+
+  /// Submit one frame (any thread). The frame's session_id picks the
+  /// ring; the configured OverflowPolicy applies when it is full.
+  OfferOutcome offer(CaptureFrame frame);
+
+  /// Dequeue up to `max_frames` frames round-robin across sessions (one
+  /// frame per session per lap, resuming at the cursor left by the last
+  /// drain), appended to `out`. Returns the number dequeued. Single
+  /// consumer: the scheduler.
+  std::size_t drain(std::size_t max_frames, std::vector<CaptureFrame>& out);
+
+  /// Total frames currently queued (exact only while quiescent; the
+  /// scheduler reads it between batches, where it is exact in the
+  /// deterministic mode and a faithful snapshot otherwise).
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t session_depth(std::uint64_t session_id) const;
+
+  /// Offer accounting since construction (exact, monotonic).
+  [[nodiscard]] std::uint64_t accepted_count() const { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected_count() const { return rejected_; }
+  [[nodiscard]] std::uint64_t replaced_count() const { return replaced_; }
+
+ private:
+  IngestConfig config_;
+  std::vector<std::unique_ptr<runtime::BoundedRing<CaptureFrame>>> rings_;
+  std::size_t cursor_ = 0;  ///< round-robin resume point
+  // Plain tallies: offer() callers are expected to be serialized per
+  // session (each device submits its own frames in order); cross-session
+  // counts are read between batches. The obs counters below are the
+  // thread-hardened view.
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t replaced_ = 0;
+  const obs::Counter* accepted_counter_ = nullptr;
+  const obs::Counter* rejected_session_counter_ = nullptr;
+  const obs::Counter* rejected_global_counter_ = nullptr;
+  const obs::Counter* replaced_counter_ = nullptr;
+  const obs::Gauge* depth_gauge_ = nullptr;
+};
+
+}  // namespace echoimage::serve

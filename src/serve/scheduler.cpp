@@ -1,0 +1,193 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace echoimage::serve {
+
+namespace {
+
+/// Absolute deadlines <= 0 mean "no deadline" (enrollment traffic, tests).
+bool has_deadline(const CaptureFrame& frame) { return frame.deadline_s > 0.0; }
+
+}  // namespace
+
+void SchedulerConfig::validate() const {
+  if (max_batch == 0)
+    throw std::invalid_argument("SessionScheduler: max_batch must be positive");
+  admission.validate();
+}
+
+SessionScheduler::SessionScheduler(SchedulerConfig config, IngestQueue& ingest,
+                                   Clock& clock, FrameProcessor processor,
+                                   VirtualClock* virtual_clock)
+    : config_(config),
+      ingest_(&ingest),
+      clock_(&clock),
+      processor_(std::move(processor)),
+      virtual_clock_(virtual_clock),
+      admission_(config.admission) {
+  config_.validate();
+  if (processor_ == nullptr)
+    throw std::invalid_argument("SessionScheduler: processor must be set");
+  const std::size_t workers = runtime::resolve_workers(config_.num_threads);
+  if (virtual_clock_ != nullptr && workers != 1)
+    throw std::invalid_argument(
+        "SessionScheduler: a VirtualClock requires num_threads == 1 (virtual "
+        "time advances on the scheduler thread only)");
+  if (workers > 1) pool_ = std::make_shared<runtime::ThreadPool>(workers);
+}
+
+void SessionScheduler::attach_observability(
+    std::shared_ptr<const obs::Observability> obs) {
+  if (obs == nullptr) return;
+  auto& metrics = obs->metrics();
+  completed_counter_ = &metrics.counter("serve.sched.completed");
+  shed_overload_counter_ = &metrics.counter("serve.shed.overload");
+  shed_stale_counter_ = &metrics.counter("serve.shed.stale");
+  demoted_late_counter_ = &metrics.counter("serve.shed.deadline");
+  mode_full_counter_ = &metrics.counter("serve.mode.full");
+  mode_reduced_counter_ = &metrics.counter("serve.mode.reduced");
+  // Bounds bracket the per-stage SLOs in AdmissionConfig: the reduced /
+  // abstain thresholds land on bucket edges so the shed decision is
+  // readable straight off the histogram.
+  queue_wait_hist_ = &metrics.histogram(
+      "serve.latency.queue_s", {0.01, 0.05, 0.1, 0.3, 0.6, 1.5, 3.0});
+  service_hist_ = &metrics.histogram(
+      "serve.latency.service_s", {0.01, 0.05, 0.1, 0.3, 0.6, 1.5, 3.0});
+  total_latency_hist_ = &metrics.histogram(
+      "serve.latency.total_s", {0.05, 0.1, 0.3, 0.6, 1.5, 3.0, 6.0});
+  ewma_gauge_ = &metrics.gauge("serve.sched.ewma_service_s");
+  pressure_gauge_ = &metrics.gauge("serve.sched.pressure");
+}
+
+std::size_t SessionScheduler::run_once(const CompletionSink& sink) {
+  // Pressure is read before draining: the ladder reacts to the backlog
+  // this batch is up against, not the backlog it leaves behind.
+  const std::size_t depth_before = ingest_->depth();
+
+  std::vector<CaptureFrame> batch;
+  batch.reserve(config_.max_batch);
+  const std::size_t drained = ingest_->drain(config_.max_batch, batch);
+  if (drained == 0) return 0;
+
+  const ServiceMode mode = admission_.update(depth_before);
+  const double dequeue_s = clock_->now_s();
+
+  // Triage: frames already past deadline are stale (compute would be pure
+  // waste) and the ladder floor sheds everything unprocessed.
+  enum class Disposition : unsigned char { kProcess, kStale, kOverload };
+  std::vector<Disposition> dispo(batch.size(), Disposition::kProcess);
+  std::vector<std::size_t> work;  // indices into batch, submission order
+  work.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (has_deadline(batch[i]) && dequeue_s >= batch[i].deadline_s) {
+      dispo[i] = Disposition::kStale;
+    } else if (mode == ServiceMode::kAbstain) {
+      dispo[i] = Disposition::kOverload;
+    } else {
+      work.push_back(i);
+    }
+  }
+
+  std::vector<FrameResult> results(batch.size());
+  std::vector<double> service_s(batch.size(), 0.0);
+  std::vector<double> completion_s(batch.size(), dequeue_s);
+  if (pool_ == nullptr) {
+    // One worker: sequential in submission order. With a VirtualClock
+    // every frame's completion time is the running sum of reported costs —
+    // the deterministic mode's entire timing model.
+    for (const std::size_t i : work) {
+      const double start_s = clock_->now_s();
+      results[i] = processor_(batch[i], mode);
+      if (virtual_clock_ != nullptr)
+        virtual_clock_->advance(std::max(results[i].cost_s, 0.0));
+      completion_s[i] = clock_->now_s();
+      service_s[i] = virtual_clock_ != nullptr ? results[i].cost_s
+                                               : completion_s[i] - start_s;
+    }
+  } else {
+    // Static stride partition: frame i runs on worker i % W, so the
+    // frame→worker assignment (though not the finish order) is
+    // reproducible. Workers touch disjoint slots; the clock here is a
+    // SteadyClock, safe to read concurrently.
+    pool_->run([&](std::size_t worker) {
+      for (std::size_t k = worker; k < work.size();
+           k += pool_->num_workers()) {
+        const std::size_t i = work[k];
+        const double start_s = clock_->now_s();
+        results[i] = processor_(batch[i], mode);
+        completion_s[i] = clock_->now_s();
+        service_s[i] = completion_s[i] - start_s;
+      }
+    });
+  }
+
+  // Completion pass, submission order: exactly one CompletedFrame per
+  // drained frame, deadline demotion applied after the fact.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const CaptureFrame& frame = batch[i];
+    CompletedFrame done;
+    done.session_id = frame.session_id;
+    done.seq = frame.seq;
+    done.enqueue_time_s = frame.enqueue_time_s;
+    done.queue_wait_s = std::max(dequeue_s - frame.enqueue_time_s, 0.0);
+    done.service_s = service_s[i];
+    done.completion_time_s = completion_s[i];
+    switch (dispo[i]) {
+      case Disposition::kStale:
+        done.mode = ServiceMode::kAbstain;
+        done.decision =
+            core::AuthDecision::abstain(core::AbstainReason::kDeadline);
+        done.deadline_missed = true;
+        ++shed_stale_;
+        if (shed_stale_counter_ != nullptr) shed_stale_counter_->add();
+        break;
+      case Disposition::kOverload:
+        done.mode = ServiceMode::kAbstain;
+        done.decision =
+            core::AuthDecision::abstain(core::AbstainReason::kOverload);
+        ++shed_overload_;
+        if (shed_overload_counter_ != nullptr) shed_overload_counter_->add();
+        break;
+      case Disposition::kProcess: {
+        done.mode = mode;
+        admission_.observe_latency(service_s[i]);
+        const bool late =
+            has_deadline(frame) && completion_s[i] > frame.deadline_s;
+        if (late) {
+          // The computed decision — whatever it was — is dead air now; a
+          // late accept must never unlock a door.
+          done.decision =
+              core::AuthDecision::abstain(core::AbstainReason::kDeadline);
+          done.deadline_missed = true;
+          ++demoted_late_;
+          if (demoted_late_counter_ != nullptr) demoted_late_counter_->add();
+        } else {
+          done.decision = results[i].decision;
+          ++completed_;
+          if (completed_counter_ != nullptr) completed_counter_->add();
+        }
+        if (mode == ServiceMode::kFull) {
+          if (mode_full_counter_ != nullptr) mode_full_counter_->add();
+        } else if (mode_reduced_counter_ != nullptr) {
+          mode_reduced_counter_->add();
+        }
+        if (service_hist_ != nullptr) service_hist_->observe(service_s[i]);
+        break;
+      }
+    }
+    if (queue_wait_hist_ != nullptr) queue_wait_hist_->observe(done.queue_wait_s);
+    if (total_latency_hist_ != nullptr)
+      total_latency_hist_->observe(
+          std::max(done.completion_time_s - frame.enqueue_time_s, 0.0));
+    if (sink) sink(done);
+  }
+
+  if (ewma_gauge_ != nullptr) ewma_gauge_->set(admission_.ewma_latency_s());
+  if (pressure_gauge_ != nullptr) pressure_gauge_->set(admission_.pressure());
+  return drained;
+}
+
+}  // namespace echoimage::serve

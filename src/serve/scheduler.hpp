@@ -1,0 +1,133 @@
+// Session scheduler: drains the ingest queue in round-robin batches,
+// fans the frames of a batch out across sessions onto a runtime
+// ThreadPool, and enforces per-frame deadlines and the admission ladder.
+//
+// Parallelism is ACROSS frames, never within one: each frame is processed
+// by a serial pipeline on one worker while its batch-mates run on the
+// others. (A frame's own pipeline must not share the scheduler's pool —
+// ThreadPool serializes overlapping regions, so a worker re-entering the
+// pool would deadlock; the service constructs its pipelines with
+// num_threads = 1 for exactly this reason.)
+//
+// Deadline discipline, in order:
+//   * already past deadline at dequeue  → abstain(kDeadline), unprocessed
+//     (the frame went stale in the queue; compute would be pure waste);
+//   * admission ladder says kAbstain    → abstain(kOverload), unprocessed;
+//   * completed past its deadline       → the decision — accept, reject,
+//     or otherwise — is demoted to abstain(kDeadline). A late accept must
+//     never unlock a door, and a late reject must never count against the
+//     owner.
+//
+// Time: the scheduler reads one serve::Clock. In deterministic mode the
+// clock is a VirtualClock (1 worker required) advanced by the per-frame
+// costs the processor reports, so batch completion times — and therefore
+// every deadline decision — are a pure function of the arrival schedule
+// and the cost model. With a SteadyClock the same code path measures real
+// elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/observability.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/clock.hpp"
+#include "serve/ingest.hpp"
+
+namespace echoimage::serve {
+
+/// What a frame processor hands back: the decision plus the service cost
+/// it wants accounted. With a VirtualClock the cost *is* the frame's
+/// virtual service time (a synthetic model, or real compute measured by
+/// the processor and folded into virtual time); with a SteadyClock it
+/// still feeds the admission EWMA.
+struct FrameResult {
+  core::AuthDecision decision;
+  double cost_s = 0.0;
+};
+
+/// Serves one frame at the given ladder rung. Called from pool workers —
+/// implementations must be safe to invoke concurrently on distinct
+/// frames (the pipeline-backed processor is: it only reads const state).
+using FrameProcessor =
+    std::function<FrameResult(const CaptureFrame&, ServiceMode)>;
+
+/// Receives every completion, in batch order (deterministic given the
+/// offer sequence). Called from the scheduler's own thread.
+using CompletionSink = std::function<void(const CompletedFrame&)>;
+
+struct SchedulerConfig {
+  /// Frames drained per run_once (the batching grain across sessions).
+  std::size_t max_batch = 8;
+  /// Pool workers for the cross-frame fan-out; 1 = inline (required for
+  /// VirtualClock), 0 = one per hardware thread.
+  std::size_t num_threads = 1;
+  AdmissionConfig admission{};
+
+  /// Throws std::invalid_argument when inconsistent.
+  void validate() const;
+};
+
+class SessionScheduler {
+ public:
+  /// `ingest` and `clock` must outlive the scheduler. Pass `virtual_clock`
+  /// (the same object as `clock`) to enter deterministic mode; requires
+  /// num_threads == 1 (throws std::invalid_argument otherwise).
+  SessionScheduler(SchedulerConfig config, IngestQueue& ingest, Clock& clock,
+                   FrameProcessor processor,
+                   VirtualClock* virtual_clock = nullptr);
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+
+  /// Wire latency histograms and shed counters into `obs` (null = off).
+  void attach_observability(std::shared_ptr<const obs::Observability> obs);
+
+  /// Drain and serve one batch; every drained frame produces exactly one
+  /// completion through `sink`. Returns the number of frames drained (0 =
+  /// queue was empty; the caller owns what to do with idle time).
+  std::size_t run_once(const CompletionSink& sink);
+
+  /// Totals since construction (telemetry/tests).
+  [[nodiscard]] std::uint64_t completed_count() const { return completed_; }
+  [[nodiscard]] std::uint64_t shed_overload_count() const {
+    return shed_overload_;
+  }
+  [[nodiscard]] std::uint64_t shed_stale_count() const { return shed_stale_; }
+  [[nodiscard]] std::uint64_t demoted_late_count() const {
+    return demoted_late_;
+  }
+
+ private:
+  SchedulerConfig config_;
+  IngestQueue* ingest_;
+  Clock* clock_;
+  FrameProcessor processor_;
+  VirtualClock* virtual_clock_;
+  std::shared_ptr<runtime::ThreadPool> pool_;  ///< null when num_threads == 1
+  AdmissionController admission_;
+
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_overload_ = 0;  ///< ladder floor: never processed
+  std::uint64_t shed_stale_ = 0;     ///< stale at dequeue: never processed
+  std::uint64_t demoted_late_ = 0;   ///< processed, finished late, demoted
+
+  const obs::Counter* completed_counter_ = nullptr;
+  const obs::Counter* shed_overload_counter_ = nullptr;
+  const obs::Counter* shed_stale_counter_ = nullptr;
+  const obs::Counter* demoted_late_counter_ = nullptr;
+  const obs::Counter* mode_full_counter_ = nullptr;
+  const obs::Counter* mode_reduced_counter_ = nullptr;
+  const obs::Histogram* queue_wait_hist_ = nullptr;
+  const obs::Histogram* service_hist_ = nullptr;
+  const obs::Histogram* total_latency_hist_ = nullptr;
+  const obs::Gauge* ewma_gauge_ = nullptr;
+  const obs::Gauge* pressure_gauge_ = nullptr;
+};
+
+}  // namespace echoimage::serve

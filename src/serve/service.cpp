@@ -1,0 +1,198 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace echoimage::serve {
+
+core::CaptureSupervisorConfig serve_supervisor_config() {
+  core::CaptureSupervisorConfig cfg;
+  // A backend cannot re-beep: only the device holding the microphone can
+  // produce a fresh capture, so within one frame there is one attempt.
+  cfg.max_attempts = 1;
+  // The backoff schedule is consumed device-side (backoff_step_s) when a
+  // shed session retries; the jitter is what keeps a fleet shed together
+  // from re-beeping together.
+  cfg.backoff_jitter = 0.1;
+  cfg.jitter_seed = 0xEC05EEDULL;
+  return cfg;
+}
+
+void ServiceConfig::validate() const {
+  ingest.validate();
+  scheduler.validate();
+  supervisor.validate();
+  if (default_deadline_s <= 0.0)
+    throw std::invalid_argument(
+        "AuthService: default_deadline_s must be positive");
+  if (deterministic &&
+      runtime::resolve_workers(scheduler.num_threads) != 1)
+    throw std::invalid_argument(
+        "AuthService: deterministic mode requires scheduler.num_threads == 1");
+}
+
+namespace {
+
+ServiceConfig validated(ServiceConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+AuthService::AuthService(ServiceConfig config, FrameProcessor processor)
+    : AuthService(std::move(config),
+                  ProcessorFactory([p = std::move(processor)](const Clock&) {
+                    return p;
+                  })) {}
+
+AuthService::AuthService(ServiceConfig config, const ProcessorFactory& factory)
+    : config_(validated(std::move(config))), ingest_(config_.ingest) {
+  if (config_.deterministic) {
+    auto clock = std::make_unique<VirtualClock>();
+    virtual_clock_ = clock.get();
+    clock_ = std::move(clock);
+  } else {
+    clock_ = std::make_unique<SteadyClock>();
+  }
+  scheduler_ = std::make_unique<SessionScheduler>(
+      config_.scheduler, ingest_, *clock_, factory(*clock_), virtual_clock_);
+  seq_.assign(config_.ingest.num_sessions, 0);
+}
+
+void AuthService::attach_observability(
+    std::shared_ptr<const obs::Observability> obs) {
+  ingest_.attach_observability(obs);
+  scheduler_->attach_observability(std::move(obs));
+}
+
+OfferOutcome AuthService::submit(
+    std::uint64_t session_id,
+    std::shared_ptr<const core::CaptureAttempt> capture, double deadline_s,
+    double enqueue_time_s) {
+  CaptureFrame frame;
+  frame.session_id = session_id;
+  // Sequence every offer, accepted or not: a rejected frame still existed
+  // on the device, and seq gaps in the completion log are how tests
+  // reconcile offered load against outcomes.
+  if (session_id < seq_.size()) frame.seq = seq_[session_id]++;
+  const double now_s = clock_->now_s();
+  frame.enqueue_time_s =
+      enqueue_time_s >= 0.0 ? std::min(enqueue_time_s, now_s) : now_s;
+  frame.deadline_s =
+      deadline_s > 0.0 ? deadline_s
+                       : frame.enqueue_time_s + config_.default_deadline_s;
+  frame.capture = std::move(capture);
+  return ingest_.offer(std::move(frame));
+}
+
+std::size_t AuthService::step(const CompletionSink& sink) {
+  return scheduler_->run_once(sink);
+}
+
+std::size_t AuthService::drain_all(const CompletionSink& sink) {
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t drained = scheduler_->run_once(sink);
+    if (drained == 0) return total;
+    total += drained;
+  }
+}
+
+std::uint64_t AuthService::submitted(std::uint64_t session_id) const {
+  return session_id < seq_.size() ? seq_[session_id] : 0;
+}
+
+FrameProcessor make_pipeline_processor(
+    const PipelineLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
+    const Clock& clock, double synthetic_full_cost_s,
+    double synthetic_reduced_cost_s) {
+  if (lanes.full == nullptr || lanes.full_auth == nullptr)
+    throw std::invalid_argument(
+        "make_pipeline_processor: the full lane (pipeline + authenticator) is "
+        "required");
+  if ((lanes.reduced == nullptr) != (lanes.reduced_auth == nullptr))
+    throw std::invalid_argument(
+        "make_pipeline_processor: the reduced lane needs both its pipeline "
+        "and its authenticator (features are a different dimensionality)");
+
+  struct Lane {
+    std::unique_ptr<core::CaptureSupervisor> supervisor;
+    const core::Authenticator* auth;
+  };
+  auto full = std::make_shared<Lane>(
+      Lane{std::make_unique<core::CaptureSupervisor>(*lanes.full, supervisor),
+           lanes.full_auth});
+  std::shared_ptr<Lane> reduced;
+  if (lanes.reduced != nullptr)
+    reduced = std::make_shared<Lane>(
+        Lane{std::make_unique<core::CaptureSupervisor>(*lanes.reduced,
+                                                       supervisor),
+             lanes.reduced_auth});
+  // Wall-time measurement for the cost report (unused when synthetic
+  // costs are given): its own steady clock, because `clock` may be the
+  // scheduler's VirtualClock, frozen during processing.
+  auto stopwatch = std::make_shared<SteadyClock>();
+  const Clock* deadline_clock = &clock;
+
+  return [full, reduced, stopwatch, deadline_clock, synthetic_full_cost_s,
+          synthetic_reduced_cost_s](const CaptureFrame& frame,
+                                    ServiceMode mode) -> FrameResult {
+    const bool use_reduced =
+        mode == ServiceMode::kReducedBand && reduced != nullptr;
+    const Lane& lane = use_reduced ? *reduced : *full;
+    core::DeadlineProbe probe;
+    if (frame.deadline_s > 0.0) {
+      const double deadline_s = frame.deadline_s;
+      probe = [deadline_clock, deadline_s] {
+        return deadline_clock->now_s() >= deadline_s;
+      };
+    }
+    // The device already captured; the source just replays the frame.
+    const core::CaptureSource source =
+        [&frame](std::size_t) -> core::CaptureAttempt {
+      return frame.capture != nullptr ? *frame.capture
+                                      : core::CaptureAttempt{};
+    };
+    const double start_s = stopwatch->now_s();
+    FrameResult result;
+    result.decision = lane.supervisor->authenticate(source, *lane.auth, probe);
+    const double synthetic =
+        use_reduced ? synthetic_reduced_cost_s : synthetic_full_cost_s;
+    result.cost_s =
+        synthetic_full_cost_s > 0.0 ? synthetic : stopwatch->now_s() - start_s;
+    return result;
+  };
+}
+
+FrameProcessor make_synthetic_processor(SyntheticProcessorConfig config) {
+  return [config](const CaptureFrame& frame, ServiceMode mode) -> FrameResult {
+    // Two independent seeded lanes per (session, seq): one for the
+    // outcome, one for the cost wiggle.
+    const double u_outcome =
+        detail::unit_open(config.seed, frame.session_id, frame.seq);
+    const double u_cost = detail::unit_open(config.seed ^ 0xC057C057ULL,
+                                            frame.session_id, frame.seq);
+    FrameResult result;
+    if (u_outcome <= config.accept_rate) {
+      result.decision.accepted = true;
+      result.decision.user_id = static_cast<int>(frame.session_id);
+      result.decision.outcome = core::AuthOutcome::kAccepted;
+      result.decision.svdd_score = 1.0 - u_outcome;
+    } else {
+      result.decision.accepted = false;
+      result.decision.outcome = core::AuthOutcome::kRejected;
+      result.decision.svdd_score = -u_outcome;
+    }
+    const double base = mode == ServiceMode::kReducedBand
+                            ? config.reduced_cost_s
+                            : config.full_cost_s;
+    result.cost_s = base * (1.0 + config.cost_jitter * (2.0 * u_cost - 1.0));
+    return result;
+  };
+}
+
+}  // namespace echoimage::serve

@@ -1,0 +1,161 @@
+// AuthService: the streaming authentication backend, assembled.
+//
+// One service = one bounded IngestQueue + one SessionScheduler + one
+// clock, behind a two-call API: devices `submit` capture frames, the
+// serving loop calls `step` to drain and serve a batch. Everything else —
+// admission ladder, deadlines, shed accounting — happens inside.
+//
+// Two clock domains, one code path:
+//   * deterministic = true  → a VirtualClock the scheduler advances from
+//     reported frame costs; with the synthetic processor the whole run
+//     (completions, sheds, deadline misses) is a bit-stable pure function
+//     of (config, arrival schedule, seed). Requires 1 scheduler worker.
+//   * deterministic = false → a SteadyClock; same logic against real time.
+//
+// Frame processors: `make_pipeline_processor` serves frames through the
+// real EchoImage pipeline — two lanes, full and reduced-band, each with
+// its own trained Authenticator, because pipeline features concatenate
+// per-band blocks and a reduced-band image is a different feature space.
+// `make_synthetic_processor` replaces the physics with a seeded cost +
+// outcome model for benches and scheduler tests.
+//
+// Backend supervision: the serve supervisor default (see
+// `serve_supervisor_config`) uses max_attempts = 1 — a backend cannot
+// re-beep; only the device holding the microphone can. Device-side
+// retries after an abstain are scheduled by the caller using
+// core::backoff_step_s with the same config, whose nonzero seeded
+// backoff_jitter keeps a fleet that was shed together from re-beeping in
+// lockstep (see eval/serve_scenario.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/supervisor.hpp"
+#include "obs/observability.hpp"
+#include "serve/clock.hpp"
+#include "serve/frame.hpp"
+#include "serve/ingest.hpp"
+#include "serve/scheduler.hpp"
+
+namespace echoimage::serve {
+
+/// Supervisor defaults for the serving path: single attempt (re-beeps are
+/// device-side) and — deliberately nonzero, unlike the library default —
+/// seeded backoff jitter, so the device retry schedules derived from this
+/// config desynchronize across a fleet.
+[[nodiscard]] core::CaptureSupervisorConfig serve_supervisor_config();
+
+struct ServiceConfig {
+  IngestConfig ingest{};
+  SchedulerConfig scheduler{};
+  core::CaptureSupervisorConfig supervisor = serve_supervisor_config();
+  /// Latency budget granted to a frame submitted without an explicit
+  /// deadline: absolute deadline = enqueue time + this.
+  double default_deadline_s = 1.5;
+  /// Virtual clock + single worker + reported costs = bit-stable runs.
+  bool deterministic = false;
+
+  /// Throws std::invalid_argument when inconsistent (e.g. deterministic
+  /// with more than one scheduler worker).
+  void validate() const;
+};
+
+/// Builds the frame processor against the service's own clock — the hook
+/// for processors that need deadline probes in the service's time domain
+/// (make_pipeline_processor) before that clock exists.
+using ProcessorFactory = std::function<FrameProcessor(const Clock& clock)>;
+
+class AuthService {
+ public:
+  AuthService(ServiceConfig config, FrameProcessor processor);
+  AuthService(ServiceConfig config, const ProcessorFactory& factory);
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] Clock& clock() { return *clock_; }
+  [[nodiscard]] const Clock& clock() const { return *clock_; }
+  /// Non-null only in deterministic mode; the test/bench driver advances
+  /// it to the next arrival between steps.
+  [[nodiscard]] VirtualClock* virtual_clock() { return virtual_clock_; }
+
+  [[nodiscard]] const IngestQueue& ingest() const { return ingest_; }
+  [[nodiscard]] const SessionScheduler& scheduler() const {
+    return *scheduler_;
+  }
+
+  /// Wire ingest + scheduler metrics into `obs` (null = off).
+  void attach_observability(std::shared_ptr<const obs::Observability> obs);
+
+  /// Submit one capture for `session_id`, stamped with the current clock
+  /// time and sequenced per session. `deadline_s` is the absolute answer-
+  /// by time; <= 0 applies `default_deadline_s` from the enqueue stamp.
+  /// `enqueue_time_s` >= 0 backdates the stamp (clamped to now) — the
+  /// simulation hook for arrivals that occurred while the virtual-clock
+  /// scheduler was mid-batch.
+  OfferOutcome submit(std::uint64_t session_id,
+                      std::shared_ptr<const core::CaptureAttempt> capture,
+                      double deadline_s = 0.0, double enqueue_time_s = -1.0);
+
+  /// Serve one batch; every drained frame reaches `sink` exactly once.
+  /// Returns frames drained (0 = nothing queued).
+  std::size_t step(const CompletionSink& sink);
+
+  /// Serve until the queue is empty; returns total frames drained.
+  std::size_t drain_all(const CompletionSink& sink);
+
+  /// Frames submitted so far for `session_id` (the next frame's seq).
+  [[nodiscard]] std::uint64_t submitted(std::uint64_t session_id) const;
+
+ private:
+  ServiceConfig config_;
+  std::unique_ptr<Clock> clock_;
+  VirtualClock* virtual_clock_ = nullptr;  ///< aliases clock_ when set
+  IngestQueue ingest_;
+  std::unique_ptr<SessionScheduler> scheduler_;
+  std::vector<std::uint64_t> seq_;  ///< per-session submit count
+};
+
+/// The two trained lanes a pipeline processor serves from. `full` and
+/// `full_auth` are required; when the reduced lane is absent,
+/// kReducedBand frames are served on the full lane (no cheaper physics
+/// available — the ladder still sheds via kAbstain above it). All
+/// pointees must outlive the processor.
+struct PipelineLanes {
+  const core::EchoImagePipeline* full = nullptr;
+  const core::Authenticator* full_auth = nullptr;
+  const core::EchoImagePipeline* reduced = nullptr;
+  const core::Authenticator* reduced_auth = nullptr;
+};
+
+/// Frame processor over the real pipeline. Each frame runs through a
+/// CaptureSupervisor (deadline probe wired to `clock`), so capture-gate
+/// abstains, drift handling, and deadline early-outs all behave exactly
+/// as in the single-device path. Per-frame cost: measured wall time by
+/// default; when `synthetic_full_cost_s` > 0 the given per-mode constants
+/// are reported instead (deterministic virtual-time accounting around
+/// real compute). `clock` must outlive the processor.
+[[nodiscard]] FrameProcessor make_pipeline_processor(
+    const PipelineLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
+    const Clock& clock, double synthetic_full_cost_s = 0.0,
+    double synthetic_reduced_cost_s = 0.0);
+
+/// Seeded stand-in for the physics: cost and outcome are pure functions
+/// of (seed, session, seq), so scheduler benches and tests replay
+/// bit-for-bit with zero DSP in the loop.
+struct SyntheticProcessorConfig {
+  double full_cost_s = 0.08;
+  double reduced_cost_s = 0.03;
+  /// Per-frame cost wiggle as a fraction of the base (seeded, in
+  /// [1 - jitter, 1 + jitter]).
+  double cost_jitter = 0.25;
+  /// Fraction of frames whose (legitimate) owner is accepted; the rest
+  /// are rejected as spoofer-like.
+  double accept_rate = 0.9;
+  std::uint64_t seed = 0xEC401;
+};
+
+[[nodiscard]] FrameProcessor make_synthetic_processor(
+    SyntheticProcessorConfig config = {});
+
+}  // namespace echoimage::serve

@@ -218,6 +218,45 @@ TEST(SessionMonitor, AbstentionsDoNotClearAMismatchStreak) {
   EXPECT_EQ(m.update(reject()), SessionMonitor::State::kLocked);
 }
 
+TEST(SessionMonitor, BackendShedAbstainsNeverAdvanceTheStalenessStreak) {
+  // Overload/deadline abstentions mean the *server* refused to look at a
+  // perfectly good capture — the device was not blind, and shedding says
+  // nothing about whether the owner stayed. Far past max_abstain_streak,
+  // the session must still be alive (serve/ "abstain-on-overload").
+  SessionMonitorConfig cfg;
+  cfg.max_abstain_streak = 3;
+  SessionMonitor m(cfg);
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  for (int i = 0; i < 20; ++i) {
+    const AbstainReason reason =
+        i % 2 == 0 ? AbstainReason::kOverload : AbstainReason::kDeadline;
+    EXPECT_EQ(m.update(AuthDecision::abstain(reason)),
+              SessionMonitor::State::kAuthenticated);
+  }
+  EXPECT_EQ(m.lock_count(), 0u);
+  EXPECT_EQ(m.shed_abstain_count(), 20u);
+}
+
+TEST(SessionMonitor, ShedAbstainsDoNotResetACaptureStalenessStreak) {
+  // A device-blind streak interleaved with backend sheds: the sheds are
+  // fully neutral — they neither advance nor clear the capture streak, so
+  // the third *capture* abstention still ends the session.
+  SessionMonitorConfig cfg;
+  cfg.max_abstain_streak = 3;
+  SessionMonitor m(cfg);
+  for (int i = 0; i < 4; ++i) m.update(accept(3));
+  ASSERT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  m.update(AuthDecision::abstain(AbstainReason::kCapture));
+  m.update(AuthDecision::abstain(AbstainReason::kOverload));
+  m.update(AuthDecision::abstain(AbstainReason::kCapture));
+  m.update(AuthDecision::abstain(AbstainReason::kDeadline));
+  EXPECT_EQ(m.state(), SessionMonitor::State::kAuthenticated);
+  EXPECT_EQ(m.update(AuthDecision::abstain(AbstainReason::kCapture)),
+            SessionMonitor::State::kLocked);
+  EXPECT_EQ(m.shed_abstain_count(), 2u);
+}
+
 TEST(SessionMonitor, CustomThresholds) {
   SessionMonitorConfig cfg;
   cfg.window = 3;

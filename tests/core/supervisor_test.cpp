@@ -163,6 +163,87 @@ TEST(CaptureSupervisor, AbstainsAfterExhaustingRetries) {
   EXPECT_EQ(d.user_id, -1);
 }
 
+TEST(CaptureSupervisor, BackoffStepFunctionMatchesTheSupervisedSchedule) {
+  // The serve layer's fleet model places device re-beeps with
+  // backoff_step_s; the schedule it reconstructs must be exactly the one
+  // the supervisor reports having waited — same nominal growth, same
+  // seeded jitter, step for step.
+  const Fixture f;
+  CaptureSupervisorConfig cfg;
+  cfg.max_attempts = 4;
+  cfg.initial_backoff_s = 0.25;
+  cfg.backoff_multiplier = 2.0;
+  cfg.backoff_jitter = 0.4;
+  cfg.jitter_seed = 1234;
+  const eval::CaptureBatch clean = f.capture();
+  const CaptureSupervisor sup(f.pipeline, cfg);
+  const SupervisedCapture got = sup.acquire([&](std::size_t) {
+    eval::CaptureBatch batch = clean;
+    break_array(batch);
+    return CaptureAttempt{batch.beeps, batch.noise_only};
+  });
+  ASSERT_EQ(got.attempts, 4u);
+  double reconstructed = 0.0;
+  for (std::size_t step = 1; step < cfg.max_attempts; ++step)
+    reconstructed += backoff_step_s(cfg, step);
+  EXPECT_DOUBLE_EQ(got.total_backoff_s, reconstructed);
+}
+
+TEST(CaptureSupervisor, BackoffHistogramObservesOnlyRetriedAcquisitions) {
+  const array::ArrayGeometry geometry = array::make_respeaker_array();
+  SystemConfig config = eval::default_system_config();
+  config.observability.enabled = true;
+  const EchoImagePipeline pipeline{config, geometry};
+  ASSERT_NE(pipeline.observability(), nullptr);
+  const auto& hist = pipeline.observability()->metrics().histogram(
+      "supervisor.backoff_s", {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0});
+
+  const Fixture f;
+  const eval::CaptureBatch clean = f.capture();
+  CaptureSupervisorConfig cfg;
+  cfg.max_attempts = 2;
+  const CaptureSupervisor sup(pipeline, cfg);
+  // A first-try success has no backoff to report.
+  (void)sup.acquire([&](std::size_t) {
+    return CaptureAttempt{clean.beeps, clean.noise_only};
+  });
+  EXPECT_EQ(hist.count(), 0u);
+  // A retried acquisition lands its total backoff in the histogram.
+  (void)sup.acquire([&](std::size_t) {
+    eval::CaptureBatch batch = clean;
+    break_array(batch);
+    return CaptureAttempt{batch.beeps, batch.noise_only};
+  });
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(CaptureSupervisor, ExpiredDeadlineAbstainsWithDeadlineReason) {
+  const Fixture f;
+  const eval::CaptureBatch clean = f.capture();
+  const auto pe = f.pipeline.process(clean.beeps, clean.noise_only);
+  ASSERT_TRUE(pe.distance.valid);
+  EnrolledUser u;
+  u.user_id = 1;
+  u.features = f.pipeline.features_batch(
+      pe.images, pe.distance.user_distance_centroid_m, false);
+  const Authenticator auth = f.pipeline.enroll({u});
+
+  const CaptureSupervisor sup(f.pipeline);
+  std::size_t calls = 0;
+  const AuthDecision d = sup.authenticate(
+      [&](std::size_t) {
+        ++calls;
+        return CaptureAttempt{clean.beeps, clean.noise_only};
+      },
+      auth, /*deadline=*/[] { return true; });
+  // The budget was gone before the first beep: no capture is attempted,
+  // and the answer is a *deadline* abstention — late is never a reject.
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(d.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(d.abstain_reason, AbstainReason::kDeadline);
+  EXPECT_FALSE(d.accepted);
+}
+
 TEST(CaptureSupervisor, RetryIsTransparentToAuthentication) {
   // A transient gate failure followed by a clean capture must yield the
   // same decision as the clean capture alone.

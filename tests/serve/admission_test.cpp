@@ -1,0 +1,137 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace echoimage::serve {
+namespace {
+
+AdmissionConfig small_config() {
+  AdmissionConfig cfg;
+  cfg.depth_reduced = 10;
+  cfg.depth_abstain = 20;
+  cfg.latency_reduced_s = 0.5;
+  cfg.latency_abstain_s = 1.0;
+  cfg.ewma_alpha = 1.0;  // EWMA == last observation: tests read thresholds
+  cfg.hysteresis = 0.2;
+  return cfg;
+}
+
+TEST(AdmissionController, ConfigValidation) {
+  AdmissionConfig bad = small_config();
+  bad.depth_reduced = 0;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.depth_abstain = bad.depth_reduced;  // must be strictly above
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.latency_abstain_s = bad.latency_reduced_s;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.hysteresis = 1.0;
+  EXPECT_THROW(AdmissionController{bad}, std::invalid_argument);
+}
+
+TEST(AdmissionController, StartsFullAndStaysFullUnderLightLoad) {
+  AdmissionController ladder(small_config());
+  EXPECT_EQ(ladder.mode(), ServiceMode::kFull);
+  for (std::size_t depth = 0; depth < 4; ++depth)
+    EXPECT_EQ(ladder.update(depth), ServiceMode::kFull);
+  EXPECT_EQ(ladder.escalations(), 0u);
+}
+
+TEST(AdmissionController, DepthEscalatesRungByRungThenSheds) {
+  AdmissionController ladder(small_config());
+  EXPECT_EQ(ladder.update(10), ServiceMode::kReducedBand);
+  EXPECT_EQ(ladder.update(20), ServiceMode::kAbstain);
+  EXPECT_EQ(ladder.escalations(), 2u);
+}
+
+TEST(AdmissionController, EscalationCanJumpStraightToAbstain) {
+  AdmissionController ladder(small_config());
+  // Overload must be met in one batch: no rung-at-a-time on the way up.
+  EXPECT_EQ(ladder.update(50), ServiceMode::kAbstain);
+  EXPECT_EQ(ladder.escalations(), 1u);
+}
+
+TEST(AdmissionController, LatencySignalAloneEscalates) {
+  AdmissionController ladder(small_config());
+  ladder.observe_latency(0.6);  // above latency_reduced_s, depth is 0
+  EXPECT_EQ(ladder.update(0), ServiceMode::kReducedBand);
+  ladder.observe_latency(1.2);
+  EXPECT_EQ(ladder.update(0), ServiceMode::kAbstain);
+}
+
+TEST(AdmissionController, TakesTheWorseOfTheTwoSignals) {
+  AdmissionController ladder(small_config());
+  ladder.observe_latency(0.6);              // says kReducedBand
+  EXPECT_EQ(ladder.update(20), ServiceMode::kAbstain);  // depth says worse
+}
+
+TEST(AdmissionController, RelaxationIsOneRungAtATime) {
+  AdmissionController ladder(small_config());
+  EXPECT_EQ(ladder.update(50), ServiceMode::kAbstain);
+  // Pressure fully cleared, but recovery steps down one rung per update:
+  // a queue emptied by shedding must not slam back to kFull and refill.
+  EXPECT_EQ(ladder.update(0), ServiceMode::kReducedBand);
+  EXPECT_EQ(ladder.update(0), ServiceMode::kFull);
+  EXPECT_EQ(ladder.relaxations(), 2u);
+}
+
+TEST(AdmissionController, HysteresisBlocksRelaxationJustBelowThreshold) {
+  AdmissionController ladder(small_config());
+  EXPECT_EQ(ladder.update(10), ServiceMode::kReducedBand);
+  // Threshold is 10; the step-down band is 10 * (1 - 0.2) = 8, so depth 9
+  // is still inside the band — no chatter on a one-frame wiggle.
+  EXPECT_EQ(ladder.update(9), ServiceMode::kReducedBand);
+  EXPECT_EQ(ladder.relaxations(), 0u);
+  // Depth 7 clears the band: now it relaxes.
+  EXPECT_EQ(ladder.update(7), ServiceMode::kFull);
+  EXPECT_EQ(ladder.relaxations(), 1u);
+}
+
+TEST(AdmissionController, PressureIsNormalizedToTheAbstainLine) {
+  AdmissionController ladder(small_config());
+  (void)ladder.update(10);
+  EXPECT_DOUBLE_EQ(ladder.pressure(), 0.5);  // 10 / depth_abstain(20)
+  ladder.observe_latency(1.0);               // latency at its abstain line
+  (void)ladder.update(0);
+  EXPECT_DOUBLE_EQ(ladder.pressure(), 1.0);  // hotter signal wins
+}
+
+TEST(AdmissionController, EwmaSmoothsObservations) {
+  AdmissionConfig cfg = small_config();
+  cfg.ewma_alpha = 0.5;
+  AdmissionController ladder(cfg);
+  ladder.observe_latency(1.0);  // first observation seeds the EWMA
+  EXPECT_DOUBLE_EQ(ladder.ewma_latency_s(), 1.0);
+  ladder.observe_latency(0.0);
+  EXPECT_DOUBLE_EQ(ladder.ewma_latency_s(), 0.5);
+  ladder.observe_latency(0.5);
+  EXPECT_DOUBLE_EQ(ladder.ewma_latency_s(), 0.5);
+}
+
+TEST(AdmissionController, DeterministicReplay) {
+  // The ladder is a pure state machine: the same update sequence must
+  // produce the same mode sequence and transition counts.
+  const auto run = [] {
+    AdmissionController ladder(small_config());
+    std::size_t signature = 0;
+    for (int i = 0; i < 100; ++i) {
+      ladder.observe_latency(0.1 * static_cast<double>(i % 13));
+      const ServiceMode mode =
+          ladder.update(static_cast<std::size_t>((i * 7) % 15));
+      signature = signature * 31 + static_cast<std::size_t>(mode);
+    }
+    return signature * 1000 + ladder.escalations() * 10 +
+           ladder.relaxations();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace echoimage::serve

@@ -1,0 +1,292 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/clock.hpp"
+#include "serve/ingest.hpp"
+
+namespace echoimage::serve {
+namespace {
+
+using echoimage::core::AbstainReason;
+using echoimage::core::AuthOutcome;
+
+CaptureFrame frame(std::uint64_t session, std::uint64_t seq,
+                   double enqueue_s = 0.0, double deadline_s = 0.0) {
+  CaptureFrame f;
+  f.session_id = session;
+  f.seq = seq;
+  f.enqueue_time_s = enqueue_s;
+  f.deadline_s = deadline_s;
+  return f;
+}
+
+/// Accepts every frame at a fixed virtual cost; counts invocations and
+/// records the mode each one was served at.
+FrameProcessor accept_processor(double cost_s, int* calls = nullptr,
+                                std::vector<ServiceMode>* modes = nullptr) {
+  return [cost_s, calls, modes](const CaptureFrame& f, ServiceMode mode) {
+    if (calls != nullptr) ++*calls;
+    if (modes != nullptr) modes->push_back(mode);
+    FrameResult r;
+    r.decision.accepted = true;
+    r.decision.user_id = static_cast<int>(f.session_id);
+    r.decision.outcome = AuthOutcome::kAccepted;
+    r.cost_s = cost_s;
+    return r;
+  };
+}
+
+IngestConfig small_ingest() {
+  IngestConfig cfg;
+  cfg.num_sessions = 4;
+  cfg.per_session_quota = 8;
+  return cfg;
+}
+
+/// Admission thresholds far out of reach: the ladder stays at kFull so
+/// tests can isolate the deadline machinery.
+SchedulerConfig quiet_scheduler() {
+  SchedulerConfig cfg;
+  cfg.admission.depth_reduced = 100;
+  cfg.admission.depth_abstain = 200;
+  cfg.admission.latency_reduced_s = 100.0;
+  cfg.admission.latency_abstain_s = 200.0;
+  return cfg;
+}
+
+TEST(SessionScheduler, VirtualClockRequiresSingleWorker) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SchedulerConfig cfg = quiet_scheduler();
+  cfg.num_threads = 2;
+  EXPECT_THROW(SessionScheduler(cfg, ingest, clock, accept_processor(0.1),
+                                &clock),
+               std::invalid_argument);
+}
+
+TEST(SessionScheduler, CompletionTimesAreTheRunningCostSum) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SessionScheduler sched(quiet_scheduler(), ingest, clock,
+                         accept_processor(0.25), &clock);
+  ASSERT_EQ(ingest.offer(frame(0, 0)), OfferOutcome::kAccepted);
+  ASSERT_EQ(ingest.offer(frame(1, 0)), OfferOutcome::kAccepted);
+
+  std::vector<CompletedFrame> done;
+  EXPECT_EQ(sched.run_once([&](const CompletedFrame& f) { done.push_back(f); }),
+            2u);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].decision.outcome, AuthOutcome::kAccepted);
+  EXPECT_DOUBLE_EQ(done[0].service_s, 0.25);
+  EXPECT_DOUBLE_EQ(done[0].completion_time_s, 0.25);
+  EXPECT_DOUBLE_EQ(done[1].completion_time_s, 0.50);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 0.50);
+  EXPECT_EQ(sched.completed_count(), 2u);
+  EXPECT_FALSE(done[0].deadline_missed);
+}
+
+TEST(SessionScheduler, StaleAtDequeueIsShedWithoutProcessing) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  int calls = 0;
+  SessionScheduler sched(quiet_scheduler(), ingest, clock,
+                         accept_processor(0.1, &calls), &clock);
+  ASSERT_EQ(ingest.offer(frame(0, 0, 0.0, /*deadline_s=*/0.5)),
+            OfferOutcome::kAccepted);
+  clock.advance_to(1.0);  // the frame went stale while queued
+
+  std::vector<CompletedFrame> done;
+  EXPECT_EQ(sched.run_once([&](const CompletedFrame& f) { done.push_back(f); }),
+            1u);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(calls, 0) << "stale frames must not burn compute";
+  EXPECT_EQ(done[0].decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(done[0].decision.abstain_reason, AbstainReason::kDeadline);
+  EXPECT_TRUE(done[0].deadline_missed);
+  EXPECT_DOUBLE_EQ(done[0].service_s, 0.0);
+  EXPECT_EQ(sched.shed_stale_count(), 1u);
+  EXPECT_EQ(sched.completed_count(), 0u);
+}
+
+TEST(SessionScheduler, DeadlineExactlyAtDequeueCountsAsStale) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  int calls = 0;
+  SessionScheduler sched(quiet_scheduler(), ingest, clock,
+                         accept_processor(0.1, &calls), &clock);
+  ASSERT_EQ(ingest.offer(frame(0, 0, 0.0, 1.0)), OfferOutcome::kAccepted);
+  clock.advance_to(1.0);  // boundary: the answer is already dead air
+  std::vector<CompletedFrame> done;
+  (void)sched.run_once([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(done[0].decision.abstain_reason, AbstainReason::kDeadline);
+}
+
+TEST(SessionScheduler, LadderFloorShedsUnprocessedAsOverload) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SchedulerConfig cfg = quiet_scheduler();
+  cfg.admission.depth_reduced = 1;
+  cfg.admission.depth_abstain = 2;
+  int calls = 0;
+  SessionScheduler sched(cfg, ingest, clock, accept_processor(0.1, &calls),
+                         &clock);
+  for (std::uint64_t s = 0; s < 3; ++s)
+    ASSERT_EQ(ingest.offer(frame(s, 0)), OfferOutcome::kAccepted);
+
+  std::vector<CompletedFrame> done;
+  EXPECT_EQ(sched.run_once([&](const CompletedFrame& f) { done.push_back(f); }),
+            3u);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(calls, 0);
+  for (const CompletedFrame& f : done) {
+    EXPECT_EQ(f.decision.outcome, AuthOutcome::kAbstained);
+    EXPECT_EQ(f.decision.abstain_reason, AbstainReason::kOverload);
+    EXPECT_TRUE(f.decision.shed_by_backend());
+    EXPECT_FALSE(f.deadline_missed) << "overload shed is not a deadline miss";
+    EXPECT_EQ(f.mode, ServiceMode::kAbstain);
+  }
+  EXPECT_EQ(sched.shed_overload_count(), 3u);
+  EXPECT_EQ(sched.completed_count(), 0u);
+}
+
+TEST(SessionScheduler, LateCompletionIsDemotedToDeadlineAbstain) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  int calls = 0;
+  SessionScheduler sched(quiet_scheduler(), ingest, clock,
+                         accept_processor(/*cost_s=*/0.5, &calls), &clock);
+  // Deadline 0.3 but the frame costs 0.5: it was live at dequeue, so it is
+  // processed — and the computed *accept* must then be withheld. A late
+  // accept must never unlock a door.
+  ASSERT_EQ(ingest.offer(frame(0, 0, 0.0, 0.3)), OfferOutcome::kAccepted);
+  std::vector<CompletedFrame> done;
+  (void)sched.run_once([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(calls, 1) << "the frame was live at dequeue and must be served";
+  EXPECT_EQ(done[0].decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(done[0].decision.abstain_reason, AbstainReason::kDeadline);
+  EXPECT_FALSE(done[0].decision.accepted);
+  EXPECT_TRUE(done[0].deadline_missed);
+  EXPECT_DOUBLE_EQ(done[0].service_s, 0.5);
+  EXPECT_EQ(sched.demoted_late_count(), 1u);
+  EXPECT_EQ(sched.completed_count(), 0u);
+}
+
+TEST(SessionScheduler, BatchStraddlingADeadlineDemotesOnlyTheLateFrames) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SessionScheduler sched(quiet_scheduler(), ingest, clock,
+                         accept_processor(0.3), &clock);
+  // Both frames share the 0.4 s deadline; the first completes at 0.3
+  // (live), the second at 0.6 (demoted). No reject may appear anywhere.
+  ASSERT_EQ(ingest.offer(frame(0, 0, 0.0, 0.4)), OfferOutcome::kAccepted);
+  ASSERT_EQ(ingest.offer(frame(1, 0, 0.0, 0.4)), OfferOutcome::kAccepted);
+  std::vector<CompletedFrame> done;
+  (void)sched.run_once([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].decision.outcome, AuthOutcome::kAccepted);
+  EXPECT_FALSE(done[0].deadline_missed);
+  EXPECT_EQ(done[1].decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(done[1].decision.abstain_reason, AbstainReason::kDeadline);
+  EXPECT_TRUE(done[1].deadline_missed);
+  for (const CompletedFrame& f : done)
+    EXPECT_NE(f.decision.outcome, AuthOutcome::kRejected)
+        << "load shedding must never manufacture a false reject";
+}
+
+TEST(SessionScheduler, ReducedModeReachesTheProcessorAndTheCompletion) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SchedulerConfig cfg = quiet_scheduler();
+  cfg.admission.depth_reduced = 2;
+  cfg.admission.depth_abstain = 100;
+  std::vector<ServiceMode> modes;
+  SessionScheduler sched(cfg, ingest, clock,
+                         accept_processor(0.1, nullptr, &modes), &clock);
+  ASSERT_EQ(ingest.offer(frame(0, 0)), OfferOutcome::kAccepted);
+  ASSERT_EQ(ingest.offer(frame(1, 0)), OfferOutcome::kAccepted);
+  std::vector<CompletedFrame> done;
+  (void)sched.run_once([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(modes.size(), 2u);
+  for (const ServiceMode m : modes) EXPECT_EQ(m, ServiceMode::kReducedBand);
+  for (const CompletedFrame& f : done)
+    EXPECT_EQ(f.mode, ServiceMode::kReducedBand);
+}
+
+TEST(SessionScheduler, ServiceLatencyFeedsTheAdmissionEwma) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SchedulerConfig cfg = quiet_scheduler();
+  cfg.admission.latency_reduced_s = 0.2;
+  cfg.admission.latency_abstain_s = 100.0;
+  cfg.admission.ewma_alpha = 1.0;
+  SessionScheduler sched(cfg, ingest, clock, accept_processor(0.5), &clock);
+
+  ASSERT_EQ(ingest.offer(frame(0, 0)), OfferOutcome::kAccepted);
+  std::vector<CompletedFrame> done;
+  (void)sched.run_once([&](const CompletedFrame& f) { done.push_back(f); });
+  EXPECT_EQ(done.back().mode, ServiceMode::kFull);
+  EXPECT_DOUBLE_EQ(sched.admission().ewma_latency_s(), 0.5);
+
+  // The 0.5 s observation is over the 0.2 s reduced line: the next batch
+  // runs one rung down even though the queue itself is nearly empty.
+  ASSERT_EQ(ingest.offer(frame(0, 1)), OfferOutcome::kAccepted);
+  (void)sched.run_once([&](const CompletedFrame& f) { done.push_back(f); });
+  EXPECT_EQ(done.back().mode, ServiceMode::kReducedBand);
+}
+
+TEST(SessionScheduler, EveryDrainedFrameProducesExactlyOneCompletion) {
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SchedulerConfig cfg = quiet_scheduler();
+  cfg.max_batch = 3;
+  SessionScheduler sched(cfg, ingest, clock, accept_processor(0.01), &clock);
+  for (std::uint64_t s = 0; s < 4; ++s)
+    for (std::uint64_t q = 0; q < 2; ++q)
+      ASSERT_EQ(ingest.offer(frame(s, q)), OfferOutcome::kAccepted);
+
+  std::size_t completions = 0;
+  std::size_t drained = 0;
+  while (const std::size_t n =
+             sched.run_once([&](const CompletedFrame&) { ++completions; }))
+    drained += n;
+  EXPECT_EQ(drained, 8u);
+  EXPECT_EQ(completions, 8u);
+  EXPECT_EQ(ingest.depth(), 0u);
+}
+
+TEST(SessionScheduler, DeterministicReplay) {
+  const auto run = [] {
+    IngestQueue ingest(small_ingest());
+    VirtualClock clock;
+    SchedulerConfig cfg = quiet_scheduler();
+    cfg.max_batch = 3;
+    cfg.admission.depth_reduced = 3;
+    cfg.admission.depth_abstain = 6;
+    SessionScheduler sched(cfg, ingest, clock, accept_processor(0.2), &clock);
+    std::uint64_t signature = 0;
+    const CompletionSink sink = [&signature](const CompletedFrame& f) {
+      signature = signature * 1099511628211ULL ^
+                  (f.session_id * 31 + f.seq * 7 +
+                   static_cast<std::uint64_t>(f.decision.outcome) * 3 +
+                   static_cast<std::uint64_t>(f.deadline_missed));
+    };
+    for (std::uint64_t s = 0; s < 4; ++s)
+      for (std::uint64_t q = 0; q < 3; ++q)
+        (void)ingest.offer(frame(s, q, 0.0, 1.0));
+    while (sched.run_once(sink) > 0) {
+    }
+    return signature;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace echoimage::serve

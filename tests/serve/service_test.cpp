@@ -1,0 +1,198 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "eval/serve_scenario.hpp"
+
+namespace echoimage::serve {
+namespace {
+
+using echoimage::core::AbstainReason;
+using echoimage::core::AuthOutcome;
+
+/// Accepts every frame at a fixed virtual cost.
+FrameProcessor accept_processor(double cost_s) {
+  return [cost_s](const CaptureFrame& f, ServiceMode) {
+    FrameResult r;
+    r.decision.accepted = true;
+    r.decision.user_id = static_cast<int>(f.session_id);
+    r.decision.outcome = AuthOutcome::kAccepted;
+    r.cost_s = cost_s;
+    return r;
+  };
+}
+
+ServiceConfig det_config() {
+  ServiceConfig cfg;
+  cfg.deterministic = true;
+  cfg.ingest.num_sessions = 4;
+  cfg.ingest.per_session_quota = 8;
+  return cfg;
+}
+
+TEST(AuthService, ServeSupervisorIsSingleAttemptWithSeededJitter) {
+  // The backend cannot re-beep (only the device holding the microphone
+  // can), and the jitter devices inherit for their retry schedule must be
+  // nonzero — a fleet shed together must not re-beep in lockstep.
+  const core::CaptureSupervisorConfig cfg = serve_supervisor_config();
+  EXPECT_EQ(cfg.max_attempts, 1u);
+  EXPECT_GT(cfg.backoff_jitter, 0.0);
+}
+
+TEST(AuthService, DeterministicModeRequiresOneSchedulerWorker) {
+  ServiceConfig cfg = det_config();
+  cfg.scheduler.num_threads = 4;
+  EXPECT_THROW(AuthService(cfg, accept_processor(0.1)), std::invalid_argument);
+}
+
+TEST(AuthService, SubmitStampsPerSessionSequenceNumbers) {
+  AuthService service(det_config(), accept_processor(0.01));
+  EXPECT_EQ(service.submit(0, nullptr), OfferOutcome::kAccepted);
+  EXPECT_EQ(service.submit(0, nullptr), OfferOutcome::kAccepted);
+  EXPECT_EQ(service.submit(1, nullptr), OfferOutcome::kAccepted);
+  EXPECT_EQ(service.submitted(0), 2u);
+  EXPECT_EQ(service.submitted(1), 1u);
+
+  std::vector<CompletedFrame> done;
+  EXPECT_EQ(service.drain_all(
+                [&](const CompletedFrame& f) { done.push_back(f); }),
+            3u);
+  ASSERT_EQ(done.size(), 3u);
+  // Round-robin drain: session 0 seq 0, session 1 seq 0, session 0 seq 1.
+  EXPECT_EQ(done[0].session_id, 0u);
+  EXPECT_EQ(done[0].seq, 0u);
+  EXPECT_EQ(done[1].session_id, 1u);
+  EXPECT_EQ(done[1].seq, 0u);
+  EXPECT_EQ(done[2].session_id, 0u);
+  EXPECT_EQ(done[2].seq, 1u);
+}
+
+TEST(AuthService, SequenceCountsBackpressuredOffersToo) {
+  ServiceConfig cfg = det_config();
+  cfg.ingest.per_session_quota = 1;
+  AuthService service(cfg, accept_processor(0.01));
+  EXPECT_EQ(service.submit(0, nullptr), OfferOutcome::kAccepted);
+  EXPECT_EQ(service.submit(0, nullptr), OfferOutcome::kRejectedSessionFull);
+  // The rejected offer still consumed seq 1: a device retry is a new
+  // frame, and the device-side attempt bookkeeping stays seq-aligned.
+  EXPECT_EQ(service.submitted(0), 2u);
+  std::vector<CompletedFrame> done;
+  (void)service.drain_all([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].seq, 0u);
+  EXPECT_EQ(service.submit(0, nullptr), OfferOutcome::kAccepted);
+  (void)service.drain_all([&](const CompletedFrame& f) { done.push_back(f); });
+  EXPECT_EQ(done.back().seq, 2u);
+}
+
+TEST(AuthService, UnknownSessionIsRejectedAtTheDoor) {
+  AuthService service(det_config(), accept_processor(0.01));
+  EXPECT_EQ(service.submit(99, nullptr), OfferOutcome::kRejectedUnknownSession);
+}
+
+TEST(AuthService, DefaultDeadlineAppliesFromTheEnqueueStamp) {
+  ServiceConfig cfg = det_config();
+  cfg.default_deadline_s = 0.5;
+  AuthService service(cfg, accept_processor(/*cost_s=*/1.0));
+  EXPECT_EQ(service.submit(0, nullptr), OfferOutcome::kAccepted);
+  std::vector<CompletedFrame> done;
+  (void)service.step([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(done.size(), 1u);
+  // Cost 1.0 against a 0.5 s budget: the accept is computed, then
+  // withheld — the decision surfaces as a deadline abstention.
+  EXPECT_EQ(done[0].decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(done[0].decision.abstain_reason, AbstainReason::kDeadline);
+  EXPECT_TRUE(done[0].deadline_missed);
+}
+
+TEST(AuthService, BackdatedEnqueueIsHonoredAndClampedToNow) {
+  AuthService service(det_config(), accept_processor(0.1));
+  VirtualClock* clock = service.virtual_clock();
+  ASSERT_NE(clock, nullptr);
+  clock->advance_to(5.0);
+
+  // Backdated arrival: the device beeped at t=2 while the scheduler was
+  // mid-batch; its queue wait must be measured from t=2, not from now.
+  EXPECT_EQ(service.submit(0, nullptr, /*deadline_s=*/20.0,
+                           /*enqueue_time_s=*/2.0),
+            OfferOutcome::kAccepted);
+  // A future stamp is nonsense: clamped to the current clock.
+  EXPECT_EQ(service.submit(1, nullptr, /*deadline_s=*/20.0,
+                           /*enqueue_time_s=*/10.0),
+            OfferOutcome::kAccepted);
+  std::vector<CompletedFrame> done;
+  (void)service.drain_all([&](const CompletedFrame& f) { done.push_back(f); });
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0].enqueue_time_s, 2.0);
+  EXPECT_DOUBLE_EQ(done[0].queue_wait_s, 3.0);
+  EXPECT_DOUBLE_EQ(done[1].enqueue_time_s, 5.0);
+}
+
+TEST(AuthService, SyntheticScenarioFingerprintIsBitStable) {
+  eval::ServeScenarioConfig cfg;
+  cfg.num_sessions = 4;
+  cfg.rate_hz = 2.0;
+  cfg.duration_s = 5.0;
+  cfg.seed = 0xABCD;
+  const eval::ServeScenarioResult a = eval::run_serve_scenario(cfg);
+  const eval::ServeScenarioResult b = eval::run_serve_scenario(cfg);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.log.size(), b.log.size());
+  EXPECT_GT(a.completions, 0u);
+  // A different seed is a different timeline.
+  cfg.seed = 0xABCE;
+  EXPECT_NE(eval::run_serve_scenario(cfg).fingerprint(), a.fingerprint());
+}
+
+TEST(AuthService, OverloadShedsViaAbstainWithZeroFalseRejects) {
+  eval::ServeScenarioConfig cfg;
+  cfg.num_sessions = 8;
+  // ~5x nominal capacity (synthetic full cost 0.08 s → 12.5 frames/s).
+  cfg.rate_hz = 8.0;
+  cfg.duration_s = 10.0;
+  const eval::ServeScenarioResult result = eval::run_serve_scenario(cfg);
+  EXPECT_GT(result.shed_total(), 0u) << "5x load must engage the ladder";
+  EXPECT_GT(result.completions, 0u);
+  // Accounting closes: every completion has exactly one fate.
+  EXPECT_EQ(result.completions,
+            result.accepts + result.rejects + result.abstain_overload +
+                result.abstain_deadline + result.abstain_device);
+  for (const CompletedFrame& f : result.log) {
+    if (f.deadline_missed) {
+      EXPECT_EQ(f.decision.outcome, AuthOutcome::kAbstained)
+          << "a missed deadline must surface as an abstention, never a "
+             "reject (and never a late accept)";
+    }
+    if (f.decision.outcome == AuthOutcome::kAbstained) {
+      EXPECT_NE(f.decision.abstain_reason, AbstainReason::kNone);
+    }
+  }
+}
+
+TEST(AuthService, RealPipelineLanesServeEndToEnd) {
+  // The bench's pipeline smoke in test form: a tiny enrolled fleet served
+  // through the full and reduced-band lanes on the virtual clock. Slow-ish
+  // (real enrollment + DSP), so the fleet is 2 sessions on a small grid.
+  const eval::ServeLanes lanes = eval::make_serve_lanes(2, 11, 24, 8, 2);
+  eval::ServeScenarioConfig cfg;
+  cfg.num_sessions = 2;
+  cfg.rate_hz = 0.4;
+  cfg.duration_s = 5.0;
+  cfg.seed = 11;
+  cfg.lanes = &lanes;
+  cfg.service.default_deadline_s = 30.0;
+  const eval::ServeScenarioResult result = eval::run_serve_scenario(cfg);
+  EXPECT_GT(result.completions, 0u);
+  // Legitimate owners replaying their own probes: the lanes must actually
+  // accept them (the serving layer speaks the real physics).
+  EXPECT_GT(result.accepts, 0u);
+  EXPECT_EQ(result.rejects, 0u);
+  EXPECT_EQ(result.shed_total(), 0u) << "well under capacity: nothing shed";
+}
+
+}  // namespace
+}  // namespace echoimage::serve

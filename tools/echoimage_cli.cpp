@@ -13,6 +13,9 @@
 //   trace     run the canonical seeded enroll+verify scenario with
 //             observability on; export a Chrome trace, the canonical
 //             structural report, and the metrics/timing summaries
+//   serve     simulate a fleet of device sessions against the streaming
+//             auth service on its deterministic virtual clock: bounded
+//             ingest, admission ladder, deadlines, abstain-on-overload
 //
 // Capture directory layout: beep_000.wav, beep_001.wav, ... (one
 // multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
@@ -33,6 +36,7 @@
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
 #include "eval/image_io.hpp"
+#include "eval/serve_scenario.hpp"
 #include "eval/table.hpp"
 #include "eval/trace_scenario.hpp"
 
@@ -415,12 +419,56 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  eval::ServeScenarioConfig scenario;
+  scenario.num_sessions =
+      static_cast<std::size_t>(std::stoul(args.get("sessions", "8")));
+  scenario.rate_hz = std::stod(args.get("rate", "2.0"));
+  scenario.duration_s = std::stod(args.get("duration", "20"));
+  scenario.seed =
+      static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  scenario.max_retries =
+      static_cast<std::size_t>(std::stoul(args.get("retries", "2")));
+
+  // --pipeline serves real enrolled captures through the full/reduced
+  // lanes (slower: enrollment happens first); the default is the seeded
+  // synthetic cost model, which makes the whole run bit-stable.
+  eval::ServeLanes lanes;
+  if (args.has("pipeline")) {
+    std::cout << "enrolling " << scenario.num_sessions
+              << " session(s) on the full and reduced-band lanes...\n";
+    lanes = eval::make_serve_lanes(scenario.num_sessions, scenario.seed);
+    scenario.lanes = &lanes;
+    scenario.service.default_deadline_s = 30.0;
+  }
+
+  const eval::ServeScenarioResult result = eval::run_serve_scenario(scenario);
+  std::vector<std::vector<std::string>> rows = {
+      {"offered (incl. retries)", std::to_string(result.offered)},
+      {"backpressured at ingest", std::to_string(result.backpressured)},
+      {"device re-beeps", std::to_string(result.retries)},
+      {"completions", std::to_string(result.completions)},
+      {"accepts", std::to_string(result.accepts)},
+      {"rejects", std::to_string(result.rejects)},
+      {"abstain: overload shed", std::to_string(result.abstain_overload)},
+      {"abstain: deadline", std::to_string(result.abstain_deadline)},
+      {"abstain: device-blind", std::to_string(result.abstain_device)},
+      {"decided/s", eval::fmt(result.decided_per_s)},
+      {"p50 latency (s)", eval::fmt(result.p50_latency_s)},
+      {"p99 latency (s)", eval::fmt(result.p99_latency_s)},
+  };
+  eval::print_table(std::cout, {"metric", "value"}, rows);
+  std::cout << "fingerprint: " << result.fingerprint()
+            << " (same config + seed => same fingerprint)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: echoimage_cli "
-                 "<simulate|enroll|verify|image|health|drift|trace> "
+                 "<simulate|enroll|verify|image|health|drift|trace|serve> "
                  "[--key value ...]\n"
                  "  simulate --out DIR [--seed N --user N --distance D "
                  "--beeps L --session S --repetition R --env "
@@ -433,7 +481,9 @@ int main(int argc, char** argv) {
                  "  health   --dir DIR\n"
                  "  drift    --ref DIR --dir DIR [--dir DIR ...]\n"
                  "  trace    [--out PREFIX --seed N --threads T --user N "
-                 "--distance D --beeps L]\n";
+                 "--distance D --beeps L]\n"
+                 "  serve    [--sessions N --rate HZ --duration S --seed N "
+                 "--retries R --pipeline]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -446,6 +496,7 @@ int main(int argc, char** argv) {
     if (cmd == "health") return cmd_health(args);
     if (cmd == "drift") return cmd_drift(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

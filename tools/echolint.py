@@ -26,6 +26,16 @@ R4  no-iostream-in-library
     under src/. Libraries return data; tools, benches, examples, and
     tests do the talking.
 
+R5  no-unbounded-queues-or-deadline-free-waits
+    std::queue / std::deque / std::priority_queue and blocking waits
+    without a deadline (condition_variable::wait, as opposed to
+    wait_for/wait_until) are banned in library code outside src/serve
+    and src/runtime. Overload robustness is a global property: one
+    unbounded buffer or one wait that can block forever anywhere on the
+    serving path defeats the bounded-ingest design. The serving and
+    runtime layers own the sanctioned bounded structures (BoundedRing,
+    IngestQueue) and the deadline-aware waits.
+
 Usage
 -----
   echolint.py [--root DIR] [--compile-commands PATH]
@@ -54,6 +64,7 @@ SCAN_ROOTS = ("src", "tests", "bench", "examples", "tools")
 LIBRARY_ROOT = "src"
 RUNTIME_PREFIX = os.path.join("src", "runtime")
 UNITS_PREFIX = os.path.join("src", "units")
+SERVE_PREFIX = os.path.join("src", "serve")
 CXX_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
 
 
@@ -75,6 +86,7 @@ RULE_TITLES = {
     "R2": "no-raw-threading-outside-runtime",
     "R3": "no-bare-double-unit-parameters",
     "R4": "no-iostream-in-library",
+    "R5": "no-unbounded-queues-or-deadline-free-waits",
 }
 
 FIX_HINTS = {
@@ -86,6 +98,9 @@ FIX_HINTS = {
           "unwrap with .value() at the numeric core",
     "R4": "return data (struct / string) and let the caller in tools/bench "
           "print it; std::ostringstream is fine for describe() helpers",
+    "R5": "use runtime::BoundedRing / serve::IngestQueue (bounded by "
+          "construction) instead of std::queue/deque, and wait_for/"
+          "wait_until with an explicit budget instead of wait()",
 }
 
 R1_PATTERNS = [
@@ -108,6 +123,14 @@ R4_PATTERNS = [
     re.compile(r"#\s*include\s*<(?:iostream|cstdio|stdio\.h)>"),
     re.compile(r"std\s*::\s*(?:cout|cerr|clog|printf|fprintf|puts)\b"),
     re.compile(r"(?<![\w:])f?printf\s*\("),
+]
+
+R5_PATTERNS = [
+    re.compile(r"#\s*include\s*<(?:queue|deque)>"),
+    re.compile(r"std\s*::\s*(?:queue|deque|priority_queue)\b"),
+    # `.wait(` only: wait_for / wait_until carry their own deadline and
+    # never match this spelling.
+    re.compile(r"\.\s*wait\s*\("),
 ]
 
 
@@ -164,6 +187,7 @@ def check_file(rel_path: str, text: str) -> list[Violation]:
     in_library = norm.startswith(LIBRARY_ROOT + "/")
     in_runtime = norm.startswith(RUNTIME_PREFIX.replace(os.sep, "/") + "/")
     in_units = norm.startswith(UNITS_PREFIX.replace(os.sep, "/") + "/")
+    in_serve = norm.startswith(SERVE_PREFIX.replace(os.sep, "/") + "/")
     is_header = norm.endswith((".hpp", ".hh", ".h"))
 
     for m in iter_pattern_hits(code, R1_PATTERNS):
@@ -185,6 +209,11 @@ def check_file(rel_path: str, text: str) -> list[Violation]:
     if in_library:
         for m in iter_pattern_hits(code, R4_PATTERNS):
             out.append(Violation("R4", norm, line_of(code, m.start()),
+                                 m.group(0).strip()))
+
+    if in_library and not in_runtime and not in_serve:
+        for m in iter_pattern_hits(code, R5_PATTERNS):
+            out.append(Violation("R5", norm, line_of(code, m.start()),
                                  m.group(0).strip()))
 
     return out
@@ -292,6 +321,9 @@ SELF_TEST_CASES = [
     ("src/core/bad_r3.hpp", "void f(double range_m);\n", "R3"),
     ("src/core/bad_r3b.hpp", "void g(int n, double center_hz);\n", "R3"),
     ("src/core/bad_r4.cpp", "#include <iostream>\n", "R4"),
+    ("src/core/bad_r5.cpp", "#include <queue>\n", "R5"),
+    ("src/core/bad_r5b.hpp", "std::deque<int> backlog_;\n", "R5"),
+    ("src/core/bad_r5c.cpp", "cv.wait(lock);\n", "R5"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -306,6 +338,13 @@ SELF_TEST_CLEAN = [
     # A comment or string mentioning rand() is not a call.
     ("src/core/ok_comment.cpp", "// rand() is banned\nconst char* s = "
                                 "\"std::mutex\";\n"),
+    # The serve/runtime layers own the sanctioned bounded structures; a
+    # deadline-carrying wait is fine anywhere.
+    ("src/serve/ok_bounded.cpp", "std::deque<int> staging_;\n"),
+    ("src/runtime/ok_ring.cpp", "#include <deque>\n"),
+    ("src/core/ok_deadline_wait.cpp", "cv.wait_for(lock, budget);\n"),
+    # A heap on a vector is the sanctioned priority-queue replacement.
+    ("src/eval/ok_heap.cpp", "std::push_heap(v.begin(), v.end(), later);\n"),
 ]
 
 

@@ -23,10 +23,11 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
 fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_faults --target bench_drift --target bench_throughput
+  --target bench_faults --target bench_drift --target bench_throughput \
+  --target bench_serve
 
 status=0
-for bench in bench_faults bench_drift bench_throughput; do
+for bench in bench_faults bench_drift bench_throughput bench_serve; do
   echo "=== $bench --smoke ==="
   if ! (cd "$build_dir/bench" && "./$bench" --smoke); then
     echo "$bench: FAILED" >&2
@@ -38,7 +39,7 @@ done
 # next to its JSON results; surface where they landed.
 echo "=== trace exports ==="
 for trace in BENCH_faults_trace.json BENCH_drift_trace.json \
-             BENCH_throughput_trace.json; do
+             BENCH_throughput_trace.json BENCH_serve_trace.json; do
   if [ -f "$build_dir/bench/$trace" ]; then
     echo "$build_dir/bench/$trace"
   else

@@ -35,19 +35,21 @@ case "$mode" in
   thread)
     build_dir="$repo_root/build-tsan"
     sanitize="thread"
-    # Only the tsan-labeled suite runs, so only its binary is needed.
-    targets="echoimage_concurrency_tests"
+    # Only the tsan-labeled suites run, so only their binaries are needed.
+    targets="echoimage_concurrency_tests echoimage_serve_tests"
     ;;
   undefined)
     build_dir="$repo_root/build-ubsan"
     sanitize="undefined"
-    targets="echoimage_tests echoimage_concurrency_tests bench_throughput"
+    targets="echoimage_tests echoimage_concurrency_tests
+             echoimage_serve_tests bench_throughput bench_serve"
     ;;
   *)
     build_dir="$repo_root/build-asan"
     sanitize="address"
     # Everything ctest discovers, or the unbuilt entries fail as "Not Run".
-    targets="echoimage_tests echoimage_concurrency_tests bench_throughput"
+    targets="echoimage_tests echoimage_concurrency_tests
+             echoimage_serve_tests bench_throughput bench_serve"
     ;;
 esac
 
