@@ -23,6 +23,16 @@ double jitter_unit(std::uint64_t seed, std::uint64_t attempt) {
   return 2.0 * unit - 1.0;
 }
 
+/// Adapts a by-value CaptureSource to the shared-ownership entry points:
+/// the produced capture is moved (not copied) into shared storage once.
+/// The adapter holds `source` by reference — valid only for the duration
+/// of the synchronous acquire/authenticate call it is passed to.
+SharedCaptureSource shared_adapter(const CaptureSource& source) {
+  return [&source](std::size_t attempt) {
+    return std::make_shared<const CaptureAttempt>(source(attempt));
+  };
+}
+
 }  // namespace
 
 double backoff_step_s(const CaptureSupervisorConfig& config,
@@ -84,12 +94,17 @@ const EchoImagePipeline& CaptureSupervisor::active_pipeline() const {
 
 SupervisedCapture CaptureSupervisor::acquire(
     const CaptureSource& source, const DeadlineProbe& deadline) const {
+  return acquire_impl(shared_adapter(source), deadline, nullptr);
+}
+
+SupervisedCapture CaptureSupervisor::acquire(
+    const SharedCaptureSource& source, const DeadlineProbe& deadline) const {
   return acquire_impl(source, deadline, nullptr);
 }
 
 SupervisedCapture CaptureSupervisor::acquire_impl(
-    const CaptureSource& source, const DeadlineProbe& deadline,
-    CaptureAttempt* last_raw) const {
+    const SharedCaptureSource& source, const DeadlineProbe& deadline,
+    std::shared_ptr<const CaptureAttempt>* last_raw) const {
   EI_SPAN(tracer_, "supervisor.acquire");
   SupervisedCapture out;
   double nominal = config_.initial_backoff_s;
@@ -110,14 +125,33 @@ SupervisedCapture CaptureSupervisor::acquire_impl(
                                jitter_unit(config_.jitter_seed, attempt));
       nominal *= config_.backoff_multiplier;
     }
-    CaptureAttempt capture = source(attempt);
+    std::shared_ptr<const CaptureAttempt> capture = source(attempt);
     ++out.attempts;
     if (attempts_counter_ != nullptr) attempts_counter_->add();
     if (last_raw != nullptr) *last_raw = capture;
-    if (drift_ != nullptr)
-      drift_->correct(capture.beeps, capture.noise_only);
-    out.processed = active_pipeline().process(capture.beeps,
-                                              capture.noise_only, deadline);
+    if (capture == nullptr || capture->beeps.empty()) {
+      // Nothing was delivered (dead device, or a queued frame replayed
+      // without audio): a failed attempt, not a structural error — the
+      // pipeline would throw on empty input, but an absent capture says
+      // nothing about who is speaking, so it rides the same retry/abstain
+      // ladder as a capture the gate condemned.
+      out.processed = ProcessedBeeps{};
+      out.processed.health.verdict = CaptureVerdict::kFailed;
+      out.attempt_verdicts.push_back(CaptureVerdict::kFailed);
+      if (attempt + 1 == config_.max_attempts) out.abstained = true;
+      continue;
+    }
+    if (drift_ != nullptr) {
+      // Gain correction mutates the signals: the one place a private copy
+      // of the shared capture is genuinely required.
+      CaptureAttempt corrected = *capture;
+      drift_->correct(corrected.beeps, corrected.noise_only);
+      out.processed = active_pipeline().process(corrected.beeps,
+                                                corrected.noise_only, deadline);
+    } else {
+      out.processed = active_pipeline().process(capture->beeps,
+                                                capture->noise_only, deadline);
+    }
     out.attempt_verdicts.push_back(out.processed.health.verdict);
     if (out.processed.deadline_expired) {
       out.abstained = true;
@@ -132,6 +166,13 @@ SupervisedCapture CaptureSupervisor::acquire_impl(
 }
 
 AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
+                                             const Authenticator& auth,
+                                             const DeadlineProbe& deadline)
+    const {
+  return authenticate(shared_adapter(source), auth, deadline);
+}
+
+AuthDecision CaptureSupervisor::authenticate(const SharedCaptureSource& source,
                                              const Authenticator& auth,
                                              const DeadlineProbe& deadline)
     const {
@@ -152,9 +193,11 @@ AuthDecision CaptureSupervisor::authenticate(const CaptureSource& source,
 }
 
 AuthDecision CaptureSupervisor::authenticate_impl(
-    const CaptureSource& source, const Authenticator& auth,
+    const SharedCaptureSource& source, const Authenticator& auth,
     const DeadlineProbe& deadline) const {
-  CaptureAttempt raw;
+  // Non-null whenever acquire did not abstain: every attempt stores its
+  // (possibly empty-substituted) capture here before processing.
+  std::shared_ptr<const CaptureAttempt> raw;
   SupervisedCapture capture = acquire_impl(source, deadline, &raw);
   if (capture.abstained)
     return AuthDecision::abstain(capture.processed.deadline_expired
@@ -164,15 +207,15 @@ AuthDecision CaptureSupervisor::authenticate_impl(
   if (drift_ != nullptr && drift_->has_reference()) {
     // The monitor watches the *raw* capture (its reference is raw too);
     // occupancy comes from the corrected pipeline's distance estimate.
-    drift_->observe(raw.beeps, raw.noise_only,
+    drift_->observe(raw->beeps, raw->noise_only,
                     capture.processed.distance.valid);
     if (drift_->quarantined()) {
       if (drift_->recalibrate() != RecalibrationOutcome::kRecalibrated)
         // Stale calibration: don't reject.
         return AuthDecision::abstain(AbstainReason::kDrift);
       // Re-score this capture under the recalibrated physics.
-      std::vector<MultiChannelSignal> beeps = raw.beeps;
-      MultiChannelSignal noise = raw.noise_only;
+      std::vector<MultiChannelSignal> beeps = raw->beeps;
+      MultiChannelSignal noise = raw->noise_only;
       drift_->correct(beeps, noise);
       capture.processed = drift_->pipeline().process(beeps, noise, deadline);
       if (capture.processed.deadline_expired)

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,18 @@ struct CaptureAttempt {
 /// simulator can clear a transient fault or keep a hardware fault present.
 using CaptureSource = std::function<CaptureAttempt(std::size_t attempt)>;
 
+/// Zero-copy variant of CaptureSource: yields shared ownership of an
+/// immutable capture. The supervisor reads through the pointer and copies
+/// only where a mutation is genuinely required (drift gain correction). A
+/// null or empty result counts as a failed attempt — it rides the same
+/// retry/abstain ladder as a capture the health gate condemned, rather
+/// than reaching the pipeline (which throws on structurally empty input).
+/// The serving layer's hot path replays queued frames through this so
+/// tens of milliseconds of multichannel audio are never deep-copied per
+/// attempt.
+using SharedCaptureSource =
+    std::function<std::shared_ptr<const CaptureAttempt>(std::size_t attempt)>;
+
 /// What the supervisor did for one authentication request.
 struct SupervisedCapture {
   /// Result of the last attempt's pipeline run. When `abstained` is true
@@ -92,7 +105,12 @@ class CaptureSupervisor {
   /// A non-empty `deadline` is polled before every attempt and threaded
   /// into the pipeline; once expired no further attempt starts and the
   /// capture comes back abstained (deadline_expired set on `processed`).
+  /// The SharedCaptureSource overload is behaviorally identical but never
+  /// copies the capture buffers (see SharedCaptureSource).
   [[nodiscard]] SupervisedCapture acquire(const CaptureSource& source,
+                                          const DeadlineProbe& deadline = {})
+      const;
+  [[nodiscard]] SupervisedCapture acquire(const SharedCaptureSource& source,
                                           const DeadlineProbe& deadline = {})
       const;
 
@@ -116,6 +134,10 @@ class CaptureSupervisor {
                                           const Authenticator& auth,
                                           const DeadlineProbe& deadline = {})
       const;
+  [[nodiscard]] AuthDecision authenticate(const SharedCaptureSource& source,
+                                          const Authenticator& auth,
+                                          const DeadlineProbe& deadline = {})
+      const;
 
   /// Route captures through `drift`: gain corrections and the recalibrated
   /// pipeline are applied in acquire/authenticate, and every authenticated
@@ -126,13 +148,12 @@ class CaptureSupervisor {
   [[nodiscard]] const DriftManager* drift() const { return drift_; }
 
  private:
-  SupervisedCapture acquire_impl(const CaptureSource& source,
-                                 const DeadlineProbe& deadline,
-                                 CaptureAttempt* last_raw) const;
-  [[nodiscard]] AuthDecision authenticate_impl(const CaptureSource& source,
-                                               const Authenticator& auth,
-                                               const DeadlineProbe& deadline)
-      const;
+  SupervisedCapture acquire_impl(
+      const SharedCaptureSource& source, const DeadlineProbe& deadline,
+      std::shared_ptr<const CaptureAttempt>* last_raw) const;
+  [[nodiscard]] AuthDecision authenticate_impl(
+      const SharedCaptureSource& source, const Authenticator& auth,
+      const DeadlineProbe& deadline) const;
   [[nodiscard]] const EchoImagePipeline& active_pipeline() const;
 
   const EchoImagePipeline* pipeline_;  ///< non-owning; outlives supervisor

@@ -82,6 +82,24 @@ class ShardedCounters {
   std::vector<Shard> shards_;
 };
 
+/// Single relaxed atomic counter: the tally primitive for library code
+/// whose writers are arbitrary threads rather than pool workers (the serve
+/// ingest path's producers are device sessions, so per-worker sharding
+/// buys nothing there). Adds are loss-free from any thread; loads are
+/// exact snapshots of a monotonic total.
+class RelaxedCounter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
 /// Last-write-wins double behind a mutex: the gauge primitive. Writes are
 /// expected from serialized regions (or any single writer at a time); the
 /// lock exists so an unlucky concurrent read still returns a whole value,

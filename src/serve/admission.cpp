@@ -54,6 +54,13 @@ void AdmissionController::observe_latency(double service_s) {
             (1.0 - config_.ewma_alpha) * ewma_s_;
 }
 
+void AdmissionController::observe_shed_batch() {
+  // One zero-cost observation per fully-shed batch: ewma <- (1-α)·ewma.
+  // Geometric decay reaches the step-down band in a bounded number of
+  // batches from any escalation value, so kAbstain can always relax.
+  ewma_s_ *= 1.0 - config_.ewma_alpha;
+}
+
 ServiceMode AdmissionController::target_mode(std::size_t queue_depth,
                                             double relax_scale) const {
   // Each signal independently names a rung; the ladder takes the worse.

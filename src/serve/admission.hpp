@@ -18,6 +18,13 @@
 // one batch — while stepping *down* requires pressure below
 // (threshold * (1 - hysteresis)).
 //
+// Recovery from the abstain floor is guaranteed to make progress: the
+// depth signal falls as the scheduler sheds the backlog, and the latency
+// signal — which no processed frame can feed while everything is shed —
+// is decayed explicitly by observe_shed_batch() on every fully-shed
+// batch, so neither signal can pin the ladder at kAbstain after the
+// overload has passed.
+//
 // Determinism: the controller is a pure state machine over the values the
 // scheduler feeds it; in virtual-clock mode those are seeded, so the
 // whole shed schedule replays bit-for-bit.
@@ -59,6 +66,16 @@ class AdmissionController {
 
   /// Feed one completed frame's service latency (seconds).
   void observe_latency(double service_s);
+
+  /// Feed one batch that was fully shed at the kAbstain floor. Nothing is
+  /// processed while shedding, so the latency EWMA receives no organic
+  /// observations and a latency-driven escalation would otherwise freeze
+  /// above its threshold forever — a recovery livelock. A shed batch is
+  /// itself evidence (the backlog drained at zero service cost), so it is
+  /// folded in as one zero-latency observation, decaying the EWMA by
+  /// (1 - ewma_alpha) per batch until the step-down band clears and the
+  /// ladder can relax back to a rung that processes frames again.
+  void observe_shed_batch();
 
   /// Current smoothed service latency (0 until the first observation).
   [[nodiscard]] double ewma_latency_s() const { return ewma_s_; }

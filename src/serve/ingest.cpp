@@ -50,17 +50,20 @@ void IngestQueue::attach_observability(
 
 OfferOutcome IngestQueue::offer(CaptureFrame frame) {
   if (frame.session_id >= rings_.size()) {
-    ++rejected_;
+    rejected_.add();
     return OfferOutcome::kRejectedUnknownSession;
   }
   // Global budget first: a backend at its memory cap refuses even
   // sessions with quota to spare (drop-oldest would otherwise let total
-  // footprint ratchet to every session's quota at once).
+  // footprint ratchet to every session's quota at once). The check is
+  // deliberately lock-free and therefore approximate under concurrent
+  // producers — racing offers can overshoot by at most one frame each;
+  // the hard footprint cap is always the per-session ring capacities.
   const std::size_t budget = config_.global_budget == 0
                                  ? config_.num_sessions * config_.per_session_quota
                                  : config_.global_budget;
   if (depth() >= budget) {
-    ++rejected_;
+    rejected_.add();
     if (rejected_global_counter_ != nullptr) rejected_global_counter_->add();
     return OfferOutcome::kRejectedGlobalBudget;
   }
@@ -71,17 +74,17 @@ OfferOutcome IngestQueue::offer(CaptureFrame frame) {
     depth_gauge_->set(static_cast<double>(depth()));
   switch (pushed) {
     case runtime::PushOutcome::kAccepted:
-      ++accepted_;
+      accepted_.add();
       if (accepted_counter_ != nullptr) accepted_counter_->add();
       return OfferOutcome::kAccepted;
     case runtime::PushOutcome::kReplacedOldest:
-      ++replaced_;
+      replaced_.add();
       if (replaced_counter_ != nullptr) replaced_counter_->add();
       return OfferOutcome::kReplacedOldest;
     case runtime::PushOutcome::kRejected:
       break;
   }
-  ++rejected_;
+  rejected_.add();
   if (rejected_session_counter_ != nullptr) rejected_session_counter_->add();
   return OfferOutcome::kRejectedSessionFull;
 }

@@ -26,6 +26,7 @@
 
 #include "obs/observability.hpp"
 #include "runtime/ring_buffer.hpp"
+#include "runtime/sharded.hpp"
 #include "serve/frame.hpp"
 
 namespace echoimage::serve {
@@ -67,8 +68,14 @@ class IngestQueue {
   /// serving traffic.
   void attach_observability(std::shared_ptr<const obs::Observability> obs);
 
-  /// Submit one frame (any thread). The frame's session_id picks the
-  /// ring; the configured OverflowPolicy applies when it is full.
+  /// Submit one frame (any thread; concurrent offers from different
+  /// sessions are safe — each ring locks internally and the tallies are
+  /// atomic). The frame's session_id picks the ring; the configured
+  /// OverflowPolicy applies when it is full. The global budget is checked
+  /// without a queue-wide lock, so under concurrent producers it is
+  /// approximate: racing offers can overshoot by at most one frame per
+  /// in-flight producer (the hard bound is always the per-session rings,
+  /// num_sessions * per_session_quota).
   OfferOutcome offer(CaptureFrame frame);
 
   /// Dequeue up to `max_frames` frames round-robin across sessions (one
@@ -84,21 +91,28 @@ class IngestQueue {
   [[nodiscard]] std::size_t session_depth(std::uint64_t session_id) const;
 
   /// Offer accounting since construction (exact, monotonic).
-  [[nodiscard]] std::uint64_t accepted_count() const { return accepted_; }
-  [[nodiscard]] std::uint64_t rejected_count() const { return rejected_; }
-  [[nodiscard]] std::uint64_t replaced_count() const { return replaced_; }
+  [[nodiscard]] std::uint64_t accepted_count() const {
+    return accepted_.load();
+  }
+  [[nodiscard]] std::uint64_t rejected_count() const {
+    return rejected_.load();
+  }
+  [[nodiscard]] std::uint64_t replaced_count() const {
+    return replaced_.load();
+  }
 
  private:
   IngestConfig config_;
   std::vector<std::unique_ptr<runtime::BoundedRing<CaptureFrame>>> rings_;
   std::size_t cursor_ = 0;  ///< round-robin resume point
-  // Plain tallies: offer() callers are expected to be serialized per
-  // session (each device submits its own frames in order); cross-session
-  // counts are read between batches. The obs counters below are the
-  // thread-hardened view.
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t replaced_ = 0;
+  // Atomic tallies: offer() is documented as callable from any thread, so
+  // sessions may submit concurrently. Each count is an independent
+  // monotonic total — no cross-count ordering is needed, only loss-free
+  // increments (runtime::RelaxedCounter; echolint R2 keeps the raw atomic
+  // inside src/runtime).
+  runtime::RelaxedCounter accepted_;
+  runtime::RelaxedCounter rejected_;
+  runtime::RelaxedCounter replaced_;
   const obs::Counter* accepted_counter_ = nullptr;
   const obs::Counter* rejected_session_counter_ = nullptr;
   const obs::Counter* rejected_global_counter_ = nullptr;

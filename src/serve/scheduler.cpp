@@ -185,6 +185,11 @@ std::size_t SessionScheduler::run_once(const CompletionSink& sink) {
     if (sink) sink(done);
   }
 
+  // The abstain floor processes nothing, so no frame above fed
+  // observe_latency; without this the latency EWMA would freeze at its
+  // escalation value and a latency-driven kAbstain could never relax.
+  if (mode == ServiceMode::kAbstain) admission_.observe_shed_batch();
+
   if (ewma_gauge_ != nullptr) ewma_gauge_->set(admission_.ewma_latency_s());
   if (pressure_gauge_ != nullptr) pressure_gauge_->set(admission_.pressure());
   return drained;

@@ -132,9 +132,9 @@ FrameProcessor make_pipeline_processor(
         Lane{std::make_unique<core::CaptureSupervisor>(*lanes.reduced,
                                                        supervisor),
              lanes.reduced_auth});
-  // Wall-time measurement for the cost report (unused when synthetic
-  // costs are given): its own steady clock, because `clock` may be the
-  // scheduler's VirtualClock, frozen during processing.
+  // Wall-time measurement for the cost report (used whenever the served
+  // mode's synthetic cost is 0): its own steady clock, because `clock`
+  // may be the scheduler's VirtualClock, frozen during processing.
   auto stopwatch = std::make_shared<SteadyClock>();
   const Clock* deadline_clock = &clock;
 
@@ -151,19 +151,22 @@ FrameProcessor make_pipeline_processor(
         return deadline_clock->now_s() >= deadline_s;
       };
     }
-    // The device already captured; the source just replays the frame.
-    const core::CaptureSource source =
-        [&frame](std::size_t) -> core::CaptureAttempt {
-      return frame.capture != nullptr ? *frame.capture
-                                      : core::CaptureAttempt{};
-    };
+    // The device already captured; the source just replays the frame's
+    // shared capture — no deep copy of the audio on the serving hot path
+    // (the ownership contract in serve/frame.hpp). A frame queued without
+    // audio abstains at the supervisor, like any failed capture.
+    const core::SharedCaptureSource source =
+        [&frame](std::size_t) { return frame.capture; };
     const double start_s = stopwatch->now_s();
     FrameResult result;
     result.decision = lane.supervisor->authenticate(source, *lane.auth, probe);
+    // Per-mode gating: a lane whose synthetic cost was left at 0 falls
+    // back to measured wall time, so the virtual clock always advances
+    // (a zero cost would freeze deterministic-mode timing and feed the
+    // admission EWMA zeros for that lane).
     const double synthetic =
         use_reduced ? synthetic_reduced_cost_s : synthetic_full_cost_s;
-    result.cost_s =
-        synthetic_full_cost_s > 0.0 ? synthetic : stopwatch->now_s() - start_s;
+    result.cost_s = synthetic > 0.0 ? synthetic : stopwatch->now_s() - start_s;
     return result;
   };
 }

@@ -132,9 +132,11 @@ struct PipelineLanes {
 /// CaptureSupervisor (deadline probe wired to `clock`), so capture-gate
 /// abstains, drift handling, and deadline early-outs all behave exactly
 /// as in the single-device path. Per-frame cost: measured wall time by
-/// default; when `synthetic_full_cost_s` > 0 the given per-mode constants
-/// are reported instead (deterministic virtual-time accounting around
-/// real compute). `clock` must outlive the processor.
+/// default; a synthetic cost > 0 replaces the measurement for frames
+/// served at that mode (deterministic virtual-time accounting around real
+/// compute), gated per mode — a lane whose synthetic cost is 0 keeps
+/// reporting wall time, so the cost never silently reads 0. `clock` must
+/// outlive the processor.
 [[nodiscard]] FrameProcessor make_pipeline_processor(
     const PipelineLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
     const Clock& clock, double synthetic_full_cost_s = 0.0,

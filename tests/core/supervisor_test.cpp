@@ -278,5 +278,51 @@ TEST(CaptureSupervisor, RetryIsTransparentToAuthentication) {
   EXPECT_DOUBLE_EQ(retried.svdd_score, direct.svdd_score);
 }
 
+TEST(CaptureSupervisor, SharedSourceMatchesValueSourceWithoutCopying) {
+  // The serving layer replays queued frames through the zero-copy
+  // SharedCaptureSource entry point; the decision must be identical to
+  // the by-value path, and the supervisor must read through the shared
+  // capture rather than duplicating it (use_count stays at the caller's).
+  const Fixture f;
+  const eval::CaptureBatch enroll_batch = f.capture(0, 0);
+  const eval::CaptureBatch probe = f.capture(0, 1);
+  const auto pe = f.pipeline.process(enroll_batch.beeps,
+                                     enroll_batch.noise_only);
+  ASSERT_TRUE(pe.distance.valid);
+  EnrolledUser u;
+  u.user_id = 7;
+  u.features = f.pipeline.features_batch(
+      pe.images, pe.distance.user_distance_centroid_m, false);
+  const Authenticator auth = f.pipeline.enroll({u});
+  const CaptureSupervisor sup(f.pipeline);
+
+  const AuthDecision by_value = sup.authenticate(
+      [&](std::size_t) {
+        return CaptureAttempt{probe.beeps, probe.noise_only};
+      },
+      auth);
+  const auto shared = std::make_shared<const CaptureAttempt>(
+      CaptureAttempt{probe.beeps, probe.noise_only});
+  const AuthDecision by_share = sup.authenticate(
+      SharedCaptureSource([&](std::size_t) { return shared; }), auth);
+  EXPECT_EQ(by_share.outcome, by_value.outcome);
+  EXPECT_EQ(by_share.user_id, by_value.user_id);
+  EXPECT_DOUBLE_EQ(by_share.svdd_score, by_value.svdd_score);
+  // Only the caller and the source lambda's return slot ever owned it.
+  EXPECT_EQ(shared.use_count(), 1);
+
+  // A null shared capture is an empty capture: gate fails, abstain — not
+  // a crash, and never a reject.
+  CaptureSupervisorConfig one_shot;
+  one_shot.max_attempts = 1;
+  const CaptureSupervisor strict(f.pipeline, one_shot);
+  const AuthDecision null_capture = strict.authenticate(
+      SharedCaptureSource([](std::size_t) {
+        return std::shared_ptr<const CaptureAttempt>{};
+      }),
+      auth);
+  EXPECT_EQ(null_capture.outcome, AuthOutcome::kAbstained);
+}
+
 }  // namespace
 }  // namespace echoimage::core

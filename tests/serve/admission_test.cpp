@@ -115,6 +115,28 @@ TEST(AdmissionController, EwmaSmoothsObservations) {
   EXPECT_DOUBLE_EQ(ladder.ewma_latency_s(), 0.5);
 }
 
+TEST(AdmissionController, ShedBatchesDecayTheLatencySignal) {
+  // Regression: while the ladder is at kAbstain nothing is processed, so
+  // observe_latency never fires and a latency-driven escalation would
+  // freeze above its threshold forever. Fully-shed batches must decay the
+  // EWMA so the ladder always has a path back down.
+  AdmissionConfig cfg = small_config();
+  cfg.ewma_alpha = 0.5;
+  AdmissionController ladder(cfg);
+  ladder.observe_latency(2.0);  // far past latency_abstain_s = 1.0
+  EXPECT_EQ(ladder.update(0), ServiceMode::kAbstain);
+  // 2.0 → 1.0: still at/above the 1.0 * (1 - 0.2) step-down band.
+  ladder.observe_shed_batch();
+  EXPECT_EQ(ladder.update(0), ServiceMode::kAbstain);
+  // 1.0 → 0.5: clears the band; one-rung relaxation resumes processing.
+  ladder.observe_shed_batch();
+  EXPECT_EQ(ladder.update(0), ServiceMode::kReducedBand);
+  // Below the floor, organically fast frames finish the recovery.
+  ladder.observe_latency(0.1);
+  EXPECT_EQ(ladder.update(0), ServiceMode::kFull);
+  EXPECT_EQ(ladder.relaxations(), 2u);
+}
+
 TEST(AdmissionController, DeterministicReplay) {
   // The ladder is a pure state machine: the same update sequence must
   // produce the same mode sequence and transition counts.

@@ -242,6 +242,54 @@ TEST(SessionScheduler, ServiceLatencyFeedsTheAdmissionEwma) {
   EXPECT_EQ(done.back().mode, ServiceMode::kReducedBand);
 }
 
+TEST(SessionScheduler, LatencyAbstainRelaxesOnceLoadDisappears) {
+  // Regression: a latency spike escalates the ladder to kAbstain, where
+  // nothing is processed and nothing feeds the EWMA. Without the shed-
+  // batch decay the scheduler would shed 100% of requests forever, even
+  // after the load disappears. Light post-spike traffic must eventually
+  // be served again.
+  IngestQueue ingest(small_ingest());
+  VirtualClock clock;
+  SchedulerConfig cfg = quiet_scheduler();  // depth signals out of reach
+  cfg.admission.latency_reduced_s = 0.5;
+  cfg.admission.latency_abstain_s = 1.0;
+  cfg.admission.ewma_alpha = 0.2;
+  int calls = 0;
+  // First frame is catastrophically slow; everything after is fast.
+  const FrameProcessor proc = [&calls](const CaptureFrame& f, ServiceMode) {
+    FrameResult r;
+    r.decision.accepted = true;
+    r.decision.user_id = static_cast<int>(f.session_id);
+    r.decision.outcome = AuthOutcome::kAccepted;
+    r.cost_s = calls++ == 0 ? 10.0 : 0.01;
+    return r;
+  };
+  SessionScheduler sched(cfg, ingest, clock, proc, &clock);
+  std::vector<CompletedFrame> done;
+  const CompletionSink sink = [&](const CompletedFrame& f) {
+    done.push_back(f);
+  };
+
+  // The spike: seeds the EWMA at 10 s, far past the 1 s abstain line.
+  ASSERT_EQ(ingest.offer(frame(0, 0)), OfferOutcome::kAccepted);
+  (void)sched.run_once(sink);
+  ASSERT_GT(sched.admission().ewma_latency_s(),
+            cfg.admission.latency_abstain_s);
+
+  // Light load afterwards: one frame per batch (queue depth ~0). Each
+  // fully-shed batch decays the EWMA by 0.8, so recovery needs a bounded
+  // number of batches — and must then actually serve frames again.
+  bool recovered = false;
+  for (std::uint64_t q = 1; q <= 64 && !recovered; ++q) {
+    ASSERT_EQ(ingest.offer(frame(0, q)), OfferOutcome::kAccepted);
+    (void)sched.run_once(sink);
+    recovered = done.back().decision.outcome == AuthOutcome::kAccepted;
+  }
+  EXPECT_TRUE(recovered) << "ladder never relaxed from kAbstain: the "
+                            "latency signal has no path down while shedding";
+  EXPECT_GT(sched.shed_overload_count(), 0u) << "spike must have shed first";
+}
+
 TEST(SessionScheduler, EveryDrainedFrameProducesExactlyOneCompletion) {
   IngestQueue ingest(small_ingest());
   VirtualClock clock;

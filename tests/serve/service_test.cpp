@@ -173,6 +173,30 @@ TEST(AuthService, OverloadShedsViaAbstainWithZeroFalseRejects) {
   }
 }
 
+TEST(AuthService, PipelineProcessorSyntheticCostIsGatedPerMode) {
+  // Regression: with a synthetic full cost set but the reduced cost left
+  // at its 0 default, reduced-band frames must fall back to measured wall
+  // time — a reported cost of exactly 0 would freeze the virtual clock
+  // and feed the admission EWMA zeros for that lane.
+  const eval::ServeLanes lanes = eval::make_serve_lanes(1, 7, 24, 4, 2);
+  PipelineLanes raw;
+  raw.full = lanes.full.get();
+  raw.full_auth = &lanes.full_auth;
+  raw.reduced = lanes.reduced.get();
+  raw.reduced_auth = &lanes.reduced_auth;
+  SteadyClock clock;
+  const FrameProcessor proc = make_pipeline_processor(
+      raw, serve_supervisor_config(), clock, /*synthetic_full_cost_s=*/0.25);
+
+  CaptureFrame f;
+  f.session_id = 0;
+  f.capture = lanes.captures.at(0);
+  EXPECT_DOUBLE_EQ(proc(f, ServiceMode::kFull).cost_s, 0.25);
+  EXPECT_GT(proc(f, ServiceMode::kReducedBand).cost_s, 0.0)
+      << "reduced lane must report measured wall time when its synthetic "
+         "cost is unset";
+}
+
 TEST(AuthService, RealPipelineLanesServeEndToEnd) {
   // The bench's pipeline smoke in test form: a tiny enrolled fleet served
   // through the full and reduced-band lanes on the virtual clock. Slow-ish
