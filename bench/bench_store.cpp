@@ -1,0 +1,278 @@
+// Durable template store under gallery-scale load: commit / recovery /
+// lookup timings vs gallery size, on the real filesystem, plus the
+// crash-consistency acceptance the store exists for.
+//
+// Galleries are synthesized from the body-profile generator
+// (eval::make_gallery_records — seeded bodies, deterministic acoustic
+// signatures, real 1:1 verifiers), so the records carry the same
+// structure the pipeline would enroll, at sizes the roster never reaches
+// (the full run commits and recovers >= 100k templates).
+//
+// Acceptance:
+//   * crash-sweep — every (fault kind x commit op) crash point recovers a
+//     committed generation with zero quarantine and bit-exact serves, and
+//     every media-corruption point quarantines exactly the hit shard
+//     (store/sweep.hpp, the sim-style fault injector behind it).
+//   * sweep determinism — the sweep fingerprint is bit-stable across runs
+//     and across worker counts.
+//   * recovery correctness at scale — at every gallery size, reopening
+//     through the MANIFEST rung and through the scan rung both recover
+//     every record; spot-checked payloads are bit-exact after recovery.
+//
+// Writes BENCH_store.json plus BENCH_store_trace.json (Chrome trace of
+// the commit/open/fsck spans). `--smoke` shrinks the gallery sweep.
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/gallery.hpp"
+#include "eval/table.hpp"
+#include "obs/observability.hpp"
+#include "sim/random.hpp"
+#include "store/env.hpp"
+#include "store/store.hpp"
+#include "store/sweep.hpp"
+
+namespace {
+
+using namespace echoimage;
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct SizePoint {
+  std::size_t num_users = 0;
+  double gallery_s = 0.0;
+  double commit_s = 0.0;
+  double open_manifest_s = 0.0;
+  double open_scan_s = 0.0;
+  double fsck_s = 0.0;
+  double lookups_per_s = 0.0;
+  std::uint64_t stored_bytes = 0;
+  bool recovery_ok = false;
+};
+
+SizePoint run_size_point(std::size_t num_users, std::size_t num_shards,
+                         const std::shared_ptr<const obs::Observability>& obs,
+                         std::string& violation) {
+  SizePoint point;
+  point.num_users = num_users;
+
+  eval::GalleryConfig gallery;
+  gallery.num_users = num_users;
+  gallery.feature_dims = 12;
+  gallery.samples_per_user = 4;
+  gallery.num_threads = 0;  // resolve to the machine
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<store::TemplateRecord> records =
+      eval::make_gallery_records(gallery);
+  point.gallery_s = seconds_since(t0);
+
+  // Spot-check payloads held across the record purge below: recovery must
+  // reproduce them bit-exactly.
+  std::map<int, std::string> expected;
+  for (std::size_t u = 0; u < records.size(); u += num_users / 16 + 1)
+    expected[records[u].user_id] = store::encode_record(records[u]);
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("echoimage_bench_store_" + std::to_string(num_users)))
+          .string();
+  std::filesystem::remove_all(root);
+  store::FileSystemEnv env;
+  store::StoreConfig cfg;
+  cfg.root = root;
+  cfg.num_shards = num_shards;
+
+  {
+    store::TemplateStore fresh = store::TemplateStore::init(cfg, env);
+    fresh.attach_observability(obs);
+    t0 = std::chrono::steady_clock::now();
+    fresh.commit(records);
+    point.commit_s = seconds_since(t0);
+    point.stored_bytes = fresh.stats().stored_bytes;
+  }
+  records.clear();
+  records.shrink_to_fit();
+
+  // Recovery rung 0: MANIFEST intact.
+  t0 = std::chrono::steady_clock::now();
+  std::optional<store::TemplateStore> reopened =
+      store::TemplateStore::open(cfg, env, obs);
+  point.open_manifest_s = seconds_since(t0);
+  point.recovery_ok =
+      reopened->recovery_source() == store::RecoverySource::kManifest &&
+      reopened->size() == num_users &&
+      reopened->stats().quarantined_shards == 0;
+
+  // Lookup throughput on the recovered store: seeded mix of enrolled and
+  // unknown ids.
+  sim::Rng rng(0xB5707E);
+  const std::size_t kLookups = 200000;
+  std::size_t found = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    const int user =
+        1 + rng.uniform_int(0, static_cast<int>(num_users * 2) - 1);
+    if (reopened->lookup(user).status == store::LookupStatus::kFound) ++found;
+  }
+  const double lookup_s = seconds_since(t0);
+  point.lookups_per_s =
+      lookup_s > 0.0 ? static_cast<double>(kLookups) / lookup_s : 0.0;
+  if (found == 0) {
+    point.recovery_ok = false;
+    violation = "no lookup ever hit an enrolled user";
+  }
+  for (const auto& [user, payload] : expected) {
+    const store::LookupResult hit = reopened->lookup(user);
+    if (hit.status != store::LookupStatus::kFound ||
+        store::encode_record(*hit.record) != payload) {
+      point.recovery_ok = false;
+      violation = "manifest recovery lost or altered user " +
+                  std::to_string(user) + " at " +
+                  std::to_string(num_users) + " users";
+    }
+  }
+
+  t0 = std::chrono::steady_clock::now();
+  if (!reopened->fsck().clean()) {
+    point.recovery_ok = false;
+    violation = "fsck found corruption on an undamaged medium";
+  }
+  point.fsck_s = seconds_since(t0);
+  reopened.reset();
+
+  // Recovery rung 1: lose the MANIFEST, recover by scan.
+  env.remove_file(root + "/MANIFEST");
+  t0 = std::chrono::steady_clock::now();
+  std::optional<store::TemplateStore> scanned =
+      store::TemplateStore::open(cfg, env, obs);
+  point.open_scan_s = seconds_since(t0);
+  if (scanned->recovery_source() != store::RecoverySource::kScanFull ||
+      scanned->size() != num_users) {
+    point.recovery_ok = false;
+    violation = "scan recovery degraded at " + std::to_string(num_users) +
+                " users";
+  }
+  for (const auto& [user, payload] : expected) {
+    const store::LookupResult hit = scanned->lookup(user);
+    if (hit.status != store::LookupStatus::kFound ||
+        store::encode_record(*hit.record) != payload) {
+      point.recovery_ok = false;
+      violation = "scan recovery lost or altered user " +
+                  std::to_string(user);
+    }
+  }
+  scanned.reset();
+  std::filesystem::remove_all(root);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::vector<std::size_t> kSizes =
+      smoke ? std::vector<std::size_t>{1000}
+            : std::vector<std::size_t>{10000, 100000};
+  const std::size_t kShards = 32;
+
+  obs::ObservabilityConfig obs_cfg;
+  obs_cfg.enabled = true;
+  obs_cfg.workers = 1;
+  const auto obs = obs::make_observability(obs_cfg);
+
+  std::cout << "== Durable template store: gallery-scale load & recovery =="
+            << (smoke ? " (SMOKE)" : "") << "\n\n";
+
+  std::string violation;
+  bool recovery_pass = true;
+  std::vector<SizePoint> points;
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t size : kSizes) {
+    points.push_back(run_size_point(size, kShards, obs, violation));
+    const SizePoint& p = points.back();
+    if (!p.recovery_ok) recovery_pass = false;
+    rows.push_back(
+        {std::to_string(p.num_users), eval::fmt(p.gallery_s),
+         eval::fmt(p.commit_s), eval::fmt(p.open_manifest_s),
+         eval::fmt(p.open_scan_s), eval::fmt(p.fsck_s),
+         eval::fmt(p.lookups_per_s / 1e6) + "M",
+         std::to_string(p.stored_bytes / (1024 * 1024)) + " MiB"});
+    std::cerr << '.' << std::flush;
+  }
+  std::cerr << '\n';
+  eval::print_table(std::cout,
+                    {"users", "gallery s", "commit s", "open s", "scan s",
+                     "fsck s", "lookups/s", "on disk"},
+                    rows);
+
+  // --- Crash-consistency acceptance (the sweep is the store's spec) ---
+  store::CrashSweepConfig sweep_cfg;
+  const store::CrashSweepReport sweep_a = store::run_crash_sweep(sweep_cfg);
+  const store::CrashSweepReport sweep_b = store::run_crash_sweep(sweep_cfg);
+  store::CrashSweepConfig sweep_par = sweep_cfg;
+  sweep_par.num_threads = 4;
+  const store::CrashSweepReport sweep_c = store::run_crash_sweep(sweep_par);
+  const bool sweep_pass = sweep_a.pass() && sweep_b.pass() && sweep_c.pass();
+  const bool sweep_deterministic =
+      sweep_a.fingerprint() == sweep_b.fingerprint() &&
+      sweep_a.fingerprint() == sweep_c.fingerprint();
+  if (!sweep_pass) violation = "crash sweep failed:\n" + sweep_a.describe();
+
+  {
+    std::ofstream trace("BENCH_store_trace.json");
+    trace << obs->tracer().chrome_trace_json();
+  }
+
+  std::cout << "\ncrash sweep: " << sweep_a.points.size()
+            << " commit crash points + " << sweep_a.media_points.size()
+            << " media points: " << (sweep_pass ? "PASS" : "FAIL")
+            << "\nsweep determinism (fingerprint " << std::hex
+            << sweep_a.fingerprint() << std::dec
+            << ", runs x2 + 4 workers): "
+            << (sweep_deterministic ? "PASS" : "FAIL")
+            << "\nrecovery at scale: "
+            << (recovery_pass ? "PASS"
+                              : ("FAIL (" + violation + ")"))
+            << '\n';
+
+  std::ofstream json("BENCH_store.json");
+  json << "{\n  \"smoke\": " << json_bool(smoke)
+       << ",\n  \"num_shards\": " << kShards << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SizePoint& p = points[i];
+    json << "    {\"num_users\": " << p.num_users
+         << ", \"gallery_s\": " << p.gallery_s
+         << ", \"commit_s\": " << p.commit_s
+         << ", \"open_manifest_s\": " << p.open_manifest_s
+         << ", \"open_scan_s\": " << p.open_scan_s
+         << ", \"fsck_s\": " << p.fsck_s
+         << ", \"lookups_per_s\": " << p.lookups_per_s
+         << ", \"stored_bytes\": " << p.stored_bytes << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"sweep_commit_points\": " << sweep_a.points.size()
+       << ",\n  \"sweep_media_points\": " << sweep_a.media_points.size()
+       << ",\n  \"sweep_pass\": " << json_bool(sweep_pass)
+       << ",\n  \"sweep_determinism_pass\": "
+       << json_bool(sweep_deterministic) << ",\n  \"sweep_fingerprint\": \"";
+  json << std::hex << sweep_a.fingerprint() << std::dec;
+  json << "\",\n  \"recovery_pass\": " << json_bool(recovery_pass) << "\n}\n";
+  std::cout << "\nwrote BENCH_store.json\nwrote BENCH_store_trace.json\n";
+
+  return (sweep_pass && sweep_deterministic && recovery_pass) ? 0 : 1;
+}

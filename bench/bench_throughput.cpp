@@ -238,8 +238,8 @@ int main(int argc, char** argv) {
     obs_cfg.workers = 1;
     const auto obs = obs::make_observability(obs_cfg);
     imager.attach_observability(obs);
-    imager.construct_bands(batch.beeps[0], echoimage::units::Meters{0.7},
-                           0.0002, batch.noise_only);
+    (void)imager.construct_bands(batch.beeps[0], echoimage::units::Meters{0.7},
+                                 0.0002, batch.noise_only);
     std::ofstream trace("BENCH_throughput_trace.json");
     trace << obs->tracer().chrome_trace_json();
     std::cout << "\n-- instrumented render (per span) --\n"

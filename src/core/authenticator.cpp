@@ -137,6 +137,7 @@ const char* to_string(AbstainReason reason) {
     case AbstainReason::kDrift: return "drift";
     case AbstainReason::kOverload: return "overload";
     case AbstainReason::kDeadline: return "deadline";
+    case AbstainReason::kStorage: return "storage";
   }
   return "?";
 }

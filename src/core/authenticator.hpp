@@ -74,6 +74,7 @@ enum class AbstainReason {
   kDrift,     ///< drift quarantine without successful recalibration
   kOverload,  ///< backend shed the request before processing it
   kDeadline,  ///< processed (or queued) past the latency budget
+  kStorage,   ///< enrollment template unavailable (quarantined/missing shard)
 };
 
 [[nodiscard]] const char* to_string(AbstainReason reason);
@@ -98,12 +99,14 @@ struct AuthDecision {
     return d;
   }
 
-  /// True for backend load-shed abstentions (overload or deadline) — the
-  /// kind that must not count as device blindness.
+  /// True for backend-side abstentions (overload, deadline, or template
+  /// storage unavailable) — the kind that must not count as device
+  /// blindness. The capture was fine; the server could not answer.
   [[nodiscard]] bool shed_by_backend() const {
     return outcome == AuthOutcome::kAbstained &&
            (abstain_reason == AbstainReason::kOverload ||
-            abstain_reason == AbstainReason::kDeadline);
+            abstain_reason == AbstainReason::kDeadline ||
+            abstain_reason == AbstainReason::kStorage);
   }
 };
 

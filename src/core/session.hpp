@@ -56,10 +56,12 @@ class SessionMonitor {
   /// individually neutral: they neither advance an unlock nor count toward
   /// a mismatch lock. But `max_abstain_streak` consecutive abstentions end
   /// an authenticated session — sustained blindness is not evidence the
-  /// owner stayed. Backend load-shed abstentions (AbstainReason kOverload
-  /// / kDeadline) are fully neutral: the device was not blind, the server
-  /// shed the request, so they do not advance the staleness streak either
-  /// (an overloaded backend must not end healthy sessions).
+  /// owner stayed. Backend-side abstentions (AbstainReason kOverload /
+  /// kDeadline / kStorage) are fully neutral: the device was not blind,
+  /// the server shed the request or could not reach the enrollment
+  /// template, so they do not advance the staleness streak either (an
+  /// overloaded backend or a quarantined shard must not end healthy
+  /// sessions).
   State update(const AuthDecision& decision);
 
   /// Drop all history and lock.

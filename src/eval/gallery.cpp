@@ -1,0 +1,62 @@
+#include "eval/gallery.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/body.hpp"
+#include "sim/random.hpp"
+
+namespace echoimage::eval {
+
+void GalleryConfig::validate() const {
+  if (num_users == 0)
+    throw std::invalid_argument("GalleryConfig: num_users must be positive");
+  if (feature_dims == 0)
+    throw std::invalid_argument(
+        "GalleryConfig: feature_dims must be positive");
+  if (samples_per_user < 2)
+    throw std::invalid_argument(
+        "GalleryConfig: samples_per_user must be at least 2 (the verifier "
+        "needs a spread to calibrate against)");
+  if (jitter < 0.0)
+    throw std::invalid_argument("GalleryConfig: jitter must be >= 0");
+}
+
+std::vector<store::TemplateRecord> make_gallery_records(
+    const GalleryConfig& config) {
+  config.validate();
+  std::vector<store::TemplateRecord> records(config.num_users);
+  runtime::ThreadPool pool(runtime::resolve_workers(config.num_threads));
+  runtime::parallel_for(pool, config.num_users, [&](std::size_t u,
+                                                    std::size_t) {
+    const std::uint64_t user_seed = sim::mix_seed(config.seed, u);
+    sim::Demographic demo;
+    demo.gender = (user_seed & 1) != 0 ? sim::Gender::kFemale
+                                       : sim::Gender::kMale;
+    demo.age = 18 + static_cast<int>((user_seed >> 8) % 45);
+    const sim::BodyProfile profile =
+        sim::generate_body_profile(user_seed, demo);
+    // Shared projection basis (seeded by the gallery, not the user), so
+    // signatures live in one comparable feature space.
+    const std::vector<double> base =
+        sim::body_signature(profile, config.feature_dims, config.seed);
+    double rms = 0.0;
+    for (const double v : base) rms += v * v;
+    rms = std::sqrt(rms / static_cast<double>(base.size()));
+    const double sigma = config.jitter * std::max(rms, 1e-9);
+
+    sim::Rng rng(sim::mix_seed(user_seed, 0xF00D));
+    std::vector<std::vector<double>> features(
+        config.samples_per_user, std::vector<double>(config.feature_dims));
+    for (auto& visit : features)
+      for (std::size_t d = 0; d < config.feature_dims; ++d)
+        visit[d] = base[d] + rng.gaussian(0.0, sigma);
+    records[u] = store::make_template_record(
+        config.first_user_id + static_cast<int>(u), std::move(features));
+  });
+  return records;
+}
+
+}  // namespace echoimage::eval

@@ -1,0 +1,42 @@
+// Synthetic enrollment galleries for the template store.
+//
+// The store's load and recovery benchmarks (bench_store) need galleries
+// far larger than the paper's 20-subject roster — 100k+ users — without
+// paying the full acoustic pipeline per user. Each gallery user gets a
+// seeded body profile (sim/body.hpp), a deterministic acoustic signature
+// (sim::body_signature — random-Fourier projections of the reflector
+// cloud), and a handful of session "visits" jittered around it; the visit
+// features train a real 1:1 store::TemplateRecord, so the gallery is
+// cheap to synthesize but structurally identical to pipeline enrollment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "store/record.hpp"
+
+namespace echoimage::eval {
+
+struct GalleryConfig {
+  std::size_t num_users = 100;
+  int first_user_id = 1;
+  std::size_t feature_dims = 16;
+  /// Enrollment visits per user (rows of the training set).
+  std::size_t samples_per_user = 6;
+  /// Session jitter around the signature, relative to its RMS.
+  double jitter = 0.08;
+  std::uint64_t seed = 0x6A11E4;
+  /// Worker threads for profile generation + verifier training (user
+  /// records are independent, so the output is thread-count invariant).
+  std::size_t num_threads = 1;
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+/// Synthesize `num_users` template records, deterministically from the
+/// config (bit-identical across runs and thread counts). User ids are
+/// consecutive from `first_user_id`.
+[[nodiscard]] std::vector<store::TemplateRecord> make_gallery_records(
+    const GalleryConfig& config);
+
+}  // namespace echoimage::eval

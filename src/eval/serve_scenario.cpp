@@ -96,6 +96,12 @@ ServeLanes make_serve_lanes(std::size_t num_sessions, std::uint64_t seed,
     full_user.calibration_features = enroll_features(*lanes.full, calib, false);
     reduced_user.calibration_features =
         enroll_features(*lanes.reduced, calib, false);
+    // The durable 1:1 template: same features as the shared full lane, so
+    // a store-backed scenario authenticates the same physics.
+    lanes.user_ids.push_back(full_user.user_id);
+    lanes.records.push_back(echoimage::store::make_template_record(
+        full_user.user_id, full_user.features, full_user.calibration_features,
+        cfg.authenticator));
     full_users.push_back(std::move(full_user));
     reduced_users.push_back(std::move(reduced_user));
     // The probe the device replays at serve time: a later visit, so it is
@@ -164,8 +170,25 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioConfig& config) {
   service_cfg.deterministic = true;  // the scenario owns a virtual timeline
   service_cfg.ingest.num_sessions = config.num_sessions;
 
+  if (config.store != nullptr && config.lanes == nullptr)
+    throw std::invalid_argument(
+        "run_serve_scenario: a store-backed scenario needs `lanes` for the "
+        "pipeline physics");
+
   serve::AuthService service(
       service_cfg, [&](const serve::Clock& clock) -> serve::FrameProcessor {
+        if (config.store != nullptr) {
+          serve::StoreLanes store_lanes;
+          store_lanes.pipeline = config.lanes->full.get();
+          store_lanes.templates = config.store;
+          store_lanes.user_of_session =
+              [ids = config.lanes->user_ids](std::uint64_t session) {
+                return session < ids.size() ? ids[session]
+                                            : static_cast<int>(session);
+              };
+          return serve::make_store_processor(store_lanes,
+                                             service_cfg.supervisor, clock);
+        }
         if (config.lanes == nullptr)
           return serve::make_synthetic_processor(config.synthetic);
         serve::PipelineLanes lanes;
@@ -233,6 +256,7 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioConfig& config) {
         switch (done.decision.abstain_reason) {
           case core::AbstainReason::kOverload: ++result.abstain_overload; break;
           case core::AbstainReason::kDeadline: ++result.abstain_deadline; break;
+          case core::AbstainReason::kStorage: ++result.abstain_storage; break;
           default: ++result.abstain_device; break;
         }
         break;
@@ -276,7 +300,7 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioConfig& config) {
 
   result.elapsed_s = std::max(vclock->now_s(), config.duration_s);
   const std::size_t decided =
-      result.completions - result.abstain_overload - result.abstain_deadline;
+      result.completions - result.shed_total();
   result.decided_per_s =
       result.elapsed_s > 0.0
           ? static_cast<double>(decided) / result.elapsed_s

@@ -42,6 +42,13 @@ struct ServeLanes {
   /// arrivals: the scenario measures the backend under load, not the
   /// simulator's rendering throughput.
   std::vector<std::shared_ptr<const core::CaptureAttempt>> captures;
+  /// Per-session roster identity (user_ids[s] = enrolled user id of
+  /// session s) and the matching durable templates: 1:1 verifiers trained
+  /// on the same full-lane enrollment features, ready to commit into a
+  /// store::TemplateStore for a store-backed scenario
+  /// (ServeScenarioConfig::store).
+  std::vector<int> user_ids;
+  std::vector<store::TemplateRecord> records;
 };
 
 /// Enroll `num_sessions` roster users on a full-band and a reduced-band
@@ -67,6 +74,12 @@ struct ServeScenarioConfig {
   /// Real pipeline lanes (non-owning; see make_serve_lanes). Null =
   /// synthetic processor.
   const ServeLanes* lanes = nullptr;
+  /// Durable template backend (non-owning; requires `lanes` for the
+  /// pipeline physics): frames are served through
+  /// serve::make_store_processor — per-session identities resolved to the
+  /// store's per-user verifiers, quarantined shards answered with
+  /// AbstainReason::kStorage abstains. Null = shared-authenticator lanes.
+  const store::TemplateStore* store = nullptr;
   /// Device retry policy: re-beeps after backpressure or backend shed,
   /// scheduled with the jittered supervisor backoff. 0 = fire-and-forget.
   std::size_t max_retries = 2;
@@ -85,6 +98,7 @@ struct ServeScenarioResult {
   std::size_t rejects = 0;
   std::size_t abstain_overload = 0;  ///< shed by the admission ladder
   std::size_t abstain_deadline = 0;  ///< stale at dequeue or demoted late
+  std::size_t abstain_storage = 0;   ///< template shard quarantined (store)
   std::size_t abstain_device = 0;    ///< capture/drift (device-blind) abstains
   std::size_t deadline_missed = 0;   ///< frames completed past deadline
   // Latency over all completions (total: enqueue -> decision ready).
@@ -101,10 +115,10 @@ struct ServeScenarioResult {
   /// reasons and exact time bit patterns): two runs are bit-identical iff
   /// their fingerprints match.
   [[nodiscard]] std::string fingerprint() const;
-  /// Abstentions that must never have become rejects: scenario invariant
-  /// checks read these.
+  /// Backend-side abstentions that must never have become rejects
+  /// (overload, deadline, storage): scenario invariant checks read these.
   [[nodiscard]] std::size_t shed_total() const {
-    return abstain_overload + abstain_deadline;
+    return abstain_overload + abstain_deadline + abstain_storage;
   }
 };
 

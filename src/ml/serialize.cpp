@@ -1,5 +1,8 @@
 #include "ml/serialize.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -23,22 +26,36 @@ void write_double(std::ostream& os, double v) {
 
 double read_double(std::istream& is) {
   // std::hexfloat extraction is unreliable across standard libraries; parse
-  // the token with strtod, which accepts the hexfloat format.
+  // the token with strtod, which accepts the hexfloat format. strtod never
+  // throws, so malformed tokens must be caught via the end pointer: a
+  // partially consumed token (or one strtod rejected outright) is corrupt
+  // input, not a zero.
   std::string token;
   if (!(is >> token)) throw std::runtime_error("serialize: missing double");
-  try {
-    return std::strtod(token.c_str(), nullptr);
-  } catch (...) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty())
     throw std::runtime_error("serialize: bad double '" + token + "'");
-  }
+  return v;
 }
 
 void write_size(std::ostream& os, std::size_t v) { os << v << '\n'; }
 
 std::size_t read_size(std::istream& is) {
-  std::size_t v = 0;
-  if (!(is >> v)) throw std::runtime_error("serialize: missing size");
-  return v;
+  // Parse the token by hand: stream extraction into an unsigned type
+  // silently wraps negative input modulo 2^64, turning "-1" into an
+  // enormous (and fatal) allocation request downstream.
+  std::string token;
+  if (!(is >> token)) throw std::runtime_error("serialize: missing size");
+  for (const char c : token)
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw std::runtime_error("serialize: bad size '" + token + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size())
+    throw std::runtime_error("serialize: bad size '" + token + "'");
+  return static_cast<std::size_t>(v);
 }
 
 void write_vector(std::ostream& os, const std::vector<double>& v) {
@@ -135,10 +152,14 @@ MultiClassSvm load_multiclass_svm(std::istream& is) {
   expect_tag(is, "multiclass_svm");
   MultiClassSvm svm;
   const std::size_t nc = read_size(is);
+  if (nc > (1u << 16))
+    throw std::runtime_error("serialize: implausible class count");
   svm.classes_.resize(nc);
   for (int& c : svm.classes_)
     if (!(is >> c)) throw std::runtime_error("serialize: missing class");
   const std::size_t np = read_size(is);
+  if (np > (1u << 20))
+    throw std::runtime_error("serialize: implausible pair count");
   svm.pairs_.resize(np);
   for (auto& p : svm.pairs_) {
     if (!(is >> p.class_a >> p.class_b))

@@ -171,6 +171,71 @@ FrameProcessor make_pipeline_processor(
   };
 }
 
+FrameProcessor make_store_processor(
+    const StoreLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
+    const Clock& clock, double synthetic_cost_s) {
+  if (lanes.pipeline == nullptr || lanes.templates == nullptr)
+    throw std::invalid_argument(
+        "make_store_processor: pipeline and template store are required");
+  if (lanes.lookup_cost_s <= 0.0)
+    throw std::invalid_argument(
+        "make_store_processor: lookup_cost_s must be positive (the virtual "
+        "clock must advance on store-answered frames)");
+
+  auto guard = std::make_shared<core::CaptureSupervisor>(*lanes.pipeline,
+                                                         supervisor);
+  const store::TemplateStore* templates = lanes.templates;
+  auto user_of_session = lanes.user_of_session;
+  const double lookup_cost_s = lanes.lookup_cost_s;
+  // As in make_pipeline_processor: wall time is measured on a private
+  // steady clock because `clock` may be a frozen VirtualClock.
+  auto stopwatch = std::make_shared<SteadyClock>();
+  const Clock* deadline_clock = &clock;
+
+  return [guard, templates, user_of_session, lookup_cost_s, stopwatch,
+          deadline_clock, synthetic_cost_s](const CaptureFrame& frame,
+                                            ServiceMode) -> FrameResult {
+    const int user = user_of_session
+                         ? user_of_session(frame.session_id)
+                         : static_cast<int>(frame.session_id);
+    const store::LookupResult looked = templates->lookup(user);
+    FrameResult result;
+    switch (looked.status) {
+      case store::LookupStatus::kQuarantined:
+        // The enrollment bytes are unreadable: abstain, never guess. The
+        // kStorage reason marks it backend-side, so the device re-beeps
+        // and the session monitor does not count it as blindness.
+        result.decision =
+            core::AuthDecision::abstain(core::AbstainReason::kStorage);
+        result.cost_s = lookup_cost_s;
+        return result;
+      case store::LookupStatus::kAbsent:
+        // Healthy shard, no record: the claim is provably un-enrolled.
+        result.decision = core::AuthDecision{};  // rejected, no user
+        result.cost_s = lookup_cost_s;
+        return result;
+      case store::LookupStatus::kFound:
+        break;
+    }
+    core::DeadlineProbe probe;
+    if (frame.deadline_s > 0.0) {
+      const double deadline_s = frame.deadline_s;
+      probe = [deadline_clock, deadline_s] {
+        return deadline_clock->now_s() >= deadline_s;
+      };
+    }
+    const core::SharedCaptureSource source =
+        [&frame](std::size_t) { return frame.capture; };
+    const double start_s = stopwatch->now_s();
+    result.decision =
+        guard->authenticate(source, looked.record->verifier, probe);
+    result.cost_s = synthetic_cost_s > 0.0
+                        ? synthetic_cost_s
+                        : stopwatch->now_s() - start_s;
+    return result;
+  };
+}
+
 FrameProcessor make_synthetic_processor(SyntheticProcessorConfig config) {
   return [config](const CaptureFrame& frame, ServiceMode mode) -> FrameResult {
     // Two independent seeded lanes per (session, seq): one for the

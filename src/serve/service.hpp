@@ -34,6 +34,7 @@
 
 #include "core/supervisor.hpp"
 #include "obs/observability.hpp"
+#include "store/store.hpp"
 #include "serve/clock.hpp"
 #include "serve/frame.hpp"
 #include "serve/ingest.hpp"
@@ -141,6 +142,41 @@ struct PipelineLanes {
     const PipelineLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
     const Clock& clock, double synthetic_full_cost_s = 0.0,
     double synthetic_reduced_cost_s = 0.0);
+
+/// Store-backed serving: the template-lookup backend of ISSUE 7. Instead
+/// of one shared multi-user authenticator, each frame resolves its
+/// session's claimed identity to a per-user verifier held in a durable
+/// store::TemplateStore, then runs the capture through the supervisor
+/// against that verifier. The store's honesty contract maps straight onto
+/// the decision space:
+///   * kFound       -> authenticate against the user's committed template;
+///   * kAbsent      -> reject (the shard is healthy — the user is provably
+///                     not enrolled);
+///   * kQuarantined -> abstain with AbstainReason::kStorage (the bytes are
+///                     unreadable; neither reject nor stale accept is
+///                     honest, and shed_by_backend() keeps the session
+///                     alive for a device-side re-beep).
+struct StoreLanes {
+  const core::EchoImagePipeline* pipeline = nullptr;
+  const store::TemplateStore* templates = nullptr;
+  /// Claimed identity per session; null means the identity map
+  /// (session id == enrolled user id).
+  std::function<int(std::uint64_t session_id)> user_of_session;
+  /// Cost charged to frames answered from store state alone (absent or
+  /// quarantined lookups): there is no pipeline run to measure, and the
+  /// deterministic virtual clock must still advance.
+  double lookup_cost_s = 2e-4;
+};
+
+/// Frame processor over a template store. `synthetic_cost_s` > 0 replaces
+/// the measured wall time of authenticated (kFound) frames, as in
+/// make_pipeline_processor. `clock`, the pipeline, and the store must
+/// outlive the processor; commits into the store between frames are fine
+/// (each frame re-resolves its record), concurrent commits are not — the
+/// store is single-writer.
+[[nodiscard]] FrameProcessor make_store_processor(
+    const StoreLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
+    const Clock& clock, double synthetic_cost_s = 0.0);
 
 /// Seeded stand-in for the physics: cost and outcome are pure functions
 /// of (seed, session, seq), so scheduler benches and tests replay

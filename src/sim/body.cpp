@@ -224,4 +224,30 @@ std::vector<WorldReflector> pose_body(const BodyProfile& profile,
   return out;
 }
 
+std::vector<double> body_signature(const BodyProfile& profile,
+                                   std::size_t dims, std::uint64_t seed) {
+  if (dims == 0)
+    throw std::invalid_argument("body_signature: dims must be positive");
+  const std::vector<BodyReflector>& pts = profile.reflectors();
+  const double inv_n = 1.0 / static_cast<double>(pts.size());
+  std::vector<double> sig(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    // Per-dimension probing harmonic: fixed by (seed, d) alone, so the
+    // basis is shared across users and the projections are comparable.
+    Rng rng(mix_seed(seed, 0x51D0 + d));
+    const double kx = rng.gaussian(0.0, 14.0);   // lateral wavenumber (1/m)
+    const double kz = rng.gaussian(0.0, 5.0);    // height wavenumber (1/m)
+    const double ky = rng.gaussian(0.0, 40.0);   // depth relief is cm-scale
+    const double phase = rng.uniform(0.0, 6.283185307179586);
+    const double slope_mix = rng.uniform(-0.3, 0.3);
+    double acc = 0.0;
+    for (const BodyReflector& r : pts)
+      acc += r.reflectivity * (1.0 + slope_mix * r.spectral_slope) *
+             std::cos(kx * r.local.x + ky * r.local.y + kz * r.local.z +
+                      phase);
+    sig[d] = acc * inv_n;
+  }
+  return sig;
+}
+
 }  // namespace echoimage::sim

@@ -116,4 +116,16 @@ struct WorldReflector {
     const BodyProfile& profile, const Pose& pose, units::Meters distance,
     units::Meters array_height, double specular_exponent = 10.0);
 
+/// A cheap, deterministic `dims`-dimensional acoustic signature of a body:
+/// random-Fourier projections of the reflector cloud (reflectivity-weighted
+/// spatial harmonics plus a spectral-slope channel). Same profile always
+/// yields the same signature; distinct users separate because the identity
+/// fields behind their reflector clouds differ. Intended for synthesizing
+/// large enrollment galleries (the template store's load benchmarks) without
+/// running the full acoustic pipeline per user. Throws std::invalid_argument
+/// for dims == 0.
+[[nodiscard]] std::vector<double> body_signature(const BodyProfile& profile,
+                                                 std::size_t dims,
+                                                 std::uint64_t seed = 0);
+
 }  // namespace echoimage::sim

@@ -1,0 +1,64 @@
+#include "store/checksum.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace echoimage::store {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+void Crc32::update(std::string_view bytes) noexcept {
+  std::uint32_t c = state_;
+  for (const char ch : bytes)
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  Crc32 crc;
+  crc.update(bytes);
+  return crc.value();
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+std::uint32_t parse_crc32_hex(std::string_view hex) {
+  if (hex.size() != 8)
+    throw std::runtime_error("checksum: bad crc width");
+  std::uint32_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    else
+      throw std::runtime_error("checksum: bad crc digit");
+  }
+  return v;
+}
+
+}  // namespace echoimage::store

@@ -1,0 +1,55 @@
+// Integrity primitives for the durable template store.
+//
+// Every on-disk artifact the store writes carries CRC-32 checksums: one per
+// record slot, one over a shard's payload region, one over each header.
+// CRC-32 (the reflected IEEE 802.3 polynomial, as used by zlib/ethernet) is
+// cheap enough to verify on every open and strong enough to catch the fault
+// classes the injector models — torn writes, bit flips, truncation. It is
+// *not* a cryptographic MAC: the store defends against media and crash
+// corruption, not a malicious writer with filesystem access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace echoimage::store {
+
+/// Incremental CRC-32 (poly 0xEDB88320, reflected, init/final 0xFFFFFFFF).
+/// crc32("123456789") == 0xCBF43926 — the standard check value.
+class Crc32 {
+ public:
+  void update(std::string_view bytes) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept {
+    return state_ ^ 0xFFFFFFFFu;
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+/// Fixed-width lowercase 8-hex-digit rendering — the on-disk form, chosen
+/// so headers that embed a checksum keep a byte-stable layout.
+[[nodiscard]] std::string crc32_hex(std::uint32_t crc);
+
+/// Parse the 8-hex-digit form back; throws std::runtime_error on anything
+/// that is not exactly eight hex digits.
+[[nodiscard]] std::uint32_t parse_crc32_hex(std::string_view hex);
+
+namespace detail {
+
+/// splitmix64 finalizer — the store's seed/shard/fingerprint mixer, kept
+/// local so the store does not depend on sim (same construction as
+/// sim::mix_seed and serve::detail::mix64).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+}  // namespace echoimage::store

@@ -1,0 +1,177 @@
+#include "store/env.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+#include <utility>
+
+namespace echoimage::store {
+
+void atomic_write_file(StorageEnv& env, const std::string& path,
+                       std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  env.write_file(tmp, data, /*flush=*/true);
+  env.rename_file(tmp, path);
+}
+
+// ---------------------------------------------------------------- MemoryEnv
+
+MemoryEnv::MemoryEnv() { dirs_.insert(""); }
+
+std::string MemoryEnv::parent_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+void MemoryEnv::require_dir(const std::string& path) const {
+  if (dirs_.find(path) == dirs_.end())
+    throw StorageError("MemoryEnv: no such directory '" + path + "'");
+}
+
+void MemoryEnv::write_file(const std::string& path, std::string_view data,
+                           bool /*flush*/) {
+  require_dir(parent_of(path));
+  files_[path] = std::string(data);
+}
+
+void MemoryEnv::rename_file(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end())
+    throw StorageError("MemoryEnv: rename of missing file '" + from + "'");
+  require_dir(parent_of(to));
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+}
+
+void MemoryEnv::remove_file(const std::string& path) { files_.erase(path); }
+
+void MemoryEnv::make_dirs(const std::string& path) {
+  std::string cur;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      dirs_.insert(cur);
+    }
+    if (i < path.size()) cur.push_back(path[i]);
+  }
+  dirs_.insert(path);
+}
+
+void MemoryEnv::remove_dir(const std::string& path) {
+  if (dirs_.find(path) == dirs_.end()) return;
+  const std::string prefix = path + "/";
+  for (const auto& [file, bytes] : files_) {
+    (void)bytes;
+    if (file.compare(0, prefix.size(), prefix) == 0)
+      throw StorageError("MemoryEnv: remove_dir on non-empty '" + path + "'");
+  }
+  for (const auto& dir : dirs_)
+    if (dir.compare(0, prefix.size(), prefix) == 0)
+      throw StorageError("MemoryEnv: remove_dir on non-empty '" + path + "'");
+  dirs_.erase(path);
+}
+
+std::optional<std::string> MemoryEnv::read_file(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryEnv::exists(const std::string& path) const {
+  return files_.count(path) != 0 || dirs_.count(path) != 0;
+}
+
+std::vector<std::string> MemoryEnv::list_dir(const std::string& path) const {
+  const std::string prefix = path.empty() ? std::string() : path + "/";
+  std::vector<std::string> names;
+  const auto maybe_add = [&](const std::string& entry) {
+    if (entry.size() <= prefix.size() ||
+        entry.compare(0, prefix.size(), prefix) != 0)
+      return;
+    const std::string rest = entry.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  };
+  for (const auto& [file, bytes] : files_) {
+    (void)bytes;
+    maybe_add(file);
+  }
+  for (const auto& dir : dirs_) maybe_add(dir);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void MemoryEnv::corrupt_file(const std::string& path, std::string bytes) {
+  const auto it = files_.find(path);
+  if (it == files_.end())
+    throw StorageError("MemoryEnv: corrupt_file on missing '" + path + "'");
+  it->second = std::move(bytes);
+}
+
+// ------------------------------------------------------------ FileSystemEnv
+
+namespace fs = std::filesystem;
+
+void FileSystemEnv::write_file(const std::string& path, std::string_view data,
+                               bool flush) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw StorageError("FileSystemEnv: cannot open '" + path + "'");
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (flush) os.flush();
+  if (!os.good())
+    throw StorageError("FileSystemEnv: short write to '" + path + "'");
+}
+
+void FileSystemEnv::rename_file(const std::string& from,
+                                const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec)
+    throw StorageError("FileSystemEnv: rename '" + from + "' -> '" + to +
+                       "': " + ec.message());
+}
+
+void FileSystemEnv::remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // missing is fine; other errors are best-effort too
+}
+
+void FileSystemEnv::make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec)
+    throw StorageError("FileSystemEnv: mkdir '" + path + "': " + ec.message());
+}
+
+void FileSystemEnv::remove_dir(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // refuses non-empty dirs; best-effort like remove_file
+}
+
+std::optional<std::string> FileSystemEnv::read_file(
+    const std::string& path) const {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (is.bad()) throw StorageError("FileSystemEnv: read of '" + path + "'");
+  return bytes;
+}
+
+bool FileSystemEnv::exists(const std::string& path) const {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+std::vector<std::string> FileSystemEnv::list_dir(const std::string& path) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  fs::directory_iterator it(path, ec);
+  if (ec) return names;
+  for (const auto& entry : it) names.push_back(entry.path().filename().string());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace echoimage::store

@@ -1,0 +1,138 @@
+// Storage environment abstraction: the narrow filesystem surface the
+// template store is written against.
+//
+// Every byte the store persists flows through a StorageEnv, for two
+// reasons. First, crash-consistency claims are only as good as their test
+// harness: the fault injector (store/faults.hpp) wraps any env and crashes
+// the "process" at an exact mutation index, which is impossible to do
+// deterministically against a real kernel. Second, the crash-point sweep
+// needs to snapshot and restore whole filesystems cheaply — MemoryEnv is
+// copyable, so every sweep point starts from a bit-identical disk.
+//
+// Paths are '/'-separated relative or absolute strings; envs do not
+// interpret them beyond splitting on '/'. The mutation surface
+// (write_file, rename_file, remove_file, make_dirs, remove_dir) is exactly
+// the set of injectable fault points.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace echoimage::store {
+
+/// Environment-level failure (missing file on a required read, short
+/// write, rename of a non-existent source). Callers above the recovery
+/// ladder see std::runtime_error.
+class StorageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by a fault-injecting env for the injected operation and every
+/// operation after it: from the store's point of view the process died at
+/// the fault point. Distinct from StorageError so tests can assert that a
+/// sweep point actually crashed rather than failed cleanly.
+class StorageCrash : public StorageError {
+ public:
+  using StorageError::StorageError;
+};
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  // ---- mutations (the injectable fault points, in op-count order) ----
+
+  /// Create or truncate `path` and write `data`. `flush` requests a
+  /// durability barrier (fsync-equivalent); a failed-flush fault models
+  /// the barrier silently not happening.
+  virtual void write_file(const std::string& path, std::string_view data,
+                          bool flush) = 0;
+  /// Atomically replace `to` with `from` (POSIX rename semantics). The
+  /// commit protocol's linearization point.
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  /// Remove a file; missing is not an error (cleanup is best-effort).
+  virtual void remove_file(const std::string& path) = 0;
+  /// mkdir -p.
+  virtual void make_dirs(const std::string& path) = 0;
+  /// Remove an *empty* directory; missing is not an error.
+  virtual void remove_dir(const std::string& path) = 0;
+
+  // ---- reads ----
+
+  /// Whole-file read; nullopt when missing.
+  [[nodiscard]] virtual std::optional<std::string> read_file(
+      const std::string& path) const = 0;
+  [[nodiscard]] virtual bool exists(const std::string& path) const = 0;
+  /// Immediate children of a directory (names, not paths), sorted;
+  /// empty for a missing directory.
+  [[nodiscard]] virtual std::vector<std::string> list_dir(
+      const std::string& path) const = 0;
+};
+
+/// The store's atomic-commit helper and the only sanctioned way for
+/// library code to produce a durable artifact (echolint R6): write
+/// `path`.tmp, flush it, then rename over `path`. A crash before the
+/// rename leaves at most a stray .tmp; a crash after leaves the complete
+/// new file. There is no window where `path` holds partial data.
+void atomic_write_file(StorageEnv& env, const std::string& path,
+                       std::string_view data);
+
+/// In-memory filesystem: files as strings, directories as a path set.
+/// Copy-constructible — a copy is a point-in-time disk snapshot, which is
+/// what the crash-point sweep forks per fault point.
+class MemoryEnv final : public StorageEnv {
+ public:
+  MemoryEnv();
+
+  void write_file(const std::string& path, std::string_view data,
+                  bool flush) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void make_dirs(const std::string& path) override;
+  void remove_dir(const std::string& path) override;
+
+  [[nodiscard]] std::optional<std::string> read_file(
+      const std::string& path) const override;
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list_dir(
+      const std::string& path) const override;
+
+  /// Direct byte-level access for tests and the sweep's at-rest media
+  /// corruption phase (mutating a file without counting as a store op).
+  void corrupt_file(const std::string& path, std::string bytes);
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+ private:
+  [[nodiscard]] static std::string parent_of(const std::string& path);
+  void require_dir(const std::string& path) const;
+
+  std::unordered_map<std::string, std::string> files_;
+  std::unordered_set<std::string> dirs_;
+};
+
+/// Real-filesystem env (std::filesystem + ofstream). Used by the CLI and
+/// bench_store; the crash sweep never runs against it — determinism of
+/// fault points cannot be guaranteed on a real kernel.
+class FileSystemEnv final : public StorageEnv {
+ public:
+  void write_file(const std::string& path, std::string_view data,
+                  bool flush) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void make_dirs(const std::string& path) override;
+  void remove_dir(const std::string& path) override;
+
+  [[nodiscard]] std::optional<std::string> read_file(
+      const std::string& path) const override;
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list_dir(
+      const std::string& path) const override;
+};
+
+}  // namespace echoimage::store

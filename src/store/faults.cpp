@@ -1,0 +1,138 @@
+#include "store/faults.hpp"
+
+#include "store/checksum.hpp"
+
+namespace echoimage::store {
+
+const char* to_string(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kNone: return "none";
+    case StorageFaultKind::kTornWrite: return "torn_write";
+    case StorageFaultKind::kBitFlip: return "bit_flip";
+    case StorageFaultKind::kTruncate: return "truncate";
+    case StorageFaultKind::kFailedFlush: return "failed_flush";
+    case StorageFaultKind::kStaleRename: return "stale_rename";
+  }
+  return "?";
+}
+
+StorageFaultInjector::StorageFaultInjector(StorageEnv& inner,
+                                           StorageFaultSpec spec)
+    : inner_(&inner), spec_(spec) {}
+
+bool StorageFaultInjector::arm_mutation() {
+  require_alive();
+  const std::size_t idx = ops_++;
+  return spec_.kind != StorageFaultKind::kNone && idx == spec_.op_index;
+}
+
+void StorageFaultInjector::die() {
+  injected_ = true;
+  crashed_ = true;
+  throw StorageCrash(std::string("StorageFaultInjector: crashed by ") +
+                     to_string(spec_.kind));
+}
+
+void StorageFaultInjector::require_alive() const {
+  if (crashed_)
+    throw StorageCrash("StorageFaultInjector: operation after crash");
+}
+
+void StorageFaultInjector::write_file(const std::string& path,
+                                      std::string_view data, bool flush) {
+  if (!arm_mutation()) {
+    inner_->write_file(path, data, flush);
+    return;
+  }
+  const std::uint64_t h = detail::mix64(spec_.seed ^ (ops_ - 1));
+  switch (spec_.kind) {
+    case StorageFaultKind::kTornWrite:
+      // A strict prefix reaches the medium before power is lost.
+      if (!data.empty())
+        inner_->write_file(path, data.substr(0, h % data.size()), false);
+      else
+        inner_->write_file(path, data, false);
+      break;
+    case StorageFaultKind::kBitFlip: {
+      // The whole write lands but the medium flips a few bits in flight.
+      std::string corrupt(data);
+      if (!corrupt.empty()) {
+        const std::size_t flips = 1 + h % 3;
+        for (std::size_t f = 0; f < flips; ++f) {
+          const std::uint64_t g = detail::mix64(h ^ (0xB17F11Bu + f));
+          corrupt[g % corrupt.size()] ^=
+              static_cast<char>(1u << ((g >> 32) % 8));
+        }
+      }
+      inner_->write_file(path, corrupt, flush);
+      break;
+    }
+    case StorageFaultKind::kTruncate:
+      // The file is created, then truncated to nothing by the crash.
+      inner_->write_file(path, std::string_view(), false);
+      break;
+    case StorageFaultKind::kFailedFlush:
+      // The barrier lied: nothing was durable when the machine died. Any
+      // pre-existing file keeps its old bytes.
+      break;
+    case StorageFaultKind::kStaleRename:
+    case StorageFaultKind::kNone:
+      // Not applicable to a write: crash before the op happens.
+      break;
+  }
+  die();
+}
+
+void StorageFaultInjector::rename_file(const std::string& from,
+                                       const std::string& to) {
+  if (!arm_mutation()) {
+    inner_->rename_file(from, to);
+    return;
+  }
+  // kStaleRename (and every other kind landing on a rename): the rename
+  // simply never happens — the old name survives, the temp file lingers.
+  die();
+}
+
+void StorageFaultInjector::remove_file(const std::string& path) {
+  if (!arm_mutation()) {
+    inner_->remove_file(path);
+    return;
+  }
+  die();
+}
+
+void StorageFaultInjector::make_dirs(const std::string& path) {
+  if (!arm_mutation()) {
+    inner_->make_dirs(path);
+    return;
+  }
+  die();
+}
+
+void StorageFaultInjector::remove_dir(const std::string& path) {
+  if (!arm_mutation()) {
+    inner_->remove_dir(path);
+    return;
+  }
+  die();
+}
+
+std::optional<std::string> StorageFaultInjector::read_file(
+    const std::string& path) const {
+  require_alive();
+  return inner_->read_file(path);
+}
+
+bool StorageFaultInjector::exists(const std::string& path) const {
+  require_alive();
+  return inner_->exists(path);
+}
+
+std::vector<std::string> StorageFaultInjector::list_dir(
+    const std::string& path) const {
+  require_alive();
+  return inner_->list_dir(path);
+}
+
+}  // namespace echoimage::store

@@ -1,0 +1,85 @@
+// Seeded storage-fault injection, in the style of sim/faults.hpp for the
+// capture chain: a deterministic spec says exactly which mutation dies and
+// how, so every crash point is enumerable and every run replays exactly.
+//
+// The injector wraps any StorageEnv and counts mutations (write_file,
+// rename_file, remove_file, make_dirs, remove_dir — the full injectable
+// surface of env.hpp). At mutation index `op_index` it applies its fault
+// kind and then *crashes the process*: the injected op throws StorageCrash
+// after its partial effect lands in the inner env, and every subsequent
+// operation throws immediately. The inner env afterwards holds precisely
+// the disk a real crash at that point would have left — recovery code is
+// then pointed at it with a plain env.
+//
+// Fault kinds that do not apply to the op at the crash point (e.g. a torn
+// write landing on a rename) degrade to crash-before-op: the op simply
+// never happens. That keeps the sweep grid rectangular — every
+// (kind x op_index) cell is a valid crash scenario.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "store/env.hpp"
+
+namespace echoimage::store {
+
+enum class StorageFaultKind {
+  kNone,         ///< count ops only (enumerates a sweep's fault points)
+  kTornWrite,    ///< a seeded strict prefix of the data reaches the medium
+  kBitFlip,      ///< the full write lands, with 1-3 seeded bits flipped
+  kTruncate,     ///< the file is created but truncated to zero bytes
+  kFailedFlush,  ///< the durability barrier silently does nothing: no bytes
+  kStaleRename,  ///< the rename never happens; the old name survives
+};
+
+[[nodiscard]] const char* to_string(StorageFaultKind kind);
+
+struct StorageFaultSpec {
+  StorageFaultKind kind = StorageFaultKind::kNone;
+  /// 0-based mutation index at which the fault fires.
+  std::size_t op_index = 0;
+  /// Seeds the fault's free parameters (tear offset, flipped bit
+  /// positions) through the store's splitmix64 mixer.
+  std::uint64_t seed = 0x57A6EFA17ULL;
+};
+
+class StorageFaultInjector final : public StorageEnv {
+ public:
+  explicit StorageFaultInjector(StorageEnv& inner, StorageFaultSpec spec = {});
+
+  /// Mutations observed so far (including the crashing one).
+  [[nodiscard]] std::size_t op_count() const { return ops_; }
+  /// True once the spec's fault has fired.
+  [[nodiscard]] bool injected() const { return injected_; }
+  /// True once the simulated process is dead (every further op throws).
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  void write_file(const std::string& path, std::string_view data,
+                  bool flush) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void make_dirs(const std::string& path) override;
+  void remove_dir(const std::string& path) override;
+
+  [[nodiscard]] std::optional<std::string> read_file(
+      const std::string& path) const override;
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list_dir(
+      const std::string& path) const override;
+
+ private:
+  /// Returns true when this mutation is the injection point; afterwards
+  /// the injector is crashed regardless of what the caller does next.
+  [[nodiscard]] bool arm_mutation();
+  [[noreturn]] void die();
+  void require_alive() const;
+
+  StorageEnv* inner_;
+  StorageFaultSpec spec_;
+  std::size_t ops_ = 0;
+  bool injected_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace echoimage::store

@@ -1,0 +1,59 @@
+#include "store/record.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ml/serialize.hpp"
+
+namespace echoimage::store {
+
+std::string encode_record(const TemplateRecord& record) {
+  std::ostringstream os;
+  ml::write_tag(os, "echoimage_template_v1");
+  os << record.user_id << '\n';
+  ml::write_vector(os, record.centroid);
+  record.verifier.save(os);
+  ml::write_tag(os, "end_template");
+  return os.str();
+}
+
+TemplateRecord decode_record(std::string_view payload) {
+  std::istringstream is{std::string(payload)};
+  ml::expect_tag(is, "echoimage_template_v1");
+  TemplateRecord record;
+  if (!(is >> record.user_id))
+    throw std::runtime_error("template: missing user id");
+  record.centroid = ml::read_vector(is);
+  record.verifier = core::Authenticator::load(is);
+  ml::expect_tag(is, "end_template");
+  return record;
+}
+
+TemplateRecord make_template_record(
+    int user_id, std::vector<std::vector<double>> features,
+    std::vector<std::vector<double>> calibration,
+    const core::AuthenticatorConfig& config) {
+  if (features.empty())
+    throw std::invalid_argument("make_template_record: no features");
+  TemplateRecord record;
+  record.user_id = user_id;
+  record.centroid.assign(features.front().size(), 0.0);
+  for (const auto& f : features) {
+    if (f.size() != record.centroid.size())
+      throw std::invalid_argument(
+          "make_template_record: ragged feature dimensions");
+    for (std::size_t d = 0; d < f.size(); ++d) record.centroid[d] += f[d];
+  }
+  for (double& c : record.centroid)
+    c /= static_cast<double>(features.size());
+
+  core::EnrolledUser user;
+  user.user_id = user_id;
+  user.features = std::move(features);
+  user.calibration_features = std::move(calibration);
+  record.verifier = core::Authenticator::train({std::move(user)}, config);
+  return record;
+}
+
+}  // namespace echoimage::store

@@ -1,0 +1,45 @@
+// The unit of durable enrollment: one user's template record.
+//
+// A record is self-contained — the feature centroid (the 1:N prefilter key
+// ROADMAP item 3 needs) plus a fully trained single-user verifier (scaler,
+// SVDD gate, calibrated accept threshold) serialized through ml/serialize's
+// hexfloat text format, so a record decoded from disk authenticates
+// bit-identically to the freshly trained object. Records are what shards
+// store and what the serve layer's store-backed processor looks up per
+// frame.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/authenticator.hpp"
+
+namespace echoimage::store {
+
+struct TemplateRecord {
+  int user_id = 0;
+  /// Mean enrollment feature vector.
+  std::vector<double> centroid;
+  /// Single-user verifier for this template (see core::Authenticator's
+  /// single-user mode: scaler + one SVDD + calibrated threshold).
+  core::Authenticator verifier;
+};
+
+/// Tagged hexfloat text encoding (bit-exact round-trip).
+[[nodiscard]] std::string encode_record(const TemplateRecord& record);
+
+/// Throws std::runtime_error on any malformed payload — a decode failure
+/// is a corruption signal the shard reader turns into quarantine, never a
+/// partially filled record.
+[[nodiscard]] TemplateRecord decode_record(std::string_view payload);
+
+/// Train a self-contained 1:1 template from one user's enrollment
+/// features. `calibration` may be empty (the trainer then holds out a
+/// stride of `features`, see core::EnrolledUser).
+[[nodiscard]] TemplateRecord make_template_record(
+    int user_id, std::vector<std::vector<double>> features,
+    std::vector<std::vector<double>> calibration = {},
+    const core::AuthenticatorConfig& config = {});
+
+}  // namespace echoimage::store

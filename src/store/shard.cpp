@@ -1,0 +1,230 @@
+#include "store/shard.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "store/checksum.hpp"
+#include "store/env.hpp"
+
+namespace echoimage::store {
+
+namespace {
+
+constexpr std::size_t kSlotAlign = 64;
+// "rec " + int + ' ' + len + ' ' + crc + '\n' with generous digit room.
+constexpr std::size_t kSlotHeaderReserve = 48;
+
+std::string header_prefix(const ShardHeader& h, std::uint32_t payload_crc) {
+  std::ostringstream os;
+  os << kShardMagic << " v" << kShardFormatVersion << '\n'
+     << "shard " << h.shard_id << " of " << h.shard_count << '\n'
+     << "generation " << h.generation << '\n'
+     << "records " << h.record_count << " slot " << h.slot_bytes << '\n'
+     << "payload_crc " << crc32_hex(payload_crc) << '\n';
+  return os.str();
+}
+
+/// Reads one '\n'-terminated line out of [pos, bytes.size()); empty return
+/// plus pos unchanged means no terminator before the limit.
+std::string_view next_line(std::string_view bytes, std::size_t& pos,
+                           std::size_t limit) {
+  const std::size_t nl = bytes.find('\n', pos);
+  if (nl == std::string_view::npos || nl >= limit) return {};
+  const std::string_view line = bytes.substr(pos, nl - pos);
+  pos = nl + 1;
+  return line;
+}
+
+bool parse_fields(std::string_view line, std::initializer_list<const char*> lit,
+                  std::vector<std::uint64_t>* out) {
+  std::istringstream is{std::string(line)};
+  auto lit_it = lit.begin();
+  std::string word;
+  out->clear();
+  for (;;) {
+    const bool want_literal = lit_it != lit.end();
+    if (!(is >> word)) return !want_literal;
+    if (want_literal && word == *lit_it) {
+      ++lit_it;
+      continue;
+    }
+    // Numeric field: digits only (strict — corrupt headers must not parse).
+    std::uint64_t v = 0;
+    if (word.empty()) return false;
+    for (const char c : word) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out->push_back(v);
+  }
+}
+
+}  // namespace
+
+std::size_t slot_bytes_for(std::size_t max_payload_bytes) {
+  const std::size_t raw = max_payload_bytes + kSlotHeaderReserve;
+  return (raw + kSlotAlign - 1) / kSlotAlign * kSlotAlign;
+}
+
+std::string encode_shard(ShardHeader header,
+                         const std::vector<std::string>& payloads) {
+  header.record_count = payloads.size();
+  if (header.slot_bytes == 0)
+    throw StorageError("encode_shard: slot_bytes must be set");
+  std::string slots;
+  slots.reserve(payloads.size() * header.slot_bytes);
+  for (const std::string& payload : payloads) {
+    const std::size_t before = slots.size();
+    // The slot header names the user for cheap scans; it is re-derived
+    // from the payload itself (and cross-checked against the decode on
+    // read) rather than trusted from a caller-supplied ordering.
+    std::istringstream peek{payload};
+    std::string tag;
+    long long user_id = 0;
+    if (!(peek >> tag >> user_id))
+      throw StorageError("encode_shard: unparseable payload");
+    std::ostringstream line;
+    line << "rec " << user_id << ' ' << payload.size() << ' '
+         << crc32_hex(crc32(payload)) << '\n';
+    const std::string slot_header = line.str();
+    if (slot_header.size() + payload.size() > header.slot_bytes)
+      throw StorageError("encode_shard: payload exceeds slot size");
+    slots += slot_header;
+    slots += payload;
+    slots.resize(before + header.slot_bytes, '\0');
+  }
+  const std::string prefix = header_prefix(header, crc32(slots));
+  // The header CRC covers the entire fixed-size header — padding and the
+  // crc line included — computed with its own hex field zeroed, then
+  // patched in. A flip of *any* header byte is therefore detectable.
+  std::string head = prefix + "header_crc 00000000\n";
+  if (head.size() > kShardHeaderBytes - 1)
+    throw StorageError("encode_shard: header overflow");
+  head.resize(kShardHeaderBytes - 1, '#');
+  head.push_back('\n');
+  head.replace(prefix.size() + 11, 8, crc32_hex(crc32(head)));
+  return head + slots;
+}
+
+ShardReadResult read_shard(std::string_view bytes) {
+  ShardReadResult result;
+  const auto fail = [&](std::string why) {
+    result.ok = false;
+    result.error = std::move(why);
+    return result;
+  };
+
+  if (bytes.size() < kShardHeaderBytes) return fail("short file");
+
+  std::size_t pos = 0;
+  std::vector<std::uint64_t> nums;
+
+  const std::string_view magic_line = next_line(bytes, pos, kShardHeaderBytes);
+  std::ostringstream want_magic;
+  want_magic << kShardMagic << " v" << kShardFormatVersion;
+  if (std::string(magic_line) != want_magic.str())
+    return fail("bad magic or format version");
+
+  const std::string_view shard_line = next_line(bytes, pos, kShardHeaderBytes);
+  if (!parse_fields(shard_line, {"shard", "of"}, &nums) || nums.size() != 2)
+    return fail("bad shard line");
+  result.header.shard_id = static_cast<std::size_t>(nums[0]);
+  result.header.shard_count = static_cast<std::size_t>(nums[1]);
+
+  const std::string_view gen_line = next_line(bytes, pos, kShardHeaderBytes);
+  if (!parse_fields(gen_line, {"generation"}, &nums) || nums.size() != 1)
+    return fail("bad generation line");
+  result.header.generation = nums[0];
+
+  const std::string_view rec_line = next_line(bytes, pos, kShardHeaderBytes);
+  if (!parse_fields(rec_line, {"records", "slot"}, &nums) || nums.size() != 2)
+    return fail("bad records line");
+  result.header.record_count = static_cast<std::size_t>(nums[0]);
+  result.header.slot_bytes = static_cast<std::size_t>(nums[1]);
+
+  const std::string_view crc_line = next_line(bytes, pos, kShardHeaderBytes);
+  std::uint32_t stored_payload_crc = 0;
+  {
+    std::istringstream is{std::string(crc_line)};
+    std::string word, hex;
+    if (!(is >> word >> hex) || word != "payload_crc")
+      return fail("bad payload_crc line");
+    try {
+      stored_payload_crc = parse_crc32_hex(hex);
+    } catch (const std::runtime_error&) {
+      return fail("bad payload_crc line");
+    }
+  }
+  const std::size_t header_text_end = pos;  // header_crc line starts here
+
+  const std::string_view hdr_crc_line = next_line(bytes, pos, kShardHeaderBytes);
+  {
+    std::istringstream is{std::string(hdr_crc_line)};
+    std::string word, hex;
+    std::uint32_t stored = 0;
+    if (!(is >> word >> hex) || word != "header_crc")
+      return fail("bad header_crc line");
+    try {
+      stored = parse_crc32_hex(hex);
+    } catch (const std::runtime_error&) {
+      return fail("bad header_crc line");
+    }
+    // Re-zero the crc field and checksum the whole fixed-size header, so
+    // corruption of the padding or of the crc line itself is caught too.
+    if (header_text_end + 19 > kShardHeaderBytes)
+      return fail("bad header_crc line");
+    std::string head(bytes.substr(0, kShardHeaderBytes));
+    head.replace(header_text_end + 11, 8, "00000000");
+    if (stored != crc32(head)) return fail("header crc mismatch");
+  }
+
+  if (result.header.slot_bytes == 0 ||
+      result.header.record_count > (1u << 24) ||
+      result.header.slot_bytes > (1u << 26))
+    return fail("implausible geometry");
+  const std::size_t want_size =
+      kShardHeaderBytes + result.header.record_count * result.header.slot_bytes;
+  if (bytes.size() != want_size) return fail("geometry mismatch");
+
+  const std::string_view slots = bytes.substr(kShardHeaderBytes);
+  if (crc32(slots) != stored_payload_crc) return fail("payload crc mismatch");
+
+  result.records.reserve(result.header.record_count);
+  for (std::size_t i = 0; i < result.header.record_count; ++i) {
+    const std::string_view slot =
+        slots.substr(i * result.header.slot_bytes, result.header.slot_bytes);
+    const std::size_t nl = slot.find('\n');
+    if (nl == std::string_view::npos)
+      return fail("slot " + std::to_string(i) + ": no header line");
+    std::istringstream is{std::string(slot.substr(0, nl))};
+    std::string word, hex;
+    long long slot_user = 0;
+    std::uint64_t len = 0;
+    if (!(is >> word >> slot_user >> len >> hex) || word != "rec")
+      return fail("slot " + std::to_string(i) + ": bad header line");
+    if (nl + 1 + len > slot.size())
+      return fail("slot " + std::to_string(i) + ": length exceeds slot");
+    const std::string_view payload = slot.substr(nl + 1, len);
+    std::uint32_t stored = 0;
+    try {
+      stored = parse_crc32_hex(hex);
+    } catch (const std::runtime_error&) {
+      return fail("slot " + std::to_string(i) + ": bad crc field");
+    }
+    if (crc32(payload) != stored)
+      return fail("slot " + std::to_string(i) + ": record crc mismatch");
+    TemplateRecord record;
+    try {
+      record = decode_record(payload);
+    } catch (const std::exception& e) {
+      return fail("slot " + std::to_string(i) + ": decode: " + e.what());
+    }
+    if (record.user_id != static_cast<int>(slot_user))
+      return fail("slot " + std::to_string(i) + ": user id mismatch");
+    result.records.push_back(std::move(record));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace echoimage::store

@@ -1,0 +1,73 @@
+// Shard file codec: the store's on-disk unit.
+//
+// A shard file is a fixed-size versioned header followed by fixed-size
+// record slots, so slot offsets are O(1) and a reader can locate every
+// integrity boundary without trusting any variable-length structure:
+//
+//   [header: kShardHeaderBytes]
+//     echoimage-store-shard v1          <- magic + format version
+//     shard <id> of <count>
+//     generation <gen>
+//     records <n> slot <slot_bytes>
+//     payload_crc <8hex>                <- CRC-32 over all n slots
+//     header_crc <8hex>                 <- CRC-32 over the 5 lines above
+//     ###...#\n                        <- '#' padding to the fixed size
+//   [slot 0: slot_bytes]
+//     rec <user_id> <payload_len> <8hex>\n   <- per-record CRC-32
+//     <payload bytes><NUL padding>
+//   [slot 1] ... [slot n-1]
+//
+// Verification is a ladder — size, magic/version, header CRC, geometry,
+// payload CRC, then per-slot CRC + decode + user-id cross-check — and the
+// first failed rung names the corruption. A shard that fails any rung is
+// reported whole-file corrupt; the store quarantines it rather than trust
+// whichever slots happen to still parse (a torn write that ate the header
+// says nothing about which record bytes are stale).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/record.hpp"
+
+namespace echoimage::store {
+
+inline constexpr std::string_view kShardMagic = "echoimage-store-shard";
+inline constexpr std::size_t kShardFormatVersion = 1;
+inline constexpr std::size_t kShardHeaderBytes = 192;
+
+struct ShardHeader {
+  std::size_t shard_id = 0;
+  std::size_t shard_count = 1;
+  std::uint64_t generation = 0;
+  std::size_t record_count = 0;
+  std::size_t slot_bytes = 0;
+};
+
+/// Smallest slot size (a multiple of 64) that fits every payload of
+/// `max_payload_bytes` plus its slot header line.
+[[nodiscard]] std::size_t slot_bytes_for(std::size_t max_payload_bytes);
+
+/// Serialize one shard; every payload must fit `header.slot_bytes` (throws
+/// StorageError otherwise), and `header.record_count` is taken from
+/// `payloads`.
+[[nodiscard]] std::string encode_shard(ShardHeader header,
+                                       const std::vector<std::string>& payloads);
+
+struct ShardReadResult {
+  bool ok = false;
+  /// First integrity-ladder rung that failed (empty when ok).
+  std::string error;
+  ShardHeader header;
+  std::vector<TemplateRecord> records;
+};
+
+/// Run the full verification ladder over raw shard bytes. Never throws on
+/// corrupt input — corruption is a *result*, not an exception, because the
+/// caller's job is to quarantine and carry on.
+[[nodiscard]] ShardReadResult read_shard(std::string_view bytes);
+
+}  // namespace echoimage::store

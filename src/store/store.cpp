@@ -1,0 +1,539 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "store/checksum.hpp"
+#include "store/shard.hpp"
+
+namespace echoimage::store {
+
+namespace {
+
+constexpr std::string_view kManifestMagic = "echoimage-store-manifest";
+
+struct ManifestData {
+  std::uint64_t generation = 0;
+  std::size_t num_shards = 0;
+  std::size_t slot_bytes = 0;
+};
+
+std::string encode_manifest(const ManifestData& m) {
+  std::ostringstream os;
+  os << kManifestMagic << " v1\n"
+     << "generation " << m.generation << '\n'
+     << "shards " << m.num_shards << '\n'
+     << "slot " << m.slot_bytes << '\n';
+  const std::string body = os.str();
+  return body + "crc " + crc32_hex(crc32(body)) + '\n';
+}
+
+bool parse_line(std::istream& is, const char* key, std::uint64_t* out) {
+  std::string word, value;
+  if (!(is >> word >> value) || word != key) return false;
+  if (value.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_manifest(const std::string& bytes, ManifestData* out) {
+  // The crc line covers everything before it, byte-for-byte.
+  const std::size_t crc_pos = bytes.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      bytes[crc_pos - 1] != '\n')
+    return false;
+  std::istringstream crc_is{bytes.substr(crc_pos)};
+  std::string word, hex;
+  if (!(crc_is >> word >> hex) || word != "crc") return false;
+  std::uint32_t stored = 0;
+  try {
+    stored = parse_crc32_hex(hex);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  if (crc32(std::string_view(bytes).substr(0, crc_pos)) != stored)
+    return false;
+
+  std::istringstream is{bytes.substr(0, crc_pos)};
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kManifestMagic || version != "v1")
+    return false;
+  std::uint64_t gen = 0, shards = 0, slot = 0;
+  if (!parse_line(is, "generation", &gen)) return false;
+  if (!parse_line(is, "shards", &shards)) return false;
+  if (!parse_line(is, "slot", &slot)) return false;
+  if (shards == 0 || shards > (1u << 16)) return false;
+  out->generation = gen;
+  out->num_shards = static_cast<std::size_t>(shards);
+  out->slot_bytes = static_cast<std::size_t>(slot);
+  return true;
+}
+
+/// Strict "gen-<digits>" parse; nullopt for anything else.
+std::optional<std::uint64_t> parse_gen_dir(const std::string& name) {
+  if (name.size() <= 4 || name.compare(0, 4, "gen-") != 0) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 4; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+void StoreConfig::validate() const {
+  if (root.empty())
+    throw std::invalid_argument("StoreConfig: root must be non-empty");
+  if (num_shards == 0 || num_shards > (1u << 16))
+    throw std::invalid_argument("StoreConfig: num_shards out of range");
+  if (slot_bytes != 0 && slot_bytes < 64)
+    throw std::invalid_argument(
+        "StoreConfig: slot_bytes must be 0 (derive) or >= 64");
+}
+
+const char* to_string(LookupStatus status) {
+  switch (status) {
+    case LookupStatus::kFound: return "found";
+    case LookupStatus::kAbsent: return "absent";
+    case LookupStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+const char* to_string(RecoverySource source) {
+  switch (source) {
+    case RecoverySource::kManifest: return "manifest";
+    case RecoverySource::kScanFull: return "scan_full";
+    case RecoverySource::kScanPartial: return "scan_partial";
+  }
+  return "?";
+}
+
+std::string StoreStats::describe() const {
+  std::ostringstream os;
+  os << "template store: generation " << generation << " via "
+     << to_string(recovery) << ", " << records << " records in " << num_shards
+     << " shards (slot " << slot_bytes << " B, " << stored_bytes
+     << " B committed)";
+  if (quarantined_shards == 0) {
+    os << ", all shards healthy";
+  } else {
+    os << ", " << quarantined_shards << " shard(s) QUARANTINED";
+    for (std::size_t k = 0; k < shards.size(); ++k)
+      if (shards[k].quarantined)
+        os << "\n  shard " << k << ": " << shards[k].error;
+  }
+  return os.str();
+}
+
+bool FsckReport::clean() const {
+  return std::all_of(shards.begin(), shards.end(),
+                     [](const ShardHealth& s) { return !s.quarantined; });
+}
+
+std::string FsckReport::describe() const {
+  std::ostringstream os;
+  os << "fsck generation " << generation << ": ";
+  if (clean()) {
+    std::size_t records = 0;
+    for (const ShardHealth& s : shards) records += s.records;
+    os << "clean (" << shards.size() << " shards, " << records << " records)";
+    return os.str();
+  }
+  for (std::size_t k = 0; k < shards.size(); ++k)
+    if (shards[k].quarantined)
+      os << "\n  shard " << k << " CORRUPT: " << shards[k].error;
+  return os.str();
+}
+
+TemplateStore::TemplateStore(StoreConfig config, StorageEnv& env)
+    : config_(std::move(config)), env_(&env) {}
+
+std::string TemplateStore::gen_dir(std::uint64_t gen) const {
+  return config_.root + "/gen-" + std::to_string(gen);
+}
+
+std::string TemplateStore::shard_path(std::uint64_t gen,
+                                      std::size_t shard) const {
+  return gen_dir(gen) + "/shard-" + std::to_string(shard) + ".tpl";
+}
+
+std::string TemplateStore::manifest_path() const {
+  return config_.root + "/MANIFEST";
+}
+
+void TemplateStore::resolve_handles() {
+  if (obs_ == nullptr) {
+    tracer_ = nullptr;
+    opens_ = commits_ = fallback_recoveries_ = quarantined_shards_ =
+        corrupt_records_ = lookups_found_ = lookups_absent_ =
+            lookups_quarantined_ = nullptr;
+    return;
+  }
+  tracer_ = &obs_->tracer();
+  auto& m = obs_->metrics();
+  opens_ = &m.counter("store.opens");
+  commits_ = &m.counter("store.commits");
+  fallback_recoveries_ = &m.counter("store.recovered_fallback");
+  quarantined_shards_ = &m.counter("store.shards_quarantined");
+  corrupt_records_ = &m.counter("store.records_dropped_corrupt");
+  lookups_found_ = &m.counter("store.lookup.found");
+  lookups_absent_ = &m.counter("store.lookup.absent");
+  lookups_quarantined_ = &m.counter("store.lookup.quarantined");
+}
+
+void TemplateStore::attach_observability(
+    std::shared_ptr<const obs::Observability> obs) {
+  obs_ = std::move(obs);
+  resolve_handles();
+}
+
+void TemplateStore::note_quarantine(const Shard& shard) const {
+  (void)shard;
+  if (quarantined_shards_ != nullptr) quarantined_shards_->add();
+}
+
+TemplateStore TemplateStore::init(StoreConfig config, StorageEnv& env) {
+  config.validate();
+  TemplateStore store(std::move(config), env);
+  if (env.exists(store.manifest_path()))
+    throw StorageError("TemplateStore: '" + store.config_.root +
+                       "' is already initialized");
+  env.make_dirs(store.config_.root);
+  store.write_generation(
+      0, std::vector<std::vector<TemplateRecord>>(store.config_.num_shards));
+  return store;
+}
+
+TemplateStore TemplateStore::open(
+    StoreConfig config, StorageEnv& env,
+    std::shared_ptr<const obs::Observability> obs) {
+  config.validate();
+  TemplateStore store(std::move(config), env);
+  store.obs_ = std::move(obs);
+  store.resolve_handles();
+  EI_SPAN(store.tracer_, "store.open");
+
+  ManifestData manifest;
+  const std::optional<std::string> bytes =
+      env.read_file(store.manifest_path());
+  if (bytes.has_value() && parse_manifest(*bytes, &manifest)) {
+    store.generation_ = manifest.generation;
+    store.slot_bytes_ = manifest.slot_bytes;
+    store.recovery_ = RecoverySource::kManifest;
+    store.load_generation(manifest.generation, manifest.num_shards);
+  } else {
+    // Rung 1/2: the pointer is gone; the generations must speak for
+    // themselves.
+    if (!store.try_scan_recovery())
+      throw StorageError("TemplateStore: no recoverable generation under '" +
+                         store.config_.root + "'");
+    if (store.fallback_recoveries_ != nullptr)
+      store.fallback_recoveries_->add();
+  }
+  if (store.opens_ != nullptr) store.opens_->add();
+  return store;
+}
+
+void TemplateStore::load_generation(std::uint64_t gen,
+                                    std::size_t shard_count) {
+  shards_.assign(shard_count, Shard{});
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    Shard& shard = shards_[k];
+    const std::optional<std::string> bytes =
+        env_->read_file(shard_path(gen, k));
+    if (!bytes.has_value()) {
+      shard.quarantined = true;
+      shard.error = "missing file";
+      note_quarantine(shard);
+      continue;
+    }
+    ShardReadResult read = read_shard(*bytes);
+    if (read.ok && (read.header.generation != gen ||
+                    read.header.shard_id != k ||
+                    read.header.shard_count != shard_count)) {
+      read.ok = false;
+      read.error = "header does not match its place in the store";
+    }
+    if (!read.ok) {
+      shard.quarantined = true;
+      shard.error = read.error;
+      note_quarantine(shard);
+      continue;
+    }
+    slot_bytes_ = read.header.slot_bytes;
+    shard.records = std::move(read.records);
+    for (std::size_t i = 0; i < shard.records.size(); ++i)
+      shard.index[shard.records[i].user_id] = i;
+  }
+}
+
+bool TemplateStore::try_scan_recovery() {
+  std::vector<std::uint64_t> gens;
+  for (const std::string& name : env_->list_dir(config_.root))
+    if (const auto gen = parse_gen_dir(name)) gens.push_back(*gen);
+  std::sort(gens.rbegin(), gens.rend());
+
+  // One read pass per candidate: how many of its shards verify, and what
+  // geometry do the valid ones agree on?
+  struct Candidate {
+    std::uint64_t gen = 0;
+    std::size_t shard_count = 0;
+    std::size_t valid = 0;
+    std::size_t records = 0;
+  };
+  std::optional<Candidate> best_partial;
+  for (const std::uint64_t gen : gens) {
+    std::size_t shard_count = 0;
+    std::size_t valid = 0;
+    std::size_t records = 0;
+    for (const std::string& name : env_->list_dir(gen_dir(gen))) {
+      const std::string path = gen_dir(gen) + "/" + name;
+      const std::optional<std::string> bytes = env_->read_file(path);
+      if (!bytes.has_value()) continue;
+      const ShardReadResult read = read_shard(*bytes);
+      if (!read.ok || read.header.generation != gen) continue;
+      if (shard_count == 0) shard_count = read.header.shard_count;
+      if (read.header.shard_count == shard_count &&
+          read.header.shard_id < shard_count) {
+        ++valid;
+        records += read.header.record_count;
+      }
+    }
+    if (shard_count == 0) continue;  // nothing valid in this generation
+    if (valid == shard_count) {
+      // Newest fully intact generation wins outright — unless it is empty
+      // and a newer partial candidate still holds templates. Recovering to
+      // an empty gallery would silently un-enroll every user (healthy
+      // sessions would start *rejecting*); serving the newer survivors and
+      // abstaining on the quarantined shard is strictly safer.
+      if (records == 0 && best_partial.has_value() &&
+          best_partial->records > 0)
+        break;
+      generation_ = gen;
+      recovery_ = RecoverySource::kScanFull;
+      load_generation(gen, shard_count);
+      return true;
+    }
+    if (!best_partial.has_value() && valid > 0)
+      best_partial = Candidate{gen, shard_count, valid, records};
+  }
+  if (!best_partial.has_value()) return false;
+  generation_ = best_partial->gen;
+  recovery_ = RecoverySource::kScanPartial;
+  load_generation(best_partial->gen, best_partial->shard_count);
+  return true;
+}
+
+std::size_t TemplateStore::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_)
+    if (!s.quarantined) n += s.records.size();
+  return n;
+}
+
+std::size_t TemplateStore::shard_of(int user_id) const {
+  return static_cast<std::size_t>(
+      detail::mix64(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(user_id))) %
+      shards_.size());
+}
+
+void TemplateStore::write_generation(
+    std::uint64_t gen, std::vector<std::vector<TemplateRecord>> by_shard) {
+  const std::size_t shard_count = by_shard.size();
+  std::vector<std::vector<std::string>> payloads(shard_count);
+  std::size_t max_payload = 0;
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    payloads[k].reserve(by_shard[k].size());
+    for (const TemplateRecord& record : by_shard[k]) {
+      payloads[k].push_back(encode_record(record));
+      max_payload = std::max(max_payload, payloads[k].back().size());
+    }
+  }
+  const std::size_t slot = config_.slot_bytes != 0
+                               ? config_.slot_bytes
+                               : slot_bytes_for(max_payload);
+
+  const std::string dir = gen_dir(gen);
+  env_->make_dirs(dir);
+  // A crashed earlier commit may have left stale shard/tmp files in this
+  // very directory (recovery fell back past it); clear them so the
+  // directory holds exactly this generation's files afterwards.
+  for (const std::string& name : env_->list_dir(dir))
+    env_->remove_file(dir + "/" + name);
+
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    ShardHeader header;
+    header.shard_id = k;
+    header.shard_count = shard_count;
+    header.generation = gen;
+    header.slot_bytes = slot;
+    atomic_write_file(*env_, shard_path(gen, k),
+                      encode_shard(header, payloads[k]));
+  }
+
+  ManifestData manifest;
+  manifest.generation = gen;
+  manifest.num_shards = shard_count;
+  manifest.slot_bytes = slot;
+  // The linearization point: everything before this rename is invisible
+  // to recovery, everything after it is the committed state.
+  atomic_write_file(*env_, manifest_path(), encode_manifest(manifest));
+
+  generation_ = gen;
+  slot_bytes_ = slot;
+  recovery_ = RecoverySource::kManifest;
+  shards_.assign(shard_count, Shard{});
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    shards_[k].records = std::move(by_shard[k]);
+    for (std::size_t i = 0; i < shards_[k].records.size(); ++i)
+      shards_[k].index[shards_[k].records[i].user_id] = i;
+  }
+}
+
+void TemplateStore::collect_garbage(std::uint64_t keep_a,
+                                    std::uint64_t keep_b) {
+  for (const std::string& name : env_->list_dir(config_.root)) {
+    const auto gen = parse_gen_dir(name);
+    if (!gen.has_value() || *gen == keep_a || *gen == keep_b) continue;
+    const std::string dir = config_.root + "/" + name;
+    for (const std::string& file : env_->list_dir(dir))
+      env_->remove_file(dir + "/" + file);
+    env_->remove_dir(dir);
+  }
+}
+
+void TemplateStore::commit(const std::vector<TemplateRecord>& upserts) {
+  EI_SPAN(tracer_, "store.commit");
+  for (const Shard& shard : shards_)
+    if (shard.quarantined)
+      throw StorageError(
+          "TemplateStore: refusing to commit over a quarantined shard — a "
+          "new generation would silently drop its unreadable records; "
+          "resolve the corruption (or re-enroll) first");
+
+  const std::size_t shard_count = shards_.size();
+  std::vector<std::vector<TemplateRecord>> by_shard(shard_count);
+  std::unordered_map<int, const TemplateRecord*> incoming;
+  incoming.reserve(upserts.size());
+  for (const TemplateRecord& record : upserts)
+    incoming[record.user_id] = &record;
+  for (const Shard& shard : shards_)
+    for (const TemplateRecord& record : shard.records)
+      if (incoming.find(record.user_id) == incoming.end())
+        by_shard[shard_of(record.user_id)].push_back(record);
+  for (const TemplateRecord& record : upserts)
+    by_shard[shard_of(record.user_id)].push_back(*incoming[record.user_id]);
+  // Deterministic slot order within each shard regardless of merge path.
+  for (auto& bucket : by_shard)
+    std::sort(bucket.begin(), bucket.end(),
+              [](const TemplateRecord& a, const TemplateRecord& b) {
+                return a.user_id < b.user_id;
+              });
+
+  const std::uint64_t old_gen = generation_;
+  write_generation(old_gen + 1, std::move(by_shard));
+  // Double-buffering: the generation just superseded stays on disk as the
+  // fallback; everything older goes.
+  collect_garbage(old_gen, generation_);
+  if (commits_ != nullptr) commits_->add();
+}
+
+LookupResult TemplateStore::lookup(int user_id) const {
+  const Shard& shard = shards_[shard_of(user_id)];
+  if (shard.quarantined) {
+    if (lookups_quarantined_ != nullptr) lookups_quarantined_->add();
+    return {LookupStatus::kQuarantined, nullptr};
+  }
+  const auto it = shard.index.find(user_id);
+  if (it == shard.index.end()) {
+    if (lookups_absent_ != nullptr) lookups_absent_->add();
+    return {LookupStatus::kAbsent, nullptr};
+  }
+  if (lookups_found_ != nullptr) lookups_found_->add();
+  return {LookupStatus::kFound, &shard.records[it->second]};
+}
+
+FsckReport TemplateStore::fsck() {
+  EI_SPAN(tracer_, "store.fsck");
+  FsckReport report;
+  report.generation = generation_;
+  report.shards.resize(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = shards_[k];
+    ShardHealth& health = report.shards[k];
+    const std::optional<std::string> bytes =
+        env_->read_file(shard_path(generation_, k));
+    ShardReadResult read;
+    if (!bytes.has_value()) {
+      read.ok = false;
+      read.error = "missing file";
+    } else {
+      read = read_shard(*bytes);
+      if (read.ok && (read.header.generation != generation_ ||
+                      read.header.shard_id != k ||
+                      read.header.shard_count != shards_.size())) {
+        read.ok = false;
+        read.error = "header does not match its place in the store";
+      }
+    }
+    if (read.ok) {
+      // The medium just proved these bytes; a previously quarantined
+      // shard earns its way back in (fsck is how an operator re-verifies
+      // after repairing storage).
+      shard.quarantined = false;
+      shard.error.clear();
+      shard.records = std::move(read.records);
+      shard.index.clear();
+      for (std::size_t i = 0; i < shard.records.size(); ++i)
+        shard.index[shard.records[i].user_id] = i;
+      health.records = shard.records.size();
+      continue;
+    }
+    if (!shard.quarantined) {
+      // Newly discovered at-rest corruption: drop what memory still held —
+      // after fsck the store serves only what the disk can prove.
+      if (corrupt_records_ != nullptr)
+        corrupt_records_->add(shard.records.size());
+      shard.quarantined = true;
+      note_quarantine(shard);
+      shard.records.clear();
+      shard.index.clear();
+    }
+    shard.error = read.error;
+    health.quarantined = true;
+    health.error = read.error;
+  }
+  return report;
+}
+
+StoreStats TemplateStore::stats() const {
+  StoreStats stats;
+  stats.generation = generation_;
+  stats.num_shards = shards_.size();
+  stats.slot_bytes = slot_bytes_;
+  stats.records = size();
+  stats.recovery = recovery_;
+  stats.shards.resize(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    stats.shards[k].quarantined = shards_[k].quarantined;
+    stats.shards[k].error = shards_[k].error;
+    stats.shards[k].records = shards_[k].records.size();
+    if (shards_[k].quarantined) ++stats.quarantined_shards;
+    stats.stored_bytes +=
+        kShardHeaderBytes + shards_[k].records.size() * slot_bytes_;
+  }
+  return stats;
+}
+
+}  // namespace echoimage::store

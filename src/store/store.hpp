@@ -1,0 +1,188 @@
+// Durable, sharded enrollment template store with a crash-consistency
+// model proven by fault injection (store/sweep.hpp).
+//
+// On-disk layout under a root directory:
+//
+//   root/MANIFEST              <- points at the committed generation
+//   root/gen-<N>/shard-<k>.tpl <- shard files of generation N (shard.hpp)
+//
+// Commit protocol (double-buffered generations): a commit writes every
+// shard of generation N+1 into a fresh gen-(N+1)/ directory via
+// atomic_write_file (temp -> flush -> rename), then publishes by
+// atomically replacing MANIFEST. The manifest rename is the single
+// linearization point — a crash anywhere before it leaves MANIFEST naming
+// the old, fully intact generation; a crash anywhere after it leaves the
+// new generation complete on disk. Only after publishing is generation
+// N-1 garbage-collected, so the two newest generations are never both
+// mid-write.
+//
+// Recovery ladder on open:
+//   rung 0 (kManifest):    MANIFEST verifies -> load its generation,
+//                          quarantining any shard that fails the
+//                          integrity ladder (at-rest media corruption).
+//   rung 1 (kScanFull):    MANIFEST missing/corrupt -> scan gen-* dirs
+//                          newest-first for one whose every shard
+//                          verifies, and serve it.
+//   rung 2 (kScanPartial): no fully intact generation -> serve the newest
+//                          generation with at least one valid shard,
+//                          quarantining the rest.
+// Lookups into a quarantined shard answer kQuarantined — the serve layer
+// maps that to an AbstainReason::kStorage abstain, never a reject and
+// never a stale accept (see ISSUE 7: losing enrollment state is an
+// authentication-integrity failure, so the store degrades to "I cannot
+// know", not to a guess).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/observability.hpp"
+#include "store/env.hpp"
+#include "store/record.hpp"
+
+namespace echoimage::store {
+
+struct StoreConfig {
+  std::string root = "template_store";
+  /// Shard count for init/commit. Opening an existing store takes the
+  /// shard count from disk; this value then only shapes future commits
+  /// made through a store initialized here.
+  std::size_t num_shards = 8;
+  /// Fixed record slot size; 0 derives the smallest sufficient slot from
+  /// the largest record at each commit (see shard.hpp).
+  std::size_t slot_bytes = 0;
+
+  void validate() const;
+};
+
+enum class LookupStatus {
+  kFound,        ///< record decoded from the committed generation
+  kAbsent,       ///< shard healthy, user not enrolled
+  kQuarantined,  ///< shard corrupt: the only honest answer is abstain
+};
+[[nodiscard]] const char* to_string(LookupStatus status);
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::kAbsent;
+  /// Valid only when kFound; owned by the store, invalidated by commit().
+  const TemplateRecord* record = nullptr;
+};
+
+enum class RecoverySource { kManifest, kScanFull, kScanPartial };
+[[nodiscard]] const char* to_string(RecoverySource source);
+
+struct ShardHealth {
+  bool quarantined = false;
+  std::string error;  ///< integrity-ladder rung that failed
+  std::size_t records = 0;
+};
+
+struct StoreStats {
+  std::uint64_t generation = 0;
+  std::size_t num_shards = 0;
+  std::size_t slot_bytes = 0;
+  std::size_t records = 0;
+  std::size_t quarantined_shards = 0;
+  RecoverySource recovery = RecoverySource::kManifest;
+  std::vector<ShardHealth> shards;
+  /// Committed bytes of the live generation (header + slots, from
+  /// geometry — no filesystem stat needed).
+  std::uint64_t stored_bytes = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Result of re-verifying the live generation against the medium.
+struct FsckReport {
+  std::uint64_t generation = 0;
+  std::vector<ShardHealth> shards;
+  [[nodiscard]] bool clean() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+class TemplateStore {
+ public:
+  /// Create an empty store (generation 0) at config.root. Throws
+  /// StorageError if a MANIFEST already exists there.
+  static TemplateStore init(StoreConfig config, StorageEnv& env);
+
+  /// Open an existing store through the recovery ladder above. Throws
+  /// StorageError only when nothing recoverable exists at all (no
+  /// manifest and no generation directory with a single valid shard).
+  static TemplateStore open(
+      StoreConfig config, StorageEnv& env,
+      std::shared_ptr<const obs::Observability> obs = nullptr);
+
+  void attach_observability(std::shared_ptr<const obs::Observability> obs);
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] RecoverySource recovery_source() const { return recovery_; }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+  /// Merge `upserts` over the live records and publish them as the next
+  /// generation (the commit protocol above). Refuses (StorageError) while
+  /// any shard is quarantined: committing would silently drop every
+  /// record whose bytes are unreadable — corruption must be resolved (or
+  /// the users re-enrolled) explicitly, not laundered away by the next
+  /// write. Throws StorageCrash through from a fault-injecting env.
+  void commit(const std::vector<TemplateRecord>& upserts);
+
+  /// Which shard a user's record lives in (splitmix64 of the id).
+  [[nodiscard]] std::size_t shard_of(int user_id) const;
+
+  [[nodiscard]] LookupResult lookup(int user_id) const;
+
+  /// Re-read the live generation from the medium and re-run the full
+  /// integrity ladder. Newly discovered at-rest corruption quarantines
+  /// the shard (and drops its in-memory records) — after fsck the store
+  /// serves only what the disk can still prove.
+  FsckReport fsck();
+
+  [[nodiscard]] StoreStats stats() const;
+
+ private:
+  struct Shard {
+    bool quarantined = false;
+    std::string error;
+    std::vector<TemplateRecord> records;
+    std::unordered_map<int, std::size_t> index;  ///< user_id -> records idx
+  };
+
+  TemplateStore(StoreConfig config, StorageEnv& env);
+  [[nodiscard]] std::string gen_dir(std::uint64_t gen) const;
+  [[nodiscard]] std::string shard_path(std::uint64_t gen,
+                                       std::size_t shard) const;
+  [[nodiscard]] std::string manifest_path() const;
+  void load_generation(std::uint64_t gen, std::size_t shard_count);
+  void write_generation(std::uint64_t gen,
+                        std::vector<std::vector<TemplateRecord>> by_shard);
+  void collect_garbage(std::uint64_t keep_a, std::uint64_t keep_b);
+  [[nodiscard]] bool try_scan_recovery();
+  void resolve_handles();
+  void note_quarantine(const Shard& shard) const;
+
+  StoreConfig config_;
+  StorageEnv* env_;
+  std::uint64_t generation_ = 0;
+  std::size_t slot_bytes_ = 0;  ///< live generation's slot size
+  RecoverySource recovery_ = RecoverySource::kManifest;
+  std::vector<Shard> shards_;
+
+  std::shared_ptr<const obs::Observability> obs_;
+  const obs::Tracer* tracer_ = nullptr;
+  const obs::Counter* opens_ = nullptr;
+  const obs::Counter* commits_ = nullptr;
+  const obs::Counter* fallback_recoveries_ = nullptr;
+  const obs::Counter* quarantined_shards_ = nullptr;
+  const obs::Counter* corrupt_records_ = nullptr;
+  const obs::Counter* lookups_found_ = nullptr;
+  const obs::Counter* lookups_absent_ = nullptr;
+  const obs::Counter* lookups_quarantined_ = nullptr;
+};
+
+}  // namespace echoimage::store

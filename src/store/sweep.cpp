@@ -1,0 +1,332 @@
+#include "store/sweep.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "store/checksum.hpp"
+
+namespace echoimage::store {
+
+namespace {
+
+using detail::mix64;
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Deterministic synthetic enrollment — no sim dependency: user `u`'s
+/// feature manifold is a seeded point with small seeded per-sample jitter.
+std::vector<std::vector<double>> synth_features(const CrashSweepConfig& cfg,
+                                                std::size_t u,
+                                                std::uint64_t stream) {
+  std::vector<std::vector<double>> features(
+      cfg.samples_per_user, std::vector<double>(cfg.feature_dims));
+  for (std::size_t s = 0; s < cfg.samples_per_user; ++s) {
+    for (std::size_t d = 0; d < cfg.feature_dims; ++d) {
+      const std::uint64_t base = mix64(cfg.seed ^ (u * 1000003ULL + d));
+      const std::uint64_t jit =
+          mix64(cfg.seed ^ stream ^ (((u * 131ULL + s) << 20) | d));
+      features[s][d] =
+          (2.0 * unit(base) - 1.0) + 0.05 * (2.0 * unit(jit) - 1.0);
+    }
+  }
+  return features;
+}
+
+struct SweepFixture {
+  MemoryEnv baseline;          ///< disk after the first committed generation
+  MemoryEnv committed;         ///< disk after the second (clean) commit
+  StoreConfig store_config;
+  std::vector<TemplateRecord> second_batch;
+  /// user -> canonical payload per committed generation.
+  std::map<int, std::string> expected_gen1;
+  std::map<int, std::string> expected_gen2;
+  std::size_t commit_ops = 0;
+};
+
+SweepFixture build_fixture(const CrashSweepConfig& cfg) {
+  SweepFixture fx;
+  fx.store_config.root = "sweep_store";
+  fx.store_config.num_shards = cfg.num_shards;
+
+  const std::size_t half = cfg.num_users / 2;
+  std::vector<TemplateRecord> first_batch;
+  for (std::size_t u = 0; u < half; ++u)
+    first_batch.push_back(make_template_record(
+        static_cast<int>(u) + 1, synth_features(cfg, u, 0x0EAF00DULL)));
+  // The second commit re-enrolls a third of the first batch (fresh
+  // captures) and enrolls everyone else — both upsert paths crash-tested.
+  for (std::size_t u = 0; u < half; u += 3)
+    fx.second_batch.push_back(make_template_record(
+        static_cast<int>(u) + 1, synth_features(cfg, u, 0x12E7EA1ULL)));
+  for (std::size_t u = half; u < cfg.num_users; ++u)
+    fx.second_batch.push_back(make_template_record(
+        static_cast<int>(u) + 1, synth_features(cfg, u, 0x0EAF00DULL)));
+
+  {
+    TemplateStore store = TemplateStore::init(fx.store_config, fx.baseline);
+    store.commit(first_batch);
+    for (const TemplateRecord& r : first_batch)
+      fx.expected_gen1[r.user_id] = encode_record(r);
+  }
+  fx.expected_gen2 = fx.expected_gen1;
+  for (const TemplateRecord& r : fx.second_batch)
+    fx.expected_gen2[r.user_id] = encode_record(r);
+
+  // Counting pass: enumerate the mutations of the second commit, and keep
+  // its fully committed disk for phase B.
+  fx.committed = fx.baseline;
+  {
+    StorageFaultInjector counter(fx.committed, {});
+    TemplateStore store = TemplateStore::open(fx.store_config, counter);
+    store.commit(fx.second_batch);
+    fx.commit_ops = counter.op_count();
+  }
+  return fx;
+}
+
+/// Verify every enrolled (and one never-enrolled) user against the
+/// expected payload map, filling the point's served/bad tallies.
+void verify_serving(const TemplateStore& store,
+                    const std::map<int, std::string>& expected,
+                    std::size_t total_users, CrashPointResult* point,
+                    std::size_t quarantined_shard = static_cast<std::size_t>(-1)) {
+  for (std::size_t u = 0; u <= total_users; ++u) {
+    const int user_id = static_cast<int>(u) + 1;
+    const LookupResult found = store.lookup(user_id);
+    const auto want = expected.find(user_id);
+    const bool in_quarantined_shard =
+        quarantined_shard != static_cast<std::size_t>(-1) &&
+        store.shard_of(user_id) == quarantined_shard;
+    switch (found.status) {
+      case LookupStatus::kFound:
+        ++point->served_found;
+        if (in_quarantined_shard || want == expected.end() ||
+            encode_record(*found.record) != want->second)
+          ++point->bad_serves;  // stale, corrupt, or fabricated template
+        break;
+      case LookupStatus::kAbsent:
+        ++point->served_absent;
+        if (in_quarantined_shard || want != expected.end())
+          ++point->bad_serves;  // an enrolled user must never look absent
+        break;
+      case LookupStatus::kQuarantined:
+        ++point->served_quarantined;
+        if (!in_quarantined_shard) ++point->bad_serves;
+        break;
+    }
+  }
+}
+
+CrashPointResult run_commit_crash_point(const SweepFixture& fx,
+                                        const CrashSweepConfig& cfg,
+                                        std::size_t op_index,
+                                        StorageFaultKind kind) {
+  CrashPointResult point;
+  point.op_index = op_index;
+  point.kind = kind;
+
+  MemoryEnv env = fx.baseline;
+  StorageFaultSpec spec;
+  spec.kind = kind;
+  spec.op_index = op_index;
+  spec.seed = mix64(cfg.seed ^ (op_index * 0x9E37ULL) ^
+                    static_cast<std::uint64_t>(kind));
+  StorageFaultInjector injector(env, spec);
+  try {
+    TemplateStore store = TemplateStore::open(fx.store_config, injector);
+    store.commit(fx.second_batch);
+  } catch (const StorageCrash&) {
+    point.commit_crashed = true;
+  }
+  if (!point.commit_crashed) {
+    point.error = "commit survived its own crash point";
+    return point;
+  }
+
+  std::optional<TemplateStore> recovered;
+  try {
+    recovered = TemplateStore::open(fx.store_config, env);
+  } catch (const StorageError& e) {
+    point.error = std::string("recovery failed: ") + e.what();
+    return point;
+  }
+
+  point.recovered_generation = recovered->generation();
+  point.recovery = recovered->recovery_source();
+  point.quarantined_shards = recovered->stats().quarantined_shards;
+  // A commit crash must never cost integrity: MANIFEST always names an
+  // intact generation, so recovery stays on the manifest rung with zero
+  // quarantine.
+  if (point.recovery != RecoverySource::kManifest)
+    point.error = "commit crash forced recovery off the manifest rung";
+  if (point.quarantined_shards != 0)
+    point.error = "commit crash left a quarantined shard";
+  const std::map<int, std::string>* expected = nullptr;
+  if (recovered->generation() == 1)
+    expected = &fx.expected_gen1;
+  else if (recovered->generation() == 2)
+    expected = &fx.expected_gen2;
+  else
+    point.error = "recovered to a generation that was never committed";
+  if (expected != nullptr)
+    verify_serving(*recovered, *expected, cfg.num_users, &point);
+  return point;
+}
+
+CrashPointResult run_media_point(const SweepFixture& fx,
+                                 const CrashSweepConfig& cfg,
+                                 std::size_t index) {
+  // Cells: per shard {bit flip, truncate, delete}, then one corrupt
+  // MANIFEST cell at the end.
+  CrashPointResult point;
+  point.op_index = index;
+  MemoryEnv env = fx.committed;
+  const std::size_t manifest_cell = cfg.num_shards * 3;
+  const std::string root = fx.store_config.root;
+
+  if (index == manifest_cell) {
+    point.kind = StorageFaultKind::kBitFlip;
+    const std::string path = root + "/MANIFEST";
+    std::string bytes = env.read_file(path).value();
+    bytes[bytes.size() / 2] ^= 0x10;
+    env.corrupt_file(path, bytes);
+    TemplateStore recovered = TemplateStore::open(fx.store_config, env);
+    point.recovered_generation = recovered.generation();
+    point.recovery = recovered.recovery_source();
+    point.quarantined_shards = recovered.stats().quarantined_shards;
+    if (point.recovery != RecoverySource::kScanFull ||
+        recovered.generation() != 2 || point.quarantined_shards != 0)
+      point.error = "manifest corruption did not recover via full scan";
+    else
+      verify_serving(recovered, fx.expected_gen2, cfg.num_users, &point);
+    return point;
+  }
+
+  const std::size_t shard = index / 3;
+  const std::size_t mode = index % 3;
+  const std::string path =
+      root + "/gen-2/shard-" + std::to_string(shard) + ".tpl";
+  std::string bytes = env.read_file(path).value();
+  switch (mode) {
+    case 0: {
+      point.kind = StorageFaultKind::kBitFlip;
+      const std::uint64_t h = mix64(cfg.seed ^ (0xB17ULL + index));
+      bytes[h % bytes.size()] ^= static_cast<char>(1u << ((h >> 32) % 8));
+      env.corrupt_file(path, bytes);
+      break;
+    }
+    case 1:
+      point.kind = StorageFaultKind::kTruncate;
+      env.corrupt_file(path, bytes.substr(0, bytes.size() / 3));
+      break;
+    default:
+      point.kind = StorageFaultKind::kFailedFlush;  // stands in for "lost"
+      env.remove_file(path);
+      break;
+  }
+
+  TemplateStore recovered = TemplateStore::open(fx.store_config, env);
+  point.recovered_generation = recovered.generation();
+  point.recovery = recovered.recovery_source();
+  point.quarantined_shards = recovered.stats().quarantined_shards;
+  if (recovered.generation() != 2 || point.quarantined_shards != 1)
+    point.error = "media corruption must quarantine exactly the hit shard";
+  else
+    verify_serving(recovered, fx.expected_gen2, cfg.num_users, &point,
+                   shard);
+  return point;
+}
+
+}  // namespace
+
+void CrashSweepConfig::validate() const {
+  if (num_shards == 0) throw std::invalid_argument("sweep: num_shards == 0");
+  if (num_users < 4) throw std::invalid_argument("sweep: num_users < 4");
+  if (feature_dims == 0 || samples_per_user < 2)
+    throw std::invalid_argument("sweep: degenerate enrollment shape");
+  for (const StorageFaultKind kind : kinds)
+    if (kind == StorageFaultKind::kNone)
+      throw std::invalid_argument("sweep: kNone is not a sweepable fault");
+}
+
+bool CrashSweepReport::pass() const {
+  const auto point_ok = [](const CrashPointResult& p) {
+    return p.error.empty() && p.bad_serves == 0;
+  };
+  return commit_ops > 0 &&
+         std::all_of(points.begin(), points.end(), point_ok) &&
+         std::all_of(media_points.begin(), media_points.end(), point_ok);
+}
+
+std::uint64_t CrashSweepReport::fingerprint() const {
+  std::uint64_t z = mix64(0xF16E59157ULL ^ commit_ops);
+  const auto fold = [&z](const CrashPointResult& p) {
+    z = mix64(z ^ p.op_index);
+    z = mix64(z ^ static_cast<std::uint64_t>(p.kind));
+    z = mix64(z ^ (p.commit_crashed ? 1u : 0u));
+    z = mix64(z ^ p.recovered_generation);
+    z = mix64(z ^ static_cast<std::uint64_t>(p.recovery));
+    z = mix64(z ^ p.quarantined_shards);
+    z = mix64(z ^ p.served_found);
+    z = mix64(z ^ p.served_absent);
+    z = mix64(z ^ p.served_quarantined);
+    z = mix64(z ^ p.bad_serves);
+    z = mix64(z ^ crc32(p.error));
+  };
+  for (const CrashPointResult& p : points) fold(p);
+  for (const CrashPointResult& p : media_points) fold(p);
+  return z;
+}
+
+std::string CrashSweepReport::describe() const {
+  std::size_t bad = 0, errored = 0;
+  const auto tally = [&](const CrashPointResult& p) {
+    bad += p.bad_serves;
+    if (!p.error.empty()) ++errored;
+  };
+  for (const CrashPointResult& p : points) tally(p);
+  for (const CrashPointResult& p : media_points) tally(p);
+  std::ostringstream os;
+  os << "crash sweep: " << points.size() << " commit-crash points over "
+     << commit_ops << " ops + " << media_points.size()
+     << " media points; " << (pass() ? "PASS" : "FAIL") << " (bad serves "
+     << bad << ", contract violations " << errored << "), fingerprint 0x"
+     << std::hex << fingerprint();
+  return os.str();
+}
+
+CrashSweepReport run_crash_sweep(const CrashSweepConfig& config) {
+  config.validate();
+  const SweepFixture fx = build_fixture(config);
+
+  CrashSweepReport report;
+  report.commit_ops = fx.commit_ops;
+  report.points.resize(fx.commit_ops * config.kinds.size());
+  report.media_points.resize(config.num_shards * 3 + 1);
+
+  runtime::ThreadPool pool(runtime::resolve_workers(config.num_threads));
+  // Every point forks its own snapshot of the baseline disk, so points are
+  // independent; results land at their index and the fingerprint folds in
+  // index order — bit-stable for any worker count.
+  runtime::parallel_for(
+      pool, report.points.size(), [&](std::size_t i, std::size_t) {
+        const std::size_t op = i / config.kinds.size();
+        const StorageFaultKind kind = config.kinds[i % config.kinds.size()];
+        report.points[i] = run_commit_crash_point(fx, config, op, kind);
+      });
+  runtime::parallel_for(
+      pool, report.media_points.size(), [&](std::size_t i, std::size_t) {
+        report.media_points[i] = run_media_point(fx, config, i);
+      });
+  return report;
+}
+
+}  // namespace echoimage::store

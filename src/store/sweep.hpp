@@ -1,0 +1,87 @@
+// Crash-point sweep: the store's crash-consistency proof harness.
+//
+// Phase A (commit crashes): a baseline store is built in a MemoryEnv and a
+// counting pass (StorageFaultKind::kNone) enumerates every mutation a
+// second commit performs. Then, for every (mutation index x fault kind)
+// cell, the sweep forks a bit-identical snapshot of the baseline disk,
+// re-runs the commit under a StorageFaultInjector that kills the "process"
+// at exactly that cell, reopens the wreckage with a plain env, and
+// verifies the recovery contract: the store comes back on a *committed*
+// generation (old or new, depending on which side of the manifest rename
+// the crash fell), every lookup answer is bit-exact against that
+// generation's encoded records, nothing is quarantined, and recovery never
+// needed to leave the manifest rung.
+//
+// Phase B (at-rest media corruption): each shard file of a committed store
+// is bit-flipped, truncated, or deleted in place, plus one cell for a
+// corrupt MANIFEST. Recovery must quarantine exactly the damaged shard
+// (its users answer kQuarantined — abstain, never reject, never a stale
+// accept) while every other user still gets bit-exact templates; the
+// manifest cell must fall back to the scan rung and recover everything.
+//
+// The whole report folds into a splitmix64 fingerprint that is bit-stable
+// across runs and across sweep thread counts (points are computed in
+// parallel but folded in index order) — the determinism tests pin it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/faults.hpp"
+#include "store/store.hpp"
+
+namespace echoimage::store {
+
+struct CrashSweepConfig {
+  std::size_t num_shards = 4;
+  /// Enrolled population: the baseline commit enrolls the first half, the
+  /// crashing commit upserts a few updates plus the second half.
+  std::size_t num_users = 24;
+  std::size_t feature_dims = 8;
+  std::size_t samples_per_user = 4;
+  std::uint64_t seed = 0x5109E7EA7ULL;
+  /// Fault kinds swept in phase A (kNone entries are ignored).
+  std::vector<StorageFaultKind> kinds = {
+      StorageFaultKind::kTornWrite, StorageFaultKind::kBitFlip,
+      StorageFaultKind::kTruncate, StorageFaultKind::kFailedFlush,
+      StorageFaultKind::kStaleRename};
+  /// Worker count for the point fan-out (0 = auto). The fingerprint is
+  /// identical for every value.
+  std::size_t num_threads = 1;
+
+  void validate() const;
+};
+
+struct CrashPointResult {
+  std::size_t op_index = 0;
+  StorageFaultKind kind = StorageFaultKind::kNone;
+  bool commit_crashed = false;
+  std::uint64_t recovered_generation = 0;
+  RecoverySource recovery = RecoverySource::kManifest;
+  std::size_t quarantined_shards = 0;
+  std::size_t served_found = 0;
+  std::size_t served_absent = 0;
+  std::size_t served_quarantined = 0;
+  /// Wrong answers: stale/corrupt/mismatched templates, or found/absent
+  /// where the contract demands abstain. Must be zero everywhere.
+  std::size_t bad_serves = 0;
+  /// Non-empty when the point violated the recovery contract outright.
+  std::string error;
+};
+
+struct CrashSweepReport {
+  /// Mutations the swept commit performs (phase A grid height).
+  std::size_t commit_ops = 0;
+  std::vector<CrashPointResult> points;        ///< phase A, index order
+  std::vector<CrashPointResult> media_points;  ///< phase B, index order
+  [[nodiscard]] bool pass() const;
+  /// Order-stable splitmix64 fold of every point's outcome fields.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] CrashSweepReport run_crash_sweep(const CrashSweepConfig& config);
+
+}  // namespace echoimage::store

@@ -1,0 +1,78 @@
+#include "eval/gallery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace echoimage::eval {
+namespace {
+
+GalleryConfig small_gallery() {
+  GalleryConfig cfg;
+  cfg.num_users = 12;
+  cfg.feature_dims = 8;
+  cfg.samples_per_user = 4;
+  return cfg;
+}
+
+TEST(Gallery, RecordsAreWellFormedAndIdsConsecutive) {
+  const auto records = make_gallery_records(small_gallery());
+  ASSERT_EQ(records.size(), 12u);
+  for (std::size_t u = 0; u < records.size(); ++u) {
+    EXPECT_EQ(records[u].user_id, static_cast<int>(u) + 1);
+    EXPECT_EQ(records[u].centroid.size(), 8u);
+    // Round-trippable through the store codec (the whole point).
+    const store::TemplateRecord decoded =
+        store::decode_record(store::encode_record(records[u]));
+    EXPECT_EQ(store::encode_record(decoded), store::encode_record(records[u]));
+  }
+}
+
+TEST(Gallery, OwnersPassTheirOwnVerifiers) {
+  const auto records = make_gallery_records(small_gallery());
+  // A user's centroid is the mean of their jittered visits: their own
+  // verifier must accept it (it is the least surprising probe possible).
+  std::size_t accepted = 0;
+  for (const store::TemplateRecord& r : records)
+    if (r.verifier.authenticate(r.centroid).accepted) ++accepted;
+  EXPECT_GE(accepted, records.size() - 1)
+      << "own-centroid probes must overwhelmingly pass";
+}
+
+TEST(Gallery, DistinctUsersHaveDistinctSignatures) {
+  const auto records = make_gallery_records(small_gallery());
+  std::set<std::string> encodings;
+  for (const store::TemplateRecord& r : records) {
+    double norm = 0.0;
+    for (const double v : r.centroid) norm += v * v;
+    EXPECT_GT(std::sqrt(norm), 0.0);
+    encodings.insert(store::encode_record(r));
+  }
+  EXPECT_EQ(encodings.size(), records.size());
+}
+
+TEST(Gallery, DeterministicAcrossRunsAndThreadCounts) {
+  const auto a = make_gallery_records(small_gallery());
+  GalleryConfig parallel = small_gallery();
+  parallel.num_threads = 4;
+  const auto b = make_gallery_records(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t u = 0; u < a.size(); ++u)
+    EXPECT_EQ(store::encode_record(a[u]), store::encode_record(b[u])) << u;
+}
+
+TEST(Gallery, ConfigIsValidated) {
+  GalleryConfig cfg = small_gallery();
+  cfg.num_users = 0;
+  EXPECT_THROW((void)make_gallery_records(cfg), std::invalid_argument);
+  cfg = small_gallery();
+  cfg.samples_per_user = 1;
+  EXPECT_THROW((void)make_gallery_records(cfg), std::invalid_argument);
+  cfg = small_gallery();
+  cfg.feature_dims = 0;
+  EXPECT_THROW((void)make_gallery_records(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::eval

@@ -1,0 +1,189 @@
+// The store-backed frame processor: per-session identities resolved to
+// durable per-user verifiers, with the store's honesty contract mapped
+// onto the decision space (found -> authenticate, absent -> reject,
+// quarantined -> kStorage abstain, never a reject, never a stale accept).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "eval/serve_scenario.hpp"
+#include "serve/service.hpp"
+#include "store/env.hpp"
+#include "store/store.hpp"
+
+namespace echoimage::serve {
+namespace {
+
+using echoimage::core::AbstainReason;
+using echoimage::core::AuthOutcome;
+
+/// Enrollment is the slow part (real physics): two sessions on a small
+/// grid, built once for the whole file.
+const eval::ServeLanes& shared_lanes() {
+  static const eval::ServeLanes lanes = eval::make_serve_lanes(2, 11, 24, 8, 2);
+  return lanes;
+}
+
+store::StoreConfig store_config() {
+  store::StoreConfig cfg;
+  cfg.root = "s";
+  cfg.num_shards = 4;
+  return cfg;
+}
+
+CaptureFrame frame_for(std::size_t session) {
+  CaptureFrame f;
+  f.session_id = session;
+  f.capture = shared_lanes().captures.at(session);
+  return f;
+}
+
+StoreLanes store_lanes_for(const store::TemplateStore& store) {
+  StoreLanes lanes;
+  lanes.pipeline = shared_lanes().full.get();
+  lanes.templates = &store;
+  lanes.user_of_session = [](std::uint64_t session) {
+    return shared_lanes().user_ids.at(session);
+  };
+  return lanes;
+}
+
+TEST(StoreBackend, FoundServesTheCommittedVerifier) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+
+  SteadyClock clock;
+  const FrameProcessor proc = make_store_processor(
+      store_lanes_for(store), serve_supervisor_config(), clock);
+  for (std::size_t session = 0; session < 2; ++session) {
+    const FrameResult result = proc(frame_for(session), ServiceMode::kFull);
+    // The owner replays their own probe against their own 1:1 template,
+    // through the same feature pipeline it was trained on.
+    EXPECT_EQ(result.decision.outcome, AuthOutcome::kAccepted) << session;
+    EXPECT_EQ(result.decision.user_id, shared_lanes().user_ids.at(session));
+    EXPECT_GT(result.cost_s, 0.0);
+  }
+}
+
+TEST(StoreBackend, AbsentClaimIsRejectedAtLookupCost) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+
+  SteadyClock clock;
+  StoreLanes lanes = store_lanes_for(store);
+  lanes.user_of_session = [](std::uint64_t) { return 424242; };
+  const FrameProcessor proc =
+      make_store_processor(lanes, serve_supervisor_config(), clock);
+  const FrameResult result = proc(frame_for(0), ServiceMode::kFull);
+  // Healthy shard, no record: the claim is provably un-enrolled.
+  EXPECT_EQ(result.decision.outcome, AuthOutcome::kRejected);
+  EXPECT_DOUBLE_EQ(result.cost_s, lanes.lookup_cost_s);
+}
+
+TEST(StoreBackend, QuarantinedShardAbstainsStorageNeverRejects) {
+  store::MemoryEnv env;
+  {
+    store::TemplateStore store =
+        store::TemplateStore::init(store_config(), env);
+    store.commit(shared_lanes().records);
+  }
+  // Corrupt the shard holding session 0's template, then recover.
+  store::TemplateStore probe_store =
+      store::TemplateStore::open(store_config(), env);
+  const int victim = shared_lanes().user_ids.at(0);
+  const std::string path =
+      "s/gen-1/shard-" + std::to_string(probe_store.shard_of(victim)) +
+      ".tpl";
+  std::string bytes = env.read_file(path).value();
+  bytes[bytes.size() / 2] ^= 0x10;
+  env.corrupt_file(path, bytes);
+
+  store::TemplateStore store = store::TemplateStore::open(store_config(), env);
+  ASSERT_EQ(store.lookup(victim).status, store::LookupStatus::kQuarantined);
+
+  SteadyClock clock;
+  const FrameProcessor proc = make_store_processor(
+      store_lanes_for(store), serve_supervisor_config(), clock);
+  const FrameResult result = proc(frame_for(0), ServiceMode::kFull);
+  EXPECT_EQ(result.decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(result.decision.abstain_reason, AbstainReason::kStorage);
+  // Backend-side: the session must survive for a device re-beep.
+  EXPECT_TRUE(result.decision.shed_by_backend());
+  EXPECT_DOUBLE_EQ(result.cost_s, store_lanes_for(store).lookup_cost_s);
+}
+
+TEST(StoreBackend, ScenarioServesFromTheStoreEndToEnd) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+
+  eval::ServeScenarioConfig cfg;
+  cfg.num_sessions = 2;
+  cfg.rate_hz = 0.4;
+  cfg.duration_s = 5.0;
+  cfg.seed = 11;
+  cfg.lanes = &shared_lanes();
+  cfg.store = &store;
+  cfg.service.default_deadline_s = 30.0;
+  const eval::ServeScenarioResult result = eval::run_serve_scenario(cfg);
+  EXPECT_GT(result.completions, 0u);
+  EXPECT_GT(result.accepts, 0u);
+  EXPECT_EQ(result.rejects, 0u);
+  EXPECT_EQ(result.abstain_storage, 0u);
+}
+
+TEST(StoreBackend, ScenarioQuarantineShowsUpAsStorageAbstains) {
+  store::MemoryEnv env;
+  {
+    store::TemplateStore store =
+        store::TemplateStore::init(store_config(), env);
+    store.commit(shared_lanes().records);
+  }
+  // Wreck every shard file of the committed generation: whatever shard a
+  // session's user hashes to, its lookup is quarantined.
+  for (std::size_t shard = 0; shard < store_config().num_shards; ++shard) {
+    const std::string path = "s/gen-1/shard-" + std::to_string(shard) + ".tpl";
+    std::string bytes = env.read_file(path).value();
+    bytes[bytes.size() / 3] ^= 0x01;
+    env.corrupt_file(path, bytes);
+  }
+  store::TemplateStore store = store::TemplateStore::open(store_config(), env);
+
+  eval::ServeScenarioConfig cfg;
+  cfg.num_sessions = 2;
+  cfg.rate_hz = 0.4;
+  cfg.duration_s = 5.0;
+  cfg.seed = 11;
+  cfg.lanes = &shared_lanes();
+  cfg.store = &store;
+  cfg.max_retries = 1;
+  cfg.service.default_deadline_s = 30.0;
+  const eval::ServeScenarioResult result = eval::run_serve_scenario(cfg);
+  EXPECT_GT(result.completions, 0u);
+  EXPECT_GT(result.abstain_storage, 0u);
+  // Losing enrollment bytes must never surface as a reject (or an accept).
+  EXPECT_EQ(result.rejects, 0u);
+  EXPECT_EQ(result.accepts, 0u);
+  EXPECT_EQ(result.shed_total(), result.abstain_storage);
+}
+
+TEST(StoreBackend, ProcessorConfigIsValidated) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  SteadyClock clock;
+  StoreLanes missing;
+  EXPECT_THROW(
+      make_store_processor(missing, serve_supervisor_config(), clock),
+      std::invalid_argument);
+  StoreLanes zero_cost = store_lanes_for(store);
+  zero_cost.lookup_cost_s = 0.0;
+  EXPECT_THROW(
+      make_store_processor(zero_cost, serve_supervisor_config(), clock),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::serve

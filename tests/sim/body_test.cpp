@@ -194,6 +194,34 @@ TEST(PoseBody, ClothingSeedModulatesReflectivity) {
   EXPECT_LT(diff / static_cast<double>(wa.size()), 0.25);
 }
 
+TEST(BodySignature, IsDeterministicPerProfile) {
+  const BodyProfile p = make_profile(21);
+  const std::vector<double> a = body_signature(p, 16);
+  const std::vector<double> b = body_signature(p, 16);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(BodySignature, SeparatesDistinctUsers) {
+  const std::vector<double> a = body_signature(make_profile(21), 16);
+  const std::vector<double> b = body_signature(make_profile(22), 16);
+  double dist = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist += (a[i] - b[i]) * (a[i] - b[i]);
+    norm += a[i] * a[i];
+  }
+  // Different identity fields must move the projections substantially.
+  EXPECT_GT(std::sqrt(dist), 0.1 * std::sqrt(norm));
+}
+
+TEST(BodySignature, BasisSeedChangesProjectionsAndZeroDimsThrows) {
+  const BodyProfile p = make_profile(23);
+  const std::vector<double> a = body_signature(p, 8, 0);
+  const std::vector<double> b = body_signature(p, 8, 1);
+  EXPECT_NE(a, b);
+  EXPECT_THROW(body_signature(p, 0), std::invalid_argument);
+}
+
 TEST(PoseBody, HabitualPostureIsStablePerUser) {
   const BodyProfile p = make_profile(14);
   // Same profile posed twice with neutral session jitter: identical.

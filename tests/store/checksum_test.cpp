@@ -1,0 +1,59 @@
+#include "store/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace echoimage::store {
+namespace {
+
+TEST(Crc32, MatchesStandardCheckValue) {
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32 crc;
+    crc.update(std::string_view(data).substr(0, split));
+    crc.update(std::string_view(data).substr(split));
+    EXPECT_EQ(crc.value(), crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, SingleBitFlipsChangeTheChecksum) {
+  const std::string data(256, '\x5a');
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 17) {
+    std::string corrupt = data;
+    corrupt[byte] ^= 0x01;
+    EXPECT_NE(crc32(corrupt), clean) << "flip at byte " << byte;
+  }
+}
+
+TEST(Crc32, HexRoundTrip) {
+  for (const std::uint32_t v :
+       {0x00000000u, 0xFFFFFFFFu, 0xCBF43926u, 0x00000001u, 0xDEADBEEFu}) {
+    const std::string hex = crc32_hex(v);
+    EXPECT_EQ(hex.size(), 8u);
+    EXPECT_EQ(parse_crc32_hex(hex), v);
+  }
+}
+
+TEST(Crc32, HexParseRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_crc32_hex("deadbee"), std::runtime_error);   // short
+  EXPECT_THROW((void)parse_crc32_hex("deadbeef0"), std::runtime_error); // long
+  EXPECT_THROW((void)parse_crc32_hex("deadbeeX"), std::runtime_error);  // digit
+  EXPECT_THROW((void)parse_crc32_hex("DEADBEEF"), std::runtime_error);  // case
+}
+
+TEST(Mix64, IsAPermutationOnSmallSamples) {
+  // Distinct inputs must keep distinct outputs (splitmix64 is bijective).
+  std::uint64_t prev = detail::mix64(0);
+  for (std::uint64_t i = 1; i < 1000; ++i) {
+    EXPECT_NE(detail::mix64(i), prev);
+    prev = detail::mix64(i);
+  }
+}
+
+}  // namespace
+}  // namespace echoimage::store

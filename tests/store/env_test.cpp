@@ -1,0 +1,100 @@
+#include "store/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace echoimage::store {
+namespace {
+
+TEST(MemoryEnv, WriteRequiresParentDirectory) {
+  MemoryEnv env;
+  EXPECT_THROW(env.write_file("a/b.txt", "x", true), StorageError);
+  env.make_dirs("a");
+  env.write_file("a/b.txt", "x", true);
+  EXPECT_EQ(env.read_file("a/b.txt").value(), "x");
+}
+
+TEST(MemoryEnv, RenameMovesAndOverwrites) {
+  MemoryEnv env;
+  env.make_dirs("d");
+  env.write_file("d/src", "new", true);
+  env.write_file("d/dst", "old", true);
+  env.rename_file("d/src", "d/dst");
+  EXPECT_FALSE(env.read_file("d/src").has_value());
+  EXPECT_EQ(env.read_file("d/dst").value(), "new");
+  EXPECT_THROW(env.rename_file("d/missing", "d/dst"), StorageError);
+}
+
+TEST(MemoryEnv, ListDirReturnsSortedImmediateChildren) {
+  MemoryEnv env;
+  env.make_dirs("root/sub");
+  env.write_file("root/b.txt", "", true);
+  env.write_file("root/a.txt", "", true);
+  env.write_file("root/sub/deep.txt", "", true);
+  const std::vector<std::string> names = env.list_dir("root");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.txt");
+  EXPECT_EQ(names[1], "b.txt");
+  EXPECT_EQ(names[2], "sub");
+}
+
+TEST(MemoryEnv, RemoveDirRefusesNonEmpty) {
+  MemoryEnv env;
+  env.make_dirs("d");
+  env.write_file("d/f", "x", true);
+  EXPECT_THROW(env.remove_dir("d"), StorageError);
+  env.remove_file("d/f");
+  env.remove_dir("d");
+  EXPECT_FALSE(env.exists("d"));
+  env.remove_dir("d");  // missing is fine
+}
+
+TEST(MemoryEnv, CopyIsAnIndependentSnapshot) {
+  MemoryEnv env;
+  env.make_dirs("d");
+  env.write_file("d/f", "before", true);
+  MemoryEnv snapshot = env;
+  env.write_file("d/f", "after", true);
+  env.write_file("d/g", "new", true);
+  EXPECT_EQ(snapshot.read_file("d/f").value(), "before");
+  EXPECT_FALSE(snapshot.read_file("d/g").has_value());
+}
+
+TEST(AtomicWriteFile, LeavesNoTempBehindAndReplacesAtomically) {
+  MemoryEnv env;
+  env.make_dirs("d");
+  atomic_write_file(env, "d/f", "v1");
+  EXPECT_EQ(env.read_file("d/f").value(), "v1");
+  EXPECT_FALSE(env.exists("d/f.tmp"));
+  atomic_write_file(env, "d/f", "v2");
+  EXPECT_EQ(env.read_file("d/f").value(), "v2");
+  EXPECT_EQ(env.file_count(), 1u);
+}
+
+TEST(FileSystemEnv, RoundTripsThroughARealDirectory) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "echoimage_env_test_dir";
+  fs::remove_all(root);
+
+  FileSystemEnv env;
+  const std::string base = root.string();
+  env.make_dirs(base + "/sub");
+  EXPECT_TRUE(env.exists(base + "/sub"));
+  atomic_write_file(env, base + "/sub/file.bin",
+                    std::string("bytes\0with nul", 14));
+  EXPECT_EQ(env.read_file(base + "/sub/file.bin").value().size(), 14u);
+  EXPECT_FALSE(env.read_file(base + "/missing").has_value());
+  const std::vector<std::string> names = env.list_dir(base + "/sub");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "file.bin");
+  env.remove_file(base + "/sub/file.bin");
+  env.remove_dir(base + "/sub");
+  EXPECT_FALSE(env.exists(base + "/sub"));
+
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace echoimage::store

@@ -1,0 +1,78 @@
+#include "store/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace echoimage::store {
+namespace {
+
+std::vector<std::vector<double>> seeded_features(std::uint64_t seed,
+                                                 std::size_t samples,
+                                                 std::size_t dims) {
+  sim::Rng rng(seed);
+  std::vector<std::vector<double>> features(samples,
+                                            std::vector<double>(dims));
+  for (auto& row : features)
+    for (double& v : row) v = rng.gaussian(0.0, 1.0);
+  return features;
+}
+
+TEST(TemplateRecord, EncodeDecodeRoundTripIsBitExact) {
+  const TemplateRecord record =
+      make_template_record(7, seeded_features(11, 6, 10));
+  const std::string payload = encode_record(record);
+  const TemplateRecord back = decode_record(payload);
+  EXPECT_EQ(back.user_id, 7);
+  EXPECT_EQ(back.centroid, record.centroid);
+  // The decoded verifier must be the same function, bit for bit: encoding
+  // it again yields identical bytes (hexfloat round trip).
+  EXPECT_EQ(encode_record(back), payload);
+}
+
+TEST(TemplateRecord, DecodedVerifierScoresIdentically) {
+  const auto features = seeded_features(23, 8, 12);
+  const TemplateRecord record = make_template_record(3, features);
+  const TemplateRecord back = decode_record(encode_record(record));
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> probe(12);
+    for (double& v : probe) v = rng.gaussian(0.0, 1.5);
+    const core::AuthDecision a = record.verifier.authenticate(probe);
+    const core::AuthDecision b = back.verifier.authenticate(probe);
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.svdd_score, b.svdd_score);
+    EXPECT_EQ(a.user_id, b.user_id);
+  }
+}
+
+TEST(TemplateRecord, CentroidIsTheFeatureMean) {
+  const std::vector<std::vector<double>> features = {
+      {1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}};
+  const TemplateRecord record = make_template_record(1, features);
+  ASSERT_EQ(record.centroid.size(), 2u);
+  EXPECT_DOUBLE_EQ(record.centroid[0], 4.0);
+  EXPECT_DOUBLE_EQ(record.centroid[1], 5.0);
+}
+
+TEST(TemplateRecord, DecodeRejectsGarbage) {
+  EXPECT_THROW((void)decode_record(""), std::runtime_error);
+  EXPECT_THROW((void)decode_record("not a template"), std::runtime_error);
+  const std::string payload =
+      encode_record(make_template_record(1, seeded_features(5, 4, 6)));
+  // Truncation anywhere must throw, never return a partial record.
+  for (std::size_t len = 0; len < payload.size();
+       len += 1 + payload.size() / 97) {
+    EXPECT_THROW((void)decode_record(payload.substr(0, len)), std::runtime_error)
+        << "truncated to " << len;
+  }
+}
+
+TEST(TemplateRecord, MakeRequiresFeatures) {
+  EXPECT_THROW((void)make_template_record(1, {}), std::invalid_argument);
+  EXPECT_THROW((void)make_template_record(1, {{1.0, 2.0}, {1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::store

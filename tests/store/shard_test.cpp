@@ -1,0 +1,140 @@
+#include "store/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "store/env.hpp"
+
+namespace echoimage::store {
+namespace {
+
+std::vector<std::string> sample_payloads(std::size_t n) {
+  std::vector<std::string> payloads;
+  sim::Rng rng(1234);
+  for (std::size_t u = 0; u < n; ++u) {
+    std::vector<std::vector<double>> features(4, std::vector<double>(6));
+    for (auto& row : features)
+      for (double& v : row) v = rng.gaussian(0.0, 1.0);
+    payloads.push_back(
+        encode_record(make_template_record(static_cast<int>(u) + 1,
+                                           std::move(features))));
+  }
+  return payloads;
+}
+
+ShardHeader sample_header(const std::vector<std::string>& payloads) {
+  std::size_t max_payload = 0;
+  for (const std::string& p : payloads)
+    max_payload = std::max(max_payload, p.size());
+  ShardHeader header;
+  header.shard_id = 2;
+  header.shard_count = 4;
+  header.generation = 9;
+  header.slot_bytes = slot_bytes_for(max_payload);
+  return header;
+}
+
+TEST(Shard, EncodeReadRoundTrip) {
+  const std::vector<std::string> payloads = sample_payloads(5);
+  const ShardHeader header = sample_header(payloads);
+  const std::string bytes = encode_shard(header, payloads);
+  EXPECT_EQ(bytes.size(),
+            kShardHeaderBytes + payloads.size() * header.slot_bytes);
+
+  const ShardReadResult read = read_shard(bytes);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.header.shard_id, 2u);
+  EXPECT_EQ(read.header.shard_count, 4u);
+  EXPECT_EQ(read.header.generation, 9u);
+  EXPECT_EQ(read.header.record_count, 5u);
+  ASSERT_EQ(read.records.size(), 5u);
+  for (std::size_t i = 0; i < read.records.size(); ++i) {
+    EXPECT_EQ(read.records[i].user_id, static_cast<int>(i) + 1);
+    EXPECT_EQ(encode_record(read.records[i]), payloads[i]);
+  }
+}
+
+TEST(Shard, EmptyShardRoundTrips) {
+  ShardHeader header;
+  header.slot_bytes = 64;
+  const std::string bytes = encode_shard(header, {});
+  const ShardReadResult read = read_shard(bytes);
+  ASSERT_TRUE(read.ok) << read.error;
+  EXPECT_EQ(read.header.record_count, 0u);
+  EXPECT_EQ(bytes.size(), kShardHeaderBytes);
+}
+
+TEST(Shard, PayloadMustFitSlot) {
+  const std::vector<std::string> payloads = sample_payloads(1);
+  ShardHeader header = sample_header(payloads);
+  header.slot_bytes = 64;  // far too small for a real record
+  EXPECT_THROW((void)encode_shard(header, payloads), StorageError);
+}
+
+TEST(Shard, LadderCatchesShortFiles) {
+  const ShardReadResult read = read_shard("way too short");
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.error, "short file");
+}
+
+TEST(Shard, LadderCatchesBadMagic) {
+  const std::vector<std::string> payloads = sample_payloads(2);
+  std::string bytes = encode_shard(sample_header(payloads), payloads);
+  bytes[0] = 'X';
+  const ShardReadResult read = read_shard(bytes);
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.error, "bad magic or format version");
+}
+
+TEST(Shard, LadderCatchesHeaderCorruption) {
+  const std::vector<std::string> payloads = sample_payloads(2);
+  std::string bytes = encode_shard(sample_header(payloads), payloads);
+  // Flip a digit inside the "generation" line: the header CRC must notice.
+  const std::size_t pos = bytes.find("generation 9");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 11] = '7';
+  const ShardReadResult read = read_shard(bytes);
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.error, "header crc mismatch");
+}
+
+TEST(Shard, LadderCatchesTruncation) {
+  const std::vector<std::string> payloads = sample_payloads(3);
+  const std::string bytes = encode_shard(sample_header(payloads), payloads);
+  const ShardReadResult read =
+      read_shard(std::string_view(bytes).substr(0, bytes.size() - 10));
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.error, "geometry mismatch");
+}
+
+TEST(Shard, LadderCatchesPayloadBitFlips) {
+  const std::vector<std::string> payloads = sample_payloads(3);
+  std::string bytes = encode_shard(sample_header(payloads), payloads);
+  bytes[kShardHeaderBytes + 100] ^= 0x04;
+  const ShardReadResult read = read_shard(bytes);
+  EXPECT_FALSE(read.ok);
+  EXPECT_EQ(read.error, "payload crc mismatch");
+}
+
+TEST(Shard, EveryByteFlipIsDetected) {
+  // The whole point of the layered CRCs: no single corrupted byte may
+  // yield ok (sampled stride keeps the test fast).
+  const std::vector<std::string> payloads = sample_payloads(2);
+  const std::string bytes = encode_shard(sample_header(payloads), payloads);
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 13) {
+    std::string corrupt = bytes;
+    corrupt[pos] ^= 0x20;
+    EXPECT_FALSE(read_shard(corrupt).ok) << "flip at byte " << pos;
+  }
+}
+
+TEST(Shard, SlotBytesForAlignsAndFits) {
+  EXPECT_EQ(slot_bytes_for(0) % 64, 0u);
+  EXPECT_GE(slot_bytes_for(1000), 1000u);
+  EXPECT_LT(slot_bytes_for(1000) - 1000u, 64u + 48u + 1u);
+}
+
+}  // namespace
+}  // namespace echoimage::store

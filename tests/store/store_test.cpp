@@ -1,0 +1,249 @@
+#include "store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "store/checksum.hpp"
+
+namespace echoimage::store {
+namespace {
+
+std::vector<TemplateRecord> seeded_records(std::uint64_t seed, int first_id,
+                                           std::size_t count) {
+  std::vector<TemplateRecord> records;
+  sim::Rng rng(seed);
+  for (std::size_t u = 0; u < count; ++u) {
+    std::vector<std::vector<double>> features(4, std::vector<double>(6));
+    for (auto& row : features)
+      for (double& v : row) v = rng.gaussian(0.0, 1.0);
+    records.push_back(
+        make_template_record(first_id + static_cast<int>(u), features));
+  }
+  return records;
+}
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.root = "s";
+  config.num_shards = 4;
+  return config;
+}
+
+TEST(TemplateStore, InitCreatesAnEmptyGenerationZero) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  EXPECT_EQ(store.generation(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(env.exists("s/MANIFEST"));
+  EXPECT_TRUE(env.exists("s/gen-0/shard-0.tpl"));
+  EXPECT_EQ(store.lookup(1).status, LookupStatus::kAbsent);
+  EXPECT_THROW(TemplateStore::init(small_config(), env), StorageError);
+}
+
+TEST(TemplateStore, CommitThenReopenServesBitExactRecords) {
+  MemoryEnv env;
+  const std::vector<TemplateRecord> records = seeded_records(5, 1, 10);
+  {
+    TemplateStore store = TemplateStore::init(small_config(), env);
+    store.commit(records);
+    EXPECT_EQ(store.generation(), 1u);
+    EXPECT_EQ(store.size(), 10u);
+  }
+  TemplateStore store = TemplateStore::open(small_config(), env);
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_EQ(store.recovery_source(), RecoverySource::kManifest);
+  for (const TemplateRecord& want : records) {
+    const LookupResult found = store.lookup(want.user_id);
+    ASSERT_EQ(found.status, LookupStatus::kFound) << want.user_id;
+    EXPECT_EQ(encode_record(*found.record), encode_record(want));
+  }
+  EXPECT_EQ(store.lookup(999).status, LookupStatus::kAbsent);
+}
+
+TEST(TemplateStore, UpsertReplacesAndExtends) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  store.commit(seeded_records(5, 1, 6));
+  const std::vector<TemplateRecord> update = seeded_records(77, 4, 5);
+  store.commit(update);  // users 4..8: 4,5,6 replaced; 7,8 new
+  EXPECT_EQ(store.generation(), 2u);
+  EXPECT_EQ(store.size(), 8u);
+  for (const TemplateRecord& want : update) {
+    const LookupResult found = store.lookup(want.user_id);
+    ASSERT_EQ(found.status, LookupStatus::kFound);
+    EXPECT_EQ(encode_record(*found.record), encode_record(want));
+  }
+}
+
+TEST(TemplateStore, KeepsExactlyTwoGenerationsOnDisk) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  for (int round = 0; round < 4; ++round)
+    store.commit(seeded_records(10 + round, 1, 4));
+  EXPECT_EQ(store.generation(), 4u);
+  EXPECT_TRUE(env.exists("s/gen-4"));
+  EXPECT_TRUE(env.exists("s/gen-3"));  // fallback buffer
+  EXPECT_FALSE(env.exists("s/gen-2"));
+  EXPECT_FALSE(env.exists("s/gen-1"));
+  EXPECT_FALSE(env.exists("s/gen-0"));
+}
+
+TEST(TemplateStore, MissingManifestRecoversByScan) {
+  MemoryEnv env;
+  const std::vector<TemplateRecord> records = seeded_records(5, 1, 8);
+  {
+    TemplateStore store = TemplateStore::init(small_config(), env);
+    store.commit(records);
+  }
+  env.remove_file("s/MANIFEST");
+  TemplateStore store = TemplateStore::open(small_config(), env);
+  EXPECT_EQ(store.recovery_source(), RecoverySource::kScanFull);
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_EQ(store.size(), 8u);
+}
+
+TEST(TemplateStore, CorruptShardIsQuarantinedNotServed) {
+  MemoryEnv env;
+  const std::vector<TemplateRecord> records = seeded_records(5, 1, 12);
+  {
+    TemplateStore store = TemplateStore::init(small_config(), env);
+    store.commit(records);
+  }
+  std::string bytes = env.read_file("s/gen-1/shard-2.tpl").value();
+  bytes[bytes.size() / 2] ^= 0x08;
+  env.corrupt_file("s/gen-1/shard-2.tpl", bytes);
+
+  TemplateStore store = TemplateStore::open(small_config(), env);
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.quarantined_shards, 1u);
+  std::size_t quarantined_lookups = 0;
+  for (const TemplateRecord& want : records) {
+    const LookupResult found = store.lookup(want.user_id);
+    if (store.shard_of(want.user_id) == 2) {
+      EXPECT_EQ(found.status, LookupStatus::kQuarantined);
+      ++quarantined_lookups;
+    } else {
+      ASSERT_EQ(found.status, LookupStatus::kFound);
+      EXPECT_EQ(encode_record(*found.record), encode_record(want));
+    }
+  }
+  EXPECT_GT(quarantined_lookups, 0u);
+  // Integrity rule: a quarantined store refuses to write a new generation.
+  EXPECT_THROW(store.commit(seeded_records(9, 50, 2)), StorageError);
+}
+
+TEST(TemplateStore, FsckDetectsAtRestCorruptionAndReadoptsRepairs) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  store.commit(seeded_records(5, 1, 12));
+  EXPECT_TRUE(store.fsck().clean());
+
+  const std::string path = "s/gen-1/shard-1.tpl";
+  const std::string good = env.read_file(path).value();
+  std::string bad = good;
+  bad[10] ^= 0x01;
+  env.corrupt_file(path, bad);
+  const FsckReport report = store.fsck();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.shards[1].quarantined);
+  int victim = 0;
+  for (int user = 1; user <= 12; ++user)
+    if (store.shard_of(user) == 1) {
+      victim = user;
+      break;
+    }
+  ASSERT_NE(victim, 0);
+  EXPECT_EQ(store.lookup(victim).status, LookupStatus::kQuarantined);
+
+  // The operator repairs the medium; fsck re-proves the bytes and the
+  // shard earns its way back.
+  env.corrupt_file(path, good);
+  EXPECT_TRUE(store.fsck().clean());
+  EXPECT_EQ(store.stats().quarantined_shards, 0u);
+}
+
+TEST(TemplateStore, ScanPrefersNewestFullyIntactGeneration) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  store.commit(seeded_records(5, 1, 6));   // gen 1
+  store.commit(seeded_records(6, 1, 6));   // gen 2 (gen 0 collected)
+  // Simulate a medium that lost the manifest *and* damaged the newest
+  // generation: scan must fall back to the intact gen 1.
+  env.remove_file("s/MANIFEST");
+  std::string bytes = env.read_file("s/gen-2/shard-0.tpl").value();
+  bytes[0] ^= 0x40;
+  env.corrupt_file("s/gen-2/shard-0.tpl", bytes);
+
+  TemplateStore recovered = TemplateStore::open(small_config(), env);
+  EXPECT_EQ(recovered.generation(), 1u);
+  EXPECT_EQ(recovered.recovery_source(), RecoverySource::kScanFull);
+  EXPECT_EQ(recovered.stats().quarantined_shards, 0u);
+}
+
+TEST(TemplateStore, ScanPartialServesWhatSurvives) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  store.commit(seeded_records(5, 1, 8));  // gen 1
+  env.remove_file("s/MANIFEST");
+  // Both generations damaged: gen-1 keeps 3 of 4 shards, gen-0 is empty
+  // anyway; partial recovery must serve gen-1's surviving shards.
+  env.remove_file("s/gen-1/shard-3.tpl");
+  TemplateStore recovered = TemplateStore::open(small_config(), env);
+  EXPECT_EQ(recovered.generation(), 1u);
+  EXPECT_EQ(recovered.recovery_source(), RecoverySource::kScanPartial);
+  EXPECT_EQ(recovered.stats().quarantined_shards, 1u);
+}
+
+TEST(TemplateStore, OpenThrowsWhenNothingIsRecoverable) {
+  MemoryEnv env;
+  EXPECT_THROW(TemplateStore::open(small_config(), env), StorageError);
+}
+
+TEST(TemplateStore, ObservabilityCountsLifecycleEvents) {
+  MemoryEnv env;
+  obs::ObservabilityConfig obs_config;
+  obs_config.enabled = true;
+  obs_config.workers = 1;
+  const auto obs = obs::make_observability(obs_config);
+
+  {
+    TemplateStore store = TemplateStore::init(small_config(), env);
+    store.commit(seeded_records(5, 1, 8));
+  }
+  std::string bytes = env.read_file("s/gen-1/shard-0.tpl").value();
+  bytes[50] ^= 0x02;
+  env.corrupt_file("s/gen-1/shard-0.tpl", bytes);
+
+  TemplateStore store = TemplateStore::open(small_config(), env, obs);
+  EXPECT_EQ(obs->metrics().counter("store.opens").value(), 1u);
+  EXPECT_EQ(obs->metrics().counter("store.shards_quarantined").value(), 1u);
+  for (int user = 1; user <= 8; ++user) (void)store.lookup(user);
+  (void)store.lookup(4242);
+  const std::uint64_t found =
+      obs->metrics().counter("store.lookup.found").value();
+  const std::uint64_t quarantined =
+      obs->metrics().counter("store.lookup.quarantined").value();
+  const std::uint64_t absent =
+      obs->metrics().counter("store.lookup.absent").value();
+  EXPECT_EQ(found + quarantined, 8u);
+  EXPECT_GE(absent, 1u);
+}
+
+TEST(StoreConfig, ValidatesItsRanges) {
+  StoreConfig config;
+  config.root = "";
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = StoreConfig{};
+  config.num_shards = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = StoreConfig{};
+  config.slot_bytes = 32;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = StoreConfig{};
+  config.validate();
+}
+
+}  // namespace
+}  // namespace echoimage::store

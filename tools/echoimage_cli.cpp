@@ -16,6 +16,9 @@
 //   serve     simulate a fleet of device sessions against the streaming
 //             auth service on its deterministic virtual clock: bounded
 //             ingest, admission ladder, deadlines, abstain-on-overload
+//   store     operate a durable on-disk template store: init,
+//             enroll-import (capture dirs or a synthetic gallery),
+//             lookup, fsck, stats
 //
 // Capture directory layout: beep_000.wav, beep_001.wav, ... (one
 // multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
@@ -35,10 +38,13 @@
 #include "dsp/wav.hpp"
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
+#include "eval/gallery.hpp"
 #include "eval/image_io.hpp"
 #include "eval/serve_scenario.hpp"
 #include "eval/table.hpp"
 #include "eval/trace_scenario.hpp"
+#include "store/env.hpp"
+#include "store/store.hpp"
 
 namespace fs = std::filesystem;
 using namespace echoimage;
@@ -463,13 +469,133 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_store(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "store: need an operation: "
+                 "init | enroll-import | lookup | fsck | stats\n";
+    return 2;
+  }
+  const std::string op = argv[2];
+  const Args args = parse_args(argc, argv, 3);
+  const std::string root = args.get("root");
+  if (root.empty()) {
+    std::cerr << "store " << op << ": --root DIR is required\n";
+    return 2;
+  }
+  store::FileSystemEnv env;
+  store::StoreConfig cfg;
+  cfg.root = root;
+  cfg.num_shards =
+      static_cast<std::size_t>(std::stoul(args.get("shards", "8")));
+
+  if (op == "init") {
+    const store::TemplateStore fresh = store::TemplateStore::init(cfg, env);
+    std::cout << "initialized empty store at " << root << "\n"
+              << fresh.stats().describe() << "\n";
+    return 0;
+  }
+
+  store::TemplateStore store = store::TemplateStore::open(cfg, env);
+
+  if (op == "enroll-import") {
+    std::vector<store::TemplateRecord> upserts;
+    if (args.has("synthetic")) {
+      // Gallery-backed import: seeded bodies -> deterministic acoustic
+      // signatures -> real trained 1:1 verifiers, at sizes a capture
+      // collection never reaches.
+      eval::GalleryConfig gallery;
+      gallery.num_users =
+          static_cast<std::size_t>(std::stoul(args.get("synthetic", "100")));
+      gallery.first_user_id = std::stoi(args.get("first-user", "1"));
+      gallery.seed = static_cast<std::uint64_t>(
+          std::stoull(args.get("seed", std::to_string(gallery.seed))));
+      gallery.num_threads =
+          static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
+      upserts = eval::make_gallery_records(gallery);
+    } else {
+      const auto& ids = args.all("user");
+      const auto& dirs = args.all("dir");
+      if (ids.empty() || ids.size() != dirs.size()) {
+        std::cerr << "store enroll-import: need matching --user ID --dir DIR "
+                     "pairs, or --synthetic N\n";
+        return 2;
+      }
+      const auto geometry = array::make_respeaker_array();
+      const core::EchoImagePipeline pipeline(system_config(), geometry);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        const Capture capture = read_capture(dirs[i]);
+        const auto processed = pipeline.process(capture.beeps, capture.noise);
+        if (!processed.distance.valid) {
+          std::cerr << "store enroll-import: no user detected in " << dirs[i]
+                    << "\n";
+          return 1;
+        }
+        upserts.push_back(store::make_template_record(
+            std::stoi(ids[i]),
+            pipeline.features_batch(
+                processed.images,
+                processed.distance.user_distance_centroid_m, false)));
+      }
+    }
+    store.commit(upserts);
+    std::cout << "committed " << upserts.size()
+              << " template(s): now generation " << store.generation()
+              << " with " << store.size() << " record(s), "
+              << store.stats().stored_bytes / 1024 << " KiB on disk\n";
+    return 0;
+  }
+
+  if (op == "lookup") {
+    const std::string user = args.get("user");
+    if (user.empty()) {
+      std::cerr << "store lookup: --user ID is required\n";
+      return 2;
+    }
+    const int id = std::stoi(user);
+    const store::LookupResult hit = store.lookup(id);
+    std::cout << "user " << id << " (shard " << store.shard_of(id)
+              << "): " << store::to_string(hit.status) << "\n";
+    switch (hit.status) {
+      case store::LookupStatus::kFound:
+        std::cout << "  centroid dims " << hit.record->centroid.size()
+                  << ", payload "
+                  << store::encode_record(*hit.record).size() << " bytes\n";
+        return 0;
+      case store::LookupStatus::kAbsent:
+        return 1;
+      case store::LookupStatus::kQuarantined:
+        // Mirror `verify`'s abstain exit: the store cannot know.
+        std::cout << "  ABSTAIN: shard bytes are unprovable; re-enroll or "
+                     "restore the medium\n";
+        return 3;
+    }
+    return 2;
+  }
+
+  if (op == "fsck") {
+    const store::FsckReport report = store.fsck();
+    std::cout << report.describe() << "\n";
+    return report.clean() ? 0 : 1;
+  }
+
+  if (op == "stats") {
+    std::cout << "recovered via " << store::to_string(store.recovery_source())
+              << "\n"
+              << store.stats().describe() << "\n";
+    return store.stats().quarantined_shards == 0 ? 0 : 1;
+  }
+
+  std::cerr << "store: unknown operation '" << op << "'\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: echoimage_cli "
-                 "<simulate|enroll|verify|image|health|drift|trace|serve> "
-                 "[--key value ...]\n"
+                 "<simulate|enroll|verify|image|health|drift|trace|serve|"
+                 "store> [--key value ...]\n"
                  "  simulate --out DIR [--seed N --user N --distance D "
                  "--beeps L --session S --repetition R --env "
                  "lab|hall|outdoor --noise music|chatter|traffic "
@@ -483,7 +609,14 @@ int main(int argc, char** argv) {
                  "  trace    [--out PREFIX --seed N --threads T --user N "
                  "--distance D --beeps L]\n"
                  "  serve    [--sessions N --rate HZ --duration S --seed N "
-                 "--retries R --pipeline]\n";
+                 "--retries R --pipeline]\n"
+                 "  store    init --root DIR [--shards N]\n"
+                 "  store    enroll-import --root DIR (--synthetic N "
+                 "[--seed N --first-user ID --threads T] | --user ID "
+                 "--dir DIR ...)\n"
+                 "  store    lookup --root DIR --user ID\n"
+                 "  store    fsck --root DIR\n"
+                 "  store    stats --root DIR\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -497,6 +630,7 @@ int main(int argc, char** argv) {
     if (cmd == "drift") return cmd_drift(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "store") return cmd_store(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -36,6 +36,14 @@ R5  no-unbounded-queues-or-deadline-free-waits
     runtime layers own the sanctioned bounded structures (BoundedRing,
     IngestQueue) and the deadline-aware waits.
 
+R6  no-raw-file-writes-outside-store
+    std::ofstream and fopen/freopen are banned in library code outside
+    src/store. Crash consistency is only as strong as the weakest
+    writer: a raw stream write is torn by a crash mid-buffer, so every
+    durable byte must go through store::StorageEnv (atomic_write_file:
+    tmp -> flush -> rename). Tools, benches, examples, and tests may
+    write freely; reading (std::ifstream) is unrestricted.
+
 Usage
 -----
   echolint.py [--root DIR] [--compile-commands PATH]
@@ -65,6 +73,7 @@ LIBRARY_ROOT = "src"
 RUNTIME_PREFIX = os.path.join("src", "runtime")
 UNITS_PREFIX = os.path.join("src", "units")
 SERVE_PREFIX = os.path.join("src", "serve")
+STORE_PREFIX = os.path.join("src", "store")
 CXX_EXTENSIONS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
 
 
@@ -87,6 +96,7 @@ RULE_TITLES = {
     "R3": "no-bare-double-unit-parameters",
     "R4": "no-iostream-in-library",
     "R5": "no-unbounded-queues-or-deadline-free-waits",
+    "R6": "no-raw-file-writes-outside-store",
 }
 
 FIX_HINTS = {
@@ -101,6 +111,9 @@ FIX_HINTS = {
     "R5": "use runtime::BoundedRing / serve::IngestQueue (bounded by "
           "construction) instead of std::queue/deque, and wait_for/"
           "wait_until with an explicit budget instead of wait()",
+    "R6": "write through store::StorageEnv (atomic_write_file is the only "
+          "sanctioned durable write: tmp -> flush -> rename), or return "
+          "the bytes and let a tool do the writing",
 }
 
 R1_PATTERNS = [
@@ -131,6 +144,12 @@ R5_PATTERNS = [
     # `.wait(` only: wait_for / wait_until carry their own deadline and
     # never match this spelling.
     re.compile(r"\.\s*wait\s*\("),
+]
+
+R6_PATTERNS = [
+    # ofstream only: ifstream reads cannot tear anything.
+    re.compile(r"std\s*::\s*ofstream"),
+    re.compile(r"(?<![\w:])f(?:re)?open\s*\("),
 ]
 
 
@@ -188,6 +207,7 @@ def check_file(rel_path: str, text: str) -> list[Violation]:
     in_runtime = norm.startswith(RUNTIME_PREFIX.replace(os.sep, "/") + "/")
     in_units = norm.startswith(UNITS_PREFIX.replace(os.sep, "/") + "/")
     in_serve = norm.startswith(SERVE_PREFIX.replace(os.sep, "/") + "/")
+    in_store = norm.startswith(STORE_PREFIX.replace(os.sep, "/") + "/")
     is_header = norm.endswith((".hpp", ".hh", ".h"))
 
     for m in iter_pattern_hits(code, R1_PATTERNS):
@@ -214,6 +234,11 @@ def check_file(rel_path: str, text: str) -> list[Violation]:
     if in_library and not in_runtime and not in_serve:
         for m in iter_pattern_hits(code, R5_PATTERNS):
             out.append(Violation("R5", norm, line_of(code, m.start()),
+                                 m.group(0).strip()))
+
+    if in_library and not in_store:
+        for m in iter_pattern_hits(code, R6_PATTERNS):
+            out.append(Violation("R6", norm, line_of(code, m.start()),
                                  m.group(0).strip()))
 
     return out
@@ -324,6 +349,9 @@ SELF_TEST_CASES = [
     ("src/core/bad_r5.cpp", "#include <queue>\n", "R5"),
     ("src/core/bad_r5b.hpp", "std::deque<int> backlog_;\n", "R5"),
     ("src/core/bad_r5c.cpp", "cv.wait(lock);\n", "R5"),
+    ("src/core/bad_r6.cpp", "std::ofstream os(path);\n", "R6"),
+    ("src/eval/bad_r6b.cpp", "FILE* f = fopen(path, \"wb\");\n", "R6"),
+    ("src/dsp/bad_r6c.cpp", "freopen(path, \"w\", stderr);\n", "R6"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -345,6 +373,11 @@ SELF_TEST_CLEAN = [
     ("src/core/ok_deadline_wait.cpp", "cv.wait_for(lock, budget);\n"),
     # A heap on a vector is the sanctioned priority-queue replacement.
     ("src/eval/ok_heap.cpp", "std::push_heap(v.begin(), v.end(), later);\n"),
+    # The store layer owns the sanctioned writer; reads are unrestricted;
+    # tools and benches write their reports directly.
+    ("src/store/ok_env_write.cpp", "std::ofstream os(tmp_path);\n"),
+    ("src/core/ok_read.cpp", "std::ifstream is(path);\n"),
+    ("bench/ok_report.cpp", "std::ofstream json(\"BENCH_x.json\");\n"),
 ]
 
 

@@ -24,10 +24,11 @@ fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_faults --target bench_drift --target bench_throughput \
-  --target bench_serve
+  --target bench_serve --target bench_store
 
 status=0
-for bench in bench_faults bench_drift bench_throughput bench_serve; do
+for bench in bench_faults bench_drift bench_throughput bench_serve \
+             bench_store; do
   echo "=== $bench --smoke ==="
   if ! (cd "$build_dir/bench" && "./$bench" --smoke); then
     echo "$bench: FAILED" >&2
@@ -39,7 +40,8 @@ done
 # next to its JSON results; surface where they landed.
 echo "=== trace exports ==="
 for trace in BENCH_faults_trace.json BENCH_drift_trace.json \
-             BENCH_throughput_trace.json BENCH_serve_trace.json; do
+             BENCH_throughput_trace.json BENCH_serve_trace.json \
+             BENCH_store_trace.json; do
   if [ -f "$build_dir/bench/$trace" ]; then
     echo "$build_dir/bench/$trace"
   else
@@ -47,4 +49,20 @@ for trace in BENCH_faults_trace.json BENCH_drift_trace.json \
     status=1
   fi
 done
+
+# Refresh the committed result snapshots at the repo root. The throughput
+# numbers are wall-clock (machine-dependent) but the acceptance lines and
+# shape are not, so the smoke run's JSON is the canonical snapshot. The
+# store snapshot, by contrast, must come from a full run (>= 100k-template
+# gallery): only copy it when the build tree holds a non-smoke result, so
+# a smoke pass never clobbers the committed full-scale numbers.
+if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_throughput.json" ]; then
+  cp "$build_dir/bench/BENCH_throughput.json" "$repo_root/BENCH_throughput.json"
+  echo "refreshed $repo_root/BENCH_throughput.json"
+fi
+if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_store.json" ] &&
+   grep -q '"smoke": false' "$build_dir/bench/BENCH_store.json"; then
+  cp "$build_dir/bench/BENCH_store.json" "$repo_root/BENCH_store.json"
+  echo "refreshed $repo_root/BENCH_store.json"
+fi
 exit $status

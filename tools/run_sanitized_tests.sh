@@ -36,20 +36,25 @@ case "$mode" in
     build_dir="$repo_root/build-tsan"
     sanitize="thread"
     # Only the tsan-labeled suites run, so only their binaries are needed.
-    targets="echoimage_concurrency_tests echoimage_serve_tests"
+    targets="echoimage_concurrency_tests echoimage_serve_tests
+             echoimage_store_tests"
     ;;
   undefined)
     build_dir="$repo_root/build-ubsan"
     sanitize="undefined"
     targets="echoimage_tests echoimage_concurrency_tests
-             echoimage_serve_tests bench_throughput bench_serve"
+             echoimage_serve_tests echoimage_store_tests
+             echoimage_obs_alloc_test
+             bench_throughput bench_serve bench_store"
     ;;
   *)
     build_dir="$repo_root/build-asan"
     sanitize="address"
     # Everything ctest discovers, or the unbuilt entries fail as "Not Run".
     targets="echoimage_tests echoimage_concurrency_tests
-             echoimage_serve_tests bench_throughput bench_serve"
+             echoimage_serve_tests echoimage_store_tests
+             echoimage_obs_alloc_test
+             bench_throughput bench_serve bench_store"
     ;;
 esac
 
