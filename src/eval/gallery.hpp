@@ -23,6 +23,12 @@ struct GalleryConfig {
   std::size_t feature_dims = 16;
   /// Enrollment visits per user (rows of the training set).
   std::size_t samples_per_user = 6;
+  /// Extra held-out visits per user that calibrate the SVDD accept
+  /// threshold (core::EnrolledUser::calibration_features). With the small
+  /// visit counts galleries use, the default stride hold-out pins the
+  /// threshold to a single sample — far too tight for fresh-session
+  /// probes. 0 falls back to the stride hold-out.
+  std::size_t calibration_visits = 3;
   /// Session jitter around the signature, relative to its RMS.
   double jitter = 0.08;
   std::uint64_t seed = 0x6A11E4;
@@ -38,5 +44,29 @@ struct GalleryConfig {
 /// consecutive from `first_user_id`.
 [[nodiscard]] std::vector<store::TemplateRecord> make_gallery_records(
     const GalleryConfig& config);
+
+/// The gallery's centroids without the verifiers: same ids, same packed
+/// row-major layout as store::CentroidSnapshot (ascending user id).
+struct GalleryCentroids {
+  std::size_t dims = 0;
+  std::vector<int> user_ids;
+  std::vector<double> matrix;  ///< row-major user_ids.size() x dims
+};
+
+/// Bulk centroid export: bit-identical to the centroid each
+/// make_gallery_records record would carry (same visit streams, same
+/// accumulation order), without training a single verifier — the 1:N
+/// prefilter of a 100k-user gallery needs the matrix, not 100k SVDDs.
+[[nodiscard]] GalleryCentroids make_gallery_centroids(
+    const GalleryConfig& config);
+
+/// One fresh probe capture of gallery user `user_index` (0-based index,
+/// not user id): the user's signature plus session jitter drawn from a
+/// stream disjoint from every enrollment visit, keyed by `probe_stream`.
+/// Indices >= config.num_users are valid and yield bodies the gallery
+/// never enrolled — the impostor probes of the identification benches.
+[[nodiscard]] std::vector<double> make_gallery_probe(
+    const GalleryConfig& config, std::size_t user_index,
+    std::uint64_t probe_stream = 0);
 
 }  // namespace echoimage::eval

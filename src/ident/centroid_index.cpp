@@ -1,0 +1,93 @@
+#include "ident/centroid_index.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "linalg/dense.hpp"
+#include "runtime/parallel_for.hpp"
+
+namespace echoimage::ident {
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kSquaredEuclidean:
+      return "squared_euclidean";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+CentroidIndex CentroidIndex::build(store::CentroidSnapshot snapshot) {
+  CentroidIndex index;
+  index.generation_ = snapshot.generation;
+  index.dims_ = snapshot.dims;
+  index.user_ids_ = std::move(snapshot.user_ids);
+  index.matrix_ = std::move(snapshot.matrix);
+  index.quarantined_shards_ = snapshot.quarantined_shards;
+  index.norms_ = linalg::row_norms(index.matrix_.data(),
+                                   index.user_ids_.size(), index.dims_);
+  return index;
+}
+
+CentroidIndex CentroidIndex::from_store(const store::TemplateStore& store) {
+  return build(store.centroid_snapshot());
+}
+
+CentroidIndex CentroidIndex::from_rows(std::vector<int> user_ids,
+                                       std::vector<double> matrix,
+                                       std::size_t dims) {
+  if (dims == 0) throw std::invalid_argument("CentroidIndex: dims must be > 0");
+  if (matrix.size() != user_ids.size() * dims)
+    throw std::invalid_argument(
+        "CentroidIndex: matrix holds " + std::to_string(matrix.size()) +
+        " doubles, expected " + std::to_string(user_ids.size()) + " x " +
+        std::to_string(dims));
+  for (std::size_t r = 1; r < user_ids.size(); ++r)
+    if (user_ids[r - 1] >= user_ids[r])
+      throw std::invalid_argument(
+          "CentroidIndex: user_ids must be strictly ascending (row order is "
+          "the determinism contract)");
+  store::CentroidSnapshot snapshot;
+  snapshot.dims = dims;
+  snapshot.user_ids = std::move(user_ids);
+  snapshot.matrix = std::move(matrix);
+  return build(std::move(snapshot));
+}
+
+void CentroidIndex::distances(const std::vector<double>& query, Metric metric,
+                              runtime::ThreadPool& pool,
+                              std::vector<double>& out) const {
+  if (size() != 0 && query.size() != dims_)
+    throw std::invalid_argument(
+        "CentroidIndex::distances: query has " +
+        std::to_string(query.size()) + " dims, index has " +
+        std::to_string(dims_));
+  out.resize(size());
+  if (size() == 0) return;
+
+  const double* rows = matrix_.data();
+  const double* q = query.data();
+  const double query_norm =
+      metric == Metric::kCosine
+          ? std::sqrt(linalg::squared_norm(q, dims_))
+          : 0.0;
+  // One contiguous chunk per worker; each row's slot is written exactly
+  // once, so the vector is bit-identical for every worker count.
+  const std::size_t n = size();
+  const std::size_t workers = std::min(pool.num_workers(), n);
+  runtime::parallel_for(pool, workers, [&](std::size_t w, std::size_t) {
+    const runtime::IndexRange r = runtime::static_chunk(n, w, workers);
+    if (metric == Metric::kCosine) {
+      linalg::row_cosine_distances(rows, norms_.data(), dims_, q, query_norm,
+                                   r.first, r.last, out.data());
+    } else {
+      linalg::row_squared_distances(rows, dims_, q, r.first, r.last,
+                                    out.data());
+    }
+  });
+}
+
+}  // namespace echoimage::ident

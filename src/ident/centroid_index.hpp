@@ -1,0 +1,83 @@
+// Stage 1 of 1:N identification: the centroid prefilter index.
+//
+// A CentroidIndex is a contiguous row-major matrix of every enrolled
+// user's centroid (one packed allocation, unit-stride rows — the layout
+// the linalg/dense kernels vectorize over), snapshotted from the durable
+// store at a known generation. Scoring a probe against the whole index is
+// an O(N x d) pass parallelized over runtime::ThreadPool; every row's
+// distance is written to its own slot, so the distance vector — and the
+// shortlist derived from it — is bit-identical for any worker count.
+//
+// The index is a *snapshot*: it owns its rows and survives store commits.
+// Staleness is cheap to detect (compare generation() against the store's)
+// and the Identifier rebuilds on mismatch — identification never mixes
+// two generations inside one probe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "store/store.hpp"
+
+namespace echoimage::ident {
+
+/// Prefilter distance. Squared Euclidean is the default (monotone with
+/// Euclidean, one multiply cheaper); cosine favors direction over energy
+/// when session gain wanders.
+enum class Metric { kSquaredEuclidean, kCosine };
+
+[[nodiscard]] const char* to_string(Metric metric);
+
+class CentroidIndex {
+ public:
+  CentroidIndex() = default;
+
+  /// Adopt a store snapshot (see store::TemplateStore::centroid_snapshot).
+  [[nodiscard]] static CentroidIndex build(store::CentroidSnapshot snapshot);
+
+  /// Snapshot + build in one step.
+  [[nodiscard]] static CentroidIndex from_store(
+      const store::TemplateStore& store);
+
+  /// Build from raw packed rows (the eval/gallery bulk export, benches).
+  /// `user_ids` must be strictly ascending — the determinism contract pins
+  /// row order to user-id order. Throws std::invalid_argument on shape
+  /// mismatch or unordered ids.
+  [[nodiscard]] static CentroidIndex from_rows(std::vector<int> user_ids,
+                                               std::vector<double> matrix,
+                                               std::size_t dims);
+
+  [[nodiscard]] std::size_t size() const { return user_ids_.size(); }
+  [[nodiscard]] std::size_t dims() const { return dims_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  /// Quarantined shards at snapshot time: nonzero means a probe nothing
+  /// here matches may still be an enrolled user whose bytes are
+  /// unreadable (see Identifier's abstain policy).
+  [[nodiscard]] std::size_t quarantined_shards() const {
+    return quarantined_shards_;
+  }
+  [[nodiscard]] int user_id(std::size_t row) const { return user_ids_[row]; }
+  [[nodiscard]] const std::vector<int>& user_ids() const { return user_ids_; }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return matrix_.data() + r * dims_;
+  }
+
+  /// Distance of `query` to every row, into `out` (resized to size()).
+  /// Parallelized over `pool`; each slot is written by exactly one worker,
+  /// so the result is bit-identical for every worker count. Throws
+  /// std::invalid_argument when the query dimension mismatches.
+  void distances(const std::vector<double>& query, Metric metric,
+                 runtime::ThreadPool& pool, std::vector<double>& out) const;
+
+ private:
+  std::uint64_t generation_ = 0;
+  std::size_t dims_ = 0;
+  std::vector<int> user_ids_;
+  std::vector<double> matrix_;  ///< row-major size() x dims()
+  std::vector<double> norms_;   ///< per-row Euclidean norms (cosine)
+  std::size_t quarantined_shards_ = 0;
+};
+
+}  // namespace echoimage::ident

@@ -1,0 +1,59 @@
+#include "ident/shortlist.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace echoimage::ident {
+
+std::vector<Candidate> top_k_shortlist(const CentroidIndex& index,
+                                       const std::vector<double>& distances,
+                                       std::size_t k) {
+  if (distances.size() != index.size())
+    throw std::invalid_argument(
+        "top_k_shortlist: " + std::to_string(distances.size()) +
+        " distances for an index of " + std::to_string(index.size()));
+  const std::size_t n = index.size();
+  const std::size_t take = std::min(k, n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // (distance, row) is a strict total order — NaNs cannot occur (squared
+  // distances of finite features; cosine guards zero norms) — so the
+  // partially sorted prefix is unique regardless of how partial_sort
+  // permutes the tail.
+  const auto closer = [&](std::size_t a, std::size_t b) {
+    if (distances[a] != distances[b]) return distances[a] < distances[b];
+    return a < b;
+  };
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(take),
+                    order.end(), closer);
+
+  std::vector<Candidate> shortlist(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    shortlist[i].row = order[i];
+    shortlist[i].user_id = index.user_id(order[i]);
+    shortlist[i].distance = distances[order[i]];
+  }
+  return shortlist;
+}
+
+std::uint64_t mix_fingerprint(std::uint64_t acc, std::uint64_t value) {
+  std::uint64_t z = acc + 0x9E3779B97F4A7C15ULL + value;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t shortlist_fingerprint(const std::vector<Candidate>& shortlist,
+                                    std::uint64_t acc) {
+  for (const Candidate& c : shortlist) {
+    acc = mix_fingerprint(acc, static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(c.user_id)));
+    acc = mix_fingerprint(acc, std::bit_cast<std::uint64_t>(c.distance));
+  }
+  return acc;
+}
+
+}  // namespace echoimage::ident

@@ -1,0 +1,44 @@
+// Deterministic top-k shortlist over a prefilter distance vector.
+//
+// Candidates are ordered by ascending (distance, row): exact-tie distances
+// break toward the lowest row index — which, rows being sorted by user id,
+// means the lowest user id. The order is a total order over rows, so the
+// shortlist is a pure function of the distance vector and k, independent
+// of selection-algorithm internals, worker counts, or libc qsort whims.
+//
+// k >= N degrades to exhaustive search: every row, fully ordered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ident/centroid_index.hpp"
+
+namespace echoimage::ident {
+
+/// One shortlisted enrollment.
+struct Candidate {
+  std::size_t row = 0;  ///< index row (ascending user-id order)
+  int user_id = 0;
+  double distance = 0.0;  ///< prefilter distance (metric-dependent scale)
+};
+
+/// The min(k, N) nearest rows by (distance, row) ascending. `distances`
+/// must be index.size() long (the vector CentroidIndex::distances fills).
+[[nodiscard]] std::vector<Candidate> top_k_shortlist(
+    const CentroidIndex& index, const std::vector<double>& distances,
+    std::size_t k);
+
+/// splitmix64 step used by the fingerprint folds (same construction as the
+/// store sweep's): deterministic and sensitive to order.
+[[nodiscard]] std::uint64_t mix_fingerprint(std::uint64_t acc,
+                                            std::uint64_t value);
+
+/// Order-sensitive fold of a shortlist's (user_id, distance bit pattern)
+/// pairs — the bench's bit-stability acceptance compares these across
+/// worker counts and runs.
+[[nodiscard]] std::uint64_t shortlist_fingerprint(
+    const std::vector<Candidate>& shortlist, std::uint64_t acc = 0x1DEA);
+
+}  // namespace echoimage::ident

@@ -1,0 +1,46 @@
+#include "ident/verifier_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace echoimage::ident {
+
+VerifierCache::VerifierCache(std::size_t capacity, Loader loader)
+    : capacity_(capacity), loader_(std::move(loader)) {
+  if (!loader_)
+    throw std::invalid_argument("VerifierCache: a loader is required");
+}
+
+std::shared_ptr<const core::Authenticator> VerifierCache::get(int user_id) {
+  const auto it = by_user_.find(user_id);
+  if (it != by_user_.end()) {
+    ++hits_;
+    if (obs_hits_ != nullptr) obs_hits_->add();
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->second;
+  }
+  ++misses_;
+  if (obs_misses_ != nullptr) obs_misses_->add();
+  std::shared_ptr<const core::Authenticator> loaded = loader_(user_id);
+  if (loaded == nullptr || capacity_ == 0) return loaded;
+  entries_.emplace_front(user_id, loaded);
+  by_user_[user_id] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    by_user_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+  return loaded;
+}
+
+void VerifierCache::clear() {
+  entries_.clear();
+  by_user_.clear();
+}
+
+void VerifierCache::attach_counters(const obs::Counter* hits,
+                                    const obs::Counter* misses) {
+  obs_hits_ = hits;
+  obs_misses_ = misses;
+}
+
+}  // namespace echoimage::ident

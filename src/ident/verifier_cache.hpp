@@ -1,0 +1,68 @@
+// LRU cache of per-user verifiers for identification stage 2.
+//
+// Store lookups return pointers into the live generation that a commit
+// invalidates; the cache instead holds *owned copies* of the verifiers it
+// has resolved, so a cached entry stays valid while the Identifier decides
+// when to drop the whole cache (generation change). Capacity bounds the
+// resident verifier count — a 100k-user gallery must not end up with 100k
+// hot SVDDs because each was shortlisted once.
+//
+// Hit/miss accounting is exact (plain counters — the cache is used from
+// the serial stage-2 loop, never concurrently), mirrored into obs
+// counters when attached. Capacity 0 disables caching entirely: every get
+// goes to the loader, which is the "cache off" arm of the determinism
+// property suite (results must be bit-identical either way).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "core/authenticator.hpp"
+#include "obs/metrics.hpp"
+
+namespace echoimage::ident {
+
+class VerifierCache {
+ public:
+  /// Resolves a user id to an owned verifier; null when the user has no
+  /// loadable verifier (absent or quarantined — the caller distinguishes).
+  /// Null results are never cached: absence must stay re-checkable.
+  using Loader =
+      std::function<std::shared_ptr<const core::Authenticator>(int user_id)>;
+
+  VerifierCache(std::size_t capacity, Loader loader);
+
+  /// Cached copy, or loader result (inserted when non-null and capacity
+  /// allows, evicting least-recently-used entries).
+  [[nodiscard]] std::shared_ptr<const core::Authenticator> get(int user_id);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Drop every entry (generation change). Counters are cumulative and
+  /// survive — they account the cache's lifetime, not one generation.
+  void clear();
+
+  /// Mirror hit/miss increments into registry counters (null = detach).
+  void attach_counters(const obs::Counter* hits, const obs::Counter* misses);
+
+ private:
+  using Entry = std::pair<int, std::shared_ptr<const core::Authenticator>>;
+
+  std::size_t capacity_;
+  Loader loader_;
+  std::list<Entry> entries_;  ///< most-recently-used first
+  std::unordered_map<int, std::list<Entry>::iterator> by_user_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  const obs::Counter* obs_hits_ = nullptr;
+  const obs::Counter* obs_misses_ = nullptr;
+};
+
+}  // namespace echoimage::ident

@@ -1,0 +1,55 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+namespace echoimage::linalg {
+
+double dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_norm(const double* a, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+double squared_distance(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void row_squared_distances(const double* rows, std::size_t dims,
+                           const double* query, std::size_t row_begin,
+                           std::size_t row_end, double* out) {
+  for (std::size_t r = row_begin; r < row_end; ++r)
+    out[r] = squared_distance(rows + r * dims, query, dims);
+}
+
+void row_cosine_distances(const double* rows, const double* row_norms,
+                          std::size_t dims, const double* query,
+                          double query_norm, std::size_t row_begin,
+                          std::size_t row_end, double* out) {
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const double denom = row_norms[r] * query_norm;
+    out[r] = denom > 0.0
+                 ? 1.0 - dot(rows + r * dims, query, dims) / denom
+                 : 1.0;
+  }
+}
+
+std::vector<double> row_norms(const double* rows, std::size_t num_rows,
+                              std::size_t dims) {
+  std::vector<double> norms(num_rows);
+  for (std::size_t r = 0; r < num_rows; ++r)
+    norms[r] = std::sqrt(squared_norm(rows + r * dims, dims));
+  return norms;
+}
+
+}  // namespace echoimage::linalg

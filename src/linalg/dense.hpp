@@ -1,0 +1,52 @@
+// Dense real-vector kernels for the 1:N identification prefilter.
+//
+// The prefilter (src/ident) scores one probe feature vector against every
+// stored centroid — a contiguous row-major matrix of N x d doubles — so
+// the kernels here are written the way auto-vectorizers like them: flat
+// pointers, unit stride, no branches in the inner loop, one independent
+// output slot per row. Each row's score depends only on that row and the
+// query, which is what lets the caller parallelize over rows
+// (runtime::parallel_for) and still get bit-identical results for every
+// worker count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace echoimage::linalg {
+
+/// Plain dot product sum_i a[i] * b[i], accumulated in index order.
+[[nodiscard]] double dot(const double* a, const double* b, std::size_t n);
+
+/// sum_i a[i]^2, accumulated in index order.
+[[nodiscard]] double squared_norm(const double* a, std::size_t n);
+
+/// sum_i (a[i] - b[i])^2, accumulated in index order.
+[[nodiscard]] double squared_distance(const double* a, const double* b,
+                                      std::size_t n);
+
+/// Squared Euclidean distance of `query` to each row r of `rows` (row-major
+/// num_rows x dims): out[r] = squared_distance(row_r, query). Rows in
+/// [row_begin, row_end) only — the parallel caller hands each worker its
+/// chunk. `out` must hold num_rows slots; slots outside the range are not
+/// touched.
+void row_squared_distances(const double* rows, std::size_t dims,
+                           const double* query, std::size_t row_begin,
+                           std::size_t row_end, double* out);
+
+/// Cosine distance 1 - <row_r, query> / (|row_r| * |query|) per row, with
+/// the row norms precomputed (they are a property of the index, not the
+/// query). A zero-norm row or query has no direction; its distance is
+/// defined as 1 (orthogonal), never NaN. `query_norm` is the Euclidean
+/// norm of `query`.
+void row_cosine_distances(const double* rows, const double* row_norms,
+                          std::size_t dims, const double* query,
+                          double query_norm, std::size_t row_begin,
+                          std::size_t row_end, double* out);
+
+/// Euclidean norms of each row of a row-major matrix, in index order.
+[[nodiscard]] std::vector<double> row_norms(const double* rows,
+                                            std::size_t num_rows,
+                                            std::size_t dims);
+
+}  // namespace echoimage::linalg

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/sharded.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace echoimage::serve {
@@ -232,6 +233,110 @@ FrameProcessor make_store_processor(
     result.cost_s = synthetic_cost_s > 0.0
                         ? synthetic_cost_s
                         : stopwatch->now_s() - start_s;
+    return result;
+  };
+}
+
+FrameProcessor make_identify_processor(
+    const IdentifyLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
+    const Clock& clock, double synthetic_cost_s) {
+  if (lanes.pipeline == nullptr || lanes.identifier == nullptr)
+    throw std::invalid_argument(
+        "make_identify_processor: pipeline and identifier are required");
+
+  auto guard = std::make_shared<core::CaptureSupervisor>(*lanes.pipeline,
+                                                         supervisor);
+  const core::EchoImagePipeline* pipeline = lanes.pipeline;
+  ident::Identifier* identifier = lanes.identifier;
+  // The Identifier is deliberately stateful (index refresh, verifier LRU,
+  // scratch buffers); the FrameProcessor contract requires concurrency
+  // safety under a multi-worker scheduler, so identification is serialized
+  // behind one region lock. Capture supervision and feature extraction —
+  // the expensive DSP — stay outside the critical section.
+  auto region = std::make_shared<runtime::RegionLock>();
+  auto stopwatch = std::make_shared<SteadyClock>();
+  const Clock* deadline_clock = &clock;
+
+  return [guard, pipeline, identifier, region, stopwatch, deadline_clock,
+          synthetic_cost_s](const CaptureFrame& frame,
+                            ServiceMode) -> FrameResult {
+    core::DeadlineProbe probe;
+    if (frame.deadline_s > 0.0) {
+      const double deadline_s = frame.deadline_s;
+      probe = [deadline_clock, deadline_s] {
+        return deadline_clock->now_s() >= deadline_s;
+      };
+    }
+    const core::SharedCaptureSource source =
+        [&frame](std::size_t) { return frame.capture; };
+    const double start_s = stopwatch->now_s();
+    FrameResult result;
+    const core::SupervisedCapture captured = guard->acquire(source, probe);
+    if (captured.abstained || captured.processed.images.empty()) {
+      // Late answers are abstained, never rejected: a half-processed
+      // capture is not evidence about who is speaking.
+      result.decision = core::AuthDecision::abstain(
+          captured.processed.deadline_expired ? core::AbstainReason::kDeadline
+                                              : core::AbstainReason::kCapture);
+      result.cost_s = synthetic_cost_s > 0.0 ? synthetic_cost_s
+                                             : stopwatch->now_s() - start_s;
+      return result;
+    }
+    const std::vector<std::vector<double>> features = pipeline->features_batch(
+        captured.processed.images,
+        captured.processed.distance.user_distance_centroid_m,
+        /*augment=*/false);
+
+    // Per-beep identification with majority voting, mirroring the 1:1
+    // supervisor's aggregation: the identity named by the most beeps wins,
+    // exact vote ties break toward the smaller user id, and the reported
+    // SVDD score is the mean over the winning votes.
+    std::vector<std::pair<int, double>> votes;  // (user, svdd) per beep
+    bool any_abstain = false;
+    {
+      runtime::LockedRegion hold(*region);
+      for (const std::vector<double>& feature : features) {
+        const ident::IdentifyResult who = identifier->identify(feature);
+        if (who.status == ident::IdentifyStatus::kIdentified)
+          votes.emplace_back(who.user_id, who.svdd_score);
+        else if (who.status == ident::IdentifyStatus::kAbstain)
+          any_abstain = true;
+      }
+    }
+    if (!votes.empty()) {
+      std::sort(votes.begin(), votes.end());
+      int best_user = votes.front().first;
+      std::size_t best_count = 0;
+      double best_score_sum = 0.0;
+      for (std::size_t i = 0; i < votes.size();) {
+        std::size_t j = i;
+        double sum = 0.0;
+        while (j < votes.size() && votes[j].first == votes[i].first)
+          sum += votes[j++].second;
+        // Strictly-greater keeps the smallest user id on exact vote ties
+        // (votes are sorted ascending by user).
+        if (j - i > best_count) {
+          best_count = j - i;
+          best_user = votes[i].first;
+          best_score_sum = sum;
+        }
+        i = j;
+      }
+      result.decision.accepted = true;
+      result.decision.user_id = best_user;
+      result.decision.outcome = core::AuthOutcome::kAccepted;
+      result.decision.svdd_score =
+          best_score_sum / static_cast<double>(best_count);
+    } else if (any_abstain) {
+      // Some beep hit degraded storage and nothing identified: the honest
+      // answer is the backend shed, so the device re-beeps later.
+      result.decision =
+          core::AuthDecision::abstain(core::AbstainReason::kStorage);
+    } else {
+      result.decision = core::AuthDecision{};  // rejected: unknown speaker
+    }
+    result.cost_s = synthetic_cost_s > 0.0 ? synthetic_cost_s
+                                           : stopwatch->now_s() - start_s;
     return result;
   };
 }

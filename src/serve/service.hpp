@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/supervisor.hpp"
+#include "ident/identify.hpp"
 #include "obs/observability.hpp"
 #include "store/store.hpp"
 #include "serve/clock.hpp"
@@ -176,6 +177,33 @@ struct StoreLanes {
 /// store is single-writer.
 [[nodiscard]] FrameProcessor make_store_processor(
     const StoreLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
+    const Clock& clock, double synthetic_cost_s = 0.0);
+
+/// Identification mode (ISSUE 8): frames carry no claimed identity — the
+/// backend answers "who is speaking" against the whole enrolled gallery
+/// through a two-stage ident::Identifier (centroid prefilter shortlist,
+/// then per-user verification; see src/ident). The decision space:
+///   * identified -> accepted with the winning user id;
+///   * unknown    -> rejected (storage healthy: provably nobody enrolled
+///                   verified);
+///   * abstain    -> AbstainReason::kStorage backend shed (quarantined
+///                   shards: "I cannot know" is the only honest answer).
+/// Multi-beep captures vote per beep; the majority identity wins, exact
+/// ties break toward the smaller user id.
+struct IdentifyLanes {
+  const core::EchoImagePipeline* pipeline = nullptr;
+  /// Shared mutable identification state (index refresh, verifier cache);
+  /// the processor serializes access internally, so it is safe under a
+  /// multi-worker scheduler. Must outlive the processor.
+  ident::Identifier* identifier = nullptr;
+};
+
+/// Frame processor running gallery identification. `synthetic_cost_s` > 0
+/// replaces the measured wall time, as in make_pipeline_processor.
+/// `clock`, the pipeline, and the identifier (and its store) must outlive
+/// the processor.
+[[nodiscard]] FrameProcessor make_identify_processor(
+    const IdentifyLanes& lanes, const core::CaptureSupervisorConfig& supervisor,
     const Clock& clock, double synthetic_cost_s = 0.0);
 
 /// Seeded stand-in for the physics: cost and outcome are pure functions

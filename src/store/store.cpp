@@ -464,6 +464,44 @@ LookupResult TemplateStore::lookup(int user_id) const {
   return {LookupStatus::kFound, &shard.records[it->second]};
 }
 
+CentroidSnapshot TemplateStore::centroid_snapshot() const {
+  EI_SPAN(tracer_, "store.centroid_snapshot");
+  CentroidSnapshot snapshot;
+  snapshot.generation = generation_;
+
+  // Gather (user id -> centroid pointer) across the healthy shards, then
+  // pack in ascending-id order: the layout depends only on what was
+  // committed, never on shard hashing or iteration order.
+  std::vector<std::pair<int, const std::vector<double>*>> rows;
+  for (const Shard& shard : shards_) {
+    if (shard.quarantined) {
+      ++snapshot.quarantined_shards;
+      continue;
+    }
+    for (const TemplateRecord& record : shard.records)
+      rows.emplace_back(record.user_id, &record.centroid);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  if (rows.empty()) return snapshot;
+  snapshot.dims = rows.front().second->size();
+  snapshot.user_ids.reserve(rows.size());
+  snapshot.matrix.reserve(rows.size() * snapshot.dims);
+  for (const auto& [user_id, centroid] : rows) {
+    if (centroid->size() != snapshot.dims)
+      throw StorageError(
+          "centroid_snapshot: user " + std::to_string(user_id) + " has " +
+          std::to_string(centroid->size()) + "-dim centroid in a " +
+          std::to_string(snapshot.dims) +
+          "-dim store — one prefilter cannot score mixed feature spaces");
+    snapshot.user_ids.push_back(user_id);
+    snapshot.matrix.insert(snapshot.matrix.end(), centroid->begin(),
+                           centroid->end());
+  }
+  return snapshot;
+}
+
 FsckReport TemplateStore::fsck() {
   EI_SPAN(tracer_, "store.fsck");
   FsckReport report;

@@ -71,6 +71,25 @@ struct LookupResult {
   const TemplateRecord* record = nullptr;
 };
 
+/// Packed view of every healthy record's centroid, for the 1:N prefilter
+/// (src/ident): one contiguous row-major matrix instead of 100k scattered
+/// TemplateRecord loads. Rows are ordered by ascending user id, so the
+/// layout is a pure function of the committed records — the identification
+/// shortlist built on it is bit-stable across runs and worker counts.
+struct CentroidSnapshot {
+  std::uint64_t generation = 0;
+  std::size_t dims = 0;
+  /// Ascending; row r of `matrix` is user_ids[r]'s centroid.
+  std::vector<int> user_ids;
+  /// Row-major user_ids.size() x dims.
+  std::vector<double> matrix;
+  /// Quarantined shards at snapshot time. Nonzero means the snapshot is
+  /// honest but incomplete: a user absent from it may still be enrolled,
+  /// just unreadable — identification must abstain rather than answer
+  /// "unknown" for probes nothing in the snapshot claims.
+  std::size_t quarantined_shards = 0;
+};
+
 enum class RecoverySource { kManifest, kScanFull, kScanPartial };
 [[nodiscard]] const char* to_string(RecoverySource source);
 
@@ -136,6 +155,14 @@ class TemplateStore {
   [[nodiscard]] std::size_t shard_of(int user_id) const;
 
   [[nodiscard]] LookupResult lookup(int user_id) const;
+
+  /// Copy every healthy shard's centroids into one packed matrix (rows by
+  /// ascending user id). Throws StorageError when records disagree on the
+  /// centroid dimension — a store mixing feature spaces cannot be scored
+  /// by one prefilter. Invalidated semantics: the snapshot owns its data,
+  /// so unlike lookup() results it survives commit(); staleness is
+  /// detected by comparing `generation` against generation().
+  [[nodiscard]] CentroidSnapshot centroid_snapshot() const;
 
   /// Re-read the live generation from the medium and re-run the full
   /// integrity ladder. Newly discovered at-rest corruption quarantines

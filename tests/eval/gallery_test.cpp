@@ -62,6 +62,67 @@ TEST(Gallery, DeterministicAcrossRunsAndThreadCounts) {
     EXPECT_EQ(store::encode_record(a[u]), store::encode_record(b[u])) << u;
 }
 
+TEST(Gallery, BulkCentroidsMatchPerRecordLoadsBitForBit) {
+  GalleryConfig cfg = small_gallery();
+  const auto records = make_gallery_records(cfg);
+  const GalleryCentroids bulk = make_gallery_centroids(cfg);
+  ASSERT_EQ(bulk.user_ids.size(), records.size());
+  ASSERT_EQ(bulk.dims, cfg.feature_dims);
+  ASSERT_EQ(bulk.matrix.size(), records.size() * cfg.feature_dims);
+  for (std::size_t u = 0; u < records.size(); ++u) {
+    EXPECT_EQ(bulk.user_ids[u], records[u].user_id);
+    for (std::size_t d = 0; d < cfg.feature_dims; ++d) {
+      // Bit-identical, not approximately equal: the bulk export replays
+      // the exact visit streams and accumulation order of the record
+      // path, so the 1:N prefilter built on it scores the same matrix
+      // the verifiers were trained around.
+      EXPECT_EQ(bulk.matrix[u * cfg.feature_dims + d],
+                records[u].centroid[d])
+          << "user " << u << " dim " << d;
+    }
+  }
+  // And the export is itself thread-count invariant.
+  GalleryConfig parallel = cfg;
+  parallel.num_threads = 4;
+  const GalleryCentroids threaded = make_gallery_centroids(parallel);
+  EXPECT_EQ(threaded.matrix, bulk.matrix);
+  EXPECT_EQ(threaded.user_ids, bulk.user_ids);
+}
+
+TEST(Gallery, ProbesAreFreshSessionsOfTheEnrolledBody) {
+  const GalleryConfig cfg = small_gallery();
+  const auto records = make_gallery_records(cfg);
+  const std::vector<double> probe = make_gallery_probe(cfg, 0);
+  ASSERT_EQ(probe.size(), cfg.feature_dims);
+  // Deterministic per (config, index, stream)...
+  EXPECT_EQ(probe, make_gallery_probe(cfg, 0));
+  // ...but a fresh draw, not a replay of an enrollment visit or centroid.
+  EXPECT_NE(probe, records[0].centroid);
+  EXPECT_NE(probe, make_gallery_probe(cfg, 0, 1));
+  EXPECT_NE(probe, make_gallery_probe(cfg, 1));
+  // Probes track their own body: nearest centroid (squared Euclidean)
+  // is the probed user's.
+  std::size_t nearest = 0;
+  double best = -1.0;
+  for (std::size_t u = 0; u < records.size(); ++u) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < cfg.feature_dims; ++d) {
+      const double diff = probe[d] - records[u].centroid[d];
+      acc += diff * diff;
+    }
+    if (best < 0.0 || acc < best) {
+      best = acc;
+      nearest = u;
+    }
+  }
+  EXPECT_EQ(nearest, 0u);
+  // Unenrolled indices are valid and distinct bodies (impostor probes).
+  const std::vector<double> impostor =
+      make_gallery_probe(cfg, cfg.num_users + 3);
+  EXPECT_EQ(impostor.size(), cfg.feature_dims);
+  EXPECT_NE(impostor, probe);
+}
+
 TEST(Gallery, ConfigIsValidated) {
   GalleryConfig cfg = small_gallery();
   cfg.num_users = 0;

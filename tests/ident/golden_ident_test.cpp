@@ -1,0 +1,111 @@
+// Golden identification regression: a seeded gallery, a fixed probe set
+// (every enrolled user, a band of impostors, and a deterministically
+// corrupted shard), and the pinned outcome of every probe. Any change to
+// the prefilter, the shortlist order, the verifier path, or the abstain
+// policy shows up as a diff against tests/data/golden_ident.txt.
+//
+// Regenerate (after an intentional behavior change) with:
+//   ECHOIMAGE_REGEN_GOLDEN=1 ./echoimage_ident_tests
+//       --gtest_filter='GoldenIdent.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/gallery.hpp"
+#include "ident/identify.hpp"
+#include "store/env.hpp"
+#include "store/store.hpp"
+
+#ifndef ECHOIMAGE_TEST_DATA_DIR
+#error "ECHOIMAGE_TEST_DATA_DIR must be defined by the build"
+#endif
+
+namespace echoimage::ident {
+namespace {
+
+std::string golden_path() {
+  return std::string(ECHOIMAGE_TEST_DATA_DIR) + "/golden_ident.txt";
+}
+
+eval::GalleryConfig gallery_config() {
+  eval::GalleryConfig cfg;
+  cfg.num_users = 16;
+  cfg.feature_dims = 10;
+  cfg.samples_per_user = 4;
+  cfg.seed = 0x601DE4;
+  return cfg;
+}
+
+/// The scenario transcript: every line is one probe's pinned outcome.
+std::string render_outcomes() {
+  const eval::GalleryConfig cfg = gallery_config();
+  const std::vector<store::TemplateRecord> records =
+      eval::make_gallery_records(cfg);
+
+  store::MemoryEnv env;
+  store::StoreConfig store_cfg;
+  store_cfg.root = "g";
+  store_cfg.num_shards = 4;
+  {
+    store::TemplateStore writer = store::TemplateStore::init(store_cfg, env);
+    writer.commit(records);
+  }
+  // Deterministic at-rest corruption: flip one bit in the shard of the
+  // first enrolled user, then recover. Probes of that shard's users must
+  // pin to "abstain".
+  {
+    const store::TemplateStore probe_store =
+        store::TemplateStore::open(store_cfg, env);
+    const std::string path =
+        "g/gen-1/shard-" +
+        std::to_string(probe_store.shard_of(records.front().user_id)) +
+        ".tpl";
+    std::string bytes = env.read_file(path).value();
+    bytes[bytes.size() / 2] ^= 0x04;
+    env.corrupt_file(path, bytes);
+  }
+  store::TemplateStore store = store::TemplateStore::open(store_cfg, env);
+
+  Identifier identifier(store);
+  std::ostringstream out;
+  const auto emit = [&](const std::string& label,
+                        const std::vector<double>& probe) {
+    const IdentifyResult result = identifier.identify(probe);
+    out << label << " status=" << to_string(result.status)
+        << " user=" << result.user_id << "\n";
+  };
+  for (std::size_t u = 0; u < cfg.num_users; ++u)
+    emit("genuine=" + std::to_string(u), eval::make_gallery_probe(cfg, u));
+  for (std::size_t imp = 0; imp < 6; ++imp)
+    emit("impostor=" + std::to_string(imp),
+         eval::make_gallery_probe(cfg, cfg.num_users + imp));
+  return out.str();
+}
+
+TEST(GoldenIdent, OutcomesMatchThePinnedTranscript) {
+  const std::string actual = render_outcomes();
+  if (std::getenv("ECHOIMAGE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " — run with ECHOIMAGE_REGEN_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str());
+}
+
+/// The transcript itself must be reproducible within one build before it
+/// can be pinned across builds.
+TEST(GoldenIdent, TranscriptIsAPureFunctionOfTheSeed) {
+  EXPECT_EQ(render_outcomes(), render_outcomes());
+}
+
+}  // namespace
+}  // namespace echoimage::ident

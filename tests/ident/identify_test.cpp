@@ -1,0 +1,220 @@
+// The two-stage Identifier over a real committed store: correctness of
+// the identify/unknown split on healthy storage, and the ISSUE 8
+// determinism properties — results bit-identical across prefilter worker
+// counts {1, 2, 8} and with the verifier cache on or off.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "eval/gallery.hpp"
+#include "ident/identify.hpp"
+#include "obs/observability.hpp"
+#include "store/env.hpp"
+#include "store/store.hpp"
+
+namespace echoimage::ident {
+namespace {
+
+eval::GalleryConfig gallery_config() {
+  eval::GalleryConfig cfg;
+  cfg.num_users = 24;
+  cfg.feature_dims = 10;
+  cfg.samples_per_user = 4;
+  return cfg;
+}
+
+store::StoreConfig store_config() {
+  store::StoreConfig cfg;
+  cfg.root = "g";
+  cfg.num_shards = 4;
+  return cfg;
+}
+
+/// Gallery enrollment (verifier training) is the slow part: one shared
+/// record set for the whole file.
+const std::vector<store::TemplateRecord>& shared_records() {
+  static const std::vector<store::TemplateRecord> records =
+      eval::make_gallery_records(gallery_config());
+  return records;
+}
+
+struct StoreFixture {
+  store::MemoryEnv env;
+  store::TemplateStore store;
+
+  StoreFixture()
+      : store(store::TemplateStore::init(store_config(), env)) {
+    store.commit(shared_records());
+  }
+};
+
+/// Everything the determinism contract covers, flattened for EXPECT_EQ:
+/// outcome, winner, bit patterns of both scores, the full shortlist, and
+/// how much stage-2 work ran.
+struct ResultDigest {
+  IdentifyStatus status;
+  int user_id;
+  double svdd_score;
+  double distance;
+  std::uint64_t shortlist_fp;
+  std::size_t verifier_runs;
+
+  bool operator==(const ResultDigest&) const = default;
+};
+
+ResultDigest digest(const IdentifyResult& r) {
+  return {r.status,   r.user_id,
+          r.svdd_score, r.distance,
+          shortlist_fingerprint(r.shortlist), r.verifier_runs};
+}
+
+TEST(Identifier, IdentifiesEnrolledUsersFromTheirCentroids) {
+  StoreFixture fx;
+  Identifier identifier(fx.store);
+  std::size_t identified_as_self = 0;
+  for (const store::TemplateRecord& r : shared_records()) {
+    const IdentifyResult result = identifier.identify(r.centroid);
+    // A user's centroid is the least surprising probe possible; nothing
+    // may ever map it to a *different* user.
+    if (result.status == IdentifyStatus::kIdentified) {
+      EXPECT_EQ(result.user_id, r.user_id);
+      if (result.user_id == r.user_id) ++identified_as_self;
+    }
+    EXPECT_NE(result.status, IdentifyStatus::kAbstain)
+        << "healthy storage must never abstain";
+  }
+  EXPECT_GE(identified_as_self, shared_records().size() - 1)
+      << "own-centroid probes must overwhelmingly identify";
+}
+
+TEST(Identifier, UnenrolledProbesAreUnknownOnHealthyStorage) {
+  StoreFixture fx;
+  Identifier identifier(fx.store);
+  const eval::GalleryConfig cfg = gallery_config();
+  std::size_t unknown = 0;
+  for (std::size_t imp = 0; imp < 8; ++imp) {
+    // Indices past num_users are bodies the gallery never enrolled.
+    const std::vector<double> probe =
+        eval::make_gallery_probe(cfg, cfg.num_users + imp);
+    const IdentifyResult result = identifier.identify(probe);
+    EXPECT_NE(result.status, IdentifyStatus::kAbstain);
+    if (result.status == IdentifyStatus::kUnknown) ++unknown;
+  }
+  EXPECT_GE(unknown, 7u) << "impostor bodies must overwhelmingly rank unknown";
+}
+
+TEST(Identifier, ResultsBitIdenticalAcrossThreadCountsAndCacheArms) {
+  StoreFixture fx;
+  IdentConfig baseline_cfg;
+  baseline_cfg.num_threads = 1;
+  Identifier baseline(fx.store, baseline_cfg);
+
+  const eval::GalleryConfig gallery = gallery_config();
+  std::vector<std::vector<double>> probes;
+  for (std::size_t u = 0; u < gallery.num_users + 4; ++u)
+    probes.push_back(eval::make_gallery_probe(gallery, u));
+
+  std::vector<ResultDigest> expected;
+  for (const auto& probe : probes)
+    expected.push_back(digest(baseline.identify(probe)));
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t cache : {std::size_t{0}, std::size_t{256}}) {
+      IdentConfig cfg;
+      cfg.num_threads = threads;
+      cfg.verifier_cache = cache;
+      Identifier other(fx.store, cfg);
+      for (std::size_t p = 0; p < probes.size(); ++p)
+        EXPECT_EQ(digest(other.identify(probes[p])), expected[p])
+            << "threads=" << threads << " cache=" << cache << " probe=" << p;
+    }
+  }
+}
+
+TEST(Identifier, KBeyondGallerySizeDegradesToExhaustiveSearch) {
+  StoreFixture fx;
+  IdentConfig cfg;
+  cfg.shortlist_k = 10'000;  // far beyond the 24 enrolled users
+  Identifier identifier(fx.store, cfg);
+  const IdentifyResult result =
+      identifier.identify(shared_records().front().centroid);
+  EXPECT_EQ(result.shortlist.size(), shared_records().size());
+  // Every enrolled user has a loadable verifier, so exhaustive stage 2
+  // ran all of them.
+  EXPECT_EQ(result.verifier_runs, shared_records().size());
+}
+
+TEST(Identifier, RebuildsOnGenerationChangeAndSeesNewEnrollments) {
+  StoreFixture fx;
+  Identifier identifier(fx.store);
+  (void)identifier.identify(shared_records().front().centroid);
+  const std::uint64_t gen_before = identifier.index().generation();
+
+  // Enroll one more user (id past the gallery) and commit.
+  eval::GalleryConfig bigger = gallery_config();
+  bigger.num_users = 25;
+  const std::vector<store::TemplateRecord> grown =
+      eval::make_gallery_records(bigger);
+  fx.store.commit({grown.back()});
+
+  const IdentifyResult result = identifier.identify(grown.back().centroid);
+  EXPECT_EQ(identifier.index().generation(), fx.store.generation());
+  EXPECT_NE(identifier.index().generation(), gen_before);
+  EXPECT_EQ(result.status, IdentifyStatus::kIdentified);
+  EXPECT_EQ(result.user_id, grown.back().user_id);
+}
+
+TEST(Identifier, ObservabilityCountsOutcomesStagesAndCache) {
+  StoreFixture fx;
+  auto obs = std::make_shared<obs::Observability>();
+  Identifier identifier(fx.store, {}, obs);
+  const std::vector<double>& genuine = shared_records().front().centroid;
+  (void)identifier.identify(genuine);
+  (void)identifier.identify(genuine);  // second pass hits the verifier cache
+  obs::MetricsRegistry& m = obs->metrics();
+  EXPECT_EQ(m.counter("ident.index_rebuilds").value(), 1u);
+  EXPECT_GE(m.counter("ident.identified").value(), 1u);
+  const std::vector<double> buckets = {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+  EXPECT_EQ(m.histogram("ident.shortlist_size", buckets).count(), 2u);
+  EXPECT_EQ(m.histogram("ident.verifier_runs", buckets).count(), 2u);
+  EXPECT_GE(m.counter("ident.verifier_cache.misses").value(), 1u);
+  EXPECT_GE(m.counter("ident.verifier_cache.hits").value(), 1u);
+  // Cache accounting is exact: obs mirrors the cache's own counters.
+  EXPECT_EQ(m.counter("ident.verifier_cache.hits").value(),
+            identifier.cache().hits());
+  EXPECT_EQ(m.counter("ident.verifier_cache.misses").value(),
+            identifier.cache().misses());
+}
+
+TEST(Identifier, DecisionViewMapsTheStatusSpace) {
+  IdentifyResult identified;
+  identified.status = IdentifyStatus::kIdentified;
+  identified.user_id = 7;
+  identified.svdd_score = 0.5;
+  const core::AuthDecision accept = identified.to_decision();
+  EXPECT_TRUE(accept.accepted);
+  EXPECT_EQ(accept.user_id, 7);
+
+  IdentifyResult unknown;
+  unknown.status = IdentifyStatus::kUnknown;
+  EXPECT_EQ(unknown.to_decision().outcome, core::AuthOutcome::kRejected);
+
+  IdentifyResult abstain;
+  abstain.status = IdentifyStatus::kAbstain;
+  abstain.abstain_reason = core::AbstainReason::kStorage;
+  const core::AuthDecision shed = abstain.to_decision();
+  EXPECT_EQ(shed.outcome, core::AuthOutcome::kAbstained);
+  EXPECT_EQ(shed.abstain_reason, core::AbstainReason::kStorage);
+  EXPECT_TRUE(shed.shed_by_backend());
+}
+
+TEST(Identifier, ConfigIsValidated) {
+  StoreFixture fx;
+  IdentConfig bad;
+  bad.shortlist_k = 0;
+  EXPECT_THROW(Identifier(fx.store, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::ident

@@ -1,0 +1,154 @@
+// Stage-1 prefilter properties: the dense kernels against a naive
+// reference, and the CentroidIndex distance pass against every worker
+// count — the determinism half of the ISSUE 8 acceptance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ident/centroid_index.hpp"
+#include "linalg/dense.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/random.hpp"
+
+namespace echoimage::ident {
+namespace {
+
+struct NaiveGallery {
+  std::size_t num_rows;
+  std::size_t dims;
+  std::vector<double> rows;
+  std::vector<double> query;
+};
+
+NaiveGallery seeded_gallery(std::size_t num_rows, std::size_t dims,
+                            std::uint64_t seed) {
+  NaiveGallery g{num_rows, dims, {}, {}};
+  sim::Rng rng(seed);
+  g.rows.resize(num_rows * dims);
+  for (double& v : g.rows) v = rng.gaussian(0.0, 1.0);
+  g.query.resize(dims);
+  for (double& v : g.query) v = rng.gaussian(0.0, 1.0);
+  return g;
+}
+
+double naive_squared_distance(const double* a, const double* b,
+                              std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return acc;
+}
+
+double naive_cosine_distance(const double* a, const double* b,
+                             std::size_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0) return 1.0;
+  return 1.0 - dot / denom;
+}
+
+TEST(DenseKernels, SquaredDistancesMatchNaiveReference) {
+  const NaiveGallery g = seeded_gallery(97, 33, 0x5EED1);
+  std::vector<double> out(g.num_rows);
+  linalg::row_squared_distances(g.rows.data(), g.dims, g.query.data(), 0,
+                                g.num_rows, out.data());
+  for (std::size_t r = 0; r < g.num_rows; ++r)
+    EXPECT_NEAR(out[r],
+                naive_squared_distance(g.rows.data() + r * g.dims,
+                                       g.query.data(), g.dims),
+                1e-12)
+        << "row " << r;
+}
+
+TEST(DenseKernels, CosineDistancesMatchNaiveReference) {
+  const NaiveGallery g = seeded_gallery(61, 24, 0x5EED2);
+  const std::vector<double> norms =
+      linalg::row_norms(g.rows.data(), g.num_rows, g.dims);
+  const double query_norm =
+      std::sqrt(linalg::squared_norm(g.query.data(), g.dims));
+  std::vector<double> out(g.num_rows);
+  linalg::row_cosine_distances(g.rows.data(), norms.data(), g.dims,
+                               g.query.data(), query_norm, 0, g.num_rows,
+                               out.data());
+  for (std::size_t r = 0; r < g.num_rows; ++r)
+    EXPECT_NEAR(out[r],
+                naive_cosine_distance(g.rows.data() + r * g.dims,
+                                      g.query.data(), g.dims),
+                1e-12)
+        << "row " << r;
+}
+
+TEST(DenseKernels, ZeroNormCosineIsMaxDistanceNotNaN) {
+  const std::vector<double> rows(8, 0.0);  // one all-zero row
+  const std::vector<double> norms = linalg::row_norms(rows.data(), 1, 8);
+  std::vector<double> query(8, 1.0);
+  const double query_norm = std::sqrt(linalg::squared_norm(query.data(), 8));
+  double out = -1.0;
+  linalg::row_cosine_distances(rows.data(), norms.data(), 8, query.data(),
+                               query_norm, 0, 1, &out);
+  EXPECT_DOUBLE_EQ(out, 1.0);
+  EXPECT_FALSE(std::isnan(out));
+}
+
+CentroidIndex seeded_index(const NaiveGallery& g) {
+  std::vector<int> ids(g.num_rows);
+  for (std::size_t r = 0; r < g.num_rows; ++r)
+    ids[r] = static_cast<int>(r) + 7;
+  return CentroidIndex::from_rows(ids, g.rows, g.dims);
+}
+
+TEST(CentroidIndex, DistancesBitIdenticalAcrossWorkerCounts) {
+  const NaiveGallery g = seeded_gallery(143, 19, 0x5EED3);
+  const CentroidIndex index = seeded_index(g);
+  for (const Metric metric : {Metric::kSquaredEuclidean, Metric::kCosine}) {
+    runtime::ThreadPool one(1);
+    std::vector<double> baseline;
+    index.distances(g.query, metric, one, baseline);
+    ASSERT_EQ(baseline.size(), g.num_rows);
+    for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+      runtime::ThreadPool pool(workers);
+      std::vector<double> out;
+      index.distances(g.query, metric, pool, out);
+      ASSERT_EQ(out.size(), baseline.size());
+      for (std::size_t r = 0; r < out.size(); ++r) {
+        // Bit-identical, not merely close: every slot is written by
+        // exactly one worker from the same unit-stride kernel.
+        EXPECT_EQ(out[r], baseline[r])
+            << to_string(metric) << " row " << r << " workers " << workers;
+      }
+    }
+  }
+}
+
+TEST(CentroidIndex, FromRowsValidatesShapeAndOrder) {
+  EXPECT_THROW((void)CentroidIndex::from_rows({1, 2}, {0.0, 0.0, 0.0}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)CentroidIndex::from_rows({2, 1}, {0.0, 0.0, 0.0, 0.0}, 2),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)CentroidIndex::from_rows({1, 1}, {0.0, 0.0, 0.0, 0.0}, 2),
+      std::invalid_argument);
+  const CentroidIndex ok =
+      CentroidIndex::from_rows({1, 5}, {0.0, 0.0, 1.0, 1.0}, 2);
+  EXPECT_EQ(ok.size(), 2u);
+  EXPECT_EQ(ok.user_id(1), 5);
+}
+
+TEST(CentroidIndex, QueryDimensionIsValidated) {
+  const NaiveGallery g = seeded_gallery(5, 4, 0x5EED4);
+  const CentroidIndex index = seeded_index(g);
+  runtime::ThreadPool pool(1);
+  std::vector<double> out;
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(index.distances(wrong, Metric::kSquaredEuclidean, pool, out),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::ident

@@ -1,0 +1,169 @@
+// Integration: identification against a gallery degraded by injected
+// storage faults. A crash mid-commit (store::StorageFaultInjector) plus a
+// lost MANIFEST forces the scan-recovery ladder onto a partial
+// generation; users whose shard survived still identify, users whose
+// shard was lost abstain with AbstainReason::kStorage — never a wrong
+// accept, never a false "unknown" — and the abstains are visible in the
+// obs counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "eval/gallery.hpp"
+#include "ident/identify.hpp"
+#include "obs/observability.hpp"
+#include "store/env.hpp"
+#include "store/faults.hpp"
+#include "store/store.hpp"
+
+namespace echoimage::ident {
+namespace {
+
+eval::GalleryConfig gallery_config() {
+  eval::GalleryConfig cfg;
+  cfg.num_users = 24;
+  cfg.feature_dims = 10;
+  cfg.samples_per_user = 4;
+  cfg.seed = 0x6A11E5;  // distinct stream from identify_test's fixture
+  return cfg;
+}
+
+store::StoreConfig store_config() {
+  store::StoreConfig cfg;
+  cfg.root = "q";
+  cfg.num_shards = 4;
+  return cfg;
+}
+
+const std::vector<store::TemplateRecord>& shared_records() {
+  static const std::vector<store::TemplateRecord> records =
+      eval::make_gallery_records(gallery_config());
+  return records;
+}
+
+/// One crash scenario: commit the gallery through a fault injector that
+/// dies at mutation `op_index`, lose the MANIFEST, and recover by scan.
+/// Returns the recovered store when the crash landed where this test
+/// needs it — a partial generation with both healthy and quarantined
+/// shards — and nullopt when that op_index crashes too early/late.
+std::optional<store::TemplateStore> degraded_store(store::MemoryEnv& env,
+                                                   std::size_t op_index) {
+  store::StorageFaultSpec spec;
+  spec.kind = store::StorageFaultKind::kBitFlip;
+  spec.op_index = op_index;
+  store::StorageFaultInjector injector(env, spec);
+  try {
+    store::TemplateStore store =
+        store::TemplateStore::init(store_config(), injector);
+    store.commit(shared_records());
+    return std::nullopt;  // the whole commit survived: fault never fired
+  } catch (const store::StorageCrash&) {
+  }
+  // The simulated machine rebooted with no MANIFEST (the commit never
+  // published, and init's own manifest may predate the crash): recovery
+  // must climb down to the generation scan.
+  if (env.exists("q/MANIFEST")) env.remove_file("q/MANIFEST");
+  std::optional<store::TemplateStore> reopened;
+  try {
+    reopened = store::TemplateStore::open(store_config(), env);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // crashed before anything recoverable landed
+  }
+  store::TemplateStore& store = *reopened;
+  const std::size_t quarantined = store.stats().quarantined_shards;
+  if (quarantined == 0 || quarantined == store.num_shards())
+    return std::nullopt;  // all-or-nothing: not the mixed case under test
+  if (store.size() == 0) return std::nullopt;
+  return reopened;
+}
+
+TEST(IdentQuarantine, HealthySurvivorsIdentifyLostShardsAbstain) {
+  std::unique_ptr<store::MemoryEnv> env;
+  std::optional<store::TemplateStore> store;
+  // Walk the commit's mutation schedule until a crash point yields a
+  // partially recovered gallery (deterministic: the schedule is a pure
+  // function of the records, so the first hit is always the same op).
+  for (std::size_t op = 0; op < 200 && !store.has_value(); ++op) {
+    env = std::make_unique<store::MemoryEnv>();
+    store = degraded_store(*env, op);
+  }
+  ASSERT_TRUE(store.has_value())
+      << "no crash point produced a mixed healthy/quarantined recovery";
+  ASSERT_EQ(store->recovery_source(), store::RecoverySource::kScanPartial);
+
+  auto obs = std::make_shared<obs::Observability>();
+  Identifier identifier(*store, {}, obs);
+
+  std::size_t quarantined_users = 0;
+  std::size_t healthy_identified = 0;
+  std::size_t healthy_users = 0;
+  for (const store::TemplateRecord& r : shared_records()) {
+    const store::LookupStatus status = store->lookup(r.user_id).status;
+    const IdentifyResult result = identifier.identify(r.centroid);
+    if (status == store::LookupStatus::kQuarantined) {
+      ++quarantined_users;
+      // The user IS enrolled; their bytes are unreadable. "Unknown" would
+      // be a lie and any identification would be a wrong accept.
+      EXPECT_EQ(result.status, IdentifyStatus::kAbstain) << r.user_id;
+      EXPECT_EQ(result.abstain_reason, core::AbstainReason::kStorage);
+    } else {
+      ASSERT_EQ(status, store::LookupStatus::kFound) << r.user_id;
+      ++healthy_users;
+      // Corruption elsewhere must not blind the healthy shards...
+      EXPECT_NE(result.status, IdentifyStatus::kUnknown) << r.user_id;
+      if (result.status == IdentifyStatus::kIdentified) {
+        // ...and must never redirect a probe onto another user.
+        EXPECT_EQ(result.user_id, r.user_id);
+        ++healthy_identified;
+      }
+    }
+  }
+  EXPECT_GT(quarantined_users, 0u);
+  EXPECT_GT(healthy_users, 0u);
+  EXPECT_GE(healthy_identified + 1, healthy_users)
+      << "healthy-shard users must overwhelmingly still identify";
+
+  // The abstains are observable, and exact: one per quarantined user.
+  obs::MetricsRegistry& m = obs->metrics();
+  EXPECT_EQ(m.counter("ident.abstain_storage").value(), quarantined_users);
+  EXPECT_EQ(m.counter("ident.identified").value(), healthy_identified);
+  EXPECT_EQ(m.counter("ident.unknown").value(), 0u);
+}
+
+TEST(IdentQuarantine, FsckDiscoveredCorruptionFlipsAnswersToAbstain) {
+  store::MemoryEnv env;
+  store::TemplateStore store =
+      store::TemplateStore::init(store_config(), env);
+  store.commit(shared_records());
+
+  Identifier identifier(store);
+  const store::TemplateRecord& victim = shared_records().front();
+  ASSERT_EQ(identifier.identify(victim.centroid).status,
+            IdentifyStatus::kIdentified);
+
+  // At-rest corruption lands *after* the index snapshot; fsck quarantines
+  // the shard without a commit (so no generation change, no rebuild).
+  const std::string path =
+      "q/gen-1/shard-" + std::to_string(store.shard_of(victim.user_id)) +
+      ".tpl";
+  std::string bytes = env.read_file(path).value();
+  bytes[bytes.size() / 2] ^= 0x08;
+  env.corrupt_file(path, bytes);
+  ASSERT_FALSE(store.fsck().clean());
+  ASSERT_EQ(store.lookup(victim.user_id).status,
+            store::LookupStatus::kQuarantined);
+
+  // The stale index still shortlists the victim, but stage 2's lookup
+  // answers kQuarantined — and that must surface as a storage abstain.
+  const IdentifyResult after = identifier.identify(victim.centroid);
+  EXPECT_NE(after.status, IdentifyStatus::kUnknown);
+  if (after.status == IdentifyStatus::kIdentified) {
+    EXPECT_NE(after.user_id, victim.user_id)
+        << "a quarantined user must never be served from stale bytes";
+  }
+}
+
+}  // namespace
+}  // namespace echoimage::ident

@@ -1,0 +1,120 @@
+// Shortlist determinism: the (distance, row) total order, exhaustive
+// degradation at k >= N, recall@k monotonicity, and the fingerprint the
+// bench's bit-stability acceptance folds over.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "eval/gallery.hpp"
+#include "ident/centroid_index.hpp"
+#include "ident/shortlist.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace echoimage::ident {
+namespace {
+
+CentroidIndex tiny_index(std::size_t n, std::size_t dims) {
+  std::vector<int> ids(n);
+  std::vector<double> rows(n * dims, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    ids[r] = static_cast<int>(r) + 1;
+    rows[r * dims] = static_cast<double>(r);
+  }
+  return CentroidIndex::from_rows(ids, rows, dims);
+}
+
+TEST(Shortlist, OrdersByDistanceThenRow) {
+  const CentroidIndex index = tiny_index(5, 2);
+  // Rows 1 and 3 tie; the lower row index must come first.
+  const std::vector<double> distances = {4.0, 1.0, 3.0, 1.0, 0.5};
+  const std::vector<Candidate> top = top_k_shortlist(index, distances, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].row, 4u);
+  EXPECT_EQ(top[1].row, 1u);
+  EXPECT_EQ(top[2].row, 3u);
+  EXPECT_EQ(top[1].user_id, 2);
+  EXPECT_EQ(top[2].user_id, 4);
+}
+
+TEST(Shortlist, KAtLeastGallerySizeIsExhaustiveAndFullyOrdered) {
+  const CentroidIndex index = tiny_index(6, 2);
+  const std::vector<double> distances = {2.0, 5.0, 1.0, 4.0, 0.0, 3.0};
+  for (const std::size_t k : {std::size_t{6}, std::size_t{100}}) {
+    const std::vector<Candidate> top = top_k_shortlist(index, distances, k);
+    ASSERT_EQ(top.size(), 6u) << "k=" << k;
+    for (std::size_t i = 1; i < top.size(); ++i)
+      EXPECT_LE(top[i - 1].distance, top[i].distance);
+  }
+}
+
+TEST(Shortlist, SmallerKIsAPrefixOfLargerK) {
+  const CentroidIndex index = tiny_index(12, 2);
+  std::vector<double> distances(12);
+  for (std::size_t r = 0; r < 12; ++r)
+    distances[r] = static_cast<double>((r * 7) % 12);
+  const std::vector<Candidate> large = top_k_shortlist(index, distances, 12);
+  for (std::size_t k = 1; k <= 12; ++k) {
+    const std::vector<Candidate> small = top_k_shortlist(index, distances, k);
+    ASSERT_EQ(small.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(small[i].row, large[i].row) << "k=" << k << " i=" << i;
+      EXPECT_EQ(small[i].distance, large[i].distance);
+    }
+  }
+}
+
+TEST(Shortlist, FingerprintIsOrderSensitiveAndStable) {
+  const CentroidIndex index = tiny_index(4, 2);
+  const std::vector<double> distances = {3.0, 1.0, 2.0, 0.0};
+  const std::vector<Candidate> top = top_k_shortlist(index, distances, 4);
+  const std::uint64_t fp = shortlist_fingerprint(top);
+  EXPECT_EQ(fp, shortlist_fingerprint(top));  // pure function
+  std::vector<Candidate> swapped = top;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(shortlist_fingerprint(swapped), fp);
+  EXPECT_NE(shortlist_fingerprint({}), 0u);  // seeded accumulator
+}
+
+/// recall@k over the synthetic gallery: fraction of genuine probes whose
+/// true user survives the stage-1 shortlist. The shortlist is a prefix
+/// family (test above), so recall must be monotone non-decreasing in k.
+TEST(Shortlist, GalleryRecallAtKIsMonotoneInK) {
+  eval::GalleryConfig cfg;
+  cfg.num_users = 64;
+  cfg.feature_dims = 12;
+  cfg.samples_per_user = 4;
+  const eval::GalleryCentroids centroids = eval::make_gallery_centroids(cfg);
+  const CentroidIndex index = CentroidIndex::from_rows(
+      centroids.user_ids, centroids.matrix, centroids.dims);
+  runtime::ThreadPool pool(1);
+
+  const std::vector<std::size_t> ks = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<std::size_t> recalled(ks.size(), 0);
+  std::vector<double> distances;
+  for (std::size_t u = 0; u < cfg.num_users; ++u) {
+    const std::vector<double> probe = eval::make_gallery_probe(cfg, u);
+    index.distances(probe, Metric::kSquaredEuclidean, pool, distances);
+    const int truth = centroids.user_ids[u];
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const std::vector<Candidate> top =
+          top_k_shortlist(index, distances, ks[i]);
+      const bool hit = std::any_of(
+          top.begin(), top.end(),
+          [truth](const Candidate& c) { return c.user_id == truth; });
+      if (hit) ++recalled[i];
+    }
+  }
+  for (std::size_t i = 1; i < ks.size(); ++i)
+    EXPECT_GE(recalled[i], recalled[i - 1]) << "k=" << ks[i];
+  // k = N is exhaustive: every enrolled probe's user is on the list.
+  EXPECT_EQ(recalled.back(), cfg.num_users);
+  // And the prefilter is actually discriminative, not a coin flip: the
+  // session jitter is small next to inter-user signature distances.
+  EXPECT_GE(recalled.front() * 10, cfg.num_users * 9)
+      << "recall@1 collapsed: " << recalled.front() << "/" << cfg.num_users;
+}
+
+}  // namespace
+}  // namespace echoimage::ident

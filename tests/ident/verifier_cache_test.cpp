@@ -1,0 +1,109 @@
+// VerifierCache unit tests: LRU eviction, exact hit/miss accounting, the
+// capacity-0 pass-through arm, and the never-cache-null rule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/authenticator.hpp"
+#include "ident/verifier_cache.hpp"
+#include "obs/observability.hpp"
+
+namespace echoimage::ident {
+namespace {
+
+/// Loader that counts invocations and resolves even ids only (odd ids
+/// behave like absent/quarantined users).
+struct CountingLoader {
+  std::vector<int> calls;
+
+  VerifierCache::Loader fn() {
+    return [this](int user_id) -> std::shared_ptr<const core::Authenticator> {
+      calls.push_back(user_id);
+      if (user_id % 2 != 0) return nullptr;
+      return std::make_shared<core::Authenticator>();
+    };
+  }
+};
+
+TEST(VerifierCache, HitsAvoidTheLoaderAndAreCounted) {
+  CountingLoader loader;
+  VerifierCache cache(4, loader.fn());
+  const auto first = cache.get(2);
+  ASSERT_NE(first, nullptr);
+  const auto second = cache.get(2);
+  EXPECT_EQ(first.get(), second.get());  // same owned copy, no reload
+  EXPECT_EQ(loader.calls.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(VerifierCache, EvictsLeastRecentlyUsed) {
+  CountingLoader loader;
+  VerifierCache cache(2, loader.fn());
+  (void)cache.get(2);
+  (void)cache.get(4);
+  (void)cache.get(2);  // touch 2: now 4 is the LRU entry
+  (void)cache.get(6);  // evicts 4
+  EXPECT_EQ(cache.size(), 2u);
+  loader.calls.clear();
+  (void)cache.get(2);  // still resident
+  EXPECT_TRUE(loader.calls.empty());
+  (void)cache.get(4);  // evicted: reloads
+  EXPECT_EQ(loader.calls, std::vector<int>{4});
+}
+
+TEST(VerifierCache, NullResultsAreNeverCached) {
+  CountingLoader loader;
+  VerifierCache cache(4, loader.fn());
+  EXPECT_EQ(cache.get(3), nullptr);
+  EXPECT_EQ(cache.get(3), nullptr);
+  // Absence stays re-checkable: both gets hit the loader.
+  EXPECT_EQ(loader.calls.size(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(VerifierCache, CapacityZeroIsPassThrough) {
+  CountingLoader loader;
+  VerifierCache cache(0, loader.fn());
+  EXPECT_NE(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+  EXPECT_EQ(loader.calls.size(), 2u);  // every get goes to the loader
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(VerifierCache, ClearDropsEntriesButKeepsLifetimeCounters) {
+  CountingLoader loader;
+  VerifierCache cache(4, loader.fn());
+  (void)cache.get(2);
+  (void)cache.get(2);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  (void)cache.get(2);  // reload after clear
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(VerifierCache, MirrorsIntoObsCounters) {
+  CountingLoader loader;
+  VerifierCache cache(4, loader.fn());
+  auto obs = std::make_shared<obs::Observability>();
+  obs::MetricsRegistry& m = obs->metrics();
+  cache.attach_counters(&m.counter("test.hits"), &m.counter("test.misses"));
+  (void)cache.get(2);
+  (void)cache.get(2);
+  EXPECT_EQ(m.counter("test.hits").value(), 1u);
+  EXPECT_EQ(m.counter("test.misses").value(), 1u);
+}
+
+TEST(VerifierCache, NullLoaderIsRejected) {
+  EXPECT_THROW(VerifierCache(4, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::ident

@@ -1,0 +1,156 @@
+// The identification frame processor: no claimed identity anywhere — the
+// backend answers "who is speaking" through the two-stage 1:N Identifier,
+// with the store honesty contract intact (degraded storage abstains with
+// kStorage, never misidentifies) and capture abstains mapped exactly as
+// in the 1:1 processors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "eval/serve_scenario.hpp"
+#include "ident/identify.hpp"
+#include "serve/service.hpp"
+#include "store/env.hpp"
+#include "store/store.hpp"
+
+namespace echoimage::serve {
+namespace {
+
+using echoimage::core::AbstainReason;
+using echoimage::core::AuthOutcome;
+
+const eval::ServeLanes& shared_lanes() {
+  static const eval::ServeLanes lanes = eval::make_serve_lanes(2, 11, 24, 8, 2);
+  return lanes;
+}
+
+store::StoreConfig store_config() {
+  store::StoreConfig cfg;
+  cfg.root = "s";
+  cfg.num_shards = 4;
+  return cfg;
+}
+
+CaptureFrame frame_for(std::size_t session) {
+  CaptureFrame f;
+  f.session_id = session;
+  f.capture = shared_lanes().captures.at(session);
+  return f;
+}
+
+IdentifyLanes identify_lanes_for(ident::Identifier& identifier) {
+  IdentifyLanes lanes;
+  lanes.pipeline = shared_lanes().full.get();
+  lanes.identifier = &identifier;
+  return lanes;
+}
+
+TEST(IdentifyBackend, NamesTheSpeakerWithoutAnyClaimedIdentity) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+  ident::Identifier identifier(store);
+
+  SteadyClock clock;
+  const FrameProcessor proc = make_identify_processor(
+      identify_lanes_for(identifier), serve_supervisor_config(), clock);
+  for (std::size_t session = 0; session < 2; ++session) {
+    const FrameResult result = proc(frame_for(session), ServiceMode::kFull);
+    EXPECT_EQ(result.decision.outcome, AuthOutcome::kAccepted) << session;
+    // Identification, not verification: the session id was never given to
+    // the backend, yet the answer is the session's enrolled user.
+    EXPECT_EQ(result.decision.user_id, shared_lanes().user_ids.at(session));
+    EXPECT_GT(result.cost_s, 0.0);
+  }
+}
+
+TEST(IdentifyBackend, SyntheticCostOverridesMeasuredTime) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+  ident::Identifier identifier(store);
+
+  SteadyClock clock;
+  const FrameProcessor proc =
+      make_identify_processor(identify_lanes_for(identifier),
+                              serve_supervisor_config(), clock, 0.125);
+  const FrameResult result = proc(frame_for(0), ServiceMode::kFull);
+  EXPECT_DOUBLE_EQ(result.cost_s, 0.125);
+}
+
+TEST(IdentifyBackend, FullyQuarantinedGalleryAbstainsStorage) {
+  store::MemoryEnv env;
+  {
+    store::TemplateStore store =
+        store::TemplateStore::init(store_config(), env);
+    store.commit(shared_lanes().records);
+  }
+  // Wreck every shard of the committed generation: whoever is speaking,
+  // their enrollment bytes are unreadable.
+  for (std::size_t shard = 0; shard < store_config().num_shards; ++shard) {
+    const std::string path = "s/gen-1/shard-" + std::to_string(shard) + ".tpl";
+    std::string bytes = env.read_file(path).value();
+    bytes[bytes.size() / 3] ^= 0x01;
+    env.corrupt_file(path, bytes);
+  }
+  store::TemplateStore store = store::TemplateStore::open(store_config(), env);
+  ASSERT_GT(store.stats().quarantined_shards, 0u);
+  ident::Identifier identifier(store);
+
+  SteadyClock clock;
+  const FrameProcessor proc = make_identify_processor(
+      identify_lanes_for(identifier), serve_supervisor_config(), clock);
+  const FrameResult result = proc(frame_for(0), ServiceMode::kFull);
+  EXPECT_EQ(result.decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(result.decision.abstain_reason, AbstainReason::kStorage);
+  EXPECT_TRUE(result.decision.shed_by_backend());
+}
+
+TEST(IdentifyBackend, EmptyCaptureAbstainsAtTheSupervisor) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+  ident::Identifier identifier(store);
+
+  SteadyClock clock;
+  const FrameProcessor proc = make_identify_processor(
+      identify_lanes_for(identifier), serve_supervisor_config(), clock);
+  CaptureFrame empty;
+  empty.session_id = 0;  // no capture attached
+  const FrameResult result = proc(empty, ServiceMode::kFull);
+  EXPECT_EQ(result.decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(result.decision.abstain_reason, AbstainReason::kCapture);
+}
+
+TEST(IdentifyBackend, ExpiredDeadlineAbstainsDeadlineNeverRejects) {
+  store::MemoryEnv env;
+  store::TemplateStore store = store::TemplateStore::init(store_config(), env);
+  store.commit(shared_lanes().records);
+  ident::Identifier identifier(store);
+
+  SteadyClock clock;
+  const FrameProcessor proc = make_identify_processor(
+      identify_lanes_for(identifier), serve_supervisor_config(), clock);
+  CaptureFrame late = frame_for(0);
+  // SteadyClock's epoch is its construction, so "one second ago" would be
+  // negative — which the processor reads as "no deadline". Use a positive
+  // instant that has already passed by the time the capture starts.
+  double now = clock.now_s();
+  while (now <= 0.0) now = clock.now_s();
+  late.deadline_s = now;
+  const FrameResult result = proc(late, ServiceMode::kFull);
+  EXPECT_EQ(result.decision.outcome, AuthOutcome::kAbstained);
+  EXPECT_EQ(result.decision.abstain_reason, AbstainReason::kDeadline);
+}
+
+TEST(IdentifyBackend, ProcessorConfigIsValidated) {
+  SteadyClock clock;
+  IdentifyLanes missing;
+  EXPECT_THROW(
+      make_identify_processor(missing, serve_supervisor_config(), clock),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace echoimage::serve

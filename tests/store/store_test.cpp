@@ -231,6 +231,57 @@ TEST(TemplateStore, ObservabilityCountsLifecycleEvents) {
   EXPECT_GE(absent, 1u);
 }
 
+TEST(TemplateStore, CentroidSnapshotPacksHealthyRowsByAscendingId) {
+  MemoryEnv env;
+  TemplateStore store = TemplateStore::init(small_config(), env);
+  EXPECT_TRUE(store.centroid_snapshot().user_ids.empty());
+
+  const std::vector<TemplateRecord> records = seeded_records(5, 1, 10);
+  store.commit(records);
+  const CentroidSnapshot snapshot = store.centroid_snapshot();
+  EXPECT_EQ(snapshot.generation, store.generation());
+  EXPECT_EQ(snapshot.quarantined_shards, 0u);
+  ASSERT_EQ(snapshot.user_ids.size(), records.size());
+  ASSERT_EQ(snapshot.dims, records.front().centroid.size());
+  ASSERT_EQ(snapshot.matrix.size(), snapshot.user_ids.size() * snapshot.dims);
+  EXPECT_TRUE(std::is_sorted(snapshot.user_ids.begin(),
+                             snapshot.user_ids.end()));
+  for (std::size_t r = 0; r < snapshot.user_ids.size(); ++r) {
+    const LookupResult found = store.lookup(snapshot.user_ids[r]);
+    ASSERT_EQ(found.status, LookupStatus::kFound);
+    for (std::size_t d = 0; d < snapshot.dims; ++d)
+      EXPECT_EQ(snapshot.matrix[r * snapshot.dims + d],
+                found.record->centroid[d]);
+  }
+
+  // The snapshot owns its rows: it must survive the commit that
+  // invalidates lookup() pointers (staleness is the generation field).
+  const CentroidSnapshot before = store.centroid_snapshot();
+  store.commit(seeded_records(77, 40, 3));
+  EXPECT_EQ(before.user_ids.size(), 10u);
+  EXPECT_NE(before.generation, store.generation());
+  EXPECT_EQ(store.centroid_snapshot().user_ids.size(), 13u);
+}
+
+TEST(TemplateStore, CentroidSnapshotCountsQuarantineAndSkipsItsRows) {
+  MemoryEnv env;
+  {
+    TemplateStore store = TemplateStore::init(small_config(), env);
+    store.commit(seeded_records(5, 1, 12));
+  }
+  std::string bytes = env.read_file("s/gen-1/shard-2.tpl").value();
+  bytes[bytes.size() / 2] ^= 0x20;
+  env.corrupt_file("s/gen-1/shard-2.tpl", bytes);
+
+  TemplateStore store = TemplateStore::open(small_config(), env);
+  const CentroidSnapshot snapshot = store.centroid_snapshot();
+  EXPECT_EQ(snapshot.quarantined_shards, 1u);
+  EXPECT_LT(snapshot.user_ids.size(), 12u);
+  for (const int user : snapshot.user_ids)
+    EXPECT_NE(store.shard_of(user), 2u)
+        << "quarantined rows must not be served";
+}
+
 TEST(StoreConfig, ValidatesItsRanges) {
   StoreConfig config;
   config.root = "";

@@ -19,6 +19,10 @@
 //   store     operate a durable on-disk template store: init,
 //             enroll-import (capture dirs or a synthetic gallery),
 //             lookup, fsck, stats
+//   identify  1:N identification against a store gallery: no claimed
+//             identity — a centroid prefilter shortlists candidates, the
+//             shortlist's own verifiers answer who is speaking (or
+//             "unknown", or an honest abstain on degraded storage)
 //
 // Capture directory layout: beep_000.wav, beep_001.wav, ... (one
 // multichannel WAV per beep) plus noise.wav (an inter-beep noise-only
@@ -43,6 +47,7 @@
 #include "eval/serve_scenario.hpp"
 #include "eval/table.hpp"
 #include "eval/trace_scenario.hpp"
+#include "ident/identify.hpp"
 #include "store/env.hpp"
 #include "store/store.hpp"
 
@@ -589,13 +594,106 @@ int cmd_store(int argc, char** argv) {
   return 2;
 }
 
+int cmd_identify(const Args& args) {
+  const std::string root = args.get("root");
+  if (root.empty()) {
+    std::cerr << "identify: --root DIR (a template store) is required\n";
+    return 2;
+  }
+  store::FileSystemEnv env;
+  store::StoreConfig cfg;
+  cfg.root = root;
+  store::TemplateStore store = store::TemplateStore::open(cfg, env);
+
+  ident::IdentConfig ident_cfg;
+  ident_cfg.shortlist_k =
+      static_cast<std::size_t>(std::stoul(args.get("k", "16")));
+  ident_cfg.num_threads =
+      static_cast<std::size_t>(std::stoul(args.get("threads", "0")));
+  if (args.get("metric", "sqeuclidean") == "cosine")
+    ident_cfg.metric = ident::Metric::kCosine;
+  ident::Identifier identifier(store, ident_cfg);
+
+  // Probe features: a capture directory through the real pipeline, or a
+  // fresh synthetic session of a gallery body (pairs with
+  // `store enroll-import --synthetic`; --seed must match the import's).
+  std::vector<std::vector<double>> features;
+  if (args.has("dir")) {
+    const auto geometry = array::make_respeaker_array();
+    const core::EchoImagePipeline pipeline(system_config(), geometry);
+    const Capture capture = read_capture(args.get("dir"));
+    const auto processed = pipeline.process(capture.beeps, capture.noise);
+    if (!processed.gate_passed()) {
+      std::cout << "ABSTAINED: capture failed the channel-health gate\n";
+      return 3;
+    }
+    if (!processed.distance.valid) {
+      std::cout << "UNKNOWN: no user detected in front of the array\n";
+      return 1;
+    }
+    features = pipeline.features_batch(
+        processed.images, processed.distance.user_distance_centroid_m, false);
+  } else if (args.has("probe-user")) {
+    eval::GalleryConfig gallery;
+    gallery.seed = static_cast<std::uint64_t>(
+        std::stoull(args.get("seed", std::to_string(gallery.seed))));
+    features.push_back(eval::make_gallery_probe(
+        gallery,
+        static_cast<std::size_t>(std::stoul(args.get("probe-user", "0"))),
+        static_cast<std::uint64_t>(std::stoull(args.get("probe-stream",
+                                                        "0")))));
+  } else {
+    std::cerr << "identify: need --dir DIR (capture) or --probe-user IDX "
+                 "(synthetic gallery probe)\n";
+    return 2;
+  }
+
+  std::map<int, int> votes;
+  bool any_abstain = false;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const ident::IdentifyResult result = identifier.identify(features[i]);
+    std::cout << "  probe " << i << ": " << ident::to_string(result.status);
+    if (result.status == ident::IdentifyStatus::kIdentified) {
+      std::cout << " -> user " << result.user_id << " (score "
+                << eval::fmt(result.svdd_score) << ", distance "
+                << eval::fmt(result.distance) << ", " << result.verifier_runs
+                << " of " << result.shortlist.size()
+                << " shortlisted verifiers run)";
+      ++votes[result.user_id];
+    }
+    if (result.status == ident::IdentifyStatus::kAbstain) any_abstain = true;
+    std::cout << "\n";
+  }
+  int best = -1, best_votes = 0;
+  for (const auto& [id, n] : votes)
+    if (n > best_votes) {  // map order: exact ties keep the smaller id
+      best = id;
+      best_votes = n;
+    }
+  if (best_votes > 0) {
+    std::cout << "DECISION: identified as user " << best << " (" << best_votes
+              << "/" << features.size() << " probes)\n";
+    return 0;
+  }
+  if (any_abstain) {
+    std::cout << "DECISION: ABSTAIN — storage is degraded ("
+              << store.stats().quarantined_shards
+              << " shard(s) quarantined); the speaker may be enrolled but "
+                 "unreadable\n";
+    return 3;
+  }
+  std::cout << "DECISION: unknown speaker (storage healthy: nobody enrolled "
+               "verified)\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: echoimage_cli "
                  "<simulate|enroll|verify|image|health|drift|trace|serve|"
-                 "store> [--key value ...]\n"
+                 "store|identify> [--key value ...]\n"
                  "  simulate --out DIR [--seed N --user N --distance D "
                  "--beeps L --session S --repetition R --env "
                  "lab|hall|outdoor --noise music|chatter|traffic "
@@ -616,7 +714,10 @@ int main(int argc, char** argv) {
                  "--dir DIR ...)\n"
                  "  store    lookup --root DIR --user ID\n"
                  "  store    fsck --root DIR\n"
-                 "  store    stats --root DIR\n";
+                 "  store    stats --root DIR\n"
+                 "  identify --root DIR (--dir DIR | --probe-user IDX "
+                 "[--seed N --probe-stream S]) [--k N --metric "
+                 "sqeuclidean|cosine --threads T]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -631,6 +732,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "store") return cmd_store(argc, argv);
+    if (cmd == "identify") return cmd_identify(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

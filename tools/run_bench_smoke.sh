@@ -24,11 +24,11 @@ fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_faults --target bench_drift --target bench_throughput \
-  --target bench_serve --target bench_store
+  --target bench_serve --target bench_store --target bench_ident
 
 status=0
 for bench in bench_faults bench_drift bench_throughput bench_serve \
-             bench_store; do
+             bench_store bench_ident; do
   echo "=== $bench --smoke ==="
   if ! (cd "$build_dir/bench" && "./$bench" --smoke); then
     echo "$bench: FAILED" >&2
@@ -41,7 +41,7 @@ done
 echo "=== trace exports ==="
 for trace in BENCH_faults_trace.json BENCH_drift_trace.json \
              BENCH_throughput_trace.json BENCH_serve_trace.json \
-             BENCH_store_trace.json; do
+             BENCH_store_trace.json BENCH_ident_trace.json; do
   if [ -f "$build_dir/bench/$trace" ]; then
     echo "$build_dir/bench/$trace"
   else
@@ -64,5 +64,12 @@ if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_store.json" ] &&
    grep -q '"smoke": false' "$build_dir/bench/BENCH_store.json"; then
   cp "$build_dir/bench/BENCH_store.json" "$repo_root/BENCH_store.json"
   echo "refreshed $repo_root/BENCH_store.json"
+fi
+# Same full-run-only rule for the identification snapshot: its committed
+# numbers cover the 1k/10k/100k gallery ladder, which --smoke truncates.
+if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_ident.json" ] &&
+   grep -q '"smoke": false' "$build_dir/bench/BENCH_ident.json"; then
+  cp "$build_dir/bench/BENCH_ident.json" "$repo_root/BENCH_ident.json"
+  echo "refreshed $repo_root/BENCH_ident.json"
 fi
 exit $status

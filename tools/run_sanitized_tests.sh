@@ -37,15 +37,15 @@ case "$mode" in
     sanitize="thread"
     # Only the tsan-labeled suites run, so only their binaries are needed.
     targets="echoimage_concurrency_tests echoimage_serve_tests
-             echoimage_store_tests"
+             echoimage_store_tests echoimage_ident_tests"
     ;;
   undefined)
     build_dir="$repo_root/build-ubsan"
     sanitize="undefined"
     targets="echoimage_tests echoimage_concurrency_tests
              echoimage_serve_tests echoimage_store_tests
-             echoimage_obs_alloc_test
-             bench_throughput bench_serve bench_store"
+             echoimage_ident_tests echoimage_obs_alloc_test
+             bench_throughput bench_serve bench_store bench_ident"
     ;;
   *)
     build_dir="$repo_root/build-asan"
@@ -53,8 +53,8 @@ case "$mode" in
     # Everything ctest discovers, or the unbuilt entries fail as "Not Run".
     targets="echoimage_tests echoimage_concurrency_tests
              echoimage_serve_tests echoimage_store_tests
-             echoimage_obs_alloc_test
-             bench_throughput bench_serve bench_store"
+             echoimage_ident_tests echoimage_obs_alloc_test
+             bench_throughput bench_serve bench_store bench_ident"
     ;;
 esac
 
