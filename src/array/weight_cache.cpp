@@ -3,7 +3,6 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 namespace echoimage::array {
@@ -93,7 +92,7 @@ std::uint64_t WeightCache::fingerprint(const CMatrix& cov) {
 bool WeightCache::lookup(const WeightKey& key,
                          std::vector<Complex>& out) const {
   {
-    std::shared_lock lock(mutex_);
+    const runtime::sync::SharedLockGuard lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       out = it->second;
@@ -107,7 +106,7 @@ bool WeightCache::lookup(const WeightKey& key,
 
 void WeightCache::insert(const WeightKey& key,
                          const std::vector<Complex>& weights) {
-  std::unique_lock lock(mutex_);
+  const runtime::sync::LockGuard lock(mutex_);
   if (entries_.size() >= config_.capacity && !entries_.contains(key)) {
     entries_.clear();
     flushes_->add();
@@ -116,7 +115,7 @@ void WeightCache::insert(const WeightKey& key,
 }
 
 std::size_t WeightCache::size() const {
-  std::shared_lock lock(mutex_);
+  const runtime::sync::SharedLockGuard lock(mutex_);
   return entries_.size();
 }
 
@@ -137,7 +136,7 @@ void WeightCache::reset_stats() const {
 }
 
 void WeightCache::clear() {
-  std::unique_lock lock(mutex_);
+  const runtime::sync::LockGuard lock(mutex_);
   if (!entries_.empty()) flushes_->add();
   entries_.clear();
 }

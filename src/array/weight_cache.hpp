@@ -32,22 +32,24 @@
 // cache is flushed and re-seeded, so a lookup can never observe a
 // partially evicted (stale) state.
 //
-// Thread safety: lookups take a shared lock, inserts an exclusive lock;
-// hit/miss accounting goes through obs::Counter handles (sharded per pool
-// worker, merged exactly on read). By default the cache binds counters in
-// a private registry; `attach_metrics` rebinds them into the system-wide
+// Thread safety: lookups take a shared lock, inserts an exclusive lock
+// on a runtime::sync::SharedMutex capability, so the entry map's lock
+// discipline is proven by the Clang thread-safety build; hit/miss
+// accounting goes through obs::Counter handles (sharded per pool worker,
+// merged exactly on read). By default the cache binds counters in a
+// private registry; `attach_metrics` rebinds them into the system-wide
 // observability registry so cache behaviour shows up in trace reports.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "array/covariance.hpp"
 #include "array/geometry.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/sync.hpp"
 
 namespace echoimage::array {
 
@@ -135,8 +137,9 @@ class WeightCache {
   void bind_counters(obs::MetricsRegistry& registry);
 
   WeightCacheConfig config_;
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<WeightKey, std::vector<Complex>, WeightKeyHash> entries_;
+  runtime::sync::SharedMutex mutex_;
+  std::unordered_map<WeightKey, std::vector<Complex>, WeightKeyHash> entries_
+      EI_GUARDED_BY(mutex_);
   /// Owns the counters until attach_metrics points them elsewhere.
   std::shared_ptr<obs::MetricsRegistry> fallback_registry_;
   const obs::Counter* hits_ = nullptr;

@@ -12,6 +12,15 @@
 // Staleness is cheap to detect (compare generation() against the store's)
 // and the Identifier rebuilds on mismatch — identification never mixes
 // two generations inside one probe.
+//
+// Threading contract (capability model, DESIGN "Lock-capability model"):
+// an index is immutable after build — every field is written once by the
+// builder and only read afterwards — so it carries no capability. The
+// generation *rebuild* (swapping a fresh index in) is a mutation of the
+// Identifier, which is externally serialized (one probe at a time; the
+// serve layer's identify processor holds a RegionLock across each call).
+// distances() writes each output slot from exactly one pool worker, with
+// the pool's fork-join as the happens-before edges.
 #pragma once
 
 #include <cstddef>

@@ -78,6 +78,14 @@ struct IdentifyResult {
   [[nodiscard]] core::AuthDecision to_decision() const;
 };
 
+/// Threading contract (capability model, DESIGN "Lock-capability model"):
+/// an Identifier serves one probe at a time — refresh() swaps the index
+/// and clears the verifier cache, so callers serialize identify()/
+/// refresh() externally (serve::make_identify_processor holds a
+/// runtime::RegionLock across each call). The pieces an Identifier leans
+/// on carry their own Clang-verified capabilities: the store's internal
+/// SharedMutex and the verifier cache's Mutex (lock order: cache before
+/// store — the loader runs under the cache lock).
 class Identifier {
  public:
   /// The store must outlive the Identifier. `obs` null = observability off.

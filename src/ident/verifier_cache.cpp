@@ -12,6 +12,7 @@ VerifierCache::VerifierCache(std::size_t capacity, Loader loader)
 }
 
 std::shared_ptr<const core::Authenticator> VerifierCache::get(int user_id) {
+  const runtime::sync::LockGuard lock(mutex_);
   const auto it = by_user_.find(user_id);
   if (it != by_user_.end()) {
     ++hits_;
@@ -33,6 +34,7 @@ std::shared_ptr<const core::Authenticator> VerifierCache::get(int user_id) {
 }
 
 void VerifierCache::clear() {
+  const runtime::sync::LockGuard lock(mutex_);
   entries_.clear();
   by_user_.clear();
 }

@@ -7,11 +7,19 @@
 // resident verifier count — a 100k-user gallery must not end up with 100k
 // hot SVDDs because each was shortlisted once.
 //
-// Hit/miss accounting is exact (plain counters — the cache is used from
-// the serial stage-2 loop, never concurrently), mirrored into obs
-// counters when attached. Capacity 0 disables caching entirely: every get
-// goes to the loader, which is the "cache off" arm of the determinism
-// property suite (results must be bit-identical either way).
+// Hit/miss accounting is exact: the LRU state and both tallies live under
+// one sync::Mutex capability, so the counts stay exact even if a future
+// caller shares the cache across threads (today the Identifier drives it
+// from the serial stage-2 loop and the lock is uncontended). Mirrored
+// into obs counters when attached. Capacity 0 disables caching entirely:
+// every get goes to the loader, which is the "cache off" arm of the
+// determinism property suite (results must be bit-identical either way).
+//
+// Lock ordering: get() invokes the loader while holding the cache
+// capability, and the Identifier's loader takes the TemplateStore's
+// internal lock — so the project-wide order is VerifierCache::mutex_
+// before TemplateStore::*mutex_ (DESIGN "Lock-capability model"). Loaders
+// must not re-enter the cache.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +31,7 @@
 
 #include "core/authenticator.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/sync.hpp"
 
 namespace echoimage::ident {
 
@@ -41,9 +50,18 @@ class VerifierCache {
   [[nodiscard]] std::shared_ptr<const core::Authenticator> get(int user_id);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const {
+    const runtime::sync::LockGuard lock(mutex_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const {
+    const runtime::sync::LockGuard lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    const runtime::sync::LockGuard lock(mutex_);
+    return misses_;
+  }
 
   /// Drop every entry (generation change). Counters are cumulative and
   /// survive — they account the cache's lifetime, not one generation.
@@ -57,10 +75,15 @@ class VerifierCache {
 
   std::size_t capacity_;
   Loader loader_;
-  std::list<Entry> entries_;  ///< most-recently-used first
-  std::unordered_map<int, std::list<Entry>::iterator> by_user_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  /// Capability over the LRU state and tallies. Held across the loader
+  /// call (see file header for the resulting lock order).
+  runtime::sync::Mutex mutex_;
+  /// Most-recently-used first.
+  std::list<Entry> entries_ EI_GUARDED_BY(mutex_);
+  std::unordered_map<int, std::list<Entry>::iterator> by_user_
+      EI_GUARDED_BY(mutex_);
+  std::uint64_t hits_ EI_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ EI_GUARDED_BY(mutex_) = 0;
   const obs::Counter* obs_hits_ = nullptr;
   const obs::Counter* obs_misses_ = nullptr;
 };

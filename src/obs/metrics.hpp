@@ -149,10 +149,14 @@ class MetricsRegistry {
 
  private:
   MetricsConfig config_;
-  echoimage::runtime::RegionLock lock_;  ///< registration + list snapshot
-  std::vector<std::unique_ptr<Counter>> counters_;
-  std::vector<std::unique_ptr<Gauge>> gauges_;
-  std::vector<std::unique_ptr<Histogram>> histograms_;
+  /// Capability over registration and list snapshots. Metric *values* are
+  /// not guarded by it: handles are stable and internally synchronized
+  /// (sharded atomics / LockedDouble), so reads through them never take
+  /// this lock.
+  echoimage::runtime::RegionLock lock_;
+  std::vector<std::unique_ptr<Counter>> counters_ EI_GUARDED_BY(lock_);
+  std::vector<std::unique_ptr<Gauge>> gauges_ EI_GUARDED_BY(lock_);
+  std::vector<std::unique_ptr<Histogram>> histograms_ EI_GUARDED_BY(lock_);
 };
 
 }  // namespace echoimage::obs

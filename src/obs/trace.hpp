@@ -114,7 +114,15 @@ class Tracer {
   TraceConfig config_;
   bool enabled_ = true;
   // Mutable: recording into the caller's own lane is observational state,
-  // reachable from const pipeline stages.
+  // reachable from const pipeline stages. Deliberately NOT a lock-guarded
+  // capability: the synchronization discipline is lane ownership — lane k
+  // is written only by the worker with current_worker() == k (the vector
+  // itself is sized at construction and never reshaped), and the exports
+  // read all lanes only after the fork-join region has completed, with the
+  // pool's own join as the happens-before edge. A sync::Mutex here would
+  // put a contended acquire on every span begin/end in the imaging hot
+  // path for a race that the ownership rule already excludes (and the TSan
+  // lane audits).
   mutable std::vector<Lane> lanes_;
 };
 

@@ -15,9 +15,10 @@
 // milliseconds of multichannel audio arriving per device at beep rate —
 // so the critical section is nanoseconds against a millisecond cadence,
 // and a lock (unlike a lock-free SPSC ring) supports the drop-oldest
-// policy, which requires eviction from the producer side. The lock lives
-// in src/runtime because library code outside it may not name std::mutex
-// (echolint R2).
+// policy, which requires eviction from the producer side. The lock is a
+// sync::Mutex capability (library code outside src/runtime may name
+// neither std::mutex — echolint R2 — nor any raw lock type — R7), so a
+// Clang -Wthread-safety build proves every slot access happens under it.
 //
 // Determinism: the ring adds no randomness and no timing dependence of
 // its own — with a single producer and consumer (the serve layer's
@@ -26,9 +27,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "runtime/sync.hpp"
 
 namespace echoimage::runtime {
 
@@ -56,15 +58,15 @@ class BoundedRing {
   /// `capacity` == 0 is promoted to 1 (a zero-capacity ring would turn
   /// every push into a silent drop, which no caller means to ask for).
   explicit BoundedRing(std::size_t capacity)
-      : slots_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {}
 
   BoundedRing(const BoundedRing&) = delete;
   BoundedRing& operator=(const BoundedRing&) = delete;
 
-  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     return count_;
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
@@ -75,22 +77,22 @@ class BoundedRing {
   /// the head (the element a consumer would have popped next) and returns
   /// kReplacedOldest.
   PushOutcome push(T value, OverflowPolicy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (count_ == slots_.size()) {
+    const sync::LockGuard lock(mutex_);
+    if (count_ == capacity_) {
       if (policy == OverflowPolicy::kRejectNew) return PushOutcome::kRejected;
       // Drop-oldest: overwrite the head slot and advance the head.
       slots_[head_] = std::move(value);
       head_ = next(head_);
       return PushOutcome::kReplacedOldest;
     }
-    slots_[(head_ + count_) % slots_.size()] = std::move(value);
+    slots_[(head_ + count_) % capacity_] = std::move(value);
     ++count_;
     return PushOutcome::kAccepted;
   }
 
   /// Pop the oldest element into `out`; false when empty.
   bool try_pop(T& out) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     if (count_ == 0) return false;
     out = std::move(slots_[head_]);
     head_ = next(head_);
@@ -100,21 +102,27 @@ class BoundedRing {
 
   /// Drop every queued element (used when a session is closed).
   void clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < count_; ++i) slots_[(head_ + i) % slots_.size()] = T{};
+    const sync::LockGuard lock(mutex_);
+    for (std::size_t i = 0; i < count_; ++i)
+      slots_[(head_ + i) % capacity_] = T{};
     head_ = 0;
     count_ = 0;
   }
 
  private:
   [[nodiscard]] std::size_t next(std::size_t i) const {
-    return (i + 1) % slots_.size();
+    return (i + 1) % capacity_;
   }
 
-  mutable std::mutex mutex_;
-  std::vector<T> slots_;
-  std::size_t head_ = 0;   ///< index of the oldest element
-  std::size_t count_ = 0;  ///< queued elements
+  /// Fixed at construction; readable without the lock (size() is not:
+  /// count_ moves under concurrent pushes).
+  const std::size_t capacity_;
+  sync::Mutex mutex_;
+  std::vector<T> slots_ EI_GUARDED_BY(mutex_);
+  /// Index of the oldest element.
+  std::size_t head_ EI_GUARDED_BY(mutex_) = 0;
+  /// Queued elements.
+  std::size_t count_ EI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace echoimage::runtime

@@ -15,9 +15,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "runtime/sync.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace echoimage::runtime {
@@ -107,39 +107,26 @@ class RelaxedCounter {
 class LockedDouble {
  public:
   void store(double v) const noexcept {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     value_ = v;
   }
   [[nodiscard]] double load() const noexcept {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     return value_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  mutable double value_ = 0.0;
+  sync::Mutex mutex_;
+  mutable double value_ EI_GUARDED_BY(mutex_) = 0.0;
 };
 
-/// Plain mutex handed to layers that may not name std::mutex themselves
-/// (the metrics registry's registration path). Lock with LockedRegion.
-class RegionLock {
- public:
-  void lock() const { mutex_.lock(); }
-  void unlock() const { mutex_.unlock(); }
-
- private:
-  mutable std::mutex mutex_;
-};
-
-class LockedRegion {
- public:
-  explicit LockedRegion(const RegionLock& lock) : lock_(lock) { lock_.lock(); }
-  ~LockedRegion() { lock_.unlock(); }
-  LockedRegion(const LockedRegion&) = delete;
-  LockedRegion& operator=(const LockedRegion&) = delete;
-
- private:
-  const RegionLock& lock_;
-};
+/// Plain capability handed to layers that may not name std::mutex
+/// themselves (the metrics registry's registration path, the serve
+/// layer's processor serialization). sync::Mutex is const-lockable, so
+/// the historical RegionLock/LockedRegion call shapes — including locking
+/// from const methods — compile unchanged, and guarded fields can name
+/// the region with EI_GUARDED_BY.
+using RegionLock = sync::Mutex;
+using LockedRegion = sync::LockGuard;
 
 }  // namespace echoimage::runtime

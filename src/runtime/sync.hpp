@@ -1,0 +1,235 @@
+// Capability-annotated synchronization layer — the only place in the
+// library allowed to name std::mutex, std::shared_mutex, or
+// std::condition_variable (echolint R7; R2 already scopes <mutex> and
+// friends to src/runtime).
+//
+// Every wrapper carries Clang Thread Safety Analysis attributes, so a
+// Clang build with -Wthread-safety (tools/run_thread_safety.sh, or the
+// ECHOIMAGE_THREAD_SAFETY CMake option) proves lock discipline at compile
+// time: a field declared EI_GUARDED_BY(mutex_) cannot be read or written
+// without the capability held, a function declared EI_REQUIRES(mutex_)
+// cannot be called without it, and a double acquisition is a build error.
+// On GCC (and any non-Clang toolchain) the attribute macros expand to
+// nothing and the wrappers compile to the exact std primitives they hold —
+// zero behavioural difference between the analyzed and unanalyzed builds.
+//
+// Const-lockability. Locking is observational, not logical, mutation —
+// the same stance the codebase already takes for accounting (see
+// ShardedCounters::add). All lock/unlock entry points are const over
+// mutable std primitives, so a const method can take the lock that guards
+// the state it reads. Guarded fields that a const method writes (gauge
+// values, cache maps) stay `mutable` and carry EI_GUARDED_BY; the mutex
+// members themselves never need `mutable`.
+//
+// Condition variables. Clang's analysis treats a lambda as a separate
+// function, so the std predicate-wait idiom
+// `cv.wait(lock, [&]{ return guarded_field; })` cannot be proven — the
+// lambda reads a guarded field with no visible capability. CondVar
+// therefore exposes only the primitive wait; callers write the explicit
+// loop, which the analysis follows naturally:
+//
+//   sync::UniqueLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);   // ready_ is EI_GUARDED_BY(mutex_)
+//
+// Lock ordering is documented, not annotated: Clang's ACQUIRED_BEFORE /
+// ACQUIRED_AFTER checks still sit behind -Wthread-safety-beta, so the
+// cross-subsystem order (see DESIGN "Lock-capability model") is enforced
+// by review plus the negative-compilation double-lock case.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Attribute plumbing. Clang-only: GCC parses __attribute__ but warns on
+// (and does not check) the thread-safety family, so the macros vanish
+// entirely elsewhere.
+#if defined(__clang__)
+#define EI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EI_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability (named in diagnostics).
+#define EI_CAPABILITY(x) EI_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type whose lifetime holds a capability.
+#define EI_SCOPED_CAPABILITY EI_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while holding the given capability.
+#define EI_GUARDED_BY(x) EI_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be touched while holding the given capability.
+#define EI_PT_GUARDED_BY(x) EI_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability (exclusive) and does not release it.
+#define EI_ACQUIRE(...) EI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function acquires the capability in shared (reader) mode.
+#define EI_ACQUIRE_SHARED(...) \
+  EI_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases an exclusively-held capability.
+#define EI_RELEASE(...) EI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function releases a shared-held capability.
+#define EI_RELEASE_SHARED(...) \
+  EI_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function releases a capability held in either mode (scoped-guard dtors).
+#define EI_RELEASE_GENERIC(...) \
+  EI_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define EI_TRY_ACQUIRE(...) \
+  EI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Shared-mode counterpart of EI_TRY_ACQUIRE.
+#define EI_TRY_ACQUIRE_SHARED(...) \
+  EI_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+/// Caller must already hold the capability exclusively.
+#define EI_REQUIRES(...) EI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must hold the capability at least shared (exclusive satisfies).
+#define EI_REQUIRES_SHARED(...) \
+  EI_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (catches self-deadlock).
+#define EI_EXCLUDES(...) EI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Asserts (to the analysis, not at runtime) that the capability is held.
+#define EI_ASSERT_CAPABILITY(...) \
+  EI_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+/// Escape hatch: function body is not analyzed. Use sparingly; say why.
+#define EI_NO_THREAD_SAFETY_ANALYSIS \
+  EI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace echoimage::runtime::sync {
+
+class CondVar;
+class LockGuard;
+class UniqueLock;
+class SharedLockGuard;
+
+/// Exclusive capability over std::mutex. Const-lockable (see file header);
+/// prefer the RAII guards — raw lock()/unlock() exist for the guards and
+/// for the rare staged-handoff path, and the analysis still checks them.
+class EI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() const EI_ACQUIRE() { m_.lock(); }
+  void unlock() const EI_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() const EI_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// Tells the analysis this capability is held on paths it cannot follow
+  /// (e.g. a callback invoked from under an already-held lock). Runtime
+  /// no-op; keep call sites rare and commented.
+  void assert_held() const EI_ASSERT_CAPABILITY() {}
+
+ private:
+  friend class LockGuard;
+  friend class UniqueLock;
+  mutable std::mutex m_;
+};
+
+/// Reader/writer capability over std::shared_mutex. Exclusive lock via
+/// LockGuard, shared via SharedLockGuard. Shared acquisition is NOT
+/// recursive (std::shared_mutex makes re-entry UB): classes layer a
+/// public locking method over a private `*_locked()` helper annotated
+/// EI_REQUIRES_SHARED instead of calling their own public API.
+class EI_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() const EI_ACQUIRE() { m_.lock(); }
+  void unlock() const EI_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() const EI_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+  void lock_shared() const EI_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() const EI_RELEASE_SHARED() { m_.unlock_shared(); }
+  [[nodiscard]] bool try_lock_shared() const EI_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+  void assert_held() const EI_ASSERT_CAPABILITY() {}
+
+ private:
+  friend class LockGuard;
+  friend class SharedLockGuard;
+  mutable std::shared_mutex m_;
+};
+
+/// Exclusive RAII guard for Mutex or SharedMutex. The std locks are built
+/// straight from the wrapped primitives (friend access), so the guard's
+/// own body never re-enters an annotated function — the analysis sees
+/// exactly one acquisition, at the constructor.
+class EI_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(const Mutex& m) EI_ACQUIRE(m) : lock_(m.m_) {}
+  explicit LockGuard(const SharedMutex& m) EI_ACQUIRE(m) : xlock_(m.m_) {}
+  ~LockGuard() EI_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  std::unique_lock<std::mutex> lock_;          ///< engaged for Mutex
+  std::unique_lock<std::shared_mutex> xlock_;  ///< engaged for SharedMutex
+};
+
+/// Shared (reader) RAII guard for SharedMutex.
+class EI_SCOPED_CAPABILITY SharedLockGuard {
+ public:
+  explicit SharedLockGuard(const SharedMutex& m) EI_ACQUIRE_SHARED(m)
+      : lock_(m.m_) {}
+  ~SharedLockGuard() EI_RELEASE_GENERIC() {}
+
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Exclusive RAII guard that a CondVar can wait on (a wait needs the
+/// underlying std::unique_lock, which plain LockGuard does not expose).
+class EI_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(const Mutex& m) EI_ACQUIRE(m) : lock_(m.m_) {}
+  ~UniqueLock() EI_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over Mutex. No predicate-lambda overloads by design
+/// (see file header): write the explicit while-loop so the analysis can
+/// see the guarded reads. Waits release and reacquire the capability
+/// internally; as far as the analysis is concerned the lock is held
+/// throughout, which is exactly the guarantee at every sequence point the
+/// caller can observe.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Deadline wait; returns false on timeout. Serve-layer callers bound
+  /// every wait (echolint R5 bans deadline-free waits outside
+  /// src/serve + src/runtime, and this is the bounded form).
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool wait_for(UniqueLock& lock,
+                              const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d) == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace echoimage::runtime::sync

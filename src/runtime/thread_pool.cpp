@@ -31,7 +31,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -44,10 +44,10 @@ void ThreadPool::worker_loop(std::size_t worker) {
   for (;;) {
     const std::function<void(std::size_t)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      sync::UniqueLock lock(mutex_);
+      // Explicit loop (not a predicate lambda) so the thread-safety
+      // analysis can see the guarded reads under the held capability.
+      while (!stop_ && generation_ == seen_generation) start_cv_.wait(lock);
       if (stop_) return;
       seen_generation = generation_;
       task = task_;
@@ -55,11 +55,11 @@ void ThreadPool::worker_loop(std::size_t worker) {
     try {
       (*task)(worker);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const sync::LockGuard lock(mutex_);
       errors_[worker] = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const sync::LockGuard lock(mutex_);
       --pending_;
     }
     done_cv_.notify_one();
@@ -71,9 +71,9 @@ void ThreadPool::run(const std::function<void(std::size_t)>& task) {
     task(0);  // inline: the serial path, no synchronization at all
     return;
   }
-  std::lock_guard<std::mutex> region(run_mutex_);
+  const sync::LockGuard region(run_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     task_ = &task;
     pending_ = num_workers_ - 1;
     std::fill(errors_.begin(), errors_.end(), nullptr);
@@ -83,12 +83,12 @@ void ThreadPool::run(const std::function<void(std::size_t)>& task) {
   try {
     task(0);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     errors_[0] = std::current_exception();
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    sync::UniqueLock lock(mutex_);
+    while (pending_ != 0) done_cv_.wait(lock);
     task_ = nullptr;
     // Rethrow the lowest worker's failure so the surfaced error does not
     // depend on scheduling.

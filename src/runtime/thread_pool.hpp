@@ -12,13 +12,13 @@
 // parallel regions.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/sync.hpp"
 
 namespace echoimage::runtime {
 
@@ -61,16 +61,19 @@ class ThreadPool {
   std::size_t num_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex run_mutex_;  ///< serializes whole regions across callers
+  sync::Mutex run_mutex_;  ///< serializes whole regions across callers
 
-  std::mutex mutex_;  ///< protects the region state below
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* task_ = nullptr;
-  std::size_t generation_ = 0;  ///< bumped once per region
-  std::size_t pending_ = 0;     ///< spawned workers still inside the region
-  bool stop_ = false;
-  std::vector<std::exception_ptr> errors_;  ///< slot per worker index
+  sync::Mutex mutex_;  ///< capability over the region state below
+  sync::CondVar start_cv_;
+  sync::CondVar done_cv_;
+  const std::function<void(std::size_t)>* task_ EI_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t generation_ EI_GUARDED_BY(mutex_) = 0;  ///< bumped per region
+  /// Spawned workers still inside the current region.
+  std::size_t pending_ EI_GUARDED_BY(mutex_) = 0;
+  bool stop_ EI_GUARDED_BY(mutex_) = false;
+  /// Slot per worker index.
+  std::vector<std::exception_ptr> errors_ EI_GUARDED_BY(mutex_);
 };
 
 }  // namespace echoimage::runtime

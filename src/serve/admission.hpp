@@ -58,6 +58,12 @@ struct AdmissionConfig {
   void validate() const;
 };
 
+/// Threading contract (capability model, DESIGN "Lock-capability model"):
+/// the controller is a single-threaded state machine driven entirely by
+/// the scheduler thread between fan-out regions — it holds no capability
+/// of its own and none of its fields are guarded. Do not call it from
+/// FrameProcessor bodies (they run on pool workers); the scheduler feeds
+/// observe_latency/update strictly from its own thread.
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionConfig config = {});

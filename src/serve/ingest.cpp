@@ -91,6 +91,7 @@ OfferOutcome IngestQueue::offer(CaptureFrame frame) {
 
 std::size_t IngestQueue::drain(std::size_t max_frames,
                                std::vector<CaptureFrame>& out) {
+  const runtime::sync::LockGuard lock(drain_mutex_);
   std::size_t drained = 0;
   std::size_t idle_laps = 0;  // sessions probed since the last hit
   while (drained < max_frames && idle_laps < rings_.size()) {

@@ -27,6 +27,7 @@
 #include "obs/observability.hpp"
 #include "runtime/ring_buffer.hpp"
 #include "runtime/sharded.hpp"
+#include "runtime/sync.hpp"
 #include "serve/frame.hpp"
 
 namespace echoimage::serve {
@@ -80,8 +81,9 @@ class IngestQueue {
 
   /// Dequeue up to `max_frames` frames round-robin across sessions (one
   /// frame per session per lap, resuming at the cursor left by the last
-  /// drain), appended to `out`. Returns the number dequeued. Single
-  /// consumer: the scheduler.
+  /// drain), appended to `out`. Returns the number dequeued. The intended
+  /// consumer is single (the scheduler); the cursor is nevertheless a
+  /// guarded capability, so a second drainer serializes instead of racing.
   std::size_t drain(std::size_t max_frames, std::vector<CaptureFrame>& out);
 
   /// Total frames currently queued (exact only while quiescent; the
@@ -103,8 +105,13 @@ class IngestQueue {
 
  private:
   IngestConfig config_;
+  /// Rings are internally synchronized (each BoundedRing locks per
+  /// operation); the vector itself is laid out at construction and never
+  /// reshaped, so the unique_ptrs are safe to read from any thread.
   std::vector<std::unique_ptr<runtime::BoundedRing<CaptureFrame>>> rings_;
-  std::size_t cursor_ = 0;  ///< round-robin resume point
+  runtime::sync::Mutex drain_mutex_;  ///< capability over the drain cursor
+  /// Round-robin resume point.
+  std::size_t cursor_ EI_GUARDED_BY(drain_mutex_) = 0;
   // Atomic tallies: offer() is documented as callable from any thread, so
   // sessions may submit concurrently. Each count is an independent
   // monotonic total — no cross-count ordering is needed, only loss-free

@@ -71,6 +71,14 @@ struct SchedulerConfig {
   void validate() const;
 };
 
+/// Threading contract (capability model, DESIGN "Lock-capability model"):
+/// one scheduler is driven by one thread — run_once mutates the admission
+/// ladder and the shed/completed tallies without a capability because the
+/// fan-out inside it touches only disjoint per-frame slots and the pool's
+/// join is the happens-before edge back to the scheduler thread. The
+/// shared structures it leans on carry their own capabilities: the ingest
+/// queue's drain cursor, the rings, and the pool's region state are all
+/// lock-guarded (and Clang-verified) inside their own classes.
 class SessionScheduler {
  public:
   /// `ingest` and `clock` must outlive the scheduler. Pass `virtual_clock`

@@ -209,8 +209,14 @@ TemplateStore TemplateStore::init(StoreConfig config, StorageEnv& env) {
     throw StorageError("TemplateStore: '" + store.config_.root +
                        "' is already initialized");
   env.make_dirs(store.config_.root);
-  store.write_generation(
-      0, std::vector<std::vector<TemplateRecord>>(store.config_.num_shards));
+  {
+    // Static factories are not constructors to the thread-safety analysis
+    // (and the local is about to escape by value), so the capability is
+    // taken explicitly around the mutation.
+    const runtime::sync::LockGuard lock(*store.mutex_);
+    store.write_generation(
+        0, std::vector<std::vector<TemplateRecord>>(store.config_.num_shards));
+  }
   return store;
 }
 
@@ -226,19 +232,22 @@ TemplateStore TemplateStore::open(
   ManifestData manifest;
   const std::optional<std::string> bytes =
       env.read_file(store.manifest_path());
-  if (bytes.has_value() && parse_manifest(*bytes, &manifest)) {
-    store.generation_ = manifest.generation;
-    store.slot_bytes_ = manifest.slot_bytes;
-    store.recovery_ = RecoverySource::kManifest;
-    store.load_generation(manifest.generation, manifest.num_shards);
-  } else {
-    // Rung 1/2: the pointer is gone; the generations must speak for
-    // themselves.
-    if (!store.try_scan_recovery())
-      throw StorageError("TemplateStore: no recoverable generation under '" +
-                         store.config_.root + "'");
-    if (store.fallback_recoveries_ != nullptr)
-      store.fallback_recoveries_->add();
+  {
+    const runtime::sync::LockGuard lock(*store.mutex_);
+    if (bytes.has_value() && parse_manifest(*bytes, &manifest)) {
+      store.generation_ = manifest.generation;
+      store.slot_bytes_ = manifest.slot_bytes;
+      store.recovery_ = RecoverySource::kManifest;
+      store.load_generation(manifest.generation, manifest.num_shards);
+    } else {
+      // Rung 1/2: the pointer is gone; the generations must speak for
+      // themselves.
+      if (!store.try_scan_recovery())
+        throw StorageError("TemplateStore: no recoverable generation under '" +
+                           store.config_.root + "'");
+      if (store.fallback_recoveries_ != nullptr)
+        store.fallback_recoveries_->add();
+    }
   }
   if (store.opens_ != nullptr) store.opens_->add();
   return store;
@@ -335,6 +344,11 @@ bool TemplateStore::try_scan_recovery() {
 }
 
 std::size_t TemplateStore::size() const {
+  const runtime::sync::SharedLockGuard lock(*mutex_);
+  return size_locked();
+}
+
+std::size_t TemplateStore::size_locked() const {
   std::size_t n = 0;
   for (const Shard& s : shards_)
     if (!s.quarantined) n += s.records.size();
@@ -342,6 +356,11 @@ std::size_t TemplateStore::size() const {
 }
 
 std::size_t TemplateStore::shard_of(int user_id) const {
+  const runtime::sync::SharedLockGuard lock(*mutex_);
+  return shard_of_locked(user_id);
+}
+
+std::size_t TemplateStore::shard_of_locked(int user_id) const {
   return static_cast<std::size_t>(
       detail::mix64(static_cast<std::uint64_t>(
           static_cast<std::int64_t>(user_id))) %
@@ -415,6 +434,11 @@ void TemplateStore::collect_garbage(std::uint64_t keep_a,
 
 void TemplateStore::commit(const std::vector<TemplateRecord>& upserts) {
   EI_SPAN(tracer_, "store.commit");
+  // Exclusive for the whole merge + publish: lookups must never observe
+  // the in-memory state mid-swap, and the I/O staying under the lock is
+  // the semantics (a commit blocks reads until the new generation is the
+  // committed one).
+  const runtime::sync::LockGuard lock(*mutex_);
   for (const Shard& shard : shards_)
     if (shard.quarantined)
       throw StorageError(
@@ -431,9 +455,10 @@ void TemplateStore::commit(const std::vector<TemplateRecord>& upserts) {
   for (const Shard& shard : shards_)
     for (const TemplateRecord& record : shard.records)
       if (incoming.find(record.user_id) == incoming.end())
-        by_shard[shard_of(record.user_id)].push_back(record);
+        by_shard[shard_of_locked(record.user_id)].push_back(record);
   for (const TemplateRecord& record : upserts)
-    by_shard[shard_of(record.user_id)].push_back(*incoming[record.user_id]);
+    by_shard[shard_of_locked(record.user_id)].push_back(
+        *incoming[record.user_id]);
   // Deterministic slot order within each shard regardless of merge path.
   for (auto& bucket : by_shard)
     std::sort(bucket.begin(), bucket.end(),
@@ -450,7 +475,8 @@ void TemplateStore::commit(const std::vector<TemplateRecord>& upserts) {
 }
 
 LookupResult TemplateStore::lookup(int user_id) const {
-  const Shard& shard = shards_[shard_of(user_id)];
+  const runtime::sync::SharedLockGuard lock(*mutex_);
+  const Shard& shard = shards_[shard_of_locked(user_id)];
   if (shard.quarantined) {
     if (lookups_quarantined_ != nullptr) lookups_quarantined_->add();
     return {LookupStatus::kQuarantined, nullptr};
@@ -466,6 +492,7 @@ LookupResult TemplateStore::lookup(int user_id) const {
 
 CentroidSnapshot TemplateStore::centroid_snapshot() const {
   EI_SPAN(tracer_, "store.centroid_snapshot");
+  const runtime::sync::SharedLockGuard lock(*mutex_);
   CentroidSnapshot snapshot;
   snapshot.generation = generation_;
 
@@ -504,6 +531,8 @@ CentroidSnapshot TemplateStore::centroid_snapshot() const {
 
 FsckReport TemplateStore::fsck() {
   EI_SPAN(tracer_, "store.fsck");
+  // Exclusive: fsck rewrites quarantine flags and record vectors in place.
+  const runtime::sync::LockGuard lock(*mutex_);
   FsckReport report;
   report.generation = generation_;
   report.shards.resize(shards_.size());
@@ -556,11 +585,12 @@ FsckReport TemplateStore::fsck() {
 }
 
 StoreStats TemplateStore::stats() const {
+  const runtime::sync::SharedLockGuard lock(*mutex_);
   StoreStats stats;
   stats.generation = generation_;
   stats.num_shards = shards_.size();
   stats.slot_bytes = slot_bytes_;
-  stats.records = size();
+  stats.records = size_locked();
   stats.recovery = recovery_;
   stats.shards.resize(shards_.size());
   for (std::size_t k = 0; k < shards_.size(); ++k) {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "obs/observability.hpp"
+#include "runtime/sync.hpp"
 #include "store/env.hpp"
 #include "store/record.hpp"
 
@@ -67,7 +68,11 @@ enum class LookupStatus {
 
 struct LookupResult {
   LookupStatus status = LookupStatus::kAbsent;
-  /// Valid only when kFound; owned by the store, invalidated by commit().
+  /// Valid only when kFound; owned by the store, invalidated by commit()
+  /// and fsck(). The pointer escapes the store's internal shared lock, so
+  /// that invalidation contract is the caller's to uphold (dereference
+  /// promptly; do not hold across a writer) — the thread-safety analysis
+  /// checks accesses inside the store, not pointers it hands out.
   const TemplateRecord* record = nullptr;
 };
 
@@ -135,12 +140,24 @@ class TemplateStore {
       StoreConfig config, StorageEnv& env,
       std::shared_ptr<const obs::Observability> obs = nullptr);
 
+  /// Rebinds the metric handles. Not lock-guarded: call once before the
+  /// store serves concurrent traffic (the serve layer attaches at wiring
+  /// time), like every other attach_observability in the codebase.
   void attach_observability(std::shared_ptr<const obs::Observability> obs);
 
-  [[nodiscard]] std::uint64_t generation() const { return generation_; }
-  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::uint64_t generation() const {
+    const runtime::sync::SharedLockGuard lock(*mutex_);
+    return generation_;
+  }
+  [[nodiscard]] std::size_t num_shards() const {
+    const runtime::sync::SharedLockGuard lock(*mutex_);
+    return shards_.size();
+  }
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] RecoverySource recovery_source() const { return recovery_; }
+  [[nodiscard]] RecoverySource recovery_source() const {
+    const runtime::sync::SharedLockGuard lock(*mutex_);
+    return recovery_;
+  }
   [[nodiscard]] const StoreConfig& config() const { return config_; }
 
   /// Merge `upserts` over the live records and publish them as the next
@@ -185,20 +202,37 @@ class TemplateStore {
   [[nodiscard]] std::string shard_path(std::uint64_t gen,
                                        std::size_t shard) const;
   [[nodiscard]] std::string manifest_path() const;
-  void load_generation(std::uint64_t gen, std::size_t shard_count);
+  void load_generation(std::uint64_t gen, std::size_t shard_count)
+      EI_REQUIRES(*mutex_);
   void write_generation(std::uint64_t gen,
-                        std::vector<std::vector<TemplateRecord>> by_shard);
+                        std::vector<std::vector<TemplateRecord>> by_shard)
+      EI_REQUIRES(*mutex_);
   void collect_garbage(std::uint64_t keep_a, std::uint64_t keep_b);
-  [[nodiscard]] bool try_scan_recovery();
+  [[nodiscard]] bool try_scan_recovery() EI_REQUIRES(*mutex_);
   void resolve_handles();
   void note_quarantine(const Shard& shard) const;
+  // *_locked variants exist because std::shared_mutex re-entry is UB:
+  // public methods that already hold the capability must not call the
+  // locking public API (stats -> size, commit/lookup -> shard_of).
+  [[nodiscard]] std::size_t size_locked() const EI_REQUIRES_SHARED(*mutex_);
+  [[nodiscard]] std::size_t shard_of_locked(int user_id) const
+      EI_REQUIRES_SHARED(*mutex_);
 
   StoreConfig config_;
   StorageEnv* env_;
-  std::uint64_t generation_ = 0;
-  std::size_t slot_bytes_ = 0;  ///< live generation's slot size
-  RecoverySource recovery_ = RecoverySource::kManifest;
-  std::vector<Shard> shards_;
+  /// Capability over the mutable store state below: exclusive for
+  /// commit/fsck/recovery, shared for lookups and snapshots. Held through
+  /// a unique_ptr so TemplateStore stays movable (the factories return by
+  /// value and callers move-assign into std::optional); the guarded
+  /// fields name the dereferenced capability, so every lock site spells
+  /// `*mutex_` identically for the analysis to match expressions.
+  std::unique_ptr<runtime::sync::SharedMutex> mutex_ =
+      std::make_unique<runtime::sync::SharedMutex>();
+  std::uint64_t generation_ EI_GUARDED_BY(*mutex_) = 0;
+  /// Live generation's slot size.
+  std::size_t slot_bytes_ EI_GUARDED_BY(*mutex_) = 0;
+  RecoverySource recovery_ EI_GUARDED_BY(*mutex_) = RecoverySource::kManifest;
+  std::vector<Shard> shards_ EI_GUARDED_BY(*mutex_);
 
   std::shared_ptr<const obs::Observability> obs_;
   const obs::Tracer* tracer_ = nullptr;

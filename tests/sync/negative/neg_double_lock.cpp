@@ -1,0 +1,20 @@
+// Negative-compilation case: acquiring a capability that is already
+// held. The analysis tracks the held-capability set through LockGuard's
+// EI_ACQUIRE annotation, so a second guard over the same ei::Mutex in
+// one scope is "acquiring mutex 'm' that is already held" — the
+// self-deadlock every raw std::mutex discovers only at runtime. (Lock
+// *ordering* across distinct mutexes is documented in DESIGN and reviewed
+// by hand: ACQUIRED_BEFORE/AFTER sit behind -Wthread-safety-beta, so
+// re-entry is the ordering defect the stable analysis can prove.)
+#include "runtime/sync.hpp"
+
+namespace ei = echoimage::runtime::sync;  // "sync" would collide with POSIX ::sync
+
+int main() {
+  ei::Mutex m;
+  const ei::LockGuard first(m);
+#if defined(NEGATIVE_CASE)
+  const ei::LockGuard second(m);  // already held: must not compile
+#endif
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Negative-compilation case: calling an EI_REQUIRES(mutex) function
+// without holding the capability. This is the contract the store's
+// *_locked helpers and write_generation/load_generation lean on: the
+// analysis must reject "calling function 'tick_locked' requires holding
+// mutex 'mutex' exclusively" at every call site that has not acquired it.
+#include "runtime/sync.hpp"
+
+namespace ei = echoimage::runtime::sync;  // "sync" would collide with POSIX ::sync
+
+namespace {
+
+struct Engine {
+  ei::Mutex mutex;
+  int ticks EI_GUARDED_BY(mutex) = 0;
+
+  void tick_locked() EI_REQUIRES(mutex) { ++ticks; }
+
+  void tick() {
+#if defined(NEGATIVE_CASE)
+    tick_locked();  // capability not held: must not compile
+#else
+    const ei::LockGuard lock(mutex);
+    tick_locked();
+#endif
+  }
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.tick();
+  return 0;
+}

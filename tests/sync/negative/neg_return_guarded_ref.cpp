@@ -1,0 +1,36 @@
+// Negative-compilation case: returning a guarded field by reference
+// without holding the capability. The reference escapes the lock — every
+// later dereference is an unguarded access the analysis can no longer
+// see — so -Wthread-safety-reference (part of the -Wthread-safety
+// umbrella) must reject "returning variable 'value' by reference requires
+// holding mutex 'mutex'".
+#include "runtime/sync.hpp"
+
+namespace ei = echoimage::runtime::sync;  // "sync" would collide with POSIX ::sync
+
+namespace {
+
+struct Box {
+  ei::Mutex mutex;
+  int value EI_GUARDED_BY(mutex) = 0;
+
+#if defined(NEGATIVE_CASE)
+  int& leak() { return value; }  // reference escapes: must not compile
+#else
+  int read() {
+    const ei::LockGuard lock(mutex);
+    return value;
+  }
+#endif
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+#if defined(NEGATIVE_CASE)
+  return b.leak();
+#else
+  return b.read();
+#endif
+}

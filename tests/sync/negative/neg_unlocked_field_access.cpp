@@ -1,0 +1,28 @@
+// Negative-compilation case: writing an EI_GUARDED_BY field without
+// holding its capability. As written (control) the access is locked and
+// the file compiles clean; with -DNEGATIVE_CASE the Clang thread-safety
+// analysis must reject it with "writing variable 'value' requires holding
+// mutex 'mutex' exclusively".
+#include "runtime/sync.hpp"
+
+namespace ei = echoimage::runtime::sync;  // "sync" would collide with POSIX ::sync
+
+namespace {
+
+struct Counter {
+  ei::Mutex mutex;
+  int value EI_GUARDED_BY(mutex) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+#if defined(NEGATIVE_CASE)
+  c.value = 1;  // no capability held: must not compile
+#else
+  const ei::LockGuard lock(c.mutex);
+  c.value = 1;
+#endif
+  return 0;
+}

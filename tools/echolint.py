@@ -44,6 +44,28 @@ R6  no-raw-file-writes-outside-store
     tmp -> flush -> rename). Tools, benches, examples, and tests may
     write freely; reading (std::ifstream) is unrestricted.
 
+R7  no-raw-sync-outside-sync-layer
+    Raw std synchronization (std::mutex, std::shared_mutex,
+    std::condition_variable, lock_guard/unique_lock/shared_lock/
+    scoped_lock and the <mutex>/<shared_mutex>/<condition_variable>
+    headers) is banned in library code everywhere except
+    src/runtime/sync.hpp. That file wraps the primitives in Clang
+    thread-safety capabilities (EI_CAPABILITY / EI_GUARDED_BY /
+    EI_REQUIRES); a raw primitive anywhere else is invisible to the
+    analysis, so -Werror=thread-safety proves nothing about it.
+    Tighter than R2: R2 exempts all of src/runtime, R7 exempts only
+    the capability layer itself.
+
+R8  guard-mutable-fields-near-capabilities
+    Heuristic: in a library file that declares a sync::Mutex /
+    sync::SharedMutex / RegionLock capability, a `mutable` data member
+    without an EI_GUARDED_BY / EI_PT_GUARDED_BY annotation (and not a
+    std::atomic) is suspicious — `mutable` near a capability usually
+    means "written under the lock from const methods", and an
+    unannotated field silently escapes the thread-safety analysis.
+    Annotate it, make it atomic, or suppress with a comment explaining
+    the ownership discipline.
+
 Usage
 -----
   echolint.py [--root DIR] [--compile-commands PATH]
@@ -97,6 +119,8 @@ RULE_TITLES = {
     "R4": "no-iostream-in-library",
     "R5": "no-unbounded-queues-or-deadline-free-waits",
     "R6": "no-raw-file-writes-outside-store",
+    "R7": "no-raw-sync-outside-sync-layer",
+    "R8": "guard-mutable-fields-near-capabilities",
 }
 
 FIX_HINTS = {
@@ -114,6 +138,13 @@ FIX_HINTS = {
     "R6": "write through store::StorageEnv (atomic_write_file is the only "
           "sanctioned durable write: tmp -> flush -> rename), or return "
           "the bytes and let a tool do the writing",
+    "R7": "use runtime::sync::{Mutex,SharedMutex,CondVar,LockGuard,"
+          "SharedLockGuard,UniqueLock} so the Clang thread-safety "
+          "analysis sees the acquisition; raw std primitives belong "
+          "only inside src/runtime/sync.hpp",
+    "R8": "annotate the member with EI_GUARDED_BY(<capability>) (or "
+          "EI_PT_GUARDED_BY for pointees), make it a std::atomic, or "
+          "suppress with a comment explaining the ownership discipline",
 }
 
 R1_PATTERNS = [
@@ -151,6 +182,28 @@ R6_PATTERNS = [
     re.compile(r"std\s*::\s*ofstream"),
     re.compile(r"(?<![\w:])f(?:re)?open\s*\("),
 ]
+
+SYNC_LAYER = "src/runtime/sync.hpp"
+
+R7_PATTERNS = [
+    re.compile(r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"),
+    re.compile(r"std\s*::\s*(?:mutex|shared_mutex|recursive_mutex|"
+               r"timed_mutex|recursive_timed_mutex|shared_timed_mutex|"
+               r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+               r"condition_variable(?:_any)?)\b"),
+]
+
+# R8: a file "declares a capability" when it names one of the sync-layer
+# types (or the runtime RegionLock alias) outside comments/strings.
+R8_TRIGGER = re.compile(r"sync\s*::\s*(?:Mutex|SharedMutex|CondVar)\b|"
+                        r"\bRegionLock\b")
+R8_MUTABLE = re.compile(r"^\s*mutable\b")
+# Lines that are themselves capability/primitive declarations are exempt:
+# the capability cannot guard itself.
+R8_EXEMPT = re.compile(r"sync\s*::\s*(?:Mutex|SharedMutex|CondVar)\b|"
+                       r"\bRegionLock\b|"
+                       r"std\s*::\s*(?:mutex|shared_mutex|"
+                       r"condition_variable)\b")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -240,6 +293,27 @@ def check_file(rel_path: str, text: str) -> list[Violation]:
         for m in iter_pattern_hits(code, R6_PATTERNS):
             out.append(Violation("R6", norm, line_of(code, m.start()),
                                  m.group(0).strip()))
+
+    if in_library and norm != SYNC_LAYER:
+        for m in iter_pattern_hits(code, R7_PATTERNS):
+            out.append(Violation("R7", norm, line_of(code, m.start()),
+                                 m.group(0).strip()))
+
+    if in_library and norm != SYNC_LAYER and R8_TRIGGER.search(code):
+        lines = code.split("\n")
+        for idx, line in enumerate(lines):
+            if not R8_MUTABLE.match(line):
+                continue
+            # A declaration may wrap: the annotation or the atomic may
+            # sit on the continuation line.
+            window = line + " " + (lines[idx + 1] if idx + 1 < len(lines)
+                                   else "")
+            if "atomic" in window or "EI_GUARDED_BY" in window \
+                    or "EI_PT_GUARDED_BY" in window:
+                continue
+            if R8_EXEMPT.search(line):
+                continue
+            out.append(Violation("R8", norm, idx + 1, line.strip()))
 
     return out
 
@@ -352,6 +426,16 @@ SELF_TEST_CASES = [
     ("src/core/bad_r6.cpp", "std::ofstream os(path);\n", "R6"),
     ("src/eval/bad_r6b.cpp", "FILE* f = fopen(path, \"wb\");\n", "R6"),
     ("src/dsp/bad_r6c.cpp", "freopen(path, \"w\", stderr);\n", "R6"),
+    # R7 overlaps R2 outside src/runtime (the self-test only requires
+    # membership) and uniquely bites *inside* src/runtime.
+    ("src/core/bad_r7.cpp", "std::lock_guard<std::mutex> g(m);\n", "R7"),
+    ("src/runtime/bad_r7b.hpp", "std::mutex m_;\n", "R7"),
+    ("src/runtime/bad_r7c.cpp", "#include <condition_variable>\n", "R7"),
+    ("src/runtime/bad_r8.hpp",
+     "class C {\n  sync::Mutex m_;\n  mutable double v_;\n};\n", "R8"),
+    ("src/obs/bad_r8b.hpp",
+     "class R {\n  RegionLock lock_;\n  mutable std::size_t n_ = 0;\n};\n",
+     "R8"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -378,6 +462,23 @@ SELF_TEST_CLEAN = [
     ("src/store/ok_env_write.cpp", "std::ofstream os(tmp_path);\n"),
     ("src/core/ok_read.cpp", "std::ifstream is(path);\n"),
     ("bench/ok_report.cpp", "std::ofstream json(\"BENCH_x.json\");\n"),
+    # The capability layer itself is the one sanctioned home for raw
+    # primitives; tests may lock raw for harness scaffolding.
+    ("src/runtime/sync.hpp", "mutable std::mutex m_;\n"),
+    ("tests/runtime/ok_raw_mutex_test.cpp", "std::mutex m;\n"),
+    # Guarded and atomic mutables are the two sanctioned shapes near a
+    # capability; wrapped declarations get a one-line look-ahead.
+    ("src/runtime/ok_guarded.hpp",
+     "class C {\n  sync::Mutex m_;\n  mutable double v_ EI_GUARDED_BY(m_);"
+     "\n};\n"),
+    ("src/runtime/ok_atomic_near_lock.hpp",
+     "class C {\n  sync::Mutex m_;\n  mutable std::atomic<int> n_{0};\n};\n"),
+    ("src/runtime/ok_wrapped_guard.hpp",
+     "class C {\n  sync::SharedMutex m_;\n  mutable std::vector<int> xs_\n"
+     "      EI_GUARDED_BY(m_);\n};\n"),
+    # `mutable` with no capability in the file is out of R8's scope
+    # (lane-ownership disciplines live in src/obs).
+    ("src/obs/ok_lanes.hpp", "class T { mutable std::vector<int> lanes_; };\n"),
 ]
 
 

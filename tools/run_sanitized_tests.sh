@@ -10,6 +10,13 @@
 #                             every UB finding is fatal.
 #   mode "thread":            TSan over the concurrency suite (the tests
 #                             labeled `tsan`) in build-tsan/.
+#   mode "thread-safety":     not a sanitizer: delegates to
+#                             tools/run_thread_safety.sh (Clang
+#                             -Werror=thread-safety build + negative
+#                             compilation cases in build-thread-safety/).
+#                             Hard-fails when clang++ is unavailable —
+#                             requesting this lane and skipping it would
+#                             report a proof that never ran.
 # Any extra arguments are forwarded to ctest (e.g. -R WeightCache).
 # Sanitized builds also turn on ECHOIMAGE_WERROR: warnings that survive to
 # CI are bugs here.
@@ -19,6 +26,11 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 mode="address"
 case "${1:-}" in
+  thread-safety)
+    # Static lane, not a sanitizer run: its runner owns configure/build.
+    shift
+    exec "$repo_root/tools/run_thread_safety.sh" "$@"
+    ;;
   address|undefined|thread)
     mode="$1"
     shift

@@ -29,9 +29,44 @@ elif [ ! -f "$build_dir/compile_commands.json" ]; then
   status=1
 else
   # First-party translation units only; the profile lives in .clang-tidy.
+  # Findings are normalized to "repo-relative-path [check-name]" pairs and
+  # gated against the committed baseline: a pair NOT in the baseline is a
+  # new finding and fails the run; a baseline pair no longer emitted is
+  # reported as stale (burn-down progress) without failing. Exact line
+  # numbers are deliberately not part of the key — unrelated edits move
+  # lines, and the ratchet should only bite on genuinely new findings.
+  baseline="$repo_root/tools/clang_tidy_baseline.txt"
+  findings_raw="$build_dir/clang_tidy_findings.raw"
+  findings="$build_dir/clang_tidy_findings.txt"
   files=$(find "$repo_root/src" -name '*.cpp' | sort)
-  if ! clang-tidy -p "$build_dir" --quiet $files; then
+  clang-tidy -p "$build_dir" --quiet $files >"$findings_raw" 2>/dev/null || true
+  # "/abs/path/file.cpp:12:3: warning: ... [check-name]" -> "path [check]"
+  sed -n 's|^\('"$repo_root"'/\)\{0,1\}\([^:]*\):[0-9]*:[0-9]*: \(warning\|error\): .* \(\[[a-z0-9.,-]*\]\)$|\2 \4|p' \
+      "$findings_raw" | sort -u >"$findings"
+  new_findings=0
+  while IFS= read -r pair; do
+    [ -n "$pair" ] || continue
+    if ! grep -Fqx "$pair" "$baseline" 2>/dev/null; then
+      echo "NEW finding (not in $(basename "$baseline")): $pair"
+      new_findings=$((new_findings + 1))
+    fi
+  done <"$findings"
+  # Stale baseline entries: fixed findings whose lines can now be deleted.
+  while IFS= read -r entry; do
+    entry="${entry%%#*}"
+    # shellcheck disable=SC2086
+    entry=$(echo $entry)
+    [ -n "$entry" ] || continue
+    if ! grep -Fqx "$entry" "$findings"; then
+      echo "note: baseline entry no longer fires (delete it): $entry"
+    fi
+  done <"$baseline"
+  if [ "$new_findings" -gt 0 ]; then
+    echo "clang-tidy: $new_findings new finding(s) vs baseline" \
+         "(see $findings_raw for full diagnostics)."
     status=1
+  else
+    echo "clang-tidy: no new findings vs baseline."
   fi
 fi
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Compile-time lock-discipline proof: build the library under Clang with
+# -Wthread-safety -Werror=thread-safety (wired by ECHOIMAGE_THREAD_SAFETY
+# in the top-level CMakeLists), then run the negative-compilation cases in
+# tests/sync/negative that prove the analysis actually bites.
+#
+# Usage: tools/run_thread_safety.sh [build-dir]
+#   build-dir defaults to build-thread-safety/ (its own tree: the check
+#   needs clang++, and must not disturb an existing gcc build/).
+#
+# This lane is Clang-only by nature — the capability annotations in
+# src/runtime/sync.hpp compile to nothing elsewhere — so a missing
+# clang++ is a HARD failure here, unlike the soft skips in the other
+# runners: asking for the thread-safety proof and silently not running it
+# would report lock discipline that was never checked.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${1:-$repo_root/build-thread-safety}"
+
+if command -v clang++ >/dev/null 2>&1; then
+  cxx=clang++
+  cc=clang
+else
+  echo "run_thread_safety.sh: clang++ not found." >&2
+  echo "The thread-safety analysis is Clang-only (-Wthread-safety); a" >&2
+  echo "build without it proves nothing. Install clang or run this lane" >&2
+  echo "where it is available." >&2
+  exit 2
+fi
+
+echo "=== configure ($cxx, -Wthread-safety -Werror=thread-safety) ==="
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_C_COMPILER="$cc" \
+  -DCMAKE_CXX_COMPILER="$cxx" \
+  -DECHOIMAGE_THREAD_SAFETY=ON \
+  -DECHOIMAGE_WERROR=ON
+
+echo "=== build (library + tests must be -Werror=thread-safety clean) ==="
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "=== negative compilation cases (ctest -L lint) ==="
+# The sync negative cases are registered only under Clang; -R scopes this
+# run to them so the echolint lint-label tests are not re-run here.
+(cd "$build_dir" && ctest -L lint -R '^sync_negative\.' --output-on-failure)
+
+echo "run_thread_safety.sh: lock discipline proven (build clean, negative"
+echo "cases rejected for the annotated reasons)."
