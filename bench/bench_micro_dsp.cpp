@@ -1,25 +1,42 @@
-// Micro-benchmarks (google-benchmark) of the hot paths: FFT, band-pass
-// filtering, Hilbert transform, matched filter, MVDR weights, per-beep
-// image construction, and CNN feature extraction.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks of the vectorized DSP kernels, swept across every ISA
+// lane this machine supports (forced via simd::ScopedIsa), with the
+// scalar lane as the baseline. For each kernel x lane the harness reports
+// ns/op and the speedup over scalar, and cross-checks that the lane
+// reproduced the scalar output bit for bit — a benchmark that quietly
+// measured different numbers would be worthless.
+//
+// Writes BENCH_micro_dsp.json into the working directory (copied to the
+// repo root by tools/run_bench_smoke.sh). `--smoke` shrinks repetitions.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "array/beamformer.hpp"
-#include "core/imaging.hpp"
+#include "array/covariance.hpp"
 #include "dsp/butterworth.hpp"
+#include "dsp/chirp.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/hilbert.hpp"
 #include "dsp/matched_filter.hpp"
-#include "eval/dataset.hpp"
-#include "eval/experiment.hpp"
-#include "ml/cnn.hpp"
-
-using namespace echoimage;
+#include "eval/table.hpp"
+#include "simd/isa.hpp"
 
 namespace {
 
-dsp::Signal random_signal(std::size_t n, unsigned seed = 1) {
+using namespace echoimage;
+using Complex = std::complex<double>;
+
+dsp::Signal random_signal(std::size_t n, unsigned seed) {
   std::mt19937 gen(seed);
   std::normal_distribution<double> d(0.0, 1.0);
   dsp::Signal x(n);
@@ -27,118 +44,244 @@ dsp::Signal random_signal(std::size_t n, unsigned seed = 1) {
   return x;
 }
 
-void BM_FftPow2(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  dsp::ComplexSignal x(n);
-  for (std::size_t i = 0; i < n; ++i)
-    x[i] = dsp::Complex(std::sin(0.1 * i), 0.0);
-  for (auto _ : state) {
-    dsp::ComplexSignal y = x;
-    dsp::fft_pow2_in_place(y, false);
-    benchmark::DoNotOptimize(y);
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_FftPow2)->Arg(1024)->Arg(4096)->Arg(16384);
+/// One benchmarked operation: `run` executes the workload once and folds
+/// a few output bits into a digest (the cross-lane bit-exactness check —
+/// and a data dependency the optimizer cannot delete).
+struct Kernel {
+  std::string name;
+  std::size_t n = 0;  ///< problem size, for the report
+  std::function<std::uint64_t()> run;
+};
 
-void BM_FftBluestein(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  dsp::ComplexSignal x(n, dsp::Complex(1.0, 0.5));
-  for (auto _ : state) {
-    auto y = dsp::fft(x);
-    benchmark::DoNotOptimize(y);
+std::uint64_t digest(const double* x, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= std::bit_cast<std::uint64_t>(x[i]);
+    h *= 1099511628211ull;
   }
+  return h;
 }
-BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(2880);
 
-void BM_ButterworthFiltFilt(benchmark::State& state) {
-  const auto f = dsp::butterworth_bandpass(4, 2000.0, 3000.0, 48000.0);
-  const dsp::Signal x = random_signal(2880);
-  for (auto _ : state) {
-    auto y = f.filtfilt(x);
-    benchmark::DoNotOptimize(y);
-  }
+std::uint64_t digest(const Complex* x, std::size_t n) {
+  return digest(reinterpret_cast<const double*>(x), 2 * n);
 }
-BENCHMARK(BM_ButterworthFiltFilt);
 
-void BM_AnalyticSignal(benchmark::State& state) {
-  const dsp::Signal x = random_signal(2880);
-  for (auto _ : state) {
-    auto y = dsp::analytic_signal(x);
-    benchmark::DoNotOptimize(y);
+/// Median-of-repeats ns per operation; each repeat runs the op enough
+/// times to outlast timer noise.
+double time_ns(const std::function<std::uint64_t()>& run, std::size_t inner,
+               std::size_t repeats, std::uint64_t& sink) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < inner; ++i) sink ^= run();
+    const std::chrono::duration<double, std::nano> elapsed =
+        std::chrono::steady_clock::now() - start;
+    samples.push_back(elapsed.count() / static_cast<double>(inner));
   }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
-BENCHMARK(BM_AnalyticSignal);
 
-void BM_MatchedFilterEnvelope(benchmark::State& state) {
-  const dsp::Signal x = random_signal(2880);
-  const auto a = dsp::analytic_signal(x);
-  const auto tmpl = dsp::Chirp(dsp::ChirpParams{}).sample(48000.0);
-  for (auto _ : state) {
-    auto y = dsp::matched_filter_envelope(a, tmpl);
-    benchmark::DoNotOptimize(y);
-  }
-}
-BENCHMARK(BM_MatchedFilterEnvelope);
+std::vector<Kernel> make_kernels() {
+  std::vector<Kernel> kernels;
 
-void BM_MvdrWeights(benchmark::State& state) {
-  const auto g = array::make_respeaker_array();
-  const auto a = array::steering_vector_hz(g, array::Direction{1.0, 1.2},
-                                           echoimage::units::Hertz{2500.0});
-  const auto r = array::white_noise_covariance(6);
-  for (auto _ : state) {
-    auto w = array::mvdr_weights(r, a);
-    benchmark::DoNotOptimize(w);
+  // FFT, radix-2 path (the imaging chain's workhorse transform).
+  for (const std::size_t n : {1024u, 4096u}) {
+    dsp::ComplexSignal x(n);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = Complex(std::sin(0.1 * static_cast<double>(i)), 0.0);
+    kernels.push_back({"fft_pow2", n, [x, n]() {
+                         dsp::ComplexSignal y = x;
+                         dsp::fft_pow2_in_place(y, false);
+                         return digest(y.data(), n);
+                       }});
   }
-}
-BENCHMARK(BM_MvdrWeights);
 
-void BM_RenderBeep(benchmark::State& state) {
-  const auto users = eval::make_users(eval::make_roster(), 1);
-  sim::Scene scene;
-  scene.environment = sim::make_environment(sim::EnvironmentKind::kLab, 1);
-  const sim::SceneRenderer renderer(scene, sim::CaptureConfig{});
-  const auto body =
-      sim::pose_body(users[0].body, sim::Pose{}, echoimage::units::Meters{0.7},
-                     scene.array_height);
-  sim::Rng rng(2);
-  for (auto _ : state) {
-    auto capture = renderer.render_beep(body, rng);
-    benchmark::DoNotOptimize(capture);
+  // FFT, Bluestein path (arbitrary capture lengths).
+  {
+    const std::size_t n = 2880;
+    const dsp::ComplexSignal x(n, Complex(1.0, 0.5));
+    kernels.push_back({"fft_bluestein", n, [x]() {
+                         const auto y = dsp::fft(x);
+                         return digest(y.data(), y.size());
+                       }});
   }
-}
-BENCHMARK(BM_RenderBeep);
 
-void BM_ConstructImage(benchmark::State& state) {
-  const auto geometry = array::make_respeaker_array();
-  const auto users = eval::make_users(eval::make_roster(), 1);
-  const eval::DataCollector collector(sim::CaptureConfig{}, geometry, 1);
-  eval::CollectionConditions cond;
-  const auto batch = collector.collect(users[0], cond, 1);
-  core::ImagingConfig cfg = eval::default_system_config().imaging;
-  cfg.num_subbands = static_cast<std::size_t>(state.range(0));
-  const core::AcousticImager imager(cfg, geometry);
-  for (auto _ : state) {
-    auto bands = imager.construct_bands(batch.beeps[0],
-                                        echoimage::units::Meters{0.7}, 0.0002,
-                                        batch.noise_only);
-    benchmark::DoNotOptimize(bands);
+  // Zero-phase band-pass, single channel (the seed scalar path) and the
+  // frame-interleaved multi-channel kernel the imaging front end uses.
+  {
+    const auto f = dsp::butterworth_bandpass(4, 2000.0, 3000.0, 48000.0);
+    const dsp::Signal x = random_signal(2880, 1);
+    kernels.push_back({"filtfilt_1ch", 2880, [f, x]() {
+                         const auto y = f.filtfilt(x);
+                         return digest(y.data(), y.size());
+                       }});
+    std::vector<dsp::Signal> chans;
+    for (unsigned c = 0; c < 6; ++c)
+      chans.push_back(random_signal(2880, 10 + c));
+    kernels.push_back({"filtfilt_6ch", 6 * 2880, [f, chans]() {
+                         const auto y = f.filtfilt_multi(chans);
+                         std::uint64_t h = 0;
+                         for (const auto& ch : y)
+                           h ^= digest(ch.data(), ch.size());
+                         return h;
+                       }});
   }
-}
-BENCHMARK(BM_ConstructImage)->Arg(1)->Arg(5);
 
-void BM_CnnExtract(benchmark::State& state) {
-  const ml::VggishFeatureExtractor extractor;
-  ml::Matrix2D img(48, 48);
-  for (std::size_t i = 0; i < img.size(); ++i)
-    img.data()[i] = std::sin(0.01 * static_cast<double>(i));
-  for (auto _ : state) {
-    auto f = extractor.extract(img);
-    benchmark::DoNotOptimize(f);
+  // Hilbert envelope front end.
+  {
+    const dsp::Signal x = random_signal(2880, 2);
+    kernels.push_back({"analytic_signal", 2880, [x]() {
+                         const auto y = dsp::analytic_signal(x);
+                         return digest(y.data(), y.size());
+                       }});
   }
+
+  // Matched filter (pulse compression) against the chirp template.
+  {
+    const dsp::Signal x = random_signal(2880, 3);
+    const auto a = dsp::analytic_signal(x);
+    const auto tmpl = dsp::Chirp(dsp::ChirpParams{}).sample(48000.0);
+    kernels.push_back({"matched_filter_envelope", 2880, [a, tmpl]() {
+                         const auto y = dsp::matched_filter_envelope(a, tmpl);
+                         return digest(y.data(), y.size());
+                       }});
+  }
+
+  // Steering-multiply energy core, both numeric lanes: 6 channels x 2880
+  // snapshots, the inner loop of every imaging pixel.
+  {
+    const std::size_t len = 2880, m = 6;
+    std::vector<dsp::ComplexSignal> chans(m);
+    std::mt19937 gen(4);
+    std::normal_distribution<double> d(0.0, 1.0);
+    for (auto& ch : chans) {
+      ch.resize(len);
+      for (auto& v : ch) v = Complex(d(gen), d(gen));
+    }
+    const auto geom = array::make_respeaker_array();
+    const auto cov = array::white_noise_covariance(m);
+    array::NarrowbandBeamformer bf64(chans, 48000.0, units::Hertz{2500.0},
+                                     geom, cov, array::kSpeedOfSoundMps, {},
+                                     simd::NumericLane::kF64);
+    array::NarrowbandBeamformer bf32(chans, 48000.0, units::Hertz{2500.0},
+                                     geom, cov, array::kSpeedOfSoundMps, {},
+                                     simd::NumericLane::kF32);
+    const auto w = bf64.weights_mvdr(array::Direction{1.0, 1.2});
+    kernels.push_back({"steered_energy_f64", m * len, [bf64, w, len]() {
+                         const double e = bf64.steered_energy(w, 0, len);
+                         return std::bit_cast<std::uint64_t>(e);
+                       }});
+    kernels.push_back({"steered_energy_f32", m * len, [bf32, w, len]() {
+                         const double e = bf32.steered_energy(w, 0, len);
+                         return std::bit_cast<std::uint64_t>(e);
+                       }});
+    kernels.push_back({"incoherent_energy_f64", m * len, [bf64, len]() {
+                         const double e = bf64.incoherent_energy(0, len);
+                         return std::bit_cast<std::uint64_t>(e);
+                       }});
+  }
+
+  return kernels;
 }
-BENCHMARK(BM_CnnExtract);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t inner = smoke ? 3 : 20;
+  const std::size_t repeats = smoke ? 3 : 9;
+
+  const std::vector<simd::Isa> lanes = simd::supported_isas();
+  std::cout << "== DSP kernel micro-bench: ISA lane sweep ==\n(lanes:";
+  for (const simd::Isa isa : lanes) std::cout << ' ' << simd::isa_name(isa);
+  std::cout << (smoke ? ", SMOKE" : "") << ")\n\n";
+
+  struct LaneTiming {
+    std::string isa;
+    double ns_per_op = 0.0;
+    double speedup_vs_scalar = 0.0;
+    bool bit_identical = false;
+  };
+  struct KernelReport {
+    std::string name;
+    std::size_t n = 0;
+    std::vector<LaneTiming> lanes;
+  };
+
+  const std::vector<Kernel> kernels = make_kernels();
+  std::vector<KernelReport> reports;
+  std::vector<std::vector<std::string>> rows;
+  std::uint64_t sink = 0;
+  bool all_bit_identical = true;
+
+  for (const Kernel& k : kernels) {
+    KernelReport report;
+    report.name = k.name;
+    report.n = k.n;
+    double scalar_ns = 0.0;
+    std::uint64_t scalar_digest = 0;
+    for (const simd::Isa isa : lanes) {
+      simd::ScopedIsa forced(isa);
+      LaneTiming t;
+      t.isa = simd::isa_name(isa);
+      const std::uint64_t d = k.run();
+      t.ns_per_op = time_ns(k.run, inner, repeats, sink);
+      if (isa == simd::Isa::kScalar) {
+        scalar_ns = t.ns_per_op;
+        scalar_digest = d;
+      }
+      t.speedup_vs_scalar =
+          t.ns_per_op > 0.0 ? scalar_ns / t.ns_per_op : 0.0;
+      // The f32 energy kernel never matches the f64 digest and carries its
+      // own contract; everything else must replay scalar bits exactly.
+      t.bit_identical = (d == scalar_digest);
+      if (k.name.find("_f32") == std::string::npos)
+        all_bit_identical &= t.bit_identical;
+      report.lanes.push_back(t);
+      rows.push_back({k.name, std::to_string(k.n), t.isa,
+                      eval::fmt(t.ns_per_op),
+                      eval::fmt(t.speedup_vs_scalar),
+                      k.name.find("_f32") != std::string::npos
+                          ? (isa == simd::Isa::kScalar ? "ref" : "n/a")
+                          : (t.bit_identical ? "yes" : "NO")});
+    }
+    reports.push_back(std::move(report));
+    std::cerr << '.' << std::flush;
+  }
+  std::cerr << '\n';
+
+  eval::print_table(
+      std::cout,
+      {"kernel", "n", "isa", "ns/op", "speedup", "bit-identical"}, rows);
+  std::cout << "\ncross-lane bit-exactness: "
+            << (all_bit_identical ? "PASS" : "FAIL") << "\n(sink "
+            << (sink & 0xF) << ")\n";
+
+  std::ofstream json("BENCH_micro_dsp.json");
+  json << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+       << ",\n  \"best_isa\": \"" << simd::isa_name(simd::best_isa())
+       << "\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const KernelReport& r = reports[i];
+    json << "    {\"name\": \"" << r.name << "\", \"n\": " << r.n
+         << ", \"lanes\": [";
+    for (std::size_t l = 0; l < r.lanes.size(); ++l) {
+      const LaneTiming& t = r.lanes[l];
+      json << "{\"isa\": \"" << t.isa << "\", \"ns_per_op\": " << t.ns_per_op
+           << ", \"speedup_vs_scalar\": " << t.speedup_vs_scalar
+           << ", \"bit_identical\": " << (t.bit_identical ? "true" : "false")
+           << "}" << (l + 1 < r.lanes.size() ? ", " : "");
+    }
+    json << "]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"bit_exactness_pass\": "
+       << (all_bit_identical ? "true" : "false") << "\n}\n";
+  std::cout << "wrote BENCH_micro_dsp.json\n";
+
+  return all_bit_identical ? 0 : 1;
+}

@@ -37,6 +37,7 @@
 #include "eval/roster.hpp"
 #include "eval/table.hpp"
 #include "obs/observability.hpp"
+#include "simd/isa.hpp"
 
 namespace {
 
@@ -71,8 +72,16 @@ std::string json_bool(bool b) { return b ? "true" : "false"; }
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  for (int i = 1; i < argc; ++i)
+  bool paper_flag = false;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--paper") == 0) paper_flag = true;
+  }
+  // The 180x180 paper-scale render always runs on full benches; under
+  // --smoke (the ctest registration) it needs the explicit --paper opt-in
+  // so the smoke test stays fast. tools/run_bench_smoke.sh passes it: the
+  // committed BENCH_throughput.json carries measured paper-scale numbers.
+  const bool run_paper = !smoke || paper_flag;
 
   const std::size_t kGrid = smoke ? 16 : 48;
   const std::size_t kSubbands = smoke ? 2 : 5;
@@ -203,6 +212,124 @@ int main(int argc, char** argv) {
     std::cout << (scaling_ok ? "PASS" : "FAIL");
   std::cout << '\n';
 
+  // --- SIMD lane sweep (serial, cache on): per-image speedup of each ISA
+  // lane over forced scalar, plus the f32 numeric lane on the best ISA.
+  // Every f64 lane must reproduce the reference bit for bit — the sweep is
+  // a speed dial, never a numerics dial (DESIGN.md, "SIMD & numeric-lane
+  // model").
+  struct LaneResult {
+    std::string isa;
+    std::string lane = "f64";
+    double images_per_sec = 0.0;
+    double speedup_vs_scalar = 0.0;
+    bool bit_identical = false;
+  };
+  std::vector<LaneResult> lane_results;
+  bool lanes_ok = true;
+  {
+    core::ImagingConfig cfg = base;
+    cfg.num_threads = 1;
+    cfg.use_weight_cache = true;
+    const auto time_lane = [&](const core::AcousticImager& imager) {
+      (void)imager.construct_bands(batch.beeps[0],
+                                   echoimage::units::Meters{0.7}, 0.0002,
+                                   batch.noise_only);  // warm-up
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<core::Matrix2D> image;
+      for (std::size_t r = 0; r < kImages; ++r)
+        image = imager.construct_bands(batch.beeps[r % batch.beeps.size()],
+                                       echoimage::units::Meters{0.7}, 0.0002,
+                                       batch.noise_only);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return static_cast<double>(kImages) / std::max(1e-9, elapsed.count());
+    };
+    double scalar_rate = 0.0;
+    std::vector<std::vector<std::string>> lane_rows;
+    for (const simd::Isa isa : simd::supported_isas()) {
+      simd::ScopedIsa forced(isa);
+      const core::AcousticImager imager(cfg, geometry);
+      LaneResult r;
+      r.isa = simd::isa_name(isa);
+      r.images_per_sec = time_lane(imager);
+      if (isa == simd::Isa::kScalar) scalar_rate = r.images_per_sec;
+      r.speedup_vs_scalar =
+          scalar_rate > 0.0 ? r.images_per_sec / scalar_rate : 0.0;
+      r.bit_identical = bitwise_equal(
+          imager.construct_bands(batch.beeps[0],
+                                 echoimage::units::Meters{0.7}, 0.0002,
+                                 batch.noise_only),
+          reference);
+      lanes_ok &= r.bit_identical;
+      lane_results.push_back(r);
+      lane_rows.push_back({r.isa, r.lane, eval::fmt(r.images_per_sec),
+                           eval::fmt(r.speedup_vs_scalar),
+                           r.bit_identical ? "yes" : "NO"});
+      std::cerr << '.' << std::flush;
+    }
+    // f32 numeric lane on the best ISA: speed entry only — its accuracy
+    // contract (pinned relative bound) is enforced by the golden tests.
+    {
+      core::ImagingConfig f32_cfg = cfg;
+      f32_cfg.numeric_lane = simd::NumericLane::kF32;
+      const core::AcousticImager imager(f32_cfg, geometry);
+      LaneResult r;
+      r.isa = simd::isa_name(simd::best_isa());
+      r.lane = "f32";
+      r.images_per_sec = time_lane(imager);
+      r.speedup_vs_scalar =
+          scalar_rate > 0.0 ? r.images_per_sec / scalar_rate : 0.0;
+      r.bit_identical = true;  // not applicable: different numeric lane
+      lane_results.push_back(r);
+      lane_rows.push_back({r.isa, r.lane, eval::fmt(r.images_per_sec),
+                           eval::fmt(r.speedup_vs_scalar), "n/a"});
+    }
+    std::cerr << '\n';
+    std::cout << "\n-- SIMD lane sweep (serial, cache on) --\n";
+    eval::print_table(
+        std::cout,
+        {"isa", "lane", "images/s", "speedup vs scalar", "bit-identical"},
+        lane_rows);
+    std::cout << "lane determinism (every f64 lane matches scalar bitwise): "
+              << (lanes_ok ? "PASS" : "FAIL") << '\n';
+  }
+
+  // --- Paper-scale entry: one 180x180 image at the paper's full band
+  // count, best lane + all hardware threads + warm cache. This is the
+  // configuration the SIMD port exists to make tractable; one image per
+  // numeric lane keeps the entry honest without dominating the smoke run.
+  double paper_f64_s = 0.0, paper_f32_s = 0.0;
+  const std::size_t paper_threads = std::max(1u, hw);
+  if (run_paper) {
+    core::ImagingConfig cfg = base;
+    cfg.grid_size = 180;
+    cfg.grid_spacing_m = 0.01;  // paper Sec. V-C: 180x180 of 1 cm
+    cfg.num_subbands = 5;
+    cfg.num_threads = paper_threads;
+    cfg.use_weight_cache = true;
+    const auto time_one = [&](const core::ImagingConfig& c) {
+      const core::AcousticImager imager(c, geometry);
+      const auto start = std::chrono::steady_clock::now();
+      (void)imager.construct_bands(batch.beeps[0],
+                                   echoimage::units::Meters{0.7}, 0.0002,
+                                   batch.noise_only);
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    paper_f64_s = time_one(cfg);
+    cfg.numeric_lane = simd::NumericLane::kF32;
+    paper_f32_s = time_one(cfg);
+    std::cout << "\n-- paper scale (180x180, 5 bands, "
+              << simd::isa_name(simd::active_isa()) << ", " << paper_threads
+              << " thread(s)) --\nf64: " << eval::fmt(paper_f64_s)
+              << " s/image, f32: " << eval::fmt(paper_f32_s)
+              << " s/image (f64/f32 = "
+              << eval::fmt(paper_f32_s > 0.0 ? paper_f64_s / paper_f32_s
+                                             : 0.0)
+              << "x)\n";
+  }
+
   std::ofstream json("BENCH_throughput.json");
   json << "{\n  \"grid_size\": " << kGrid
        << ",\n  \"num_subbands\": " << kSubbands
@@ -219,8 +346,23 @@ int main(int argc, char** argv) {
          << ", \"bit_identical\": " << json_bool(m.bit_identical) << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"determinism_pass\": " << json_bool(deterministic)
+  json << "  ],\n  \"simd\": {\n    \"active\": \""
+       << simd::isa_name(simd::best_isa()) << "\",\n    \"lanes\": [\n";
+  for (std::size_t i = 0; i < lane_results.size(); ++i) {
+    const LaneResult& r = lane_results[i];
+    json << "      {\"isa\": \"" << r.isa << "\", \"lane\": \"" << r.lane
+         << "\", \"images_per_sec\": " << r.images_per_sec
+         << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar
+         << ", \"bit_identical\": " << json_bool(r.bit_identical) << "}"
+         << (i + 1 < lane_results.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n    \"paper_scale\": {\"grid_size\": 180, "
+       << "\"num_subbands\": 5, \"threads\": " << paper_threads
+       << ", \"seconds_per_image_f64\": " << paper_f64_s
+       << ", \"seconds_per_image_f32\": " << paper_f32_s << "}\n  },\n";
+  json << "  \"determinism_pass\": " << json_bool(deterministic)
        << ",\n  \"cache_pass\": " << json_bool(cache_ok)
+       << ",\n  \"lane_pass\": " << json_bool(lanes_ok)
        << ",\n  \"scaling_pass\": "
        << (scaling_applicable ? json_bool(scaling_ok) : "\"skipped\"")
        << "\n}\n";
@@ -247,6 +389,8 @@ int main(int argc, char** argv) {
               << "\nwrote BENCH_throughput_trace.json\n";
   }
 
-  return deterministic && cache_ok && (!scaling_applicable || scaling_ok) ? 0
-                                                                          : 1;
+  return deterministic && cache_ok && lanes_ok &&
+                 (!scaling_applicable || scaling_ok)
+             ? 0
+             : 1;
 }

@@ -1,11 +1,13 @@
 #include "array/beamformer.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
 #include "dsp/hilbert.hpp"
+#include "simd/kernels.hpp"
 
 namespace echoimage::array {
 
@@ -148,6 +150,7 @@ NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
   }
   noise_cov_.add_diagonal(1e-3);  // loading keeps the inverse well-behaved
   noise_cov_inv_ = echoimage::linalg::inverse(noise_cov_);
+  finalize_channels();
 }
 
 NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
@@ -182,15 +185,18 @@ NarrowbandBeamformer::NarrowbandBeamformer(const MultiChannelSignal& bandpassed,
   }
   noise_cov_.add_diagonal(1e-3);
   noise_cov_inv_ = echoimage::linalg::inverse(noise_cov_);
+  finalize_channels();
 }
 
 NarrowbandBeamformer::NarrowbandBeamformer(
     std::vector<ComplexSignal> channels, double sample_rate,
     units::Hertz center_freq, ArrayGeometry geom, CMatrix noise_covariance,
-    units::MetersPerSecond speed_of_sound, const ChannelMask& active_mask)
+    units::MetersPerSecond speed_of_sound, const ChannelMask& active_mask,
+    simd::NumericLane lane)
     : sample_rate_(sample_rate),
       center_freq_hz_(center_freq.value()),
-      speed_of_sound_(speed_of_sound.value()) {
+      speed_of_sound_(speed_of_sound.value()),
+      lane_(lane) {
   if (channels.size() != geom.num_mics())
     throw std::invalid_argument("NarrowbandBeamformer: channel/mic mismatch");
   if (noise_covariance.rows() != geom.num_mics() ||
@@ -210,6 +216,58 @@ NarrowbandBeamformer::NarrowbandBeamformer(
           "NarrowbandBeamformer: ragged complex channels");
   noise_cov_.add_diagonal(1e-3);
   noise_cov_inv_ = echoimage::linalg::inverse(noise_cov_);
+  finalize_channels();
+}
+
+NarrowbandBeamformer::NarrowbandBeamformer(const NarrowbandBeamformer& other)
+    : geom_(other.geom_),
+      sample_rate_(other.sample_rate_),
+      center_freq_hz_(other.center_freq_hz_),
+      speed_of_sound_(other.speed_of_sound_),
+      length_(other.length_),
+      lane_(other.lane_),
+      analytic_(other.analytic_),
+      noise_cov_(other.noise_cov_),
+      noise_cov_inv_(other.noise_cov_inv_) {
+  finalize_channels();
+}
+
+NarrowbandBeamformer& NarrowbandBeamformer::operator=(
+    const NarrowbandBeamformer& other) {
+  if (this == &other) return *this;
+  geom_ = other.geom_;
+  sample_rate_ = other.sample_rate_;
+  center_freq_hz_ = other.center_freq_hz_;
+  speed_of_sound_ = other.speed_of_sound_;
+  length_ = other.length_;
+  lane_ = other.lane_;
+  analytic_ = other.analytic_;
+  noise_cov_ = other.noise_cov_;
+  noise_cov_inv_ = other.noise_cov_inv_;
+  finalize_channels();
+  return *this;
+}
+
+void NarrowbandBeamformer::finalize_channels() {
+  ch_ptrs_.clear();
+  ch_ptrs_.reserve(analytic_.size());
+  for (const ComplexSignal& c : analytic_) ch_ptrs_.push_back(c.data());
+  if (lane_ != simd::NumericLane::kF32) return;
+  f32_channels_.clear();
+  f32_channels_.reserve(analytic_.size());
+  f32_ptrs_.clear();
+  f32_ptrs_.reserve(analytic_.size());
+  for (const ComplexSignal& c : analytic_) {
+    simd::AlignedVector<float> f;
+    f.reserve(2 * c.size());
+    for (const Complex& v : c) {
+      f.push_back(static_cast<float>(v.real()));
+      f.push_back(static_cast<float>(v.imag()));
+    }
+    f32_channels_.push_back(std::move(f));
+  }
+  for (const simd::AlignedVector<float>& f : f32_channels_)
+    f32_ptrs_.push_back(f.data());
 }
 
 CMatrix noise_covariance_of(const MultiChannelSignal& noise) {
@@ -284,17 +342,8 @@ double NarrowbandBeamformer::steered_energy(const Direction& dir,
                                             std::size_t first,
                                             std::size_t count,
                                             bool use_mvdr) const {
-  const std::vector<Complex> w =
-      use_mvdr ? weights_mvdr(dir) : weights_das(dir);
-  const std::size_t last = std::min(length_, first + count);
-  double e = 0.0;
-  for (std::size_t t = first; t < last; ++t) {
-    Complex y(0.0, 0.0);
-    for (std::size_t m = 0; m < analytic_.size(); ++m)
-      y += std::conj(w[m]) * analytic_[m][t];
-    e += std::norm(y);
-  }
-  return e;
+  return steered_energy(use_mvdr ? weights_mvdr(dir) : weights_das(dir),
+                        first, count);
 }
 
 double NarrowbandBeamformer::steered_energy(const std::vector<Complex>& w,
@@ -304,23 +353,38 @@ double NarrowbandBeamformer::steered_energy(const std::vector<Complex>& w,
     throw std::invalid_argument(
         "NarrowbandBeamformer: weight/channel mismatch");
   const std::size_t last = std::min(length_, first + count);
-  double e = 0.0;
-  for (std::size_t t = first; t < last; ++t) {
-    Complex y(0.0, 0.0);
-    for (std::size_t m = 0; m < analytic_.size(); ++m)
-      y += std::conj(w[m]) * analytic_[m][t];
-    e += std::norm(y);
+  if (first >= last) return 0.0;
+  const std::size_t n = last - first;
+  const std::size_t m = analytic_.size();
+  const simd::KernelTable& k = simd::kernels();
+  // The f32 lane converts weights on the stack per call; weight vectors
+  // are bounded by the 64-bit channel masks upstream, so 64 always fits.
+  if (lane_ == simd::NumericLane::kF32 && m <= 64) {
+    std::array<float, 64> wre, wim;
+    for (std::size_t c = 0; c < m; ++c) {
+      wre[c] = static_cast<float>(w[c].real());
+      wim[c] = static_cast<float>(w[c].imag());
+    }
+    return static_cast<double>(k.steered_energy_f32(
+        f32_ptrs_.data(), m, wre.data(), wim.data(), first, n));
   }
-  return e;
+  return k.steered_energy_f64(ch_ptrs_.data(), m, w.data(), first, n);
 }
 
 double NarrowbandBeamformer::incoherent_energy(std::size_t first,
                                                std::size_t count) const {
   const std::size_t last = std::min(length_, first + count);
-  double e = 0.0;
-  for (const ComplexSignal& ch : analytic_)
-    for (std::size_t t = first; t < last; ++t) e += std::norm(ch[t]);
-  return e / static_cast<double>(analytic_.size());
+  const std::size_t m = analytic_.size();
+  if (first >= last) return 0.0;
+  const std::size_t n = last - first;
+  const simd::KernelTable& k = simd::kernels();
+  if (lane_ == simd::NumericLane::kF32) {
+    return static_cast<double>(
+               k.incoherent_energy_f32(f32_ptrs_.data(), m, first, n)) /
+           static_cast<double>(m);
+  }
+  return k.incoherent_energy_f64(ch_ptrs_.data(), m, first, n) /
+         static_cast<double>(m);
 }
 
 Signal beamform_subband_mvdr(const MultiChannelSignal& x,

@@ -23,7 +23,11 @@
 //                                  in length),
 //   * covariance fingerprint     — a different noise field invalidates the
 //                                  MVDR solve,
-//   * mvdr flag                  — MVDR and delay-and-sum never mix.
+//   * mvdr flag                  — MVDR and delay-and-sum never mix,
+//   * numeric lane               — weights are f64 in both lanes, but the
+//                                  energies they feed are not; keeping f32
+//                                  and f64 imaging runs in separate entries
+//                                  keeps each lane's bit-replay honest.
 //
 // Determinism. Weights are computed by the caller and inserted verbatim;
 // a hit returns exactly the bits a recompute would produce (the weight
@@ -61,6 +65,7 @@ struct WeightKey {
   std::uint64_t mask_bits = 0;     ///< active-channel bitset (see mask_bits)
   std::uint64_t cov_fingerprint = 0;
   bool mvdr = true;
+  std::uint8_t lane = 0;  ///< simd::NumericLane of the consuming imager
 
   bool operator==(const WeightKey&) const = default;
 };

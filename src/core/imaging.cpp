@@ -101,11 +101,9 @@ void AcousticImager::prepare(const MultiChannelSignal& beep,
                              MultiChannelSignal& noise_f,
                              bool& have_noise) const {
   EI_SPAN(obs::Observability::tracer_of(obs_.get()), "imaging.prepare");
-  // Band-pass all channels to the probing band.
-  filtered.channels.clear();
-  filtered.channels.reserve(beep.num_channels());
-  for (const auto& ch : beep.channels)
-    filtered.channels.push_back(bandpass_filter_.filtfilt(ch));
+  // Band-pass all channels to the probing band, lockstepped across
+  // channels (bit-identical to per-channel filtfilt).
+  filtered.channels = bandpass_filter_.filtfilt_multi(beep.channels);
 
   // Self-interference removal: zero the direct speaker->mic chirp region
   // (it is ~50 dB above body echoes and its analytic-signal tails would
@@ -123,11 +121,8 @@ void AcousticImager::prepare(const MultiChannelSignal& beep,
   have_noise = noise_only.num_channels() == filtered.num_channels() &&
                noise_only.length() > 0;
   noise_f.channels.clear();
-  if (have_noise) {
-    noise_f.channels.reserve(noise_only.num_channels());
-    for (const auto& ch : noise_only.channels)
-      noise_f.channels.push_back(bandpass_filter_.filtfilt(ch));
-  }
+  if (have_noise)
+    noise_f.channels = bandpass_filter_.filtfilt_multi(noise_only.channels);
 }
 
 void AcousticImager::accumulate_band(
@@ -147,15 +142,11 @@ void AcousticImager::accumulate_band(
       echoimage::array::white_noise_covariance(filtered.num_channels());
   if (config_.num_subbands > 1) {
     const auto& f = subband_filters_[band];
-    band_filtered.channels.reserve(filtered.num_channels());
-    for (const auto& ch : filtered.channels)
-      band_filtered.channels.push_back(f.filtfilt(ch));
+    band_filtered.channels = f.filtfilt_multi(filtered.channels);
     band_signal = &band_filtered;
     if (have_noise) {
       MultiChannelSignal band_noise;
-      band_noise.channels.reserve(noise_f.num_channels());
-      for (const auto& ch : noise_f.channels)
-        band_noise.channels.push_back(f.filtfilt(ch));
+      band_noise.channels = f.filtfilt_multi(noise_f.channels);
       cov = echoimage::array::noise_covariance_of(band_noise);
     }
   } else if (have_noise) {
@@ -179,7 +170,8 @@ void AcousticImager::accumulate_band(
   const std::uint64_t cov_fp = echoimage::array::WeightCache::fingerprint(cov);
   const NarrowbandBeamformer bf(std::move(channels), config_.sample_rate,
                                 units::Hertz{subband_centers_[band]}, geometry_,
-                                cov, config_.speed_of_sound, active_mask);
+                                cov, config_.speed_of_sound, active_mask,
+                                config_.numeric_lane);
 
   echoimage::array::WeightCache* const cache = weight_cache_.get();
   echoimage::array::WeightKey key;
@@ -191,6 +183,7 @@ void AcousticImager::accumulate_band(
         active_mask, filtered.num_channels());
     key.cov_fingerprint = cov_fp;
     key.mvdr = config_.use_mvdr;
+    key.lane = static_cast<std::uint8_t>(config_.numeric_lane);
   }
 
   // Per-grid loop: every grid writes its own pixel and bands accumulate in

@@ -19,6 +19,7 @@
 #include "ml/tensor.hpp"
 #include "obs/observability.hpp"
 #include "runtime/thread_pool.hpp"
+#include "simd/isa.hpp"
 
 namespace echoimage::core {
 
@@ -85,6 +86,12 @@ struct ImagingConfig {
   /// Plane-distance quantum of the cache key (<= 0: exact bit pattern).
   units::Meters weight_cache_quantum{1e-3};
   std::size_t weight_cache_capacity = 1u << 18;
+  /// Numeric lane of the beamformer energy kernels. kF64 (default) is
+  /// bit-identical to the historical pipeline on every ISA lane; kF32
+  /// halves the energy-core bandwidth at a pinned relative-error bound
+  /// (DESIGN.md, "SIMD & numeric-lane model"). Weight solves, filters and
+  /// FFTs stay f64 either way; cache entries are keyed per lane.
+  echoimage::simd::NumericLane numeric_lane = echoimage::simd::NumericLane::kF64;
 };
 
 /// One acoustic image: a stack of per-spectral-band grids. Single-band

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "simd/isa.hpp"
+
 namespace echoimage::core {
 
 namespace {
@@ -54,6 +56,10 @@ std::string SystemConfig::describe() const {
      << "threads: " << num_threads << (num_threads == 0 ? " (auto)" : "")
      << ", weight cache "
      << (imaging.use_weight_cache ? "on" : "off") << "\n"
+     << "simd: " << simd_isa << " (active "
+     << echoimage::simd::isa_name(echoimage::simd::active_isa())
+     << "), numeric lane "
+     << echoimage::simd::lane_name(imaging.numeric_lane) << "\n"
      << "chirp: " << chirp.f_start.value() << "-" << chirp.f_end.value()
      << " Hz, " << chirp.duration.value() * 1000.0 << " ms\n"
      << "band-pass: " << distance.bandpass_low_hz << "-"
@@ -88,6 +94,12 @@ EchoImagePipeline::EchoImagePipeline(SystemConfig config,
                                      echoimage::array::ArrayGeometry geometry)
     : config_([&] {
         config.harmonize();
+        // Forcing a lane is process-wide (the kernel table is a global
+        // dispatch); "auto" leaves the ambient selection untouched so a
+        // test's ScopedIsa or ECHOIMAGE_SIMD stays in charge.
+        if (config.simd_isa != "auto")
+          echoimage::simd::set_isa_override(
+              echoimage::simd::parse_isa(config.simd_isa));
         return config;
       }()),
       geometry_(geometry),

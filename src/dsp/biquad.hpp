@@ -54,6 +54,19 @@ class SosCascade {
   /// keeps matched-filter peak positions honest.
   [[nodiscard]] Signal filtfilt(std::span<const Sample> x) const;
 
+  /// Lockstep multi-channel filter(): every equal-length channel advances
+  /// through the cascade one frame at a time, vectorized across channels
+  /// (simd sos_section kernel). Each channel's DF2T recurrence is
+  /// independent, so the output is bit-identical to calling filter() per
+  /// channel; ragged inputs fall back to exactly that.
+  [[nodiscard]] std::vector<Signal> filter_multi(
+      const std::vector<Signal>& x) const;
+
+  /// Lockstep multi-channel filtfilt(); bit-identical to per-channel
+  /// filtfilt() for the same reason.
+  [[nodiscard]] std::vector<Signal> filtfilt_multi(
+      const std::vector<Signal>& x) const;
+
  private:
   std::vector<BiquadSection> sections_;
   double gain_ = 1.0;

@@ -4,25 +4,10 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "simd/fft_plan.hpp"
+#include "simd/kernels.hpp"
+
 namespace echoimage::dsp {
-
-namespace {
-
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-
-// Bit-reversal permutation for the iterative radix-2 transform.
-void bit_reverse_permute(ComplexSignal& x) {
-  const std::size_t n = x.size();
-  std::size_t j = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-}
-
-}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -37,25 +22,9 @@ void fft_pow2_in_place(ComplexSignal& x, bool inverse) {
   if (!is_pow2(n))
     throw std::invalid_argument("fft_pow2_in_place: size must be 2^k");
   if (n == 1) return;
-  bit_reverse_permute(x);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const Complex wl(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wl;
-      }
-    }
-  }
-  if (inverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (Complex& c : x) c *= inv_n;
-  }
+  // The plan's staged kernels are bit-identical to the historical inline
+  // radix-2 loop on every ISA lane (see simd/fft_plan.hpp).
+  simd::FftPlan::for_size(n).execute(x.data(), inverse);
 }
 
 namespace {
@@ -85,7 +54,7 @@ ComplexSignal bluestein(const ComplexSignal& x, bool inverse) {
 
   fft_pow2_in_place(a, false);
   fft_pow2_in_place(b, false);
-  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  simd::kernels().complex_mul_f64(a.data(), b.data(), m);
   fft_pow2_in_place(a, true);
 
   ComplexSignal out(n);
@@ -157,7 +126,7 @@ Signal fft_convolve(std::span<const Sample> a, std::span<const Sample> b) {
   for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0.0);
   fft_pow2_in_place(fa, false);
   fft_pow2_in_place(fb, false);
-  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  simd::kernels().complex_mul_f64(fa.data(), fb.data(), m);
   fft_pow2_in_place(fa, true);
   Signal out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();

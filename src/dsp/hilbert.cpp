@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "simd/kernels.hpp"
 
 namespace echoimage::dsp {
 
@@ -16,7 +17,8 @@ ComplexSignal analytic_signal(std::span<const Sample> x) {
   fft_pow2_in_place(spec, false);
   // One-sided spectrum: keep DC and Nyquist, double positive frequencies,
   // zero negative frequencies.
-  for (std::size_t k = 1; k < m / 2; ++k) spec[k] *= 2.0;
+  if (m >= 2)
+    simd::kernels().complex_scale_f64(spec.data() + 1, m / 2 - 1, 2.0);
   for (std::size_t k = m / 2 + 1; k < m; ++k) spec[k] = Complex(0.0, 0.0);
   fft_pow2_in_place(spec, true);
   spec.resize(n);

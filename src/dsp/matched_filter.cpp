@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "simd/kernels.hpp"
 
 namespace echoimage::dsp {
 
@@ -19,7 +20,7 @@ Signal matched_filter(std::span<const Sample> received,
   fft_pow2_in_place(fr, false);
   fft_pow2_in_place(ft, false);
   // Correlation: IFFT(R * conj(S)); non-negative lags land at the front.
-  for (std::size_t i = 0; i < m; ++i) fr[i] *= std::conj(ft[i]);
+  simd::kernels().complex_conj_mul_f64(fr.data(), ft.data(), m);
   fft_pow2_in_place(fr, true);
   Signal out(received.size());
   for (std::size_t i = 0; i < received.size(); ++i) out[i] = fr[i].real();
@@ -38,7 +39,7 @@ ComplexSignal matched_filter_complex(const ComplexSignal& received,
   for (std::size_t i = 0; i < tmpl.size(); ++i) ft[i] = Complex(tmpl[i], 0.0);
   fft_pow2_in_place(fr, false);
   fft_pow2_in_place(ft, false);
-  for (std::size_t i = 0; i < m; ++i) fr[i] *= std::conj(ft[i]);
+  simd::kernels().complex_conj_mul_f64(fr.data(), ft.data(), m);
   fft_pow2_in_place(fr, true);
   fr.resize(received.size());
   return fr;
@@ -55,7 +56,7 @@ Signal matched_filter_envelope(const ComplexSignal& received,
   for (std::size_t i = 0; i < tmpl.size(); ++i) ft[i] = Complex(tmpl[i], 0.0);
   fft_pow2_in_place(fr, false);
   fft_pow2_in_place(ft, false);
-  for (std::size_t i = 0; i < m; ++i) fr[i] *= std::conj(ft[i]);
+  simd::kernels().complex_conj_mul_f64(fr.data(), ft.data(), m);
   fft_pow2_in_place(fr, true);
   // Correlating the analytic signal with a real template yields the analytic
   // correlation, so the magnitude is exactly the correlation envelope.

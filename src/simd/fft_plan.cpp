@@ -1,0 +1,80 @@
+#include "simd/fft_plan.hpp"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "simd/kernels.hpp"
+
+namespace echoimage::simd {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Same permutation as the historical fft_pow2_in_place prologue.
+void bit_reverse_permute(std::complex<double>* x, std::size_t n) {
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+// Twiddles for one stage via the historical recurrence: the k-th entry is
+// the product of k successive multiplications by wl starting from 1 — the
+// same floating-point trajectory the old per-block inner loop walked.
+AlignedVector<double> stage_twiddles(std::size_t len, bool inverse) {
+  const double ang =
+      (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+  const std::complex<double> wl(std::cos(ang), std::sin(ang));
+  std::complex<double> w(1.0, 0.0);
+  AlignedVector<double> tw;
+  tw.reserve(len);  // len/2 complexes
+  for (std::size_t k = 0; k < len / 2; ++k) {
+    tw.push_back(w.real());
+    tw.push_back(w.imag());
+    w *= wl;
+  }
+  return tw;
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("FftPlan: size must be 2^k");
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    fwd_.push_back(stage_twiddles(len, false));
+    inv_.push_back(stage_twiddles(len, true));
+  }
+}
+
+const FftPlan& FftPlan::for_size(std::size_t n) {
+  thread_local std::unordered_map<std::size_t, std::unique_ptr<FftPlan>>
+      cache;
+  auto it = cache.find(n);
+  if (it == cache.end())
+    it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+  return *it->second;
+}
+
+void FftPlan::execute(std::complex<double>* x, bool inverse) const {
+  if (n_ == 1) return;
+  const KernelTable& k = kernels();
+  bit_reverse_permute(x, n_);
+  auto* raw = reinterpret_cast<double*>(x);
+  const auto& tables = inverse ? inv_ : fwd_;
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1, ++stage)
+    k.fft_stage_f64(raw, tables[stage].data(), n_, len);
+  if (inverse)
+    k.complex_scale_f64(x, n_, 1.0 / static_cast<double>(n_));
+}
+
+}  // namespace echoimage::simd

@@ -1,0 +1,45 @@
+// Precomputed radix-2 FFT plans for the vectorized transform.
+//
+// A plan holds per-stage twiddle tables for one power-of-two size, built
+// with the exact repeated-multiplication recurrence the historical
+// fft_pow2_in_place loop used (w = 1; tw[k] = w; w *= wl) — NOT a direct
+// cos/sin per index, which would round differently and change every
+// committed golden. Execution runs the bit-reversal permutation followed
+// by one fft_stage kernel call per stage on the active ISA lane, then the
+// complex_scale kernel for the inverse normalization; the result is
+// bit-identical to the historical loop on every lane.
+//
+// Plans are cached per thread (thread_local), so concurrent imaging
+// workers never contend and never share mutable state.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "simd/aligned.hpp"
+
+namespace echoimage::simd {
+
+class FftPlan {
+ public:
+  /// Build a plan for size n (must be a power of two, n >= 1).
+  explicit FftPlan(std::size_t n);
+
+  /// Cached plan for size n, owned by the calling thread.
+  static const FftPlan& for_size(std::size_t n);
+
+  /// In-place transform of n complex values, on the active ISA lane.
+  void execute(std::complex<double>* x, bool inverse) const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  // Stage s (len = 2^(s+1)) owns len/2 interleaved complex twiddles;
+  // forward and inverse tables differ by the sign of the angle.
+  std::vector<AlignedVector<double>> fwd_;
+  std::vector<AlignedVector<double>> inv_;
+};
+
+}  // namespace echoimage::simd

@@ -1,0 +1,161 @@
+#include "simd/isa.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "simd/kernels.hpp"
+
+namespace echoimage::simd {
+
+namespace {
+
+// Selection state. Plain globals by design (src/simd may not reach for
+// std::atomic — echolint R2 — and does not need to): overrides are applied
+// at startup or from single-threaded test sections, and the pool's task
+// handoff publishes the write before any worker reads it.
+bool g_override_set = false;
+Isa g_override = Isa::kScalar;
+bool g_env_read = false;
+bool g_env_set = false;
+Isa g_env_isa = Isa::kScalar;
+
+const KernelTable* table_or_null(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::scalar_table();
+    case Isa::kSse2:
+      return detail::sse2_table();
+    case Isa::kAvx2:
+      return detail::avx2_table();
+    case Isa::kNeon:
+      return detail::neon_table();
+  }
+  return nullptr;
+}
+
+Isa env_or_best() {
+  if (!g_env_read) {
+    g_env_read = true;
+    if (const char* env = std::getenv("ECHOIMAGE_SIMD")) {
+      const Isa parsed = parse_isa(env);  // throws on junk: fail loudly
+      if (!isa_supported(parsed))
+        throw std::invalid_argument(
+            std::string("ECHOIMAGE_SIMD requests unsupported lane: ") + env);
+      g_env_set = true;
+      g_env_isa = parsed;
+    }
+  }
+  return g_env_set ? g_env_isa : best_isa();
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* lane_name(NumericLane lane) {
+  return lane == NumericLane::kF32 ? "f32" : "f64";
+}
+
+Isa parse_isa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "neon") return Isa::kNeon;
+  if (name == "auto") return best_isa();
+  throw std::invalid_argument("unknown SIMD lane name: '" + name +
+                              "' (expected scalar|sse2|avx2|neon|auto)");
+}
+
+bool isa_supported(Isa isa) {
+  if (table_or_null(isa) == nullptr) return false;  // not compiled in
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kSse2:
+      return true;  // x86-64 baseline
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kNeon:
+      return false;
+#elif defined(__aarch64__)
+    case Isa::kSse2:
+    case Isa::kAvx2:
+      return false;
+    case Isa::kNeon:
+      return true;  // AArch64 baseline
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon})
+    if (isa_supported(isa)) out.push_back(isa);
+  return out;
+}
+
+Isa best_isa() {
+  Isa best = Isa::kScalar;
+  for (const Isa isa : {Isa::kSse2, Isa::kAvx2, Isa::kNeon})
+    if (isa_supported(isa)) best = isa;
+  return best;
+}
+
+Isa active_isa() {
+  if (g_override_set) return g_override;
+  return env_or_best();
+}
+
+void set_isa_override(Isa isa) {
+  if (!isa_supported(isa))
+    throw std::invalid_argument(std::string("cannot force SIMD lane '") +
+                                isa_name(isa) +
+                                "': not supported on this machine/build");
+  g_override_set = true;
+  g_override = isa;
+}
+
+void clear_isa_override() { g_override_set = false; }
+
+ScopedIsa::ScopedIsa(Isa isa)
+    : had_override_(g_override_set), previous_(g_override) {
+  set_isa_override(isa);
+}
+
+ScopedIsa::~ScopedIsa() {
+  if (had_override_) {
+    g_override_set = true;
+    g_override = previous_;
+  } else {
+    g_override_set = false;
+  }
+}
+
+const KernelTable& kernels() { return kernels_for(active_isa()); }
+
+const KernelTable& kernels_for(Isa isa) {
+  const KernelTable* t = isa_supported(isa) ? table_or_null(isa) : nullptr;
+  if (t == nullptr)
+    throw std::invalid_argument(std::string("SIMD lane '") + isa_name(isa) +
+                                "' is not available here");
+  return *t;
+}
+
+}  // namespace echoimage::simd

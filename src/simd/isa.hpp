@@ -1,0 +1,96 @@
+// Runtime ISA selection for the vectorized DSP kernels.
+//
+// The kernel layer (kernels.hpp) ships one implementation table per
+// instruction set — scalar, SSE2, AVX2, NEON — compiled into per-ISA
+// translation units. One of them is selected at startup: the best lane the
+// CPU supports, unless the ECHOIMAGE_SIMD environment variable or an
+// explicit set_isa_override() narrows the choice (the testing hook the
+// differential harness uses to run every lane on one machine).
+//
+// Bit-transparency contract. Every f64 kernel produces bit-identical
+// results on every ISA lane: implementations use only vertical (element-
+// wise) SIMD arithmetic in the exact association order of the scalar
+// reference, never reassociated horizontal reductions. Switching lanes can
+// therefore never change an image, a golden file, or a cached weight —
+// lanes differ in speed only. The f32 kernels carry the same cross-ISA
+// guarantee relative to the scalar f32 reference; f32-vs-f64 is a separate
+// *numeric lane* with a pinned error bound (see DESIGN.md, "SIMD &
+// numeric-lane model").
+//
+// Thread safety: the override is a plain global written by
+// set_isa_override(); apply it at startup or from a single-threaded test
+// section before parallel work is launched (the pool's task handoff
+// publishes the write to the workers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace echoimage::simd {
+
+/// Instruction-set lanes, in ascending preference order.
+enum class Isa {
+  kScalar = 0,  ///< portable reference; always compiled, always available
+  kSse2 = 1,    ///< x86-64 baseline (128-bit)
+  kAvx2 = 2,    ///< 256-bit x86
+  kNeon = 3,    ///< 128-bit AArch64
+};
+
+/// Numeric lanes for the imaging energy core. kF64 is the reference lane
+/// (bit-identical to the historical scalar pipeline); kF32 trades a pinned
+/// error bound (DESIGN.md) for twice the vector width.
+enum class NumericLane {
+  kF64 = 0,
+  kF32 = 1,
+};
+
+/// Short lowercase name ("scalar", "sse2", "avx2", "neon").
+[[nodiscard]] const char* isa_name(Isa isa);
+
+/// Lane name ("f64" / "f32").
+[[nodiscard]] const char* lane_name(NumericLane lane);
+
+/// Parse an ISA name (the ECHOIMAGE_SIMD spellings, plus "auto"). Throws
+/// std::invalid_argument on anything else. "auto" returns the best
+/// supported lane.
+[[nodiscard]] Isa parse_isa(const std::string& name);
+
+/// True when the lane was compiled in AND the running CPU supports it.
+/// kScalar is always supported.
+[[nodiscard]] bool isa_supported(Isa isa);
+
+/// Every supported lane, ascending (kScalar first). The differential
+/// harness iterates this to run each kernel on every lane the machine has.
+[[nodiscard]] std::vector<Isa> supported_isas();
+
+/// Best supported lane (ignores any override).
+[[nodiscard]] Isa best_isa();
+
+/// The lane the kernel table currently dispatches to. Resolution order:
+/// explicit set_isa_override() > ECHOIMAGE_SIMD env var (read once, at
+/// first use) > best_isa().
+[[nodiscard]] Isa active_isa();
+
+/// Force a lane (must be supported; throws std::invalid_argument
+/// otherwise). Passing best_isa() or the env-selected lane is fine; use
+/// clear_isa_override() to return to automatic selection.
+void set_isa_override(Isa isa);
+
+/// Drop any override (explicit or env-derived): back to best_isa().
+void clear_isa_override();
+
+/// RAII lane forcing for tests: forces `isa` on construction, restores the
+/// previous selection state on destruction.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa);
+  ~ScopedIsa();
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  bool had_override_;
+  Isa previous_;
+};
+
+}  // namespace echoimage::simd

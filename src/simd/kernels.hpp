@@ -1,0 +1,109 @@
+// The vectorized kernel inventory behind the EchoImage DSP hot path.
+//
+// One KernelTable per ISA lane (see isa.hpp); kernels() returns the table
+// for the active lane. Each kernel's semantics are defined by the scalar
+// reference implementation (kernels_scalar.cpp) — which reproduces the
+// historical per-site loops bit for bit — and every SIMD lane must match
+// the reference bitwise (f64 kernels) or bitwise-per-lane with a pinned
+// f32-vs-f64 bound (f32 kernels). tests/simd/kernel_diff_test.cpp enforces
+// this differentially on every supported lane.
+//
+// Layering: this header depends only on the standard library, so every
+// layer above (dsp, array, core) can call kernels without cycles. Raw
+// intrinsics live exclusively in the per-ISA translation units here —
+// echolint rule R9 bans them everywhere else.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "simd/isa.hpp"
+
+namespace echoimage::simd {
+
+/// One normalized biquad section (a0 == 1), direct form II transposed.
+/// Mirrors dsp::BiquadSection without depending on the dsp layer.
+struct SosCoeffs {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+/// Function-pointer table for one ISA lane. All pointer arguments may be
+/// arbitrarily (mis)aligned; counts may be zero.
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+
+  /// One radix-2 butterfly stage over an interleaved complex-double array
+  /// of n elements (2n doubles): for each block of `len`, and k in
+  /// [0, len/2): v = x[i+k+len/2] * tw[k]; x[i+k] = u + v;
+  /// x[i+k+len/2] = u - v. `tw` holds len/2 interleaved twiddles.
+  void (*fft_stage_f64)(double* x, const double* tw, std::size_t n,
+                        std::size_t len);
+
+  /// a[i] *= b[i] (complex), the convolution spectrum product.
+  void (*complex_mul_f64)(std::complex<double>* a,
+                          const std::complex<double>* b, std::size_t n);
+
+  /// a[i] *= conj(b[i]), the correlation / matched-filter spectrum product.
+  void (*complex_conj_mul_f64)(std::complex<double>* a,
+                               const std::complex<double>* b, std::size_t n);
+
+  /// a[i] *= s componentwise (inverse-FFT normalization, the Hilbert
+  /// one-sided doubling).
+  void (*complex_scale_f64)(std::complex<double>* a, std::size_t n, double s);
+
+  /// x[i] *= s (real gain pass of an SOS cascade).
+  void (*scale_f64)(double* x, std::size_t n, double s);
+
+  /// One biquad section over channel-interleaved frames: `x` holds
+  /// `num_frames` frames of `width` doubles (one slot per lockstepped
+  /// channel); `z1`/`z2` are the per-channel DF2T states (width each),
+  /// updated in place. Per frame, per channel: out = b0*in + z1;
+  /// z1 = b1*in - a1*out + z2; z2 = b2*in - a2*out.
+  void (*sos_section_f64)(double* x, std::size_t num_frames, std::size_t width,
+                          const SosCoeffs& c, double* z1, double* z2);
+
+  /// Steered beamformer energy over [first, first+count):
+  /// e = sum_t |sum_m conj(w[m]) * ch[m][t]|^2, with the per-sample |y|^2
+  /// terms accumulated in ascending t order into one accumulator — the
+  /// exact association of the scalar reference, on every lane.
+  double (*steered_energy_f64)(const std::complex<double>* const* ch,
+                               std::size_t m, const std::complex<double>* w,
+                               std::size_t first, std::size_t count);
+
+  /// Incoherent (phase-free) energy: sum over channels (outer, ascending)
+  /// of sum over t in [first, first+count) (inner, ascending) of |ch[m][t]|^2.
+  /// The caller divides by the channel count.
+  double (*incoherent_energy_f64)(const std::complex<double>* const* ch,
+                                  std::size_t m, std::size_t first,
+                                  std::size_t count);
+
+  /// f32 numeric lane of steered_energy: `ch[m]` points at an interleaved
+  /// (re, im) float array; weights arrive pre-split as wre/wim. Same
+  /// sequential-t accumulation contract, in float.
+  float (*steered_energy_f32)(const float* const* ch, std::size_t m,
+                              const float* wre, const float* wim,
+                              std::size_t first, std::size_t count);
+
+  /// f32 numeric lane of incoherent_energy (same layout as above).
+  float (*incoherent_energy_f32)(const float* const* ch, std::size_t m,
+                                 std::size_t first, std::size_t count);
+};
+
+/// Table for the active lane (see isa.hpp for the resolution order).
+[[nodiscard]] const KernelTable& kernels();
+
+/// Table for a specific lane; throws std::invalid_argument when the lane
+/// is not supported on this machine/build.
+[[nodiscard]] const KernelTable& kernels_for(Isa isa);
+
+namespace detail {
+// Per-ISA registration points, defined in their translation units.
+// A lane that was not compiled in returns nullptr.
+[[nodiscard]] const KernelTable* scalar_table();
+[[nodiscard]] const KernelTable* sse2_table();
+[[nodiscard]] const KernelTable* avx2_table();
+[[nodiscard]] const KernelTable* neon_table();
+}  // namespace detail
+
+}  // namespace echoimage::simd

@@ -1,0 +1,283 @@
+// SSE2 lane (x86-64 baseline, 128-bit).
+//
+// Bit-transparency: every arithmetic step is a vertical (element-wise)
+// operation in the exact association order of the scalar reference
+// (kernels_scalar.cpp). addsub does not exist in SSE2, so the sub half is
+// an XOR sign flip followed by an add — IEEE-exact (x - y == x + (-y)).
+// This translation unit is compiled with -ffp-contract=off so the compiler
+// cannot fuse the mul/add pairs the reference keeps separate.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <complex>
+#include <cstddef>
+
+#include "simd/kernels.hpp"
+
+namespace echoimage::simd {
+namespace {
+
+using Complex = std::complex<double>;
+
+// Sign masks: flip the real (even) or imaginary (odd) slot of one complex.
+inline __m128d neg_even() { return _mm_set_pd(0.0, -0.0); }
+inline __m128d neg_odd() { return _mm_set_pd(-0.0, 0.0); }
+
+/// p = x * w for one interleaved complex in each register:
+/// re = xr*wr - xi*wi, im = xr*wi + xi*wr (the libstdc++ operator*= order).
+inline __m128d cmul(__m128d x, __m128d w) {
+  const __m128d xr = _mm_unpacklo_pd(x, x);
+  const __m128d xi = _mm_unpackhi_pd(x, x);
+  const __m128d wswap = _mm_shuffle_pd(w, w, 1);
+  const __m128d t1 = _mm_mul_pd(xr, w);       // [xr*wr, xr*wi]
+  const __m128d t2 = _mm_mul_pd(xi, wswap);   // [xi*wi, xi*wr]
+  return _mm_add_pd(t1, _mm_xor_pd(t2, neg_even()));
+}
+
+/// p = a * conj(b): re = ar*br + ai*bi, im = ai*br - ar*bi.
+inline __m128d cmul_conj(__m128d a, __m128d b) {
+  const __m128d ar = _mm_unpacklo_pd(a, a);
+  const __m128d ai = _mm_unpackhi_pd(a, a);
+  const __m128d bswap = _mm_shuffle_pd(b, b, 1);
+  const __m128d t1 = _mm_mul_pd(ar, b);       // [ar*br, ar*bi]
+  const __m128d t2 = _mm_mul_pd(ai, bswap);   // [ai*bi, ai*br]
+  return _mm_add_pd(t2, _mm_xor_pd(t1, neg_odd()));
+}
+
+void fft_stage_f64(double* x, const double* tw, std::size_t n,
+                   std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    double* lo = x + 2 * i;
+    double* hi = lo + 2 * half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const __m128d u = _mm_loadu_pd(lo + 2 * k);
+      const __m128d w = _mm_loadu_pd(tw + 2 * k);
+      const __m128d v = cmul(_mm_loadu_pd(hi + 2 * k), w);
+      _mm_storeu_pd(lo + 2 * k, _mm_add_pd(u, v));
+      _mm_storeu_pd(hi + 2 * k, _mm_sub_pd(u, v));
+    }
+  }
+}
+
+void complex_mul_f64(Complex* a, const Complex* b, std::size_t n) {
+  auto* pa = reinterpret_cast<double*>(a);
+  const auto* pb = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; ++i)
+    _mm_storeu_pd(pa + 2 * i,
+                  cmul(_mm_loadu_pd(pa + 2 * i), _mm_loadu_pd(pb + 2 * i)));
+}
+
+void complex_conj_mul_f64(Complex* a, const Complex* b, std::size_t n) {
+  auto* pa = reinterpret_cast<double*>(a);
+  const auto* pb = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; ++i)
+    _mm_storeu_pd(pa + 2 * i, cmul_conj(_mm_loadu_pd(pa + 2 * i),
+                                        _mm_loadu_pd(pb + 2 * i)));
+}
+
+void complex_scale_f64(Complex* a, std::size_t n, double s) {
+  auto* p = reinterpret_cast<double*>(a);
+  const __m128d vs = _mm_set1_pd(s);
+  for (std::size_t i = 0; i < n; ++i)
+    _mm_storeu_pd(p + 2 * i, _mm_mul_pd(_mm_loadu_pd(p + 2 * i), vs));
+}
+
+void scale_f64(double* x, std::size_t n, double s) {
+  const __m128d vs = _mm_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_pd(x + i, _mm_mul_pd(_mm_loadu_pd(x + i), vs));
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void sos_section_f64(double* x, std::size_t num_frames, std::size_t width,
+                     const SosCoeffs& c, double* z1, double* z2) {
+  const __m128d b0 = _mm_set1_pd(c.b0), b1 = _mm_set1_pd(c.b1),
+                b2 = _mm_set1_pd(c.b2), a1 = _mm_set1_pd(c.a1),
+                a2 = _mm_set1_pd(c.a2);
+  for (std::size_t t = 0; t < num_frames; ++t) {
+    double* frame = x + t * width;
+    std::size_t ch = 0;
+    for (; ch + 2 <= width; ch += 2) {
+      const __m128d in = _mm_loadu_pd(frame + ch);
+      const __m128d s1 = _mm_loadu_pd(z1 + ch);
+      const __m128d s2 = _mm_loadu_pd(z2 + ch);
+      const __m128d out = _mm_add_pd(_mm_mul_pd(b0, in), s1);
+      _mm_storeu_pd(
+          z1 + ch,
+          _mm_add_pd(_mm_sub_pd(_mm_mul_pd(b1, in), _mm_mul_pd(a1, out)), s2));
+      _mm_storeu_pd(z2 + ch,
+                    _mm_sub_pd(_mm_mul_pd(b2, in), _mm_mul_pd(a2, out)));
+      _mm_storeu_pd(frame + ch, out);
+    }
+    for (; ch < width; ++ch) {
+      const double in = frame[ch];
+      const double out = c.b0 * in + z1[ch];
+      z1[ch] = c.b1 * in - c.a1 * out + z2[ch];
+      z2[ch] = c.b2 * in - c.a2 * out;
+      frame[ch] = out;
+    }
+  }
+}
+
+double steered_energy_f64(const Complex* const* ch, std::size_t m,
+                          const Complex* w, std::size_t first,
+                          std::size_t count) {
+  double e = 0.0;
+  const auto* pw = reinterpret_cast<const double*>(w);
+  std::size_t t = first;
+  const std::size_t last = first + count;
+  for (; t + 2 <= last; t += 2) {
+    __m128d yre = _mm_setzero_pd();
+    __m128d yim = _mm_setzero_pd();
+    for (std::size_t c = 0; c < m; ++c) {
+      const __m128d wr = _mm_set1_pd(pw[2 * c]);
+      const __m128d wi = _mm_set1_pd(pw[2 * c + 1]);
+      const auto* pc = reinterpret_cast<const double*>(ch[c]);
+      const __m128d c0 = _mm_loadu_pd(pc + 2 * t);
+      const __m128d c1 = _mm_loadu_pd(pc + 2 * t + 2);
+      const __m128d xr = _mm_unpacklo_pd(c0, c1);  // [re_t, re_t+1]
+      const __m128d xi = _mm_unpackhi_pd(c0, c1);  // [im_t, im_t+1]
+      // conj(w)*x: re = wr*xr + wi*xi, im = wr*xi - wi*xr.
+      yre = _mm_add_pd(yre,
+                       _mm_add_pd(_mm_mul_pd(wr, xr), _mm_mul_pd(wi, xi)));
+      yim = _mm_add_pd(yim,
+                       _mm_sub_pd(_mm_mul_pd(wr, xi), _mm_mul_pd(wi, xr)));
+    }
+    const __m128d nv =
+        _mm_add_pd(_mm_mul_pd(yre, yre), _mm_mul_pd(yim, yim));
+    // Scalar adds in ascending t keep the reference accumulator bits.
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, nv);
+    e += lanes[0];
+    e += lanes[1];
+  }
+  for (; t < last; ++t) {
+    Complex y(0.0, 0.0);
+    for (std::size_t c = 0; c < m; ++c) y += std::conj(w[c]) * ch[c][t];
+    e += std::norm(y);
+  }
+  return e;
+}
+
+double incoherent_energy_f64(const Complex* const* ch, std::size_t m,
+                             std::size_t first, std::size_t count) {
+  double e = 0.0;
+  const std::size_t last = first + count;
+  for (std::size_t c = 0; c < m; ++c) {
+    const auto* pc = reinterpret_cast<const double*>(ch[c]);
+    std::size_t t = first;
+    for (; t + 2 <= last; t += 2) {
+      const __m128d c0 = _mm_loadu_pd(pc + 2 * t);
+      const __m128d c1 = _mm_loadu_pd(pc + 2 * t + 2);
+      const __m128d xr = _mm_unpacklo_pd(c0, c1);
+      const __m128d xi = _mm_unpackhi_pd(c0, c1);
+      const __m128d nv =
+          _mm_add_pd(_mm_mul_pd(xr, xr), _mm_mul_pd(xi, xi));
+      alignas(16) double lanes[2];
+      _mm_store_pd(lanes, nv);
+      e += lanes[0];
+      e += lanes[1];
+    }
+    for (; t < last; ++t) e += std::norm(ch[c][t]);
+  }
+  return e;
+}
+
+float steered_energy_f32(const float* const* ch, std::size_t m,
+                         const float* wre, const float* wim, std::size_t first,
+                         std::size_t count) {
+  float e = 0.0f;
+  std::size_t t = first;
+  const std::size_t last = first + count;
+  for (; t + 4 <= last; t += 4) {
+    __m128 yre = _mm_setzero_ps();
+    __m128 yim = _mm_setzero_ps();
+    for (std::size_t c = 0; c < m; ++c) {
+      const __m128 wr = _mm_set1_ps(wre[c]);
+      const __m128 wi = _mm_set1_ps(wim[c]);
+      const __m128 c0 = _mm_loadu_ps(ch[c] + 2 * t);      // r0 i0 r1 i1
+      const __m128 c1 = _mm_loadu_ps(ch[c] + 2 * t + 4);  // r2 i2 r3 i3
+      const __m128 xr = _mm_shuffle_ps(c0, c1, _MM_SHUFFLE(2, 0, 2, 0));
+      const __m128 xi = _mm_shuffle_ps(c0, c1, _MM_SHUFFLE(3, 1, 3, 1));
+      yre = _mm_add_ps(yre,
+                       _mm_add_ps(_mm_mul_ps(wr, xr), _mm_mul_ps(wi, xi)));
+      yim = _mm_add_ps(yim,
+                       _mm_sub_ps(_mm_mul_ps(wr, xi), _mm_mul_ps(wi, xr)));
+    }
+    const __m128 nv = _mm_add_ps(_mm_mul_ps(yre, yre), _mm_mul_ps(yim, yim));
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, nv);
+    e += lanes[0];
+    e += lanes[1];
+    e += lanes[2];
+    e += lanes[3];
+  }
+  for (; t < last; ++t) {
+    float yre = 0.0f, yim = 0.0f;
+    for (std::size_t c = 0; c < m; ++c) {
+      const float xr = ch[c][2 * t];
+      const float xi = ch[c][2 * t + 1];
+      yre += wre[c] * xr + wim[c] * xi;
+      yim += wre[c] * xi - wim[c] * xr;
+    }
+    e += yre * yre + yim * yim;
+  }
+  return e;
+}
+
+float incoherent_energy_f32(const float* const* ch, std::size_t m,
+                            std::size_t first, std::size_t count) {
+  float e = 0.0f;
+  const std::size_t last = first + count;
+  for (std::size_t c = 0; c < m; ++c) {
+    std::size_t t = first;
+    for (; t + 4 <= last; t += 4) {
+      const __m128 c0 = _mm_loadu_ps(ch[c] + 2 * t);
+      const __m128 c1 = _mm_loadu_ps(ch[c] + 2 * t + 4);
+      const __m128 xr = _mm_shuffle_ps(c0, c1, _MM_SHUFFLE(2, 0, 2, 0));
+      const __m128 xi = _mm_shuffle_ps(c0, c1, _MM_SHUFFLE(3, 1, 3, 1));
+      const __m128 nv =
+          _mm_add_ps(_mm_mul_ps(xr, xr), _mm_mul_ps(xi, xi));
+      alignas(16) float lanes[4];
+      _mm_store_ps(lanes, nv);
+      e += lanes[0];
+      e += lanes[1];
+      e += lanes[2];
+      e += lanes[3];
+    }
+    for (; t < last; ++t) {
+      const float xr = ch[c][2 * t];
+      const float xi = ch[c][2 * t + 1];
+      e += xr * xr + xi * xi;
+    }
+  }
+  return e;
+}
+
+const KernelTable kTable = {
+    Isa::kSse2,          &fft_stage_f64,      &complex_mul_f64,
+    &complex_conj_mul_f64, &complex_scale_f64, &scale_f64,
+    &sos_section_f64,    &steered_energy_f64, &incoherent_energy_f64,
+    &steered_energy_f32, &incoherent_energy_f32,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* sse2_table() { return &kTable; }
+}  // namespace detail
+
+}  // namespace echoimage::simd
+
+#else  // non-x86 build: lane not compiled in
+
+#include "simd/kernels.hpp"
+
+namespace echoimage::simd::detail {
+const KernelTable* sse2_table() { return nullptr; }
+}  // namespace echoimage::simd::detail
+
+#endif

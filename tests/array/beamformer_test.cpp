@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <numbers>
 #include <random>
+#include <utility>
 
+#include "array/covariance.hpp"
 #include "dsp/chirp.hpp"
 #include "dsp/hilbert.hpp"
 #include "sim/scene.hpp"
@@ -256,6 +259,38 @@ TEST(SubbandMvdr, RecoversToneSteeredAtSource) {
   const double r =
       echoimage::dsp::rms(std::span<const double>(y.data() + 512, 1024));
   EXPECT_NEAR(r, 1.0 / std::sqrt(2.0), 0.08);
+}
+
+TEST(NarrowbandBeamformer, CopiesOutliveTheSourceOnBothNumericLanes) {
+  // Regression: the beamformer caches kernel-facing channel-pointer
+  // arrays; a member-wise copy left them aimed into the source object, so
+  // a copy whose source had died read freed memory. Copies (and copies of
+  // copies) must answer energy queries bit-identically after the source
+  // is gone.
+  const ArrayGeometry g = make_respeaker_array();
+  const MultiChannelSignal x =
+      plane_wave_tone(g, Direction{1.0, 1.2}, kF0, 512, 0.05);
+  for (const simd::NumericLane lane :
+       {simd::NumericLane::kF64, simd::NumericLane::kF32}) {
+    std::vector<ComplexSignal> chans;
+    for (const Signal& c : x.channels)
+      chans.push_back(echoimage::dsp::analytic_signal(c));
+    auto source = std::make_unique<NarrowbandBeamformer>(
+        chans, kFs, kF0, g, white_noise_covariance(g.num_mics()),
+        kSpeedOfSoundMps, ChannelMask{}, lane);
+    const auto w = source->weights_mvdr(Direction{1.0, 1.2});
+    const double want_steered = source->steered_energy(w, 0, 512);
+    const double want_incoherent = source->incoherent_energy(0, 512);
+    NarrowbandBeamformer copy = *source;
+    NarrowbandBeamformer assigned = copy;
+    assigned = *source;
+    source.reset();  // free the original buffers
+    EXPECT_EQ(copy.steered_energy(w, 0, 512), want_steered);
+    EXPECT_EQ(copy.incoherent_energy(0, 512), want_incoherent);
+    EXPECT_EQ(assigned.steered_energy(w, 0, 512), want_steered);
+    const NarrowbandBeamformer moved = std::move(assigned);
+    EXPECT_EQ(moved.steered_energy(w, 0, 512), want_steered);
+  }
 }
 
 TEST(Beampattern, PeaksAtLookDirection) {

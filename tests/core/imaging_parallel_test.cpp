@@ -11,6 +11,7 @@
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
 #include "eval/roster.hpp"
+#include "simd/isa.hpp"
 
 namespace echoimage::core {
 namespace {
@@ -206,6 +207,50 @@ TEST(ParallelImaging, RecalibratedSpeedOfSoundStaysDeterministic) {
   for (std::size_t i = 0; i < baseline[0].size(); ++i)
     diff += std::abs(baseline[0].data()[i] - serial[0].data()[i]);
   EXPECT_GT(diff, 0.0);
+}
+
+TEST(ParallelImaging, IsaLanesBitIdenticalUnderThreadedEngine) {
+  // The lane sweep under the parallel engine: this runs inside the TSan
+  // build (tools/run_sanitized_tests.sh thread), so any race between the
+  // kernel dispatch, the per-lane channel mirrors, and the worker pool is
+  // caught here. Scalar serial is the reference; every other lane x
+  // thread-count combination must reproduce it bit for bit (f64), and the
+  // f32 lane must be bit-stable across lanes and thread counts too.
+  const Fixture f;
+  const auto batch = f.batch();
+  std::vector<Matrix2D> reference, f32_reference;
+  {
+    echoimage::simd::ScopedIsa forced(echoimage::simd::Isa::kScalar);
+    ImagingConfig cfg = small_config();
+    cfg.num_threads = 1;
+    reference = AcousticImager(cfg, f.geometry)
+                    .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
+                                     batch.noise_only);
+    cfg.numeric_lane = echoimage::simd::NumericLane::kF32;
+    f32_reference = AcousticImager(cfg, f.geometry)
+                        .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
+                                         batch.noise_only);
+  }
+  for (echoimage::simd::Isa isa : echoimage::simd::supported_isas()) {
+    echoimage::simd::ScopedIsa forced(isa);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      ImagingConfig cfg = small_config();
+      cfg.num_threads = threads;
+      expect_bitwise_equal(
+          reference,
+          AcousticImager(cfg, f.geometry)
+              .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
+                               batch.noise_only),
+          "isa lane f64");
+      cfg.numeric_lane = echoimage::simd::NumericLane::kF32;
+      expect_bitwise_equal(
+          f32_reference,
+          AcousticImager(cfg, f.geometry)
+              .construct_bands(batch.beeps[0], 0.7_m, 0.0002,
+                               batch.noise_only),
+          "isa lane f32");
+    }
+  }
 }
 
 TEST(ParallelImaging, AugmenterSynthesizesBitIdenticallyAcrossPools) {

@@ -56,6 +56,16 @@ R7  no-raw-sync-outside-sync-layer
     Tighter than R2: R2 exempts all of src/runtime, R7 exempts only
     the capability layer itself.
 
+R9  no-raw-intrinsics-outside-simd
+    SIMD intrinsic headers (<immintrin.h>, <arm_neon.h>, ...) and raw
+    intrinsic spellings (_mm*/__m128/__m256/__m512, NEON vector types
+    and v*q_f64-style calls) are confined to src/simd. Everything else
+    goes through simd::kernels(): the dispatch table is what makes the
+    forced-lane tests, the scalar CI fallback, and the bit-transparency
+    contract enforceable. Applies to every scanned root (tests and
+    benches too — they must exercise lanes via simd::ScopedIsa, not by
+    hand-rolling vector code).
+
 R8  guard-mutable-fields-near-capabilities
     Heuristic: in a library file that declares a sync::Mutex /
     sync::SharedMutex / RegionLock capability, a `mutable` data member
@@ -121,6 +131,7 @@ RULE_TITLES = {
     "R6": "no-raw-file-writes-outside-store",
     "R7": "no-raw-sync-outside-sync-layer",
     "R8": "guard-mutable-fields-near-capabilities",
+    "R9": "no-raw-intrinsics-outside-simd",
 }
 
 FIX_HINTS = {
@@ -145,6 +156,9 @@ FIX_HINTS = {
     "R8": "annotate the member with EI_GUARDED_BY(<capability>) (or "
           "EI_PT_GUARDED_BY for pointees), make it a std::atomic, or "
           "suppress with a comment explaining the ownership discipline",
+    "R9": "call through simd::kernels() / simd::kernels_for(isa), or add "
+          "the kernel to src/simd (one table entry per lane + a scalar "
+          "reference + a tests/simd differential case)",
 }
 
 R1_PATTERNS = [
@@ -191,6 +205,21 @@ R7_PATTERNS = [
                r"timed_mutex|recursive_timed_mutex|shared_timed_mutex|"
                r"lock_guard|unique_lock|shared_lock|scoped_lock|"
                r"condition_variable(?:_any)?)\b"),
+]
+
+SIMD_PREFIX = os.path.join("src", "simd")
+
+R9_PATTERNS = [
+    re.compile(r"#\s*include\s*<(?:immintrin|x86intrin|emmintrin|"
+               r"xmmintrin|pmmintrin|tmmintrin|smmintrin|nmmintrin|"
+               r"wmmintrin|avxintrin|avx2intrin|arm_neon|arm_sve)\.h>"),
+    re.compile(r"\b_mm(?:256|512)?_\w+"),
+    re.compile(r"\b__m(?:128|256|512)[dih]?\b"),
+    # NEON vector types (float64x2_t, int32x4x2_t, ...) and load/store/
+    # arithmetic intrinsic spellings (vld2q_f64, vmulq_f32, ...).
+    re.compile(r"\b(?:float|poly|u?int)(?:8|16|32|64)x\d+(?:x\d+)?_t\b"),
+    re.compile(r"\bv(?:ld|st|mul|add|sub|mla|mls|fma|get|set|dup|rev|"
+               r"ext|zip|uzp|trn)\w*q?_[fsupn]\d+\w*"),
 ]
 
 # R8: a file "declares a capability" when it names one of the sync-layer
@@ -297,6 +326,12 @@ def check_file(rel_path: str, text: str) -> list[Violation]:
     if in_library and norm != SYNC_LAYER:
         for m in iter_pattern_hits(code, R7_PATTERNS):
             out.append(Violation("R7", norm, line_of(code, m.start()),
+                                 m.group(0).strip()))
+
+    in_simd = norm.startswith(SIMD_PREFIX.replace(os.sep, "/") + "/")
+    if not in_simd:
+        for m in iter_pattern_hits(code, R9_PATTERNS):
+            out.append(Violation("R9", norm, line_of(code, m.start()),
                                  m.group(0).strip()))
 
     if in_library and norm != SYNC_LAYER and R8_TRIGGER.search(code):
@@ -436,6 +471,12 @@ SELF_TEST_CASES = [
     ("src/obs/bad_r8b.hpp",
      "class R {\n  RegionLock lock_;\n  mutable std::size_t n_ = 0;\n};\n",
      "R8"),
+    # R9 bites in library code outside src/simd AND in tests/benches.
+    ("src/dsp/bad_r9.cpp", "#include <immintrin.h>\n", "R9"),
+    ("src/core/bad_r9b.cpp", "__m256d x = _mm256_set1_pd(0.0);\n", "R9"),
+    ("src/ml/bad_r9c.cpp", "float64x2_t v = vld1q_f64(p);\n", "R9"),
+    ("tests/dsp/bad_r9d_test.cpp", "#include <arm_neon.h>\n", "R9"),
+    ("bench/bad_r9e.cpp", "__m128d a = _mm_setzero_pd();\n", "R9"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -479,6 +520,15 @@ SELF_TEST_CLEAN = [
     # `mutable` with no capability in the file is out of R8's scope
     # (lane-ownership disciplines live in src/obs).
     ("src/obs/ok_lanes.hpp", "class T { mutable std::vector<int> lanes_; };\n"),
+    # src/simd is the one sanctioned home for raw intrinsics; mentioning
+    # an intrinsic in a comment or string is not using one.
+    ("src/simd/ok_kernels_avx2.cpp",
+     "#include <immintrin.h>\n__m256d x = _mm256_setzero_pd();\n"),
+    ("src/simd/ok_kernels_neon.cpp",
+     "float64x2_t v = vld2q_f64(p).val[0];\n"),
+    ("src/dsp/ok_simd_comment.cpp",
+     "// _mm256_fmadd_pd would fuse; see src/simd\nconst char* s = "
+     "\"__m128d\";\n"),
 ]
 
 

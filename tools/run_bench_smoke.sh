@@ -24,17 +24,27 @@ fi
 
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_faults --target bench_drift --target bench_throughput \
-  --target bench_serve --target bench_store --target bench_ident
+  --target bench_serve --target bench_store --target bench_ident \
+  --target bench_micro_dsp
 
 status=0
-for bench in bench_faults bench_drift bench_throughput bench_serve \
-             bench_store bench_ident; do
+for bench in bench_faults bench_drift bench_serve \
+             bench_store bench_ident bench_micro_dsp; do
   echo "=== $bench --smoke ==="
   if ! (cd "$build_dir/bench" && "./$bench" --smoke); then
     echo "$bench: FAILED" >&2
     status=1
   fi
 done
+
+# The throughput bench gets the --paper opt-in here (skipped in the ctest
+# smoke registration): the committed BENCH_throughput.json must carry a
+# measured 180x180 full-band paper-scale entry, not a placeholder.
+echo "=== bench_throughput --smoke --paper ==="
+if ! (cd "$build_dir/bench" && ./bench_throughput --smoke --paper); then
+  echo "bench_throughput: FAILED" >&2
+  status=1
+fi
 
 # Every bench exports a Chrome trace_event file (load in ui.perfetto.dev)
 # next to its JSON results; surface where they landed.
@@ -59,6 +69,12 @@ done
 if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_throughput.json" ]; then
   cp "$build_dir/bench/BENCH_throughput.json" "$repo_root/BENCH_throughput.json"
   echo "refreshed $repo_root/BENCH_throughput.json"
+fi
+# Same rule for the kernel micro-bench: its ns/op numbers are wall-clock
+# but the per-lane shape (and the bit-exactness verdict) is the snapshot.
+if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_micro_dsp.json" ]; then
+  cp "$build_dir/bench/BENCH_micro_dsp.json" "$repo_root/BENCH_micro_dsp.json"
+  echo "refreshed $repo_root/BENCH_micro_dsp.json"
 fi
 if [ "$status" -eq 0 ] && [ -f "$build_dir/bench/BENCH_store.json" ] &&
    grep -q '"smoke": false' "$build_dir/bench/BENCH_store.json"; then

@@ -57,7 +57,8 @@ case "$mode" in
     targets="echoimage_tests echoimage_concurrency_tests
              echoimage_serve_tests echoimage_store_tests
              echoimage_ident_tests echoimage_obs_alloc_test
-             bench_throughput bench_serve bench_store bench_ident"
+             bench_throughput bench_micro_dsp bench_serve bench_store
+             bench_ident"
     ;;
   *)
     build_dir="$repo_root/build-asan"
@@ -66,7 +67,8 @@ case "$mode" in
     targets="echoimage_tests echoimage_concurrency_tests
              echoimage_serve_tests echoimage_store_tests
              echoimage_ident_tests echoimage_obs_alloc_test
-             bench_throughput bench_serve bench_store bench_ident"
+             bench_throughput bench_micro_dsp bench_serve bench_store
+             bench_ident"
     ;;
 esac
 
